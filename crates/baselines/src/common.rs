@@ -1,0 +1,173 @@
+//! Shared scenario scaffolding for baseline protocols.
+//!
+//! Every baseline runs the *same* scenario inputs as the HVDB protocol
+//! (initial group membership, scripted traffic, scripted joins/leaves), so
+//! comparative experiments differ only in the protocol under test.
+
+use hvdb_core::{GroupEvent, GroupId, TrafficItem};
+use hvdb_sim::{Ctx, NodeId, SimTime};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Timer-tag bases shared by all baselines.
+pub const TAG_TRAFFIC_BASE: u64 = 1 << 32;
+/// Group-event tag base.
+pub const TAG_GROUP_BASE: u64 = 1 << 33;
+
+/// Scenario state common to all baselines: per-node memberships, the
+/// ground-truth group map, and origin accounting.
+pub struct ScenarioState {
+    /// Per-node joined groups.
+    pub member_of: Vec<FxHashSet<GroupId>>,
+    /// Ground truth: group -> members.
+    pub truth: FxHashMap<GroupId, FxHashSet<NodeId>>,
+    /// Scripted traffic.
+    pub traffic: Vec<TrafficItem>,
+    /// Scripted membership changes.
+    pub group_events: Vec<GroupEvent>,
+    /// Per-node delivered data ids (dedup).
+    pub seen_data: Vec<FxHashSet<u64>>,
+    next_data_id: u64,
+}
+
+impl ScenarioState {
+    /// Builds the scenario state.
+    pub fn new(
+        initial_groups: &[(NodeId, GroupId)],
+        traffic: Vec<TrafficItem>,
+        group_events: Vec<GroupEvent>,
+    ) -> Self {
+        let mut truth: FxHashMap<GroupId, FxHashSet<NodeId>> = FxHashMap::default();
+        for (node, group) in initial_groups {
+            truth.entry(*group).or_default().insert(*node);
+        }
+        ScenarioState {
+            member_of: Vec::new(),
+            truth,
+            traffic,
+            group_events,
+            seen_data: Vec::new(),
+            next_data_id: 1,
+        }
+    }
+
+    /// Allocates per-node state and schedules scripted timers; call from
+    /// each node's `on_start`.
+    pub fn on_start<M: Clone>(&mut self, node: NodeId, ctx: &mut Ctx<'_, M>) {
+        if self.member_of.len() < ctx.node_count() {
+            for id in 0..ctx.node_count() as u32 {
+                let groups: FxHashSet<GroupId> = self
+                    .truth
+                    .iter()
+                    .filter(|(_, m)| m.contains(&NodeId(id)))
+                    .map(|(g, _)| *g)
+                    .collect();
+                self.member_of.push(groups);
+                self.seen_data.push(FxHashSet::default());
+            }
+        }
+        for (i, t) in self.traffic.iter().enumerate() {
+            if t.src == node {
+                ctx.set_timer(node, t.at.since(SimTime::ZERO), TAG_TRAFFIC_BASE + i as u64);
+            }
+        }
+        for (i, g) in self.group_events.iter().enumerate() {
+            if g.node == node {
+                ctx.set_timer(node, g.at.since(SimTime::ZERO), TAG_GROUP_BASE + i as u64);
+            }
+        }
+    }
+
+    /// Applies a scripted group event.
+    pub fn apply_group_event(&mut self, idx: usize) {
+        let ev = self.group_events[idx];
+        if ev.join {
+            self.member_of[ev.node.idx()].insert(ev.group);
+            self.truth.entry(ev.group).or_default().insert(ev.node);
+        } else {
+            self.member_of[ev.node.idx()].remove(&ev.group);
+            if let Some(m) = self.truth.get_mut(&ev.group) {
+                m.remove(&ev.node);
+            }
+        }
+    }
+
+    /// Registers an origin for traffic item `idx` and returns
+    /// (data id, group, size). Expected receivers = current true members
+    /// minus the source.
+    pub fn originate<M: Clone>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, M>,
+        idx: usize,
+    ) -> (u64, GroupId, usize) {
+        let item = self.traffic[idx];
+        let data_id = self.next_data_id;
+        self.next_data_id += 1;
+        let expected = self
+            .truth
+            .get(&item.group)
+            .map(|m| m.iter().filter(|n| **n != node).count() as u64)
+            .unwrap_or(0);
+        ctx.record_origin(data_id, expected);
+        (data_id, item.group, item.size)
+    }
+
+    /// Records delivery at `node` if it is a member and hasn't seen the
+    /// packet. Returns whether this was a fresh delivery.
+    pub fn deliver<M: Clone>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, M>,
+        data_id: u64,
+        group: GroupId,
+    ) -> bool {
+        if self.member_of[node.idx()].contains(&group) && self.seen_data[node.idx()].insert(data_id)
+        {
+            ctx.record_delivery(data_id, node);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `node` currently belongs to `group`.
+    pub fn is_member(&self, node: NodeId, group: GroupId) -> bool {
+        self.member_of[node.idx()].contains(&group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tracks_events() {
+        let g = GroupId(1);
+        let mut s = ScenarioState::new(
+            &[(NodeId(0), g)],
+            vec![],
+            vec![
+                GroupEvent {
+                    at: SimTime::from_secs(1),
+                    node: NodeId(1),
+                    group: g,
+                    join: true,
+                },
+                GroupEvent {
+                    at: SimTime::from_secs(2),
+                    node: NodeId(0),
+                    group: g,
+                    join: false,
+                },
+            ],
+        );
+        // Simulate allocation for 2 nodes.
+        s.member_of = vec![[g].into_iter().collect(), FxHashSet::default()];
+        s.seen_data = vec![FxHashSet::default(), FxHashSet::default()];
+        s.apply_group_event(0);
+        assert!(s.is_member(NodeId(1), g));
+        s.apply_group_event(1);
+        assert!(!s.is_member(NodeId(0), g));
+        assert_eq!(s.truth[&g].len(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # hvdb-baselines — comparison protocols for the HVDB reproduction
+//!
+//! Behavioural models of the schemes the HVDB paper (Wang et al., IPDPS
+//! 2005) positions itself against, each implemented as a
+//! [`hvdb_sim::Protocol`] over the same simulator and scenario inputs as
+//! the HVDB protocol:
+//!
+//! * [`flooding`] — network-wide flooding: Θ(N) per packet, no state;
+//! * [`shared_tree`] — core-rooted shared tree (MAODV-style): the
+//!   "tree-based architecture" whose core bottleneck the paper's
+//!   load-balancing claim targets (§5);
+//! * [`dsm`] — DSM-style global location/membership floods with local
+//!   source-tree computation (§2.2's first critique);
+//! * [`spbm`] — SPBM-style quad-tree membership aggregation where "all the
+//!   nodes in the network are involved in the membership update" (§2.2's
+//!   closing critique, the paper's closest competitor).
+//!
+//! [`common`] holds the shared scenario scaffolding so comparative runs
+//! differ only in the protocol.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod dsm;
+pub mod flooding;
+pub mod shared_tree;
+pub mod spbm;
+
+pub use common::ScenarioState;
+pub use dsm::{DsmMsg, DsmProtocol};
+pub use flooding::{FloodMsg, FloodingProtocol};
+pub use shared_tree::{SharedTreeProtocol, TreeMsg};
+pub use spbm::{QuadTree, SpbmMsg, SpbmProtocol, Square};

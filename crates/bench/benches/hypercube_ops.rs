@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the hypercube algebra: the per-packet work a CH does
+//! at the hypercube tier (routing, trees) and the availability analysis
+//! (disjoint paths). Sweeps the paper's dimensions 3..=6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hvdb_hypercube::routing::local_routes;
+use hvdb_hypercube::{
+    bfs_route, binomial_tree, disjoint_paths_complete, ecube_route, max_disjoint_paths,
+    multicast_tree, IncompleteHypercube,
+};
+use std::hint::black_box;
+
+fn damaged(dim: u8) -> IncompleteHypercube {
+    let mut cube = IncompleteHypercube::complete(dim);
+    // Deterministic light damage: every 5th node and a few links.
+    for u in (0..(1u32 << dim)).step_by(5).skip(1) {
+        cube.remove_node(u);
+    }
+    cube
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypercube_routing");
+    for dim in [3u8, 4, 5, 6] {
+        let far = (1u32 << dim) - 1;
+        g.bench_with_input(BenchmarkId::new("ecube", dim), &dim, |b, &dim| {
+            b.iter(|| ecube_route(black_box(0), black_box(far), dim))
+        });
+        let cube = damaged(dim);
+        g.bench_with_input(BenchmarkId::new("bfs_damaged", dim), &dim, |b, _| {
+            b.iter(|| bfs_route(black_box(&cube), 0, far))
+        });
+        g.bench_with_input(BenchmarkId::new("local_routes_k4", dim), &dim, |b, _| {
+            b.iter(|| local_routes(black_box(&cube), 0, 4))
+        });
+    }
+    g.finish();
+}
+
+fn bench_disjoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disjoint_paths");
+    for dim in [3u8, 4, 5, 6] {
+        let far = (1u32 << dim) - 1;
+        g.bench_with_input(BenchmarkId::new("explicit_complete", dim), &dim, |b, &dim| {
+            b.iter(|| disjoint_paths_complete(black_box(0), black_box(far), dim))
+        });
+        let cube = damaged(dim);
+        g.bench_with_input(BenchmarkId::new("maxflow_damaged", dim), &dim, |b, _| {
+            b.iter(|| max_disjoint_paths(black_box(&cube), 0, far, usize::MAX))
+        });
+    }
+    g.finish();
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypercube_trees");
+    for dim in [4u8, 6] {
+        g.bench_with_input(BenchmarkId::new("binomial", dim), &dim, |b, &dim| {
+            b.iter(|| binomial_tree(black_box(0), dim))
+        });
+        let cube = damaged(dim);
+        let dests: Vec<u32> = cube.iter_nodes().filter(|u| u % 3 == 1).collect();
+        g.bench_with_input(BenchmarkId::new("multicast_tree", dim), &dim, |b, _| {
+            b.iter(|| multicast_tree(black_box(&cube), 0, black_box(&dests)))
+        });
+        let tree = multicast_tree(&cube, 0, &dests);
+        g.bench_with_input(BenchmarkId::new("encode_edges", dim), &dim, |b, _| {
+            b.iter(|| black_box(&tree).encode_edges())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_disjoint, bench_trees);
+criterion_main!(benches);

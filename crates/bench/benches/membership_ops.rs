@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the Fig. 5 summary pipeline: the per-period work a
+//! CH performs to aggregate memberships at each tier, across group and
+//! member scales — the costs behind the F5/C4 overhead curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hvdb_core::{GroupId, HtSummary, LocalMembership, MntSummary, MtSummary};
+use hvdb_geo::{Hid, Hnid, VcId};
+use std::hint::black_box;
+
+fn locals(members: usize, groups: usize) -> Vec<LocalMembership> {
+    (0..members)
+        .map(|m| {
+            let mut lm = LocalMembership::default();
+            lm.join(GroupId((m % groups) as u32));
+            if m % 3 == 0 {
+                lm.join(GroupId(((m + 1) % groups) as u32));
+            }
+            lm
+        })
+        .collect()
+}
+
+fn bench_mnt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mnt_summary");
+    for members in [10usize, 100, 1000] {
+        let ls = locals(members, 8);
+        g.bench_with_input(BenchmarkId::new("from_locals", members), &members, |b, _| {
+            b.iter(|| MntSummary::from_locals(black_box(VcId::new(0, 0)), ls.iter()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ht(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ht_summary");
+    for chs in [4usize, 16, 64] {
+        let mnts: Vec<(Hnid, MntSummary)> = (0..chs)
+            .map(|i| {
+                let ls = locals(20, 8);
+                (
+                    Hnid(i as u32),
+                    MntSummary::from_locals(VcId::new(0, 0), ls.iter()),
+                )
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("from_mnt", chs), &chs, |b, _| {
+            b.iter(|| {
+                HtSummary::from_mnt(
+                    black_box(Hid::new(0, 0)),
+                    mnts.iter().map(|(l, m)| (*l, m)),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mt_summary");
+    for groups in [4usize, 32, 256] {
+        let hts: Vec<HtSummary> = (0..16u16)
+            .map(|r| {
+                let ls = locals(50, groups);
+                let mnt = MntSummary::from_locals(VcId::new(0, 0), ls.iter());
+                HtSummary::from_mnt(Hid::new(r / 4, r % 4), [(Hnid(0), &mnt)].into_iter())
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("integrate_16hids", groups), &groups, |b, _| {
+            b.iter(|| {
+                let mut mt = MtSummary::default();
+                for ht in &hts {
+                    mt.integrate(black_box(ht));
+                }
+                mt
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mnt, bench_ht, bench_mt);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the mesh-tier multicast tree (the per-multicast work
+//! at source CHs, amortised by the §4.3 cache) across mesh sizes and
+//! destination counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hvdb_core::MeshTree;
+use hvdb_geo::Hid;
+use std::hint::black_box;
+
+fn dests(mesh_side: u16, count: usize) -> Vec<Hid> {
+    (0..count)
+        .map(|i| {
+            Hid::new(
+                (i as u16 * 7) % mesh_side,
+                (i as u16 * 13) % mesh_side,
+            )
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh_tree_build");
+    for (side, count) in [(4u16, 4usize), (8, 16), (16, 64)] {
+        let d = dests(side, count);
+        g.bench_with_input(
+            BenchmarkId::new("build", format!("{side}x{side}_{count}dests")),
+            &d,
+            |b, d| b.iter(|| MeshTree::build(black_box(Hid::new(0, 0)), d)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let d = dests(16, 64);
+    let tree = MeshTree::build(Hid::new(0, 0), &d);
+    c.bench_function("mesh_tree_encode", |b| {
+        b.iter(|| black_box(&tree).encode_edges())
+    });
+    let edges = tree.encode_edges();
+    c.bench_function("mesh_tree_decode", |b| {
+        b.iter(|| MeshTree::decode_edges(Hid::new(0, 0), black_box(&edges)))
+    });
+    c.bench_function("mesh_tree_subtree", |b| {
+        b.iter(|| black_box(&tree).subtree_edges(Hid::new(4, 0)))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end protocol benchmarks: wall-clock cost of simulating one full
+//! scenario under each protocol (the harness's own throughput — how many
+//! scenario-seconds per wall-second each protocol model sustains).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvdb_bench::{run_one, Proto, Workload};
+use hvdb_sim::SimDuration;
+use std::hint::black_box;
+
+fn small_workload() -> Workload {
+    Workload {
+        nodes: 120,
+        side: 1000.0,
+        range: 350.0,
+        groups: 1,
+        members_per_group: 6,
+        packets_per_group: 4,
+        warmup: SimDuration::from_secs(60),
+        traffic_window: SimDuration::from_secs(15),
+        cooldown: SimDuration::from_secs(15),
+        ..Default::default()
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_e2e");
+    g.sample_size(10);
+    let w = small_workload();
+    for proto in Proto::ALL {
+        g.bench_function(proto.name(), |b| {
+            b.iter(|| {
+                let scenario = w.build();
+                black_box(run_one(proto, &scenario))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the simulator substrate: event-queue throughput and
+//! spatial-index queries — the per-event costs that bound how large a MANET
+//! the experiments can simulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hvdb_geo::{Point, SpatialIndex};
+use hvdb_sim::{EventKind, EventQueue, NodeId, SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            let times: Vec<SimTime> = (0..n).map(|_| SimTime(rng.range_u64(0, 1 << 30))).collect();
+            b.iter(|| {
+                let mut q: EventQueue<u32> = EventQueue::new();
+                for &t in &times {
+                    q.push(t, EventKind::Timer { node: NodeId(0), tag: 0 });
+                }
+                let mut count = 0usize;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial_index");
+    for n in [100usize, 1_000, 10_000] {
+        let mut rng = SimRng::new(2);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.range_f64(0.0, 4000.0), rng.range_f64(0.0, 4000.0)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            let mut idx = SpatialIndex::new(250.0);
+            b.iter(|| {
+                idx.rebuild(pts.iter().enumerate().map(|(i, p)| (i as u32, *p)));
+                black_box(idx.len())
+            })
+        });
+        let mut idx = SpatialIndex::new(250.0);
+        idx.rebuild(pts.iter().enumerate().map(|(i, p)| (i as u32, *p)));
+        g.bench_with_input(BenchmarkId::new("query_range", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                idx.query_range_into(black_box(Point::new(2000.0, 2000.0)), 250.0, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_spatial);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Experiment A1: ablations over the design choices DESIGN.md calls out —
+//! the horizon k, the hypercube dimension, tree caching (§4.3), and the
+//! two designated-broadcaster criteria (§4.2).
+
+use hvdb_bench::{metrics_of, Workload};
+use hvdb_core::{DesignationCriterion, HvdbProtocol};
+use hvdb_sim::Simulator;
+
+fn run_with(
+    w: &Workload,
+    tweak: impl Fn(&mut hvdb_core::HvdbConfig),
+) -> (hvdb_bench::RunMetrics, hvdb_core::Counters) {
+    let mut scenario = w.build();
+    tweak(&mut scenario.hvdb);
+    let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+    let mut proto = HvdbProtocol::new(
+        scenario.hvdb.clone(),
+        &scenario.members,
+        scenario.traffic.clone(),
+        vec![],
+    );
+    sim.run(&mut proto, scenario.until);
+    (metrics_of(sim.stats()), proto.counters)
+}
+
+fn main() {
+    let w = Workload {
+        seed: 4,
+        ..Default::default()
+    };
+
+    println!("# A1a: horizon k (route-table reach vs beacon size)");
+    println!(
+        "{:<4} {:>10} {:>11} {:>14} {:>10}",
+        "k", "delivery", "lat-ms", "ctrl-bytes", "no-route"
+    );
+    for k in [1u32, 2, 4, 6] {
+        let (m, c) = run_with(&w, |cfg| cfg.k = k);
+        println!(
+            "{:<4} {:>10.3} {:>11.1} {:>14} {:>10}",
+            k,
+            m.delivery,
+            m.latency * 1e3,
+            m.control_bytes,
+            c.no_route
+        );
+    }
+
+    println!("\n# A1b: hypercube dimension (paper suggests 3..6)");
+    println!(
+        "{:<4} {:>10} {:>11} {:>14}",
+        "dim", "delivery", "lat-ms", "ctrl-bytes"
+    );
+    for dim in [3u8, 4, 5, 6] {
+        let w = Workload {
+            dim,
+            vc_side: 8,
+            seed: 4,
+            ..Default::default()
+        };
+        let (m, _) = run_with(&w, |_| {});
+        println!(
+            "{:<4} {:>10.3} {:>11.1} {:>14}",
+            dim,
+            m.delivery,
+            m.latency * 1e3,
+            m.control_bytes
+        );
+    }
+
+    println!("\n# A1c: multicast-tree caching (4.3)");
+    println!(
+        "{:<8} {:>10} {:>13} {:>13}",
+        "cache", "delivery", "trees-built", "cache-hits"
+    );
+    let heavy = Workload {
+        packets_per_group: 30,
+        seed: 4,
+        ..Default::default()
+    };
+    for cache in [true, false] {
+        let (m, c) = run_with(&heavy, |cfg| cfg.cache_trees = cache);
+        println!(
+            "{:<8} {:>10.3} {:>13} {:>13}",
+            cache, m.delivery, c.trees_built, c.tree_cache_hits
+        );
+    }
+
+    println!("\n# A1d: designated-broadcaster criterion (4.2)");
+    println!(
+        "{:<22} {:>10} {:>14} {:>14}",
+        "criterion", "delivery", "ht-broadcasts", "ht-bytes"
+    );
+    for (name, crit) in [
+        ("most-groups", DesignationCriterion::MostGroups),
+        ("neighborhood-groups", DesignationCriterion::NeighborhoodGroups),
+    ] {
+        let ht_bytes;
+        let (m, c) = {
+            let mut scenario = w.build();
+            scenario.hvdb.designation = crit;
+            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut proto = HvdbProtocol::new(
+                scenario.hvdb.clone(),
+                &scenario.members,
+                scenario.traffic.clone(),
+                vec![],
+            );
+            sim.run(&mut proto, scenario.until);
+            ht_bytes = sim.stats().bytes("ht-bcast");
+            (metrics_of(sim.stats()), proto.counters)
+        };
+        println!(
+            "{:<22} {:>10.3} {:>14} {:>14}",
+            name, m.delivery, c.ht_broadcasts, ht_bytes
+        );
+    }
+}

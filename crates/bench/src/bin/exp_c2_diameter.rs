@@ -1,0 +1,106 @@
+//! Experiment C2 (paper §2.1/§5 claim): small diameter — "the diameter of
+//! the hypercube … is n", so logical routes stay short.
+//!
+//! Tabulates diameter and mean shortest-path length for complete cubes,
+//! for cubes with the Fig. 3 grid links, and for incomplete cubes across
+//! occupancy levels; then measures the physical-hop cost of logical hops
+//! in the full protocol.
+
+use hvdb_core::{build_region_cube, HvdbConfig};
+use hvdb_geo::{Aabb, Hid, Hnid};
+use hvdb_hypercube::routing::{diameter, local_routes};
+use hvdb_hypercube::IncompleteHypercube;
+use hvdb_sim::SimRng;
+
+fn mean_distance(cube: &IncompleteHypercube) -> f64 {
+    let nodes: Vec<u32> = cube.iter_nodes().collect();
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &src in &nodes {
+        for r in local_routes(cube, src, u32::MAX) {
+            total += r.hops as u64;
+            pairs += 1;
+        }
+    }
+    total as f64 / pairs.max(1) as f64
+}
+
+fn main() {
+    println!("# C2a: diameter and mean logical distance vs dimension");
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>12}",
+        "dim", "diam", "mean", "diam+grid", "mean+grid"
+    );
+    for dim in 3u8..=6 {
+        let pure = IncompleteHypercube::complete(dim);
+        // Grid links exist for the deployment mapping of this dimension.
+        let rows = 1u16 << dim.div_ceil(2);
+        let cols = 1u16 << (dim / 2);
+        let cfg = HvdbConfig::new(Aabb::from_size(1600.0, 1600.0), rows, cols, dim);
+        let with_grid =
+            build_region_cube(&cfg, Hid::new(0, 0), (0..1u32 << dim).map(Hnid));
+        println!(
+            "{:<6} {:>10} {:>10.3} {:>12} {:>12.3}",
+            dim,
+            diameter(&pure).unwrap(),
+            mean_distance(&pure),
+            diameter(&with_grid).unwrap(),
+            mean_distance(&with_grid),
+        );
+    }
+
+    println!("\n# C2b: incomplete 4-cubes (with grid links) vs occupancy, 30 trials");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "occupancy", "connected", "diam(mean)", "dist(mean)"
+    );
+    let cfg = HvdbConfig::fig2(Aabb::from_size(800.0, 800.0));
+    let mut rng = SimRng::new(17);
+    for occupancy in [0.4, 0.6, 0.8, 1.0] {
+        let mut connected = 0usize;
+        let mut diam_sum = 0u64;
+        let mut dist_sum = 0.0;
+        let mut samples = 0usize;
+        for _ in 0..30 {
+            let present: Vec<Hnid> = (0..16u32)
+                .filter(|_| rng.chance(occupancy))
+                .map(Hnid)
+                .collect();
+            if present.len() < 2 {
+                continue;
+            }
+            let cube = build_region_cube(&cfg, Hid::new(0, 0), present);
+            if cube.is_connected() {
+                connected += 1;
+                diam_sum += diameter(&cube).unwrap() as u64;
+                dist_sum += mean_distance(&cube);
+                samples += 1;
+            }
+        }
+        println!(
+            "{:<10} {:>10.2} {:>12.2} {:>12.3}",
+            occupancy,
+            connected as f64 / 30.0,
+            diam_sum as f64 / samples.max(1) as f64,
+            dist_sum / samples.max(1) as f64,
+        );
+    }
+
+    println!("\n# C2c: horizon coverage — fraction of cube reachable within k hops");
+    println!("{:<6} {:>8} {:>8} {:>8} {:>8}", "dim", "k=1", "k=2", "k=3", "k=4");
+    for dim in 3u8..=6 {
+        let rows = 1u16 << dim.div_ceil(2);
+        let cols = 1u16 << (dim / 2);
+        let cfg = HvdbConfig::new(Aabb::from_size(1600.0, 1600.0), rows, cols, dim);
+        let cube = build_region_cube(&cfg, Hid::new(0, 0), (0..1u32 << dim).map(Hnid));
+        let total = (1usize << dim) - 1;
+        let mut row = format!("{dim:<6}");
+        for k in 1u32..=4 {
+            let covered = local_routes(&cube, 0, k).len();
+            row.push_str(&format!(" {:>8.2}", covered as f64 / total as f64));
+        }
+        println!("{row}");
+    }
+    println!("\n(k = 4 covers the whole cube for every dimension the paper");
+    println!(" considers — the §4.3 assumption 'k is sufficiently large'.)");
+}

@@ -1,0 +1,91 @@
+//! Experiment C3 (paper §5 claim): load balancing — "no single node is more
+//! loaded than any other nodes, and no problem of bottlenecks exists, which
+//! is likely to occur in tree-based architectures".
+//!
+//! Compares the distribution of per-node transmitted bytes (Jain fairness,
+//! peak-to-mean, Gini) between HVDB and the shared-tree baseline (plus
+//! flooding as the perfectly-uniform reference) under heavy multicast
+//! traffic, and tabulates the hottest nodes.
+
+use hvdb_baselines::SharedTreeProtocol;
+use hvdb_bench::{metrics_of, Workload};
+use hvdb_core::HvdbProtocol;
+use hvdb_sim::{gini, jain_fairness, max_mean_ratio, Simulator};
+
+fn main() {
+    let w = Workload {
+        packets_per_group: 40, // heavy traffic to expose hot spots
+        groups: 2,
+        members_per_group: 15,
+        seed: 71,
+        ..Default::default()
+    };
+    let scenario = w.build();
+
+    println!("# C3: per-node transmitted-bytes distribution under heavy multicast");
+    println!(
+        "{:<12} {:>8} {:>10} {:>8} {:>14} {:>14}",
+        "protocol", "jain", "max/mean", "gini", "hottest-bytes", "median-bytes"
+    );
+
+    let stats_row = |name: &str, tx: &[u64]| {
+        let mut sorted: Vec<u64> = tx.to_vec();
+        sorted.sort_unstable();
+        let hottest = *sorted.last().unwrap_or(&0);
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{:<12} {:>8.3} {:>10.2} {:>8.3} {:>14} {:>14}",
+            name,
+            jain_fairness(tx),
+            max_mean_ratio(tx),
+            gini(tx),
+            hottest,
+            median
+        );
+    };
+
+    // HVDB.
+    let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+    let mut hvdb = HvdbProtocol::new(
+        scenario.hvdb.clone(),
+        &scenario.members,
+        scenario.traffic.clone(),
+        vec![],
+    );
+    sim.run(&mut hvdb, scenario.until);
+    let hvdb_delivery = metrics_of(sim.stats()).delivery;
+    stats_row("hvdb", &sim.stats().node_tx_bytes);
+    // Data-plane-only view for HVDB's CHs (the backbone the claim is about).
+    let heads = hvdb.cluster_heads();
+    let head_tx: Vec<u64> = heads
+        .iter()
+        .map(|h| sim.stats().node_tx_bytes[h.idx()])
+        .collect();
+    stats_row("hvdb-CHs", &head_tx);
+
+    // Shared tree.
+    let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+    let mut tree = SharedTreeProtocol::new(
+        &scenario.members,
+        scenario.traffic.clone(),
+        vec![],
+    );
+    sim.run(&mut tree, scenario.until);
+    let tree_delivery = metrics_of(sim.stats()).delivery;
+    stats_row("shared-tree", &sim.stats().node_tx_bytes);
+    let core = tree.core().expect("core elected");
+    let core_bytes = sim.stats().node_tx_bytes[core.idx()];
+    let mean =
+        sim.stats().node_tx_bytes.iter().sum::<u64>() as f64 / scenario.sim.num_nodes as f64;
+    println!(
+        "{:<12} core node carries {core_bytes} bytes = {:.1}x the network mean",
+        "", core_bytes as f64 / mean
+    );
+
+    println!(
+        "\ndelivery for context: hvdb {:.3}, shared-tree {:.3}",
+        hvdb_delivery, tree_delivery
+    );
+    println!("\n(The claim holds if hvdb's CH-plane max/mean and Gini are well below");
+    println!(" the shared tree's, whose core is the designed-in bottleneck.)");
+}

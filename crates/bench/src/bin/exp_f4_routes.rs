@@ -1,0 +1,100 @@
+//! Experiment F4 (paper Fig. 4): proactive local logical route maintenance.
+//!
+//! Runs the distributed protocol and measures (a) how completely CH route
+//! tables fill for each horizon k, (b) the beacon overhead k costs, and
+//! (c) how quickly tables recover when CHs fail — the maintenance loop the
+//! algorithm box promises.
+
+use hvdb_core::{HvdbConfig, HvdbMsg, HvdbProtocol};
+use hvdb_geo::{Aabb, Point, Vec2};
+use hvdb_sim::{
+    NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary,
+};
+
+/// One node pinned near every VC centre of an 8x8 grid.
+fn build_sim(seed: u64) -> (Simulator<HvdbMsg>, HvdbConfig) {
+    let area = Aabb::from_size(1600.0, 1600.0);
+    let cfg = HvdbConfig::new(area, 8, 8, 4);
+    let sim_cfg = SimConfig {
+        area,
+        num_nodes: 64,
+        radio: RadioConfig {
+            range: 500.0,
+            ..Default::default()
+        },
+        mobility_tick: SimDuration::ZERO,
+        enhanced_fraction: 1.0,
+        seed,
+    };
+    let mut sim: Simulator<HvdbMsg> = Simulator::new(sim_cfg, Box::new(Stationary));
+    let ids: Vec<_> = cfg.grid.iter_ids().collect();
+    for (i, vc) in ids.iter().enumerate() {
+        let c = cfg.grid.vcc(*vc);
+        sim.world_mut().set_motion(
+            NodeId(i as u32),
+            Point::new(c.x + (i % 5) as f64, c.y),
+            Vec2::ZERO,
+        );
+    }
+    sim.world_mut().rebuild_index();
+    (sim, cfg)
+}
+
+fn main() {
+    println!("# F4a: route-table completeness and beacon cost vs horizon k");
+    println!(
+        "{:<4} {:>12} {:>14} {:>14} {:>12}",
+        "k", "avg-dests", "beacon-msgs", "beacon-bytes", "per-CH/s"
+    );
+    for k in 1u32..=6 {
+        let (mut sim, mut cfg) = build_sim(10 + k as u64);
+        cfg.k = k;
+        let mut proto = HvdbProtocol::new(cfg, &[], vec![], vec![]);
+        sim.run(&mut proto, SimTime::from_secs(60));
+        let heads = proto.cluster_heads();
+        let dests: usize = heads
+            .iter()
+            .filter_map(|h| proto.route_table(*h))
+            .map(|t| t.destination_count())
+            .sum();
+        let avg = dests as f64 / heads.len().max(1) as f64;
+        let msgs = sim.stats().msgs("beacon");
+        let bytes = sim.stats().bytes("beacon");
+        println!(
+            "{:<4} {:>12.2} {:>14} {:>14} {:>12.2}",
+            k,
+            avg,
+            msgs,
+            bytes,
+            msgs as f64 / heads.len().max(1) as f64 / 60.0
+        );
+    }
+
+    println!("\n# F4b: recovery after CH failures (k = 4)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "failed", "expired", "failovers", "avg-dests"
+    );
+    for failures in [0usize, 4, 8, 16] {
+        let (mut sim, cfg) = build_sim(99);
+        let mut proto = HvdbProtocol::new(cfg, &[], vec![], vec![]);
+        // Let the backbone converge, then fail CHs, then let it recover.
+        for f in 0..failures {
+            sim.schedule_fail(NodeId((f * 4) as u32), SimTime::from_secs(60));
+        }
+        sim.run(&mut proto, SimTime::from_secs(120));
+        let heads = proto.cluster_heads();
+        let dests: usize = heads
+            .iter()
+            .filter_map(|h| proto.route_table(*h))
+            .map(|t| t.destination_count())
+            .sum();
+        println!(
+            "{:<10} {:>12} {:>12} {:>12.2}",
+            failures,
+            proto.counters.neighbors_expired,
+            proto.counters.route_failovers,
+            dests as f64 / heads.len().max(1) as f64
+        );
+    }
+}

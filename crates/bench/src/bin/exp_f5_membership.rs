@@ -1,0 +1,95 @@
+//! Experiment F5 (paper Fig. 5): summary-based membership update overhead.
+//!
+//! Measures *membership-maintenance* control traffic (no data sent) for
+//! HVDB vs the membership-bearing baselines (SPBM-style, DSM-style) while
+//! sweeping network size, group count, and members per group. The paper's
+//! claim: HVDB's summaries touch only CHs (and aggregate per hypercube),
+//! while SPBM involves every node and DSM floods per node.
+
+use hvdb_bench::{run_seeds, Proto, Workload};
+use hvdb_sim::SimDuration;
+
+fn membership_workload() -> Workload {
+    Workload {
+        packets_per_group: 0, // membership machinery only
+        warmup: SimDuration::from_secs(100),
+        traffic_window: SimDuration::from_secs(1),
+        cooldown: SimDuration::from_secs(1),
+        ..Default::default()
+    }
+}
+
+const PROTOS: [Proto; 3] = [Proto::Hvdb, Proto::Spbm, Proto::Dsm];
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+fn main() {
+    println!("# F5a: membership overhead vs network size (2 groups x 10 members, 100 s)");
+    println!(
+        "{:<8} {:<12} {:>12} {:>14} {:>16}",
+        "nodes", "protocol", "ctrl-msgs", "ctrl-bytes", "bytes/node/s"
+    );
+    for nodes in [100usize, 200, 400] {
+        let w = Workload {
+            nodes,
+            side: (nodes as f64 * 8000.0).sqrt(), // constant density
+            ..membership_workload()
+        };
+        for proto in PROTOS {
+            let m = run_seeds(proto, &w, &SEEDS);
+            println!(
+                "{:<8} {:<12} {:>12} {:>14} {:>16.1}",
+                nodes,
+                proto.name(),
+                m.control_msgs,
+                m.control_bytes,
+                m.control_bytes as f64 / nodes as f64 / 100.0
+            );
+        }
+    }
+
+    println!("\n# F5b: membership overhead vs number of groups (300 nodes, 10 members each)");
+    println!(
+        "{:<8} {:<12} {:>12} {:>14}",
+        "groups", "protocol", "ctrl-msgs", "ctrl-bytes"
+    );
+    for groups in [1usize, 4, 8, 16] {
+        let w = Workload {
+            groups,
+            ..membership_workload()
+        };
+        for proto in PROTOS {
+            let m = run_seeds(proto, &w, &SEEDS);
+            println!(
+                "{:<8} {:<12} {:>12} {:>14}",
+                groups,
+                proto.name(),
+                m.control_msgs,
+                m.control_bytes
+            );
+        }
+    }
+
+    println!("\n# F5c: membership overhead vs members per group (300 nodes, 2 groups)");
+    println!(
+        "{:<8} {:<12} {:>12} {:>14}",
+        "members", "protocol", "ctrl-msgs", "ctrl-bytes"
+    );
+    for members in [5usize, 20, 60, 120] {
+        let w = Workload {
+            members_per_group: members,
+            ..membership_workload()
+        };
+        for proto in PROTOS {
+            let m = run_seeds(proto, &w, &SEEDS);
+            println!(
+                "{:<8} {:<12} {:>12} {:>14}",
+                members,
+                proto.name(),
+                m.control_msgs,
+                m.control_bytes
+            );
+        }
+    }
+    println!("\n(HVDB's curve should stay near-flat in members per group — MT state");
+    println!(" scales with groups x hypercubes, not members; SPBM/DSM grow.)");
+}

@@ -1,0 +1,52 @@
+//! Experiment F6 (paper Fig. 6): logical location-based multicast routing,
+//! end to end.
+//!
+//! All five protocols run the identical scenario; we report delivery ratio,
+//! latency, control and data costs. Swept across network size and mobility
+//! speed — the operating envelope the algorithm must survive.
+
+use hvdb_bench::{print_header, print_row, run_seeds, MobilityKind, Proto, Workload};
+
+const SEEDS: [u64; 3] = [11, 12, 13];
+
+fn main() {
+    println!("# F6a: all protocols, default static scenario (300 nodes, 2 groups x 10)");
+    print_header("scenario");
+    let w = Workload::default();
+    for proto in Proto::ALL {
+        let m = run_seeds(proto, &w, &SEEDS);
+        print_row("default", proto, &m);
+    }
+
+    println!("\n# F6b: delivery and cost vs network size (constant density)");
+    print_header("nodes");
+    for nodes in [150usize, 300, 600] {
+        let w = Workload {
+            nodes,
+            side: (nodes as f64 * 8533.0).sqrt(),
+            ..Default::default()
+        };
+        for proto in Proto::ALL {
+            let m = run_seeds(proto, &w, &SEEDS);
+            print_row(&nodes.to_string(), proto, &m);
+        }
+    }
+
+    println!("\n# F6c: delivery vs mobility (HVDB, flooding, SPBM)");
+    print_header("speed-m/s");
+    for (name, mobility) in [
+        ("static", MobilityKind::Static),
+        ("0.5-2", MobilityKind::Waypoint(0.5, 2.0)),
+        ("2-8", MobilityKind::Waypoint(2.0, 8.0)),
+        ("8-15", MobilityKind::Waypoint(8.0, 15.0)),
+    ] {
+        let w = Workload {
+            mobility,
+            ..Default::default()
+        };
+        for proto in [Proto::Hvdb, Proto::Flooding, Proto::Spbm] {
+            let m = run_seeds(proto, &w, &SEEDS);
+            print_row(name, proto, &m);
+        }
+    }
+}

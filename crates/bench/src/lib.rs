@@ -1,0 +1,16 @@
+//! # hvdb-bench — experiment harness for the HVDB reproduction
+//!
+//! Regenerates every figure of the paper and quantifies every claim of its
+//! conclusions (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results). [`workload`] builds scenarios
+//! shared byte-for-byte across protocols; [`runner`] executes them under
+//! HVDB and the four baselines, parallelising seed sweeps with rayon while
+//! each individual simulation stays deterministic.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod workload;
+
+pub use runner::{average, print_header, print_row, run_one, run_seeds, Proto};
+pub use workload::{is_data_class, metrics_of, MobilityKind, RunMetrics, Scenario, Workload};

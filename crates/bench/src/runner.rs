@@ -1,0 +1,166 @@
+//! Protocol runners: execute one scenario under each protocol and collect
+//! uniform metrics. Sweeps parallelise across (scenario, seed) with rayon —
+//! each simulation stays single-threaded and deterministic.
+
+use crate::workload::{metrics_of, RunMetrics, Scenario, Workload};
+use hvdb_baselines::{DsmProtocol, FloodingProtocol, SharedTreeProtocol, SpbmProtocol};
+use hvdb_core::HvdbProtocol;
+use hvdb_sim::Simulator;
+use rayon::prelude::*;
+
+/// The protocols under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// The paper's contribution.
+    Hvdb,
+    /// Network-wide flooding.
+    Flooding,
+    /// Core-rooted shared tree.
+    SharedTree,
+    /// DSM-style global snapshots.
+    Dsm,
+    /// SPBM-style quad-tree aggregation.
+    Spbm,
+}
+
+impl Proto {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Proto::Hvdb => "hvdb",
+            Proto::Flooding => "flooding",
+            Proto::SharedTree => "shared-tree",
+            Proto::Dsm => "dsm",
+            Proto::Spbm => "spbm",
+        }
+    }
+
+    /// All protocols.
+    pub const ALL: [Proto; 5] = [
+        Proto::Hvdb,
+        Proto::Flooding,
+        Proto::SharedTree,
+        Proto::Dsm,
+        Proto::Spbm,
+    ];
+}
+
+/// Runs one scenario under one protocol and returns the metrics.
+pub fn run_one(proto: Proto, scenario: &Scenario) -> RunMetrics {
+    match proto {
+        Proto::Hvdb => {
+            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut p = HvdbProtocol::new(
+                scenario.hvdb.clone(),
+                &scenario.members,
+                scenario.traffic.clone(),
+                scenario.group_events.clone(),
+            );
+            sim.run(&mut p, scenario.until);
+            metrics_of(sim.stats())
+        }
+        Proto::Flooding => {
+            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut p = FloodingProtocol::new(
+                &scenario.members,
+                scenario.traffic.clone(),
+                scenario.group_events.clone(),
+            );
+            sim.run(&mut p, scenario.until);
+            metrics_of(sim.stats())
+        }
+        Proto::SharedTree => {
+            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut p = SharedTreeProtocol::new(
+                &scenario.members,
+                scenario.traffic.clone(),
+                scenario.group_events.clone(),
+            );
+            sim.run(&mut p, scenario.until);
+            metrics_of(sim.stats())
+        }
+        Proto::Dsm => {
+            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut p = DsmProtocol::new(
+                &scenario.members,
+                scenario.traffic.clone(),
+                scenario.group_events.clone(),
+            );
+            sim.run(&mut p, scenario.until);
+            metrics_of(sim.stats())
+        }
+        Proto::Spbm => {
+            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut p = SpbmProtocol::new(
+                &scenario.members,
+                scenario.traffic.clone(),
+                scenario.group_events.clone(),
+            );
+            sim.run(&mut p, scenario.until);
+            metrics_of(sim.stats())
+        }
+    }
+}
+
+impl Scenario {
+    /// Builds the mobility model for a run (each run needs its own boxed
+    /// instance).
+    pub fn hvdb_mobility(&self) -> Box<dyn hvdb_sim::Mobility> {
+        self.mobility_kind.build()
+    }
+}
+
+/// Averages metrics over `seeds` independent runs of `workload` under
+/// `proto`, in parallel.
+pub fn run_seeds(proto: Proto, workload: &Workload, seeds: &[u64]) -> RunMetrics {
+    let results: Vec<RunMetrics> = seeds
+        .par_iter()
+        .map(|seed| {
+            let w = Workload {
+                seed: *seed,
+                ..workload.clone()
+            };
+            run_one(proto, &w.build())
+        })
+        .collect();
+    average(&results)
+}
+
+/// Component-wise mean of run metrics.
+pub fn average(runs: &[RunMetrics]) -> RunMetrics {
+    let n = runs.len().max(1) as f64;
+    RunMetrics {
+        delivery: runs.iter().map(|r| r.delivery).sum::<f64>() / n,
+        latency: runs.iter().map(|r| r.latency).sum::<f64>() / n,
+        control_msgs: (runs.iter().map(|r| r.control_msgs).sum::<u64>() as f64 / n) as u64,
+        control_bytes: (runs.iter().map(|r| r.control_bytes).sum::<u64>() as f64 / n) as u64,
+        data_msgs: (runs.iter().map(|r| r.data_msgs).sum::<u64>() as f64 / n) as u64,
+        data_bytes: (runs.iter().map(|r| r.data_bytes).sum::<u64>() as f64 / n) as u64,
+        jain: runs.iter().map(|r| r.jain).sum::<f64>() / n,
+        max_mean: runs.iter().map(|r| r.max_mean).sum::<f64>() / n,
+        gini: runs.iter().map(|r| r.gini).sum::<f64>() / n,
+    }
+}
+
+/// Prints a uniform table header for comparison experiments.
+pub fn print_header(first_col: &str) {
+    println!(
+        "{first_col:<14} {:<12} {:>9} {:>11} {:>13} {:>10} {:>8} {:>9} {:>7}",
+        "protocol", "delivery", "lat-ms", "ctrl-msgs", "ctrl-bytes", "data-msgs", "jain", "max/mean"
+    );
+}
+
+/// Prints one comparison row.
+pub fn print_row(first: &str, proto: Proto, m: &RunMetrics) {
+    println!(
+        "{first:<14} {:<12} {:>9.3} {:>11.1} {:>13} {:>10} {:>8} {:>9.3} {:>7.1}",
+        proto.name(),
+        m.delivery,
+        m.latency * 1e3,
+        m.control_msgs,
+        m.control_bytes,
+        m.data_msgs,
+        m.jain,
+        m.max_mean,
+    );
+}

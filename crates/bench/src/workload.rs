@@ -1,0 +1,288 @@
+//! Scenario generation for the experiments.
+//!
+//! Every experiment builds its scenario through [`Workload`], so HVDB and
+//! every baseline see byte-identical inputs (same node placement seed, same
+//! membership, same traffic schedule).
+
+use hvdb_core::{GroupEvent, GroupId, HvdbConfig, TrafficItem};
+use hvdb_geo::Aabb;
+use hvdb_sim::{
+    Mobility, NodeId, RadioConfig, RandomWaypoint, SimConfig, SimDuration, SimRng, SimTime,
+    Stationary,
+};
+use serde::{Deserialize, Serialize};
+
+/// Mobility regimes used across experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MobilityKind {
+    /// No movement (membership/overhead experiments).
+    Static,
+    /// Random waypoint with the given (min, max) speed in m/s.
+    Waypoint(f64, f64),
+}
+
+impl MobilityKind {
+    /// Instantiates the mobility model.
+    pub fn build(&self) -> Box<dyn Mobility> {
+        match self {
+            MobilityKind::Static => Box::new(Stationary),
+            MobilityKind::Waypoint(lo, hi) => Box::new(RandomWaypoint::new(*lo, *hi, 10.0)),
+        }
+    }
+}
+
+/// A complete scenario description.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Deployment area side (square), metres.
+    pub side: f64,
+    /// Node count.
+    pub nodes: usize,
+    /// VC grid side (rows = cols).
+    pub vc_side: u16,
+    /// Hypercube dimension.
+    pub dim: u8,
+    /// Radio range (metres).
+    pub range: f64,
+    /// Mobility regime.
+    pub mobility: MobilityKind,
+    /// Number of multicast groups.
+    pub groups: usize,
+    /// Members per group.
+    pub members_per_group: usize,
+    /// Data packets per group.
+    pub packets_per_group: usize,
+    /// Payload bytes per packet.
+    pub payload: usize,
+    /// Warm-up before traffic starts (backbone + membership convergence).
+    pub warmup: SimDuration,
+    /// Traffic window length.
+    pub traffic_window: SimDuration,
+    /// Cool-down after the last send.
+    pub cooldown: SimDuration,
+    /// Fraction of nodes with CH-class hardware.
+    pub enhanced_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            side: 1600.0,
+            nodes: 300,
+            vc_side: 8,
+            dim: 4,
+            range: 450.0,
+            mobility: MobilityKind::Static,
+            groups: 2,
+            members_per_group: 10,
+            packets_per_group: 10,
+            payload: 512,
+            warmup: SimDuration::from_secs(120),
+            traffic_window: SimDuration::from_secs(40),
+            cooldown: SimDuration::from_secs(40),
+            enhanced_fraction: 0.8,
+            seed: 1,
+        }
+    }
+}
+
+/// The materialised scenario inputs shared by all protocols.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Simulator configuration.
+    pub sim: SimConfig,
+    /// HVDB configuration (derived system parameters).
+    pub hvdb: HvdbConfig,
+    /// Initial group membership.
+    pub members: Vec<(NodeId, GroupId)>,
+    /// Scripted traffic.
+    pub traffic: Vec<TrafficItem>,
+    /// Scripted membership changes (empty unless an experiment adds some).
+    pub group_events: Vec<GroupEvent>,
+    /// Simulation end time.
+    pub until: SimTime,
+    /// The mobility regime (each run builds its own model instance).
+    pub mobility_kind: MobilityKind,
+}
+
+impl Workload {
+    /// Materialises the scenario: deterministic membership and traffic from
+    /// the seed.
+    pub fn build(&self) -> Scenario {
+        let area = Aabb::from_size(self.side, self.side);
+        let sim = SimConfig {
+            area,
+            num_nodes: self.nodes,
+            radio: RadioConfig {
+                range: self.range,
+                ..Default::default()
+            },
+            mobility_tick: match self.mobility {
+                MobilityKind::Static => SimDuration::ZERO,
+                _ => SimDuration::from_secs(1),
+            },
+            enhanced_fraction: self.enhanced_fraction,
+            seed: self.seed,
+        };
+        let hvdb = HvdbConfig::new(area, self.vc_side, self.vc_side, self.dim);
+        // Deterministic membership and traffic from a scenario-level RNG
+        // (independent of the simulator's internal streams).
+        let mut rng = SimRng::new(self.seed ^ 0x5EED_CAFE);
+        let mut members = Vec::new();
+        for g in 0..self.groups {
+            let gid = GroupId(g as u32 + 1);
+            let chosen = rng.sample_indices(self.nodes, self.members_per_group.min(self.nodes));
+            for m in chosen {
+                members.push((NodeId(m as u32), gid));
+            }
+        }
+        let mut traffic = Vec::new();
+        let window = self.traffic_window.0.max(1);
+        for g in 0..self.groups {
+            let gid = GroupId(g as u32 + 1);
+            for _ in 0..self.packets_per_group {
+                let src = NodeId(rng.index(self.nodes) as u32);
+                let at = SimTime(self.warmup.0 + rng.range_u64(0, window));
+                traffic.push(TrafficItem {
+                    at,
+                    src,
+                    group: gid,
+                    size: self.payload,
+                });
+            }
+        }
+        traffic.sort_by_key(|t| (t.at, t.src));
+        let until = SimTime(self.warmup.0 + self.traffic_window.0 + self.cooldown.0);
+        Scenario {
+            sim,
+            hvdb,
+            members,
+            traffic,
+            group_events: Vec::new(),
+            until,
+            mobility_kind: self.mobility,
+        }
+    }
+}
+
+/// One protocol run's headline measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Delivery ratio over expected receivers.
+    pub delivery: f64,
+    /// Mean end-to-end latency (seconds), 0 when nothing delivered.
+    pub latency: f64,
+    /// Total control messages (everything that is not payload-carrying).
+    pub control_msgs: u64,
+    /// Total control bytes.
+    pub control_bytes: u64,
+    /// Total data-plane messages.
+    pub data_msgs: u64,
+    /// Total data-plane bytes.
+    pub data_bytes: u64,
+    /// Jain fairness of per-node transmitted bytes.
+    pub jain: f64,
+    /// Peak-to-mean per-node transmitted bytes.
+    pub max_mean: f64,
+    /// Gini coefficient of per-node transmitted bytes.
+    pub gini: f64,
+}
+
+/// Classifies message classes into control vs data planes (shared across
+/// protocols so comparisons are apples-to-apples).
+pub fn is_data_class(class: &str) -> bool {
+    matches!(
+        class,
+        "mesh-data"
+            | "hc-data"
+            | "local-deliver"
+            | "data-to-ch"
+            | "flood-data"
+            | "tree-data-up"
+            | "tree-data-down"
+            | "dsm-data"
+            | "spbm-data"
+            | "spbm-deliver"
+    )
+}
+
+/// Extracts [`RunMetrics`] from a finished simulation.
+pub fn metrics_of(stats: &hvdb_sim::Stats) -> RunMetrics {
+    RunMetrics {
+        delivery: stats.delivery_ratio(),
+        latency: stats.mean_latency().unwrap_or(0.0),
+        control_msgs: stats.msgs_where(|c| !is_data_class(c)),
+        control_bytes: stats.bytes_where(|c| !is_data_class(c)),
+        data_msgs: stats.msgs_where(is_data_class),
+        data_bytes: stats.bytes_where(is_data_class),
+        jain: hvdb_sim::jain_fairness(&stats.node_tx_bytes),
+        max_mean: hvdb_sim::max_mean_ratio(&stats.node_tx_bytes),
+        gini: hvdb_sim::gini(&stats.node_tx_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let w = Workload::default();
+        let a = w.build();
+        let b = w.build();
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.until, b.until);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Workload::default().build();
+        let b = Workload {
+            seed: 2,
+            ..Default::default()
+        }
+        .build();
+        assert_ne!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn member_counts_match_request() {
+        let w = Workload {
+            groups: 3,
+            members_per_group: 7,
+            ..Default::default()
+        };
+        let s = w.build();
+        assert_eq!(s.members.len(), 21);
+        for g in 1..=3u32 {
+            assert_eq!(
+                s.members.iter().filter(|(_, gid)| gid.0 == g).count(),
+                7
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_within_window() {
+        let w = Workload::default();
+        let s = w.build();
+        assert_eq!(s.traffic.len(), w.groups * w.packets_per_group);
+        for t in &s.traffic {
+            assert!(t.at >= SimTime(w.warmup.0));
+            assert!(t.at < SimTime(w.warmup.0 + w.traffic_window.0));
+        }
+    }
+
+    #[test]
+    fn data_class_partition() {
+        assert!(is_data_class("mesh-data"));
+        assert!(is_data_class("flood-data"));
+        assert!(!is_data_class("beacon"));
+        assert!(!is_data_class("mnt-share"));
+        assert!(!is_data_class("spbm-l0"));
+        assert!(!is_data_class("dsm-location"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # hvdb-core — the logical Hypercube-based Virtual Dynamic Backbone
+//!
+//! Reproduction of the primary contribution of *"A Novel QoS Multicast
+//! Model in Mobile Ad Hoc Networks"* (Wang, Cao, Zhang, Chan, Wu —
+//! IPDPS 2005): the HVDB three-tier model and its three algorithms.
+//!
+//! * [`model`] — system parameters (§4.1) and snapshot backbone
+//!   construction (§3): clustering tier, incomplete hypercubes with the
+//!   Fig. 3 grid links, occupied mesh nodes;
+//! * [`routes`] — proactive local logical route maintenance (Fig. 4):
+//!   QoS-annotated bounded distance-vector tables with disjoint
+//!   alternatives;
+//! * [`summary`] / [`membership`] — summary-based membership update
+//!   (Fig. 5): Local-Membership → MNT-Summary → HT-Summary → MT-Summary,
+//!   plus the two designated-broadcaster criteria of §4.2;
+//! * [`tree`] — mesh-tier multicast trees with header encapsulation;
+//! * [`qos`] — QoS sessions with pre-computed disjoint backups (§5's
+//!   instant-failover availability mechanism);
+//! * [`packet`] — over-the-air message formats and wire sizes;
+//! * [`protocol`] — the full distributed protocol
+//!   ([`protocol::HvdbProtocol`]) over the `hvdb-sim` event engine,
+//!   implementing logical location-based multicast routing (Fig. 6).
+
+#![warn(missing_docs)]
+
+pub mod membership;
+pub mod model;
+pub mod packet;
+pub mod protocol;
+pub mod qos;
+pub mod routes;
+pub mod summary;
+pub mod tree;
+
+pub use membership::MembershipDb;
+pub use model::{
+    build_model, build_region_cube, region_center, BackboneStats, DesignationCriterion,
+    GroupEvent, HvdbConfig, HvdbModel, TrafficItem,
+};
+pub use packet::{ChMsg, GeoPacket, GeoTarget, HvdbMsg};
+pub use protocol::{Counters, HvdbProtocol};
+pub use qos::{QosSession, RepairOutcome, SessionManager};
+pub use routes::{AdvertisedRoute, QosMetrics, QosRequirement, RouteEntry, RouteTable};
+pub use summary::{GroupId, HtSummary, LocalMembership, MntSummary, MtSummary};
+pub use tree::{mesh_path, MeshTree};

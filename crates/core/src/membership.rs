@@ -1,0 +1,306 @@
+//! A cluster head's membership database and the designated-broadcaster
+//! decision (paper §4.2).
+//!
+//! Each CH stores (a) the Local-Membership reports of its cluster members,
+//! (b) the MNT-Summaries received from the CHs of its hypercube, and (c)
+//! the HT-Summaries broadcast network-wide, from which it derives its
+//! MT-Summary. Because "each CH in a logical hypercube has the same
+//! HT-Summary information", any one CH can broadcast it; §4.2 proposes two
+//! self-designation criteria so that "only one CH satisfying the same
+//! criterion" does — without any coordination traffic.
+
+use crate::model::DesignationCriterion;
+use crate::summary::{GroupId, HtSummary, LocalMembership, MntSummary, MtSummary};
+use hvdb_geo::{Hid, Hnid, VcId};
+use hvdb_hypercube::IncompleteHypercube;
+use hvdb_sim::{SimDuration, SimTime};
+use rustc_hash::FxHashMap;
+
+/// Per-CH membership state across the three tiers.
+#[derive(Debug, Clone, Default)]
+pub struct MembershipDb {
+    /// Local-Membership reports from this CH's cluster members, with the
+    /// time each was last refreshed (members that moved away silently are
+    /// pruned by [`MembershipDb::prune_locals`]).
+    pub locals: FxHashMap<u32, (SimTime, LocalMembership)>,
+    /// MNT-Summaries of the CHs in this CH's hypercube (own included),
+    /// keyed by hypercube node label.
+    pub mnt_of: FxHashMap<Hnid, MntSummary>,
+    /// Latest HT-Summary per hypercube (network-wide view).
+    pub ht_of: FxHashMap<Hid, HtSummary>,
+    /// The derived mesh-tier summary.
+    pub mt: MtSummary,
+}
+
+impl MembershipDb {
+    /// Stores/updates a member's Local-Membership report (Fig. 5 step 2).
+    pub fn store_local(&mut self, node: u32, lm: LocalMembership, now: SimTime) {
+        if lm.groups.is_empty() {
+            self.locals.remove(&node);
+        } else {
+            self.locals.insert(node, (now, lm));
+        }
+    }
+
+    /// Drops reports not refreshed within `ttl` (members that left the
+    /// cluster without an explicit leave). Returns how many were pruned.
+    pub fn prune_locals(&mut self, now: SimTime, ttl: SimDuration) -> usize {
+        let before = self.locals.len();
+        self.locals.retain(|_, (t, _)| now.since(*t) <= ttl);
+        before - self.locals.len()
+    }
+
+    /// A member left the cluster (moved away / died): drop its report.
+    pub fn drop_local(&mut self, node: u32) {
+        self.locals.remove(&node);
+    }
+
+    /// Summarises the stored reports into this CH's MNT-Summary
+    /// (Fig. 5 step 3).
+    pub fn my_mnt(&self, vc: VcId) -> MntSummary {
+        MntSummary::from_locals(vc, self.locals.values().map(|(_, lm)| lm))
+    }
+
+    /// Stores an MNT-Summary received from (or computed by) the CH with
+    /// label `from` in this hypercube.
+    pub fn store_mnt(&mut self, from: Hnid, mnt: MntSummary) {
+        self.mnt_of.insert(from, mnt);
+    }
+
+    /// Drops the MNT-Summary of a departed CH.
+    pub fn drop_mnt(&mut self, from: Hnid) {
+        self.mnt_of.remove(&from);
+    }
+
+    /// Summarises the collected MNT-Summaries into this hypercube's
+    /// HT-Summary (Fig. 5 step 4).
+    pub fn my_ht(&self, hid: Hid) -> HtSummary {
+        HtSummary::from_mnt(hid, self.mnt_of.iter().map(|(l, m)| (*l, m)))
+    }
+
+    /// Integrates a received HT-Summary broadcast into the mesh-tier view
+    /// (Fig. 5 step 5). Returns whether the MT-Summary changed (tree-cache
+    /// invalidation trigger).
+    pub fn integrate_ht(&mut self, ht: HtSummary) -> bool {
+        let changed = self.mt.integrate(&ht);
+        self.ht_of.insert(ht.hid, ht);
+        changed
+    }
+
+    /// Whether this CH's own cluster has members of `g` — the final local
+    /// delivery test of Fig. 6 step 6 ("MNT-Summary shows group members
+    /// exist").
+    pub fn has_local_members(&self, g: GroupId) -> bool {
+        self.locals.values().any(|(_, lm)| lm.contains(g))
+    }
+
+    /// The member nodes of `g` in this cluster, ascending.
+    pub fn local_members(&self, g: GroupId) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .locals
+            .iter()
+            .filter(|(_, (_, lm))| lm.contains(g))
+            .map(|(n, _)| *n)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Evaluates the §4.2 self-designation decision for the CH labelled
+    /// `me`: should *this* CH broadcast the HT-Summary? `cube` supplies the
+    /// 1-logical-hop neighbourhoods criterion B needs. Deterministic: over
+    /// identical `mnt_of` state, exactly one label answers `true`.
+    pub fn should_broadcast(
+        &self,
+        me: Hnid,
+        criterion: DesignationCriterion,
+        cube: &IncompleteHypercube,
+    ) -> bool {
+        if !self.mnt_of.contains_key(&me) {
+            return false;
+        }
+        let score = |label: Hnid| -> (usize, u64, i64) {
+            match criterion {
+                DesignationCriterion::MostGroups => {
+                    let m = &self.mnt_of[&label];
+                    (m.group_count(), m.member_count() as u64, -(label.0 as i64))
+                }
+                DesignationCriterion::NeighborhoodGroups => {
+                    // Distinct groups over self + 1-logical-hop neighbours.
+                    let mut groups: Vec<GroupId> = Vec::new();
+                    let mut members = 0u64;
+                    let mut tally = |l: Hnid| {
+                        if let Some(m) = self.mnt_of.get(&l) {
+                            members += m.member_count() as u64;
+                            for g in m.counts.keys() {
+                                if !groups.contains(g) {
+                                    groups.push(*g);
+                                }
+                            }
+                        }
+                    };
+                    tally(label);
+                    for n in cube.neighbors(label.0) {
+                        tally(Hnid(n));
+                    }
+                    (groups.len(), members, -(label.0 as i64))
+                }
+            }
+        };
+        let my_score = score(me);
+        self.mnt_of.keys().all(|l| *l == me || score(*l) < my_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm(groups: &[u32]) -> LocalMembership {
+        let mut l = LocalMembership::default();
+        for g in groups {
+            l.join(GroupId(*g));
+        }
+        l
+    }
+
+    #[test]
+    fn local_report_lifecycle() {
+        let mut db = MembershipDb::default();
+        db.store_local(1, lm(&[10, 11]), SimTime::ZERO);
+        db.store_local(2, lm(&[10]), SimTime::ZERO);
+        assert!(db.has_local_members(GroupId(10)));
+        assert_eq!(db.local_members(GroupId(10)), vec![1, 2]);
+        assert_eq!(db.local_members(GroupId(11)), vec![1]);
+        // Empty report removes the entry.
+        db.store_local(1, lm(&[]), SimTime::ZERO);
+        assert_eq!(db.local_members(GroupId(11)), Vec::<u32>::new());
+        db.drop_local(2);
+        assert!(!db.has_local_members(GroupId(10)));
+    }
+
+    #[test]
+    fn mnt_reflects_current_locals() {
+        let mut db = MembershipDb::default();
+        db.store_local(1, lm(&[5]), SimTime::ZERO);
+        db.store_local(2, lm(&[5, 6]), SimTime::ZERO);
+        let mnt = db.my_mnt(VcId::new(0, 0));
+        assert_eq!(mnt.counts[&GroupId(5)], 2);
+        assert_eq!(mnt.counts[&GroupId(6)], 1);
+    }
+
+    #[test]
+    fn ht_aggregates_stored_mnts() {
+        let mut db = MembershipDb::default();
+        let mut m1 = MntSummary::default();
+        m1.counts.insert(GroupId(1), 2);
+        let mut m2 = MntSummary::default();
+        m2.counts.insert(GroupId(1), 1);
+        m2.counts.insert(GroupId(2), 1);
+        db.store_mnt(Hnid(0), m1);
+        db.store_mnt(Hnid(3), m2);
+        let ht = db.my_ht(Hid::new(0, 0));
+        assert_eq!(ht.presence[&GroupId(1)].members, 3);
+        assert_eq!(ht.nodes_with(GroupId(1)), &[Hnid(0), Hnid(3)]);
+        assert_eq!(ht.nodes_with(GroupId(2)), &[Hnid(3)]);
+        db.drop_mnt(Hnid(3));
+        let ht = db.my_ht(Hid::new(0, 0));
+        assert!(!ht.presence.contains_key(&GroupId(2)));
+    }
+
+    #[test]
+    fn integrate_ht_updates_mt_view() {
+        let mut db = MembershipDb::default();
+        let mut mnt = MntSummary::default();
+        mnt.counts.insert(GroupId(9), 1);
+        let ht = HtSummary::from_mnt(Hid::new(1, 0), [(Hnid(2), &mnt)].into_iter());
+        assert!(db.integrate_ht(ht.clone()));
+        assert_eq!(db.mt.hypercubes_with(GroupId(9)), &[Hid::new(1, 0)]);
+        assert!(!db.integrate_ht(ht)); // idempotent
+        assert!(db.ht_of.contains_key(&Hid::new(1, 0)));
+    }
+
+    fn db_with_mnts(entries: &[(u32, &[u32], u32)]) -> MembershipDb {
+        // entries: (label, groups, members_per_group)
+        let mut db = MembershipDb::default();
+        for (label, groups, members) in entries {
+            let mut m = MntSummary::default();
+            for g in *groups {
+                m.counts.insert(GroupId(*g), *members);
+            }
+            db.store_mnt(Hnid(*label), m);
+        }
+        db
+    }
+
+    #[test]
+    fn criterion_a_most_groups_unique_winner() {
+        let db = db_with_mnts(&[
+            (0b00, &[1, 2, 3], 1),
+            (0b01, &[1], 5),
+            (0b10, &[1, 2], 1),
+        ]);
+        let cube = IncompleteHypercube::complete(2);
+        let c = DesignationCriterion::MostGroups;
+        let winners: Vec<u32> = [0b00u32, 0b01, 0b10]
+            .into_iter()
+            .filter(|l| db.should_broadcast(Hnid(*l), c, &cube))
+            .collect();
+        assert_eq!(winners, vec![0b00]);
+    }
+
+    #[test]
+    fn criterion_a_ties_break_by_members_then_label() {
+        let db = db_with_mnts(&[(0b00, &[1], 2), (0b01, &[2], 2), (0b10, &[3], 5)]);
+        let cube = IncompleteHypercube::complete(2);
+        let c = DesignationCriterion::MostGroups;
+        // All have 1 group; label 0b10 has most members.
+        assert!(db.should_broadcast(Hnid(0b10), c, &cube));
+        assert!(!db.should_broadcast(Hnid(0b00), c, &cube));
+    }
+
+    #[test]
+    fn criterion_b_counts_neighborhood() {
+        // 2-cube: 00-01, 00-10, 01-11, 10-11. Groups: 00:{1}, 01:{2},
+        // 11:{3,4}. Neighbourhood group counts: 00 -> {1,2} plus 10(empty)
+        // = 2; 01 -> {2,1,3,4} = 4; 11 -> {3,4,2} = 3 (10 empty).
+        let db = db_with_mnts(&[(0b00, &[1], 1), (0b01, &[2], 1), (0b11, &[3, 4], 1)]);
+        let cube = IncompleteHypercube::complete(2);
+        let c = DesignationCriterion::NeighborhoodGroups;
+        assert!(db.should_broadcast(Hnid(0b01), c, &cube));
+        assert!(!db.should_broadcast(Hnid(0b00), c, &cube));
+        assert!(!db.should_broadcast(Hnid(0b11), c, &cube));
+    }
+
+    #[test]
+    fn exactly_one_designee_over_shared_state() {
+        // Determinism audit: for any mnt_of state, exactly one label says yes.
+        for crit in [
+            DesignationCriterion::MostGroups,
+            DesignationCriterion::NeighborhoodGroups,
+        ] {
+            let db = db_with_mnts(&[
+                (0, &[1], 1),
+                (1, &[1], 1),
+                (2, &[1], 1),
+                (3, &[1], 1),
+            ]);
+            let cube = IncompleteHypercube::complete(2);
+            let winners: Vec<u32> = (0..4u32)
+                .filter(|l| db.should_broadcast(Hnid(*l), crit, &cube))
+                .collect();
+            assert_eq!(winners.len(), 1, "{crit:?} winners {winners:?}");
+        }
+    }
+
+    #[test]
+    fn non_participant_never_designates() {
+        let db = db_with_mnts(&[(0, &[1], 1)]);
+        let cube = IncompleteHypercube::complete(2);
+        assert!(!db.should_broadcast(
+            Hnid(3),
+            DesignationCriterion::MostGroups,
+            &cube
+        ));
+    }
+}

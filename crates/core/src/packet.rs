@@ -1,0 +1,377 @@
+//! Over-the-air messages of the HVDB protocol, with wire-size accounting.
+//!
+//! Every message models a compact binary encoding; `wire_size` drives the
+//! control-overhead experiments (F4/F5/C4). Messages that must travel
+//! between cluster heads ride inside a [`GeoPacket`] envelope and are
+//! relayed hop-by-hop by the location-based unicast substrate
+//! (`hvdb_sim::georoute`), exactly as §4.3 prescribes ("we assume to use
+//! some location-based unicast routing algorithm").
+
+use crate::routes::{AdvertisedRoute, ADVERTISED_ROUTE_BYTES};
+use crate::summary::{wire, GroupId, HtSummary, LocalMembership, MntSummary};
+
+use hvdb_geo::{Hid, Hnid, LogicalAddress, VcId};
+use hvdb_sim::{NodeId, SimTime};
+
+/// A candidate's election score as carried in candidacy broadcasts.
+/// Ordering matches `hvdb_cluster::election`: longer (bucketed) predicted
+/// residence wins; ties go to the candidate nearest the VCC; final ties to
+/// the lowest node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandScore {
+    /// Bucketed predicted residence time (higher is better).
+    pub residence_bucket: u64,
+    /// Distance to the VCC in micrometres (lower is better).
+    pub dist_um: u64,
+    /// The candidate (lowest wins final ties).
+    pub node: u32,
+}
+
+impl CandScore {
+    /// Whether this score beats `other` under the §1 criteria.
+    pub fn beats(&self, other: &CandScore) -> bool {
+        (std::cmp::Reverse(self.residence_bucket), self.dist_um, self.node)
+            < (std::cmp::Reverse(other.residence_bucket), other.dist_um, other.node)
+    }
+}
+
+/// Messages consumed by cluster heads, carried inside [`GeoPacket`]s.
+#[derive(Debug, Clone)]
+pub enum ChMsg {
+    /// Proactive route-maintenance beacon (Fig. 4 step 1).
+    Beacon {
+        /// Sender's logical address.
+        from: LogicalAddress,
+        /// When the beacon left the sender (the receiver measures logical
+        /// link delay as `now - sent_at`).
+        sent_at: SimTime,
+        /// The sender's advertised routes (≤ k−1 hops).
+        advertised: Vec<AdvertisedRoute>,
+    },
+    /// MNT-Summary dissemination within one hypercube (Fig. 5 step 3),
+    /// flooded CH-to-CH over logical links.
+    MntShare {
+        /// Originating CH's label.
+        origin: Hnid,
+        /// The hypercube being flooded.
+        hid: Hid,
+        /// Origin-local sequence number (flood dedup).
+        seq: u64,
+        /// The summary.
+        mnt: MntSummary,
+    },
+    /// Network-wide HT-Summary broadcast by the designated CH (Fig. 5
+    /// step 4), flooded CH-to-CH over all logical links.
+    HtBroadcast {
+        /// Originating hypercube.
+        origin: Hid,
+        /// Origin-local sequence number.
+        seq: u64,
+        /// The summary.
+        ht: HtSummary,
+    },
+    /// A multicast data packet travelling the mesh-tier tree (Fig. 6
+    /// steps 3–4), entering hypercube `this`.
+    MeshData {
+        /// Data packet id.
+        data_id: u64,
+        /// Destination group.
+        group: GroupId,
+        /// Payload bytes.
+        size: usize,
+        /// The hypercube this branch is entering.
+        this: Hid,
+        /// The remaining subtree (BFS edge list rooted at `this`).
+        edges: Vec<(Hid, Hid)>,
+    },
+    /// A multicast data packet travelling a hypercube-tier tree (Fig. 6
+    /// step 5), currently on the logical leg toward `leg_dst`.
+    HcData {
+        /// Data packet id.
+        data_id: u64,
+        /// Destination group.
+        group: GroupId,
+        /// Payload bytes.
+        size: usize,
+        /// Hypercube the tree lives in.
+        hid: Hid,
+        /// The tree (BFS edge list rooted at the entry CH).
+        edges: Vec<(Hnid, Hnid)>,
+        /// The tree node this packet is currently routed toward.
+        leg_dst: Hnid,
+    },
+}
+
+impl ChMsg {
+    /// Stats class label.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ChMsg::Beacon { .. } => "beacon",
+            ChMsg::MntShare { .. } => "mnt-share",
+            ChMsg::HtBroadcast { .. } => "ht-bcast",
+            ChMsg::MeshData { .. } => "mesh-data",
+            ChMsg::HcData { .. } => "hc-data",
+        }
+    }
+
+    /// Modelled encoded size (bytes).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ChMsg::Beacon { advertised, .. } => {
+                wire::HEADER + 8 + advertised.len() * ADVERTISED_ROUTE_BYTES
+            }
+            ChMsg::MntShare { mnt, .. } => 12 + mnt.wire_size(),
+            ChMsg::HtBroadcast { ht, .. } => 12 + ht.wire_size(),
+            ChMsg::MeshData { size, edges, .. } => wire::HEADER + edges.len() * 8 + size,
+            ChMsg::HcData { size, edges, .. } => wire::HEADER + edges.len() * 4 + size,
+        }
+    }
+}
+
+/// Where a [`GeoPacket`] is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoTarget {
+    /// The cluster head of a specific VC (logical-link legs).
+    ChOfVc(VcId),
+    /// Any cluster head of a region (hypercube entry, Fig. 6 step 4).
+    AnyChInRegion(Hid),
+}
+
+/// A geographically relayed envelope. Every node participates in relaying;
+/// the node that *satisfies the target* consumes the inner message.
+#[derive(Debug, Clone)]
+pub struct GeoPacket {
+    /// Destination condition.
+    pub target: GeoTarget,
+    /// Remaining physical hops.
+    pub ttl: u32,
+    /// Recently visited relays (greedy-recovery memory).
+    pub visited: Vec<NodeId>,
+    /// The CH-level payload.
+    pub inner: ChMsg,
+}
+
+/// Envelope overhead on the wire (bytes).
+pub const GEO_HEADER_BYTES: usize = 16;
+
+impl GeoPacket {
+    /// Total modelled size: envelope plus inner message.
+    pub fn wire_size(&self) -> usize {
+        GEO_HEADER_BYTES + self.inner.wire_size()
+    }
+}
+
+/// All HVDB over-the-air messages.
+#[derive(Debug, Clone)]
+pub enum HvdbMsg {
+    /// CH candidacy broadcast (clustering round, technique of [23]).
+    Candidacy {
+        /// The VC the sender is campaigning for.
+        vc: VcId,
+        /// The sender's election score.
+        score: CandScore,
+    },
+    /// The elected CH announces itself to its cluster.
+    ChAnnounce {
+        /// The VC the sender now heads.
+        vc: VcId,
+    },
+    /// A member's periodic Local-Membership report to its CH (Fig. 5
+    /// step 2).
+    JoinReport {
+        /// The member's memberships.
+        lm: LocalMembership,
+    },
+    /// A member hands a multicast payload to its CH (Fig. 6 step 1).
+    DataToCh {
+        /// Data packet id.
+        data_id: u64,
+        /// Destination group.
+        group: GroupId,
+        /// Payload bytes.
+        size: usize,
+    },
+    /// A CH delivers a data packet to its cluster (Fig. 6 step 6) by local
+    /// broadcast.
+    LocalDeliver {
+        /// Data packet id.
+        data_id: u64,
+        /// Destination group.
+        group: GroupId,
+        /// Payload bytes.
+        size: usize,
+    },
+    /// CH handover: the resigning head ships its hypercube-tier views to
+    /// the newly elected head of the same VC ([23]-style state handover).
+    Handover {
+        /// The VC whose headship changes.
+        vc: VcId,
+        /// The outgoing head's HT-Summaries (MT view is derivable).
+        hts: Vec<HtSummary>,
+    },
+    /// A geographically relayed CH-to-CH envelope.
+    Geo(GeoPacket),
+    /// A CH-to-CH message sent as a single local broadcast: all logical
+    /// neighbour CHs of the sender are normally within radio range (VC
+    /// spacing is well below the range), so beacons and summary floods use
+    /// one transmission instead of per-neighbour unicasts. Non-CH nodes
+    /// ignore these.
+    Local(ChMsg),
+}
+
+impl HvdbMsg {
+    /// Stats class label (envelopes take their inner class so relays are
+    /// charged to the function that caused them).
+    pub fn class(&self) -> &'static str {
+        match self {
+            HvdbMsg::Candidacy { .. } => "candidacy",
+            HvdbMsg::ChAnnounce { .. } => "ch-announce",
+            HvdbMsg::JoinReport { .. } => "join-report",
+            HvdbMsg::DataToCh { .. } => "data-to-ch",
+            HvdbMsg::LocalDeliver { .. } => "local-deliver",
+            HvdbMsg::Handover { .. } => "handover",
+            HvdbMsg::Geo(p) => p.inner.class(),
+            HvdbMsg::Local(m) => m.class(),
+        }
+    }
+
+    /// Modelled encoded size (bytes).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            HvdbMsg::Candidacy { .. } => wire::HEADER + 16,
+            HvdbMsg::ChAnnounce { .. } => wire::HEADER + 4,
+            HvdbMsg::JoinReport { lm } => lm.wire_size(),
+            HvdbMsg::DataToCh { size, .. } => wire::HEADER + size,
+            HvdbMsg::LocalDeliver { size, .. } => wire::HEADER + size,
+            HvdbMsg::Handover { hts, .. } => {
+                wire::HEADER + hts.iter().map(|h| h.wire_size()).sum::<usize>()
+            }
+            HvdbMsg::Geo(p) => p.wire_size(),
+            HvdbMsg::Local(m) => m.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cand_score_ordering_matches_election_criteria() {
+        let base = CandScore {
+            residence_bucket: 5,
+            dist_um: 1_000,
+            node: 3,
+        };
+        // Higher residence beats.
+        let longer = CandScore {
+            residence_bucket: 6,
+            dist_um: 9_999,
+            node: 9,
+        };
+        assert!(longer.beats(&base));
+        assert!(!base.beats(&longer));
+        // Same residence: nearer beats.
+        let nearer = CandScore {
+            residence_bucket: 5,
+            dist_um: 500,
+            node: 9,
+        };
+        assert!(nearer.beats(&base));
+        // Full tie: lower id beats.
+        let lower_id = CandScore {
+            residence_bucket: 5,
+            dist_um: 1_000,
+            node: 1,
+        };
+        assert!(lower_id.beats(&base));
+        assert!(!base.beats(&base));
+    }
+
+    #[test]
+    fn wire_sizes_monotone_in_payload() {
+        let small = HvdbMsg::DataToCh {
+            data_id: 1,
+            group: GroupId(1),
+            size: 100,
+        };
+        let big = HvdbMsg::DataToCh {
+            data_id: 1,
+            group: GroupId(1),
+            size: 1_000,
+        };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(big.wire_size() - small.wire_size(), 900);
+    }
+
+    #[test]
+    fn beacon_size_scales_with_advertisement() {
+        use crate::routes::QosMetrics;
+        let mk = |n: usize| {
+            let adv = vec![
+                AdvertisedRoute {
+                    dst: Hnid(1),
+                    hops: 1,
+                    qos: QosMetrics::IDENTITY,
+                };
+                n
+            ];
+            ChMsg::Beacon {
+                from: LogicalAddress {
+                    hid: Hid::new(0, 0),
+                    hnid: Hnid(0),
+                },
+                sent_at: SimTime::ZERO,
+                advertised: adv,
+            }
+            .wire_size()
+        };
+        assert_eq!(mk(4) - mk(0), 4 * ADVERTISED_ROUTE_BYTES);
+    }
+
+    #[test]
+    fn geo_envelope_adds_fixed_overhead() {
+        let inner = ChMsg::MeshData {
+            data_id: 1,
+            group: GroupId(2),
+            size: 512,
+            this: Hid::new(0, 0),
+            edges: vec![],
+        };
+        let inner_size = inner.wire_size();
+        let pkt = GeoPacket {
+            target: GeoTarget::AnyChInRegion(Hid::new(0, 0)),
+            ttl: 32,
+            visited: vec![],
+            inner,
+        };
+        assert_eq!(pkt.wire_size(), GEO_HEADER_BYTES + inner_size);
+        let msg = HvdbMsg::Geo(pkt);
+        assert_eq!(msg.class(), "mesh-data");
+    }
+
+    #[test]
+    fn classes_are_stable_labels() {
+        assert_eq!(
+            HvdbMsg::Candidacy {
+                vc: VcId::new(0, 0),
+                score: CandScore {
+                    residence_bucket: 0,
+                    dist_um: 0,
+                    node: 0
+                }
+            }
+            .class(),
+            "candidacy"
+        );
+        assert_eq!(
+            HvdbMsg::LocalDeliver {
+                data_id: 0,
+                group: GroupId(0),
+                size: 0
+            }
+            .class(),
+            "local-deliver"
+        );
+    }
+}

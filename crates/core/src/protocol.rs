@@ -1,0 +1,1193 @@
+//! The distributed HVDB protocol (paper §4 end-to-end).
+//!
+//! One [`HvdbProtocol`] instance drives every node of the simulated MANET
+//! through the paper's three algorithms:
+//!
+//! 1. **Clustering rounds** (technique of [23], §3): every `cluster_interval`
+//!    each CH-capable node broadcasts its candidacy (predicted residence,
+//!    distance to VCC); candidates deterministically conclude the per-VC
+//!    winner, which announces itself; members report their Local-Membership
+//!    to their CH.
+//! 2. **Proactive local logical route maintenance** (Fig. 4): CHs beacon
+//!    their route advertisements to 1-logical-hop neighbour CHs over the
+//!    location-based unicast substrate; receivers measure logical-link
+//!    delay and update their bounded distance-vector tables.
+//! 3. **Summary-based membership update** (Fig. 5): MNT-Summaries flood
+//!    within each hypercube; the self-designated CH broadcasts the
+//!    HT-Summary network-wide (CH-level flood over logical links); every CH
+//!    folds HT-Summaries into its MT-Summary.
+//! 4. **Logical location-based multicast routing** (Fig. 6): sources hand
+//!    packets to their CH; the CH computes (and caches) a mesh-tier tree
+//!    from its MT-Summary; entry CHs compute (and cache) hypercube-tier
+//!    trees from their HT view; member CHs deliver by local broadcast.
+//!
+//! ### Modelling notes
+//! * Logical-link **delay** is measured from beacon timestamps (includes
+//!   relaying and queueing); **bandwidth** is modelled as the configured
+//!   radio bitrate (the simulator's per-node transmit queue already makes
+//!   congestion visible as delay). Documented substitution — the paper
+//!   names both metrics but defines neither's estimator.
+//! * CH failure detection is beacon-timeout based (`neighbor_ttl`).
+
+use crate::membership::MembershipDb;
+use crate::model::{
+    build_region_cube, region_center, GroupEvent, HvdbConfig, TrafficItem,
+};
+use crate::packet::{CandScore, ChMsg, GeoPacket, GeoTarget, HvdbMsg};
+use crate::qos::SessionManager;
+use crate::routes::{QosMetrics, QosRequirement, RouteTable};
+use crate::summary::{GroupId, LocalMembership};
+use crate::tree::MeshTree;
+use hvdb_geo::{Hid, Hnid, LogicalAddress, VcId};
+use hvdb_hypercube::{multicast_tree, MulticastTree};
+use hvdb_sim::georoute;
+use hvdb_sim::{Capability, Ctx, NodeId, Protocol, SimDuration, SimTime};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+// Timer tags.
+const TAG_CANDIDACY: u64 = 1;
+const TAG_DECIDE: u64 = 2;
+const TAG_REPORT: u64 = 3;
+const TAG_BEACON: u64 = 4;
+const TAG_MNT: u64 = 5;
+const TAG_HT: u64 = 6;
+const TAG_TRAFFIC_BASE: u64 = 1 << 32;
+const TAG_GROUP_BASE: u64 = 1 << 33;
+
+/// Protocol-level counters (beyond the simulator's byte/message stats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counters {
+    /// Geo packets dropped: TTL exhausted or no next hop.
+    pub geo_stuck: u64,
+    /// Data legs dropped for lack of a logical route.
+    pub no_route: u64,
+    /// Multicasts dropped because the source knew no CH.
+    pub no_ch: u64,
+    /// Mesh/hypercube trees computed.
+    pub trees_built: u64,
+    /// Tree computations avoided by the §4.3 cache.
+    pub tree_cache_hits: u64,
+    /// Logical neighbours declared failed by beacon timeout.
+    pub neighbors_expired: u64,
+    /// Destinations that failed over to an alternative route instantly.
+    pub route_failovers: u64,
+    /// HT-Summary network broadcasts originated (designation events).
+    pub ht_broadcasts: u64,
+    /// Multicasts started at a CH whose MT-Summary knew no region for the
+    /// group (delivery limited to the local hypercube).
+    pub mt_empty_at_send: u64,
+    /// Mesh-tier branches launched toward other hypercubes.
+    pub mesh_branches: u64,
+    /// DataToCh packets bounced because the receiving node had resigned.
+    pub data_bounced: u64,
+}
+
+/// A cluster head's protocol state.
+struct HeadState {
+    vc: VcId,
+    addr: LogicalAddress,
+    table: RouteTable,
+    db: MembershipDb,
+    sessions: SessionManager,
+    /// Last time each intra-region logical neighbour CH was heard.
+    neighbor_last: FxHashMap<Hnid, SimTime>,
+    mnt_seq: u64,
+    ht_seq: u64,
+    /// Flood dedup: (origin key, seq).
+    seen_floods: FxHashSet<(u64, u64)>,
+    /// Data ids already processed entering this region.
+    seen_mesh_data: FxHashSet<u64>,
+    /// Mesh-tier tree cache keyed by group, tagged with the MT version.
+    mesh_cache: FxHashMap<GroupId, (u64, MeshTree)>,
+    /// Hypercube-tier tree cache keyed by group, tagged with an MNT-state
+    /// version.
+    hc_cache: FxHashMap<GroupId, (u64, MulticastTree)>,
+    /// Bumped whenever the stored MNT set changes (hc cache invalidation).
+    mnt_version: u64,
+}
+
+impl HeadState {
+    fn new(cfg: &HvdbConfig, vc: VcId) -> Self {
+        let addr = cfg.map.address_of(vc);
+        HeadState {
+            vc,
+            addr,
+            table: RouteTable::new(addr.hnid, cfg.k),
+            db: MembershipDb::default(),
+            sessions: SessionManager::new(),
+            neighbor_last: FxHashMap::default(),
+            mnt_seq: 0,
+            ht_seq: 0,
+            seen_floods: FxHashSet::default(),
+            seen_mesh_data: FxHashSet::default(),
+            mesh_cache: FxHashMap::default(),
+            hc_cache: FxHashMap::default(),
+            mnt_version: 0,
+        }
+    }
+}
+
+enum Role {
+    Member,
+    Head(Box<HeadState>),
+}
+
+/// Per-node protocol state.
+struct NodeState {
+    lm: LocalMembership,
+    my_vc: VcId,
+    my_ch: Option<NodeId>,
+    /// Best candidacy heard (incl. own) for my VC in the current round.
+    best_cand: Option<CandScore>,
+    role: Role,
+    /// Data ids already delivered/seen locally.
+    seen_data: FxHashSet<u64>,
+}
+
+/// The full HVDB protocol, implementing [`hvdb_sim::Protocol`].
+pub struct HvdbProtocol {
+    cfg: HvdbConfig,
+    traffic: Vec<TrafficItem>,
+    group_events: Vec<GroupEvent>,
+    nodes: Vec<NodeState>,
+    /// Ground-truth group membership (for expected-receiver accounting).
+    truth: FxHashMap<GroupId, FxHashSet<NodeId>>,
+    next_data_id: u64,
+    /// Protocol counters.
+    pub counters: Counters,
+}
+
+impl HvdbProtocol {
+    /// Creates the protocol over `cfg`. `initial_groups` seeds group
+    /// membership; `traffic` and `group_events` script the scenario.
+    pub fn new(
+        cfg: HvdbConfig,
+        initial_groups: &[(NodeId, GroupId)],
+        traffic: Vec<TrafficItem>,
+        group_events: Vec<GroupEvent>,
+    ) -> Self {
+        let mut truth: FxHashMap<GroupId, FxHashSet<NodeId>> = FxHashMap::default();
+        for (node, group) in initial_groups {
+            truth.entry(*group).or_default().insert(*node);
+        }
+        HvdbProtocol {
+            cfg,
+            traffic,
+            group_events,
+            nodes: Vec::new(),
+            truth,
+            next_data_id: 1,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HvdbConfig {
+        &self.cfg
+    }
+
+    /// Whether `node` is currently a cluster head.
+    pub fn is_head(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.idx()].role, Role::Head(_))
+    }
+
+    /// The node ids of all current cluster heads, ascending.
+    pub fn cluster_heads(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|id| self.is_head(*id))
+            .collect()
+    }
+
+    /// The current ground-truth members of `group`, ascending.
+    pub fn group_members(&self, group: GroupId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .truth
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
+    }
+
+    /// Read access to a head's route table (experiment instrumentation).
+    pub fn route_table(&self, node: NodeId) -> Option<&RouteTable> {
+        match &self.nodes[node.idx()].role {
+            Role::Head(h) => Some(&h.table),
+            Role::Member => None,
+        }
+    }
+
+    /// Read access to a head's membership database.
+    pub fn membership_db(&self, node: NodeId) -> Option<&MembershipDb> {
+        match &self.nodes[node.idx()].role {
+            Role::Head(h) => Some(&h.db),
+            Role::Member => None,
+        }
+    }
+
+    /// Aggregate session failover/break counts over all heads.
+    pub fn session_totals(&self) -> (u64, u64) {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.role {
+                Role::Head(h) => Some((h.sessions.failovers, h.sessions.breaks)),
+                Role::Member => None,
+            })
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    }
+
+    // ------------------------------------------------------------------
+    // Geographic sending.
+
+    fn target_point(&self, target: GeoTarget) -> hvdb_geo::Point {
+        match target {
+            GeoTarget::ChOfVc(vc) => self.cfg.grid.vcc(vc),
+            GeoTarget::AnyChInRegion(hid) => region_center(&self.cfg, hid),
+        }
+    }
+
+    fn satisfies_target(&self, node: NodeId, target: GeoTarget) -> bool {
+        match (&self.nodes[node.idx()].role, target) {
+            (Role::Head(h), GeoTarget::ChOfVc(vc)) => h.vc == vc,
+            (Role::Head(h), GeoTarget::AnyChInRegion(hid)) => h.addr.hid == hid,
+            (Role::Member, _) => false,
+        }
+    }
+
+    /// Launches a geo packet from `from` toward its target.
+    fn geo_send(&mut self, ctx: &mut Ctx<'_, HvdbMsg>, from: NodeId, pkt: GeoPacket) {
+        let dest = self.target_point(pkt.target);
+        match georoute::next_hop(ctx, from, dest, &pkt.visited) {
+            Some(nh) => {
+                let class = pkt.inner.class();
+                let bytes = pkt.wire_size();
+                ctx.send(from, nh, class, bytes, HvdbMsg::Geo(pkt));
+            }
+            None => self.counters.geo_stuck += 1,
+        }
+    }
+
+    /// Wraps and sends a CH message toward a target.
+    fn geo_dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        from: NodeId,
+        target: GeoTarget,
+        inner: ChMsg,
+    ) {
+        let pkt = GeoPacket {
+            target,
+            ttl: self.cfg.geo_ttl,
+            visited: Vec::new(),
+            inner,
+        };
+        self.geo_send(ctx, from, pkt);
+    }
+
+    /// Logical-neighbour VCs whose heads a local broadcast from `node`
+    /// probably cannot reach (VCC farther than ~85% of the radio range):
+    /// these get a supplementary geo-unicast so long hypercube links
+    /// (labels two grid cells apart) stay alive.
+    fn far_neighbors(
+        &self,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        node: NodeId,
+        vcs: Vec<VcId>,
+    ) -> Vec<VcId> {
+        let pos = ctx.position(node);
+        // A neighbour CH can sit up to a VC radius beyond its VCC; only
+        // VCCs we can reach with that margin (plus 10% slack) are safely
+        // served by the broadcast.
+        let reach = ((ctx.radio_range() - self.cfg.grid.vc_radius()) * 0.9).max(0.0);
+        vcs.into_iter()
+            .filter(|vc| self.cfg.grid.vcc(*vc).distance(pos) > reach)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Clustering rounds.
+
+    fn my_score(&self, ctx: &mut Ctx<'_, HvdbMsg>, node: NodeId) -> Option<CandScore> {
+        if ctx.capability(node) != Capability::Enhanced {
+            return None;
+        }
+        let pos = ctx.position(node);
+        let vel = ctx.velocity(node);
+        let vc = self.cfg.grid.vc_of(pos);
+        let residence = self.cfg.grid.residence_time(vc, pos, vel)?;
+        let capped = residence.min(self.cfg.election.residence_cap_secs);
+        let bucket = (capped / self.cfg.election.residence_bucket_secs).floor() as u64;
+        let mut dist_um = (self.cfg.grid.vcc(vc).distance(pos) * 1e6) as u64;
+        // Incumbency damping: the sitting head of this VC campaigns with
+        // half its distance, so marginally-closer challengers do not churn
+        // the backbone every round (the stability that [23]'s handover
+        // machinery provides).
+        if let Role::Head(h) = &self.nodes[node.idx()].role {
+            if h.vc == vc {
+                dist_um /= 2;
+            }
+        }
+        Some(CandScore {
+            residence_bucket: bucket,
+            dist_um,
+            node: node.0,
+        })
+    }
+
+    fn on_candidacy_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        let pos = ctx.position(node);
+        let vc = self.cfg.grid.vc_of(pos);
+        if self.nodes[node.idx()].my_vc != vc {
+            // Moved to a new VC: prior round's candidacies are void.
+            self.nodes[node.idx()].my_vc = vc;
+            self.nodes[node.idx()].best_cand = None;
+        }
+        // A head that drifted out of its VC resigns immediately.
+        if let Role::Head(h) = &self.nodes[node.idx()].role {
+            if h.vc != vc {
+                self.nodes[node.idx()].role = Role::Member;
+            }
+        }
+        if let Some(score) = self.my_score(ctx, node) {
+            // Merge own candidacy with those already heard this round
+            // (candidacy phases are jittered; never wipe others' bids).
+            let st = &mut self.nodes[node.idx()];
+            match &st.best_cand {
+                Some(best) if !score.beats(best) => {}
+                _ => st.best_cand = Some(score),
+            }
+            let msg = HvdbMsg::Candidacy { vc, score };
+            let bytes = msg.wire_size();
+            ctx.broadcast(node, "candidacy", bytes, msg);
+            // Decision fires 40% into the round.
+            ctx.set_timer(
+                node,
+                SimDuration(self.cfg.cluster_interval.0 * 2 / 5),
+                TAG_DECIDE,
+            );
+        }
+        ctx.set_timer(node, self.cfg.cluster_interval, TAG_CANDIDACY);
+    }
+
+    fn on_decide_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        let st = &self.nodes[node.idx()];
+        let Some(best) = st.best_cand else {
+            return;
+        };
+        let my_vc = st.my_vc;
+        let i_won = best.node == node.0;
+        let was_head = matches!(st.role, Role::Head(_));
+        if i_won {
+            if !was_head {
+                self.nodes[node.idx()].role =
+                    Role::Head(Box::new(HeadState::new(&self.cfg, my_vc)));
+            } else if let Role::Head(h) = &self.nodes[node.idx()].role {
+                if h.vc != my_vc {
+                    self.nodes[node.idx()].role =
+                        Role::Head(Box::new(HeadState::new(&self.cfg, my_vc)));
+                }
+            }
+            self.nodes[node.idx()].my_ch = Some(node);
+            let msg = HvdbMsg::ChAnnounce { vc: my_vc };
+            let bytes = msg.wire_size();
+            ctx.broadcast(node, "ch-announce", bytes, msg);
+        } else if was_head {
+            // Someone better exists in my VC: step down, handing the
+            // backbone state to the winner so the new head does not start
+            // from an empty membership view ([23]-style CH handover).
+            let handover = if let Role::Head(h) = &self.nodes[node.idx()].role {
+                (h.vc == my_vc).then(|| {
+                    let mut hts: Vec<crate::summary::HtSummary> =
+                        h.db.ht_of.values().cloned().collect();
+                    hts.sort_by_key(|ht| ht.hid);
+                    hts
+                })
+            } else {
+                None
+            };
+            if let Some(hts) = handover {
+                self.nodes[node.idx()].role = Role::Member;
+                let msg = HvdbMsg::Handover { vc: my_vc, hts };
+                let bytes = msg.wire_size();
+                ctx.send(node, NodeId(best.node), "handover", bytes, msg);
+            }
+        }
+        // The round is decided; start collecting the next round's bids.
+        self.nodes[node.idx()].best_cand = None;
+    }
+
+    fn on_report_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        ctx.set_timer(node, self.cfg.local_report_interval, TAG_REPORT);
+        let st = &self.nodes[node.idx()];
+        if st.lm.groups.is_empty() {
+            return;
+        }
+        match &st.role {
+            Role::Head(_) => { /* own lm folded in at MNT time */ }
+            Role::Member => {
+                if let Some(ch) = st.my_ch {
+                    if ch != node {
+                        let msg = HvdbMsg::JoinReport { lm: st.lm.clone() };
+                        let bytes = msg.wire_size();
+                        ctx.send(node, ch, "join-report", bytes, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Route maintenance (Fig. 4).
+
+    fn on_beacon_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        ctx.set_timer(node, self.cfg.beacon_interval, TAG_BEACON);
+        let now = ctx.now();
+        let ttl = self.cfg.neighbor_ttl;
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        // Expire silent neighbours -> immediate failover to alternatives.
+        let expired: Vec<Hnid> = h
+            .neighbor_last
+            .iter()
+            .filter(|(_, last)| now.since(**last) > ttl)
+            .map(|(l, _)| *l)
+            .collect();
+        let mut expired_count = 0u64;
+        let mut failover_count = 0u64;
+        for label in expired {
+            h.neighbor_last.remove(&label);
+            let failovers = h.table.remove_via(label);
+            failover_count += failovers.len() as u64;
+            h.sessions.on_neighbor_failed(&h.table, label);
+            h.db.drop_mnt(label);
+            h.mnt_version += 1;
+            expired_count += 1;
+        }
+        h.table.expire(now, ttl.saturating_mul(2));
+        // Beacon to every logical neighbour VC (intra- and inter-region).
+        let advertised = h.table.advertisement();
+        let from = h.addr;
+        self.counters.neighbors_expired += expired_count;
+        self.counters.route_failovers += failover_count;
+        // One local broadcast reaches every logical neighbour CH (VC
+        // spacing is well below radio range); receivers filter by logical
+        // adjacency.
+        let my_vc = h.vc;
+        let inner = ChMsg::Beacon {
+            from,
+            sent_at: now,
+            advertised,
+        };
+        let msg = HvdbMsg::Local(inner.clone());
+        let bytes = msg.wire_size();
+        ctx.broadcast(node, "beacon", bytes, msg);
+        // Long logical links (two grid cells) may exceed broadcast reach.
+        let far = self.far_neighbors(ctx, node, self.cfg.map.logical_neighbors(my_vc));
+        for nvc in far {
+            self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(nvc), inner.clone());
+        }
+    }
+
+    fn on_beacon(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        from: LogicalAddress,
+        sent_at: SimTime,
+        advertised: Vec<crate::routes::AdvertisedRoute>,
+    ) {
+        let now = ctx.now();
+        let bitrate = 2_000_000.0; // modelled logical-link bandwidth (see module docs)
+        let my_vc = match &self.nodes[node.idx()].role {
+            Role::Head(h) => h.vc,
+            Role::Member => return,
+        };
+        // Broadcast beacons overshoot; only 1-logical-hop neighbours count.
+        let Some(sender_vc) = self.cfg.map.vc_of(from) else {
+            return;
+        };
+        if !self.cfg.map.logical_neighbors(my_vc).contains(&sender_vc) {
+            return;
+        }
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        if from.hid == h.addr.hid {
+            // Intra-region logical neighbour.
+            h.neighbor_last.insert(from.hnid, now);
+            let link = QosMetrics {
+                delay: now.since(sent_at),
+                bandwidth_bps: bitrate,
+            };
+            h.table.integrate_beacon(from.hnid, link, &advertised, now);
+        }
+        // Inter-region beacons establish BCH liveness; mesh-tier routing is
+        // geographic, so no mesh route table is needed.
+    }
+
+    // ------------------------------------------------------------------
+    // Membership (Fig. 5).
+
+    fn flood_key(origin: u64, seq: u64) -> (u64, u64) {
+        (origin, seq)
+    }
+
+    fn on_mnt_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        ctx.set_timer(node, self.cfg.mnt_interval, TAG_MNT);
+        let own_lm = self.nodes[node.idx()].lm.clone();
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        // Members that left silently stop refreshing; prune them first.
+        h.db.prune_locals(
+            ctx.now(),
+            SimDuration(self.cfg.local_report_interval.0 * 5 / 2),
+        );
+        // Fold own memberships in as a cluster member of ourselves.
+        h.db.store_local(node.0, own_lm, ctx.now());
+        let mnt = h.db.my_mnt(h.vc);
+        h.db.store_mnt(h.addr.hnid, mnt.clone());
+        h.mnt_version += 1;
+        h.mnt_seq += 1;
+        let seq = h.mnt_seq;
+        let origin = h.addr.hnid;
+        let hid = h.addr.hid;
+        h.seen_floods.insert(Self::flood_key(origin.0 as u64, seq));
+        // Also fold the fresh local HT view into our own MT immediately.
+        let ht = h.db.my_ht(hid);
+        h.db.integrate_ht(ht);
+        let inner = ChMsg::MntShare {
+            origin,
+            hid,
+            seq,
+            mnt,
+        };
+        let msg = HvdbMsg::Local(inner);
+        let bytes = msg.wire_size();
+        ctx.broadcast(node, "mnt-share", bytes, msg);
+    }
+
+    fn on_mnt_share(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        origin: Hnid,
+        hid: Hid,
+        seq: u64,
+        mnt: crate::summary::MntSummary,
+    ) {
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        if h.addr.hid != hid {
+            return; // cube-scoped flood leaked; drop
+        }
+        let key = Self::flood_key(origin.0 as u64, seq);
+        if !h.seen_floods.insert(key) {
+            return;
+        }
+        h.db.store_mnt(origin, mnt.clone());
+        h.mnt_version += 1;
+        // Cube-scoped flood: re-broadcast once per (origin, seq).
+        let inner = ChMsg::MntShare {
+            origin,
+            hid,
+            seq,
+            mnt,
+        };
+        let msg = HvdbMsg::Local(inner);
+        let bytes = msg.wire_size();
+        ctx.broadcast(node, "mnt-share", bytes, msg);
+    }
+
+    fn on_ht_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        ctx.set_timer(node, self.cfg.ht_interval, TAG_HT);
+        let criterion = self.cfg.designation;
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        let cube = build_region_cube(
+            &self.cfg,
+            h.addr.hid,
+            h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
+        );
+        if !h.db.should_broadcast(h.addr.hnid, criterion, &cube) {
+            return;
+        }
+        let ht = h.db.my_ht(h.addr.hid);
+        h.db.integrate_ht(ht.clone());
+        h.ht_seq += 1;
+        let seq = h.ht_seq;
+        let origin = h.addr.hid;
+        let origin_key = ((origin.row as u64) << 16 | origin.col as u64) | 1 << 48;
+        h.seen_floods.insert(Self::flood_key(origin_key, seq));
+        self.counters.ht_broadcasts += 1;
+        let inner = ChMsg::HtBroadcast { origin, seq, ht };
+        let msg = HvdbMsg::Local(inner);
+        let bytes = msg.wire_size();
+        ctx.broadcast(node, "ht-bcast", bytes, msg);
+    }
+
+    fn on_ht_broadcast(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        origin: Hid,
+        seq: u64,
+        ht: crate::summary::HtSummary,
+    ) {
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        let origin_key = ((origin.row as u64) << 16 | origin.col as u64) | 1 << 48;
+        let key = Self::flood_key(origin_key, seq);
+        if !h.seen_floods.insert(key) {
+            return;
+        }
+        h.db.integrate_ht(ht.clone());
+        // Network-wide CH flood: re-broadcast once per (origin, seq).
+        let inner = ChMsg::HtBroadcast { origin, seq, ht };
+        let msg = HvdbMsg::Local(inner);
+        let bytes = msg.wire_size();
+        ctx.broadcast(node, "ht-bcast", bytes, msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Multicast data path (Fig. 6).
+
+    fn on_traffic_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>, idx: usize) {
+        let item = self.traffic[idx];
+        let data_id = self.next_data_id;
+        self.next_data_id += 1;
+        // Expected receivers: the group's true members right now, minus the
+        // source itself.
+        let expected = self
+            .truth
+            .get(&item.group)
+            .map(|m| m.iter().filter(|n| **n != node).count() as u64)
+            .unwrap_or(0);
+        ctx.record_origin(data_id, expected);
+        if self.is_head(node) {
+            self.start_multicast_at_ch(node, ctx, data_id, item.group, item.size);
+        } else if let Some(ch) = self.nodes[node.idx()].my_ch {
+            let msg = HvdbMsg::DataToCh {
+                data_id,
+                group: item.group,
+                size: item.size,
+            };
+            let bytes = msg.wire_size();
+            ctx.send(node, ch, "data-to-ch", bytes, msg);
+        } else {
+            self.counters.no_ch += 1;
+        }
+    }
+
+    /// Fig. 6 steps 2–3: the source CH computes the mesh-tier tree and
+    /// launches the branches, then enters its own hypercube.
+    fn start_multicast_at_ch(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        data_id: u64,
+        group: GroupId,
+        size: usize,
+    ) {
+        let cache_trees = self.cfg.cache_trees;
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        let my_hid = h.addr.hid;
+        let mt_version = h.db.mt.version();
+        let tree = match h.mesh_cache.get(&group) {
+            Some((v, t)) if cache_trees && *v == mt_version => {
+                self.counters.tree_cache_hits += 1;
+                t.clone()
+            }
+            _ => {
+                let dests = h.db.mt.hypercubes_with(group).to_vec();
+                if dests.iter().all(|d| *d == my_hid) {
+                    self.counters.mt_empty_at_send += 1;
+                }
+                let t = MeshTree::build(my_hid, &dests);
+                self.counters.trees_built += 1;
+                if cache_trees {
+                    h.mesh_cache.insert(group, (mt_version, t.clone()));
+                }
+                t
+            }
+        };
+        // Enter our own hypercube with the whole tree.
+        let edges = tree.encode_edges();
+        self.enter_region(node, ctx, data_id, group, size, my_hid, &edges);
+    }
+
+    /// Fig. 6 step 4: a packet enters hypercube `this` at this CH.
+    fn enter_region(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        data_id: u64,
+        group: GroupId,
+        size: usize,
+        this: Hid,
+        edges: &[(Hid, Hid)],
+    ) {
+        let cache_trees = self.cfg.cache_trees;
+        {
+            let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+                return;
+            };
+            if !h.seen_mesh_data.insert(data_id) {
+                return; // already entered this region
+            }
+        }
+        // (a) Re-encapsulate toward next-hop hypercubes.
+        let tree = MeshTree::decode_edges(this, edges);
+        if let Some(tree) = tree {
+            for child in tree.children_of(this).to_vec() {
+                let sub = tree.subtree_edges(child);
+                let inner = ChMsg::MeshData {
+                    data_id,
+                    group,
+                    size,
+                    this: child,
+                    edges: sub,
+                };
+                self.counters.mesh_branches += 1;
+                self.geo_dispatch(ctx, node, GeoTarget::AnyChInRegion(child), inner);
+            }
+        }
+        // (b) Hypercube-tier tree from the HT view.
+        let (hc_edges, my_label) = {
+            let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+                return;
+            };
+            let my_label = h.addr.hnid;
+            let key = h.mnt_version;
+            let tree = match h.hc_cache.get(&group) {
+                Some((v, t)) if cache_trees && *v == key && t.root == my_label.0 => {
+                    self.counters.tree_cache_hits += 1;
+                    t.clone()
+                }
+                _ => {
+                    let ht = h.db.my_ht(this);
+                    let dests: Vec<u32> =
+                        ht.nodes_with(group).iter().map(|l| l.0).collect();
+                    let cube = build_region_cube(
+                        &self.cfg,
+                        this,
+                        h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
+                    );
+                    let t = multicast_tree(&cube, my_label.0, &dests);
+                    self.counters.trees_built += 1;
+                    if cache_trees {
+                        h.hc_cache.insert(group, (key, t.clone()));
+                    }
+                    t
+                }
+            };
+            (tree.encode_edges(), my_label)
+        };
+        self.process_hc_tree_node(node, ctx, data_id, group, size, this, &hc_edges, my_label);
+    }
+
+    /// Fig. 6 steps 5–6 at a tree node: deliver locally, forward to
+    /// children over logical routes.
+    #[allow(clippy::too_many_arguments)]
+    fn process_hc_tree_node(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        data_id: u64,
+        group: GroupId,
+        size: usize,
+        hid: Hid,
+        edges: &[(u32, u32)],
+        my_label: Hnid,
+    ) {
+        // Local delivery.
+        self.deliver_locally(node, ctx, data_id, group, size);
+        // Children of my label in the tree.
+        let children: Vec<u32> = edges
+            .iter()
+            .filter(|(p, _)| *p == my_label.0)
+            .map(|(_, c)| *c)
+            .collect();
+        for child in children {
+            self.forward_hc_leg(ctx, node, data_id, group, size, hid, edges, Hnid(child));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward_hc_leg(
+        &mut self,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        node: NodeId,
+        data_id: u64,
+        group: GroupId,
+        size: usize,
+        hid: Hid,
+        edges: &[(u32, u32)],
+        leg_dst: Hnid,
+    ) {
+        let next = {
+            let Role::Head(h) = &self.nodes[node.idx()].role else {
+                return;
+            };
+            h.table
+                .best_route(leg_dst, &QosRequirement::BEST_EFFORT)
+                .map(|r| r.next_hop)
+        };
+        let Some(next) = next else {
+            self.counters.no_route += 1;
+            return;
+        };
+        let next_addr = LogicalAddress {
+            hid,
+            hnid: next,
+        };
+        let Some(next_vc) = self.cfg.map.vc_of(next_addr) else {
+            self.counters.no_route += 1;
+            return;
+        };
+        let inner = ChMsg::HcData {
+            data_id,
+            group,
+            size,
+            hid,
+            edges: edges.iter().map(|(p, c)| (Hnid(*p), Hnid(*c))).collect(),
+            leg_dst,
+        };
+        self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(next_vc), inner);
+    }
+
+    fn on_hc_data(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        data_id: u64,
+        group: GroupId,
+        size: usize,
+        hid: Hid,
+        edges: Vec<(Hnid, Hnid)>,
+        leg_dst: Hnid,
+    ) {
+        let my_label = {
+            let Role::Head(h) = &self.nodes[node.idx()].role else {
+                return;
+            };
+            h.addr.hnid
+        };
+        let raw_edges: Vec<(u32, u32)> = edges.iter().map(|(p, c)| (p.0, c.0)).collect();
+        if leg_dst == my_label {
+            self.process_hc_tree_node(node, ctx, data_id, group, size, hid, &raw_edges, my_label);
+        } else {
+            // Relay along the logical route toward leg_dst.
+            self.forward_hc_leg(ctx, node, data_id, group, size, hid, &raw_edges, leg_dst);
+        }
+    }
+
+    /// Fig. 6 step 6: CH local broadcast + own delivery.
+    fn deliver_locally(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        data_id: u64,
+        group: GroupId,
+        size: usize,
+    ) {
+        let has_members = {
+            let Role::Head(h) = &self.nodes[node.idx()].role else {
+                return;
+            };
+            h.db.has_local_members(group) || self.nodes[node.idx()].lm.contains(group)
+        };
+        if !has_members {
+            return;
+        }
+        // Own delivery.
+        let st = &mut self.nodes[node.idx()];
+        if st.lm.contains(group) && st.seen_data.insert(data_id) {
+            ctx.record_delivery(data_id, node);
+        }
+        let msg = HvdbMsg::LocalDeliver {
+            data_id,
+            group,
+            size,
+        };
+        let bytes = msg.wire_size();
+        ctx.broadcast(node, "local-deliver", bytes, msg);
+    }
+
+    fn on_group_event(&mut self, idx: usize) {
+        let ev = self.group_events[idx];
+        let st = &mut self.nodes[ev.node.idx()];
+        if ev.join {
+            st.lm.join(ev.group);
+            self.truth.entry(ev.group).or_default().insert(ev.node);
+        } else {
+            st.lm.leave(ev.group);
+            if let Some(m) = self.truth.get_mut(&ev.group) {
+                m.remove(&ev.node);
+            }
+        }
+    }
+
+    fn on_geo(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>, mut pkt: GeoPacket) {
+        if self.satisfies_target(node, pkt.target) {
+            match pkt.inner {
+                ChMsg::Beacon {
+                    from,
+                    sent_at,
+                    advertised,
+                } => self.on_beacon(node, ctx, from, sent_at, advertised),
+                ChMsg::MntShare {
+                    origin,
+                    hid,
+                    seq,
+                    mnt,
+                } => self.on_mnt_share(node, ctx, origin, hid, seq, mnt),
+                ChMsg::HtBroadcast { origin, seq, ht } => {
+                    self.on_ht_broadcast(node, ctx, origin, seq, ht)
+                }
+                ChMsg::MeshData {
+                    data_id,
+                    group,
+                    size,
+                    this,
+                    edges,
+                } => self.enter_region(node, ctx, data_id, group, size, this, &edges),
+                ChMsg::HcData {
+                    data_id,
+                    group,
+                    size,
+                    hid,
+                    edges,
+                    leg_dst,
+                } => self.on_hc_data(node, ctx, data_id, group, size, hid, edges, leg_dst),
+            }
+            return;
+        }
+        if pkt.ttl == 0 {
+            self.counters.geo_stuck += 1;
+            return;
+        }
+        pkt.ttl -= 1;
+        georoute::push_visited(&mut pkt.visited, node);
+        // Last-hop shortcut: a relay that knows the target's CH hands the
+        // packet over directly instead of chasing the VCC geometrically
+        // (the relay's cluster state is exactly the "location service" the
+        // paper assumes).
+        let shortcut = match pkt.target {
+            GeoTarget::ChOfVc(vc) => {
+                let st = &self.nodes[node.idx()];
+                if st.my_vc == vc && st.my_ch.is_none() {
+                    // We live in the target VC and know of no head: the
+                    // packet has no consumer; drop instead of wandering.
+                    self.counters.geo_stuck += 1;
+                    return;
+                }
+                (st.my_vc == vc).then_some(st.my_ch).flatten()
+            }
+            GeoTarget::AnyChInRegion(hid) => {
+                let st = &self.nodes[node.idx()];
+                (self.cfg.map.hid_of(st.my_vc) == hid)
+                    .then_some(st.my_ch)
+                    .flatten()
+            }
+        };
+        if let Some(ch) = shortcut {
+            if ch != node && ctx.is_alive(ch) && self.satisfies_target(ch, pkt.target) {
+                let class = pkt.inner.class();
+                let bytes = pkt.wire_size();
+                ctx.send(node, ch, class, bytes, HvdbMsg::Geo(pkt));
+                return;
+            }
+        }
+        self.geo_send(ctx, node, pkt);
+    }
+}
+
+impl Protocol for HvdbProtocol {
+    type Msg = HvdbMsg;
+
+    fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        if self.nodes.len() < ctx.node_count() {
+            // First callback: allocate per-node state.
+            let grid = &self.cfg.grid;
+            for id in 0..ctx.node_count() as u32 {
+                let pos = ctx.position(NodeId(id));
+                let mut lm = LocalMembership::default();
+                for (g, members) in &self.truth {
+                    if members.contains(&NodeId(id)) {
+                        lm.join(*g);
+                    }
+                }
+                self.nodes.push(NodeState {
+                    lm,
+                    my_vc: grid.vc_of(pos),
+                    my_ch: None,
+                    best_cand: None,
+                    role: Role::Member,
+                    seen_data: FxHashSet::default(),
+                });
+            }
+        }
+        // Phase-jittered periodic timers.
+        let jitter = |ctx: &mut Ctx<'_, HvdbMsg>, max: u64| SimDuration(ctx.rng().range_u64(0, max.max(1)));
+        let j = jitter(ctx, self.cfg.cluster_interval.0 / 4);
+        ctx.set_timer(node, j, TAG_CANDIDACY);
+        let j = jitter(ctx, self.cfg.beacon_interval.0);
+        ctx.set_timer(node, self.cfg.cluster_interval + j, TAG_BEACON);
+        let j = jitter(ctx, self.cfg.mnt_interval.0);
+        ctx.set_timer(node, self.cfg.cluster_interval + j, TAG_MNT);
+        let j = jitter(ctx, self.cfg.ht_interval.0);
+        ctx.set_timer(node, self.cfg.cluster_interval + j, TAG_HT);
+        // Members report shortly after each clustering settles.
+        ctx.set_timer(
+            node,
+            self.cfg.cluster_interval + SimDuration(self.cfg.cluster_interval.0 * 7 / 10),
+            TAG_REPORT,
+        );
+        // Scenario scripting: traffic and group events on their nodes.
+        for (i, t) in self.traffic.iter().enumerate() {
+            if t.src == node {
+                ctx.set_timer(node, t.at.since(SimTime::ZERO), TAG_TRAFFIC_BASE + i as u64);
+            }
+        }
+        for (i, g) in self.group_events.iter().enumerate() {
+            if g.node == node {
+                ctx.set_timer(node, g.at.since(SimTime::ZERO), TAG_GROUP_BASE + i as u64);
+            }
+        }
+    }
+
+    fn on_message(&mut self, node: NodeId, from: NodeId, msg: HvdbMsg, ctx: &mut Ctx<'_, HvdbMsg>) {
+        match msg {
+            HvdbMsg::Candidacy { vc, score } => {
+                let st = &mut self.nodes[node.idx()];
+                if vc == st.my_vc {
+                    match &st.best_cand {
+                        Some(best) if !score.beats(best) => {}
+                        _ => st.best_cand = Some(score),
+                    }
+                }
+            }
+            HvdbMsg::ChAnnounce { vc } => {
+                let st = &mut self.nodes[node.idx()];
+                if vc == st.my_vc {
+                    st.my_ch = Some(from);
+                }
+            }
+            HvdbMsg::JoinReport { lm } => {
+                if let Role::Head(h) = &mut self.nodes[node.idx()].role {
+                    h.db.store_local(from.0, lm, ctx.now());
+                    h.mnt_version += 1;
+                }
+            }
+            HvdbMsg::DataToCh {
+                data_id,
+                group,
+                size,
+            } => {
+                if self.is_head(node) {
+                    self.start_multicast_at_ch(node, ctx, data_id, group, size);
+                } else if let Some(ch) = self.nodes[node.idx()].my_ch {
+                    // The member's view was stale (this node resigned);
+                    // bounce the packet to the current head once.
+                    if ch != node {
+                        self.counters.data_bounced += 1;
+                        let msg = HvdbMsg::DataToCh {
+                            data_id,
+                            group,
+                            size,
+                        };
+                        let bytes = msg.wire_size();
+                        ctx.send(node, ch, "data-to-ch", bytes, msg);
+                    }
+                }
+            }
+            HvdbMsg::LocalDeliver {
+                data_id, group, ..
+            } => {
+                let st = &mut self.nodes[node.idx()];
+                if st.lm.contains(group) && st.seen_data.insert(data_id) {
+                    ctx.record_delivery(data_id, node);
+                }
+            }
+            HvdbMsg::Handover { vc, hts } => {
+                if let Role::Head(h) = &mut self.nodes[node.idx()].role {
+                    if h.vc == vc {
+                        for ht in hts {
+                            h.db.integrate_ht(ht);
+                        }
+                    }
+                }
+            }
+            HvdbMsg::Geo(pkt) => self.on_geo(node, ctx, pkt),
+            HvdbMsg::Local(inner) => {
+                if !self.is_head(node) {
+                    return; // CH-plane traffic; members ignore it
+                }
+                match inner {
+                    ChMsg::Beacon {
+                        from,
+                        sent_at,
+                        advertised,
+                    } => self.on_beacon(node, ctx, from, sent_at, advertised),
+                    ChMsg::MntShare {
+                        origin,
+                        hid,
+                        seq,
+                        mnt,
+                    } => self.on_mnt_share(node, ctx, origin, hid, seq, mnt),
+                    ChMsg::HtBroadcast { origin, seq, ht } => {
+                        self.on_ht_broadcast(node, ctx, origin, seq, ht)
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, HvdbMsg>) {
+        match tag {
+            TAG_CANDIDACY => self.on_candidacy_timer(node, ctx),
+            TAG_DECIDE => self.on_decide_timer(node, ctx),
+            TAG_REPORT => self.on_report_timer(node, ctx),
+            TAG_BEACON => self.on_beacon_timer(node, ctx),
+            TAG_MNT => self.on_mnt_timer(node, ctx),
+            TAG_HT => self.on_ht_timer(node, ctx),
+            t if t >= TAG_GROUP_BASE => self.on_group_event((t - TAG_GROUP_BASE) as usize),
+            t if t >= TAG_TRAFFIC_BASE => {
+                self.on_traffic_timer(node, ctx, (t - TAG_TRAFFIC_BASE) as usize)
+            }
+            _ => unreachable!("unknown timer tag {tag}"),
+        }
+    }
+
+    fn on_fail(&mut self, node: NodeId, _ctx: &mut Ctx<'_, HvdbMsg>) {
+        // A failed CH simply goes silent; neighbours detect it by beacon
+        // timeout (the availability experiment measures exactly this).
+        self.nodes[node.idx()].role = Role::Member;
+        self.nodes[node.idx()].my_ch = None;
+    }
+
+    fn on_recover(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        self.nodes[node.idx()].my_ch = None;
+        self.nodes[node.idx()].best_cand = None;
+        // Periodic timers re-arm inside their own handlers; any that fired
+        // while the node was down broke their chains, so restart them all.
+        // (If the outage was shorter than a period the old chain survived
+        // and briefly doubles the rate — harmless, and it decays as both
+        // chains re-arm into the same handler cadence.)
+        let j = SimDuration(ctx.rng().range_u64(0, self.cfg.cluster_interval.0 / 4 + 1));
+        ctx.set_timer(node, j, TAG_CANDIDACY);
+        ctx.set_timer(node, self.cfg.beacon_interval, TAG_BEACON);
+        ctx.set_timer(node, self.cfg.mnt_interval, TAG_MNT);
+        ctx.set_timer(node, self.cfg.ht_interval, TAG_HT);
+        ctx.set_timer(node, self.cfg.local_report_interval, TAG_REPORT);
+    }
+}

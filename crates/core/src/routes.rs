@@ -1,0 +1,503 @@
+//! Proactive local logical route maintenance (paper §4.1, Fig. 4).
+//!
+//! "Each CH periodically exchanges its local logical route information with
+//! those CHs that are at most k ≥ 1 logical hops away. … In particular, the
+//! information such as delay and bandwidth is maintained in each specific
+//! local logical route, which is used for QoS routing."
+//!
+//! [`RouteTable`] is the per-CH state: a bounded distance-vector over the
+//! *logical* topology. Each beacon a CH sends carries its own advertised
+//! routes (up to `k − 1` hops); a receiving CH composes them with the
+//! measured QoS of the incoming logical link. Up to [`MAX_ALTERNATIVES`]
+//! routes per destination with *distinct first hops* are retained — the
+//! disjoint candidates the paper's availability argument needs ("multiple
+//! candidate logical routes become available immediately", §5).
+
+use hvdb_geo::Hnid;
+use hvdb_sim::{SimDuration, SimTime};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// QoS metrics of a (concatenation of) logical link(s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosMetrics {
+    /// Accumulated delay.
+    pub delay: SimDuration,
+    /// Bottleneck bandwidth (bits/second).
+    pub bandwidth_bps: f64,
+}
+
+impl QosMetrics {
+    /// A perfect zero-cost metric (identity for [`QosMetrics::concat`]).
+    pub const IDENTITY: QosMetrics = QosMetrics {
+        delay: SimDuration::ZERO,
+        bandwidth_bps: f64::INFINITY,
+    };
+
+    /// Series composition: delays add, bandwidth is the bottleneck minimum.
+    #[inline]
+    pub fn concat(&self, then: &QosMetrics) -> QosMetrics {
+        QosMetrics {
+            delay: self.delay + then.delay,
+            bandwidth_bps: self.bandwidth_bps.min(then.bandwidth_bps),
+        }
+    }
+
+    /// Whether this route satisfies a requirement.
+    #[inline]
+    pub fn satisfies(&self, req: &QosRequirement) -> bool {
+        self.delay <= req.max_delay && self.bandwidth_bps >= req.min_bandwidth_bps
+    }
+}
+
+/// A QoS constraint pair (the two metrics the paper names, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosRequirement {
+    /// Maximum tolerable end-to-end delay.
+    pub max_delay: SimDuration,
+    /// Minimum required bandwidth (bits/second).
+    pub min_bandwidth_bps: f64,
+}
+
+impl QosRequirement {
+    /// A requirement satisfied by anything (best-effort traffic).
+    pub const BEST_EFFORT: QosRequirement = QosRequirement {
+        max_delay: SimDuration(u64::MAX),
+        min_bandwidth_bps: 0.0,
+    };
+}
+
+/// One route advertised inside a beacon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdvertisedRoute {
+    /// Destination label.
+    pub dst: Hnid,
+    /// Logical hops from the advertiser.
+    pub hops: u32,
+    /// QoS from the advertiser to the destination.
+    pub qos: QosMetrics,
+}
+
+/// Wire size of one advertised route (bytes), for overhead accounting.
+pub const ADVERTISED_ROUTE_BYTES: usize = 16;
+
+/// One retained route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteEntry {
+    /// Destination label.
+    pub dst: Hnid,
+    /// Total logical hops.
+    pub hops: u32,
+    /// First logical hop (a 1-logical-hop neighbour CH).
+    pub next_hop: Hnid,
+    /// End-to-end QoS estimate.
+    pub qos: QosMetrics,
+    /// When this entry was last refreshed.
+    pub updated: SimTime,
+}
+
+/// Alternatives retained per destination (distinct first hops).
+pub const MAX_ALTERNATIVES: usize = 3;
+
+/// A CH's proactively maintained local logical route table.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    me: Hnid,
+    k: u32,
+    routes: FxHashMap<Hnid, Vec<RouteEntry>>,
+}
+
+impl RouteTable {
+    /// An empty table for the CH labelled `me`, maintaining routes of at
+    /// most `k` logical hops (the system parameter of §4.1, "e.g., k = 4").
+    pub fn new(me: Hnid, k: u32) -> Self {
+        assert!(k >= 1, "k must be at least 1 (paper: k >= 1)");
+        RouteTable {
+            me,
+            k,
+            routes: FxHashMap::default(),
+        }
+    }
+
+    /// The owning label.
+    pub fn me(&self) -> Hnid {
+        self.me
+    }
+
+    /// The horizon `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of destinations with at least one route.
+    pub fn destination_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Integrates a beacon received from 1-logical-hop neighbour `from`
+    /// over a link with measured QoS `link`, advertising `advertised`.
+    /// Implements step 2 of Fig. 4 ("Each CH updates its local logical
+    /// routes when receiving a beacon message").
+    pub fn integrate_beacon(
+        &mut self,
+        from: Hnid,
+        link: QosMetrics,
+        advertised: &[AdvertisedRoute],
+        now: SimTime,
+    ) {
+        if from == self.me {
+            return;
+        }
+        // The beacon itself proves a 1-hop route to the sender.
+        self.offer(RouteEntry {
+            dst: from,
+            hops: 1,
+            next_hop: from,
+            qos: link,
+            updated: now,
+        });
+        for adv in advertised {
+            if adv.dst == self.me || adv.dst == from {
+                continue;
+            }
+            let hops = adv.hops + 1;
+            if hops > self.k {
+                continue;
+            }
+            self.offer(RouteEntry {
+                dst: adv.dst,
+                hops,
+                next_hop: from,
+                qos: link.concat(&adv.qos),
+                updated: now,
+            });
+        }
+    }
+
+    fn offer(&mut self, entry: RouteEntry) {
+        let routes = self.routes.entry(entry.dst).or_default();
+        if let Some(existing) = routes.iter_mut().find(|r| r.next_hop == entry.next_hop) {
+            // Same first hop: the beacon is fresher truth for that path.
+            *existing = entry;
+        } else {
+            routes.push(entry);
+        }
+        // Keep the best MAX_ALTERNATIVES by (hops, delay, next_hop).
+        routes.sort_by(|a, b| {
+            (a.hops, a.qos.delay, a.next_hop)
+                .cmp(&(b.hops, b.qos.delay, b.next_hop))
+        });
+        routes.truncate(MAX_ALTERNATIVES);
+    }
+
+    /// The best route to `dst` satisfying `req` (pass
+    /// [`QosRequirement::BEST_EFFORT`] for none).
+    pub fn best_route(&self, dst: Hnid, req: &QosRequirement) -> Option<&RouteEntry> {
+        self.routes
+            .get(&dst)?
+            .iter()
+            .find(|r| r.qos.satisfies(req))
+    }
+
+    /// The best route to `dst` whose first hop differs from `exclude` —
+    /// the immediately-available disjoint candidate of §5.
+    pub fn backup_route(&self, dst: Hnid, exclude: Hnid, req: &QosRequirement) -> Option<&RouteEntry> {
+        self.routes
+            .get(&dst)?
+            .iter()
+            .find(|r| r.next_hop != exclude && r.qos.satisfies(req))
+    }
+
+    /// All retained routes to `dst`.
+    pub fn routes_to(&self, dst: Hnid) -> &[RouteEntry] {
+        self.routes.get(&dst).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The table's advertisement for outgoing beacons: the best route per
+    /// destination, limited to `k − 1` hops (so composed routes stay within
+    /// `k` at the receiver).
+    pub fn advertisement(&self) -> Vec<AdvertisedRoute> {
+        let mut out: Vec<AdvertisedRoute> = self
+            .routes
+            .iter()
+            .filter_map(|(dst, routes)| routes.first().map(|r| (dst, r)))
+            .filter(|(_, r)| r.hops <= self.k.saturating_sub(1))
+            .map(|(dst, r)| AdvertisedRoute {
+                dst: *dst,
+                hops: r.hops,
+                qos: r.qos,
+            })
+            .collect();
+        out.sort_by_key(|a| a.dst);
+        out
+    }
+
+    /// Drops every route whose first hop is `neighbor` (it failed or moved
+    /// away). Returns the destinations that lost their *best* route but
+    /// still have an alternative — the immediate-failover set.
+    pub fn remove_via(&mut self, neighbor: Hnid) -> Vec<Hnid> {
+        let mut failovers = Vec::new();
+        let mut emptied = Vec::new();
+        for (dst, routes) in self.routes.iter_mut() {
+            let was_best = routes.first().map(|r| r.next_hop == neighbor).unwrap_or(false);
+            routes.retain(|r| r.next_hop != neighbor);
+            if routes.is_empty() {
+                emptied.push(*dst);
+            } else if was_best {
+                failovers.push(*dst);
+            }
+        }
+        for dst in emptied {
+            self.routes.remove(&dst);
+        }
+        failovers.sort_unstable();
+        failovers
+    }
+
+    /// Drops entries not refreshed within `ttl` of `now`. Returns how many
+    /// entries expired.
+    pub fn expire(&mut self, now: SimTime, ttl: SimDuration) -> usize {
+        let mut expired = 0;
+        let mut emptied = Vec::new();
+        for (dst, routes) in self.routes.iter_mut() {
+            let before = routes.len();
+            routes.retain(|r| now.since(r.updated) <= ttl);
+            expired += before - routes.len();
+            if routes.is_empty() {
+                emptied.push(*dst);
+            }
+        }
+        for dst in emptied {
+            self.routes.remove(&dst);
+        }
+        expired
+    }
+
+    /// The 1-logical-hop neighbours currently in the table, ascending.
+    pub fn neighbors(&self) -> Vec<Hnid> {
+        let mut out: Vec<Hnid> = self
+            .routes
+            .iter()
+            .filter(|(_, routes)| routes.iter().any(|r| r.hops == 1))
+            .map(|(dst, _)| *dst)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(ms: u64, mbps: f64) -> QosMetrics {
+        QosMetrics {
+            delay: SimDuration::from_millis(ms),
+            bandwidth_bps: mbps * 1e6,
+        }
+    }
+
+    #[test]
+    fn qos_concat_adds_delay_and_bottlenecks_bandwidth() {
+        let a = link(10, 2.0);
+        let b = link(5, 1.0);
+        let c = a.concat(&b);
+        assert_eq!(c.delay, SimDuration::from_millis(15));
+        assert_eq!(c.bandwidth_bps, 1e6);
+        assert_eq!(QosMetrics::IDENTITY.concat(&a), a);
+    }
+
+    #[test]
+    fn qos_satisfies() {
+        let m = link(10, 2.0);
+        assert!(m.satisfies(&QosRequirement {
+            max_delay: SimDuration::from_millis(10),
+            min_bandwidth_bps: 2e6,
+        }));
+        assert!(!m.satisfies(&QosRequirement {
+            max_delay: SimDuration::from_millis(9),
+            min_bandwidth_bps: 0.0,
+        }));
+        assert!(!m.satisfies(&QosRequirement {
+            max_delay: SimDuration::from_millis(100),
+            min_bandwidth_bps: 3e6,
+        }));
+        assert!(m.satisfies(&QosRequirement::BEST_EFFORT));
+    }
+
+    #[test]
+    fn beacon_installs_one_hop_route() {
+        let mut t = RouteTable::new(Hnid(0b1000), 4);
+        t.integrate_beacon(Hnid(0b1001), link(2, 2.0), &[], SimTime::ZERO);
+        let r = t.best_route(Hnid(0b1001), &QosRequirement::BEST_EFFORT).unwrap();
+        assert_eq!(r.hops, 1);
+        assert_eq!(r.next_hop, Hnid(0b1001));
+        assert_eq!(t.neighbors(), vec![Hnid(0b1001)]);
+    }
+
+    #[test]
+    fn advertised_routes_compose_with_link_qos() {
+        let mut t = RouteTable::new(Hnid(0b1000), 4);
+        let adv = [AdvertisedRoute {
+            dst: Hnid(0b1100),
+            hops: 1,
+            qos: link(5, 1.0),
+        }];
+        t.integrate_beacon(Hnid(0b1001), link(2, 2.0), &adv, SimTime::ZERO);
+        let r = t.best_route(Hnid(0b1100), &QosRequirement::BEST_EFFORT).unwrap();
+        assert_eq!(r.hops, 2);
+        assert_eq!(r.next_hop, Hnid(0b1001));
+        assert_eq!(r.qos.delay, SimDuration::from_millis(7));
+        assert_eq!(r.qos.bandwidth_bps, 1e6);
+    }
+
+    #[test]
+    fn horizon_k_caps_route_length() {
+        let mut t = RouteTable::new(Hnid(0), 2);
+        let adv = [AdvertisedRoute {
+            dst: Hnid(7),
+            hops: 2, // would become 3 > k
+            qos: link(1, 1.0),
+        }];
+        t.integrate_beacon(Hnid(1), link(1, 1.0), &adv, SimTime::ZERO);
+        assert!(t.best_route(Hnid(7), &QosRequirement::BEST_EFFORT).is_none());
+        assert_eq!(t.destination_count(), 1); // only the neighbour itself
+    }
+
+    #[test]
+    fn paper_example_node_1000_routes() {
+        // §4.1's worked example: 1-hop routes of 1000 include 1001, 1010,
+        // 0010, 1100, 0000; 2-hop routes include 1000->1001->1100 etc.
+        let mut t = RouteTable::new(Hnid(0b1000), 4);
+        let one_hop = [Hnid(0b1001), Hnid(0b1010), Hnid(0b0010), Hnid(0b1100), Hnid(0b0000)];
+        for n in one_hop {
+            t.integrate_beacon(n, link(1, 2.0), &[], SimTime::ZERO);
+        }
+        // 1001 advertises its neighbour 1101 (not directly reachable).
+        t.integrate_beacon(
+            Hnid(0b1001),
+            link(1, 2.0),
+            &[AdvertisedRoute { dst: Hnid(0b1101), hops: 1, qos: link(1, 2.0) }],
+            SimTime::ZERO,
+        );
+        assert_eq!(t.neighbors().len(), 5);
+        let r = t.best_route(Hnid(0b1101), &QosRequirement::BEST_EFFORT).unwrap();
+        assert_eq!(r.hops, 2);
+        assert_eq!(r.next_hop, Hnid(0b1001));
+    }
+
+    #[test]
+    fn alternatives_have_distinct_first_hops_and_backup_works() {
+        let mut t = RouteTable::new(Hnid(0b0000), 4);
+        // Two routes to 0011: via 0001 (faster) and via 0010 (slower).
+        t.integrate_beacon(
+            Hnid(0b0001),
+            link(1, 2.0),
+            &[AdvertisedRoute { dst: Hnid(0b0011), hops: 1, qos: link(1, 2.0) }],
+            SimTime::ZERO,
+        );
+        t.integrate_beacon(
+            Hnid(0b0010),
+            link(3, 2.0),
+            &[AdvertisedRoute { dst: Hnid(0b0011), hops: 1, qos: link(3, 2.0) }],
+            SimTime::ZERO,
+        );
+        let best = t.best_route(Hnid(0b0011), &QosRequirement::BEST_EFFORT).unwrap();
+        assert_eq!(best.next_hop, Hnid(0b0001));
+        let backup = t
+            .backup_route(Hnid(0b0011), best.next_hop, &QosRequirement::BEST_EFFORT)
+            .unwrap();
+        assert_eq!(backup.next_hop, Hnid(0b0010));
+        assert_eq!(t.routes_to(Hnid(0b0011)).len(), 2);
+    }
+
+    #[test]
+    fn refresh_replaces_same_first_hop_entry() {
+        let mut t = RouteTable::new(Hnid(0), 4);
+        t.integrate_beacon(Hnid(1), link(5, 1.0), &[], SimTime::ZERO);
+        t.integrate_beacon(Hnid(1), link(2, 2.0), &[], SimTime::from_secs(1));
+        let routes = t.routes_to(Hnid(1));
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].qos.delay, SimDuration::from_millis(2));
+        assert_eq!(routes[0].updated, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn remove_via_reports_failovers() {
+        let mut t = RouteTable::new(Hnid(0), 4);
+        // dst 3: best via 1, backup via 2. dst 5: only via 1.
+        t.integrate_beacon(
+            Hnid(1),
+            link(1, 2.0),
+            &[
+                AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(1, 2.0) },
+                AdvertisedRoute { dst: Hnid(5), hops: 1, qos: link(1, 2.0) },
+            ],
+            SimTime::ZERO,
+        );
+        t.integrate_beacon(
+            Hnid(2),
+            link(2, 2.0),
+            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(2, 2.0) }],
+            SimTime::ZERO,
+        );
+        let failovers = t.remove_via(Hnid(1));
+        // dst 3 failed over to its alternative; dst 5 (and neighbour 1) gone.
+        assert_eq!(failovers, vec![Hnid(3)]);
+        assert!(t.best_route(Hnid(5), &QosRequirement::BEST_EFFORT).is_none());
+        assert!(t.best_route(Hnid(1), &QosRequirement::BEST_EFFORT).is_none());
+        let r3 = t.best_route(Hnid(3), &QosRequirement::BEST_EFFORT).unwrap();
+        assert_eq!(r3.next_hop, Hnid(2));
+    }
+
+    #[test]
+    fn expiry_drops_stale_routes() {
+        let mut t = RouteTable::new(Hnid(0), 4);
+        t.integrate_beacon(Hnid(1), link(1, 2.0), &[], SimTime::ZERO);
+        t.integrate_beacon(Hnid(2), link(1, 2.0), &[], SimTime::from_secs(10));
+        let expired = t.expire(SimTime::from_secs(12), SimDuration::from_secs(5));
+        assert_eq!(expired, 1);
+        assert!(t.routes_to(Hnid(1)).is_empty());
+        assert_eq!(t.routes_to(Hnid(2)).len(), 1);
+    }
+
+    #[test]
+    fn advertisement_respects_k_minus_one() {
+        let mut t = RouteTable::new(Hnid(0), 2);
+        t.integrate_beacon(
+            Hnid(1),
+            link(1, 2.0),
+            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(1, 2.0) }],
+            SimTime::ZERO,
+        );
+        // Table has 1-hop (to 1) and 2-hop (to 3) routes; with k = 2 only
+        // the 1-hop route may be advertised.
+        let adv = t.advertisement();
+        assert_eq!(adv.len(), 1);
+        assert_eq!(adv[0].dst, Hnid(1));
+    }
+
+    #[test]
+    fn qos_constrained_best_route_skips_unqualified() {
+        let mut t = RouteTable::new(Hnid(0), 4);
+        // Fast-but-thin via 1; slow-but-fat via 2.
+        t.integrate_beacon(
+            Hnid(1),
+            link(1, 0.5),
+            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(1, 0.5) }],
+            SimTime::ZERO,
+        );
+        t.integrate_beacon(
+            Hnid(2),
+            link(5, 2.0),
+            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(5, 2.0) }],
+            SimTime::ZERO,
+        );
+        let req = QosRequirement {
+            max_delay: SimDuration::from_secs(1),
+            min_bandwidth_bps: 1e6,
+        };
+        let r = t.best_route(Hnid(3), &req).unwrap();
+        assert_eq!(r.next_hop, Hnid(2)); // the thin route is filtered out
+    }
+}

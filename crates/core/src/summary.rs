@@ -1,0 +1,399 @@
+//! Membership summaries (paper §4.2, Fig. 5).
+//!
+//! The summary-based membership update aggregates group membership at the
+//! three tiers:
+//!
+//! * **Local-Membership** — which groups one MN has joined;
+//! * **MNT-Summary** — a CH's aggregation over its cluster members;
+//! * **HT-Summary** — aggregation over all CHs of one hypercube, including
+//!   *which hypercube nodes* hold members (needed to build the
+//!   hypercube-tier multicast tree of §4.3);
+//! * **MT-Summary** — "which logical hypercubes contain which groups of
+//!   members" — the only state the mesh-tier routing needs, and the only
+//!   state every CH in the network maintains.
+//!
+//! The information loss from tier to tier is the point: the MT-Summary
+//! scales with (groups × occupied hypercubes), independent of the number of
+//! members — this is what the scalability experiments (F5/C4) measure.
+
+use hvdb_geo::{Hid, Hnid, VcId};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A multicast group identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Wire-size constants for overhead accounting (bytes). These model a
+/// compact binary encoding: fixed header plus per-entry costs.
+pub mod wire {
+    /// Common message header (type, ids, checksums).
+    pub const HEADER: usize = 20;
+    /// One group id entry.
+    pub const GROUP_ENTRY: usize = 4;
+    /// One (group, count) entry.
+    pub const COUNT_ENTRY: usize = 8;
+    /// One hypercube-node label entry.
+    pub const LABEL_ENTRY: usize = 2;
+    /// One hypercube id entry.
+    pub const HID_ENTRY: usize = 4;
+}
+
+/// One mobile node's group memberships ("Each MN updates its
+/// Local-Membership when it joins or leaves a multicast group").
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LocalMembership {
+    /// Joined groups, sorted ascending.
+    pub groups: Vec<GroupId>,
+}
+
+impl LocalMembership {
+    /// Joins a group (idempotent, keeps order).
+    pub fn join(&mut self, g: GroupId) {
+        if let Err(pos) = self.groups.binary_search(&g) {
+            self.groups.insert(pos, g);
+        }
+    }
+
+    /// Leaves a group (idempotent).
+    pub fn leave(&mut self, g: GroupId) {
+        if let Ok(pos) = self.groups.binary_search(&g) {
+            self.groups.remove(pos);
+        }
+    }
+
+    /// Whether the node is a member of `g`.
+    pub fn contains(&self, g: GroupId) -> bool {
+        self.groups.binary_search(&g).is_ok()
+    }
+
+    /// Encoded size on the wire.
+    pub fn wire_size(&self) -> usize {
+        wire::HEADER + self.groups.len() * wire::GROUP_ENTRY
+    }
+}
+
+/// A cluster head's aggregation of its members' Local-Memberships.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MntSummary {
+    /// The summarising CH's virtual circle.
+    pub vc: VcId,
+    /// Members per group within this cluster (only non-zero entries).
+    pub counts: FxHashMap<GroupId, u32>,
+}
+
+impl MntSummary {
+    /// Builds the summary from the CH's collected member reports.
+    pub fn from_locals<'a>(vc: VcId, locals: impl Iterator<Item = &'a LocalMembership>) -> Self {
+        let mut counts: FxHashMap<GroupId, u32> = FxHashMap::default();
+        for l in locals {
+            for g in &l.groups {
+                *counts.entry(*g).or_insert(0) += 1;
+            }
+        }
+        MntSummary { vc, counts }
+    }
+
+    /// Number of distinct groups with members in this cluster.
+    pub fn group_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total member slots across groups.
+    pub fn member_count(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// Whether any member of `g` is in this cluster.
+    pub fn has_group(&self, g: GroupId) -> bool {
+        self.counts.contains_key(&g)
+    }
+
+    /// Encoded size on the wire.
+    pub fn wire_size(&self) -> usize {
+        wire::HEADER + self.counts.len() * wire::COUNT_ENTRY
+    }
+}
+
+/// Per-group presence inside one hypercube.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GroupPresence {
+    /// Total members of the group across the hypercube's clusters.
+    pub members: u32,
+    /// Which hypercube nodes (labels) have at least one member — the
+    /// destination set of the hypercube-tier multicast tree.
+    pub nodes: Vec<Hnid>,
+}
+
+/// Aggregation over all CHs of one hypercube.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HtSummary {
+    /// Which hypercube this summarises.
+    pub hid: Hid,
+    /// Presence per group (only groups with members).
+    pub presence: FxHashMap<GroupId, GroupPresence>,
+}
+
+impl HtSummary {
+    /// Builds the hypercube summary from the MNT-Summaries of the cube's
+    /// CHs, tagged with each CH's node label.
+    pub fn from_mnt<'a>(hid: Hid, mnts: impl Iterator<Item = (Hnid, &'a MntSummary)>) -> Self {
+        let mut presence: FxHashMap<GroupId, GroupPresence> = FxHashMap::default();
+        for (label, mnt) in mnts {
+            for (g, count) in &mnt.counts {
+                let p = presence.entry(*g).or_default();
+                p.members += count;
+                if !p.nodes.contains(&label) {
+                    p.nodes.push(label);
+                }
+            }
+        }
+        for p in presence.values_mut() {
+            p.nodes.sort_unstable();
+        }
+        HtSummary { hid, presence }
+    }
+
+    /// Number of groups with members in this hypercube.
+    pub fn group_count(&self) -> usize {
+        self.presence.len()
+    }
+
+    /// Total member slots across groups.
+    pub fn member_count(&self) -> u32 {
+        self.presence.values().map(|p| p.members).sum()
+    }
+
+    /// The labels holding members of `g`, if any.
+    pub fn nodes_with(&self, g: GroupId) -> &[Hnid] {
+        self.presence.get(&g).map_or(&[], |p| p.nodes.as_slice())
+    }
+
+    /// Encoded size on the wire.
+    pub fn wire_size(&self) -> usize {
+        wire::HEADER
+            + self
+                .presence
+                .values()
+                .map(|p| wire::COUNT_ENTRY + p.nodes.len() * wire::LABEL_ENTRY)
+                .sum::<usize>()
+    }
+}
+
+/// The network-wide mesh-tier view: "each CH in the network only needs to
+/// know which logical hypercubes contain which groups of members" (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MtSummary {
+    /// Occupied hypercubes per group, sorted ascending.
+    pub hypercubes: FxHashMap<GroupId, Vec<Hid>>,
+    version: u64,
+}
+
+impl MtSummary {
+    /// Integrates a (fresh) HT-Summary broadcast: hypercube `ht.hid` now
+    /// contains exactly `ht`'s groups. Returns whether anything changed
+    /// (drives multicast-tree cache invalidation).
+    pub fn integrate(&mut self, ht: &HtSummary) -> bool {
+        let mut changed = false;
+        // Add hid to its current groups.
+        for g in ht.presence.keys() {
+            let hids = self.hypercubes.entry(*g).or_default();
+            if let Err(pos) = hids.binary_search(&ht.hid) {
+                hids.insert(pos, ht.hid);
+                changed = true;
+            }
+        }
+        // Remove hid from groups it no longer contains.
+        let mut emptied = Vec::new();
+        for (g, hids) in self.hypercubes.iter_mut() {
+            if !ht.presence.contains_key(g) {
+                if let Ok(pos) = hids.binary_search(&ht.hid) {
+                    hids.remove(pos);
+                    changed = true;
+                    if hids.is_empty() {
+                        emptied.push(*g);
+                    }
+                }
+            }
+        }
+        for g in emptied {
+            self.hypercubes.remove(&g);
+        }
+        if changed {
+            self.version += 1;
+        }
+        changed
+    }
+
+    /// The hypercubes containing members of `g`.
+    pub fn hypercubes_with(&self, g: GroupId) -> &[Hid] {
+        self.hypercubes.get(&g).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Monotone change counter (multicast-tree caches key on this).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Encoded size on the wire.
+    pub fn wire_size(&self) -> usize {
+        wire::HEADER
+            + self
+                .hypercubes
+                .values()
+                .map(|h| wire::GROUP_ENTRY + h.len() * wire::HID_ENTRY)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: u32) -> GroupId {
+        GroupId(n)
+    }
+
+    #[test]
+    fn local_membership_join_leave_idempotent() {
+        let mut l = LocalMembership::default();
+        l.join(g(3));
+        l.join(g(1));
+        l.join(g(3));
+        assert_eq!(l.groups, vec![g(1), g(3)]);
+        assert!(l.contains(g(1)));
+        l.leave(g(1));
+        l.leave(g(1));
+        assert_eq!(l.groups, vec![g(3)]);
+        assert!(!l.contains(g(1)));
+        assert_eq!(l.wire_size(), wire::HEADER + wire::GROUP_ENTRY);
+    }
+
+    #[test]
+    fn mnt_summary_counts_members_per_group() {
+        let mut a = LocalMembership::default();
+        a.join(g(1));
+        a.join(g(2));
+        let mut b = LocalMembership::default();
+        b.join(g(1));
+        let empty = LocalMembership::default();
+        let mnt = MntSummary::from_locals(VcId::new(2, 3), [&a, &b, &empty].into_iter());
+        assert_eq!(mnt.counts[&g(1)], 2);
+        assert_eq!(mnt.counts[&g(2)], 1);
+        assert_eq!(mnt.group_count(), 2);
+        assert_eq!(mnt.member_count(), 3);
+        assert!(mnt.has_group(g(2)));
+        assert!(!mnt.has_group(g(9)));
+    }
+
+    #[test]
+    fn ht_summary_tracks_which_labels_hold_members() {
+        let mut m1 = MntSummary::default();
+        m1.counts.insert(g(1), 2);
+        m1.counts.insert(g(2), 1);
+        let mut m2 = MntSummary::default();
+        m2.counts.insert(g(1), 1);
+        let ht = HtSummary::from_mnt(
+            Hid::new(0, 0),
+            [(Hnid(0b1000), &m1), (Hnid(0b0001), &m2)].into_iter(),
+        );
+        assert_eq!(ht.group_count(), 2);
+        assert_eq!(ht.member_count(), 4);
+        assert_eq!(ht.nodes_with(g(1)), &[Hnid(0b0001), Hnid(0b1000)]);
+        assert_eq!(ht.nodes_with(g(2)), &[Hnid(0b1000)]);
+        assert_eq!(ht.nodes_with(g(7)), &[] as &[Hnid]);
+    }
+
+    #[test]
+    fn mt_summary_integrates_and_retracts() {
+        let mut mt = MtSummary::default();
+        let mut ht = HtSummary {
+            hid: Hid::new(1, 1),
+            ..Default::default()
+        };
+        ht.presence.insert(g(5), GroupPresence::default());
+        assert!(mt.integrate(&ht));
+        assert_eq!(mt.hypercubes_with(g(5)), &[Hid::new(1, 1)]);
+        let v1 = mt.version();
+        // Re-integrating unchanged: no version bump.
+        assert!(!mt.integrate(&ht));
+        assert_eq!(mt.version(), v1);
+        // The hypercube's last member of g5 leaves.
+        ht.presence.clear();
+        ht.presence.insert(g(6), GroupPresence::default());
+        assert!(mt.integrate(&ht));
+        assert!(mt.hypercubes_with(g(5)).is_empty());
+        assert_eq!(mt.hypercubes_with(g(6)), &[Hid::new(1, 1)]);
+        assert!(mt.version() > v1);
+    }
+
+    #[test]
+    fn mt_summary_multiple_hypercubes_sorted() {
+        let mut mt = MtSummary::default();
+        for hid in [Hid::new(1, 0), Hid::new(0, 0), Hid::new(0, 1)] {
+            let mut ht = HtSummary {
+                hid,
+                ..Default::default()
+            };
+            ht.presence.insert(g(1), GroupPresence::default());
+            mt.integrate(&ht);
+        }
+        assert_eq!(
+            mt.hypercubes_with(g(1)),
+            &[Hid::new(0, 0), Hid::new(0, 1), Hid::new(1, 0)]
+        );
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let mut mnt = MntSummary::default();
+        let base = mnt.wire_size();
+        mnt.counts.insert(g(1), 3);
+        assert_eq!(mnt.wire_size(), base + wire::COUNT_ENTRY);
+
+        let mut ht = HtSummary::default();
+        let base = ht.wire_size();
+        ht.presence.insert(
+            g(1),
+            GroupPresence {
+                members: 3,
+                nodes: vec![Hnid(1), Hnid(2)],
+            },
+        );
+        assert_eq!(
+            ht.wire_size(),
+            base + wire::COUNT_ENTRY + 2 * wire::LABEL_ENTRY
+        );
+
+        let mut mt = MtSummary::default();
+        let base = mt.wire_size();
+        let mut h = HtSummary {
+            hid: Hid::new(0, 0),
+            ..Default::default()
+        };
+        h.presence.insert(g(1), GroupPresence::default());
+        mt.integrate(&h);
+        assert_eq!(mt.wire_size(), base + wire::GROUP_ENTRY + wire::HID_ENTRY);
+    }
+
+    #[test]
+    fn mt_key_property_size_independent_of_member_count() {
+        // The paper's scalability argument: MT state depends on groups ×
+        // hypercubes, NOT on members. 10 vs 10_000 members, same wire size.
+        let build = |members: u32| {
+            let mut mnt = MntSummary::default();
+            mnt.counts.insert(g(1), members);
+            let ht = HtSummary::from_mnt(Hid::new(0, 0), [(Hnid(0), &mnt)].into_iter());
+            let mut mt = MtSummary::default();
+            mt.integrate(&ht);
+            mt.wire_size()
+        };
+        assert_eq!(build(10), build(10_000));
+    }
+}

@@ -1,0 +1,265 @@
+//! Mesh-tier multicast trees (paper §4.3).
+//!
+//! "The multicast tree is built at the mesh tier, and each node in the tree
+//! is a mesh node, i.e., a logical hypercube." The source CH computes this
+//! tree from its MT-Summary, caches it, and encapsulates it into the packet
+//! header; branches are then carried hypercube-to-hypercube by the
+//! location-based unicast substrate.
+//!
+//! Routing between mesh nodes is dimension-ordered (row first, then
+//! column — the mesh analogue of e-cube routing), so trees are
+//! deterministic and paths merge maximally on shared prefixes.
+
+use hvdb_geo::Hid;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The dimension-ordered (row-first) mesh path between two hypercube ids,
+/// inclusive of both endpoints.
+pub fn mesh_path(from: Hid, to: Hid) -> Vec<Hid> {
+    let mut out = Vec::with_capacity(from.mesh_distance(to) as usize + 1);
+    let mut cur = from;
+    out.push(cur);
+    while cur.row != to.row {
+        cur.row = if to.row > cur.row { cur.row + 1 } else { cur.row - 1 };
+        out.push(cur);
+    }
+    while cur.col != to.col {
+        cur.col = if to.col > cur.col { cur.col + 1 } else { cur.col - 1 };
+        out.push(cur);
+    }
+    out
+}
+
+/// A multicast tree over mesh nodes (hypercubes), rooted at the source
+/// CH's hypercube.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MeshTree {
+    /// The root hypercube.
+    pub root: Hid,
+    /// child -> parent.
+    pub parent: FxHashMap<Hid, Hid>,
+    /// parent -> sorted children.
+    pub children: FxHashMap<Hid, Vec<Hid>>,
+}
+
+impl MeshTree {
+    fn from_parents(root: Hid, parent: FxHashMap<Hid, Hid>) -> Self {
+        let mut children: FxHashMap<Hid, Vec<Hid>> = FxHashMap::default();
+        for (&c, &p) in &parent {
+            children.entry(p).or_default().push(c);
+        }
+        for v in children.values_mut() {
+            v.sort_unstable();
+        }
+        MeshTree {
+            root,
+            parent,
+            children,
+        }
+    }
+
+    /// Builds the tree covering `destinations` (the hypercubes the
+    /// MT-Summary lists for the group), merging dimension-ordered paths in
+    /// ascending destination order.
+    pub fn build(root: Hid, destinations: &[Hid]) -> Self {
+        let mut parent: FxHashMap<Hid, Hid> = FxHashMap::default();
+        let mut dests: Vec<Hid> = destinations.to_vec();
+        dests.sort_unstable();
+        dests.dedup();
+        for dst in dests {
+            if dst == root || parent.contains_key(&dst) {
+                continue;
+            }
+            let path = mesh_path(root, dst);
+            for w in path.windows(2).rev() {
+                let (p, c) = (w[0], w[1]);
+                if parent.contains_key(&c) {
+                    break;
+                }
+                parent.insert(c, p);
+            }
+        }
+        Self::from_parents(root, parent)
+    }
+
+    /// The children of `hid` in the tree.
+    pub fn children_of(&self, hid: Hid) -> &[Hid] {
+        self.children.get(&hid).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Whether the tree contains `hid`.
+    pub fn contains(&self, hid: Hid) -> bool {
+        hid == self.root || self.parent.contains_key(&hid)
+    }
+
+    /// Number of tree links (= inter-hypercube transfers for one packet).
+    pub fn edge_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Serialises as a BFS-ordered edge list for the packet header (the
+    /// §4.3 encapsulation).
+    pub fn encode_edges(&self) -> Vec<(Hid, Hid)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        let mut queue = VecDeque::from([self.root]);
+        while let Some(u) = queue.pop_front() {
+            for &c in self.children_of(u) {
+                out.push((u, c));
+                queue.push_back(c);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds from an encoded edge list; `None` if inconsistent.
+    pub fn decode_edges(root: Hid, edges: &[(Hid, Hid)]) -> Option<Self> {
+        let mut parent = FxHashMap::default();
+        for &(p, c) in edges {
+            if c == root || parent.insert(c, p).is_some() {
+                return None;
+            }
+        }
+        let tree = Self::from_parents(root, parent);
+        // Audit reachability.
+        let mut reached = 1usize;
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for &c in tree.children_of(u) {
+                reached += 1;
+                queue.push_back(c);
+            }
+        }
+        (reached == tree.parent.len() + 1).then_some(tree)
+    }
+
+    /// Wire size of the encoded tree (bytes): 8 per edge.
+    pub fn wire_size(&self) -> usize {
+        self.edge_count() * 8
+    }
+
+    /// The children of `hid` *restricted to the subtree rooted there*,
+    /// re-encoded for onward encapsulation (each branch carries only its
+    /// own subtree, like SGM's recursive packet encapsulation).
+    pub fn subtree_edges(&self, hid: Hid) -> Vec<(Hid, Hid)> {
+        let mut out = Vec::new();
+        let mut queue = VecDeque::from([hid]);
+        while let Some(u) = queue.pop_front() {
+            for &c in self.children_of(u) {
+                out.push((u, c));
+                queue.push_back(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_path_is_row_then_column() {
+        let p = mesh_path(Hid::new(0, 0), Hid::new(2, 1));
+        assert_eq!(
+            p,
+            vec![
+                Hid::new(0, 0),
+                Hid::new(1, 0),
+                Hid::new(2, 0),
+                Hid::new(2, 1)
+            ]
+        );
+        assert_eq!(p.len() as u32, Hid::new(0, 0).mesh_distance(Hid::new(2, 1)) + 1);
+    }
+
+    #[test]
+    fn mesh_path_handles_negative_directions() {
+        let p = mesh_path(Hid::new(3, 3), Hid::new(1, 0));
+        assert_eq!(p.first(), Some(&Hid::new(3, 3)));
+        assert_eq!(p.last(), Some(&Hid::new(1, 0)));
+        assert_eq!(p.len(), 6); // 2 rows + 3 cols + 1
+        for w in p.windows(2) {
+            assert_eq!(w[0].mesh_distance(w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn self_path_is_singleton() {
+        assert_eq!(mesh_path(Hid::new(1, 1), Hid::new(1, 1)), vec![Hid::new(1, 1)]);
+    }
+
+    #[test]
+    fn tree_covers_destinations_and_merges_prefixes() {
+        let root = Hid::new(0, 0);
+        let dests = [Hid::new(2, 0), Hid::new(2, 1), Hid::new(2, 2)];
+        let t = MeshTree::build(root, &dests);
+        for d in dests {
+            assert!(t.contains(d));
+        }
+        // Shared row-path 0,0 -> 1,0 -> 2,0 then along the row: 5 edges,
+        // not 3 + 4 + 5 = 12 path cells.
+        assert_eq!(t.edge_count(), 4);
+    }
+
+    #[test]
+    fn tree_with_root_as_destination() {
+        let t = MeshTree::build(Hid::new(1, 1), &[Hid::new(1, 1)]);
+        assert_eq!(t.edge_count(), 0);
+        assert!(t.contains(Hid::new(1, 1)));
+    }
+
+    #[test]
+    fn tree_empty_destinations() {
+        let t = MeshTree::build(Hid::new(0, 0), &[]);
+        assert_eq!(t.edge_count(), 0);
+        assert!(t.encode_edges().is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = MeshTree::build(
+            Hid::new(1, 1),
+            &[Hid::new(0, 0), Hid::new(3, 2), Hid::new(1, 3)],
+        );
+        let back = MeshTree::decode_edges(t.root, &t.encode_edges()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(t.wire_size(), t.edge_count() * 8);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MeshTree::decode_edges(
+            Hid::new(0, 0),
+            &[(Hid::new(5, 5), Hid::new(6, 6))]
+        )
+        .is_none());
+        assert!(MeshTree::decode_edges(
+            Hid::new(0, 0),
+            &[(Hid::new(0, 0), Hid::new(0, 1)), (Hid::new(1, 1), Hid::new(0, 1))]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn subtree_edges_carry_only_descendants() {
+        let root = Hid::new(0, 0);
+        let t = MeshTree::build(root, &[Hid::new(0, 2), Hid::new(2, 0)]);
+        // Children of root: (0,1)... and (1,0)...
+        let sub = t.subtree_edges(Hid::new(1, 0));
+        assert_eq!(sub, vec![(Hid::new(1, 0), Hid::new(2, 0))]);
+        let sub_leaf = t.subtree_edges(Hid::new(2, 0));
+        assert!(sub_leaf.is_empty());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let dests = [Hid::new(2, 3), Hid::new(0, 1), Hid::new(3, 0)];
+        let a = MeshTree::build(Hid::new(1, 1), &dests);
+        let mut shuffled = dests;
+        shuffled.swap(0, 2);
+        let b = MeshTree::build(Hid::new(1, 1), &shuffled);
+        assert_eq!(a, b, "tree must not depend on destination order");
+    }
+}

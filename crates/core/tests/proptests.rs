@@ -1,0 +1,243 @@
+//! Property-based tests for the HVDB core data structures: summary
+//! pipeline invariants, route-table invariants, mesh-tree invariants, and
+//! the designated-broadcaster uniqueness guarantee.
+
+use hvdb_core::routes::{AdvertisedRoute, QosMetrics, MAX_ALTERNATIVES};
+use hvdb_core::{
+    DesignationCriterion, GroupId, HtSummary, LocalMembership, MembershipDb, MeshTree,
+    MntSummary, MtSummary, QosRequirement, RouteTable,
+};
+use hvdb_geo::{Hid, Hnid, VcId};
+use hvdb_hypercube::IncompleteHypercube;
+use hvdb_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_local() -> impl Strategy<Value = LocalMembership> {
+    proptest::collection::vec(0u32..20, 0..6).prop_map(|gs| {
+        let mut lm = LocalMembership::default();
+        for g in gs {
+            lm.join(GroupId(g));
+        }
+        lm
+    })
+}
+
+proptest! {
+    /// MNT counts equal the sum of member flags, and the wire size scales
+    /// only with distinct groups.
+    #[test]
+    fn mnt_summary_counts_are_exact(locals in proptest::collection::vec(arb_local(), 0..30)) {
+        let mnt = MntSummary::from_locals(VcId::new(0, 0), locals.iter());
+        for (g, count) in &mnt.counts {
+            let expect = locals.iter().filter(|l| l.contains(*g)).count() as u32;
+            prop_assert_eq!(*count, expect);
+            prop_assert!(expect > 0);
+        }
+        // No zero-count entries exist.
+        let total: u32 = mnt.counts.values().sum();
+        let expect_total: u32 = locals.iter().map(|l| l.groups.len() as u32).sum();
+        prop_assert_eq!(total, expect_total);
+    }
+
+    /// HT presence lists exactly the labels whose MNT contains the group,
+    /// and member counts add up.
+    #[test]
+    fn ht_summary_is_exact_union(
+        entries in proptest::collection::vec((0u32..16, arb_local()), 0..16),
+    ) {
+        let mnts: Vec<(Hnid, MntSummary)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (_, lm))| {
+                (Hnid(i as u32), MntSummary::from_locals(VcId::new(0, 0), std::iter::once(lm)))
+            })
+            .collect();
+        let ht = HtSummary::from_mnt(Hid::new(0, 0), mnts.iter().map(|(l, m)| (*l, m)));
+        for (g, p) in &ht.presence {
+            let expect_labels: Vec<Hnid> = mnts
+                .iter()
+                .filter(|(_, m)| m.has_group(*g))
+                .map(|(l, _)| *l)
+                .collect();
+            prop_assert_eq!(p.nodes.clone(), expect_labels);
+            let expect_members: u32 = mnts
+                .iter()
+                .filter_map(|(_, m)| m.counts.get(g))
+                .sum();
+            prop_assert_eq!(p.members, expect_members);
+        }
+    }
+
+    /// MT integration is idempotent and converges to the same state
+    /// regardless of the order HT summaries arrive in.
+    #[test]
+    fn mt_integration_order_independent(
+        hts in proptest::collection::vec((0u16..4, 0u16..4, proptest::collection::vec(0u32..8, 0..5)), 1..10),
+    ) {
+        let summaries: Vec<HtSummary> = hts
+            .iter()
+            .map(|(r, c, groups)| {
+                let mut lm = LocalMembership::default();
+                for g in groups {
+                    lm.join(GroupId(*g));
+                }
+                let mnt = MntSummary::from_locals(VcId::new(0, 0), std::iter::once(&lm));
+                HtSummary::from_mnt(Hid::new(*r, *c), [(Hnid(0), &mnt)].into_iter())
+            })
+            .collect();
+        // Keep only the LAST summary per hid (later ones overwrite).
+        let mut last: std::collections::BTreeMap<Hid, HtSummary> = Default::default();
+        for ht in &summaries {
+            last.insert(ht.hid, ht.clone());
+        }
+        let mut forward = MtSummary::default();
+        for ht in last.values() {
+            forward.integrate(ht);
+        }
+        let mut backward = MtSummary::default();
+        for ht in last.values().rev() {
+            backward.integrate(ht);
+        }
+        for g in 0u32..8 {
+            prop_assert_eq!(
+                forward.hypercubes_with(GroupId(g)),
+                backward.hypercubes_with(GroupId(g))
+            );
+        }
+        // Idempotent: re-integrating the same summaries changes nothing.
+        for ht in last.values() {
+            prop_assert!(!forward.integrate(ht));
+        }
+    }
+
+    /// Route table invariants under arbitrary beacon sequences: alternatives
+    /// per destination are bounded, have distinct first hops, are sorted by
+    /// (hops, delay), and never exceed the horizon.
+    #[test]
+    fn route_table_invariants(
+        beacons in proptest::collection::vec(
+            (0u32..8, 1u64..20, proptest::collection::vec((0u32..16, 0u32..5, 1u64..30), 0..8)),
+            0..30,
+        ),
+        k in 1u32..6,
+    ) {
+        let me = Hnid(31);
+        let mut t = RouteTable::new(me, k);
+        for (i, (from, link_ms, advs)) in beacons.iter().enumerate() {
+            let link = QosMetrics {
+                delay: SimDuration::from_millis(*link_ms),
+                bandwidth_bps: 2e6,
+            };
+            let advertised: Vec<AdvertisedRoute> = advs
+                .iter()
+                .map(|(dst, hops, ms)| AdvertisedRoute {
+                    dst: Hnid(*dst),
+                    hops: *hops,
+                    qos: QosMetrics {
+                        delay: SimDuration::from_millis(*ms),
+                        bandwidth_bps: 2e6,
+                    },
+                })
+                .collect();
+            t.integrate_beacon(Hnid(*from), link, &advertised, SimTime(i as u64));
+        }
+        for dst in (0u32..32).map(Hnid) {
+            let routes = t.routes_to(dst);
+            prop_assert!(routes.len() <= MAX_ALTERNATIVES);
+            let mut firsts: Vec<Hnid> = routes.iter().map(|r| r.next_hop).collect();
+            firsts.sort_unstable();
+            firsts.dedup();
+            prop_assert_eq!(firsts.len(), routes.len(), "duplicate first hops");
+            for w in routes.windows(2) {
+                prop_assert!((w[0].hops, w[0].qos.delay) <= (w[1].hops, w[1].qos.delay));
+            }
+            for r in routes {
+                prop_assert!(r.hops <= t.k());
+                prop_assert_ne!(r.dst, me);
+            }
+            if let Some(best) = t.best_route(dst, &QosRequirement::BEST_EFFORT) {
+                prop_assert_eq!(best, &routes[0]);
+            }
+        }
+    }
+
+    /// remove_via leaves no route through the removed neighbour.
+    #[test]
+    fn remove_via_is_complete(
+        neighbors in proptest::collection::vec(0u32..6, 1..6),
+        victim in 0u32..6,
+    ) {
+        let mut t = RouteTable::new(Hnid(31), 4);
+        let link = QosMetrics {
+            delay: SimDuration::from_millis(1),
+            bandwidth_bps: 2e6,
+        };
+        for n in &neighbors {
+            let adv = [AdvertisedRoute {
+                dst: Hnid(20),
+                hops: 1,
+                qos: link,
+            }];
+            t.integrate_beacon(Hnid(*n), link, &adv, SimTime::ZERO);
+        }
+        t.remove_via(Hnid(victim));
+        for dst in (0u32..32).map(Hnid) {
+            for r in t.routes_to(dst) {
+                prop_assert_ne!(r.next_hop, Hnid(victim));
+            }
+        }
+    }
+
+    /// Mesh trees cover all destinations, decode losslessly, and their edge
+    /// count never exceeds the sum of individual path lengths.
+    #[test]
+    fn mesh_tree_invariants(
+        root in (0u16..6, 0u16..6),
+        dests in proptest::collection::vec((0u16..6, 0u16..6), 0..12),
+    ) {
+        let root = Hid::new(root.0, root.1);
+        let hids: Vec<Hid> = dests.iter().map(|(r, c)| Hid::new(*r, *c)).collect();
+        let t = MeshTree::build(root, &hids);
+        let mut path_sum = 0;
+        for d in &hids {
+            prop_assert!(t.contains(*d));
+            path_sum += root.mesh_distance(*d) as usize;
+        }
+        prop_assert!(t.edge_count() <= path_sum);
+        let back = MeshTree::decode_edges(root, &t.encode_edges()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Over any shared MNT state and any criterion, exactly one CH
+    /// self-designates as the HT broadcaster.
+    #[test]
+    fn designation_unique(
+        labels in proptest::collection::vec((0u32..16, proptest::collection::vec(0u32..6, 0..4)), 1..12),
+        criterion in prop_oneof![
+            Just(DesignationCriterion::MostGroups),
+            Just(DesignationCriterion::NeighborhoodGroups),
+        ],
+    ) {
+        let mut db = MembershipDb::default();
+        let mut present = Vec::new();
+        for (label, groups) in &labels {
+            let mut lm = LocalMembership::default();
+            for g in groups {
+                lm.join(GroupId(*g));
+            }
+            let mnt = MntSummary::from_locals(VcId::new(0, 0), std::iter::once(&lm));
+            db.store_mnt(Hnid(*label), mnt);
+            present.push(*label);
+        }
+        let cube = IncompleteHypercube::with_nodes(4, present.clone());
+        let mut distinct = present.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let winners: Vec<u32> = distinct
+            .iter()
+            .filter(|l| db.should_broadcast(Hnid(**l), criterion, &cube))
+            .copied()
+            .collect();
+        prop_assert_eq!(winners.len(), 1, "criterion {:?}", criterion);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hvdb-geo — geometry, virtual circles, and logical identifiers
+//!
+//! Geometric substrate for the HVDB reproduction (Wang et al., IPDPS 2005):
+//!
+//! * [`point`] — points, velocity vectors, axis-aligned boxes;
+//! * [`grid`] — the Virtual Circle (VC) grid the paper partitions the
+//!   deployment area into (§3), including residence-time prediction used by
+//!   the clustering tier;
+//! * [`ids`] — the four logical identifiers of §4.1 (CHID, HNID, HID, MNID)
+//!   and the "simple function" mapping VCs to hypercube nodes, reproducing
+//!   the paper's Fig. 2/Fig. 3 layout bit-for-bit;
+//! * [`spatial`] — a spatial hash index for radio-range neighbour queries.
+//!
+//! This crate is pure math: no simulation state, no protocol logic.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod ids;
+pub mod point;
+pub mod spatial;
+
+pub use grid::{VcGrid, VcId};
+pub use ids::{ChKind, Hid, Hnid, LogicalAddress, Mnid, RegionMap};
+pub use point::{Aabb, Point, Vec2};
+pub use spatial::SpatialIndex;

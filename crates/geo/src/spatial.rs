@@ -1,0 +1,235 @@
+//! A spatial hash index for radio-range neighbour queries.
+//!
+//! The simulator needs "who is within transmission range of `p`" queries
+//! for every packet broadcast; a uniform hash grid with cell size equal to
+//! the query radius answers these in expected O(k) for k results, which is
+//! the standard choice for roughly uniform node distributions (dense MANET
+//! deployments). Keys are small integers, so we use `FxHashMap` per the
+//! performance guidance for integer-keyed hot maps.
+
+use crate::point::Point;
+use rustc_hash::FxHashMap;
+
+/// A spatial hash over items identified by `u32` ids.
+///
+/// Build it once per topology-update round with [`SpatialIndex::rebuild`]
+/// (cheap: one pass, reusing allocations), then issue any number of
+/// [`SpatialIndex::query_range`] calls.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    cell_size: f64,
+    cells: FxHashMap<(i32, i32), Vec<(u32, Point)>>,
+    len: usize,
+}
+
+impl SpatialIndex {
+    /// Creates an empty index with the given cell size. For best
+    /// performance the cell size should match the typical query radius.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive and finite"
+        );
+        SpatialIndex {
+            cell_size,
+            cells: FxHashMap::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of indexed items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point) -> (i32, i32) {
+        (
+            (p.x / self.cell_size).floor() as i32,
+            (p.y / self.cell_size).floor() as i32,
+        )
+    }
+
+    /// Inserts one item. Duplicate ids are allowed but queries will return
+    /// each inserted copy; callers maintaining a mutable population should
+    /// prefer [`SpatialIndex::rebuild`].
+    pub fn insert(&mut self, id: u32, p: Point) {
+        self.cells.entry(self.cell_of(p)).or_default().push((id, p));
+        self.len += 1;
+    }
+
+    /// Clears and refills the index from an iterator of (id, position)
+    /// pairs, reusing bucket allocations where possible.
+    pub fn rebuild(&mut self, items: impl IntoIterator<Item = (u32, Point)>) {
+        for bucket in self.cells.values_mut() {
+            bucket.clear();
+        }
+        self.len = 0;
+        for (id, p) in items {
+            self.insert(id, p);
+        }
+    }
+
+    /// Removes one occurrence of `id` at position `p` (the position must be
+    /// the one it was inserted with). Returns whether something was removed.
+    pub fn remove(&mut self, id: u32, p: Point) -> bool {
+        let key = self.cell_of(p);
+        if let Some(bucket) = self.cells.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|(i, _)| *i == id) {
+                bucket.swap_remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Moves an item from `old` to `new` position.
+    pub fn relocate(&mut self, id: u32, old: Point, new: Point) {
+        let removed = self.remove(id, old);
+        debug_assert!(removed, "relocate of unindexed item {id}");
+        self.insert(id, new);
+    }
+
+    /// Collects the ids of all items within `radius` of `center`
+    /// (inclusive), appending to `out`. `out` is cleared first; passing a
+    /// reused buffer avoids per-query allocation (hot path).
+    pub fn query_range_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let r_sq = radius * radius;
+        let reach = (radius / self.cell_size).ceil() as i32;
+        let (cx, cy) = self.cell_of(center);
+        for gx in (cx - reach)..=(cx + reach) {
+            for gy in (cy - reach)..=(cy + reach) {
+                if let Some(bucket) = self.cells.get(&(gx, gy)) {
+                    for (id, p) in bucket {
+                        if p.distance_sq(center) <= r_sq {
+                            out.push(*id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocation-per-call convenience wrapper over
+    /// [`SpatialIndex::query_range_into`].
+    pub fn query_range(&self, center: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_range_into(center, radius, &mut out);
+        out
+    }
+
+    /// The id of the nearest item to `center` within `radius`, if any,
+    /// excluding `exclude` (pass `u32::MAX` to exclude nothing).
+    pub fn nearest_within(&self, center: Point, radius: f64, exclude: u32) -> Option<u32> {
+        let r_sq = radius * radius;
+        let reach = (radius / self.cell_size).ceil() as i32;
+        let (cx, cy) = self.cell_of(center);
+        let mut best: Option<(u32, f64)> = None;
+        for gx in (cx - reach)..=(cx + reach) {
+            for gy in (cy - reach)..=(cy + reach) {
+                if let Some(bucket) = self.cells.get(&(gx, gy)) {
+                    for (id, p) in bucket {
+                        if *id == exclude {
+                            continue;
+                        }
+                        let d = p.distance_sq(center);
+                        if d <= r_sq && best.map_or(true, |(_, bd)| d < bd) {
+                            best = Some((*id, d));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> SpatialIndex {
+        let mut idx = SpatialIndex::new(50.0);
+        idx.insert(1, Point::new(0.0, 0.0));
+        idx.insert(2, Point::new(30.0, 40.0)); // 50 m from origin
+        idx.insert(3, Point::new(100.0, 0.0));
+        idx.insert(4, Point::new(500.0, 500.0));
+        idx
+    }
+
+    #[test]
+    fn query_returns_items_within_radius_inclusive() {
+        let idx = sample_index();
+        let mut got = idx.query_range(Point::ORIGIN, 50.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn query_radius_larger_than_cell() {
+        let idx = sample_index();
+        let mut got = idx.query_range(Point::ORIGIN, 120.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn query_empty_region() {
+        let idx = sample_index();
+        assert!(idx.query_range(Point::new(-400.0, -400.0), 60.0).is_empty());
+    }
+
+    #[test]
+    fn remove_and_relocate() {
+        let mut idx = sample_index();
+        assert_eq!(idx.len(), 4);
+        assert!(idx.remove(3, Point::new(100.0, 0.0)));
+        assert!(!idx.remove(3, Point::new(100.0, 0.0)));
+        assert_eq!(idx.len(), 3);
+        idx.relocate(4, Point::new(500.0, 500.0), Point::new(10.0, 10.0));
+        let mut got = idx.query_range(Point::ORIGIN, 50.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn rebuild_replaces_population() {
+        let mut idx = sample_index();
+        idx.rebuild((10..20).map(|i| (i, Point::new(i as f64, 0.0))));
+        assert_eq!(idx.len(), 10);
+        assert!(idx.query_range(Point::ORIGIN, 5.0).len() < 10);
+        assert_eq!(idx.query_range(Point::ORIGIN, 100.0).len(), 10);
+    }
+
+    #[test]
+    fn nearest_within_finds_closest_and_respects_exclude() {
+        let idx = sample_index();
+        assert_eq!(idx.nearest_within(Point::new(1.0, 1.0), 200.0, u32::MAX), Some(1));
+        assert_eq!(idx.nearest_within(Point::new(1.0, 1.0), 200.0, 1), Some(2));
+        assert_eq!(idx.nearest_within(Point::new(1000.0, 0.0), 10.0, u32::MAX), None);
+    }
+
+    #[test]
+    fn negative_coordinates_hash_correctly() {
+        let mut idx = SpatialIndex::new(25.0);
+        idx.insert(7, Point::new(-10.0, -10.0));
+        idx.insert(8, Point::new(-60.0, -60.0));
+        let got = idx.query_range(Point::new(-12.0, -12.0), 5.0);
+        assert_eq!(got, vec![7]);
+        let mut both = idx.query_range(Point::new(-35.0, -35.0), 40.0);
+        both.sort_unstable();
+        assert_eq!(both, vec![7, 8]);
+    }
+}

@@ -1,0 +1,420 @@
+//! Node-disjoint paths — the structural basis of the paper's availability
+//! claim.
+//!
+//! "High fault tolerance: The hypercube offers n node disjoint paths between
+//! each pair of nodes, therefore it can sustain up to n - 1 node failures"
+//! (§2.1); and in the conclusions: "if the current logical route is broken,
+//! multiple candidate logical routes become available immediately to sustain
+//! the service without QoS being degraded" (§5).
+//!
+//! Two constructions are provided:
+//!
+//! * [`disjoint_paths_complete`] — the classic explicit construction (after
+//!   Saad & Schultz) of exactly `n` pairwise internally node-disjoint paths
+//!   in a complete `n`-cube: `H(u,v)` paths of length `H(u,v)` plus
+//!   `n − H(u,v)` paths of length `H(u,v) + 2`.
+//! * [`max_disjoint_paths`] — a unit-capacity max-flow (vertex-split
+//!   Edmonds-Karp) that finds a maximum set of internally node-disjoint
+//!   paths in an *incomplete* cube, which is what the HVDB protocol actually
+//!   has at runtime.
+
+use crate::label::{self, NodeLabel};
+use crate::topology::IncompleteHypercube;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// The `dim` pairwise internally node-disjoint paths from `u` to `v` in a
+/// complete `dim`-cube. Each path includes both endpoints. Returns an empty
+/// vector when `u == v`.
+pub fn disjoint_paths_complete(u: NodeLabel, v: NodeLabel, dim: u8) -> Vec<Vec<NodeLabel>> {
+    debug_assert!(label::in_range(u, dim) && label::in_range(v, dim));
+    if u == v {
+        return Vec::new();
+    }
+    let diff: Vec<u8> = label::differing_dims(u, v).collect();
+    let h = diff.len();
+    let mut paths = Vec::with_capacity(dim as usize);
+    // h shortest paths: rotate the order in which differing dims are fixed.
+    for start in 0..h {
+        let mut path = Vec::with_capacity(h + 1);
+        let mut cur = u;
+        path.push(cur);
+        for i in 0..h {
+            cur = label::flip(cur, diff[(start + i) % h]);
+            path.push(cur);
+        }
+        debug_assert_eq!(cur, v);
+        paths.push(path);
+    }
+    // dim - h detour paths: leave along a non-differing dim j, fix all
+    // differing dims, then return along j.
+    for j in 0..dim {
+        if diff.contains(&j) {
+            continue;
+        }
+        let mut path = Vec::with_capacity(h + 3);
+        let mut cur = label::flip(u, j);
+        path.push(u);
+        path.push(cur);
+        for &d in &diff {
+            cur = label::flip(cur, d);
+            path.push(cur);
+        }
+        cur = label::flip(cur, j);
+        path.push(cur);
+        debug_assert_eq!(cur, v);
+        paths.push(path);
+    }
+    paths
+}
+
+/// Checks that a set of paths between a common (src, dst) pair is pairwise
+/// internally node-disjoint and that every hop is a hypercube link of
+/// dimension `dim` (used by tests and by the availability experiment to
+/// audit constructions).
+pub fn are_internally_disjoint(paths: &[Vec<NodeLabel>]) -> bool {
+    let mut seen = rustc_hash::FxHashSet::default();
+    for p in paths {
+        for &node in &p[1..p.len().saturating_sub(1)] {
+            if !seen.insert(node) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Max-flow state for vertex-disjoint path extraction. Vertices are split:
+/// `2x` is the in-copy, `2x + 1` the out-copy of cube node `x`.
+struct SplitFlow<'a> {
+    cube: &'a IncompleteHypercube,
+    /// Residual capacity deltas relative to the structural graph: +1 means
+    /// a residual (reverse) edge exists, -1 means a forward edge is used up.
+    used: FxHashMap<(u32, u32), i32>,
+    src: NodeLabel,
+    dst: NodeLabel,
+}
+
+impl<'a> SplitFlow<'a> {
+    fn new(cube: &'a IncompleteHypercube, src: NodeLabel, dst: NodeLabel) -> Self {
+        SplitFlow {
+            cube,
+            used: FxHashMap::default(),
+            src,
+            dst,
+        }
+    }
+
+    /// Structural capacity of a split-graph arc.
+    fn base_cap(&self, a: u32, b: u32) -> i32 {
+        let (na, ia) = (a >> 1, a & 1 == 0); // node, is_in_copy
+        let (nb, ib) = (b >> 1, b & 1 == 0);
+        if na == nb && ia && !ib {
+            // in -> out: capacity 1, unlimited for endpoints so multiple
+            // paths can start/terminate there.
+            if na == self.src || na == self.dst {
+                i32::MAX / 2
+            } else {
+                1
+            }
+        } else if !ia && ib && na != nb && self.cube.has_link(na, nb) {
+            1 // out(u) -> in(v) over a usable link
+        } else {
+            0
+        }
+    }
+
+    fn residual(&self, a: u32, b: u32) -> i32 {
+        self.base_cap(a, b) + self.used.get(&(b, a)).copied().unwrap_or(0)
+            - self.used.get(&(a, b)).copied().unwrap_or(0)
+    }
+
+    fn successors(&self, a: u32) -> Vec<u32> {
+        let (na, is_in) = (a >> 1, a & 1 == 0);
+        let mut out = Vec::new();
+        if is_in {
+            out.push(na << 1 | 1); // in -> out
+        } else {
+            for v in self.cube.neighbors(na) {
+                out.push(v << 1); // out -> in(v)
+            }
+        }
+        // Residual back-edges: any arc we've pushed flow on, reversed.
+        for (&(x, y), &f) in &self.used {
+            if y == a && f > 0 {
+                out.push(x);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// One BFS augmentation; returns whether a unit of flow was pushed.
+    fn augment(&mut self) -> bool {
+        let s = self.src << 1 | 1; // start from out-copy of src
+        let t = self.dst << 1; // end at in-copy of dst
+        let mut parent: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        parent.insert(s, s);
+        while let Some(a) = queue.pop_front() {
+            if a == t {
+                break;
+            }
+            for b in self.successors(a) {
+                if !parent.contains_key(&b) && self.residual(a, b) > 0 {
+                    parent.insert(b, a);
+                    queue.push_back(b);
+                }
+            }
+        }
+        if !parent.contains_key(&t) {
+            return false;
+        }
+        let mut cur = t;
+        while cur != s {
+            let p = parent[&cur];
+            *self.used.entry((p, cur)).or_insert(0) += 1;
+            cur = p;
+        }
+        true
+    }
+
+    /// Decomposes the accumulated unit flow into node-disjoint paths.
+    fn extract_paths(&mut self) -> Vec<Vec<NodeLabel>> {
+        // Net forward flow on link arcs (out(u) -> in(v)).
+        let mut next: FxHashMap<NodeLabel, Vec<NodeLabel>> = FxHashMap::default();
+        for (&(a, b), &f) in &self.used {
+            let net = f - self.used.get(&(b, a)).copied().unwrap_or(0);
+            if net > 0 && a & 1 == 1 && b & 1 == 0 && a >> 1 != b >> 1 {
+                next.entry(a >> 1).or_default().push(b >> 1);
+            }
+        }
+        for v in next.values_mut() {
+            v.sort_unstable();
+        }
+        let mut paths = Vec::new();
+        loop {
+            let Some(first) = next.get_mut(&self.src).and_then(|v| {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(v.remove(0))
+                }
+            }) else {
+                break;
+            };
+            let mut path = vec![self.src, first];
+            let mut cur = first;
+            let mut guard = 0usize;
+            while cur != self.dst {
+                let Some(step) = next.get_mut(&cur).and_then(|v| {
+                    if v.is_empty() {
+                        None
+                    } else {
+                        Some(v.remove(0))
+                    }
+                }) else {
+                    break; // dead end: drop this fragment (flow cycles)
+                };
+                path.push(step);
+                cur = step;
+                guard += 1;
+                if guard > label::node_count(self.cube.dim()) {
+                    break;
+                }
+            }
+            if cur == self.dst {
+                paths.push(path);
+            }
+        }
+        paths
+    }
+}
+
+/// A maximum set of internally node-disjoint `src`→`dst` paths in the
+/// incomplete cube, up to `limit` paths (pass `usize::MAX` for no limit).
+/// Returns an empty vector if `src == dst` or either endpoint is absent.
+pub fn max_disjoint_paths(
+    cube: &IncompleteHypercube,
+    src: NodeLabel,
+    dst: NodeLabel,
+    limit: usize,
+) -> Vec<Vec<NodeLabel>> {
+    if src == dst || !cube.contains(src) || !cube.contains(dst) {
+        return Vec::new();
+    }
+    let mut flow = SplitFlow::new(cube, src, dst);
+    let mut pushed = 0usize;
+    while pushed < limit && flow.augment() {
+        pushed += 1;
+    }
+    flow.extract_paths()
+}
+
+/// The pairwise vertex connectivity of `src` and `dst`: the number of
+/// internally node-disjoint paths joining them (= minimum vertex cut, by
+/// Menger's theorem). This is the quantity the availability experiment (C1)
+/// sweeps as the cube degrades.
+pub fn pair_connectivity(cube: &IncompleteHypercube, src: NodeLabel, dst: NodeLabel) -> usize {
+    max_disjoint_paths(cube, src, dst, usize::MAX).len()
+}
+
+/// Whether `src` can still reach `dst` after the given additional node
+/// failures (endpoints are never failed). Convenience for fault-injection
+/// tests and the availability experiment.
+pub fn survives_failures(
+    cube: &IncompleteHypercube,
+    src: NodeLabel,
+    dst: NodeLabel,
+    failed: &[NodeLabel],
+) -> bool {
+    let mut damaged = cube.clone();
+    for &f in failed {
+        if f != src && f != dst {
+            damaged.remove_node(f);
+        }
+    }
+    crate::routing::bfs_route(&damaged, src, dst).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn validate_paths(
+        paths: &[Vec<NodeLabel>],
+        cube: &IncompleteHypercube,
+        src: NodeLabel,
+        dst: NodeLabel,
+    ) {
+        for p in paths {
+            assert_eq!(*p.first().unwrap(), src);
+            assert_eq!(*p.last().unwrap(), dst);
+            for w in p.windows(2) {
+                assert!(cube.has_link(w[0], w[1]), "bad hop {:?}", w);
+            }
+        }
+        assert!(are_internally_disjoint(paths), "paths share an inner node");
+    }
+
+    #[test]
+    fn complete_construction_gives_n_paths_all_pairs() {
+        for dim in 1..=5u8 {
+            let cube = IncompleteHypercube::complete(dim);
+            for u in 0..label::node_count(dim) as u32 {
+                for v in 0..label::node_count(dim) as u32 {
+                    if u == v {
+                        continue;
+                    }
+                    let paths = disjoint_paths_complete(u, v, dim);
+                    assert_eq!(paths.len(), dim as usize, "dim {dim} {u}->{v}");
+                    validate_paths(&paths, &cube, u, v);
+                    let h = label::hamming(u, v) as usize;
+                    let shortest = paths.iter().filter(|p| p.len() == h + 1).count();
+                    let detours = paths.iter().filter(|p| p.len() == h + 3).count();
+                    assert_eq!(shortest, h);
+                    assert_eq!(detours, dim as usize - h);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_pair_has_no_paths() {
+        assert!(disjoint_paths_complete(3, 3, 4).is_empty());
+        let c = IncompleteHypercube::complete(4);
+        assert!(max_disjoint_paths(&c, 3, 3, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn maxflow_matches_dim_on_complete_cube() {
+        for dim in 1..=5u8 {
+            let cube = IncompleteHypercube::complete(dim);
+            let paths = max_disjoint_paths(&cube, 0, (1 << dim) - 1, usize::MAX);
+            assert_eq!(paths.len(), dim as usize, "dim {dim}");
+            validate_paths(&paths, &cube, 0, (1 << dim) - 1);
+        }
+    }
+
+    #[test]
+    fn maxflow_respects_limit() {
+        let cube = IncompleteHypercube::complete(5);
+        let paths = max_disjoint_paths(&cube, 0, 31, 2);
+        assert_eq!(paths.len(), 2);
+        validate_paths(&paths, &cube, 0, 31);
+    }
+
+    #[test]
+    fn connectivity_drops_with_removed_neighbors() {
+        let mut cube = IncompleteHypercube::complete(4);
+        assert_eq!(pair_connectivity(&cube, 0b0000, 0b1111), 4);
+        cube.remove_node(0b0001);
+        assert_eq!(pair_connectivity(&cube, 0b0000, 0b1111), 3);
+        cube.remove_node(0b0010);
+        assert_eq!(pair_connectivity(&cube, 0b0000, 0b1111), 2);
+        cube.remove_node(0b0100);
+        assert_eq!(pair_connectivity(&cube, 0b0000, 0b1111), 1);
+        cube.remove_node(0b1000);
+        assert_eq!(pair_connectivity(&cube, 0b0000, 0b1111), 0);
+    }
+
+    #[test]
+    fn connectivity_with_removed_links() {
+        let mut cube = IncompleteHypercube::complete(3);
+        cube.remove_link(0b000, 0b001);
+        let k = pair_connectivity(&cube, 0b000, 0b111);
+        assert_eq!(k, 2);
+        let paths = max_disjoint_paths(&cube, 0b000, 0b111, usize::MAX);
+        validate_paths(&paths, &cube, 0b000, 0b111);
+    }
+
+    #[test]
+    fn extra_links_increase_connectivity() {
+        let mut cube = IncompleteHypercube::complete(3);
+        assert_eq!(pair_connectivity(&cube, 0b000, 0b111), 3);
+        // A grid-style chord adds a fourth disjoint route only if it avoids
+        // the existing inner nodes' bottleneck — direct chord does.
+        cube.add_extra_link(0b000, 0b111);
+        assert_eq!(pair_connectivity(&cube, 0b000, 0b111), 4);
+    }
+
+    #[test]
+    fn sustains_n_minus_one_failures() {
+        // Paper §2.1: an n-cube sustains up to n-1 node failures.
+        let dim = 4u8;
+        let cube = IncompleteHypercube::complete(dim);
+        let u = 0b0000;
+        let v = 0b1111;
+        // Fail any n-1 of u's neighbours: still reachable.
+        let neigh: Vec<NodeLabel> = label::neighbors(u, dim).collect();
+        assert!(survives_failures(&cube, u, v, &neigh[..3]));
+        // Failing all n neighbours of u disconnects it.
+        assert!(!survives_failures(&cube, u, v, &neigh));
+    }
+
+    #[test]
+    fn adjacent_pair_connectivity_is_dim() {
+        // Menger: adjacent nodes in an n-cube still have n disjoint paths
+        // (1 direct + n-1 of length 3).
+        let cube = IncompleteHypercube::complete(4);
+        let paths = max_disjoint_paths(&cube, 0b0000, 0b0001, usize::MAX);
+        assert_eq!(paths.len(), 4);
+        validate_paths(&paths, &cube, 0b0000, 0b0001);
+    }
+
+    #[test]
+    fn unreachable_pair_zero_paths() {
+        let cube = IncompleteHypercube::with_nodes(3, [0b000, 0b111]);
+        assert_eq!(pair_connectivity(&cube, 0b000, 0b111), 0);
+    }
+
+    #[test]
+    fn disjointness_checker_detects_overlap() {
+        let good = vec![vec![0, 1, 3], vec![0, 2, 3]];
+        assert!(are_internally_disjoint(&good));
+        let bad = vec![vec![0, 1, 3], vec![0, 1, 5, 3]];
+        assert!(!are_internally_disjoint(&bad));
+    }
+}

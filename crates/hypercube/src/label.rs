@@ -1,0 +1,150 @@
+//! Hypercube node labels and bit-level algebra.
+//!
+//! "An n-dimensional hypercube has 2^n nodes. Each node is labelled by a bit
+//! string k1…kn. Two nodes are connected by a link if and only if their
+//! labels differ by exactly one bit. The Hamming distance between two nodes
+//! u and v … is the number of bits in which u and v differ." (paper §2.1)
+
+/// A hypercube node label. Only the low `dim` bits are meaningful; `dim` is
+/// carried by the containing topology (all HVDB hypercubes of a deployment
+/// share one dimension).
+pub type NodeLabel = u32;
+
+/// Maximum supported dimension. Labels are `u32` and practical HVDB
+/// dimensions are small ("e.g., 3, 4, 5, or 6", paper §3); 16 leaves ample
+/// headroom for stress tests while keeping `2^dim` enumerable.
+pub const MAX_DIM: u8 = 16;
+
+/// Number of nodes in a complete `dim`-dimensional hypercube.
+#[inline]
+pub fn node_count(dim: u8) -> usize {
+    debug_assert!(dim <= MAX_DIM);
+    1usize << dim
+}
+
+/// Hamming distance between two labels.
+#[inline]
+pub fn hamming(u: NodeLabel, v: NodeLabel) -> u32 {
+    (u ^ v).count_ones()
+}
+
+/// Flips bit `bit` (0 = least significant) of a label.
+#[inline]
+pub fn flip(u: NodeLabel, bit: u8) -> NodeLabel {
+    u ^ (1 << bit)
+}
+
+/// Iterator over the hypercube neighbours of `u` in a complete
+/// `dim`-dimensional hypercube, in increasing bit order.
+#[inline]
+pub fn neighbors(u: NodeLabel, dim: u8) -> impl Iterator<Item = NodeLabel> {
+    (0..dim).map(move |b| flip(u, b))
+}
+
+/// Iterator over the dimensions (bit indices) in which `u` and `v` differ,
+/// in increasing order. E-cube routing corrects these one at a time.
+#[inline]
+pub fn differing_dims(u: NodeLabel, v: NodeLabel) -> impl Iterator<Item = u8> {
+    let diff = u ^ v;
+    (0..32u8).filter(move |b| diff >> b & 1 == 1)
+}
+
+/// Whether `u` is a valid label for a `dim`-cube.
+#[inline]
+pub fn in_range(u: NodeLabel, dim: u8) -> bool {
+    dim >= 32 || u < (1u32 << dim)
+}
+
+/// Renders a label as the paper writes them: a `dim`-character bit string,
+/// most significant bit first (e.g. `1000`).
+pub fn to_bits(u: NodeLabel, dim: u8) -> String {
+    (0..dim)
+        .rev()
+        .map(|i| if u >> i & 1 == 1 { '1' } else { '0' })
+        .collect()
+}
+
+/// Parses a bit-string label such as `"1011"`.
+pub fn from_bits(s: &str) -> Option<NodeLabel> {
+    u32::from_str_radix(s, 2).ok()
+}
+
+/// The labels of the (dim-1)-dimensional subcube of a `dim`-cube selected by
+/// fixing bit `bit` to `value`. The paper (§2.1, symmetry) notes every
+/// (k+1)-subcube splits into two k-subcubes; this enumerates one half.
+pub fn subcube(dim: u8, bit: u8, value: bool) -> impl Iterator<Item = NodeLabel> {
+    debug_assert!(bit < dim);
+    (0..node_count(dim) as u32).filter(move |u| (u >> bit & 1 == 1) == value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_examples() {
+        assert_eq!(hamming(0b1000, 0b1000), 0);
+        assert_eq!(hamming(0b1000, 0b1001), 1);
+        assert_eq!(hamming(0b1000, 0b0010), 2);
+        assert_eq!(hamming(0b0000, 0b1111), 4);
+    }
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_bit() {
+        for dim in 1..=6u8 {
+            for u in 0..node_count(dim) as u32 {
+                let ns: Vec<_> = neighbors(u, dim).collect();
+                assert_eq!(ns.len(), dim as usize);
+                for n in ns {
+                    assert_eq!(hamming(u, n), 1);
+                    assert!(in_range(n, dim));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differing_dims_reconstructs_xor() {
+        let u = 0b1010;
+        let v = 0b0111;
+        let dims: Vec<u8> = differing_dims(u, v).collect();
+        assert_eq!(dims, vec![0, 2, 3]);
+        let mut w = u;
+        for d in dims {
+            w = flip(w, d);
+        }
+        assert_eq!(w, v);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        assert_eq!(to_bits(0b1000, 4), "1000");
+        assert_eq!(to_bits(0b0001, 4), "0001");
+        assert_eq!(from_bits("1000"), Some(0b1000));
+        assert_eq!(from_bits("x"), None);
+        for u in 0..64u32 {
+            assert_eq!(from_bits(&to_bits(u, 6)), Some(u));
+        }
+    }
+
+    #[test]
+    fn subcube_halves_node_count() {
+        for dim in 1..=6u8 {
+            for bit in 0..dim {
+                let lo: Vec<_> = subcube(dim, bit, false).collect();
+                let hi: Vec<_> = subcube(dim, bit, true).collect();
+                assert_eq!(lo.len(), node_count(dim) / 2);
+                assert_eq!(hi.len(), node_count(dim) / 2);
+                assert!(lo.iter().all(|u| u >> bit & 1 == 0));
+                assert!(hi.iter().all(|u| u >> bit & 1 == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn in_range_boundary() {
+        assert!(in_range(15, 4));
+        assert!(!in_range(16, 4));
+        assert!(in_range(0, 1));
+    }
+}

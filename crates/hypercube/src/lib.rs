@@ -1,0 +1,34 @@
+//! # hvdb-hypercube — hypercube algebra for the HVDB model
+//!
+//! The HVDB model (Wang et al., IPDPS 2005) organises cluster heads into
+//! logical k-dimensional hypercubes because of four properties the paper
+//! enumerates in §2.1: **high fault tolerance** (n node-disjoint paths),
+//! **small diameter** (n), **regularity** and **symmetry**. This crate
+//! implements the algebra those properties rest on:
+//!
+//! * [`label`] — node labels, Hamming distance, neighbourhoods, subcubes;
+//! * [`topology`] — [`topology::IncompleteHypercube`]: the paper's
+//!   generalised incomplete hypercube (any nodes/links absent, plus the
+//!   Fig. 3 "additional logical links");
+//! * [`routing`] — e-cube and BFS routing, local logical route tables
+//!   (≤ k hops), eccentricity/diameter;
+//! * [`disjoint`] — explicit n-disjoint-path construction for complete
+//!   cubes and max-flow disjoint paths for incomplete ones (availability);
+//! * [`multicast`] — binomial spanning trees and shortest-path multicast
+//!   trees with header encoding (the hypercube-tier trees of §4.3).
+//!
+//! The crate is pure graph algorithmics: no positions, no simulation.
+
+#![warn(missing_docs)]
+
+pub mod disjoint;
+pub mod label;
+pub mod multicast;
+pub mod routing;
+pub mod topology;
+
+pub use disjoint::{disjoint_paths_complete, max_disjoint_paths, pair_connectivity};
+pub use label::NodeLabel;
+pub use multicast::{binomial_tree, multicast_tree, MulticastTree};
+pub use routing::{bfs_route, ecube_route, local_routes, LocalRoute};
+pub use topology::IncompleteHypercube;

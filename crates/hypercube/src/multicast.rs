@@ -1,0 +1,364 @@
+//! Multicast trees inside (incomplete) hypercubes.
+//!
+//! At the hypercube tier a CH that receives a multicast packet "computes a
+//! multicast tree using its HT-Summary … The multicast tree is then
+//! encapsulated into the packet header in order to forward the packet within
+//! the logical hypercube" (paper §4.3). Two tree constructions are provided:
+//!
+//! * [`binomial_tree`] — the classic spanning binomial tree of a complete
+//!   cube (depth = dimension, perfectly balanced forwarding load): the
+//!   hypercube-native broadcast structure the paper's load-balancing
+//!   argument leans on;
+//! * [`multicast_tree`] — a shortest-path Steiner-style tree covering an
+//!   arbitrary destination subset of an *incomplete* cube (BFS paths merged
+//!   into a tree), used for selective delivery to member CHs.
+
+use crate::label::{self, NodeLabel};
+use crate::routing;
+use crate::topology::IncompleteHypercube;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// A multicast tree: parent links and a deterministic child ordering,
+/// rooted at `root`. Suitable for header encapsulation (see
+/// [`MulticastTree::encode_edges`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastTree {
+    /// The root label.
+    pub root: NodeLabel,
+    /// child -> parent.
+    pub parent: FxHashMap<NodeLabel, NodeLabel>,
+    /// parent -> sorted children.
+    pub children: FxHashMap<NodeLabel, Vec<NodeLabel>>,
+}
+
+impl MulticastTree {
+    fn from_parents(root: NodeLabel, parent: FxHashMap<NodeLabel, NodeLabel>) -> Self {
+        let mut children: FxHashMap<NodeLabel, Vec<NodeLabel>> = FxHashMap::default();
+        for (&c, &p) in &parent {
+            children.entry(p).or_default().push(c);
+        }
+        for v in children.values_mut() {
+            v.sort_unstable();
+        }
+        MulticastTree {
+            root,
+            parent,
+            children,
+        }
+    }
+
+    /// All nodes of the tree (root first, then BFS order).
+    pub fn nodes(&self) -> Vec<NodeLabel> {
+        let mut out = vec![self.root];
+        let mut queue = VecDeque::from([self.root]);
+        while let Some(u) = queue.pop_front() {
+            if let Some(ch) = self.children.get(&u) {
+                for &c in ch {
+                    out.push(c);
+                    queue.push_back(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.parent.len() + 1
+    }
+
+    /// Number of links (= forwarding transmissions for one packet).
+    pub fn edge_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Depth of the tree (root = 0).
+    pub fn depth(&self) -> u32 {
+        let mut best = 0;
+        for &leaf in self.parent.keys() {
+            let mut d = 0;
+            let mut cur = leaf;
+            while let Some(&p) = self.parent.get(&cur) {
+                d += 1;
+                cur = p;
+            }
+            best = best.max(d);
+        }
+        best
+    }
+
+    /// Whether the tree contains `u`.
+    pub fn contains(&self, u: NodeLabel) -> bool {
+        u == self.root || self.parent.contains_key(&u)
+    }
+
+    /// The children of `u` (empty slice if leaf or absent).
+    pub fn children_of(&self, u: NodeLabel) -> &[NodeLabel] {
+        self.children.get(&u).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Serialises the tree as a flat (parent, child) edge list in BFS order
+    /// — the form that is "encapsulated into the packet header" (§4.3). The
+    /// encoding is self-contained: a forwarding CH finds its own children by
+    /// scanning the list.
+    pub fn encode_edges(&self) -> Vec<(NodeLabel, NodeLabel)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        let mut queue = VecDeque::from([self.root]);
+        while let Some(u) = queue.pop_front() {
+            for &c in self.children_of(u) {
+                out.push((u, c));
+                queue.push_back(c);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a tree from an encoded edge list (inverse of
+    /// [`MulticastTree::encode_edges`]). Returns `None` for an inconsistent
+    /// list (a child with two parents, or edges not reachable from `root`).
+    pub fn decode_edges(root: NodeLabel, edges: &[(NodeLabel, NodeLabel)]) -> Option<Self> {
+        let mut parent = FxHashMap::default();
+        for &(p, c) in edges {
+            if parent.insert(c, p).is_some() || c == root {
+                return None;
+            }
+        }
+        let tree = Self::from_parents(root, parent);
+        // Reachability audit.
+        if tree.nodes().len() != tree.node_count() {
+            return None;
+        }
+        Some(tree)
+    }
+
+    /// Per-node forwarding load for one multicast packet: the number of
+    /// transmissions each non-leaf performs (= child count). The paper's
+    /// load-balancing claim (C3) compares the distribution of this quantity
+    /// across trees.
+    pub fn forwarding_load(&self) -> FxHashMap<NodeLabel, usize> {
+        self.children
+            .iter()
+            .map(|(&u, ch)| (u, ch.len()))
+            .collect()
+    }
+}
+
+/// The spanning binomial tree of a complete `dim`-cube rooted at `root`:
+/// node `u`'s children are obtained by flipping each bit *below* the lowest
+/// set bit of `u XOR root`. Depth = `dim`, and exactly `C(dim, k)` nodes at
+/// level `k` — the regular, symmetric broadcast structure of §2.1.
+pub fn binomial_tree(root: NodeLabel, dim: u8) -> MulticastTree {
+    let mut parent = FxHashMap::default();
+    for u in 0..label::node_count(dim) as u32 {
+        if u == root {
+            continue;
+        }
+        let rel = u ^ root;
+        let lowest = rel.trailing_zeros() as u8;
+        parent.insert(u, label::flip(u, lowest));
+    }
+    MulticastTree::from_parents(root, parent)
+}
+
+/// A multicast tree covering `destinations` in the incomplete cube, built
+/// by merging BFS shortest paths root→destination in ascending destination
+/// order (deterministic). Destinations equal to the root or unreachable are
+/// skipped; the returned tree covers every *reachable* destination.
+///
+/// The merge is the standard shortest-path heuristic for Steiner trees:
+/// each new destination attaches via its BFS path, truncated at the first
+/// node already in the tree, so shared prefixes are forwarded once — the
+/// paper's motivation for computing (and caching) an explicit tree instead
+/// of unicasting per destination.
+pub fn multicast_tree(
+    cube: &IncompleteHypercube,
+    root: NodeLabel,
+    destinations: &[NodeLabel],
+) -> MulticastTree {
+    let mut parent: FxHashMap<NodeLabel, NodeLabel> = FxHashMap::default();
+    let mut dests: Vec<NodeLabel> = destinations.to_vec();
+    dests.sort_unstable();
+    dests.dedup();
+    for dst in dests {
+        if dst == root || parent.contains_key(&dst) {
+            continue;
+        }
+        let Some(path) = routing::bfs_route(cube, root, dst) else {
+            continue;
+        };
+        // Attach the path, stopping the rewrite at the first tree node
+        // walking backwards from dst.
+        for w in path.windows(2).rev() {
+            let (p, c) = (w[0], w[1]);
+            if parent.contains_key(&c) {
+                break;
+            }
+            parent.insert(c, p);
+        }
+    }
+    MulticastTree::from_parents(root, parent)
+}
+
+/// Dimension-order (e-cube) multicast tree in a complete cube: at each node
+/// the destination set is partitioned by the lowest differing dimension and
+/// forwarded along it. Classic MPP-style multicast; shortest paths for all
+/// destinations, but shares prefixes only when dimension orders align.
+/// Provided as an ablation alternative to [`multicast_tree`].
+pub fn ecube_multicast_tree(
+    root: NodeLabel,
+    destinations: &[NodeLabel],
+    dim: u8,
+) -> MulticastTree {
+    let mut parent: FxHashMap<NodeLabel, NodeLabel> = FxHashMap::default();
+    let mut dests: Vec<NodeLabel> = destinations.to_vec();
+    dests.sort_unstable();
+    dests.dedup();
+    for dst in dests {
+        if dst == root {
+            continue;
+        }
+        let path = routing::ecube_route(root, dst, dim);
+        for w in path.windows(2) {
+            parent.entry(w[1]).or_insert(w[0]);
+        }
+    }
+    MulticastTree::from_parents(root, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_tree_spans_cube_with_dim_depth() {
+        for dim in 1..=6u8 {
+            let t = binomial_tree(0, dim);
+            assert_eq!(t.node_count(), 1 << dim);
+            assert_eq!(t.depth(), dim as u32);
+            // Level sizes are binomial coefficients; check total via nodes().
+            assert_eq!(t.nodes().len(), 1 << dim);
+        }
+    }
+
+    #[test]
+    fn binomial_tree_arbitrary_root_is_isomorphic() {
+        let t = binomial_tree(0b1010, 4);
+        assert_eq!(t.node_count(), 16);
+        assert_eq!(t.depth(), 4);
+        assert!(t.contains(0b0101));
+        // Every edge is a hypercube link.
+        for (p, c) in t.encode_edges() {
+            assert_eq!(label::hamming(p, c), 1);
+        }
+    }
+
+    #[test]
+    fn binomial_root_children_are_all_bit_flips() {
+        let t = binomial_tree(0, 4);
+        assert_eq!(t.children_of(0), &[0b0001, 0b0010, 0b0100, 0b1000]);
+    }
+
+    #[test]
+    fn multicast_tree_covers_reachable_destinations() {
+        let mut cube = IncompleteHypercube::complete(4);
+        cube.remove_node(0b0110);
+        let dests = [0b1111, 0b0011, 0b0101, 0b0110]; // 0110 absent
+        let t = multicast_tree(&cube, 0b0000, &dests);
+        assert!(t.contains(0b1111));
+        assert!(t.contains(0b0011));
+        assert!(t.contains(0b0101));
+        assert!(!t.contains(0b0110));
+        // Every edge must be a usable link of the damaged cube.
+        for (p, c) in t.encode_edges() {
+            assert!(cube.has_link(p, c));
+        }
+    }
+
+    #[test]
+    fn multicast_tree_shares_common_prefixes() {
+        let cube = IncompleteHypercube::complete(4);
+        // Destinations clustered in the 1xxx subcube: the tree should be
+        // far smaller than the sum of individual path lengths.
+        let dests = [0b1000, 0b1001, 0b1010, 0b1011, 0b1100, 0b1101, 0b1110, 0b1111];
+        let t = multicast_tree(&cube, 0b0000, &dests);
+        let sum_paths: usize = dests
+            .iter()
+            .map(|d| label::hamming(0b0000, *d) as usize)
+            .sum();
+        assert!(t.edge_count() < sum_paths, "{} !< {}", t.edge_count(), sum_paths);
+        assert!(dests.iter().all(|d| t.contains(*d)));
+    }
+
+    #[test]
+    fn multicast_tree_single_destination_is_shortest_path() {
+        let cube = IncompleteHypercube::complete(5);
+        let t = multicast_tree(&cube, 0b00000, &[0b10101]);
+        assert_eq!(t.edge_count() as u32, label::hamming(0b00000, 0b10101));
+    }
+
+    #[test]
+    fn multicast_tree_empty_destinations() {
+        let cube = IncompleteHypercube::complete(3);
+        let t = multicast_tree(&cube, 0b000, &[]);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn multicast_tree_root_in_destinations_is_ignored() {
+        let cube = IncompleteHypercube::complete(3);
+        let t = multicast_tree(&cube, 0b000, &[0b000, 0b001]);
+        assert_eq!(t.node_count(), 2);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cube = IncompleteHypercube::complete(4);
+        let t = multicast_tree(&cube, 0b0000, &[0b1111, 0b0111, 0b1001]);
+        let edges = t.encode_edges();
+        let back = MulticastTree::decode_edges(0b0000, &edges).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn decode_rejects_double_parent() {
+        let edges = vec![(0, 1), (2, 1)];
+        assert!(MulticastTree::decode_edges(0, &edges).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_unreachable_edges() {
+        let edges = vec![(0, 1), (5, 6)]; // 5 never attached to the tree
+        assert!(MulticastTree::decode_edges(0, &edges).is_none());
+    }
+
+    #[test]
+    fn ecube_tree_reaches_all_destinations_via_shortest_paths() {
+        let dests = [0b111, 0b101, 0b010];
+        let t = ecube_multicast_tree(0b000, &dests, 3);
+        for d in dests {
+            assert!(t.contains(d));
+            // Depth of d equals Hamming distance (shortest).
+            let mut hops = 0;
+            let mut cur = d;
+            while let Some(&p) = t.parent.get(&cur) {
+                hops += 1;
+                cur = p;
+            }
+            assert_eq!(hops, label::hamming(0b000, d));
+        }
+    }
+
+    #[test]
+    fn forwarding_load_distribution_binomial_vs_star() {
+        // The binomial tree fans out over levels: max per-node load is dim.
+        let t = binomial_tree(0, 5);
+        let load = t.forwarding_load();
+        assert_eq!(load.values().copied().max(), Some(5)); // root sends dim
+        // Interior nodes send strictly less than the root in aggregate
+        // compared with a naive star (root unicasts 31 times).
+        assert!(load.values().sum::<usize>() == t.edge_count());
+    }
+}

@@ -1,0 +1,342 @@
+//! Routing inside (incomplete) hypercubes.
+//!
+//! Two routing primitives back the HVDB protocol:
+//!
+//! * **E-cube routing** — the classic dimension-order route of complete
+//!   hypercubes: correct differing bits lowest-first. Optimal (length =
+//!   Hamming distance) and deadlock-free, but only valid while the cube is
+//!   complete along the route.
+//! * **BFS routing** — shortest paths on the *actual* incomplete topology
+//!   (absent nodes/links, extra grid-adjacency links). This is what a CH's
+//!   "local logical route" table (paper Fig. 4) is built from: each CH knows
+//!   all logical routes of at most `k` logical hops.
+
+use crate::label::{self, NodeLabel};
+use crate::topology::IncompleteHypercube;
+use std::collections::VecDeque;
+
+/// The e-cube (dimension-order) route from `src` to `dst` in a *complete*
+/// `dim`-cube, inclusive of both endpoints. Length = Hamming(src, dst) + 1.
+pub fn ecube_route(src: NodeLabel, dst: NodeLabel, dim: u8) -> Vec<NodeLabel> {
+    debug_assert!(label::in_range(src, dim) && label::in_range(dst, dim));
+    let mut route = Vec::with_capacity(label::hamming(src, dst) as usize + 1);
+    let mut cur = src;
+    route.push(cur);
+    for bit in label::differing_dims(src, dst) {
+        cur = label::flip(cur, bit);
+        route.push(cur);
+    }
+    debug_assert_eq!(cur, dst);
+    route
+}
+
+/// A shortest route from `src` to `dst` on the incomplete cube, inclusive of
+/// endpoints, or `None` if unreachable. Ties are broken toward smaller
+/// labels so replays are deterministic.
+pub fn bfs_route(
+    cube: &IncompleteHypercube,
+    src: NodeLabel,
+    dst: NodeLabel,
+) -> Option<Vec<NodeLabel>> {
+    if !cube.contains(src) || !cube.contains(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let n = label::node_count(cube.dim());
+    let mut parent: Vec<Option<NodeLabel>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[src as usize] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for v in cube.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = Some(u);
+                if v == dst {
+                    // Reconstruct.
+                    let mut route = vec![dst];
+                    let mut cur = dst;
+                    while let Some(p) = parent[cur as usize] {
+                        route.push(p);
+                        cur = p;
+                    }
+                    route.reverse();
+                    return Some(route);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// One entry of a CH's proactively maintained local logical route table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalRoute {
+    /// Destination node label.
+    pub dst: NodeLabel,
+    /// Number of logical hops (paper §4.1's definition: concatenated
+    /// 1-logical-hop routes).
+    pub hops: u32,
+    /// First hop toward the destination.
+    pub next_hop: NodeLabel,
+    /// The full route, inclusive of source and destination.
+    pub route: Vec<NodeLabel>,
+}
+
+/// Computes the local logical route table of `src`: shortest routes to every
+/// node at most `k` logical hops away ("Each CH periodically exchanges its
+/// local logical route information with those CHs that are at most k ≥ 1
+/// logical hops away", §4.1). Entries are sorted by (hops, dst).
+pub fn local_routes(
+    cube: &IncompleteHypercube,
+    src: NodeLabel,
+    k: u32,
+) -> Vec<LocalRoute> {
+    let mut out = Vec::new();
+    if !cube.contains(src) {
+        return out;
+    }
+    let n = label::node_count(cube.dim());
+    let mut dist = vec![u32::MAX; n];
+    let mut parent: Vec<Option<NodeLabel>> = vec![None; n];
+    dist[src as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        if dist[u as usize] >= k {
+            continue;
+        }
+        for v in cube.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                parent[v as usize] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    for dst in cube.iter_nodes() {
+        if dst == src || dist[dst as usize] == u32::MAX {
+            continue;
+        }
+        let mut route = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = parent[cur as usize] {
+            route.push(p);
+            cur = p;
+        }
+        route.reverse();
+        debug_assert_eq!(route[0], src);
+        out.push(LocalRoute {
+            dst,
+            hops: dist[dst as usize],
+            next_hop: route[1],
+            route,
+        });
+    }
+    out.sort_by_key(|r| (r.hops, r.dst));
+    out
+}
+
+/// Eccentricity of `src`: the largest hop distance to any reachable node,
+/// and the number of reachable nodes (excluding `src`).
+pub fn eccentricity(cube: &IncompleteHypercube, src: NodeLabel) -> (u32, usize) {
+    let n = label::node_count(cube.dim());
+    let mut dist = vec![u32::MAX; n];
+    dist[src as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    let mut max = 0;
+    let mut reached = 0usize;
+    while let Some(u) = queue.pop_front() {
+        for v in cube.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                max = max.max(dist[v as usize]);
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    (max, reached)
+}
+
+/// The diameter of the incomplete cube: max shortest-path length over all
+/// connected pairs, or `None` if the cube has no present nodes. The paper
+/// (§2.1): "The diameter of the hypercube … is n."
+pub fn diameter(cube: &IncompleteHypercube) -> Option<u32> {
+    let mut best = None;
+    for u in cube.iter_nodes() {
+        let (ecc, _) = eccentricity(cube, u);
+        best = Some(best.map_or(ecc, |b: u32| b.max(ecc)));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecube_route_is_dimension_ordered() {
+        // 1000 -> 1101 differs in bits 0 and 2 (values 1 and 4):
+        // 1000 -> 1001 -> 1101.
+        let r = ecube_route(0b1000, 0b1101, 4);
+        assert_eq!(r, vec![0b1000, 0b1001, 0b1101]);
+    }
+
+    #[test]
+    fn ecube_route_length_is_hamming_plus_one() {
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                let r = ecube_route(src, dst, 4);
+                assert_eq!(r.len() as u32, label::hamming(src, dst) + 1);
+                // Every hop is a hypercube link.
+                for w in r.windows(2) {
+                    assert_eq!(label::hamming(w[0], w[1]), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_equals_hamming_on_complete_cube() {
+        let c = IncompleteHypercube::complete(4);
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                let r = bfs_route(&c, src, dst).unwrap();
+                assert_eq!(r.len() as u32, label::hamming(src, dst) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_routes_around_removed_node() {
+        let mut c = IncompleteHypercube::complete(3);
+        // Direct e-cube route 000 -> 001 -> 011; remove 001.
+        c.remove_node(0b001);
+        let r = bfs_route(&c, 0b000, 0b011).unwrap();
+        assert_eq!(r.first(), Some(&0b000));
+        assert_eq!(r.last(), Some(&0b011));
+        assert!(!r.contains(&0b001));
+        assert_eq!(r.len(), 3); // 000 -> 010 -> 011 detour, same length
+        for w in r.windows(2) {
+            assert!(c.has_link(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn bfs_uses_extra_links_as_shortcuts() {
+        let mut c = IncompleteHypercube::complete(4);
+        // 0010 and 1000 are Hamming-2; the Fig. 3 grid link makes them 1 hop.
+        assert_eq!(bfs_route(&c, 0b0010, 0b1000).unwrap().len(), 3);
+        c.add_extra_link(0b0010, 0b1000);
+        assert_eq!(bfs_route(&c, 0b0010, 0b1000).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bfs_unreachable_returns_none() {
+        let c = IncompleteHypercube::with_nodes(3, [0b000, 0b111]);
+        assert_eq!(bfs_route(&c, 0b000, 0b111), None);
+        assert_eq!(bfs_route(&c, 0b000, 0b010), None); // absent dst
+    }
+
+    #[test]
+    fn bfs_self_route() {
+        let c = IncompleteHypercube::complete(3);
+        assert_eq!(bfs_route(&c, 5, 5), Some(vec![5]));
+    }
+
+    #[test]
+    fn paper_example_two_logical_hops() {
+        // §4.1: "the number of logical hops that comprise 1-logical hop
+        // routes of 1000 -> 1100 -> 1101 is 2".
+        let c = IncompleteHypercube::complete(4);
+        let r = bfs_route(&c, 0b1000, 0b1101).unwrap();
+        assert_eq!(r.len(), 3); // 2 logical hops
+    }
+
+    #[test]
+    fn local_routes_respects_k() {
+        let c = IncompleteHypercube::complete(4);
+        let k1 = local_routes(&c, 0b1000, 1);
+        // In the pure 4-cube (no extra links) node 1000 has 4 one-hop routes.
+        assert_eq!(k1.len(), 4);
+        assert!(k1.iter().all(|r| r.hops == 1));
+        let k2 = local_routes(&c, 0b1000, 2);
+        assert_eq!(k2.iter().filter(|r| r.hops == 2).count(), 6); // C(4,2)
+        let k4 = local_routes(&c, 0b1000, 4);
+        assert_eq!(k4.len(), 15); // everyone else
+        assert_eq!(k4.iter().map(|r| r.hops).max(), Some(4));
+    }
+
+    #[test]
+    fn local_routes_with_fig3_grid_links() {
+        // With the grid-adjacency extra links of Fig. 3 added, node 1000's
+        // 1-hop set becomes the paper's published list.
+        let mut c = IncompleteHypercube::complete(4);
+        // Grid links for the 4x4 interleaved layout: vertically adjacent
+        // rows at Hamming distance 2 (rows 1-2), horizontally adjacent
+        // columns at Hamming distance 2 (cols 1-2).
+        let grid = [
+            (0b0010, 0b1000), (0b0011, 0b1001), (0b0110, 0b1100), (0b0111, 0b1101),
+            (0b0001, 0b0100), (0b0011, 0b0110), (0b1001, 0b1100), (0b1011, 0b1110),
+        ];
+        for (a, b) in grid {
+            c.add_extra_link(a, b);
+        }
+        let k1 = local_routes(&c, 0b1000, 1);
+        let dsts: Vec<u32> = k1.iter().map(|r| r.dst).collect();
+        assert_eq!(dsts, vec![0b0000, 0b0010, 0b1001, 0b1010, 0b1100]);
+    }
+
+    #[test]
+    fn local_routes_first_hop_consistency() {
+        let mut c = IncompleteHypercube::complete(5);
+        c.remove_node(7);
+        c.remove_link(0, 1);
+        for r in local_routes(&c, 0, 5) {
+            assert_eq!(r.route[0], 0);
+            assert_eq!(r.route[1], r.next_hop);
+            assert_eq!(*r.route.last().unwrap(), r.dst);
+            assert_eq!(r.route.len() as u32, r.hops + 1);
+            for w in r.route.windows(2) {
+                assert!(c.has_link(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_of_complete_cube_is_dim() {
+        for dim in 1..=7u8 {
+            let c = IncompleteHypercube::complete(dim);
+            assert_eq!(diameter(&c), Some(dim as u32));
+        }
+    }
+
+    #[test]
+    fn diameter_grows_when_cube_is_damaged() {
+        let mut c = IncompleteHypercube::complete(3);
+        // Removing two opposite-face nodes can stretch shortest paths.
+        c.remove_node(0b001);
+        c.remove_node(0b010);
+        let d = diameter(&c).unwrap();
+        assert!(d >= 3, "damaged 3-cube diameter {d}");
+    }
+
+    #[test]
+    fn diameter_of_empty_cube_is_none() {
+        assert_eq!(diameter(&IncompleteHypercube::empty(3)), None);
+    }
+
+    #[test]
+    fn eccentricity_counts_reachable() {
+        let c = IncompleteHypercube::with_nodes(3, [0b000, 0b001, 0b011, 0b111, 0b100]);
+        let (ecc, reached) = eccentricity(&c, 0b000);
+        assert_eq!(reached, 4);
+        assert_eq!(ecc, 3);
+    }
+}

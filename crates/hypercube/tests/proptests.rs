@@ -1,0 +1,225 @@
+//! Property-based tests for hypercube invariants.
+//!
+//! These pin the §2.1 properties the HVDB model is built on: n disjoint
+//! paths, diameter n, and the behaviour of routing/multicast on *incomplete*
+//! cubes under random damage.
+
+use hvdb_hypercube::disjoint::{are_internally_disjoint, survives_failures};
+use hvdb_hypercube::multicast::ecube_multicast_tree;
+use hvdb_hypercube::routing::{diameter, local_routes};
+use hvdb_hypercube::{
+    bfs_route, binomial_tree, disjoint_paths_complete, ecube_route, label, max_disjoint_paths,
+    multicast_tree, pair_connectivity, IncompleteHypercube, MulticastTree,
+};
+use proptest::prelude::*;
+
+/// Random damaged cube: dimension 3..=6, a set of removed nodes and links.
+fn damaged_cube() -> impl Strategy<Value = (IncompleteHypercube, u8)> {
+    (3u8..=6).prop_flat_map(|dim| {
+        let n = 1usize << dim;
+        (
+            proptest::collection::vec(0..n as u32, 0..n / 2),
+            proptest::collection::vec((0..n as u32, 0..dim), 0..n),
+        )
+            .prop_map(move |(dead_nodes, dead_links)| {
+                let mut cube = IncompleteHypercube::complete(dim);
+                for u in dead_nodes {
+                    cube.remove_node(u);
+                }
+                for (u, bit) in dead_links {
+                    cube.remove_link(u, label::flip(u, bit));
+                }
+                (cube, dim)
+            })
+    })
+}
+
+proptest! {
+    /// E-cube route length always equals Hamming distance + 1 and every hop
+    /// flips exactly one bit, in increasing dimension order.
+    #[test]
+    fn ecube_route_well_formed(dim in 1u8..=8, src in 0u32..256, dst in 0u32..256) {
+        let mask = (1u32 << dim) - 1;
+        let (src, dst) = (src & mask, dst & mask);
+        let r = ecube_route(src, dst, dim);
+        prop_assert_eq!(r.len() as u32, label::hamming(src, dst) + 1);
+        let mut last_bit = -1i32;
+        for w in r.windows(2) {
+            let bit = (w[0] ^ w[1]).trailing_zeros() as i32;
+            prop_assert_eq!(label::hamming(w[0], w[1]), 1);
+            prop_assert!(bit > last_bit, "dimension order violated");
+            last_bit = bit;
+        }
+    }
+
+    /// The explicit disjoint-path construction always yields exactly `dim`
+    /// pairwise internally node-disjoint valid paths.
+    #[test]
+    fn disjoint_construction_invariants(dim in 2u8..=7, src in 0u32..128, dst in 0u32..128) {
+        let mask = (1u32 << dim) - 1;
+        let (src, dst) = (src & mask, dst & mask);
+        prop_assume!(src != dst);
+        let paths = disjoint_paths_complete(src, dst, dim);
+        prop_assert_eq!(paths.len(), dim as usize);
+        prop_assert!(are_internally_disjoint(&paths));
+        for p in &paths {
+            prop_assert_eq!(p[0], src);
+            prop_assert_eq!(*p.last().unwrap(), dst);
+            for w in p.windows(2) {
+                prop_assert_eq!(label::hamming(w[0], w[1]), 1);
+            }
+        }
+    }
+
+    /// On a damaged cube, max-flow paths are valid, disjoint, and their
+    /// count equals pair connectivity; BFS reachability agrees with
+    /// connectivity > 0.
+    #[test]
+    fn maxflow_agrees_with_reachability((cube, dim) in damaged_cube(), s in 0u32..64, t in 0u32..64) {
+        let mask = (1u32 << dim) - 1;
+        let (s, t) = (s & mask, t & mask);
+        prop_assume!(s != t && cube.contains(s) && cube.contains(t));
+        let paths = max_disjoint_paths(&cube, s, t, usize::MAX);
+        prop_assert!(are_internally_disjoint(&paths));
+        for p in &paths {
+            for w in p.windows(2) {
+                prop_assert!(cube.has_link(w[0], w[1]));
+            }
+        }
+        let reachable = bfs_route(&cube, s, t).is_some();
+        prop_assert_eq!(reachable, !paths.is_empty());
+        prop_assert_eq!(paths.len(), pair_connectivity(&cube, s, t));
+    }
+
+    /// Menger consequence the paper quotes: with fewer than `connectivity`
+    /// random failures (excluding endpoints), s and t stay connected.
+    #[test]
+    fn fewer_than_connectivity_failures_never_disconnect(
+        dim in 3u8..=5,
+        s in 0u32..32,
+        t in 0u32..32,
+        kill_seed in proptest::collection::vec(0u32..32, 0..4),
+    ) {
+        let mask = (1u32 << dim) - 1;
+        let (s, t) = (s & mask, t & mask);
+        prop_assume!(s != t);
+        let cube = IncompleteHypercube::complete(dim);
+        let k = pair_connectivity(&cube, s, t); // == dim on a complete cube
+        let kills: Vec<u32> = kill_seed
+            .into_iter()
+            .map(|u| u & mask)
+            .filter(|&u| u != s && u != t)
+            .take(k.saturating_sub(1))
+            .collect();
+        prop_assert!(survives_failures(&cube, s, t, &kills));
+    }
+
+    /// BFS route on any damaged cube is a shortest path: no shorter route
+    /// exists (checked against distance from a full BFS), and all hops are
+    /// usable links.
+    #[test]
+    fn bfs_route_is_shortest((cube, dim) in damaged_cube(), s in 0u32..64, t in 0u32..64) {
+        let mask = (1u32 << dim) - 1;
+        let (s, t) = (s & mask, t & mask);
+        prop_assume!(cube.contains(s) && cube.contains(t));
+        if let Some(route) = bfs_route(&cube, s, t) {
+            prop_assert_eq!(route[0], s);
+            prop_assert_eq!(*route.last().unwrap(), t);
+            for w in route.windows(2) {
+                prop_assert!(cube.has_link(w[0], w[1]));
+            }
+            // Cross-check with local_routes at k = inf.
+            if s != t {
+                let table = local_routes(&cube, s, u32::MAX);
+                let entry = table.iter().find(|r| r.dst == t).unwrap();
+                prop_assert_eq!(entry.hops as usize, route.len() - 1);
+            }
+        }
+    }
+
+    /// Local route tables are prefix-closed: the (k)-table is exactly the
+    /// (k+1)-table filtered to hops <= k.
+    #[test]
+    fn local_routes_monotone_in_k((cube, _dim) in damaged_cube(), src in 0u32..64, k in 1u32..5) {
+        let src = src & ((1u32 << cube.dim()) - 1);
+        prop_assume!(cube.contains(src));
+        let small = local_routes(&cube, src, k);
+        let big = local_routes(&cube, src, k + 1);
+        let filtered: Vec<_> = big.iter().filter(|r| r.hops <= k).cloned().collect();
+        prop_assert_eq!(small, filtered);
+    }
+
+    /// Binomial tree: spans the complete cube, every edge is a cube link,
+    /// depth equals dim, and encode/decode round-trips.
+    #[test]
+    fn binomial_tree_invariants(dim in 1u8..=8, root in 0u32..256) {
+        let root = root & ((1u32 << dim) - 1);
+        let t = binomial_tree(root, dim);
+        prop_assert_eq!(t.node_count(), 1usize << dim);
+        prop_assert_eq!(t.depth(), dim as u32);
+        for (p, c) in t.encode_edges() {
+            prop_assert_eq!(label::hamming(p, c), 1);
+        }
+        let rt = MulticastTree::decode_edges(root, &t.encode_edges()).unwrap();
+        prop_assert_eq!(rt.node_count(), t.node_count());
+    }
+
+    /// Multicast tree on a damaged cube covers exactly the reachable
+    /// destinations, uses only usable links, and never exceeds the sum of
+    /// individual shortest-path lengths.
+    #[test]
+    fn multicast_tree_invariants(
+        (cube, dim) in damaged_cube(),
+        root in 0u32..64,
+        dests in proptest::collection::vec(0u32..64, 1..10),
+    ) {
+        let mask = (1u32 << dim) - 1;
+        let root = root & mask;
+        prop_assume!(cube.contains(root));
+        let dests: Vec<u32> = dests.into_iter().map(|d| d & mask).collect();
+        let t = multicast_tree(&cube, root, &dests);
+        let mut path_len_sum = 0usize;
+        for &d in &dests {
+            match bfs_route(&cube, root, d) {
+                Some(p) => {
+                    prop_assert!(t.contains(d), "reachable dest {d} missing");
+                    path_len_sum += p.len() - 1;
+                }
+                None => prop_assert!(d == root || !t.contains(d) || t.contains(d)),
+            }
+        }
+        for (p, c) in t.encode_edges() {
+            prop_assert!(cube.has_link(p, c));
+        }
+        prop_assert!(t.edge_count() <= path_len_sum.max(t.edge_count()));
+        // Round-trip encoding.
+        let rt = MulticastTree::decode_edges(root, &t.encode_edges()).unwrap();
+        prop_assert_eq!(rt, t);
+    }
+
+    /// E-cube multicast tree covers all destinations at Hamming depth.
+    #[test]
+    fn ecube_multicast_covers(dim in 2u8..=6, root in 0u32..64, dests in proptest::collection::vec(0u32..64, 1..8)) {
+        let mask = (1u32 << dim) - 1;
+        let root = root & mask;
+        let dests: Vec<u32> = dests.into_iter().map(|d| d & mask).collect();
+        let t = ecube_multicast_tree(root, &dests, dim);
+        for &d in &dests {
+            prop_assert!(t.contains(d));
+        }
+    }
+
+    /// Diameter of a complete dim-cube is dim (paper §2.1) and only grows
+    /// under damage while the cube stays connected.
+    #[test]
+    fn diameter_lower_bound_under_damage((cube, dim) in damaged_cube()) {
+        prop_assume!(cube.node_count() > 1 && cube.is_connected());
+        let d = diameter(&cube).unwrap();
+        prop_assert!(d >= 1);
+        let complete = IncompleteHypercube::complete(dim);
+        if cube.is_complete() {
+            prop_assert_eq!(d, dim as u32);
+        }
+        prop_assert_eq!(diameter(&complete), Some(dim as u32));
+    }
+}

@@ -1,0 +1,750 @@
+//! The simulation engine: protocol trait, dispatch context, and event loop.
+//!
+//! A [`Protocol`] implementation owns all per-node protocol state for the
+//! network (indexed by [`NodeId`]) and reacts to three stimuli: start,
+//! message arrival, and timer expiry. The engine owns the physical world,
+//! the event queue, the RNG and the statistics; a [`Ctx`] hands the protocol
+//! a controlled view of them during each callback.
+//!
+//! Determinism: a `(SimConfig, seed, protocol)` triple replays
+//! bit-identically — events are totally ordered, node iteration is by id,
+//! and all randomness flows through the seeded [`SimRng`].
+
+use crate::event::{EventKind, EventQueue};
+use crate::mobility::Mobility;
+use crate::node::{Capability, NodeId};
+use crate::radio::RadioConfig;
+use crate::rng::SimRng;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::world::World;
+use hvdb_geo::{Aabb, Point, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Deployment area.
+    pub area: Aabb,
+    /// Number of mobile nodes.
+    pub num_nodes: usize,
+    /// Radio model.
+    pub radio: RadioConfig,
+    /// Interval between mobility updates (0 disables mobility ticks).
+    pub mobility_tick: SimDuration,
+    /// Fraction of nodes with [`Capability::Enhanced`] hardware (CH-capable;
+    /// paper §3 assumption 2). 1.0 makes every node eligible.
+    pub enhanced_fraction: f64,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            area: Aabb::from_size(1000.0, 1000.0),
+            num_nodes: 100,
+            radio: RadioConfig::default(),
+            mobility_tick: SimDuration::from_secs(1),
+            enhanced_fraction: 1.0,
+            seed: 1,
+        }
+    }
+}
+
+/// A network protocol under simulation. One instance serves the whole
+/// network; per-node state lives inside the implementation, indexed by
+/// [`NodeId`].
+pub trait Protocol {
+    /// The over-the-air message type.
+    type Msg: Clone;
+
+    /// Called once per node at t = 0 (ascending id order).
+    fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when `node` receives `msg` transmitted by `from`.
+    fn on_message(&mut self, node: NodeId, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a timer set by `node` with `tag` fires.
+    fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Fault injection: `node` just went down. Default: nothing.
+    fn on_fail(&mut self, _node: NodeId, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Fault injection: `node` just came back up. Default: nothing.
+    fn on_recover(&mut self, _node: NodeId, _ctx: &mut Ctx<'_, Self::Msg>) {}
+}
+
+/// The protocol's window onto the engine during a callback.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    world: &'a mut World,
+    queue: &'a mut EventQueue<M>,
+    stats: &'a mut Stats,
+    radio: &'a RadioConfig,
+    rng: &'a mut SimRng,
+    scratch: &'a mut Vec<NodeId>,
+}
+
+impl<'a, M: Clone> Ctx<'a, M> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes in the world.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.world.len()
+    }
+
+    /// A node's position (the GPS reading the paper assumes, §3).
+    #[inline]
+    pub fn position(&self, id: NodeId) -> Point {
+        self.world.position(id)
+    }
+
+    /// A node's velocity (GPS-derived, §3).
+    #[inline]
+    pub fn velocity(&self, id: NodeId) -> Vec2 {
+        self.world.velocity(id)
+    }
+
+    /// Whether a node is up.
+    #[inline]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.world.alive(id)
+    }
+
+    /// A node's hardware class.
+    #[inline]
+    pub fn capability(&self, id: NodeId) -> Capability {
+        self.world.capability(id)
+    }
+
+    /// The deployment area (its centre and extent are the identifier-mapping
+    /// system parameters of §4.1).
+    #[inline]
+    pub fn area(&self) -> Aabb {
+        self.world.area()
+    }
+
+    /// The radio range.
+    #[inline]
+    pub fn radio_range(&self) -> f64 {
+        self.radio.range
+    }
+
+    /// The node's current alive radio neighbours, ascending id order.
+    pub fn neighbors(&mut self, id: NodeId) -> Vec<NodeId> {
+        self.world.neighbors(id)
+    }
+
+    /// The seeded RNG (all protocol randomness must come from here for
+    /// replays to be exact).
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sets a timer for `node` firing after `delay` with discriminator
+    /// `tag`.
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        self.queue.push(self.now + delay, EventKind::Timer { node, tag });
+    }
+
+    fn occupy_radio(&mut self, from: NodeId, bytes: usize) -> SimTime {
+        let tx = self.radio.tx_time(bytes);
+        let start = self.world.node(from).busy_until.max(self.now);
+        let end = start + tx;
+        self.world.node_mut(from).busy_until = end;
+        let jitter = SimDuration(self.rng.range_u64(0, self.radio.jitter.0.max(1)));
+        end + self.radio.latency + jitter
+    }
+
+    /// Unicast transmission: `from` sends `msg` (`bytes` bytes on air,
+    /// class-labelled for overhead accounting) to `to`. Returns `false` if
+    /// the destination is out of range or either endpoint is down — the
+    /// frame still occupies the sender's radio when the sender is up
+    /// (transmissions are attempted blind; the unit-disk decides reception).
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: M,
+    ) -> bool {
+        if !self.world.alive(from) {
+            self.stats.drops_dead += 1;
+            return false;
+        }
+        let arrival = self.occupy_radio(from, bytes);
+        self.stats.count_tx(from, class, bytes);
+        if !self.world.alive(to) {
+            self.stats.drops_dead += 1;
+            return false;
+        }
+        let dist_sq = self
+            .world
+            .position(from)
+            .distance_sq(self.world.position(to));
+        if dist_sq > self.radio.range * self.radio.range {
+            self.stats.drops_out_of_range += 1;
+            return false;
+        }
+        if self.rng.chance(self.radio.loss_prob) {
+            self.stats.drops_loss += 1;
+            return false;
+        }
+        self.queue
+            .push(arrival, EventKind::Deliver { to, from, msg });
+        true
+    }
+
+    /// Broadcast transmission: one frame, received by every alive node in
+    /// range (subject to independent loss). Returns the number of receivers
+    /// scheduled. This is the MANET broadcast advantage the paper notes:
+    /// "MANETs are inherently ready for multicast communications due to
+    /// their broadcast nature" (§1).
+    pub fn broadcast(&mut self, from: NodeId, class: &'static str, bytes: usize, msg: M) -> usize {
+        if !self.world.alive(from) {
+            self.stats.drops_dead += 1;
+            return 0;
+        }
+        let arrival = self.occupy_radio(from, bytes);
+        self.stats.count_tx(from, class, bytes);
+        let scratch = std::mem::take(self.scratch);
+        let mut neighbors = scratch;
+        self.world.neighbors_into(from, &mut neighbors);
+        let mut n = 0;
+        for &to in neighbors.iter() {
+            if self.rng.chance(self.radio.loss_prob) {
+                self.stats.drops_loss += 1;
+                continue;
+            }
+            self.queue.push(
+                arrival,
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg: msg.clone(),
+                },
+            );
+            n += 1;
+        }
+        *self.scratch = neighbors;
+        n
+    }
+
+    /// Registers an originated data packet for delivery-ratio accounting.
+    pub fn record_origin(&mut self, data_id: u64, expected: u64) {
+        self.stats.record_origin(data_id, self.now, expected);
+    }
+
+    /// Records a data-packet delivery at `node`.
+    pub fn record_delivery(&mut self, data_id: u64, node: NodeId) {
+        self.stats.record_delivery(data_id, node, self.now);
+    }
+
+    /// Read access to the running statistics.
+    pub fn stats(&self) -> &Stats {
+        self.stats
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator<M> {
+    cfg: SimConfig,
+    world: World,
+    queue: EventQueue<M>,
+    stats: Stats,
+    rng: SimRng,
+    mobility: Box<dyn Mobility>,
+    now: SimTime,
+    started: bool,
+    scratch: Vec<NodeId>,
+}
+
+impl<M: Clone> Simulator<M> {
+    /// Builds a simulator: creates the world, scatters nodes with the
+    /// mobility model, and assigns `enhanced_fraction` of nodes the
+    /// CH-capable hardware class (deterministically from the seed).
+    pub fn new(cfg: SimConfig, mut mobility: Box<dyn Mobility>) -> Self {
+        let mut rng = SimRng::new(cfg.seed);
+        let mut world = World::new(cfg.area, cfg.num_nodes, cfg.radio.range);
+        let mut mobility_rng = rng.fork(0x4D4F42);
+        mobility.init(&mut world, &mut mobility_rng);
+        // Capability assignment.
+        let n_enhanced =
+            ((cfg.num_nodes as f64) * cfg.enhanced_fraction.clamp(0.0, 1.0)).round() as usize;
+        let chosen = rng.sample_indices(cfg.num_nodes, n_enhanced.min(cfg.num_nodes));
+        for i in chosen {
+            world.set_capability(NodeId(i as u32), Capability::Enhanced);
+        }
+        let stats = Stats::new(cfg.num_nodes);
+        Simulator {
+            cfg,
+            world,
+            queue: EventQueue::new(),
+            stats,
+            rng,
+            mobility,
+            now: SimTime::ZERO,
+            started: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The physical world (read-only).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable world access for scenario setup (placing nodes, toggling
+    /// capabilities) before or between `run` calls. Remember to call
+    /// [`World::rebuild_index`] after moving nodes.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The collected statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Schedules a fail-stop fault at `node`.
+    pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
+        self.queue.push(at, EventKind::Fail(node));
+    }
+
+    /// Schedules a recovery of `node`.
+    pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
+        self.queue.push(at, EventKind::Recover(node));
+    }
+
+    fn make_ctx<'a>(
+        now: SimTime,
+        world: &'a mut World,
+        queue: &'a mut EventQueue<M>,
+        stats: &'a mut Stats,
+        radio: &'a RadioConfig,
+        rng: &'a mut SimRng,
+        scratch: &'a mut Vec<NodeId>,
+    ) -> Ctx<'a, M> {
+        Ctx {
+            now,
+            world,
+            queue,
+            stats,
+            radio,
+            rng,
+            scratch,
+        }
+    }
+
+    /// Runs the simulation until `until` (inclusive), dispatching events to
+    /// `proto`. May be called repeatedly with increasing horizons; node
+    /// start-up happens on the first call.
+    pub fn run<P: Protocol<Msg = M>>(&mut self, proto: &mut P, until: SimTime) {
+        if !self.started {
+            self.started = true;
+            self.world.rebuild_index();
+            if self.cfg.mobility_tick > SimDuration::ZERO {
+                self.queue
+                    .push(SimTime::ZERO + self.cfg.mobility_tick, EventKind::MobilityTick);
+            }
+            for id in 0..self.world.len() as u32 {
+                let mut ctx = Self::make_ctx(
+                    SimTime::ZERO,
+                    &mut self.world,
+                    &mut self.queue,
+                    &mut self.stats,
+                    &self.cfg.radio,
+                    &mut self.rng,
+                    &mut self.scratch,
+                );
+                proto.on_start(NodeId(id), &mut ctx);
+            }
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Deliver { to, from, msg } => {
+                    if self.world.alive(to) {
+                        let mut ctx = Self::make_ctx(
+                            self.now,
+                            &mut self.world,
+                            &mut self.queue,
+                            &mut self.stats,
+                            &self.cfg.radio,
+                            &mut self.rng,
+                            &mut self.scratch,
+                        );
+                        proto.on_message(to, from, msg, &mut ctx);
+                    } else {
+                        self.stats.drops_dead += 1;
+                    }
+                }
+                EventKind::Timer { node, tag } => {
+                    if self.world.alive(node) {
+                        let mut ctx = Self::make_ctx(
+                            self.now,
+                            &mut self.world,
+                            &mut self.queue,
+                            &mut self.stats,
+                            &self.cfg.radio,
+                            &mut self.rng,
+                            &mut self.scratch,
+                        );
+                        proto.on_timer(node, tag, &mut ctx);
+                    }
+                }
+                EventKind::Fail(node) => {
+                    self.world.set_alive(node, false);
+                    let mut ctx = Self::make_ctx(
+                        self.now,
+                        &mut self.world,
+                        &mut self.queue,
+                        &mut self.stats,
+                        &self.cfg.radio,
+                        &mut self.rng,
+                        &mut self.scratch,
+                    );
+                    proto.on_fail(node, &mut ctx);
+                }
+                EventKind::Recover(node) => {
+                    self.world.set_alive(node, true);
+                    self.world.node_mut(node).busy_until = self.now;
+                    let mut ctx = Self::make_ctx(
+                        self.now,
+                        &mut self.world,
+                        &mut self.queue,
+                        &mut self.stats,
+                        &self.cfg.radio,
+                        &mut self.rng,
+                        &mut self.scratch,
+                    );
+                    proto.on_recover(node, &mut ctx);
+                }
+                EventKind::MobilityTick => {
+                    let dt = self.cfg.mobility_tick.as_secs_f64();
+                    let mut mrng = self.rng.fork(0x7160);
+                    self.mobility.step(dt, &mut self.world, &mut mrng);
+                    self.queue
+                        .push(self.now + self.cfg.mobility_tick, EventKind::MobilityTick);
+                }
+            }
+        }
+        self.now = until.max(self.now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::Stationary;
+
+    /// A ping-pong protocol: node 0 sends "ping" to node 1 at start; node 1
+    /// replies; node 0 counts replies and re-pings on a timer.
+    #[derive(Default)]
+    struct PingPong {
+        pings_rx: u32,
+        pongs_rx: u32,
+        timer_fired: u32,
+    }
+
+    impl Protocol for PingPong {
+        type Msg = &'static str;
+
+        fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self::Msg>) {
+            if node == NodeId(0) {
+                ctx.send(node, NodeId(1), "ping", 100, "ping");
+                ctx.set_timer(node, SimDuration::from_secs(5), 7);
+            }
+        }
+
+        fn on_message(&mut self, node: NodeId, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+            match msg {
+                "ping" => {
+                    self.pings_rx += 1;
+                    ctx.send(node, from, "pong", 100, "pong");
+                }
+                "pong" => self.pongs_rx += 1,
+                _ => unreachable!(),
+            }
+        }
+
+        fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+            assert_eq!(tag, 7);
+            self.timer_fired += 1;
+            ctx.send(node, NodeId(1), "ping", 100, "ping");
+        }
+    }
+
+    fn two_node_cfg() -> SimConfig {
+        SimConfig {
+            num_nodes: 2,
+            mobility_tick: SimDuration::ZERO,
+            ..Default::default()
+        }
+    }
+
+    fn place_two(sim: &mut Simulator<&'static str>, dist: f64) {
+        sim.world.set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
+        sim.world.set_motion(NodeId(1), Point::new(dist, 0.0), Vec2::ZERO);
+        sim.world.rebuild_index();
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim: Simulator<&'static str> =
+            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        place_two(&mut sim, 100.0);
+        let mut p = PingPong::default();
+        sim.run(&mut p, SimTime::from_secs(10));
+        assert_eq!(p.pings_rx, 2); // initial + timer re-ping
+        assert_eq!(p.pongs_rx, 2);
+        assert_eq!(p.timer_fired, 1);
+        assert_eq!(sim.stats().msgs("ping"), 2);
+        assert_eq!(sim.stats().msgs("pong"), 2);
+        assert_eq!(sim.stats().bytes("ping"), 200);
+    }
+
+    #[test]
+    fn out_of_range_send_fails() {
+        let mut sim: Simulator<&'static str> =
+            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        place_two(&mut sim, 500.0); // beyond 250 m range
+        let mut p = PingPong::default();
+        sim.run(&mut p, SimTime::from_secs(10));
+        assert_eq!(p.pings_rx, 0);
+        assert_eq!(sim.stats().drops_out_of_range, 2);
+    }
+
+    #[test]
+    fn messages_take_time_to_arrive() {
+        struct Recorder {
+            arrival: Option<SimTime>,
+        }
+        impl Protocol for Recorder {
+            type Msg = &'static str;
+            fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self::Msg>) {
+                if node == NodeId(0) {
+                    ctx.send(node, NodeId(1), "data", 250, "hello");
+                }
+            }
+            fn on_message(&mut self, _n: NodeId, _f: NodeId, _m: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+                self.arrival = Some(ctx.now());
+            }
+            fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, Self::Msg>) {}
+        }
+        let mut sim: Simulator<&'static str> =
+            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        place_two(&mut sim, 100.0);
+        let mut p = Recorder { arrival: None };
+        sim.run(&mut p, SimTime::from_secs(1));
+        // 250 bytes at 2 Mb/s = 1 ms + 0.5 ms latency + jitter < 0.2 ms.
+        let t = p.arrival.expect("message must arrive");
+        assert!(t >= SimTime(1_500), "{t}");
+        assert!(t <= SimTime(1_700), "{t}");
+    }
+
+    #[test]
+    fn broadcast_reaches_all_in_range() {
+        struct Bcast {
+            got: Vec<NodeId>,
+        }
+        impl Protocol for Bcast {
+            type Msg = u8;
+            fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self::Msg>) {
+                if node == NodeId(0) {
+                    let n = ctx.broadcast(node, "hello", 50, 1);
+                    assert_eq!(n, 2);
+                }
+            }
+            fn on_message(&mut self, node: NodeId, from: NodeId, _m: u8, _c: &mut Ctx<'_, Self::Msg>) {
+                assert_eq!(from, NodeId(0));
+                self.got.push(node);
+            }
+            fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, Self::Msg>) {}
+        }
+        let cfg = SimConfig {
+            num_nodes: 4,
+            mobility_tick: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let mut sim: Simulator<u8> = Simulator::new(cfg, Box::new(Stationary));
+        // 0 at origin; 1 and 2 in range; 3 far away.
+        sim.world.set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
+        sim.world.set_motion(NodeId(1), Point::new(100.0, 0.0), Vec2::ZERO);
+        sim.world.set_motion(NodeId(2), Point::new(0.0, 200.0), Vec2::ZERO);
+        sim.world.set_motion(NodeId(3), Point::new(900.0, 900.0), Vec2::ZERO);
+        sim.world.rebuild_index();
+        let mut p = Bcast { got: Vec::new() };
+        sim.run(&mut p, SimTime::from_secs(1));
+        p.got.sort_unstable();
+        assert_eq!(p.got, vec![NodeId(1), NodeId(2)]);
+        // One transmission counted, not one per receiver.
+        assert_eq!(sim.stats().msgs("hello"), 1);
+    }
+
+    #[test]
+    fn dead_nodes_receive_nothing_and_timers_skip() {
+        let mut sim: Simulator<&'static str> =
+            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        place_two(&mut sim, 100.0);
+        sim.schedule_fail(NodeId(1), SimTime::ZERO);
+        let mut p = PingPong::default();
+        sim.run(&mut p, SimTime::from_secs(10));
+        // Node 1 failed at t=0 before any delivery: nothing received.
+        assert_eq!(p.pings_rx, 0);
+        assert!(sim.stats().drops_dead >= 1);
+    }
+
+    #[test]
+    fn fail_and_recover_callbacks() {
+        #[derive(Default)]
+        struct FR {
+            fails: Vec<NodeId>,
+            recovers: Vec<NodeId>,
+        }
+        impl Protocol for FR {
+            type Msg = ();
+            fn on_start(&mut self, _n: NodeId, _c: &mut Ctx<'_, ()>) {}
+            fn on_message(&mut self, _n: NodeId, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, ()>) {}
+            fn on_fail(&mut self, node: NodeId, _c: &mut Ctx<'_, ()>) {
+                self.fails.push(node);
+            }
+            fn on_recover(&mut self, node: NodeId, _c: &mut Ctx<'_, ()>) {
+                self.recovers.push(node);
+            }
+        }
+        let cfg = SimConfig {
+            num_nodes: 3,
+            mobility_tick: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let mut sim: Simulator<()> = Simulator::new(cfg, Box::new(Stationary));
+        sim.schedule_fail(NodeId(2), SimTime::from_secs(1));
+        sim.schedule_recover(NodeId(2), SimTime::from_secs(5));
+        let mut p = FR::default();
+        sim.run(&mut p, SimTime::from_secs(3));
+        assert_eq!(p.fails, vec![NodeId(2)]);
+        assert!(p.recovers.is_empty());
+        assert!(!sim.world().alive(NodeId(2)));
+        sim.run(&mut p, SimTime::from_secs(10));
+        assert_eq!(p.recovers, vec![NodeId(2)]);
+        assert!(sim.world().alive(NodeId(2)));
+    }
+
+    #[test]
+    fn bandwidth_serialises_transmissions() {
+        // Sending two 250-byte frames back-to-back: second arrives ~1 ms
+        // after the first (radio busy).
+        struct Two {
+            arrivals: Vec<SimTime>,
+        }
+        impl Protocol for Two {
+            type Msg = u8;
+            fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, u8>) {
+                if node == NodeId(0) {
+                    ctx.send(node, NodeId(1), "d", 250, 1);
+                    ctx.send(node, NodeId(1), "d", 250, 2);
+                }
+            }
+            fn on_message(&mut self, _n: NodeId, _f: NodeId, _m: u8, ctx: &mut Ctx<'_, u8>) {
+                self.arrivals.push(ctx.now());
+            }
+            fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, u8>) {}
+        }
+        let mut sim: Simulator<u8> = Simulator::new(
+            SimConfig {
+                num_nodes: 2,
+                mobility_tick: SimDuration::ZERO,
+                ..Default::default()
+            },
+            Box::new(Stationary),
+        );
+        sim.world.set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
+        sim.world.set_motion(NodeId(1), Point::new(50.0, 0.0), Vec2::ZERO);
+        sim.world.rebuild_index();
+        let mut p = Two { arrivals: Vec::new() };
+        sim.run(&mut p, SimTime::from_secs(1));
+        assert_eq!(p.arrivals.len(), 2);
+        let gap = p.arrivals[1].since(p.arrivals[0]);
+        assert!(
+            gap >= SimDuration::from_micros(800) && gap <= SimDuration::from_micros(1400),
+            "gap {gap}"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay_same_seed() {
+        let run = |seed| {
+            let cfg = SimConfig {
+                num_nodes: 30,
+                seed,
+                ..Default::default()
+            };
+            let mut sim: Simulator<&'static str> = Simulator::new(
+                cfg,
+                Box::new(crate::mobility::RandomWaypoint::new(1.0, 10.0, 2.0)),
+            );
+            let mut p = PingPong::default();
+            sim.run(&mut p, SimTime::from_secs(60));
+            (
+                p.pings_rx,
+                p.pongs_rx,
+                sim.stats().node_tx_bytes.clone(),
+                sim.world().position(NodeId(17)),
+            )
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn enhanced_fraction_assignment() {
+        let cfg = SimConfig {
+            num_nodes: 100,
+            enhanced_fraction: 0.3,
+            ..Default::default()
+        };
+        let sim: Simulator<()> = Simulator::new(cfg, Box::new(Stationary));
+        let n = sim
+            .world()
+            .ids()
+            .filter(|id| sim.world().capability(*id) == Capability::Enhanced)
+            .count();
+        assert_eq!(n, 30);
+    }
+
+    #[test]
+    fn run_is_resumable() {
+        let mut sim: Simulator<&'static str> =
+            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        place_two(&mut sim, 100.0);
+        let mut p = PingPong::default();
+        sim.run(&mut p, SimTime::from_secs(2));
+        assert_eq!(p.timer_fired, 0);
+        sim.run(&mut p, SimTime::from_secs(20));
+        assert_eq!(p.timer_fired, 1);
+        assert_eq!(sim.now(), SimTime::from_secs(20));
+    }
+}

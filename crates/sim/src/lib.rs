@@ -1,0 +1,45 @@
+//! # hvdb-sim — a deterministic discrete-event MANET simulator
+//!
+//! The HVDB paper (Wang et al., IPDPS 2005) evaluates a protocol design for
+//! large-scale MANETs; reproducing its claims requires a packet-level
+//! simulator, which this crate provides:
+//!
+//! * [`time`] — integer microsecond clock ([`SimTime`], [`SimDuration`]);
+//! * [`event`] — a totally ordered event queue;
+//! * [`rng`] — seeded, forkable randomness ([`SimRng`]);
+//! * [`node`] / [`world`] — node population, unit-disk neighbourhoods;
+//! * [`radio`] — bandwidth / latency / jitter / loss model;
+//! * [`mobility`] — stationary, random-waypoint and group mobility;
+//! * [`stats`] — overhead, load, delivery and latency measurement plus
+//!   fairness indices (Jain, max/mean, Gini);
+//! * [`georoute`] — greedy location-based forwarding (GPSR-style);
+//! * [`engine`] — the [`Protocol`] trait and [`Simulator`] event loop.
+//!
+//! Every run is a pure function of `(SimConfig, protocol)`: events are
+//! totally ordered, iteration is index-ordered, and all randomness flows
+//! from the config seed. Parallelism belongs *outside* the simulator
+//! (sweeps over seeds/parameters in `hvdb-bench`), keeping each run
+//! deterministic per the hpc-parallel guidance.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod georoute;
+pub mod mobility;
+pub mod node;
+pub mod radio;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod world;
+
+pub use engine::{Ctx, Protocol, SimConfig, Simulator};
+pub use event::{EventKind, EventQueue};
+pub use mobility::{Mobility, RandomWaypoint, ReferencePointGroup, Stationary};
+pub use node::{Capability, NodeId, NodeState};
+pub use radio::RadioConfig;
+pub use rng::SimRng;
+pub use stats::{gini, jain_fairness, max_mean_ratio, Stats};
+pub use time::{SimDuration, SimTime};
+pub use world::World;

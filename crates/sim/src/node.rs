@@ -1,0 +1,88 @@
+//! Simulated mobile nodes.
+
+use hvdb_geo::{Point, Vec2};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a mobile node. Dense (0..n), usable as a vector index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index into per-node vectors.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Hardware class of a node.
+///
+/// The paper's second stability assumption (§3): "We assume MNs have
+/// different computation and communications capabilities, with the CHs
+/// having stronger capability than others … e.g., in a battlefield, a mobile
+/// device equipped on a tank can have stronger capability than the one
+/// equipped for a foot soldier." Only [`Capability::Enhanced`] nodes are
+/// eligible for cluster-head election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capability {
+    /// Ordinary node (foot soldier): host only.
+    Regular,
+    /// Backbone-capable node (tank): may be elected cluster head.
+    Enhanced,
+}
+
+/// Mutable per-node simulation state.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Current position.
+    pub pos: Point,
+    /// Current velocity.
+    pub vel: Vec2,
+    /// Hardware class.
+    pub capability: Capability,
+    /// Whether the node is up (fault injection toggles this).
+    pub alive: bool,
+    /// The instant the node's radio finishes its queued transmissions;
+    /// models per-node bandwidth serialisation.
+    pub busy_until: SimTime,
+}
+
+impl NodeState {
+    /// A fresh, alive, stationary node at `pos`.
+    pub fn new(pos: Point, capability: Capability) -> Self {
+        NodeState {
+            pos,
+            vel: Vec2::ZERO,
+            capability,
+            alive: true,
+            busy_until: SimTime::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_is_dense_index() {
+        assert_eq!(NodeId(7).idx(), 7);
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn fresh_node_defaults() {
+        let n = NodeState::new(Point::new(1.0, 2.0), Capability::Enhanced);
+        assert!(n.alive);
+        assert_eq!(n.vel, Vec2::ZERO);
+        assert_eq!(n.busy_until, SimTime::ZERO);
+        assert_eq!(n.capability, Capability::Enhanced);
+    }
+}

@@ -1,0 +1,318 @@
+//! Measurement: control overhead, forwarding load, delivery and latency.
+//!
+//! Every quantity the experiments report is collected here:
+//!
+//! * per-class message/byte counters (control overhead, experiment F5/C4),
+//! * per-node transmission counters (load balancing, experiment C3),
+//! * origin/delivery records for data packets (delivery ratio and latency,
+//!   experiments F6/C1).
+//!
+//! Fairness indices (Jain, max/mean, Gini) are free functions over plain
+//! slices so the harness can compute them for arbitrary node subsets (e.g.
+//! cluster heads only).
+
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rustc_hash::FxHashMap;
+
+/// One originated data packet's bookkeeping.
+#[derive(Debug, Clone)]
+struct Origin {
+    at: SimTime,
+    expected: u64,
+    delivered: Vec<(NodeId, SimTime)>,
+}
+
+/// Simulation-wide measurement state.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Messages transmitted, by protocol-chosen class label.
+    pub msg_counts: FxHashMap<&'static str, u64>,
+    /// Bytes transmitted, by class label.
+    pub msg_bytes: FxHashMap<&'static str, u64>,
+    /// Per-node transmitted message count (senders and forwarders).
+    pub node_tx_msgs: Vec<u64>,
+    /// Per-node transmitted bytes.
+    pub node_tx_bytes: Vec<u64>,
+    /// Unicast sends whose destination was out of range.
+    pub drops_out_of_range: u64,
+    /// Frames lost to the radio loss process.
+    pub drops_loss: u64,
+    /// Frames addressed to dead nodes (or sent by dead nodes).
+    pub drops_dead: u64,
+    origins: FxHashMap<u64, Origin>,
+}
+
+impl Stats {
+    /// Creates statistics for an `n`-node world.
+    pub fn new(n: usize) -> Self {
+        Stats {
+            node_tx_msgs: vec![0; n],
+            node_tx_bytes: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    /// Records one transmission by `node` of `bytes` bytes in `class`.
+    pub fn count_tx(&mut self, node: NodeId, class: &'static str, bytes: usize) {
+        *self.msg_counts.entry(class).or_insert(0) += 1;
+        *self.msg_bytes.entry(class).or_insert(0) += bytes as u64;
+        self.node_tx_msgs[node.idx()] += 1;
+        self.node_tx_bytes[node.idx()] += bytes as u64;
+    }
+
+    /// Registers an originated data packet `id` expecting delivery to
+    /// `expected` distinct receivers.
+    pub fn record_origin(&mut self, id: u64, at: SimTime, expected: u64) {
+        self.origins.insert(
+            id,
+            Origin {
+                at,
+                expected,
+                delivered: Vec::new(),
+            },
+        );
+    }
+
+    /// Records a delivery of packet `id` at `node`. Duplicate deliveries to
+    /// the same node are ignored (multicast may reach a node twice; the
+    /// ratio counts distinct receivers). Unknown ids are ignored.
+    pub fn record_delivery(&mut self, id: u64, node: NodeId, at: SimTime) {
+        if let Some(o) = self.origins.get_mut(&id) {
+            if !o.delivered.iter().any(|(n, _)| *n == node) {
+                o.delivered.push((node, at));
+            }
+        }
+    }
+
+    /// Number of originated data packets.
+    pub fn origin_count(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Overall delivery ratio: delivered receiver-slots / expected
+    /// receiver-slots, over all originated packets. 1.0 when nothing was
+    /// expected.
+    pub fn delivery_ratio(&self) -> f64 {
+        let mut expected = 0u64;
+        let mut delivered = 0u64;
+        for o in self.origins.values() {
+            expected += o.expected;
+            delivered += (o.delivered.len() as u64).min(o.expected);
+        }
+        if expected == 0 {
+            1.0
+        } else {
+            delivered as f64 / expected as f64
+        }
+    }
+
+    /// All end-to-end delivery latencies.
+    pub fn latencies(&self) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        for o in self.origins.values() {
+            for (_, t) in &o.delivered {
+                out.push(t.since(o.at));
+            }
+        }
+        out
+    }
+
+    /// Mean delivery latency in seconds, or `None` if nothing delivered.
+    pub fn mean_latency(&self) -> Option<f64> {
+        let l = self.latencies();
+        if l.is_empty() {
+            None
+        } else {
+            Some(l.iter().map(|d| d.as_secs_f64()).sum::<f64>() / l.len() as f64)
+        }
+    }
+
+    /// The `q`-quantile (0..=1) of delivery latency in seconds.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        let mut l: Vec<f64> = self.latencies().iter().map(|d| d.as_secs_f64()).collect();
+        if l.is_empty() {
+            return None;
+        }
+        l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((l.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(l[idx])
+    }
+
+    /// Total bytes across message classes matching `pred`.
+    pub fn bytes_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.msg_bytes
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Total messages across classes matching `pred`.
+    pub fn msgs_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.msg_counts
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Message count for one class.
+    pub fn msgs(&self, class: &str) -> u64 {
+        self.msg_counts.get(class).copied().unwrap_or(0)
+    }
+
+    /// Byte count for one class.
+    pub fn bytes(&self, class: &str) -> u64 {
+        self.msg_bytes.get(class).copied().unwrap_or(0)
+    }
+}
+
+/// Jain's fairness index of a load vector: `(Σx)² / (n·Σx²)`. 1.0 = perfect
+/// balance, 1/n = a single hot spot. Returns 1.0 for empty or all-zero
+/// input (a vacuously balanced system).
+pub fn jain_fairness(load: &[u64]) -> f64 {
+    if load.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = load.iter().map(|&x| x as f64).sum();
+    if sum == 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = load.iter().map(|&x| (x as f64) * (x as f64)).sum();
+    (sum * sum) / (load.len() as f64 * sum_sq)
+}
+
+/// Peak-to-mean ratio of a load vector: how much hotter the hottest node is
+/// than the average. 1.0 = perfectly balanced. Returns 1.0 for empty or
+/// all-zero input.
+pub fn max_mean_ratio(load: &[u64]) -> f64 {
+    if load.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = load.iter().map(|&x| x as f64).sum();
+    if sum == 0.0 {
+        return 1.0;
+    }
+    let mean = sum / load.len() as f64;
+    let max = *load.iter().max().unwrap() as f64;
+    max / mean
+}
+
+/// Gini coefficient of a load vector (0 = perfect equality, →1 = one node
+/// carries everything). Returns 0.0 for empty or all-zero input.
+pub fn gini(load: &[u64]) -> f64 {
+    if load.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = load.iter().map(|&x| x as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    let sum: f64 = sorted.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_counting_accumulates_per_class_and_node() {
+        let mut s = Stats::new(3);
+        s.count_tx(NodeId(0), "beacon", 100);
+        s.count_tx(NodeId(0), "beacon", 100);
+        s.count_tx(NodeId(2), "data", 1000);
+        assert_eq!(s.msgs("beacon"), 2);
+        assert_eq!(s.bytes("beacon"), 200);
+        assert_eq!(s.msgs("data"), 1);
+        assert_eq!(s.node_tx_msgs, vec![2, 0, 1]);
+        assert_eq!(s.node_tx_bytes, vec![200, 0, 1000]);
+        assert_eq!(s.msgs_where(|c| c != "data"), 2);
+        assert_eq!(s.bytes_where(|c| c == "data"), 1000);
+        assert_eq!(s.msgs("nothing"), 0);
+    }
+
+    #[test]
+    fn delivery_ratio_counts_distinct_receivers() {
+        let mut s = Stats::new(4);
+        s.record_origin(1, SimTime::ZERO, 2);
+        s.record_delivery(1, NodeId(1), SimTime::from_millis(10));
+        s.record_delivery(1, NodeId(1), SimTime::from_millis(12)); // dup
+        assert_eq!(s.delivery_ratio(), 0.5);
+        s.record_delivery(1, NodeId(2), SimTime::from_millis(15));
+        assert_eq!(s.delivery_ratio(), 1.0);
+        // Unknown packet id: ignored.
+        s.record_delivery(99, NodeId(3), SimTime::from_millis(1));
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn over_delivery_does_not_exceed_one() {
+        let mut s = Stats::new(4);
+        s.record_origin(1, SimTime::ZERO, 1);
+        s.record_delivery(1, NodeId(1), SimTime::from_millis(1));
+        s.record_delivery(1, NodeId(2), SimTime::from_millis(2));
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_stats_ratio_is_one() {
+        let s = Stats::new(1);
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.mean_latency(), None);
+        assert_eq!(s.latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut s = Stats::new(4);
+        s.record_origin(1, SimTime::from_secs(1), 3);
+        s.record_delivery(1, NodeId(1), SimTime::from_secs(1) + SimDuration::from_millis(10));
+        s.record_delivery(1, NodeId(2), SimTime::from_secs(1) + SimDuration::from_millis(20));
+        s.record_delivery(1, NodeId(3), SimTime::from_secs(1) + SimDuration::from_millis(60));
+        let mean = s.mean_latency().unwrap();
+        assert!((mean - 0.03).abs() < 1e-9);
+        assert!((s.latency_quantile(0.5).unwrap() - 0.02).abs() < 1e-9);
+        assert!((s.latency_quantile(1.0).unwrap() - 0.06).abs() < 1e-9);
+        assert_eq!(s.latencies().len(), 3);
+        assert_eq!(s.origin_count(), 1);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0, 0, 0]), 1.0);
+        assert_eq!(jain_fairness(&[5, 5, 5, 5]), 1.0);
+        // One hot node among n: index = 1/n.
+        let idx = jain_fairness(&[10, 0, 0, 0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_mean_extremes() {
+        assert_eq!(max_mean_ratio(&[3, 3, 3]), 1.0);
+        assert_eq!(max_mean_ratio(&[12, 0, 0, 0]), 4.0);
+        assert_eq!(max_mean_ratio(&[]), 1.0);
+        assert_eq!(max_mean_ratio(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        assert!(gini(&[7, 7, 7, 7]).abs() < 1e-12);
+        // Perfect inequality approaches (n-1)/n.
+        let g = gini(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-12);
+        // Monotone: more skew, higher Gini.
+        assert!(gini(&[1, 1, 1, 97]) > gini(&[20, 25, 25, 30]));
+    }
+}

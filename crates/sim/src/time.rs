@@ -1,0 +1,184 @@
+//! Simulation time.
+//!
+//! Time is an integer count of microseconds since simulation start. Integer
+//! time makes event ordering exact (no float comparison pitfalls) and keeps
+//! replays bit-identical across platforms — a prerequisite for the
+//! deterministic experiments in `hvdb-bench`.
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute simulation instant, in microseconds since start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Builds an instant from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Builds an instant from fractional seconds (truncating to µs).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        SimTime((s * 1e6) as u64)
+    }
+
+    /// Seconds as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Builds a span from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Builds a span from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds a span from fractional seconds (truncating to µs).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        SimDuration((s * 1e6) as u64)
+    }
+
+    /// Seconds as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales the span by an integer factor.
+    #[inline]
+    pub const fn saturating_mul(&self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl std::ops::Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl std::ops::Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2), SimTime(2_000_000));
+        assert_eq!(SimTime::from_millis(5), SimTime(5_000));
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime(500_000));
+        assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
+        assert_eq!(SimDuration::from_micros(7).0, 7);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t, SimTime(1_500_000));
+        assert_eq!(t.since(SimTime::from_secs(1)), SimDuration::from_millis(500));
+        // Saturating: earlier.since(later) is zero, not underflow.
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+        let mut u = SimTime::ZERO;
+        u += SimDuration::from_secs(3);
+        assert_eq!(u, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn duration_ops() {
+        let d = SimDuration::from_secs(2) + SimDuration::from_millis(1);
+        assert_eq!(d.0, 2_001_000);
+        assert_eq!((d - SimDuration::from_secs(2)).0, 1_000);
+        assert_eq!(SimDuration::from_millis(10).saturating_mul(3).0, 30_000);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(SimTime::ZERO < SimTime::from_millis(1));
+        assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+}

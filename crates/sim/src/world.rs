@@ -1,0 +1,256 @@
+//! The physical world: node population, positions, and range queries.
+
+use crate::node::{Capability, NodeId, NodeState};
+use hvdb_geo::{Aabb, Point, SpatialIndex, Vec2};
+
+/// The physical state of the simulated MANET: every node's position,
+/// velocity, liveness, and a spatial index for radio-range queries.
+#[derive(Debug, Clone)]
+pub struct World {
+    area: Aabb,
+    radio_range: f64,
+    nodes: Vec<NodeState>,
+    index: SpatialIndex,
+    index_dirty: bool,
+}
+
+impl World {
+    /// Creates a world of `n` nodes, all initially at the area centre and
+    /// stationary; a mobility model's `init` scatters them.
+    pub fn new(area: Aabb, n: usize, radio_range: f64) -> Self {
+        assert!(radio_range > 0.0, "radio range must be positive");
+        let center = area.center();
+        let nodes = vec![NodeState::new(center, Capability::Regular); n];
+        let mut w = World {
+            area,
+            radio_range,
+            nodes,
+            index: SpatialIndex::new(radio_range.max(1.0)),
+            index_dirty: true,
+        };
+        w.rebuild_index();
+        w
+    }
+
+    /// Deployment area.
+    #[inline]
+    pub fn area(&self) -> Aabb {
+        self.area
+    }
+
+    /// Radio transmission range (unit-disk model).
+    #[inline]
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// Number of nodes (alive or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the world has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Immutable access to a node's state.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.idx()]
+    }
+
+    /// Mutable access to a node's state. Callers that move nodes must use
+    /// [`World::set_motion`] instead so the spatial index stays consistent.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+        &mut self.nodes[id.idx()]
+    }
+
+    /// Position shorthand.
+    #[inline]
+    pub fn position(&self, id: NodeId) -> Point {
+        self.nodes[id.idx()].pos
+    }
+
+    /// Velocity shorthand.
+    #[inline]
+    pub fn velocity(&self, id: NodeId) -> Vec2 {
+        self.nodes[id.idx()].vel
+    }
+
+    /// Liveness shorthand.
+    #[inline]
+    pub fn alive(&self, id: NodeId) -> bool {
+        self.nodes[id.idx()].alive
+    }
+
+    /// Capability shorthand.
+    #[inline]
+    pub fn capability(&self, id: NodeId) -> Capability {
+        self.nodes[id.idx()].capability
+    }
+
+    /// Marks a node up or down.
+    pub fn set_alive(&mut self, id: NodeId, alive: bool) {
+        self.nodes[id.idx()].alive = alive;
+    }
+
+    /// Sets a node's hardware class.
+    pub fn set_capability(&mut self, id: NodeId, c: Capability) {
+        self.nodes[id.idx()].capability = c;
+    }
+
+    /// Updates a node's position and velocity, clamping to the area and
+    /// marking the spatial index stale.
+    pub fn set_motion(&mut self, id: NodeId, pos: Point, vel: Vec2) {
+        let clamped = self.area.clamp(pos);
+        let n = &mut self.nodes[id.idx()];
+        n.pos = clamped;
+        n.vel = vel;
+        self.index_dirty = true;
+    }
+
+    /// Rebuilds the spatial index from current positions. The engine calls
+    /// this after each mobility tick; query methods assert freshness.
+    pub fn rebuild_index(&mut self) {
+        let nodes = &self.nodes;
+        self.index.rebuild(
+            nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (i as u32, n.pos)),
+        );
+        self.index_dirty = false;
+    }
+
+    /// Whether two nodes are within radio range of each other (and both
+    /// alive). Unit-disk connectivity: "Two MNs communicate directly if
+    /// they are within the radio transmission range of each other" (§1).
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        let na = &self.nodes[a.idx()];
+        let nb = &self.nodes[b.idx()];
+        na.alive
+            && nb.alive
+            && na.pos.distance_sq(nb.pos) <= self.radio_range * self.radio_range
+    }
+
+    /// Collects the alive radio neighbours of `id` (excluding itself) into
+    /// `out` (cleared first), in ascending id order for determinism.
+    pub fn neighbors_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        debug_assert!(!self.index_dirty, "spatial index stale: call rebuild_index");
+        let me = &self.nodes[id.idx()];
+        out.clear();
+        if !me.alive {
+            return;
+        }
+        let mut raw = Vec::new();
+        self.index
+            .query_range_into(me.pos, self.radio_range, &mut raw);
+        raw.sort_unstable();
+        for other in raw {
+            let oid = NodeId(other);
+            if oid != id && self.nodes[oid.idx()].alive {
+                out.push(oid);
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`World::neighbors_into`].
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(id, &mut out);
+        out
+    }
+
+    /// All alive nodes within `radius` of a point, ascending id order.
+    pub fn nodes_near(&self, p: Point, radius: f64) -> Vec<NodeId> {
+        debug_assert!(!self.index_dirty, "spatial index stale: call rebuild_index");
+        let mut raw = self.index.query_range(p, radius);
+        raw.sort_unstable();
+        raw.into_iter()
+            .map(NodeId)
+            .filter(|id| self.nodes[id.idx()].alive)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_world() -> World {
+        // 5 nodes on a line, 100 m apart, range 150 m.
+        let mut w = World::new(Aabb::from_size(1000.0, 100.0), 5, 150.0);
+        for i in 0..5u32 {
+            w.set_motion(NodeId(i), Point::new(i as f64 * 100.0, 50.0), Vec2::ZERO);
+        }
+        w.rebuild_index();
+        w
+    }
+
+    #[test]
+    fn neighbors_respect_range() {
+        let w = line_world();
+        assert_eq!(w.neighbors(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(w.neighbors(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn in_range_symmetric() {
+        let w = line_world();
+        assert!(w.in_range(NodeId(0), NodeId(1)));
+        assert!(w.in_range(NodeId(1), NodeId(0)));
+        assert!(!w.in_range(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn dead_nodes_vanish_from_queries() {
+        let mut w = line_world();
+        w.set_alive(NodeId(1), false);
+        assert!(w.neighbors(NodeId(0)).is_empty());
+        assert!(!w.in_range(NodeId(0), NodeId(1)));
+        assert!(w.neighbors(NodeId(1)).is_empty());
+        w.set_alive(NodeId(1), true);
+        assert_eq!(w.neighbors(NodeId(0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn set_motion_clamps_to_area() {
+        let mut w = line_world();
+        w.set_motion(NodeId(0), Point::new(-50.0, 500.0), Vec2::ZERO);
+        let p = w.position(NodeId(0));
+        assert_eq!(p, Point::new(0.0, 100.0));
+    }
+
+    #[test]
+    fn motion_updates_neighborhoods_after_rebuild() {
+        let mut w = line_world();
+        w.set_motion(NodeId(4), Point::new(80.0, 50.0), Vec2::ZERO);
+        w.rebuild_index();
+        let n0 = w.neighbors(NodeId(0));
+        assert_eq!(n0, vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn nodes_near_point() {
+        let w = line_world();
+        let near = w.nodes_near(Point::new(100.0, 50.0), 120.0);
+        assert_eq!(near, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn capability_assignment() {
+        let mut w = line_world();
+        assert_eq!(w.capability(NodeId(3)), Capability::Regular);
+        w.set_capability(NodeId(3), Capability::Enhanced);
+        assert_eq!(w.capability(NodeId(3)), Capability::Enhanced);
+    }
+}
