@@ -61,11 +61,14 @@ impl DsmMsg {
     }
 }
 
+/// One node's replicated view of another: (seq, position, groups).
+type NodeView = (u64, Point, Vec<GroupId>);
+
 /// The DSM-style protocol.
 pub struct DsmProtocol {
     scenario: ScenarioState,
-    /// Per-node snapshot: node -> (seq, pos, groups).
-    snapshot: Vec<FxHashMap<NodeId, (u64, Point, Vec<GroupId>)>>,
+    /// Per-node snapshot: node -> latest view.
+    snapshot: Vec<FxHashMap<NodeId, NodeView>>,
     /// Per-node flood dedup: (origin, seq).
     seen: Vec<FxHashSet<(NodeId, u64)>>,
     location_interval: SimDuration,
@@ -153,7 +156,7 @@ impl Protocol for DsmProtocol {
                 }
                 georoute::push_visited(&mut visited, node);
                 // Direct hand-off if the member is a neighbour.
-                let hop = if ctx.neighbors(node).contains(&dest) {
+                let hop = if ctx.with_neighbors(node, |_, ns| ns.contains(&dest)) {
                     Some(dest)
                 } else {
                     georoute::next_hop(ctx, node, dest_pos, &visited)
@@ -169,7 +172,7 @@ impl Protocol for DsmProtocol {
                         ttl: ttl - 1,
                     };
                     let bytes = msg.wire_size();
-                    ctx.send(node, nh, "dsm-data", bytes, msg);
+                    ctx.send_reliable(node, nh, "dsm-data", bytes, msg);
                 }
             }
         }
@@ -177,7 +180,8 @@ impl Protocol for DsmProtocol {
 
     fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, DsmMsg>) {
         if tag >= TAG_GROUP_BASE {
-            self.scenario.apply_group_event((tag - TAG_GROUP_BASE) as usize);
+            self.scenario
+                .apply_group_event((tag - TAG_GROUP_BASE) as usize);
         } else if tag >= TAG_TRAFFIC_BASE {
             let (data_id, group, size) =
                 self.scenario
@@ -208,21 +212,23 @@ impl Protocol for DsmProtocol {
                     continue;
                 }
                 // First hop from the source.
-                let hop = if ctx.neighbors(node).contains(&dest) {
+                let hop = if ctx.with_neighbors(node, |_, ns| ns.contains(&dest)) {
                     Some(dest)
                 } else {
                     georoute::next_hop(ctx, node, dest_pos, &[node])
                 };
                 if let Some(nh) = hop {
                     let bytes = msg.wire_size();
-                    ctx.send(node, nh, "dsm-data", bytes, msg);
+                    ctx.send_reliable(node, nh, "dsm-data", bytes, msg);
                 }
             }
         } else if tag == TAG_LOCATION {
             ctx.set_timer(node, self.location_interval, TAG_LOCATION);
             self.seq[node.idx()] += 1;
-            let mut groups: Vec<GroupId> =
-                self.scenario.member_of[node.idx()].iter().copied().collect();
+            let mut groups: Vec<GroupId> = self.scenario.member_of[node.idx()]
+                .iter()
+                .copied()
+                .collect();
             groups.sort_unstable();
             let msg = DsmMsg::Location {
                 node,
@@ -247,7 +253,10 @@ mod tests {
         let cfg = SimConfig {
             area: Aabb::from_size(side, side),
             num_nodes: (n_side * n_side) as usize,
-            radio: RadioConfig { range: 250.0, ..Default::default() },
+            radio: RadioConfig {
+                range: 250.0,
+                ..Default::default()
+            },
             mobility_tick: SimDuration::ZERO,
             enhanced_fraction: 1.0,
             seed,

@@ -65,19 +65,34 @@ impl Protocol for FloodingProtocol {
         }
     }
 
-    fn on_message(&mut self, node: NodeId, _from: NodeId, msg: FloodMsg, ctx: &mut Ctx<'_, FloodMsg>) {
+    fn on_message(
+        &mut self,
+        node: NodeId,
+        _from: NodeId,
+        msg: FloodMsg,
+        ctx: &mut Ctx<'_, FloodMsg>,
+    ) {
         self.scenario.deliver(node, ctx, msg.data_id, msg.group);
         self.flood(node, ctx, msg);
     }
 
     fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, FloodMsg>) {
         if tag >= TAG_GROUP_BASE {
-            self.scenario.apply_group_event((tag - TAG_GROUP_BASE) as usize);
+            self.scenario
+                .apply_group_event((tag - TAG_GROUP_BASE) as usize);
         } else if tag >= TAG_TRAFFIC_BASE {
             let (data_id, group, size) =
                 self.scenario
                     .originate(node, ctx, (tag - TAG_TRAFFIC_BASE) as usize);
-            self.flood(node, ctx, FloodMsg { data_id, group, size });
+            self.flood(
+                node,
+                ctx,
+                FloodMsg {
+                    data_id,
+                    group,
+                    size,
+                },
+            );
         }
     }
 }
@@ -85,8 +100,8 @@ impl Protocol for FloodingProtocol {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hvdb_sim::{RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
     use hvdb_geo::{Aabb, Point, Vec2};
+    use hvdb_sim::{RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
 
     fn grid_sim(n_side: u32, seed: u64) -> Simulator<FloodMsg> {
         let spacing = 150.0;
@@ -94,7 +109,10 @@ mod tests {
         let cfg = SimConfig {
             area: Aabb::from_size(side, side),
             num_nodes: (n_side * n_side) as usize,
-            radio: RadioConfig { range: 250.0, ..Default::default() },
+            radio: RadioConfig {
+                range: 250.0,
+                ..Default::default()
+            },
             mobility_tick: SimDuration::ZERO,
             enhanced_fraction: 1.0,
             seed,

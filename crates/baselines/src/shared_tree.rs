@@ -153,12 +153,7 @@ impl SharedTreeProtocol {
         out
     }
 
-    fn forward_toward_core(
-        &mut self,
-        node: NodeId,
-        ctx: &mut Ctx<'_, TreeMsg>,
-        msg: TreeMsg,
-    ) {
+    fn forward_toward_core(&mut self, node: NodeId, ctx: &mut Ctx<'_, TreeMsg>, msg: TreeMsg) {
         let visited = match &msg {
             TreeMsg::Join { visited, .. } | TreeMsg::DataUp { visited, .. } => visited.clone(),
             TreeMsg::DataDown { .. } => Vec::new(),
@@ -166,11 +161,18 @@ impl SharedTreeProtocol {
         if let Some(nh) = georoute::next_hop(ctx, node, self.core_pos, &visited) {
             let class = msg.class();
             let bytes = msg.wire_size();
-            ctx.send(node, nh, class, bytes, msg);
+            ctx.send_reliable(node, nh, class, bytes, msg);
         }
     }
 
-    fn push_down(&mut self, node: NodeId, ctx: &mut Ctx<'_, TreeMsg>, data_id: u64, group: GroupId, size: usize) {
+    fn push_down(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, TreeMsg>,
+        data_id: u64,
+        group: GroupId,
+        size: usize,
+    ) {
         if !self.forwarded[node.idx()].insert(data_id) {
             return;
         }
@@ -182,7 +184,7 @@ impl SharedTreeProtocol {
                 size,
             };
             let bytes = msg.wire_size();
-            ctx.send(node, child, "tree-data-down", bytes, msg);
+            ctx.send_reliable(node, child, "tree-data-down", bytes, msg);
         }
     }
 }
@@ -274,7 +276,8 @@ impl Protocol for SharedTreeProtocol {
 
     fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, TreeMsg>) {
         if tag >= TAG_GROUP_BASE {
-            self.scenario.apply_group_event((tag - TAG_GROUP_BASE) as usize);
+            self.scenario
+                .apply_group_event((tag - TAG_GROUP_BASE) as usize);
         } else if tag >= TAG_TRAFFIC_BASE {
             let (data_id, group, size) =
                 self.scenario
@@ -296,7 +299,10 @@ impl Protocol for SharedTreeProtocol {
             }
         } else if tag == TAG_JOIN_REFRESH {
             ctx.set_timer(node, self.join_interval, TAG_JOIN_REFRESH);
-            let groups: Vec<GroupId> = self.scenario.member_of[node.idx()].iter().copied().collect();
+            let groups: Vec<GroupId> = self.scenario.member_of[node.idx()]
+                .iter()
+                .copied()
+                .collect();
             let mut groups = groups;
             groups.sort_unstable();
             for group in groups {
@@ -330,7 +336,10 @@ mod tests {
         let cfg = SimConfig {
             area: Aabb::from_size(side, side),
             num_nodes: (n_side * n_side) as usize,
-            radio: RadioConfig { range: 250.0, ..Default::default() },
+            radio: RadioConfig {
+                range: 250.0,
+                ..Default::default()
+            },
             mobility_tick: SimDuration::ZERO,
             enhanced_fraction: 1.0,
             seed,
@@ -381,7 +390,12 @@ mod tests {
         let mut sim = grid_sim(5, 3);
         let g = GroupId(1);
         // Corner members, corner source: everything crosses the middle.
-        let members = [(NodeId(0), g), (NodeId(4), g), (NodeId(20), g), (NodeId(24), g)];
+        let members = [
+            (NodeId(0), g),
+            (NodeId(4), g),
+            (NodeId(20), g),
+            (NodeId(24), g),
+        ];
         let traffic: Vec<TrafficItem> = (0..10)
             .map(|i| TrafficItem {
                 at: SimTime::from_secs(20 + i),

@@ -102,9 +102,21 @@ impl QuadTree {
         let (x, y) = (sq.x * 2, sq.y * 2);
         [
             Square { level: l, x, y },
-            Square { level: l, x: x + 1, y },
-            Square { level: l, x, y: y + 1 },
-            Square { level: l, x: x + 1, y: y + 1 },
+            Square {
+                level: l,
+                x: x + 1,
+                y,
+            },
+            Square {
+                level: l,
+                x,
+                y: y + 1,
+            },
+            Square {
+                level: l,
+                x: x + 1,
+                y: y + 1,
+            },
         ]
     }
 
@@ -229,7 +241,12 @@ impl SpbmProtocol {
         // Re-broadcast an Agg flood if we are inside its scope square
         // (the parent of the summarised square; whole network at top).
         let (square, origin, seq) = match &msg {
-            SpbmMsg::Agg { square, origin, seq, .. } => (*square, *origin, *seq),
+            SpbmMsg::Agg {
+                square,
+                origin,
+                seq,
+                ..
+            } => (*square, *origin, *seq),
             _ => unreachable!(),
         };
         if !self.seen[node.idx()].insert((origin, seq)) {
@@ -260,16 +277,18 @@ impl SpbmProtocol {
             return false;
         }
         let my_d = my_pos.distance_sq(center);
-        for n in ctx.neighbors(node) {
-            let p = ctx.position(n);
-            if quad.contains(sq, p) {
-                let d = p.distance_sq(center);
-                if d < my_d || (d == my_d && n < node) {
-                    return false;
+        ctx.with_neighbors(node, |ctx, neighbors| {
+            for &n in neighbors {
+                let p = ctx.position(n);
+                if quad.contains(sq, p) {
+                    let d = p.distance_sq(center);
+                    if d < my_d || (d == my_d && n < node) {
+                        return false;
+                    }
                 }
             }
-        }
-        true
+            true
+        })
     }
 
     fn groups_of_square(&self, node: NodeId, sq: Square) -> FxHashSet<GroupId> {
@@ -305,14 +324,16 @@ impl SpbmProtocol {
 
     fn forward_data(&mut self, node: NodeId, ctx: &mut Ctx<'_, SpbmMsg>, msg: SpbmMsg) {
         let (target, visited) = match &msg {
-            SpbmMsg::Data { target, visited, .. } => (*target, visited.clone()),
+            SpbmMsg::Data {
+                target, visited, ..
+            } => (*target, visited.clone()),
             _ => unreachable!(),
         };
         let quad = self.quad.as_ref().expect("started");
         let dest = quad.center(target);
         if let Some(nh) = georoute::next_hop(ctx, node, dest, &visited) {
             let bytes = msg.wire_size();
-            ctx.send(node, nh, "spbm-data", bytes, msg);
+            ctx.send_reliable(node, nh, "spbm-data", bytes, msg);
         }
     }
 
@@ -384,9 +405,18 @@ impl Protocol for SpbmProtocol {
         ctx.set_timer(node, j + SimDuration(self.update_interval.0 / 2), TAG_AGG);
     }
 
-    fn on_message(&mut self, node: NodeId, _from: NodeId, msg: SpbmMsg, ctx: &mut Ctx<'_, SpbmMsg>) {
+    fn on_message(
+        &mut self,
+        node: NodeId,
+        _from: NodeId,
+        msg: SpbmMsg,
+        ctx: &mut Ctx<'_, SpbmMsg>,
+    ) {
         match msg {
-            SpbmMsg::L0 { node: origin, groups } => {
+            SpbmMsg::L0 {
+                node: origin,
+                groups,
+            } => {
                 let quad = self.quad.as_ref().expect("started");
                 // Only neighbours in the same leaf square record the entry.
                 let my_leaf = quad.square_of(ctx.position(node), 0);
@@ -398,7 +428,9 @@ impl Protocol for SpbmProtocol {
                     }
                 }
             }
-            SpbmMsg::Agg { square, ref groups, .. } => {
+            SpbmMsg::Agg {
+                square, ref groups, ..
+            } => {
                 let set: FxHashSet<GroupId> = groups.iter().copied().collect();
                 self.sq_groups[node.idx()].insert(square, set);
                 self.scoped_reflood(node, ctx, msg);
@@ -438,7 +470,8 @@ impl Protocol for SpbmProtocol {
 
     fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, SpbmMsg>) {
         if tag >= TAG_GROUP_BASE {
-            self.scenario.apply_group_event((tag - TAG_GROUP_BASE) as usize);
+            self.scenario
+                .apply_group_event((tag - TAG_GROUP_BASE) as usize);
         } else if tag >= TAG_TRAFFIC_BASE {
             let (data_id, group, size) =
                 self.scenario
@@ -452,8 +485,10 @@ impl Protocol for SpbmProtocol {
             self.split_or_deliver(node, ctx, data_id, group, size, top);
         } else if tag == TAG_L0 {
             ctx.set_timer(node, self.update_interval, TAG_L0);
-            let mut groups: Vec<GroupId> =
-                self.scenario.member_of[node.idx()].iter().copied().collect();
+            let mut groups: Vec<GroupId> = self.scenario.member_of[node.idx()]
+                .iter()
+                .copied()
+                .collect();
             groups.sort_unstable();
             let msg = SpbmMsg::L0 { node, groups };
             let bytes = msg.wire_size();
@@ -484,8 +519,7 @@ impl Protocol for SpbmProtocol {
                     seq: self.seq[node.idx()],
                 };
                 // Self-originated flood: mark seen and broadcast.
-                self.seen[node.idx()]
-                    .insert((node, self.seq[node.idx()]));
+                self.seen[node.idx()].insert((node, self.seq[node.idx()]));
                 let bytes = msg.wire_size();
                 ctx.broadcast(node, "spbm-agg", bytes, msg);
             }
@@ -504,13 +538,46 @@ mod tests {
         let q = QuadTree::new(Aabb::from_size(1000.0, 1000.0), 250.0);
         assert_eq!(q.levels, 2); // 1000 -> 500 -> 250
         let p = Point::new(10.0, 10.0);
-        assert_eq!(q.square_of(p, 0), Square { level: 0, x: 0, y: 0 });
-        assert_eq!(q.square_of(p, 2), Square { level: 2, x: 0, y: 0 });
-        let sq = Square { level: 1, x: 1, y: 0 };
+        assert_eq!(
+            q.square_of(p, 0),
+            Square {
+                level: 0,
+                x: 0,
+                y: 0
+            }
+        );
+        assert_eq!(
+            q.square_of(p, 2),
+            Square {
+                level: 2,
+                x: 0,
+                y: 0
+            }
+        );
+        let sq = Square {
+            level: 1,
+            x: 1,
+            y: 0,
+        };
         assert!(q.contains(sq, Point::new(700.0, 100.0)));
         assert!(!q.contains(sq, Point::new(100.0, 100.0)));
-        assert_eq!(q.parent(Square { level: 0, x: 3, y: 2 }), Square { level: 1, x: 1, y: 1 });
-        let kids = q.children(Square { level: 1, x: 0, y: 0 });
+        assert_eq!(
+            q.parent(Square {
+                level: 0,
+                x: 3,
+                y: 2
+            }),
+            Square {
+                level: 1,
+                x: 1,
+                y: 1
+            }
+        );
+        let kids = q.children(Square {
+            level: 1,
+            x: 0,
+            y: 0,
+        });
         assert_eq!(kids.len(), 4);
         assert!(kids.iter().all(|k| k.level == 0 && k.x < 2 && k.y < 2));
         // Center round-trips.
@@ -526,7 +593,10 @@ mod tests {
         let cfg = SimConfig {
             area: Aabb::from_size(side, side),
             num_nodes: (n_side * n_side) as usize,
-            radio: RadioConfig { range: 250.0, ..Default::default() },
+            radio: RadioConfig {
+                range: 250.0,
+                ..Default::default()
+            },
             mobility_tick: SimDuration::ZERO,
             enhanced_fraction: 1.0,
             seed,

@@ -41,9 +41,11 @@ fn bench_disjoint(c: &mut Criterion) {
     let mut g = c.benchmark_group("disjoint_paths");
     for dim in [3u8, 4, 5, 6] {
         let far = (1u32 << dim) - 1;
-        g.bench_with_input(BenchmarkId::new("explicit_complete", dim), &dim, |b, &dim| {
-            b.iter(|| disjoint_paths_complete(black_box(0), black_box(far), dim))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("explicit_complete", dim),
+            &dim,
+            |b, &dim| b.iter(|| disjoint_paths_complete(black_box(0), black_box(far), dim)),
+        );
         let cube = damaged(dim);
         g.bench_with_input(BenchmarkId::new("maxflow_damaged", dim), &dim, |b, _| {
             b.iter(|| max_disjoint_paths(black_box(&cube), 0, far, usize::MAX))

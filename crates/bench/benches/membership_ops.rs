@@ -24,9 +24,11 @@ fn bench_mnt(c: &mut Criterion) {
     let mut g = c.benchmark_group("mnt_summary");
     for members in [10usize, 100, 1000] {
         let ls = locals(members, 8);
-        g.bench_with_input(BenchmarkId::new("from_locals", members), &members, |b, _| {
-            b.iter(|| MntSummary::from_locals(black_box(VcId::new(0, 0)), ls.iter()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("from_locals", members),
+            &members,
+            |b, _| b.iter(|| MntSummary::from_locals(black_box(VcId::new(0, 0)), ls.iter())),
+        );
     }
     g.finish();
 }
@@ -45,10 +47,7 @@ fn bench_ht(c: &mut Criterion) {
             .collect();
         g.bench_with_input(BenchmarkId::new("from_mnt", chs), &chs, |b, _| {
             b.iter(|| {
-                HtSummary::from_mnt(
-                    black_box(Hid::new(0, 0)),
-                    mnts.iter().map(|(l, m)| (*l, m)),
-                )
+                HtSummary::from_mnt(black_box(Hid::new(0, 0)), mnts.iter().map(|(l, m)| (*l, m)))
             })
         });
     }
@@ -65,15 +64,19 @@ fn bench_mt(c: &mut Criterion) {
                 HtSummary::from_mnt(Hid::new(r / 4, r % 4), [(Hnid(0), &mnt)].into_iter())
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("integrate_16hids", groups), &groups, |b, _| {
-            b.iter(|| {
-                let mut mt = MtSummary::default();
-                for ht in &hts {
-                    mt.integrate(black_box(ht));
-                }
-                mt
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("integrate_16hids", groups),
+            &groups,
+            |b, _| {
+                b.iter(|| {
+                    let mut mt = MtSummary::default();
+                    for ht in &hts {
+                        mt.integrate(black_box(ht));
+                    }
+                    mt
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -9,12 +9,7 @@ use std::hint::black_box;
 
 fn dests(mesh_side: u16, count: usize) -> Vec<Hid> {
     (0..count)
-        .map(|i| {
-            Hid::new(
-                (i as u16 * 7) % mesh_side,
-                (i as u16 * 13) % mesh_side,
-            )
-        })
+        .map(|i| Hid::new((i as u16 * 7) % mesh_side, (i as u16 * 13) % mesh_side))
         .collect()
 }
 

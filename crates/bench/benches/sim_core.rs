@@ -16,7 +16,13 @@ fn bench_event_queue(c: &mut Criterion) {
             b.iter(|| {
                 let mut q: EventQueue<u32> = EventQueue::new();
                 for &t in &times {
-                    q.push(t, EventKind::Timer { node: NodeId(0), tag: 0 });
+                    q.push(
+                        t,
+                        EventKind::Timer {
+                            node: NodeId(0),
+                            tag: 0,
+                        },
+                    );
                 }
                 let mut count = 0usize;
                 while q.pop().is_some() {

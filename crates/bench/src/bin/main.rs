@@ -1,0 +1,167 @@
+//! The `hvdb-bench` CLI: one entry point for every experiment.
+//!
+//! ```text
+//! hvdb-bench list
+//! hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--out-dir DIR]
+//! hvdb-bench run --all [--smoke] [--out-dir DIR]
+//! ```
+//!
+//! Each run prints a human-readable table and writes
+//! `BENCH_<scenario>.json` (uniform rows: sweep axis, point label,
+//! protocol, named metrics) into the output directory (default: the
+//! current directory), building the perf trajectory PR over PR.
+
+use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
+use hvdb_bench::ScenarioReport;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("hvdb-bench — experiment harness for the HVDB reproduction");
+    eprintln!();
+    eprintln!("USAGE:");
+    eprintln!("  hvdb-bench list");
+    eprintln!("  hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
+    eprintln!("  hvdb-bench run --all        [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
+    eprintln!();
+    eprintln!("Writes BENCH_<scenario>.json per scenario; see `list` for names.");
+}
+
+fn list() {
+    println!("{:<16} {:<16} summary", "scenario", "figure");
+    for def in registry() {
+        println!("{:<16} {:<16} {}", def.name, def.figure, def.summary);
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut opts = RunOpts::default();
+    let mut out_dir = String::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--smoke" => opts.smoke = true,
+            "--seeds" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--seeds needs a comma-separated list");
+                    return ExitCode::FAILURE;
+                };
+                match list
+                    .split(',')
+                    .map(str::parse::<u64>)
+                    .collect::<Result<Vec<_>, _>>()
+                {
+                    Ok(seeds) if !seeds.is_empty() => opts.seeds = Some(seeds),
+                    _ => {
+                        eprintln!("--seeds needs a comma-separated list of integers");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out-dir" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--out-dir needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = dir.clone();
+            }
+            name => names.push(name.to_string()),
+        }
+        i += 1;
+    }
+    let defs: Vec<ScenarioDef> = if all {
+        registry()
+    } else if names.is_empty() {
+        eprintln!("no scenario named; use `run --all` or `list`");
+        return ExitCode::FAILURE;
+    } else {
+        let mut defs = Vec::new();
+        for name in &names {
+            match find(name) {
+                Some(def) => defs.push(def),
+                None => {
+                    eprintln!("unknown scenario: {name} (see `hvdb-bench list`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        defs
+    };
+    for def in &defs {
+        let started = std::time::Instant::now();
+        let report = run_scenario(def, &opts);
+        print_report(&report);
+        let path = format!("{out_dir}/BENCH_{}.json", def.name);
+        match std::fs::File::create(&path).and_then(|mut f| writeln!(f, "{}", report.to_json())) {
+            Ok(()) => println!(
+                "wrote {path} ({} rows, {:.1}s)\n",
+                report.rows.len(),
+                started.elapsed().as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_report(report: &ScenarioReport) {
+    println!(
+        "# {} ({}): {}{}",
+        report.scenario,
+        report.figure,
+        report.summary,
+        if report.smoke { " [smoke]" } else { "" }
+    );
+    let mut current_sweep = String::new();
+    for row in &report.rows {
+        if row.sweep != current_sweep {
+            current_sweep = row.sweep.clone();
+            println!("## {current_sweep}");
+        }
+        let metrics: Vec<String> = row
+            .metrics
+            .iter()
+            .map(|(k, v)| {
+                if v.fract() == 0.0 && v.abs() < 9e15 {
+                    format!("{k}={v:.0}")
+                } else {
+                    format!("{k}={v:.3}")
+                }
+            })
+            .collect();
+        println!(
+            "  {:<22} {:<12} {}",
+            row.label,
+            row.proto,
+            metrics.join(" ")
+        );
+    }
+}

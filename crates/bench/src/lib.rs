@@ -1,16 +1,26 @@
 //! # hvdb-bench — experiment harness for the HVDB reproduction
 //!
-//! Regenerates every figure of the paper and quantifies every claim of its
-//! conclusions (see `DESIGN.md` §4 for the experiment index and
-//! `EXPERIMENTS.md` for recorded results). [`workload`] builds scenarios
-//! shared byte-for-byte across protocols; [`runner`] executes them under
-//! HVDB and the four baselines, parallelising seed sweeps with rayon while
-//! each individual simulation stays deterministic.
+//! Regenerates every figure of the paper and quantifies every claim of
+//! its conclusions through one CLI (`hvdb-bench`, see `src/bin/main.rs`).
+//!
+//! * [`workload`] builds scenario inputs shared byte-for-byte across
+//!   protocols;
+//! * [`runner`] executes one `(scenario, protocol)` run and averages seed
+//!   sweeps, parallelising across runs with rayon while each individual
+//!   simulation stays deterministic;
+//! * [`scenario`] is the registry: every experiment (c1–c4, f1–f6, a1,
+//!   seed) as a named, declarative entry with a smoke mode;
+//! * [`report`] is the uniform row model and the `BENCH_<scenario>.json`
+//!   serialization the perf trajectory is built from.
 
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod workload;
 
-pub use runner::{average, print_header, print_row, run_one, run_seeds, Proto};
+pub use report::{Json, Row, ScenarioReport};
+pub use runner::{average, run_one, run_one_instrumented, run_seeds, Proto, RunDetail};
+pub use scenario::{registry, run_scenario, RunOpts, ScenarioDef};
 pub use workload::{is_data_class, metrics_of, MobilityKind, RunMetrics, Scenario, Workload};

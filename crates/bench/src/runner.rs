@@ -47,9 +47,27 @@ impl Proto {
 
 /// Runs one scenario under one protocol and returns the metrics.
 pub fn run_one(proto: Proto, scenario: &Scenario) -> RunMetrics {
-    match proto {
+    let (metrics, _) = run_one_instrumented(proto, scenario);
+    metrics
+}
+
+/// Per-run instrumentation beyond the uniform [`RunMetrics`], available
+/// when the protocol exposes it (currently HVDB's internal counters).
+#[derive(Debug, Clone, Default)]
+pub struct RunDetail {
+    /// HVDB protocol counters (`None` for baselines).
+    pub hvdb_counters: Option<hvdb_core::Counters>,
+}
+
+/// Runs one scenario under one protocol, returning metrics plus
+/// protocol-specific instrumentation. Scripted fail-stop faults in
+/// [`Scenario::failures`] are scheduled for every protocol, so fault
+/// comparisons stay apples-to-apples.
+pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, RunDetail) {
+    let mut detail = RunDetail::default();
+    let metrics = match proto {
         Proto::Hvdb => {
-            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut sim = new_sim(scenario);
             let mut p = HvdbProtocol::new(
                 scenario.hvdb.clone(),
                 &scenario.members,
@@ -57,10 +75,11 @@ pub fn run_one(proto: Proto, scenario: &Scenario) -> RunMetrics {
                 scenario.group_events.clone(),
             );
             sim.run(&mut p, scenario.until);
+            detail.hvdb_counters = Some(p.counters);
             metrics_of(sim.stats())
         }
         Proto::Flooding => {
-            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut sim = new_sim(scenario);
             let mut p = FloodingProtocol::new(
                 &scenario.members,
                 scenario.traffic.clone(),
@@ -70,7 +89,7 @@ pub fn run_one(proto: Proto, scenario: &Scenario) -> RunMetrics {
             metrics_of(sim.stats())
         }
         Proto::SharedTree => {
-            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut sim = new_sim(scenario);
             let mut p = SharedTreeProtocol::new(
                 &scenario.members,
                 scenario.traffic.clone(),
@@ -80,7 +99,7 @@ pub fn run_one(proto: Proto, scenario: &Scenario) -> RunMetrics {
             metrics_of(sim.stats())
         }
         Proto::Dsm => {
-            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut sim = new_sim(scenario);
             let mut p = DsmProtocol::new(
                 &scenario.members,
                 scenario.traffic.clone(),
@@ -90,7 +109,7 @@ pub fn run_one(proto: Proto, scenario: &Scenario) -> RunMetrics {
             metrics_of(sim.stats())
         }
         Proto::Spbm => {
-            let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+            let mut sim = new_sim(scenario);
             let mut p = SpbmProtocol::new(
                 &scenario.members,
                 scenario.traffic.clone(),
@@ -99,7 +118,18 @@ pub fn run_one(proto: Proto, scenario: &Scenario) -> RunMetrics {
             sim.run(&mut p, scenario.until);
             metrics_of(sim.stats())
         }
+    };
+    (metrics, detail)
+}
+
+/// Builds the simulator for a run: fresh mobility instance plus any
+/// scripted fail-stop faults.
+fn new_sim<M: Clone>(scenario: &Scenario) -> Simulator<M> {
+    let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+    for &(node, at) in &scenario.failures {
+        sim.schedule_fail(node, at);
     }
+    sim
 }
 
 impl Scenario {
@@ -140,27 +170,4 @@ pub fn average(runs: &[RunMetrics]) -> RunMetrics {
         max_mean: runs.iter().map(|r| r.max_mean).sum::<f64>() / n,
         gini: runs.iter().map(|r| r.gini).sum::<f64>() / n,
     }
-}
-
-/// Prints a uniform table header for comparison experiments.
-pub fn print_header(first_col: &str) {
-    println!(
-        "{first_col:<14} {:<12} {:>9} {:>11} {:>13} {:>10} {:>8} {:>9} {:>7}",
-        "protocol", "delivery", "lat-ms", "ctrl-msgs", "ctrl-bytes", "data-msgs", "jain", "max/mean"
-    );
-}
-
-/// Prints one comparison row.
-pub fn print_row(first: &str, proto: Proto, m: &RunMetrics) {
-    println!(
-        "{first:<14} {:<12} {:>9.3} {:>11.1} {:>13} {:>10} {:>8} {:>9.3} {:>7.1}",
-        proto.name(),
-        m.delivery,
-        m.latency * 1e3,
-        m.control_msgs,
-        m.control_bytes,
-        m.data_msgs,
-        m.jain,
-        m.max_mean,
-    );
 }

@@ -1,0 +1,1225 @@
+//! The scenario registry: every experiment of the paper as a named,
+//! declarative entry behind one CLI.
+//!
+//! Each [`ScenarioDef`] reproduces one figure or claim of the paper
+//! (c1–c4 for the §5/§2 claims, f1–f6 for the figures, a1 for the design
+//! ablations, plus the `seed` perf baseline). A scenario executes either
+//! as declarative [`SweepSpec`]s — `(workload-point × protocol × seed)`
+//! jobs fanned out over the rayon runner — or as a bespoke structural
+//! audit for the experiments that measure graph properties rather than
+//! packet traffic. Both produce the same uniform [`Row`]s and serialize
+//! to `BENCH_<scenario>.json`, so the perf trajectory accumulates one
+//! file per scenario per run.
+//!
+//! Every scenario also supports a *smoke* mode ([`RunOpts::smoke`]):
+//! shrunk inputs and ~1-second simulations that exercise the full
+//! pipeline in milliseconds. The test suite runs every registered
+//! scenario in smoke mode and validates the emitted JSON.
+
+use crate::report::{Row, ScenarioReport};
+use crate::runner::{average, run_one, run_one_instrumented, Proto};
+use crate::workload::{metrics_of, MobilityKind, RunMetrics, Workload};
+use hvdb_core::{
+    build_model, build_region_cube, routes::AdvertisedRoute, routes::QosMetrics,
+    DesignationCriterion, HvdbConfig, HvdbMsg, HvdbProtocol, QosRequirement, RouteTable,
+    SessionManager,
+};
+use hvdb_geo::{Aabb, Hid, Hnid, Point, Vec2};
+use hvdb_hypercube::routing::{diameter, local_routes};
+use hvdb_hypercube::{label, pair_connectivity, IncompleteHypercube};
+use hvdb_sim::{
+    gini, jain_fairness, max_mean_ratio, NodeId, RadioConfig, SimConfig, SimDuration, SimRng,
+    SimTime, Simulator, Stationary,
+};
+use rayon::prelude::*;
+
+/// Options shared by every scenario execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Shrink everything to a ~1-second pipeline check.
+    pub smoke: bool,
+    /// Override the seed set of declarative sweeps.
+    pub seeds: Option<Vec<u64>>,
+}
+
+/// One declarative sweep: an axis of workload points, run under a set of
+/// protocols, averaged over seeds.
+pub struct SweepSpec {
+    /// Axis name (becomes [`Row::sweep`]).
+    pub axis: &'static str,
+    /// `(label, workload)` points along the axis.
+    pub points: Vec<(String, Workload)>,
+    /// Protocols to compare at every point.
+    pub protos: Vec<Proto>,
+    /// Seeds averaged per `(point, protocol)`.
+    pub seeds: Vec<u64>,
+}
+
+/// How a scenario executes.
+pub enum Exec {
+    /// Declarative protocol-comparison sweeps through the rayon runner.
+    Sweeps(fn(&RunOpts) -> Vec<SweepSpec>),
+    /// Bespoke logic (structural audits, config ablations) producing rows
+    /// directly.
+    Custom(fn(&RunOpts) -> Vec<Row>),
+}
+
+/// A registered experiment.
+pub struct ScenarioDef {
+    /// Registry name (`BENCH_<name>.json`).
+    pub name: &'static str,
+    /// The paper figure / claim reproduced.
+    pub figure: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Execution recipe.
+    pub exec: Exec,
+}
+
+/// All registered scenarios, in presentation order.
+pub fn registry() -> Vec<ScenarioDef> {
+    vec![
+        ScenarioDef {
+            name: "seed",
+            figure: "§6 baseline",
+            summary: "HVDB vs all four baselines on the paper's 200-node 800x800 scenario",
+            exec: Exec::Sweeps(sweeps_seed),
+        },
+        ScenarioDef {
+            name: "c1-availability",
+            figure: "§5 claim 1",
+            summary: "disjoint logical routes: structure under damage, QoS failover, delivery under CH fail-stop",
+            exec: Exec::Custom(custom_c1),
+        },
+        ScenarioDef {
+            name: "c2-diameter",
+            figure: "§2.1/§5 claim 2",
+            summary: "small diameter: logical distances across dimensions, occupancy and horizons",
+            exec: Exec::Custom(custom_c2),
+        },
+        ScenarioDef {
+            name: "c3-load",
+            figure: "§5 claim 3",
+            summary: "load balancing: per-node transmitted-bytes distribution vs the shared-tree bottleneck",
+            exec: Exec::Custom(custom_c3),
+        },
+        ScenarioDef {
+            name: "c4-scalability",
+            figure: "§1/§2.2 claim 4",
+            summary: "control overhead vs network size, group count and group size (HVDB/SPBM/DSM)",
+            exec: Exec::Sweeps(sweeps_c4),
+        },
+        ScenarioDef {
+            name: "f1-model",
+            figure: "Fig. 1",
+            summary: "three-tier model construction: backbone statistics and cluster stability",
+            exec: Exec::Custom(custom_f1),
+        },
+        ScenarioDef {
+            name: "f2-grid",
+            figure: "Fig. 2",
+            summary: "the 8x8-VC worked example at full and partial occupancy",
+            exec: Exec::Custom(custom_f2),
+        },
+        ScenarioDef {
+            name: "f3-hypercube",
+            figure: "Fig. 3",
+            summary: "the 4-d hypercube with grid links: routes of node 1000, structural properties",
+            exec: Exec::Custom(custom_f3),
+        },
+        ScenarioDef {
+            name: "f4-routes",
+            figure: "Fig. 4",
+            summary: "proactive route maintenance: table completeness, beacon cost, failure recovery",
+            exec: Exec::Custom(custom_f4),
+        },
+        ScenarioDef {
+            name: "f5-membership",
+            figure: "Fig. 5",
+            summary: "summary-based membership update overhead vs size, groups and members",
+            exec: Exec::Sweeps(sweeps_f5),
+        },
+        ScenarioDef {
+            name: "f6-routing",
+            figure: "Fig. 6",
+            summary: "end-to-end multicast: all protocols across size and mobility",
+            exec: Exec::Sweeps(sweeps_f6),
+        },
+        ScenarioDef {
+            name: "a1-ablations",
+            figure: "DESIGN §4",
+            summary: "ablations: horizon k, dimension, tree caching, designated-broadcaster criterion",
+            exec: Exec::Custom(custom_a1),
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<ScenarioDef> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// Executes a scenario and packages the report.
+pub fn run_scenario(def: &ScenarioDef, opts: &RunOpts) -> ScenarioReport {
+    let rows = match def.exec {
+        Exec::Sweeps(build) => run_sweeps(build(opts), opts),
+        Exec::Custom(f) => f(opts),
+    };
+    ScenarioReport {
+        scenario: def.name.into(),
+        figure: def.figure.into(),
+        summary: def.summary.into(),
+        smoke: opts.smoke,
+        rows,
+    }
+}
+
+/// Runs declarative sweeps: flattens every `(spec, point, proto, seed)`
+/// into one job list, fans it out over rayon (each simulation stays
+/// single-threaded and deterministic), and averages per `(point, proto)`.
+fn run_sweeps(mut specs: Vec<SweepSpec>, opts: &RunOpts) -> Vec<Row> {
+    for spec in &mut specs {
+        if let Some(seeds) = &opts.seeds {
+            spec.seeds = seeds.clone();
+        }
+        if opts.smoke {
+            spec.points.truncate(2);
+            for (_, w) in &mut spec.points {
+                *w = w.smoke();
+            }
+            // Shrink the default seed set, but never silently discard an
+            // explicit --seeds list.
+            if opts.seeds.is_none() {
+                spec.seeds.truncate(1);
+            }
+        }
+    }
+    // Flatten into jobs; remember each result group's row coordinates.
+    struct Group {
+        spec: usize,
+        point: usize,
+        proto: Proto,
+        start: usize,
+        len: usize,
+    }
+    let mut jobs: Vec<(Workload, Proto)> = Vec::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for (si, spec) in specs.iter().enumerate() {
+        for (pi, (_, w)) in spec.points.iter().enumerate() {
+            for &proto in &spec.protos {
+                groups.push(Group {
+                    spec: si,
+                    point: pi,
+                    proto,
+                    start: jobs.len(),
+                    len: spec.seeds.len(),
+                });
+                for &seed in &spec.seeds {
+                    jobs.push((Workload { seed, ..w.clone() }, proto));
+                }
+            }
+        }
+    }
+    let results: Vec<RunMetrics> = jobs
+        .par_iter()
+        .map(|(w, proto)| run_one(*proto, &w.build()))
+        .collect();
+    groups
+        .iter()
+        .map(|g| {
+            let spec = &specs[g.spec];
+            let m = average(&results[g.start..g.start + g.len]);
+            Row::new(
+                spec.axis,
+                spec.points[g.point].0.clone(),
+                g.proto.name(),
+                m.metric_pairs(),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Declarative sweeps
+// ---------------------------------------------------------------------
+
+/// The paper's §6 evaluation scenario: 200 nodes on 800x800 m, 8x8 VCs,
+/// dimension 4 — the baseline every future optimisation is measured
+/// against.
+fn paper_workload() -> Workload {
+    Workload {
+        side: 800.0,
+        nodes: 200,
+        vc_side: 8,
+        dim: 4,
+        range: 250.0,
+        ..Workload::default()
+    }
+}
+
+fn sweeps_seed(_opts: &RunOpts) -> Vec<SweepSpec> {
+    vec![SweepSpec {
+        axis: "paper-scenario",
+        points: vec![("200-nodes-800x800".into(), paper_workload())],
+        protos: Proto::ALL.to_vec(),
+        seeds: vec![1, 2, 3],
+    }]
+}
+
+fn c4_base() -> Workload {
+    Workload {
+        packets_per_group: 2,
+        warmup: SimDuration::from_secs(90),
+        traffic_window: SimDuration::from_secs(20),
+        cooldown: SimDuration::from_secs(20),
+        ..Workload::default()
+    }
+}
+
+fn sweeps_c4(_opts: &RunOpts) -> Vec<SweepSpec> {
+    let size_point = |nodes: usize| {
+        (
+            format!("nodes={nodes}"),
+            Workload {
+                nodes,
+                side: (nodes as f64 * 8533.0).sqrt(),
+                vc_side: if nodes >= 1000 { 12 } else { 8 },
+                ..c4_base()
+            },
+        )
+    };
+    vec![
+        SweepSpec {
+            axis: "network-size",
+            points: vec![size_point(250), size_point(500)],
+            protos: vec![Proto::Hvdb, Proto::Spbm, Proto::Dsm],
+            seeds: vec![5, 6],
+        },
+        // DSM's N^2 location flood makes 1000-node runs prohibitively slow
+        // to *simulate* (the overhead it would generate is the point), so
+        // the largest size drops DSM rather than waiting on it.
+        SweepSpec {
+            axis: "network-size-large",
+            points: vec![size_point(1000)],
+            protos: vec![Proto::Hvdb, Proto::Spbm],
+            seeds: vec![5, 6],
+        },
+        SweepSpec {
+            axis: "group-count",
+            points: [2usize, 8, 24]
+                .into_iter()
+                .map(|groups| {
+                    (
+                        format!("groups={groups}"),
+                        Workload {
+                            nodes: 400,
+                            groups,
+                            ..c4_base()
+                        },
+                    )
+                })
+                .collect(),
+            protos: vec![Proto::Hvdb, Proto::Spbm, Proto::Dsm],
+            seeds: vec![5, 6],
+        },
+        SweepSpec {
+            axis: "members-per-group",
+            points: [10usize, 50, 150]
+                .into_iter()
+                .map(|members| {
+                    (
+                        format!("members={members}"),
+                        Workload {
+                            nodes: 400,
+                            members_per_group: members,
+                            ..c4_base()
+                        },
+                    )
+                })
+                .collect(),
+            protos: vec![Proto::Hvdb, Proto::Spbm, Proto::Dsm],
+            seeds: vec![5, 6],
+        },
+    ]
+}
+
+fn membership_workload() -> Workload {
+    Workload {
+        packets_per_group: 0, // membership machinery only
+        warmup: SimDuration::from_secs(100),
+        traffic_window: SimDuration::from_secs(1),
+        cooldown: SimDuration::from_secs(1),
+        ..Workload::default()
+    }
+}
+
+fn sweeps_f5(_opts: &RunOpts) -> Vec<SweepSpec> {
+    let protos = vec![Proto::Hvdb, Proto::Spbm, Proto::Dsm];
+    vec![
+        SweepSpec {
+            axis: "network-size",
+            points: [100usize, 200, 400]
+                .into_iter()
+                .map(|nodes| {
+                    (
+                        format!("nodes={nodes}"),
+                        Workload {
+                            nodes,
+                            side: (nodes as f64 * 8000.0).sqrt(), // constant density
+                            ..membership_workload()
+                        },
+                    )
+                })
+                .collect(),
+            protos: protos.clone(),
+            seeds: vec![1, 2, 3],
+        },
+        SweepSpec {
+            axis: "group-count",
+            points: [1usize, 4, 8, 16]
+                .into_iter()
+                .map(|groups| {
+                    (
+                        format!("groups={groups}"),
+                        Workload {
+                            groups,
+                            ..membership_workload()
+                        },
+                    )
+                })
+                .collect(),
+            protos: protos.clone(),
+            seeds: vec![1, 2, 3],
+        },
+        SweepSpec {
+            axis: "members-per-group",
+            points: [5usize, 20, 60, 120]
+                .into_iter()
+                .map(|members| {
+                    (
+                        format!("members={members}"),
+                        Workload {
+                            members_per_group: members,
+                            ..membership_workload()
+                        },
+                    )
+                })
+                .collect(),
+            protos,
+            seeds: vec![1, 2, 3],
+        },
+    ]
+}
+
+fn sweeps_f6(_opts: &RunOpts) -> Vec<SweepSpec> {
+    vec![
+        SweepSpec {
+            axis: "default",
+            points: vec![("300-nodes-static".into(), Workload::default())],
+            protos: Proto::ALL.to_vec(),
+            seeds: vec![11, 12, 13],
+        },
+        SweepSpec {
+            axis: "network-size",
+            points: [150usize, 300, 600]
+                .into_iter()
+                .map(|nodes| {
+                    (
+                        format!("nodes={nodes}"),
+                        Workload {
+                            nodes,
+                            side: (nodes as f64 * 8533.0).sqrt(),
+                            ..Workload::default()
+                        },
+                    )
+                })
+                .collect(),
+            protos: Proto::ALL.to_vec(),
+            seeds: vec![11, 12, 13],
+        },
+        SweepSpec {
+            axis: "mobility",
+            points: [
+                ("static", MobilityKind::Static),
+                ("speed=0.5-2", MobilityKind::Waypoint(0.5, 2.0)),
+                ("speed=2-8", MobilityKind::Waypoint(2.0, 8.0)),
+                ("speed=8-15", MobilityKind::Waypoint(8.0, 15.0)),
+            ]
+            .into_iter()
+            .map(|(name, mobility)| {
+                (
+                    name.to_string(),
+                    Workload {
+                        mobility,
+                        ..Workload::default()
+                    },
+                )
+            })
+            .collect(),
+            protos: vec![Proto::Hvdb, Proto::Flooding, Proto::Spbm],
+            seeds: vec![11, 12, 13],
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Custom scenarios (structural audits and config ablations)
+// ---------------------------------------------------------------------
+
+/// C1: high availability via disjoint logical routes.
+fn custom_c1(opts: &RunOpts) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // C1a — disjoint-path count between surviving pairs as the cube
+    // degrades (pure structure).
+    let dims: Vec<u8> = if opts.smoke {
+        vec![4]
+    } else {
+        vec![3, 4, 5, 6]
+    };
+    let failure_levels: Vec<usize> = if opts.smoke {
+        vec![0, 4]
+    } else {
+        vec![0, 2, 4, 6, 8]
+    };
+    let trials = if opts.smoke { 3 } else { 20 };
+    let mut rng = SimRng::new(5);
+    for &dim in &dims {
+        for &failures in &failure_levels {
+            let mut total = 0usize;
+            let mut samples = 0usize;
+            for _ in 0..trials {
+                let mut cube = IncompleteHypercube::complete(dim);
+                let n = 1usize << dim;
+                for idx in rng.sample_indices(n, failures.min(n.saturating_sub(2))) {
+                    cube.remove_node(idx as u32);
+                }
+                let alive: Vec<u32> = cube.iter_nodes().collect();
+                if alive.len() < 2 {
+                    continue;
+                }
+                for _ in 0..4 {
+                    let a = alive[rng.index(alive.len())];
+                    let b = alive[rng.index(alive.len())];
+                    if a == b {
+                        continue;
+                    }
+                    total += pair_connectivity(&cube, a, b);
+                    samples += 1;
+                }
+            }
+            rows.push(Row::new(
+                "disjoint-paths-under-damage",
+                format!("dim={dim},failed={failures}"),
+                "-",
+                vec![(
+                    "mean_disjoint_paths".into(),
+                    total as f64 / samples.max(1) as f64,
+                )],
+            ));
+        }
+    }
+    // C1b — QoS sessions fail over instantly onto pre-computed backups.
+    let link = |ms: u64| QosMetrics {
+        delay: SimDuration::from_millis(ms),
+        bandwidth_bps: 2e6,
+    };
+    let mut table = RouteTable::new(Hnid(0), 4);
+    for (hop, ms) in [(1u32, 1u64), (2, 2), (4, 3)] {
+        table.integrate_beacon(
+            Hnid(hop),
+            link(ms),
+            &[AdvertisedRoute {
+                dst: Hnid(7),
+                hops: 1,
+                qos: link(ms),
+            }],
+            SimTime::ZERO,
+        );
+    }
+    let mut sm = SessionManager::new();
+    let s = sm
+        .establish(&table, Hnid(7), QosRequirement::BEST_EFFORT)
+        .expect("session admitted");
+    let _ = s;
+    for failed in [Hnid(1), Hnid(2)] {
+        table.remove_via(failed);
+        sm.on_neighbor_failed(&table, failed);
+    }
+    rows.push(Row::new(
+        "qos-session-failover",
+        "3-disjoint-routes,2-failures",
+        "-",
+        vec![
+            ("failovers".into(), sm.failovers as f64),
+            ("breaks".into(), sm.breaks as f64),
+        ],
+    ));
+    // C1c — full protocol delivery under CH fail-stop.
+    let failure_counts: Vec<usize> = if opts.smoke {
+        vec![0, 2]
+    } else {
+        vec![0, 5, 10, 20]
+    };
+    for failures in failure_counts {
+        let base = Workload {
+            seed: 21,
+            fail_count: failures,
+            ..Workload::default()
+        };
+        let w = if opts.smoke { base.smoke() } else { base };
+        let (m, detail) = run_one_instrumented(Proto::Hvdb, &w.build());
+        let c = detail.hvdb_counters.unwrap_or_default();
+        let mut metrics = m.metric_pairs();
+        metrics.push(("neighbors_expired".into(), c.neighbors_expired as f64));
+        metrics.push(("route_failovers".into(), c.route_failovers as f64));
+        rows.push(Row::new(
+            "delivery-under-fail-stop",
+            format!("failures={failures}"),
+            Proto::Hvdb.name(),
+            metrics,
+        ));
+    }
+    rows
+}
+
+fn mean_distance(cube: &IncompleteHypercube) -> f64 {
+    let nodes: Vec<u32> = cube.iter_nodes().collect();
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &src in &nodes {
+        for r in local_routes(cube, src, u32::MAX) {
+            total += r.hops as u64;
+            pairs += 1;
+        }
+    }
+    total as f64 / pairs.max(1) as f64
+}
+
+/// C2: small diameter.
+fn custom_c2(opts: &RunOpts) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let dims: Vec<u8> = if opts.smoke {
+        vec![3, 4]
+    } else {
+        vec![3, 4, 5, 6]
+    };
+    // C2a — diameter and mean logical distance, with and without the
+    // Fig. 3 grid links.
+    for &dim in &dims {
+        let pure = IncompleteHypercube::complete(dim);
+        let rows_g = 1u16 << dim.div_ceil(2);
+        let cols_g = 1u16 << (dim / 2);
+        let cfg = HvdbConfig::new(Aabb::from_size(1600.0, 1600.0), rows_g, cols_g, dim);
+        let with_grid = build_region_cube(&cfg, Hid::new(0, 0), (0..1u32 << dim).map(Hnid));
+        rows.push(Row::new(
+            "diameter-vs-dimension",
+            format!("dim={dim}"),
+            "-",
+            vec![
+                ("diameter".into(), diameter(&pure).unwrap() as f64),
+                ("mean_distance".into(), mean_distance(&pure)),
+                (
+                    "diameter_with_grid".into(),
+                    diameter(&with_grid).unwrap() as f64,
+                ),
+                ("mean_distance_with_grid".into(), mean_distance(&with_grid)),
+            ],
+        ));
+    }
+    // C2b — incomplete 4-cubes with grid links across occupancy.
+    let trials = if opts.smoke { 5 } else { 30 };
+    let cfg = HvdbConfig::fig2(Aabb::from_size(800.0, 800.0));
+    let mut rng = SimRng::new(17);
+    for occupancy in [0.4, 0.6, 0.8, 1.0] {
+        let mut connected = 0usize;
+        let mut diam_sum = 0u64;
+        let mut dist_sum = 0.0;
+        let mut samples = 0usize;
+        for _ in 0..trials {
+            let present: Vec<Hnid> = (0..16u32)
+                .filter(|_| rng.chance(occupancy))
+                .map(Hnid)
+                .collect();
+            if present.len() < 2 {
+                continue;
+            }
+            let cube = build_region_cube(&cfg, Hid::new(0, 0), present);
+            if cube.is_connected() {
+                connected += 1;
+                diam_sum += diameter(&cube).unwrap() as u64;
+                dist_sum += mean_distance(&cube);
+                samples += 1;
+            }
+        }
+        rows.push(Row::new(
+            "incomplete-cubes-vs-occupancy",
+            format!("occupancy={occupancy}"),
+            "-",
+            vec![
+                (
+                    "connected_fraction".into(),
+                    connected as f64 / trials as f64,
+                ),
+                (
+                    "mean_diameter".into(),
+                    diam_sum as f64 / samples.max(1) as f64,
+                ),
+                ("mean_distance".into(), dist_sum / samples.max(1) as f64),
+            ],
+        ));
+    }
+    // C2c — fraction of the cube reachable within k hops.
+    for &dim in &dims {
+        let rows_g = 1u16 << dim.div_ceil(2);
+        let cols_g = 1u16 << (dim / 2);
+        let cfg = HvdbConfig::new(Aabb::from_size(1600.0, 1600.0), rows_g, cols_g, dim);
+        let cube = build_region_cube(&cfg, Hid::new(0, 0), (0..1u32 << dim).map(Hnid));
+        let total = (1usize << dim) - 1;
+        for k in 1u32..=4 {
+            let covered = local_routes(&cube, 0, k).len();
+            rows.push(Row::new(
+                "horizon-coverage",
+                format!("dim={dim},k={k}"),
+                "-",
+                vec![("covered_fraction".into(), covered as f64 / total as f64)],
+            ));
+        }
+    }
+    rows
+}
+
+/// C3: load balancing vs the shared tree's core bottleneck.
+fn custom_c3(opts: &RunOpts) -> Vec<Row> {
+    let base = Workload {
+        packets_per_group: 40, // heavy traffic to expose hot spots
+        groups: 2,
+        members_per_group: 15,
+        seed: 71,
+        ..Workload::default()
+    };
+    let w = if opts.smoke { base.smoke() } else { base };
+    let scenario = w.build();
+    let mut rows = Vec::new();
+    let dist_metrics = |tx: &[u64]| {
+        let mut sorted: Vec<u64> = tx.to_vec();
+        sorted.sort_unstable();
+        let hottest = *sorted.last().unwrap_or(&0);
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        vec![
+            ("jain".into(), jain_fairness(tx)),
+            ("max_mean".into(), max_mean_ratio(tx)),
+            ("gini".into(), gini(tx)),
+            ("hottest_bytes".into(), hottest as f64),
+            ("median_bytes".into(), median as f64),
+        ]
+    };
+    // HVDB, including the CH-plane view the claim is about.
+    let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+    let mut hvdb = HvdbProtocol::new(
+        scenario.hvdb.clone(),
+        &scenario.members,
+        scenario.traffic.clone(),
+        vec![],
+    );
+    sim.run(&mut hvdb, scenario.until);
+    let mut m = dist_metrics(&sim.stats().node_tx_bytes);
+    m.push(("delivery".into(), metrics_of(sim.stats()).delivery));
+    rows.push(Row::new("tx-bytes-distribution", "all-nodes", "hvdb", m));
+    let heads = hvdb.cluster_heads();
+    let head_tx: Vec<u64> = heads
+        .iter()
+        .map(|h| sim.stats().node_tx_bytes[h.idx()])
+        .collect();
+    rows.push(Row::new(
+        "tx-bytes-distribution",
+        "cluster-heads",
+        "hvdb",
+        dist_metrics(&head_tx),
+    ));
+    // Shared tree, including the core's load multiple.
+    let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+    let mut tree = hvdb_baselines::SharedTreeProtocol::new(
+        &scenario.members,
+        scenario.traffic.clone(),
+        vec![],
+    );
+    sim.run(&mut tree, scenario.until);
+    let mut m = dist_metrics(&sim.stats().node_tx_bytes);
+    m.push(("delivery".into(), metrics_of(sim.stats()).delivery));
+    if let Some(core) = tree.core() {
+        let core_bytes = sim.stats().node_tx_bytes[core.idx()];
+        let mean =
+            sim.stats().node_tx_bytes.iter().sum::<u64>() as f64 / scenario.sim.num_nodes as f64;
+        m.push(("core_bytes".into(), core_bytes as f64));
+        m.push(("core_over_mean".into(), core_bytes as f64 / mean.max(1.0)));
+    }
+    rows.push(Row::new(
+        "tx-bytes-distribution",
+        "all-nodes",
+        "shared-tree",
+        m,
+    ));
+    // Flooding as the perfectly-uniform reference.
+    let flood = run_one(Proto::Flooding, &scenario);
+    rows.push(Row::new(
+        "tx-bytes-distribution",
+        "all-nodes",
+        "flooding",
+        flood.metric_pairs(),
+    ));
+    rows
+}
+
+/// F1: model construction statistics.
+fn custom_f1(opts: &RunOpts) -> Vec<Row> {
+    use hvdb_cluster::{diff, form_clusters, Candidate};
+    let area = Aabb::from_size(1600.0, 1600.0);
+    let cfg = HvdbConfig::new(area, 8, 8, 4);
+    let snapshot = |n: usize, enhanced: f64, rng: &mut SimRng| -> Vec<Candidate> {
+        (0..n)
+            .map(|i| Candidate {
+                node: i as u32,
+                pos: rng.point_in(&cfg.grid.area()),
+                vel: rng.velocity(0.5, 3.0),
+                eligible: rng.chance(enhanced),
+            })
+            .collect()
+    };
+    let mut rows = Vec::new();
+    let node_counts: Vec<usize> = if opts.smoke {
+        vec![50, 100]
+    } else {
+        vec![50, 100, 200, 400, 800, 1600]
+    };
+    for n in node_counts {
+        let mut rng = SimRng::new(42);
+        let snap = snapshot(n, 0.8, &mut rng);
+        let model = build_model(&cfg, &snap);
+        let s = model.stats(&cfg.map, n);
+        rows.push(Row::new(
+            "backbone-vs-node-count",
+            format!("nodes={n}"),
+            "-",
+            vec![
+                ("cluster_heads".into(), s.cluster_heads as f64),
+                ("border_chs".into(), s.border_chs as f64),
+                ("inner_chs".into(), s.inner_chs as f64),
+                ("hypercubes".into(), s.hypercubes as f64),
+                ("mean_occupancy".into(), s.mean_occupancy),
+                ("connected_fraction".into(), s.connected_fraction),
+            ],
+        ));
+    }
+    let fractions: Vec<f64> = if opts.smoke {
+        vec![0.25, 0.75]
+    } else {
+        vec![0.1, 0.25, 0.5, 0.75, 1.0]
+    };
+    let n = if opts.smoke { 100 } else { 400 };
+    for e in fractions {
+        let mut rng = SimRng::new(43);
+        let snap = snapshot(n, e, &mut rng);
+        let model = build_model(&cfg, &snap);
+        let s = model.stats(&cfg.map, n);
+        rows.push(Row::new(
+            "backbone-vs-enhanced-fraction",
+            format!("enhanced={e}"),
+            "-",
+            vec![
+                ("cluster_heads".into(), s.cluster_heads as f64),
+                ("hypercubes".into(), s.hypercubes as f64),
+                ("mean_occupancy".into(), s.mean_occupancy),
+                ("connected_fraction".into(), s.connected_fraction),
+            ],
+        ));
+    }
+    let speeds: Vec<(f64, f64)> = if opts.smoke {
+        vec![(0.5, 2.0)]
+    } else {
+        vec![(0.1, 0.5), (0.5, 2.0), (2.0, 8.0), (8.0, 20.0)]
+    };
+    for (lo, hi) in speeds {
+        let mut rng = SimRng::new(44);
+        let mut snap = snapshot(n, 0.8, &mut rng);
+        for c in snap.iter_mut() {
+            c.vel = rng.velocity(lo, hi);
+        }
+        let before = form_clusters(&cfg.election, &cfg.grid, &snap);
+        for c in snap.iter_mut() {
+            c.pos = cfg.grid.area().clamp(c.pos.advanced(c.vel, 10.0));
+        }
+        let after = form_clusters(&cfg.election, &cfg.grid, &snap);
+        let (events, report) = diff(&before, &after);
+        rows.push(Row::new(
+            "cluster-stability-vs-speed",
+            format!("speed={lo}-{hi}"),
+            "-",
+            vec![
+                ("retention".into(), report.retention()),
+                ("handovers".into(), events.len() as f64),
+            ],
+        ));
+    }
+    rows
+}
+
+/// F2: the Fig. 2 worked example.
+fn custom_f2(opts: &RunOpts) -> Vec<Row> {
+    use hvdb_cluster::Candidate;
+    let area = Aabb::from_size(800.0, 800.0);
+    let cfg = HvdbConfig::fig2(area);
+    let full: Vec<Candidate> = cfg
+        .grid
+        .iter_ids()
+        .enumerate()
+        .map(|(i, vc)| Candidate {
+            node: i as u32,
+            pos: cfg.grid.vcc(vc),
+            vel: Vec2::ZERO,
+            eligible: true,
+        })
+        .collect();
+    let mut rows = Vec::new();
+    // The figure audit is milliseconds of pure structure; smoke keeps just
+    // the exact-figure variant.
+    let variants: &[(&str, f64)] = if opts.smoke {
+        &[("full", 1.0)]
+    } else {
+        &[("full", 1.0), ("sparse-60pct", 0.6)]
+    };
+    for &(label, occupancy) in variants {
+        let mut rng = SimRng::new(7);
+        let snap: Vec<Candidate> = full
+            .iter()
+            .filter(|_| occupancy >= 1.0 || rng.chance(occupancy))
+            .cloned()
+            .collect();
+        let model = build_model(&cfg, &snap);
+        let s = model.stats(&cfg.map, snap.len());
+        let mut connected_cubes = 0usize;
+        let mut complete_cubes = 0usize;
+        for hid in &model.mesh_present {
+            let cube = model.cube(*hid).expect("present cube");
+            if cube.is_connected() {
+                connected_cubes += 1;
+            }
+            if cube.is_complete() {
+                complete_cubes += 1;
+            }
+        }
+        rows.push(Row::new(
+            "fig2-structure",
+            label,
+            "-",
+            vec![
+                ("cluster_heads".into(), s.cluster_heads as f64),
+                ("border_chs".into(), s.border_chs as f64),
+                ("inner_chs".into(), s.inner_chs as f64),
+                ("hypercubes".into(), s.hypercubes as f64),
+                ("mean_occupancy".into(), s.mean_occupancy),
+                ("connected_cubes".into(), connected_cubes as f64),
+                ("complete_cubes".into(), complete_cubes as f64),
+            ],
+        ));
+        if occupancy >= 1.0 {
+            // The exact figure: every VC occupied, four complete 4-cubes.
+            assert!(model.mesh_present.contains(&Hid::new(0, 0)));
+        }
+    }
+    rows
+}
+
+/// F3: the Fig. 3 hypercube with grid links.
+fn custom_f3(opts: &RunOpts) -> Vec<Row> {
+    let cfg = HvdbConfig::fig2(Aabb::from_size(800.0, 800.0));
+    let cube = build_region_cube(&cfg, Hid::new(0, 0), (0..16u32).map(Hnid));
+    let mut rows = Vec::new();
+    // Node 1000's local routes — the paper's worked example.
+    let table = local_routes(&cube, 0b1000, 2);
+    let one_hop = table.iter().filter(|r| r.hops == 1).count();
+    let two_hop = table.iter().filter(|r| r.hops == 2).count();
+    // The paper's published 2-hop chains are valid logical-link sequences.
+    let mut chains_valid = 0usize;
+    for chain in [
+        [0b1000u32, 0b1001, 0b1100],
+        [0b1000, 0b1100, 0b1101],
+        [0b1000, 0b0010, 0b0011],
+        [0b1000, 0b0010, 0b0110],
+    ] {
+        let valid = chain.windows(2).all(|hop| cube.has_link(hop[0], hop[1]))
+            && table
+                .iter()
+                .find(|r| r.dst == chain[2])
+                .is_some_and(|r| r.hops <= 2);
+        if valid {
+            chains_valid += 1;
+        }
+    }
+    rows.push(Row::new(
+        "node-1000-routes",
+        label::to_bits(0b1000, 4),
+        "-",
+        vec![
+            ("one_hop_routes".into(), one_hop as f64),
+            ("two_hop_routes".into(), two_hop as f64),
+            ("paper_chains_valid".into(), chains_valid as f64),
+        ],
+    ));
+    // Structural properties vs dimension.
+    let dims: Vec<u8> = if opts.smoke {
+        vec![4]
+    } else {
+        vec![3, 4, 5, 6]
+    };
+    for dim in dims {
+        let c = IncompleteHypercube::complete(dim);
+        let far = (1u32 << dim) - 1;
+        rows.push(Row::new(
+            "structure-vs-dimension",
+            format!("dim={dim}"),
+            "-",
+            vec![
+                ("nodes".into(), c.node_count() as f64),
+                ("diameter".into(), diameter(&c).unwrap() as f64),
+                (
+                    "disjoint_opposite".into(),
+                    pair_connectivity(&c, 0, far) as f64,
+                ),
+                (
+                    "disjoint_adjacent".into(),
+                    pair_connectivity(&c, 0, 1) as f64,
+                ),
+            ],
+        ));
+    }
+    // Grid links shrink logical distances (dim 4, full region).
+    let plain = IncompleteHypercube::complete(4);
+    rows.push(Row::new(
+        "grid-links-effect",
+        "dim=4",
+        "-",
+        vec![
+            ("diameter_pure".into(), diameter(&plain).unwrap() as f64),
+            ("diameter_with_grid".into(), diameter(&cube).unwrap() as f64),
+            (
+                "connectivity_pure".into(),
+                pair_connectivity(&plain, 0b0000, 0b1111) as f64,
+            ),
+            (
+                "connectivity_with_grid".into(),
+                pair_connectivity(&cube, 0b0000, 0b1111) as f64,
+            ),
+        ],
+    ));
+    rows
+}
+
+/// F4: proactive route maintenance on a pinned-grid deployment.
+fn custom_f4(opts: &RunOpts) -> Vec<Row> {
+    // One node pinned near every VC centre.
+    let (grid_side, run_secs) = if opts.smoke { (4u16, 20u64) } else { (8, 60) };
+    let build_sim = |seed: u64| -> (Simulator<HvdbMsg>, HvdbConfig) {
+        let area = Aabb::from_size(200.0 * grid_side as f64, 200.0 * grid_side as f64);
+        let cfg = HvdbConfig::new(area, grid_side, grid_side, 4);
+        let n = (grid_side * grid_side) as usize;
+        let sim_cfg = SimConfig {
+            area,
+            num_nodes: n,
+            radio: RadioConfig {
+                range: 500.0,
+                ..Default::default()
+            },
+            mobility_tick: SimDuration::ZERO,
+            enhanced_fraction: 1.0,
+            seed,
+        };
+        let mut sim: Simulator<HvdbMsg> = Simulator::new(sim_cfg, Box::new(Stationary));
+        let ids: Vec<_> = cfg.grid.iter_ids().collect();
+        for (i, vc) in ids.iter().enumerate() {
+            let c = cfg.grid.vcc(*vc);
+            sim.world_mut().set_motion(
+                NodeId(i as u32),
+                Point::new(c.x + (i % 5) as f64, c.y),
+                Vec2::ZERO,
+            );
+        }
+        sim.world_mut().rebuild_index();
+        (sim, cfg)
+    };
+    let mut rows = Vec::new();
+    // F4a — route-table completeness and beacon cost vs horizon k.
+    let ks: Vec<u32> = if opts.smoke {
+        vec![2]
+    } else {
+        vec![1, 2, 3, 4, 5, 6]
+    };
+    for k in ks {
+        let (mut sim, mut cfg) = build_sim(10 + k as u64);
+        cfg.k = k;
+        let mut proto = HvdbProtocol::new(cfg, &[], vec![], vec![]);
+        sim.run(&mut proto, SimTime::from_secs(run_secs));
+        let heads = proto.cluster_heads();
+        let dests: usize = heads
+            .iter()
+            .filter_map(|h| proto.route_table(*h))
+            .map(|t| t.destination_count())
+            .sum();
+        let msgs = sim.stats().msgs("beacon");
+        rows.push(Row::new(
+            "route-tables-vs-horizon",
+            format!("k={k}"),
+            Proto::Hvdb.name(),
+            vec![
+                (
+                    "avg_destinations".into(),
+                    dests as f64 / heads.len().max(1) as f64,
+                ),
+                ("beacon_msgs".into(), msgs as f64),
+                ("beacon_bytes".into(), sim.stats().bytes("beacon") as f64),
+                (
+                    "beacons_per_ch_per_sec".into(),
+                    msgs as f64 / heads.len().max(1) as f64 / run_secs as f64,
+                ),
+            ],
+        ));
+    }
+    // F4b — recovery after CH failures (k = 4).
+    let failure_counts: Vec<usize> = if opts.smoke {
+        vec![0, 2]
+    } else {
+        vec![0, 4, 8, 16]
+    };
+    for failures in failure_counts {
+        let (mut sim, cfg) = build_sim(99);
+        let mut proto = HvdbProtocol::new(cfg, &[], vec![], vec![]);
+        // Let the backbone converge, then fail CHs, then let it recover.
+        for f in 0..failures {
+            sim.schedule_fail(NodeId((f * 4) as u32), SimTime::from_secs(run_secs));
+        }
+        sim.run(&mut proto, SimTime::from_secs(2 * run_secs));
+        let heads = proto.cluster_heads();
+        let dests: usize = heads
+            .iter()
+            .filter_map(|h| proto.route_table(*h))
+            .map(|t| t.destination_count())
+            .sum();
+        rows.push(Row::new(
+            "recovery-after-failures",
+            format!("failed={failures}"),
+            Proto::Hvdb.name(),
+            vec![
+                (
+                    "neighbors_expired".into(),
+                    proto.counters.neighbors_expired as f64,
+                ),
+                (
+                    "route_failovers".into(),
+                    proto.counters.route_failovers as f64,
+                ),
+                (
+                    "avg_destinations".into(),
+                    dests as f64 / heads.len().max(1) as f64,
+                ),
+            ],
+        ));
+    }
+    rows
+}
+
+/// A1: ablations over the design choices.
+fn custom_a1(opts: &RunOpts) -> Vec<Row> {
+    let base = Workload {
+        seed: 4,
+        ..Workload::default()
+    };
+    let base = if opts.smoke { base.smoke() } else { base };
+    let run_with = |w: &Workload, tweak: &dyn Fn(&mut HvdbConfig)| {
+        let mut scenario = w.build();
+        tweak(&mut scenario.hvdb);
+        let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
+        let mut proto = HvdbProtocol::new(
+            scenario.hvdb.clone(),
+            &scenario.members,
+            scenario.traffic.clone(),
+            vec![],
+        );
+        sim.run(&mut proto, scenario.until);
+        let ht_bytes = sim.stats().bytes("ht-bcast");
+        (metrics_of(sim.stats()), proto.counters, ht_bytes)
+    };
+    let mut rows = Vec::new();
+    // A1a — horizon k: route-table reach vs beacon cost.
+    let ks: Vec<u32> = if opts.smoke {
+        vec![2]
+    } else {
+        vec![1, 2, 4, 6]
+    };
+    for k in ks {
+        let (m, c, _) = run_with(&base, &|cfg| cfg.k = k);
+        let mut metrics = m.metric_pairs();
+        metrics.push(("no_route".into(), c.no_route as f64));
+        rows.push(Row::new(
+            "horizon-k",
+            format!("k={k}"),
+            Proto::Hvdb.name(),
+            metrics,
+        ));
+    }
+    // A1b — hypercube dimension (paper suggests 3..6).
+    let dims: Vec<u8> = if opts.smoke {
+        vec![4]
+    } else {
+        vec![3, 4, 5, 6]
+    };
+    for dim in dims {
+        let w = Workload {
+            dim,
+            vc_side: 8,
+            ..base.clone()
+        };
+        let (m, _, _) = run_with(&w, &|_| {});
+        rows.push(Row::new(
+            "dimension",
+            format!("dim={dim}"),
+            Proto::Hvdb.name(),
+            m.metric_pairs(),
+        ));
+    }
+    // A1c — multicast-tree caching (§4.3).
+    let heavy = Workload {
+        packets_per_group: if opts.smoke { 2 } else { 30 },
+        ..base.clone()
+    };
+    for cache in [true, false] {
+        let (m, c, _) = run_with(&heavy, &|cfg| cfg.cache_trees = cache);
+        let mut metrics = m.metric_pairs();
+        metrics.push(("trees_built".into(), c.trees_built as f64));
+        metrics.push(("tree_cache_hits".into(), c.tree_cache_hits as f64));
+        rows.push(Row::new(
+            "tree-caching",
+            format!("cache={cache}"),
+            Proto::Hvdb.name(),
+            metrics,
+        ));
+    }
+    // A1d — designated-broadcaster criterion (§4.2).
+    for (name, crit) in [
+        ("most-groups", DesignationCriterion::MostGroups),
+        (
+            "neighborhood-groups",
+            DesignationCriterion::NeighborhoodGroups,
+        ),
+    ] {
+        let (m, c, ht_bytes) = run_with(&base, &move |cfg| cfg.designation = crit);
+        let mut metrics = m.metric_pairs();
+        metrics.push(("ht_broadcasts".into(), c.ht_broadcasts as f64));
+        metrics.push(("ht_bytes".into(), ht_bytes as f64));
+        rows.push(Row::new(
+            "designation-criterion",
+            name,
+            Proto::Hvdb.name(),
+            metrics,
+        ));
+    }
+    rows
+}

@@ -64,6 +64,12 @@ pub struct Workload {
     pub enhanced_fraction: f64,
     /// Master seed.
     pub seed: u64,
+    /// Fail-stop faults injected during the run: this many distinct nodes
+    /// (drawn deterministically from the seed) go down at [`Workload::fail_at`].
+    pub fail_count: usize,
+    /// When the injected failures strike (defaults to mid-traffic-window
+    /// when `fail_count > 0`).
+    pub fail_at: Option<SimTime>,
 }
 
 impl Default for Workload {
@@ -84,6 +90,8 @@ impl Default for Workload {
             cooldown: SimDuration::from_secs(40),
             enhanced_fraction: 0.8,
             seed: 1,
+            fail_count: 0,
+            fail_at: None,
         }
     }
 }
@@ -101,6 +109,8 @@ pub struct Scenario {
     pub traffic: Vec<TrafficItem>,
     /// Scripted membership changes (empty unless an experiment adds some).
     pub group_events: Vec<GroupEvent>,
+    /// Fail-stop faults to schedule before the run.
+    pub failures: Vec<(NodeId, SimTime)>,
     /// Simulation end time.
     pub until: SimTime,
     /// The mobility regime (each run builds its own model instance).
@@ -155,14 +165,54 @@ impl Workload {
         }
         traffic.sort_by_key(|t| (t.at, t.src));
         let until = SimTime(self.warmup.0 + self.traffic_window.0 + self.cooldown.0);
+        // Fault injection: distinct victims from an independent stream,
+        // striking mid-traffic-window unless scripted otherwise, so
+        // in-flight sessions must fail over rather than re-elect ahead of
+        // time.
+        let mut failures = Vec::new();
+        if self.fail_count > 0 {
+            let at = self
+                .fail_at
+                .unwrap_or(SimTime(self.warmup.0 + self.traffic_window.0 / 2));
+            let mut frng = SimRng::new(self.seed ^ 0xFA11_FA11);
+            for idx in frng.sample_indices(self.nodes, self.fail_count.min(self.nodes)) {
+                failures.push((NodeId(idx as u32), at));
+            }
+            failures.sort_unstable_by_key(|(n, _)| *n);
+        }
         Scenario {
             sim,
             hvdb,
             members,
             traffic,
             group_events: Vec::new(),
+            failures,
             until,
             mobility_kind: self.mobility,
+        }
+    }
+
+    /// A shrunk copy for smoke testing: a handful of nodes, a ~1-second
+    /// simulation, one seed's worth of everything. Numbers produced under
+    /// smoke are meaningless (the backbone has no time to converge); the
+    /// point is that the full pipeline — scenario construction, run,
+    /// metrics, JSON — executes quickly.
+    pub fn smoke(&self) -> Workload {
+        Workload {
+            nodes: self.nodes.min(40),
+            side: self.side.min(800.0),
+            groups: self.groups.min(2),
+            members_per_group: self.members_per_group.min(3),
+            packets_per_group: self.packets_per_group.min(2),
+            warmup: SimDuration::from_millis(400),
+            traffic_window: SimDuration::from_millis(300),
+            cooldown: SimDuration::from_millis(300),
+            fail_count: self.fail_count.min(2),
+            // An explicit fail time from the full-size scenario would land
+            // beyond the shrunk horizon and never fire; fall back to the
+            // derived mid-window default so smoke still exercises faults.
+            fail_at: None,
+            ..self.clone()
         }
     }
 }
@@ -188,6 +238,23 @@ pub struct RunMetrics {
     pub max_mean: f64,
     /// Gini coefficient of per-node transmitted bytes.
     pub gini: f64,
+}
+
+impl RunMetrics {
+    /// The metrics as named pairs, in stable order, for report rows.
+    pub fn metric_pairs(&self) -> Vec<(String, f64)> {
+        vec![
+            ("delivery".into(), self.delivery),
+            ("latency_ms".into(), self.latency * 1e3),
+            ("control_msgs".into(), self.control_msgs as f64),
+            ("control_bytes".into(), self.control_bytes as f64),
+            ("data_msgs".into(), self.data_msgs as f64),
+            ("data_bytes".into(), self.data_bytes as f64),
+            ("jain".into(), self.jain),
+            ("max_mean".into(), self.max_mean),
+            ("gini".into(), self.gini),
+        ]
+    }
 }
 
 /// Classifies message classes into control vs data planes (shared across
@@ -258,10 +325,7 @@ mod tests {
         let s = w.build();
         assert_eq!(s.members.len(), 21);
         for g in 1..=3u32 {
-            assert_eq!(
-                s.members.iter().filter(|(_, gid)| gid.0 == g).count(),
-                7
-            );
+            assert_eq!(s.members.iter().filter(|(_, gid)| gid.0 == g).count(), 7);
         }
     }
 

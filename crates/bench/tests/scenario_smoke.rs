@@ -1,0 +1,231 @@
+//! Registry smoke coverage: every registered scenario constructs, runs a
+//! ~1-second shrunk simulation, produces non-empty uniform rows and
+//! serializes to valid JSON. This is the contract the CLI and the
+//! `BENCH_<scenario>.json` trajectory depend on.
+
+use hvdb_bench::scenario::{registry, run_scenario, RunOpts};
+
+#[test]
+fn every_scenario_smokes_and_serializes() {
+    let opts = RunOpts {
+        smoke: true,
+        seeds: None,
+    };
+    let defs = registry();
+    assert!(defs.len() >= 11, "registry lost scenarios: {}", defs.len());
+    for def in &defs {
+        let report = run_scenario(def, &opts);
+        assert_eq!(report.scenario, def.name);
+        assert!(report.smoke);
+        assert!(
+            !report.rows.is_empty(),
+            "scenario {} produced no rows",
+            def.name
+        );
+        for row in &report.rows {
+            assert!(!row.sweep.is_empty(), "{}: empty sweep name", def.name);
+            assert!(!row.label.is_empty(), "{}: empty label", def.name);
+            assert!(
+                !row.metrics.is_empty(),
+                "{}: row {}/{} has no metrics",
+                def.name,
+                row.sweep,
+                row.label
+            );
+        }
+        let json = report.to_json().to_string();
+        let mut p = JsonParser {
+            bytes: json.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.value()
+            .unwrap_or_else(|e| panic!("{}: invalid JSON at byte {}: {e}", def.name, p.pos));
+        p.skip_ws();
+        assert_eq!(
+            p.pos,
+            p.bytes.len(),
+            "{}: trailing garbage after JSON document",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn scenario_names_are_unique_and_cli_safe() {
+    let defs = registry();
+    let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(before, names.len(), "duplicate scenario names");
+    for name in names {
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'),
+            "scenario name {name:?} is not filename-safe"
+        );
+    }
+}
+
+/// A strict little recursive-descent JSON parser — enough to validate
+/// that the reports are standard JSON (the writer is hand-rolled, so the
+/// tests must not trust it).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected {:?}, got {:?}",
+                b as char,
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for &b in lit.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                got => return Err(format!("in object: got {got:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                got => return Err(format!("in array: got {got:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(h) if h.is_ascii_hexdigit() => {}
+                                got => return Err(format!("bad \\u escape: {got:?}")),
+                            }
+                        }
+                    }
+                    got => return Err(format!("bad escape: {got:?}")),
+                },
+                Some(c) if c < 0x20 => return Err("raw control char in string".into()),
+                Some(_) => {}
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err("number with no digits".into());
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err("fraction with no digits".into());
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err("exponent with no digits".into());
+            }
+        }
+        Ok(())
+    }
+}

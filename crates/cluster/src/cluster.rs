@@ -53,11 +53,7 @@ impl Clustering {
 /// Forms clusters from a network snapshot. `nodes` supplies each node's
 /// candidacy (position, velocity, hardware class); election follows the
 /// two criteria of [23] via [`elect`].
-pub fn form_clusters(
-    cfg: &ElectionConfig,
-    grid: &VcGrid,
-    nodes: &[Candidate],
-) -> Clustering {
+pub fn form_clusters(cfg: &ElectionConfig, grid: &VcGrid, nodes: &[Candidate]) -> Clustering {
     let mut out = Clustering::default();
     // Membership: primary VC plus overlap VCs.
     for c in nodes {
@@ -257,10 +253,7 @@ mod tests {
             .map(|i| {
                 cand(
                     i,
-                    Point::new(
-                        (i as f64 * 37.0) % 800.0,
-                        (i as f64 * 53.0) % 800.0,
-                    ),
+                    Point::new((i as f64 * 37.0) % 800.0, (i as f64 * 53.0) % 800.0),
                 )
             })
             .collect();

@@ -14,7 +14,7 @@
 //! comparison so that near-equal predictions fall through to the distance
 //! criterion, as the two-criteria formulation intends.
 
-use hvdb_geo::{Point, Vec2, VcGrid, VcId};
+use hvdb_geo::{Point, VcGrid, VcId, Vec2};
 use serde::{Deserialize, Serialize};
 
 /// One node's candidacy for cluster head of a VC.
@@ -67,12 +67,7 @@ impl Score {
 
 /// Scores one candidate for heading `vc`. Returns `None` if the candidate
 /// is ineligible (wrong hardware class) or outside the VC's circle.
-pub fn score(
-    cfg: &ElectionConfig,
-    grid: &VcGrid,
-    vc: VcId,
-    c: &Candidate,
-) -> Option<Score> {
+pub fn score(cfg: &ElectionConfig, grid: &VcGrid, vc: VcId, c: &Candidate) -> Option<Score> {
     if !c.eligible {
         return None;
     }
@@ -97,11 +92,7 @@ pub fn elect(
     candidates
         .iter()
         .filter_map(|c| score(cfg, grid, vc, c).map(|s| (s, c.node)))
-        .max_by(|(a, _), (b, _)| {
-            a.key()
-                .partial_cmp(&b.key())
-                .expect("scores are finite")
-        })
+        .max_by(|(a, _), (b, _)| a.key().partial_cmp(&b.key()).expect("scores are finite"))
         .map(|(_, node)| node)
 }
 
@@ -131,7 +122,10 @@ mod tests {
         // Node 1 races out of the circle; node 2 dawdles.
         let fast = cand(1, c, Vec2::new(30.0, 0.0));
         let slow = cand(2, c, Vec2::new(0.5, 0.0));
-        assert_eq!(elect(&ElectionConfig::default(), &g, vc, &[fast, slow]), Some(2));
+        assert_eq!(
+            elect(&ElectionConfig::default(), &g, vc, &[fast, slow]),
+            Some(2)
+        );
     }
 
     #[test]
@@ -142,7 +136,10 @@ mod tests {
         // Both stationary (infinite residence, same bucket): closer wins.
         let near = cand(7, Point::new(c.x + 5.0, c.y), Vec2::ZERO);
         let far = cand(3, Point::new(c.x + 40.0, c.y), Vec2::ZERO);
-        assert_eq!(elect(&ElectionConfig::default(), &g, vc, &[far, near]), Some(7));
+        assert_eq!(
+            elect(&ElectionConfig::default(), &g, vc, &[far, near]),
+            Some(7)
+        );
     }
 
     #[test]
@@ -166,7 +163,10 @@ mod tests {
         weak.eligible = false;
         assert_eq!(elect(&ElectionConfig::default(), &g, vc, &[weak]), None);
         let strong = cand(2, Point::new(c.x + 60.0, c.y), Vec2::ZERO);
-        assert_eq!(elect(&ElectionConfig::default(), &g, vc, &[weak, strong]), Some(2));
+        assert_eq!(
+            elect(&ElectionConfig::default(), &g, vc, &[weak, strong]),
+            Some(2)
+        );
     }
 
     #[test]
@@ -180,7 +180,10 @@ mod tests {
     #[test]
     fn empty_candidate_set() {
         let g = grid();
-        assert_eq!(elect(&ElectionConfig::default(), &g, VcId::new(0, 0), &[]), None);
+        assert_eq!(
+            elect(&ElectionConfig::default(), &g, VcId::new(0, 0), &[]),
+            None
+        );
     }
 
     #[test]

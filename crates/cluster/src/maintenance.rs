@@ -110,7 +110,7 @@ mod tests {
     use super::*;
     use crate::cluster::form_clusters;
     use crate::election::{Candidate, ElectionConfig};
-    use hvdb_geo::{Aabb, Point, Vec2, VcGrid};
+    use hvdb_geo::{Aabb, Point, VcGrid, Vec2};
 
     fn grid() -> VcGrid {
         VcGrid::with_dimensions(Aabb::from_size(800.0, 800.0), 8, 8)

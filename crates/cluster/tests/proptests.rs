@@ -1,7 +1,7 @@
 //! Property-based tests for the clustering tier.
 
 use hvdb_cluster::{diff, elect, form_clusters, Candidate, ElectionConfig};
-use hvdb_geo::{Aabb, Point, Vec2, VcGrid};
+use hvdb_geo::{Aabb, Point, VcGrid, Vec2};
 use proptest::prelude::*;
 
 fn grid() -> VcGrid {
@@ -10,7 +10,13 @@ fn grid() -> VcGrid {
 
 fn arb_candidates(n: usize) -> impl Strategy<Value = Vec<Candidate>> {
     proptest::collection::vec(
-        (0.0..800.0f64, 0.0..800.0f64, -5.0..5.0f64, -5.0..5.0f64, any::<bool>()),
+        (
+            0.0..800.0f64,
+            0.0..800.0f64,
+            -5.0..5.0f64,
+            -5.0..5.0f64,
+            any::<bool>(),
+        ),
         1..n,
     )
     .prop_map(|raw| {

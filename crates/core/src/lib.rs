@@ -34,8 +34,8 @@ pub mod tree;
 
 pub use membership::MembershipDb;
 pub use model::{
-    build_model, build_region_cube, region_center, BackboneStats, DesignationCriterion,
-    GroupEvent, HvdbConfig, HvdbModel, TrafficItem,
+    build_model, build_region_cube, region_center, BackboneStats, DesignationCriterion, GroupEvent,
+    HvdbConfig, HvdbModel, TrafficItem,
 };
 pub use packet::{ChMsg, GeoPacket, GeoTarget, HvdbMsg};
 pub use protocol::{Counters, HvdbProtocol};

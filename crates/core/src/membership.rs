@@ -235,11 +235,7 @@ mod tests {
 
     #[test]
     fn criterion_a_most_groups_unique_winner() {
-        let db = db_with_mnts(&[
-            (0b00, &[1, 2, 3], 1),
-            (0b01, &[1], 5),
-            (0b10, &[1, 2], 1),
-        ]);
+        let db = db_with_mnts(&[(0b00, &[1, 2, 3], 1), (0b01, &[1], 5), (0b10, &[1, 2], 1)]);
         let cube = IncompleteHypercube::complete(2);
         let c = DesignationCriterion::MostGroups;
         let winners: Vec<u32> = [0b00u32, 0b01, 0b10]
@@ -279,12 +275,7 @@ mod tests {
             DesignationCriterion::MostGroups,
             DesignationCriterion::NeighborhoodGroups,
         ] {
-            let db = db_with_mnts(&[
-                (0, &[1], 1),
-                (1, &[1], 1),
-                (2, &[1], 1),
-                (3, &[1], 1),
-            ]);
+            let db = db_with_mnts(&[(0, &[1], 1), (1, &[1], 1), (2, &[1], 1), (3, &[1], 1)]);
             let cube = IncompleteHypercube::complete(2);
             let winners: Vec<u32> = (0..4u32)
                 .filter(|l| db.should_broadcast(Hnid(*l), crit, &cube))
@@ -297,10 +288,6 @@ mod tests {
     fn non_participant_never_designates() {
         let db = db_with_mnts(&[(0, &[1], 1)]);
         let cube = IncompleteHypercube::complete(2);
-        assert!(!db.should_broadcast(
-            Hnid(3),
-            DesignationCriterion::MostGroups,
-            &cube
-        ));
+        assert!(!db.should_broadcast(Hnid(3), DesignationCriterion::MostGroups, &cube));
     }
 }

@@ -83,7 +83,7 @@ impl HvdbConfig {
             local_report_interval: SimDuration::from_secs(5),
             mnt_interval: SimDuration::from_secs(8),
             ht_interval: SimDuration::from_secs(20),
-            neighbor_ttl: SimDuration::from_secs(7),
+            neighbor_ttl: SimDuration::from_secs(9),
             geo_ttl: 24,
             designation: DesignationCriterion::NeighborhoodGroups,
             cache_trees: true,
@@ -439,8 +439,14 @@ mod tests {
     fn ch_kind_lookup() {
         let cfg = fig2_cfg();
         let model = build_model(&cfg, &full_snapshot(&cfg));
-        assert_eq!(model.ch_kind(&cfg.map, VcId::new(0, 0)), Some(ChKind::Inner));
-        assert_eq!(model.ch_kind(&cfg.map, VcId::new(0, 3)), Some(ChKind::Border));
+        assert_eq!(
+            model.ch_kind(&cfg.map, VcId::new(0, 0)),
+            Some(ChKind::Inner)
+        );
+        assert_eq!(
+            model.ch_kind(&cfg.map, VcId::new(0, 3)),
+            Some(ChKind::Border)
+        );
         let sparse = build_model(&cfg, &[]);
         assert_eq!(sparse.ch_kind(&cfg.map, VcId::new(0, 0)), None);
     }

@@ -30,8 +30,15 @@ pub struct CandScore {
 impl CandScore {
     /// Whether this score beats `other` under the §1 criteria.
     pub fn beats(&self, other: &CandScore) -> bool {
-        (std::cmp::Reverse(self.residence_bucket), self.dist_um, self.node)
-            < (std::cmp::Reverse(other.residence_bucket), other.dist_um, other.node)
+        (
+            std::cmp::Reverse(self.residence_bucket),
+            self.dist_um,
+            self.node,
+        ) < (
+            std::cmp::Reverse(other.residence_bucket),
+            other.dist_um,
+            other.node,
+        )
     }
 }
 

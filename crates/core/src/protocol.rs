@@ -30,9 +30,7 @@
 //! * CH failure detection is beacon-timeout based (`neighbor_ttl`).
 
 use crate::membership::MembershipDb;
-use crate::model::{
-    build_region_cube, region_center, GroupEvent, HvdbConfig, TrafficItem,
-};
+use crate::model::{build_region_cube, region_center, GroupEvent, HvdbConfig, TrafficItem};
 use crate::packet::{CandScore, ChMsg, GeoPacket, GeoTarget, HvdbMsg};
 use crate::qos::SessionManager;
 use crate::routes::{QosMetrics, QosRequirement, RouteTable};
@@ -262,7 +260,7 @@ impl HvdbProtocol {
             Some(nh) => {
                 let class = pkt.inner.class();
                 let bytes = pkt.wire_size();
-                ctx.send(from, nh, class, bytes, HvdbMsg::Geo(pkt));
+                ctx.send_reliable(from, nh, class, bytes, HvdbMsg::Geo(pkt));
             }
             None => self.counters.geo_stuck += 1,
         }
@@ -289,12 +287,7 @@ impl HvdbProtocol {
     /// probably cannot reach (VCC farther than ~85% of the radio range):
     /// these get a supplementary geo-unicast so long hypercube links
     /// (labels two grid cells apart) stay alive.
-    fn far_neighbors(
-        &self,
-        ctx: &mut Ctx<'_, HvdbMsg>,
-        node: NodeId,
-        vcs: Vec<VcId>,
-    ) -> Vec<VcId> {
+    fn far_neighbors(&self, ctx: &mut Ctx<'_, HvdbMsg>, node: NodeId, vcs: Vec<VcId>) -> Vec<VcId> {
         let pos = ctx.position(node);
         // A neighbour CH can sit up to a VC radius beyond its VCC; only
         // VCCs we can reach with that margin (plus 10% slack) are safely
@@ -410,7 +403,7 @@ impl HvdbProtocol {
                 self.nodes[node.idx()].role = Role::Member;
                 let msg = HvdbMsg::Handover { vc: my_vc, hts };
                 let bytes = msg.wire_size();
-                ctx.send(node, NodeId(best.node), "handover", bytes, msg);
+                ctx.send_reliable(node, NodeId(best.node), "handover", bytes, msg);
             }
         }
         // The round is decided; start collecting the next round's bids.
@@ -430,7 +423,7 @@ impl HvdbProtocol {
                     if ch != node {
                         let msg = HvdbMsg::JoinReport { lm: st.lm.clone() };
                         let bytes = msg.wire_size();
-                        ctx.send(node, ch, "join-report", bytes, msg);
+                        ctx.send_reliable(node, ch, "join-report", bytes, msg);
                     }
                 }
             }
@@ -678,7 +671,7 @@ impl HvdbProtocol {
                 size: item.size,
             };
             let bytes = msg.wire_size();
-            ctx.send(node, ch, "data-to-ch", bytes, msg);
+            ctx.send_reliable(node, ch, "data-to-ch", bytes, msg);
         } else {
             self.counters.no_ch += 1;
         }
@@ -724,6 +717,7 @@ impl HvdbProtocol {
     }
 
     /// Fig. 6 step 4: a packet enters hypercube `this` at this CH.
+    #[allow(clippy::too_many_arguments)]
     fn enter_region(
         &mut self,
         node: NodeId,
@@ -773,8 +767,7 @@ impl HvdbProtocol {
                 }
                 _ => {
                     let ht = h.db.my_ht(this);
-                    let dests: Vec<u32> =
-                        ht.nodes_with(group).iter().map(|l| l.0).collect();
+                    let dests: Vec<u32> = ht.nodes_with(group).iter().map(|l| l.0).collect();
                     let cube = build_region_cube(
                         &self.cfg,
                         this,
@@ -844,10 +837,7 @@ impl HvdbProtocol {
             self.counters.no_route += 1;
             return;
         };
-        let next_addr = LogicalAddress {
-            hid,
-            hnid: next,
-        };
+        let next_addr = LogicalAddress { hid, hnid: next };
         let Some(next_vc) = self.cfg.map.vc_of(next_addr) else {
             self.counters.no_route += 1;
             return;
@@ -863,6 +853,7 @@ impl HvdbProtocol {
         self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(next_vc), inner);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_hc_data(
         &mut self,
         node: NodeId,
@@ -1002,7 +993,7 @@ impl HvdbProtocol {
             if ch != node && ctx.is_alive(ch) && self.satisfies_target(ch, pkt.target) {
                 let class = pkt.inner.class();
                 let bytes = pkt.wire_size();
-                ctx.send(node, ch, class, bytes, HvdbMsg::Geo(pkt));
+                ctx.send_reliable(node, ch, class, bytes, HvdbMsg::Geo(pkt));
                 return;
             }
         }
@@ -1036,7 +1027,8 @@ impl Protocol for HvdbProtocol {
             }
         }
         // Phase-jittered periodic timers.
-        let jitter = |ctx: &mut Ctx<'_, HvdbMsg>, max: u64| SimDuration(ctx.rng().range_u64(0, max.max(1)));
+        let jitter =
+            |ctx: &mut Ctx<'_, HvdbMsg>, max: u64| SimDuration(ctx.rng().range_u64(0, max.max(1)));
         let j = jitter(ctx, self.cfg.cluster_interval.0 / 4);
         ctx.set_timer(node, j, TAG_CANDIDACY);
         let j = jitter(ctx, self.cfg.beacon_interval.0);
@@ -1105,13 +1097,11 @@ impl Protocol for HvdbProtocol {
                             size,
                         };
                         let bytes = msg.wire_size();
-                        ctx.send(node, ch, "data-to-ch", bytes, msg);
+                        ctx.send_reliable(node, ch, "data-to-ch", bytes, msg);
                     }
                 }
             }
-            HvdbMsg::LocalDeliver {
-                data_id, group, ..
-            } => {
+            HvdbMsg::LocalDeliver { data_id, group, .. } => {
                 let st = &mut self.nodes[node.idx()];
                 if st.lm.contains(group) && st.seen_data.insert(data_id) {
                     ctx.record_delivery(data_id, node);

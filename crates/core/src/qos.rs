@@ -129,9 +129,7 @@ impl SessionManager {
             match s.backup {
                 Some(b) => {
                     s.primary = b;
-                    s.backup = table
-                        .backup_route(dst, b, &s.req)
-                        .map(|r| r.next_hop);
+                    s.backup = table.backup_route(dst, b, &s.req).map(|r| r.next_hop);
                     self.failovers += 1;
                     results.push((dst, RepairOutcome::FailedOver));
                 }
@@ -168,13 +166,21 @@ mod tests {
         t.integrate_beacon(
             Hnid(1),
             link(1),
-            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(1) }],
+            &[AdvertisedRoute {
+                dst: Hnid(3),
+                hops: 1,
+                qos: link(1),
+            }],
             SimTime::ZERO,
         );
         t.integrate_beacon(
             Hnid(2),
             link(3),
-            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(3) }],
+            &[AdvertisedRoute {
+                dst: Hnid(3),
+                hops: 1,
+                qos: link(3),
+            }],
             SimTime::ZERO,
         );
         t
@@ -225,7 +231,11 @@ mod tests {
         t.integrate_beacon(
             Hnid(1),
             link(1),
-            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(1) }],
+            &[AdvertisedRoute {
+                dst: Hnid(3),
+                hops: 1,
+                qos: link(1),
+            }],
             SimTime::ZERO,
         );
         let mut sm = SessionManager::new();

@@ -184,8 +184,7 @@ impl RouteTable {
         }
         // Keep the best MAX_ALTERNATIVES by (hops, delay, next_hop).
         routes.sort_by(|a, b| {
-            (a.hops, a.qos.delay, a.next_hop)
-                .cmp(&(b.hops, b.qos.delay, b.next_hop))
+            (a.hops, a.qos.delay, a.next_hop).cmp(&(b.hops, b.qos.delay, b.next_hop))
         });
         routes.truncate(MAX_ALTERNATIVES);
     }
@@ -193,15 +192,17 @@ impl RouteTable {
     /// The best route to `dst` satisfying `req` (pass
     /// [`QosRequirement::BEST_EFFORT`] for none).
     pub fn best_route(&self, dst: Hnid, req: &QosRequirement) -> Option<&RouteEntry> {
-        self.routes
-            .get(&dst)?
-            .iter()
-            .find(|r| r.qos.satisfies(req))
+        self.routes.get(&dst)?.iter().find(|r| r.qos.satisfies(req))
     }
 
     /// The best route to `dst` whose first hop differs from `exclude` —
     /// the immediately-available disjoint candidate of §5.
-    pub fn backup_route(&self, dst: Hnid, exclude: Hnid, req: &QosRequirement) -> Option<&RouteEntry> {
+    pub fn backup_route(
+        &self,
+        dst: Hnid,
+        exclude: Hnid,
+        req: &QosRequirement,
+    ) -> Option<&RouteEntry> {
         self.routes
             .get(&dst)?
             .iter()
@@ -239,7 +240,10 @@ impl RouteTable {
         let mut failovers = Vec::new();
         let mut emptied = Vec::new();
         for (dst, routes) in self.routes.iter_mut() {
-            let was_best = routes.first().map(|r| r.next_hop == neighbor).unwrap_or(false);
+            let was_best = routes
+                .first()
+                .map(|r| r.next_hop == neighbor)
+                .unwrap_or(false);
             routes.retain(|r| r.next_hop != neighbor);
             if routes.is_empty() {
                 emptied.push(*dst);
@@ -329,7 +333,9 @@ mod tests {
     fn beacon_installs_one_hop_route() {
         let mut t = RouteTable::new(Hnid(0b1000), 4);
         t.integrate_beacon(Hnid(0b1001), link(2, 2.0), &[], SimTime::ZERO);
-        let r = t.best_route(Hnid(0b1001), &QosRequirement::BEST_EFFORT).unwrap();
+        let r = t
+            .best_route(Hnid(0b1001), &QosRequirement::BEST_EFFORT)
+            .unwrap();
         assert_eq!(r.hops, 1);
         assert_eq!(r.next_hop, Hnid(0b1001));
         assert_eq!(t.neighbors(), vec![Hnid(0b1001)]);
@@ -344,7 +350,9 @@ mod tests {
             qos: link(5, 1.0),
         }];
         t.integrate_beacon(Hnid(0b1001), link(2, 2.0), &adv, SimTime::ZERO);
-        let r = t.best_route(Hnid(0b1100), &QosRequirement::BEST_EFFORT).unwrap();
+        let r = t
+            .best_route(Hnid(0b1100), &QosRequirement::BEST_EFFORT)
+            .unwrap();
         assert_eq!(r.hops, 2);
         assert_eq!(r.next_hop, Hnid(0b1001));
         assert_eq!(r.qos.delay, SimDuration::from_millis(7));
@@ -360,7 +368,9 @@ mod tests {
             qos: link(1, 1.0),
         }];
         t.integrate_beacon(Hnid(1), link(1, 1.0), &adv, SimTime::ZERO);
-        assert!(t.best_route(Hnid(7), &QosRequirement::BEST_EFFORT).is_none());
+        assert!(t
+            .best_route(Hnid(7), &QosRequirement::BEST_EFFORT)
+            .is_none());
         assert_eq!(t.destination_count(), 1); // only the neighbour itself
     }
 
@@ -369,7 +379,13 @@ mod tests {
         // §4.1's worked example: 1-hop routes of 1000 include 1001, 1010,
         // 0010, 1100, 0000; 2-hop routes include 1000->1001->1100 etc.
         let mut t = RouteTable::new(Hnid(0b1000), 4);
-        let one_hop = [Hnid(0b1001), Hnid(0b1010), Hnid(0b0010), Hnid(0b1100), Hnid(0b0000)];
+        let one_hop = [
+            Hnid(0b1001),
+            Hnid(0b1010),
+            Hnid(0b0010),
+            Hnid(0b1100),
+            Hnid(0b0000),
+        ];
         for n in one_hop {
             t.integrate_beacon(n, link(1, 2.0), &[], SimTime::ZERO);
         }
@@ -377,11 +393,17 @@ mod tests {
         t.integrate_beacon(
             Hnid(0b1001),
             link(1, 2.0),
-            &[AdvertisedRoute { dst: Hnid(0b1101), hops: 1, qos: link(1, 2.0) }],
+            &[AdvertisedRoute {
+                dst: Hnid(0b1101),
+                hops: 1,
+                qos: link(1, 2.0),
+            }],
             SimTime::ZERO,
         );
         assert_eq!(t.neighbors().len(), 5);
-        let r = t.best_route(Hnid(0b1101), &QosRequirement::BEST_EFFORT).unwrap();
+        let r = t
+            .best_route(Hnid(0b1101), &QosRequirement::BEST_EFFORT)
+            .unwrap();
         assert_eq!(r.hops, 2);
         assert_eq!(r.next_hop, Hnid(0b1001));
     }
@@ -393,16 +415,26 @@ mod tests {
         t.integrate_beacon(
             Hnid(0b0001),
             link(1, 2.0),
-            &[AdvertisedRoute { dst: Hnid(0b0011), hops: 1, qos: link(1, 2.0) }],
+            &[AdvertisedRoute {
+                dst: Hnid(0b0011),
+                hops: 1,
+                qos: link(1, 2.0),
+            }],
             SimTime::ZERO,
         );
         t.integrate_beacon(
             Hnid(0b0010),
             link(3, 2.0),
-            &[AdvertisedRoute { dst: Hnid(0b0011), hops: 1, qos: link(3, 2.0) }],
+            &[AdvertisedRoute {
+                dst: Hnid(0b0011),
+                hops: 1,
+                qos: link(3, 2.0),
+            }],
             SimTime::ZERO,
         );
-        let best = t.best_route(Hnid(0b0011), &QosRequirement::BEST_EFFORT).unwrap();
+        let best = t
+            .best_route(Hnid(0b0011), &QosRequirement::BEST_EFFORT)
+            .unwrap();
         assert_eq!(best.next_hop, Hnid(0b0001));
         let backup = t
             .backup_route(Hnid(0b0011), best.next_hop, &QosRequirement::BEST_EFFORT)
@@ -430,22 +462,38 @@ mod tests {
             Hnid(1),
             link(1, 2.0),
             &[
-                AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(1, 2.0) },
-                AdvertisedRoute { dst: Hnid(5), hops: 1, qos: link(1, 2.0) },
+                AdvertisedRoute {
+                    dst: Hnid(3),
+                    hops: 1,
+                    qos: link(1, 2.0),
+                },
+                AdvertisedRoute {
+                    dst: Hnid(5),
+                    hops: 1,
+                    qos: link(1, 2.0),
+                },
             ],
             SimTime::ZERO,
         );
         t.integrate_beacon(
             Hnid(2),
             link(2, 2.0),
-            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(2, 2.0) }],
+            &[AdvertisedRoute {
+                dst: Hnid(3),
+                hops: 1,
+                qos: link(2, 2.0),
+            }],
             SimTime::ZERO,
         );
         let failovers = t.remove_via(Hnid(1));
         // dst 3 failed over to its alternative; dst 5 (and neighbour 1) gone.
         assert_eq!(failovers, vec![Hnid(3)]);
-        assert!(t.best_route(Hnid(5), &QosRequirement::BEST_EFFORT).is_none());
-        assert!(t.best_route(Hnid(1), &QosRequirement::BEST_EFFORT).is_none());
+        assert!(t
+            .best_route(Hnid(5), &QosRequirement::BEST_EFFORT)
+            .is_none());
+        assert!(t
+            .best_route(Hnid(1), &QosRequirement::BEST_EFFORT)
+            .is_none());
         let r3 = t.best_route(Hnid(3), &QosRequirement::BEST_EFFORT).unwrap();
         assert_eq!(r3.next_hop, Hnid(2));
     }
@@ -467,7 +515,11 @@ mod tests {
         t.integrate_beacon(
             Hnid(1),
             link(1, 2.0),
-            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(1, 2.0) }],
+            &[AdvertisedRoute {
+                dst: Hnid(3),
+                hops: 1,
+                qos: link(1, 2.0),
+            }],
             SimTime::ZERO,
         );
         // Table has 1-hop (to 1) and 2-hop (to 3) routes; with k = 2 only
@@ -484,13 +536,21 @@ mod tests {
         t.integrate_beacon(
             Hnid(1),
             link(1, 0.5),
-            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(1, 0.5) }],
+            &[AdvertisedRoute {
+                dst: Hnid(3),
+                hops: 1,
+                qos: link(1, 0.5),
+            }],
             SimTime::ZERO,
         );
         t.integrate_beacon(
             Hnid(2),
             link(5, 2.0),
-            &[AdvertisedRoute { dst: Hnid(3), hops: 1, qos: link(5, 2.0) }],
+            &[AdvertisedRoute {
+                dst: Hnid(3),
+                hops: 1,
+                qos: link(5, 2.0),
+            }],
             SimTime::ZERO,
         );
         let req = QosRequirement {

@@ -22,11 +22,19 @@ pub fn mesh_path(from: Hid, to: Hid) -> Vec<Hid> {
     let mut cur = from;
     out.push(cur);
     while cur.row != to.row {
-        cur.row = if to.row > cur.row { cur.row + 1 } else { cur.row - 1 };
+        cur.row = if to.row > cur.row {
+            cur.row + 1
+        } else {
+            cur.row - 1
+        };
         out.push(cur);
     }
     while cur.col != to.col {
-        cur.col = if to.col > cur.col { cur.col + 1 } else { cur.col - 1 };
+        cur.col = if to.col > cur.col {
+            cur.col + 1
+        } else {
+            cur.col - 1
+        };
         out.push(cur);
     }
     out
@@ -171,7 +179,10 @@ mod tests {
                 Hid::new(2, 1)
             ]
         );
-        assert_eq!(p.len() as u32, Hid::new(0, 0).mesh_distance(Hid::new(2, 1)) + 1);
+        assert_eq!(
+            p.len() as u32,
+            Hid::new(0, 0).mesh_distance(Hid::new(2, 1)) + 1
+        );
     }
 
     #[test]
@@ -187,7 +198,10 @@ mod tests {
 
     #[test]
     fn self_path_is_singleton() {
-        assert_eq!(mesh_path(Hid::new(1, 1), Hid::new(1, 1)), vec![Hid::new(1, 1)]);
+        assert_eq!(
+            mesh_path(Hid::new(1, 1), Hid::new(1, 1)),
+            vec![Hid::new(1, 1)]
+        );
     }
 
     #[test]
@@ -230,14 +244,15 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
+        assert!(
+            MeshTree::decode_edges(Hid::new(0, 0), &[(Hid::new(5, 5), Hid::new(6, 6))]).is_none()
+        );
         assert!(MeshTree::decode_edges(
             Hid::new(0, 0),
-            &[(Hid::new(5, 5), Hid::new(6, 6))]
-        )
-        .is_none());
-        assert!(MeshTree::decode_edges(
-            Hid::new(0, 0),
-            &[(Hid::new(0, 0), Hid::new(0, 1)), (Hid::new(1, 1), Hid::new(0, 1))]
+            &[
+                (Hid::new(0, 0), Hid::new(0, 1)),
+                (Hid::new(1, 1), Hid::new(0, 1))
+            ]
         )
         .is_none());
     }

@@ -4,8 +4,8 @@
 
 use hvdb_core::routes::{AdvertisedRoute, QosMetrics, MAX_ALTERNATIVES};
 use hvdb_core::{
-    DesignationCriterion, GroupId, HtSummary, LocalMembership, MembershipDb, MeshTree,
-    MntSummary, MtSummary, QosRequirement, RouteTable,
+    DesignationCriterion, GroupId, HtSummary, LocalMembership, MembershipDb, MeshTree, MntSummary,
+    MtSummary, QosRequirement, RouteTable,
 };
 use hvdb_geo::{Hid, Hnid, VcId};
 use hvdb_hypercube::IncompleteHypercube;

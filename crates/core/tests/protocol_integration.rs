@@ -2,20 +2,13 @@
 //! discrete-event simulator: clustering convergence, route maintenance,
 //! membership propagation, and the full Fig. 6 multicast path.
 
-use hvdb_core::{
-    GroupEvent, GroupId, HvdbConfig, HvdbMsg, HvdbProtocol, TrafficItem,
-};
+use hvdb_core::{GroupEvent, GroupId, HvdbConfig, HvdbMsg, HvdbProtocol, TrafficItem};
 use hvdb_geo::{Aabb, Point, Vec2};
-use hvdb_sim::{
-    NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary,
-};
+use hvdb_sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
 
 /// A dense, stationary scenario over the paper's Fig. 2 layout: one node
 /// near every VC centre (plus extras), everyone CH-capable.
-fn fig2_sim(
-    num_extra: usize,
-    seed: u64,
-) -> (Simulator<HvdbMsg>, HvdbConfig) {
+fn fig2_sim(num_extra: usize, seed: u64) -> (Simulator<HvdbMsg>, HvdbConfig) {
     let area = Aabb::from_size(800.0, 800.0);
     let cfg = HvdbConfig::fig2(area);
     let n = 64 + num_extra;
@@ -61,7 +54,10 @@ fn clustering_converges_to_one_head_per_vc() {
     assert_eq!(heads.len(), 64, "every VC must elect exactly one head");
     // The node pinned at each VC centre wins its VC (closest, stationary).
     for i in 0..64u32 {
-        assert!(proto.is_head(NodeId(i)), "centre node {i} should head its VC");
+        assert!(
+            proto.is_head(NodeId(i)),
+            "centre node {i} should head its VC"
+        );
     }
 }
 
@@ -84,7 +80,10 @@ fn route_tables_fill_to_horizon() {
             assert!(table.destination_count() <= 15);
         }
     }
-    assert!(checked >= 48, "most heads should have routes, got {checked}");
+    assert!(
+        checked >= 48,
+        "most heads should have routes, got {checked}"
+    );
     // A specific interior head should know essentially the whole cube.
     let table = proto.route_table(NodeId(9)).unwrap(); // VC (1,1), region (0,0)
     assert!(

@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a virtual circle: its (row, column) cell in the grid.
 /// Row 0 is the *top* row, matching the paper's Fig. 2/Fig. 3 drawings
 /// (labels grow left-to-right, top-to-bottom).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct VcId {
     /// Row index from the top, `0..rows`.
     pub row: u16,
@@ -175,7 +177,12 @@ impl VcGrid {
     /// # Panics
     /// Panics if `id` is outside the grid.
     pub fn vcc(&self, id: VcId) -> Point {
-        assert!(self.contains_id(id), "VC id {id} outside {}x{} grid", self.rows, self.cols);
+        assert!(
+            self.contains_id(id),
+            "VC id {id} outside {}x{} grid",
+            self.rows,
+            self.cols
+        );
         let x = self.area.min.x + (id.col as f64 + 0.5) * self.spacing;
         let row_from_bottom = (self.rows - 1 - id.row) as f64;
         let y = self.area.min.y + (row_from_bottom + 0.5) * self.spacing;
@@ -317,7 +324,10 @@ mod tests {
             for j in 0..40 {
                 let p = Point::new(i as f64 * 20.0 + 1.0, j as f64 * 20.0 + 1.0);
                 let id = g.vc_of(p);
-                assert!(g.vcc(id).distance(p) <= r + 1e-9, "{p:?} not covered by {id}");
+                assert!(
+                    g.vcc(id).distance(p) <= r + 1e-9,
+                    "{p:?} not covered by {id}"
+                );
             }
         }
     }
@@ -393,7 +403,9 @@ mod tests {
     fn residence_time_outside_is_none() {
         let g = grid8();
         let far = Point::new(0.0, 0.0);
-        assert!(g.residence_time(VcId::new(0, 7), far, Vec2::new(1.0, 0.0)).is_none());
+        assert!(g
+            .residence_time(VcId::new(0, 7), far, Vec2::new(1.0, 0.0))
+            .is_none());
     }
 
     #[test]

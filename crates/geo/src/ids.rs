@@ -47,7 +47,9 @@ use serde::{Deserialize, Serialize};
 /// enclosing [`RegionMap`] (all hypercubes of a deployment share one
 /// dimension, a system parameter: "We consider logical hypercubes with small
 /// dimension, which is set as a system parameter", §4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Hnid(pub u32);
 
 impl Hnid {
@@ -74,7 +76,9 @@ impl Hnid {
 
 /// Hypercube ID: the (row, column) of the region in the region grid. Row 0
 /// is the top-left region, matching Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct Hid {
     /// Region row, from the top.
     pub row: u16,
@@ -190,7 +194,10 @@ impl RegionMap {
     /// Panics if `dim` is 0 or greater than 16 (labels are stored in `u32`
     /// and realistic deployments use small dimensions).
     pub fn new(grid_rows: u16, grid_cols: u16, dim: u8) -> Self {
-        assert!(dim >= 1 && dim <= 16, "hypercube dimension {dim} out of range 1..=16");
+        assert!(
+            (1..=16).contains(&dim),
+            "hypercube dimension {dim} out of range 1..=16"
+        );
         assert!(grid_rows > 0 && grid_cols > 0, "grid must be non-empty");
         let row_bits = dim.div_ceil(2);
         let col_bits = dim / 2;
@@ -317,8 +324,16 @@ impl RegionMap {
     /// are the "absent" nodes of an incomplete hypercube).
     pub fn vc_of(&self, addr: LogicalAddress) -> Option<VcId> {
         let (local_row, local_col) = self.deinterleave(addr.hnid);
-        let row = addr.hid.row.checked_mul(self.region_rows)?.checked_add(local_row)?;
-        let col = addr.hid.col.checked_mul(self.region_cols)?.checked_add(local_col)?;
+        let row = addr
+            .hid
+            .row
+            .checked_mul(self.region_rows)?
+            .checked_add(local_row)?;
+        let col = addr
+            .hid
+            .col
+            .checked_mul(self.region_cols)?
+            .checked_add(local_col)?;
         (row < self.grid_rows && col < self.grid_cols).then_some(VcId::new(row, col))
     }
 

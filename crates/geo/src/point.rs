@@ -306,7 +306,10 @@ mod tests {
             assert!((v.magnitude() - 2.0).abs() < 1e-12);
             let back = v.heading();
             let diff = (back - rad).rem_euclid(std::f64::consts::TAU);
-            assert!(diff < 1e-9 || (std::f64::consts::TAU - diff) < 1e-9, "deg {deg}");
+            assert!(
+                diff < 1e-9 || (std::f64::consts::TAU - diff) < 1e-9,
+                "deg {deg}"
+            );
         }
     }
 

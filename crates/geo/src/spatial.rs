@@ -145,7 +145,7 @@ impl SpatialIndex {
                             continue;
                         }
                         let d = p.distance_sq(center);
-                        if d <= r_sq && best.map_or(true, |(_, bd)| d < bd) {
+                        if d <= r_sq && best.is_none_or(|(_, bd)| d < bd) {
                             best = Some((*id, d));
                         }
                     }
@@ -216,9 +216,15 @@ mod tests {
     #[test]
     fn nearest_within_finds_closest_and_respects_exclude() {
         let idx = sample_index();
-        assert_eq!(idx.nearest_within(Point::new(1.0, 1.0), 200.0, u32::MAX), Some(1));
+        assert_eq!(
+            idx.nearest_within(Point::new(1.0, 1.0), 200.0, u32::MAX),
+            Some(1)
+        );
         assert_eq!(idx.nearest_within(Point::new(1.0, 1.0), 200.0, 1), Some(2));
-        assert_eq!(idx.nearest_within(Point::new(1000.0, 0.0), 10.0, u32::MAX), None);
+        assert_eq!(
+            idx.nearest_within(Point::new(1000.0, 0.0), 10.0, u32::MAX),
+            None
+        );
     }
 
     #[test]

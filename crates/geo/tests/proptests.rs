@@ -1,6 +1,6 @@
 //! Property-based tests for the geometric substrate.
 
-use hvdb_geo::{Aabb, Hid, LogicalAddress, Point, RegionMap, SpatialIndex, Vec2, VcGrid, VcId};
+use hvdb_geo::{Aabb, Hid, LogicalAddress, Point, RegionMap, SpatialIndex, VcGrid, VcId, Vec2};
 use proptest::prelude::*;
 
 proptest! {
@@ -161,13 +161,13 @@ fn incomplete_edge_regions_partition_labels() {
         let present = m.region_cells(hid);
         let mut seen = 0;
         for label in 0u32..16 {
-            let addr = LogicalAddress { hid, hnid: hvdb_geo::Hnid(label) };
-            match m.vc_of(addr) {
-                Some(vc) => {
-                    assert!(present.contains(&vc));
-                    seen += 1;
-                }
-                None => {}
+            let addr = LogicalAddress {
+                hid,
+                hnid: hvdb_geo::Hnid(label),
+            };
+            if let Some(vc) = m.vc_of(addr) {
+                assert!(present.contains(&vc));
+                seen += 1;
             }
         }
         assert_eq!(seen, present.len());

@@ -195,16 +195,13 @@ impl<'a> SplitFlow<'a> {
             v.sort_unstable();
         }
         let mut paths = Vec::new();
-        loop {
-            let Some(first) = next.get_mut(&self.src).and_then(|v| {
-                if v.is_empty() {
-                    None
-                } else {
-                    Some(v.remove(0))
-                }
-            }) else {
-                break;
-            };
+        while let Some(first) = next.get_mut(&self.src).and_then(|v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        }) {
             let mut path = vec![self.src, first];
             let mut cur = first;
             let mut guard = 0usize;

@@ -137,10 +137,7 @@ impl MulticastTree {
     /// load-balancing claim (C3) compares the distribution of this quantity
     /// across trees.
     pub fn forwarding_load(&self) -> FxHashMap<NodeLabel, usize> {
-        self.children
-            .iter()
-            .map(|(&u, ch)| (u, ch.len()))
-            .collect()
+        self.children.iter().map(|(&u, ch)| (u, ch.len())).collect()
     }
 }
 
@@ -205,11 +202,7 @@ pub fn multicast_tree(
 /// forwarded along it. Classic MPP-style multicast; shortest paths for all
 /// destinations, but shares prefixes only when dimension orders align.
 /// Provided as an ablation alternative to [`multicast_tree`].
-pub fn ecube_multicast_tree(
-    root: NodeLabel,
-    destinations: &[NodeLabel],
-    dim: u8,
-) -> MulticastTree {
+pub fn ecube_multicast_tree(root: NodeLabel, destinations: &[NodeLabel], dim: u8) -> MulticastTree {
     let mut parent: FxHashMap<NodeLabel, NodeLabel> = FxHashMap::default();
     let mut dests: Vec<NodeLabel> = destinations.to_vec();
     dests.sort_unstable();
@@ -280,13 +273,20 @@ mod tests {
         let cube = IncompleteHypercube::complete(4);
         // Destinations clustered in the 1xxx subcube: the tree should be
         // far smaller than the sum of individual path lengths.
-        let dests = [0b1000, 0b1001, 0b1010, 0b1011, 0b1100, 0b1101, 0b1110, 0b1111];
+        let dests = [
+            0b1000, 0b1001, 0b1010, 0b1011, 0b1100, 0b1101, 0b1110, 0b1111,
+        ];
         let t = multicast_tree(&cube, 0b0000, &dests);
         let sum_paths: usize = dests
             .iter()
             .map(|d| label::hamming(0b0000, *d) as usize)
             .sum();
-        assert!(t.edge_count() < sum_paths, "{} !< {}", t.edge_count(), sum_paths);
+        assert!(
+            t.edge_count() < sum_paths,
+            "{} !< {}",
+            t.edge_count(),
+            sum_paths
+        );
         assert!(dests.iter().all(|d| t.contains(*d)));
     }
 
@@ -357,8 +357,8 @@ mod tests {
         let t = binomial_tree(0, 5);
         let load = t.forwarding_load();
         assert_eq!(load.values().copied().max(), Some(5)); // root sends dim
-        // Interior nodes send strictly less than the root in aggregate
-        // compared with a naive star (root unicasts 31 times).
+                                                           // Interior nodes send strictly less than the root in aggregate
+                                                           // compared with a naive star (root unicasts 31 times).
         assert!(load.values().sum::<usize>() == t.edge_count());
     }
 }

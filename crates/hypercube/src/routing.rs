@@ -91,11 +91,7 @@ pub struct LocalRoute {
 /// node at most `k` logical hops away ("Each CH periodically exchanges its
 /// local logical route information with those CHs that are at most k ≥ 1
 /// logical hops away", §4.1). Entries are sorted by (hops, dst).
-pub fn local_routes(
-    cube: &IncompleteHypercube,
-    src: NodeLabel,
-    k: u32,
-) -> Vec<LocalRoute> {
+pub fn local_routes(cube: &IncompleteHypercube, src: NodeLabel, k: u32) -> Vec<LocalRoute> {
     let mut out = Vec::new();
     if !cube.contains(src) {
         return out;
@@ -282,8 +278,14 @@ mod tests {
         // rows at Hamming distance 2 (rows 1-2), horizontally adjacent
         // columns at Hamming distance 2 (cols 1-2).
         let grid = [
-            (0b0010, 0b1000), (0b0011, 0b1001), (0b0110, 0b1100), (0b0111, 0b1101),
-            (0b0001, 0b0100), (0b0011, 0b0110), (0b1001, 0b1100), (0b1011, 0b1110),
+            (0b0010, 0b1000),
+            (0b0011, 0b1001),
+            (0b0110, 0b1100),
+            (0b0111, 0b1101),
+            (0b0001, 0b0100),
+            (0b0011, 0b0110),
+            (0b1001, 0b1100),
+            (0b1011, 0b1110),
         ];
         for (a, b) in grid {
             c.add_extra_link(a, b);

@@ -105,8 +105,7 @@ impl IncompleteHypercube {
     /// Whether node `u` is present.
     #[inline]
     pub fn contains(&self, u: NodeLabel) -> bool {
-        label::in_range(u, self.dim)
-            && self.present[u as usize / 64] >> (u as usize % 64) & 1 == 1
+        label::in_range(u, self.dim) && self.present[u as usize / 64] >> (u as usize % 64) & 1 == 1
     }
 
     /// Adds a node (idempotent).
@@ -114,7 +113,11 @@ impl IncompleteHypercube {
     /// # Panics
     /// Panics if the label is out of range for the dimension.
     pub fn add_node(&mut self, u: NodeLabel) {
-        assert!(label::in_range(u, self.dim), "label {u} out of range for dim {}", self.dim);
+        assert!(
+            label::in_range(u, self.dim),
+            "label {u} out of range for dim {}",
+            self.dim
+        );
         if !self.contains(u) {
             self.present[u as usize / 64] |= 1 << (u as usize % 64);
             self.present_count += 1;
@@ -272,7 +275,7 @@ mod tests {
         let mut c = IncompleteHypercube::complete(3);
         c.remove_link(0b000, 0b001);
         assert!(!c.has_link(0b000, 0b001));
-        assert!(c.has_link(0b001, 0b000) == false);
+        assert!(!c.has_link(0b001, 0b000));
         assert!(c.has_link(0b000, 0b010));
         c.restore_link(0b001, 0b000); // order-insensitive
         assert!(c.has_link(0b000, 0b001));

@@ -63,7 +63,13 @@ pub trait Protocol {
     fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, Self::Msg>);
 
     /// Called when `node` receives `msg` transmitted by `from`.
-    fn on_message(&mut self, node: NodeId, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+    fn on_message(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg>,
+    );
 
     /// Called when a timer set by `node` with `tag` fires.
     fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, Self::Msg>);
@@ -136,9 +142,23 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.radio.range
     }
 
-    /// The node's current alive radio neighbours, ascending id order.
-    pub fn neighbors(&mut self, id: NodeId) -> Vec<NodeId> {
-        self.world.neighbors(id)
+    /// Calls `f` with the node's current alive radio neighbours (ascending
+    /// id order), reusing the engine's scratch buffer instead of handing
+    /// out a fresh `Vec` per query. (The spatial index still allocates one
+    /// candidate list inside [`World::neighbors_into`]; hoisting that into
+    /// a second scratch is a follow-up.) The closure receives the context
+    /// back, so it can read positions or send while inspecting the list.
+    pub fn with_neighbors<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut Ctx<'_, M>, &[NodeId]) -> R,
+    ) -> R {
+        let mut buf = std::mem::take(self.scratch);
+        self.world.neighbors_into(id, &mut buf);
+        let r = f(self, &buf);
+        buf.clear();
+        *self.scratch = buf;
+        r
     }
 
     /// The seeded RNG (all protocol randomness must come from here for
@@ -151,7 +171,8 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// Sets a timer for `node` firing after `delay` with discriminator
     /// `tag`.
     pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
-        self.queue.push(self.now + delay, EventKind::Timer { node, tag });
+        self.queue
+            .push(self.now + delay, EventKind::Timer { node, tag });
     }
 
     fn occupy_radio(&mut self, from: NodeId, bytes: usize) -> SimTime {
@@ -201,6 +222,52 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.queue
             .push(arrival, EventKind::Deliver { to, from, msg });
         true
+    }
+
+    /// Unicast with MAC-level retransmissions: like [`Ctx::send`], but a
+    /// frame lost to the radio loss process is re-attempted up to
+    /// [`RadioConfig::mac_retries`] more times, mirroring the IEEE 802.11
+    /// unicast ACK/retry loop. Every attempt occupies the sender's radio
+    /// and is counted in the statistics, so retries surface as overhead
+    /// and added latency. Out-of-range and dead-endpoint failures are not
+    /// retried (no number of MAC attempts fixes those).
+    pub fn send_reliable(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: M,
+    ) -> bool {
+        if !self.world.alive(from) {
+            self.stats.drops_dead += 1;
+            return false;
+        }
+        let attempts = 1 + self.radio.mac_retries;
+        for _ in 0..attempts {
+            let arrival = self.occupy_radio(from, bytes);
+            self.stats.count_tx(from, class, bytes);
+            if !self.world.alive(to) {
+                self.stats.drops_dead += 1;
+                return false;
+            }
+            let dist_sq = self
+                .world
+                .position(from)
+                .distance_sq(self.world.position(to));
+            if dist_sq > self.radio.range * self.radio.range {
+                self.stats.drops_out_of_range += 1;
+                return false;
+            }
+            if self.rng.chance(self.radio.loss_prob) {
+                self.stats.drops_loss += 1;
+                continue;
+            }
+            self.queue
+                .push(arrival, EventKind::Deliver { to, from, msg });
+            return true;
+        }
+        false
     }
 
     /// Broadcast transmission: one frame, received by every alive node in
@@ -362,8 +429,10 @@ impl<M: Clone> Simulator<M> {
             self.started = true;
             self.world.rebuild_index();
             if self.cfg.mobility_tick > SimDuration::ZERO {
-                self.queue
-                    .push(SimTime::ZERO + self.cfg.mobility_tick, EventKind::MobilityTick);
+                self.queue.push(
+                    SimTime::ZERO + self.cfg.mobility_tick,
+                    EventKind::MobilityTick,
+                );
             }
             for id in 0..self.world.len() as u32 {
                 let mut ctx = Self::make_ctx(
@@ -479,7 +548,13 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, node: NodeId, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        fn on_message(
+            &mut self,
+            node: NodeId,
+            from: NodeId,
+            msg: Self::Msg,
+            ctx: &mut Ctx<'_, Self::Msg>,
+        ) {
             match msg {
                 "ping" => {
                     self.pings_rx += 1;
@@ -506,15 +581,16 @@ mod tests {
     }
 
     fn place_two(sim: &mut Simulator<&'static str>, dist: f64) {
-        sim.world.set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
-        sim.world.set_motion(NodeId(1), Point::new(dist, 0.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(1), Point::new(dist, 0.0), Vec2::ZERO);
         sim.world.rebuild_index();
     }
 
     #[test]
     fn ping_pong_round_trip() {
-        let mut sim: Simulator<&'static str> =
-            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
         place_two(&mut sim, 100.0);
         let mut p = PingPong::default();
         sim.run(&mut p, SimTime::from_secs(10));
@@ -528,8 +604,7 @@ mod tests {
 
     #[test]
     fn out_of_range_send_fails() {
-        let mut sim: Simulator<&'static str> =
-            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
         place_two(&mut sim, 500.0); // beyond 250 m range
         let mut p = PingPong::default();
         sim.run(&mut p, SimTime::from_secs(10));
@@ -549,13 +624,18 @@ mod tests {
                     ctx.send(node, NodeId(1), "data", 250, "hello");
                 }
             }
-            fn on_message(&mut self, _n: NodeId, _f: NodeId, _m: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+            fn on_message(
+                &mut self,
+                _n: NodeId,
+                _f: NodeId,
+                _m: Self::Msg,
+                ctx: &mut Ctx<'_, Self::Msg>,
+            ) {
                 self.arrival = Some(ctx.now());
             }
             fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, Self::Msg>) {}
         }
-        let mut sim: Simulator<&'static str> =
-            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
         place_two(&mut sim, 100.0);
         let mut p = Recorder { arrival: None };
         sim.run(&mut p, SimTime::from_secs(1));
@@ -578,7 +658,13 @@ mod tests {
                     assert_eq!(n, 2);
                 }
             }
-            fn on_message(&mut self, node: NodeId, from: NodeId, _m: u8, _c: &mut Ctx<'_, Self::Msg>) {
+            fn on_message(
+                &mut self,
+                node: NodeId,
+                from: NodeId,
+                _m: u8,
+                _c: &mut Ctx<'_, Self::Msg>,
+            ) {
                 assert_eq!(from, NodeId(0));
                 self.got.push(node);
             }
@@ -591,10 +677,14 @@ mod tests {
         };
         let mut sim: Simulator<u8> = Simulator::new(cfg, Box::new(Stationary));
         // 0 at origin; 1 and 2 in range; 3 far away.
-        sim.world.set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
-        sim.world.set_motion(NodeId(1), Point::new(100.0, 0.0), Vec2::ZERO);
-        sim.world.set_motion(NodeId(2), Point::new(0.0, 200.0), Vec2::ZERO);
-        sim.world.set_motion(NodeId(3), Point::new(900.0, 900.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(1), Point::new(100.0, 0.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(2), Point::new(0.0, 200.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(3), Point::new(900.0, 900.0), Vec2::ZERO);
         sim.world.rebuild_index();
         let mut p = Bcast { got: Vec::new() };
         sim.run(&mut p, SimTime::from_secs(1));
@@ -606,8 +696,7 @@ mod tests {
 
     #[test]
     fn dead_nodes_receive_nothing_and_timers_skip() {
-        let mut sim: Simulator<&'static str> =
-            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
         place_two(&mut sim, 100.0);
         sim.schedule_fail(NodeId(1), SimTime::ZERO);
         let mut p = PingPong::default();
@@ -682,10 +771,14 @@ mod tests {
             },
             Box::new(Stationary),
         );
-        sim.world.set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
-        sim.world.set_motion(NodeId(1), Point::new(50.0, 0.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(1), Point::new(50.0, 0.0), Vec2::ZERO);
         sim.world.rebuild_index();
-        let mut p = Two { arrivals: Vec::new() };
+        let mut p = Two {
+            arrivals: Vec::new(),
+        };
         sim.run(&mut p, SimTime::from_secs(1));
         assert_eq!(p.arrivals.len(), 2);
         let gap = p.arrivals[1].since(p.arrivals[0]);
@@ -737,8 +830,7 @@ mod tests {
 
     #[test]
     fn run_is_resumable() {
-        let mut sim: Simulator<&'static str> =
-            Simulator::new(two_node_cfg(), Box::new(Stationary));
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
         place_two(&mut sim, 100.0);
         let mut p = PingPong::default();
         sim.run(&mut p, SimTime::from_secs(2));

@@ -22,7 +22,11 @@ use hvdb_geo::Point;
 
 /// The neighbour of `from` strictly closer to `dest` than `from` itself,
 /// breaking ties toward lower node id. `None` at a local minimum.
-pub fn greedy_next_hop<M: Clone>(ctx: &mut Ctx<'_, M>, from: NodeId, dest: Point) -> Option<NodeId> {
+pub fn greedy_next_hop<M: Clone>(
+    ctx: &mut Ctx<'_, M>,
+    from: NodeId,
+    dest: Point,
+) -> Option<NodeId> {
     greedy_next_hop_avoiding(ctx, from, dest, &[])
 }
 
@@ -35,13 +39,16 @@ pub fn greedy_next_hop_avoiding<M: Clone>(
     visited: &[NodeId],
 ) -> Option<NodeId> {
     let my_d = ctx.position(from).distance_sq(dest);
-    ctx.neighbors(from)
-        .into_iter()
-        .filter(|n| !visited.contains(n))
-        .map(|n| (n, ctx.position(n).distance_sq(dest)))
-        .filter(|(_, d)| *d < my_d)
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)))
-        .map(|(n, _)| n)
+    ctx.with_neighbors(from, |ctx, neighbors| {
+        neighbors
+            .iter()
+            .copied()
+            .filter(|n| !visited.contains(n))
+            .map(|n| (n, ctx.position(n).distance_sq(dest)))
+            .filter(|(_, d)| *d < my_d)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)))
+            .map(|(n, _)| n)
+    })
 }
 
 /// Recovery mode: the neighbour closest to `dest` that is not in `visited`
@@ -52,12 +59,15 @@ pub fn recovery_next_hop<M: Clone>(
     dest: Point,
     visited: &[NodeId],
 ) -> Option<NodeId> {
-    ctx.neighbors(from)
-        .into_iter()
-        .filter(|n| !visited.contains(n))
-        .map(|n| (n, ctx.position(n).distance_sq(dest)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)))
-        .map(|(n, _)| n)
+    ctx.with_neighbors(from, |ctx, neighbors| {
+        neighbors
+            .iter()
+            .copied()
+            .filter(|n| !visited.contains(n))
+            .map(|n| (n, ctx.position(n).distance_sq(dest)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)))
+            .map(|(n, _)| n)
+    })
 }
 
 /// One forwarding decision: greedy if possible, else recovery. Returns the
@@ -153,8 +163,8 @@ mod tests {
     fn recovery_ignores_visited() {
         with_line_world(|ctx| {
             let dest = Point::new(0.0, 500.0); // at node 0 itself
-            // From node 1: greedy would pick node 0 (closest); recovery
-            // skipping 0 must pick node 2.
+                                               // From node 1: greedy would pick node 0 (closest); recovery
+                                               // skipping 0 must pick node 2.
             let r = recovery_next_hop(ctx, NodeId(1), dest, &[NodeId(0)]);
             assert_eq!(r, Some(NodeId(2)));
             let all = recovery_next_hop(ctx, NodeId(1), dest, &[NodeId(0), NodeId(2)]);

@@ -1,7 +1,7 @@
 //! Simulated mobile nodes.
 
-use hvdb_geo::{Point, Vec2};
 use crate::time::SimTime;
+use hvdb_geo::{Point, Vec2};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a mobile node. Dense (0..n), usable as a vector index.

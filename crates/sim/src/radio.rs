@@ -30,6 +30,12 @@ pub struct RadioConfig {
     pub jitter: SimDuration,
     /// Independent frame-loss probability per receiver.
     pub loss_prob: f64,
+    /// MAC-level retransmissions for *unicast* frames sent through
+    /// [`crate::engine::Ctx::send_reliable`]: up to `mac_retries` extra
+    /// attempts after a lost frame, mirroring the IEEE 802.11 ACK/retry
+    /// loop (broadcast frames have no MAC recovery, as in the real MAC).
+    /// Every attempt occupies the radio and is counted as overhead.
+    pub mac_retries: u32,
 }
 
 impl Default for RadioConfig {
@@ -40,6 +46,7 @@ impl Default for RadioConfig {
             latency: SimDuration::from_micros(500),
             jitter: SimDuration::from_micros(200),
             loss_prob: 0.0,
+            mac_retries: 3,
         }
     }
 }

@@ -16,7 +16,7 @@ use crate::time::{SimDuration, SimTime};
 use rustc_hash::FxHashMap;
 
 /// One originated data packet's bookkeeping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Origin {
     at: SimTime,
     expected: u64,
@@ -24,7 +24,7 @@ struct Origin {
 }
 
 /// Simulation-wide measurement state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Messages transmitted, by protocol-chosen class label.
     pub msg_counts: FxHashMap<&'static str, u64>,
@@ -275,9 +275,21 @@ mod tests {
     fn latency_statistics() {
         let mut s = Stats::new(4);
         s.record_origin(1, SimTime::from_secs(1), 3);
-        s.record_delivery(1, NodeId(1), SimTime::from_secs(1) + SimDuration::from_millis(10));
-        s.record_delivery(1, NodeId(2), SimTime::from_secs(1) + SimDuration::from_millis(20));
-        s.record_delivery(1, NodeId(3), SimTime::from_secs(1) + SimDuration::from_millis(60));
+        s.record_delivery(
+            1,
+            NodeId(1),
+            SimTime::from_secs(1) + SimDuration::from_millis(10),
+        );
+        s.record_delivery(
+            1,
+            NodeId(2),
+            SimTime::from_secs(1) + SimDuration::from_millis(20),
+        );
+        s.record_delivery(
+            1,
+            NodeId(3),
+            SimTime::from_secs(1) + SimDuration::from_millis(60),
+        );
         let mean = s.mean_latency().unwrap();
         assert!((mean - 0.03).abs() < 1e-9);
         assert!((s.latency_quantile(0.5).unwrap() - 0.02).abs() < 1e-9);

@@ -8,11 +8,15 @@
 use serde::{Deserialize, Serialize};
 
 /// An absolute simulation instant, in microseconds since start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulation time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -155,7 +159,10 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
         assert_eq!(t, SimTime(1_500_000));
-        assert_eq!(t.since(SimTime::from_secs(1)), SimDuration::from_millis(500));
+        assert_eq!(
+            t.since(SimTime::from_secs(1)),
+            SimDuration::from_millis(500)
+        );
         // Saturating: earlier.since(later) is zero, not underflow.
         assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
         let mut u = SimTime::ZERO;

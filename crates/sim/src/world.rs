@@ -122,12 +122,8 @@ impl World {
     /// this after each mobility tick; query methods assert freshness.
     pub fn rebuild_index(&mut self) {
         let nodes = &self.nodes;
-        self.index.rebuild(
-            nodes
-                .iter()
-                .enumerate()
-                .map(|(i, n)| (i as u32, n.pos)),
-        );
+        self.index
+            .rebuild(nodes.iter().enumerate().map(|(i, n)| (i as u32, n.pos)));
         self.index_dirty = false;
     }
 
@@ -137,9 +133,7 @@ impl World {
     pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
         let na = &self.nodes[a.idx()];
         let nb = &self.nodes[b.idx()];
-        na.alive
-            && nb.alive
-            && na.pos.distance_sq(nb.pos) <= self.radio_range * self.radio_range
+        na.alive && nb.alive && na.pos.distance_sq(nb.pos) <= self.radio_range * self.radio_range
     }
 
     /// Collects the alive radio neighbours of `id` (excluding itself) into

@@ -1,0 +1,99 @@
+//! End-to-end determinism regression: the crate's core invariant is that
+//! a run is a pure function of `(SimConfig, protocol, seed)` — two runs
+//! with identical inputs must produce **bit-identical** statistics, node
+//! positions and protocol-visible history. Every experiment, cached
+//! baseline and perf comparison in this workspace rests on this.
+
+use hvdb_sim::{
+    Ctx, Mobility, NodeId, Protocol, RandomWaypoint, SimConfig, SimDuration, SimTime, Simulator,
+    Stats,
+};
+
+/// A busy little protocol exercising every engine facility: broadcast
+/// gossip, reliable unicast, timers, RNG draws, neighbour queries and
+/// delivery accounting.
+#[derive(Default)]
+struct Chatter {
+    /// (node, tag) timer history — protocol-visible event order.
+    history: Vec<(u32, u64)>,
+}
+
+impl Protocol for Chatter {
+    type Msg = u64;
+
+    fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, u64>) {
+        ctx.set_timer(node, SimDuration::from_millis(500 + node.0 as u64 * 7), 1);
+        if node.0 == 0 {
+            ctx.record_origin(99, 3);
+        }
+    }
+
+    fn on_message(&mut self, node: NodeId, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+        if msg < 3 {
+            // Re-broadcast with decremented hop budget.
+            ctx.broadcast(node, "gossip", 64, msg + 1);
+        } else if msg == 3 && node.0.is_multiple_of(7) {
+            ctx.record_delivery(99, node);
+            ctx.send_reliable(node, from, "ack", 32, 100);
+        }
+    }
+
+    fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, u64>) {
+        self.history.push((node.0, tag));
+        // Mix in RNG use and neighbour queries (scratch-buffer path).
+        let n = ctx.with_neighbors(node, |ctx, neighbors| {
+            let _ = ctx.rng().unit();
+            neighbors.len()
+        });
+        if n > 0 && tag < 4 {
+            ctx.broadcast(node, "gossip", 64, 0);
+            ctx.set_timer(node, SimDuration::from_millis(900), tag + 1);
+        }
+    }
+}
+
+/// Everything a run exposes: stats, protocol event history, final node
+/// positions.
+type RunOutput = (Stats, Vec<(u32, u64)>, Vec<(f64, f64)>);
+
+fn run(seed: u64) -> RunOutput {
+    let cfg = SimConfig {
+        num_nodes: 40,
+        seed,
+        ..SimConfig::default()
+    };
+    let mobility: Box<dyn Mobility> = Box::new(RandomWaypoint::new(1.0, 8.0, 4.0));
+    let mut sim = Simulator::new(cfg, mobility);
+    let mut proto = Chatter::default();
+    sim.run(&mut proto, SimTime::from_secs(30));
+    let positions = (0..40u32)
+        .map(|i| {
+            let p = sim.world().position(NodeId(i));
+            (p.x, p.y)
+        })
+        .collect();
+    (sim.stats().clone(), proto.history, positions)
+}
+
+#[test]
+fn identical_config_and_seed_replays_bit_identically() {
+    let (stats_a, hist_a, pos_a) = run(2024);
+    let (stats_b, hist_b, pos_b) = run(2024);
+    assert_eq!(stats_a, stats_b, "Stats must replay bit-identically");
+    assert_eq!(hist_a, hist_b, "protocol event order must replay");
+    // Positions compared bit-for-bit, not approximately.
+    for (a, b) in pos_a.iter().zip(&pos_b) {
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+}
+
+#[test]
+fn different_seed_diverges() {
+    let (stats_a, ..) = run(2024);
+    let (stats_c, ..) = run(2025);
+    assert_ne!(
+        stats_a, stats_c,
+        "different seeds should not produce identical runs"
+    );
+}

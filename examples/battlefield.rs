@@ -46,7 +46,12 @@ fn main() {
     let members: Vec<(NodeId, GroupId)> = (0..num_nodes as u32)
         .step_by(10)
         .map(|i| (NodeId(i), orders))
-        .chain((0..num_nodes as u32).skip(200).step_by(40).map(|i| (NodeId(i), recon)))
+        .chain(
+            (0..num_nodes as u32)
+                .skip(200)
+                .step_by(40)
+                .map(|i| (NodeId(i), recon)),
+        )
         .collect();
 
     let mut traffic = Vec::new();

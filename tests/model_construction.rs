@@ -5,9 +5,7 @@
 use hvdb::cluster::Candidate;
 use hvdb::core::{build_model, HvdbConfig, HvdbMsg, HvdbProtocol};
 use hvdb::geo::{Aabb, Vec2};
-use hvdb::sim::{
-    NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary,
-};
+use hvdb::sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
 
 /// One node pinned at every VC centre over the Fig. 2 layout.
 fn centre_candidates(cfg: &HvdbConfig) -> Vec<Candidate> {
@@ -46,7 +44,8 @@ fn snapshot_and_distributed_clustering_agree() {
     };
     let mut sim: Simulator<HvdbMsg> = Simulator::new(sim_cfg, Box::new(Stationary));
     for (i, c) in candidates.iter().enumerate() {
-        sim.world_mut().set_motion(NodeId(i as u32), c.pos, Vec2::ZERO);
+        sim.world_mut()
+            .set_motion(NodeId(i as u32), c.pos, Vec2::ZERO);
     }
     sim.world_mut().rebuild_index();
     let mut proto = HvdbProtocol::new(cfg.clone(), &[], vec![], vec![]);

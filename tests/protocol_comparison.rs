@@ -2,9 +2,7 @@
 //! and the comparative shape of the paper's claims holds on a small static
 //! instance.
 
-use hvdb::baselines::{
-    DsmProtocol, FloodingProtocol, SharedTreeProtocol, SpbmProtocol,
-};
+use hvdb::baselines::{DsmProtocol, FloodingProtocol, SharedTreeProtocol, SpbmProtocol};
 use hvdb::core::{GroupId, HvdbConfig, HvdbProtocol, TrafficItem};
 use hvdb::geo::{Aabb, Point, Vec2};
 use hvdb::sim::{
@@ -43,7 +41,12 @@ fn place<M: Clone>(sim: &mut Simulator<M>) {
 
 fn scenario() -> (Vec<(NodeId, GroupId)>, Vec<TrafficItem>) {
     let g = GroupId(1);
-    let members = vec![(NodeId(0), g), (NodeId(35), g), (NodeId(5), g), (NodeId(30), g)];
+    let members = vec![
+        (NodeId(0), g),
+        (NodeId(35), g),
+        (NodeId(5), g),
+        (NodeId(30), g),
+    ];
     let traffic = (0..6)
         .map(|i| TrafficItem {
             at: SimTime::from_secs(120 + 3 * i),
@@ -63,7 +66,8 @@ fn run_protocol(which: &str) -> Stats {
             let mut sim = Simulator::new(sim_cfg(1), Box::new(Stationary));
             place(&mut sim);
             let area = sim.world().area();
-            let mut p = HvdbProtocol::new(HvdbConfig::new(area, 6, 6, 4), &members, traffic, vec![]);
+            let mut p =
+                HvdbProtocol::new(HvdbConfig::new(area, 6, 6, 4), &members, traffic, vec![]);
             sim.run(&mut p, until);
             sim.stats().clone()
         }

@@ -8,9 +8,7 @@ use hvdb::core::{
 };
 use hvdb::geo::{Aabb, Hnid, Point, Vec2};
 use hvdb::hypercube::{disjoint_paths_complete, pair_connectivity, IncompleteHypercube};
-use hvdb::sim::{
-    NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary,
-};
+use hvdb::sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
 
 #[test]
 fn structural_redundancy_flows_into_route_alternatives() {
@@ -118,5 +116,9 @@ fn protocol_delivers_through_ch_failures() {
     );
     // The spares took over the headless VCs.
     let heads = proto.cluster_heads();
-    assert!(heads.len() >= 60, "only {} heads after recovery", heads.len());
+    assert!(
+        heads.len() >= 60,
+        "only {} heads after recovery",
+        heads.len()
+    );
 }

@@ -1,0 +1,240 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API surface its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, `BatchSize` and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop (warm-up, then enough iterations to fill a
+//! fixed measurement window) reporting the mean and minimum per-iteration
+//! time. No statistics, plots or regression tracking — run real criterion
+//! for publication-quality numbers; this keeps `cargo bench` working and
+//! comparable run-to-run.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    measurement_window: Duration,
+    /// Filled in by `iter`: (iterations, total, min-per-iter).
+    result: Option<(u64, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it repeatedly inside the measurement
+    /// window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: time a single call.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_window;
+        let planned = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut done = 0u64;
+        for _ in 0..planned {
+            let t = Instant::now();
+            black_box(routine());
+            let dt = t.elapsed();
+            total += dt;
+            done += 1;
+            if dt < min {
+                min = dt;
+            }
+            if total > target * 4 {
+                break;
+            }
+        }
+        self.result = Some((done, total, min));
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup time is not
+    /// measured).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_window;
+        let planned = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut done = 0u64;
+        for _ in 0..planned {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed();
+            total += dt;
+            done += 1;
+            if dt < min {
+                min = dt;
+            }
+            if total > target * 4 {
+                break;
+            }
+        }
+        self.result = Some((done, total, min));
+    }
+}
+
+/// A named group of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Adjusts the sample count (stub: scales the measurement window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Fewer samples requested => the workload is heavy; shrink the
+        // window so `cargo bench` stays fast.
+        self.criterion.measurement_window = Duration::from_millis((n as u64 * 4).clamp(20, 400));
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.name);
+        let window = self.criterion.measurement_window;
+        run_and_report(&label, window, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`, labelled by `name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let window = self.criterion.measurement_window;
+        run_and_report(&label, window, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_window: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let window = self.measurement_window;
+        run_and_report(&name.to_string(), window, |b| f(b));
+        self
+    }
+}
+
+fn run_and_report(label: &str, window: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        measurement_window: window,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, total, min)) => {
+            let mean = total.as_nanos() as f64 / iters.max(1) as f64;
+            println!(
+                "bench: {label:<50} {iters:>8} iters  mean {:>12}  min {:>12}",
+                fmt_ns(mean),
+                fmt_ns(min.as_nanos() as f64),
+            );
+        }
+        None => println!("bench: {label:<50} (no measurement)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

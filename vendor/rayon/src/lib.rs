@@ -1,0 +1,195 @@
+//! Vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API surface it uses: `slice.par_iter().map(f).collect()`.
+//! Work is executed on scoped std threads (one chunk per available core)
+//! and results are returned in input order, so sweeps behave exactly like
+//! their sequential counterparts — only faster. There is no work stealing;
+//! for the coarse-grained simulation sweeps this workspace runs, static
+//! chunking is indistinguishable from real rayon.
+
+use std::num::NonZeroUsize;
+
+/// The traits and types user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap, ParallelIterator};
+}
+
+/// How many worker threads a parallel call may use.
+fn thread_budget() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// `par_iter()` entry point, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: 'data;
+    /// The iterator type produced.
+    type Iter;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+/// Minimal `ParallelIterator`: `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// The element type this iterator yields.
+    type Item;
+
+    /// Runs the pipeline and collects results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Collects into `C` (only `Vec<Item>` is supported, matching the
+    /// workspace's usage).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(self.run())
+    }
+}
+
+/// Collection target for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the ordered results.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'data, T: Sync> ParallelIterator for ParIter<'data, T>
+where
+    T: Clone + Send,
+{
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items.to_vec()
+    }
+}
+
+impl<'data, T, R, F> ParallelIterator for ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.items, &self.f)
+    }
+}
+
+/// Order-preserving parallel map: splits `items` into one contiguous chunk
+/// per worker and reassembles results by index.
+fn parallel_map<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread_budget().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let mut rest = slots.as_mut_slice();
+        let mut offset = 0;
+        while offset < n {
+            let take = chunk.min(n - offset);
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let lo = offset;
+            scope.spawn(move || {
+                for (i, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(f(&items[lo + i]));
+                }
+            });
+            offset += take;
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|x| *x).collect();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let xs = [41u32];
+        let ys: Vec<u32> = xs.par_iter().map(|x| x + 1).collect();
+        assert_eq!(ys, vec![42]);
+    }
+}

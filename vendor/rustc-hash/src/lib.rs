@@ -1,0 +1,111 @@
+//! Vendored stand-in for the `rustc-hash` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny API surface it uses: [`FxHashMap`] / [`FxHashSet`]
+//! type aliases over the std collections with the Fx multiply-rotate
+//! hasher. The hash function is deterministic (no per-process random
+//! state), which the simulator relies on for replayable runs.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using the deterministic Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the deterministic Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hash function: a fast, deterministic, non-cryptographic hasher
+/// (the multiply-rotate scheme originally used by the Firefox and rustc
+/// code bases).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut m1: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut m2: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m1.insert(i, i * 2);
+            m2.insert(i, i * 2);
+        }
+        let k1: Vec<u32> = m1.keys().copied().collect();
+        let k2: Vec<u32> = m2.keys().copied().collect();
+        assert_eq!(k1, k2, "iteration order must be reproducible");
+    }
+
+    #[test]
+    fn distinct_keys_hash_distinctly_enough() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..10_000u64 {
+            s.insert(i.wrapping_mul(0x9E37_79B9));
+        }
+        assert_eq!(s.len(), 10_000);
+    }
+}
