@@ -1,4 +1,4 @@
-//! DSM-style multicast (Basagni et al. [1]) — global-snapshot source trees.
+//! DSM-style multicast (Basagni et al. \[1\]) — global-snapshot source trees.
 //!
 //! In the Dynamic Source Multicast protocol "the location and transmission
 //! radius information has to be periodically broadcast from each node to

@@ -1,4 +1,4 @@
-//! SPBM-style multicast (Transier et al. [28]) — quad-tree membership
+//! SPBM-style multicast (Transier et al. \[28\]) — quad-tree membership
 //! aggregation with position-based forwarding.
 //!
 //! SPBM "uses a hierarchical aggregation of membership information: the

@@ -4,16 +4,21 @@
 //! hvdb-bench list
 //! hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--out-dir DIR]
 //! hvdb-bench run --all [--smoke] [--out-dir DIR]
+//! hvdb-bench validate <file>... [--loss-floor F]
 //! ```
 //!
 //! Each run prints a human-readable table and writes
 //! `BENCH_<scenario>.json` (uniform rows: sweep axis, point label,
 //! protocol, named metrics) into the output directory (default: the
-//! current directory), building the perf trajectory PR over PR.
+//! current directory), building the perf trajectory PR over PR. Every
+//! written report is immediately re-validated against the strict schema;
+//! `run` exits nonzero if any scenario's report fails (after finishing
+//! the remaining scenarios). `validate` checks committed/artifact
+//! reports and applies the `loss` scenario's delivery-floor regression
+//! gate.
 
 use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
-use hvdb_bench::ScenarioReport;
-use std::io::Write as _;
+use hvdb_bench::{check_loss_floor, validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -24,6 +29,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
+        Some("validate") => validate(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             ExitCode::SUCCESS
@@ -43,8 +49,75 @@ fn usage() {
     eprintln!("  hvdb-bench list");
     eprintln!("  hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
     eprintln!("  hvdb-bench run --all        [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
+    eprintln!("  hvdb-bench validate <file>... [--loss-floor F]");
     eprintln!();
     eprintln!("Writes BENCH_<scenario>.json per scenario; see `list` for names.");
+    eprintln!("`validate` schema-checks report files; files whose scenario is");
+    eprintln!("\"loss\" must also clear the worst-seed delivery floor (default");
+    eprintln!("{LOSS_DELIVERY_FLOOR}) at 15% frame loss.");
+}
+
+fn validate(args: &[String]) -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut floor = LOSS_DELIVERY_FLOOR;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--loss-floor" => {
+                i += 1;
+                match args.get(i).and_then(|f| f.parse::<f64>().ok()) {
+                    Some(f) if (0.0..=1.0).contains(&f) => floor = f,
+                    _ => {
+                        eprintln!("--loss-floor needs a number in [0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        eprintln!("validate needs at least one report file");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0u32;
+    for file in &files {
+        let verdict = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|text| validate_report_str(&text))
+            .and_then(|doc| {
+                if scenario_name(&doc).as_deref() == Some("loss") {
+                    let worst = check_loss_floor(&doc, floor)?;
+                    Ok(format!("ok (worst-seed delivery {worst:.3} >= {floor})"))
+                } else {
+                    Ok("ok".to_string())
+                }
+            });
+        match verdict {
+            Ok(msg) => println!("{file}: {msg}"),
+            Err(e) => {
+                eprintln!("{file}: FAIL: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} report(s) failed validation", files.len());
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn scenario_name(doc: &hvdb_bench::Json) -> Option<String> {
+    let hvdb_bench::Json::Obj(fields) = doc else {
+        return None;
+    };
+    fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+        ("scenario", hvdb_bench::Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    })
 }
 
 fn list() {
@@ -112,12 +185,22 @@ fn run(args: &[String]) -> ExitCode {
         }
         defs
     };
+    // Run every requested scenario even if one fails, but never exit 0
+    // with a missing or invalid report on disk — CI and the committed
+    // trajectory both trust the files this loop leaves behind.
+    let mut failures: Vec<String> = Vec::new();
     for def in &defs {
         let started = std::time::Instant::now();
         let report = run_scenario(def, &opts);
         print_report(&report);
         let path = format!("{out_dir}/BENCH_{}.json", def.name);
-        match std::fs::File::create(&path).and_then(|mut f| writeln!(f, "{}", report.to_json())) {
+        let json = format!("{}\n", report.to_json());
+        if let Err(e) = validate_report_str(&json) {
+            eprintln!("scenario {}: invalid report: {e}", def.name);
+            failures.push(def.name.to_string());
+            continue;
+        }
+        match std::fs::write(&path, &json) {
             Ok(()) => println!(
                 "wrote {path} ({} rows, {:.1}s)\n",
                 report.rows.len(),
@@ -125,11 +208,20 @@ fn run(args: &[String]) -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                failures.push(def.name.to_string());
             }
         }
     }
-    ExitCode::SUCCESS
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{} scenario(s) failed validation: {}",
+            failures.len(),
+            failures.join(", ")
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn print_report(report: &ScenarioReport) {

@@ -11,16 +11,22 @@
 //! * [`scenario`] is the registry: every experiment (c1–c4, f1–f6, a1,
 //!   seed) as a named, declarative entry with a smoke mode;
 //! * [`report`] is the uniform row model and the `BENCH_<scenario>.json`
-//!   serialization the perf trajectory is built from.
+//!   serialization the perf trajectory is built from;
+//! * [`validate`] is the strict report validator and the CI regression
+//!   gates (`hvdb-bench validate`, and `run`'s post-write check).
 
 #![warn(missing_docs)]
 
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod validate;
 pub mod workload;
 
 pub use report::{Json, Row, ScenarioReport};
 pub use runner::{average, run_one, run_one_instrumented, run_seeds, Proto, RunDetail};
 pub use scenario::{registry, run_scenario, RunOpts, ScenarioDef};
+pub use validate::{
+    check_loss_floor, parse_strict, validate_report_str, LOSS_DELIVERY_FLOOR, LOSS_GATE_POINT,
+};
 pub use workload::{is_data_class, metrics_of, MobilityKind, RunMetrics, Scenario, Workload};

@@ -1,0 +1,524 @@
+//! Strict validation of `BENCH_<scenario>.json` reports, plus the
+//! regression gates CI enforces on them.
+//!
+//! The report writer is hand-rolled (offline workspace), so nothing may
+//! trust it blindly: [`parse_strict`] is a strict recursive-descent JSON
+//! parser (no trailing garbage, no bad escapes, no bare control chars),
+//! and [`validate_report_str`] layers the exact report schema on top —
+//! the five top-level fields with their types, every row fully typed,
+//! finite metrics only, no unknown keys. The CLI (`hvdb-bench validate`,
+//! and `run`'s post-write check) and the test suite share this code, so
+//! a malformed report can neither land in CI artifacts nor be committed
+//! unnoticed.
+//!
+//! [`check_loss_floor`] is the robustness regression gate: the committed
+//! delivery floor for the `loss` scenario's worst seed at the
+//! [`LOSS_GATE_POINT`] operating point.
+
+use crate::report::Json;
+
+/// The committed robustness floor: worst-seed mean delivery of the `loss`
+/// scenario at [`LOSS_GATE_POINT`] must not drop below this (PR 1's
+/// baseline was ~0.65; the soft-state control plane lifts it above 0.90,
+/// and CI fails any change that regresses it).
+pub const LOSS_DELIVERY_FLOOR: f64 = 0.90;
+
+/// The `loss` sweep point the floor applies to (15% frame loss).
+pub const LOSS_GATE_POINT: &str = "loss=0.15";
+
+/// Parses `input` as one strict JSON document (the whole string, no
+/// trailing garbage) into a [`Json`] value.
+pub fn parse_strict(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p
+        .value()
+        .map_err(|e| format!("invalid JSON at byte {}: {e}", p.pos))?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!(
+            "trailing garbage after JSON document at byte {}",
+            p.pos
+        ));
+    }
+    Ok(v)
+}
+
+/// Validates `input` as a complete scenario report: strict JSON plus the
+/// exact report schema. Returns the parsed document for further checks.
+pub fn validate_report_str(input: &str) -> Result<Json, String> {
+    let doc = parse_strict(input)?;
+    validate_report(&doc)?;
+    Ok(doc)
+}
+
+fn obj_fields(v: &Json) -> Result<&[(String, Json)], String> {
+    match v {
+        Json::Obj(fields) => Ok(fields),
+        other => Err(format!("expected object, got {other:?}")),
+    }
+}
+
+fn field<'a>(fields: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn as_str<'a>(v: &'a Json, what: &str) -> Result<&'a str, String> {
+    match v {
+        Json::Str(s) => Ok(s),
+        other => Err(format!("{what}: expected string, got {other:?}")),
+    }
+}
+
+/// Schema check of a parsed report document. Strict: every field typed,
+/// no unknown top-level or row keys, rows non-empty, metrics finite.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let fields = obj_fields(doc)?;
+    const TOP: [&str; 5] = ["scenario", "figure", "summary", "smoke", "rows"];
+    for (k, _) in fields {
+        if !TOP.contains(&k.as_str()) {
+            return Err(format!("unknown top-level field {k:?}"));
+        }
+    }
+    let scenario = as_str(field(fields, "scenario")?, "scenario")?;
+    if scenario.is_empty() {
+        return Err("empty scenario name".into());
+    }
+    as_str(field(fields, "figure")?, "figure")?;
+    as_str(field(fields, "summary")?, "summary")?;
+    match field(fields, "smoke")? {
+        Json::Bool(_) => {}
+        other => return Err(format!("smoke: expected bool, got {other:?}")),
+    }
+    let rows = match field(fields, "rows")? {
+        Json::Arr(rows) => rows,
+        other => return Err(format!("rows: expected array, got {other:?}")),
+    };
+    if rows.is_empty() {
+        return Err(format!("scenario {scenario:?} has no rows"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        validate_row(row).map_err(|e| format!("row {i}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_row(row: &Json) -> Result<(), String> {
+    let fields = obj_fields(row)?;
+    const KEYS: [&str; 4] = ["sweep", "label", "proto", "metrics"];
+    for (k, _) in fields {
+        if !KEYS.contains(&k.as_str()) {
+            return Err(format!("unknown row field {k:?}"));
+        }
+    }
+    for key in ["sweep", "label", "proto"] {
+        let s = as_str(field(fields, key)?, key)?;
+        if s.is_empty() {
+            return Err(format!("empty {key}"));
+        }
+    }
+    let metrics = match field(fields, "metrics")? {
+        Json::Obj(m) => m,
+        other => return Err(format!("metrics: expected object, got {other:?}")),
+    };
+    if metrics.is_empty() {
+        return Err("row has no metrics".into());
+    }
+    for (name, v) in metrics {
+        match v {
+            Json::Num(n) if n.is_finite() => {}
+            other => {
+                return Err(format!(
+                    "metric {name:?}: expected finite number, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a metric from the row matching `(sweep, label, proto)`.
+pub fn metric_of(doc: &Json, sweep: &str, label: &str, proto: &str, metric: &str) -> Option<f64> {
+    let fields = obj_fields(doc).ok()?;
+    let Json::Arr(rows) = field(fields, "rows").ok()? else {
+        return None;
+    };
+    for row in rows {
+        let rf = obj_fields(row).ok()?;
+        let matches =
+            |key: &str, want: &str| matches!(field(rf, key), Ok(Json::Str(s)) if s == want);
+        if matches("sweep", sweep) && matches("label", label) && matches("proto", proto) {
+            if let Ok(Json::Obj(metrics)) = field(rf, "metrics") {
+                if let Some((_, Json::Num(n))) = metrics.iter().find(|(k, _)| k == metric) {
+                    return Some(*n);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The CI regression gate over a validated `loss` report: worst-seed
+/// delivery at [`LOSS_GATE_POINT`] must be at least `floor`. Refuses
+/// smoke reports (their numbers are meaningless) and missing gate rows.
+pub fn check_loss_floor(doc: &Json, floor: f64) -> Result<f64, String> {
+    let fields = obj_fields(doc)?;
+    if matches!(field(fields, "smoke")?, Json::Bool(true)) {
+        return Err(
+            "loss gate needs a full run, not --smoke (smoke numbers are meaningless)".into(),
+        );
+    }
+    let worst = metric_of(doc, "frame-loss", LOSS_GATE_POINT, "hvdb", "delivery_worst")
+        .ok_or_else(|| {
+            format!("no hvdb frame-loss row at {LOSS_GATE_POINT} with a delivery_worst metric")
+        })?;
+    if worst < floor {
+        return Err(format!(
+            "worst-seed delivery {worst:.3} at {LOSS_GATE_POINT} is below the committed floor {floor:.2}"
+        ));
+    }
+    Ok(worst)
+}
+
+/// The strict JSON parser behind [`parse_strict`].
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected {:?}, got {:?}",
+                b as char,
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for &b in lit.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                got => return Err(format!("in object: got {got:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                got => return Err(format!("in array: got {got:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(h) if h.is_ascii_hexdigit() => {
+                                    code = code * 16 + (h as char).to_digit(16).expect("hexdigit");
+                                }
+                                got => return Err(format!("bad \\u escape: {got:?}")),
+                            }
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    got => return Err(format!("bad escape: {got:?}")),
+                },
+                Some(c) if c < 0x20 => return Err("raw control char in string".into()),
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Re-assemble UTF-8 (input came from &str, so it is
+                    // valid by construction; walk the continuation bytes).
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(s);
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err("number with no digits".into());
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err("fraction with no digits".into());
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err("exponent with no digits".into());
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("unparseable number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Row, ScenarioReport};
+
+    fn report(scenario: &str, rows: Vec<Row>) -> String {
+        ScenarioReport {
+            scenario: scenario.into(),
+            figure: "Fig. X".into(),
+            summary: "s".into(),
+            smoke: false,
+            rows,
+        }
+        .to_json()
+        .to_string()
+    }
+
+    #[test]
+    fn writer_output_round_trips_the_validator() {
+        let s = report(
+            "loss",
+            vec![Row::new(
+                "frame-loss",
+                "loss=0.15",
+                "hvdb",
+                vec![("delivery_worst".into(), 0.93), ("delivery".into(), 0.97)],
+            )],
+        );
+        let doc = validate_report_str(&s).expect("valid report");
+        assert_eq!(
+            metric_of(&doc, "frame-loss", "loss=0.15", "hvdb", "delivery_worst"),
+            Some(0.93)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_strict("{\"a\": 1,}").is_err());
+        assert!(parse_strict("{\"a\": 1} extra").is_err());
+        assert!(parse_strict("{\"a\": 01e}").is_err());
+        assert!(parse_strict("\"unterminated").is_err());
+        assert!(parse_strict("{\"a\": nul}").is_err());
+        assert!(parse_strict("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn schema_rejects_wrong_shapes() {
+        // Not an object.
+        assert!(validate_report_str("[1]").is_err());
+        // Missing fields.
+        assert!(validate_report_str("{\"scenario\": \"x\"}").is_err());
+        // Unknown top-level key.
+        let s = "{\"scenario\": \"x\", \"figure\": \"f\", \"summary\": \"s\", \"smoke\": false, \"rows\": [], \"extra\": 1}";
+        assert!(validate_report_str(s).is_err());
+        // Empty rows.
+        let s = "{\"scenario\": \"x\", \"figure\": \"f\", \"summary\": \"s\", \"smoke\": false, \"rows\": []}";
+        assert!(validate_report_str(s).is_err());
+        // Non-finite metric serializes as null and must be rejected.
+        let s = report(
+            "x",
+            vec![Row::new("a", "b", "c", vec![("m".into(), f64::NAN)])],
+        );
+        assert!(validate_report_str(&s).is_err());
+    }
+
+    #[test]
+    fn loss_gate_passes_and_fails_on_the_floor() {
+        let ok = report(
+            "loss",
+            vec![Row::new(
+                "frame-loss",
+                LOSS_GATE_POINT,
+                "hvdb",
+                vec![("delivery_worst".into(), LOSS_DELIVERY_FLOOR + 0.02)],
+            )],
+        );
+        let doc = validate_report_str(&ok).unwrap();
+        assert!(check_loss_floor(&doc, LOSS_DELIVERY_FLOOR).is_ok());
+
+        let bad = report(
+            "loss",
+            vec![Row::new(
+                "frame-loss",
+                LOSS_GATE_POINT,
+                "hvdb",
+                vec![("delivery_worst".into(), LOSS_DELIVERY_FLOOR - 0.05)],
+            )],
+        );
+        let doc = validate_report_str(&bad).unwrap();
+        assert!(check_loss_floor(&doc, LOSS_DELIVERY_FLOOR).is_err());
+
+        // Missing gate row.
+        let none = report(
+            "loss",
+            vec![Row::new(
+                "frame-loss",
+                "loss=0",
+                "hvdb",
+                vec![("delivery".into(), 1.0)],
+            )],
+        );
+        let doc = validate_report_str(&none).unwrap();
+        assert!(check_loss_floor(&doc, LOSS_DELIVERY_FLOOR).is_err());
+    }
+
+    #[test]
+    fn loss_gate_refuses_smoke_reports() {
+        let mut rep = ScenarioReport {
+            scenario: "loss".into(),
+            figure: "f".into(),
+            summary: "s".into(),
+            smoke: true,
+            rows: vec![Row::new(
+                "frame-loss",
+                LOSS_GATE_POINT,
+                "hvdb",
+                vec![("delivery_worst".into(), 1.0)],
+            )],
+        };
+        let doc = validate_report_str(&rep.to_json().to_string()).unwrap();
+        assert!(check_loss_floor(&doc, LOSS_DELIVERY_FLOOR).is_err());
+        rep.smoke = false;
+        let doc = validate_report_str(&rep.to_json().to_string()).unwrap();
+        assert!(check_loss_floor(&doc, LOSS_DELIVERY_FLOOR).is_ok());
+    }
+
+    #[test]
+    fn unicode_and_escapes_round_trip() {
+        let s = report(
+            "üñí-ödé \"x\"\n",
+            vec![Row::new("a", "b", "c", vec![("m".into(), 1.5)])],
+        );
+        let doc = validate_report_str(&s).expect("valid");
+        let Json::Obj(fields) = &doc else { panic!() };
+        let (_, Json::Str(name)) = &fields[0] else {
+            panic!()
+        };
+        assert_eq!(name, "üñí-ödé \"x\"\n");
+    }
+}

@@ -44,6 +44,9 @@ pub struct Workload {
     pub dim: u8,
     /// Radio range (metres).
     pub range: f64,
+    /// Independent per-receiver frame-loss probability (the `loss`
+    /// robustness sweep's axis; 0 everywhere else).
+    pub loss_prob: f64,
     /// Mobility regime.
     pub mobility: MobilityKind,
     /// Number of multicast groups.
@@ -80,6 +83,7 @@ impl Default for Workload {
             vc_side: 8,
             dim: 4,
             range: 450.0,
+            loss_prob: 0.0,
             mobility: MobilityKind::Static,
             groups: 2,
             members_per_group: 10,
@@ -127,6 +131,7 @@ impl Workload {
             num_nodes: self.nodes,
             radio: RadioConfig {
                 range: self.range,
+                loss_prob: self.loss_prob,
                 ..Default::default()
             },
             mobility_tick: match self.mobility {

@@ -1,18 +1,20 @@
 //! Registry smoke coverage: every registered scenario constructs, runs a
 //! ~1-second shrunk simulation, produces non-empty uniform rows and
-//! serializes to valid JSON. This is the contract the CLI and the
-//! `BENCH_<scenario>.json` trajectory depend on.
+//! serializes to a report that passes the strict schema validator — the
+//! same validator `hvdb-bench validate` and the CI bench-regression job
+//! apply to full runs, so the contract is enforced end to end.
 
 use hvdb_bench::scenario::{registry, run_scenario, RunOpts};
+use hvdb_bench::validate::{metric_of, validate_report_str};
 
 #[test]
-fn every_scenario_smokes_and_serializes() {
+fn every_scenario_smokes_and_validates() {
     let opts = RunOpts {
         smoke: true,
         seeds: None,
     };
     let defs = registry();
-    assert!(defs.len() >= 11, "registry lost scenarios: {}", defs.len());
+    assert!(defs.len() >= 12, "registry lost scenarios: {}", defs.len());
     for def in &defs {
         let report = run_scenario(def, &opts);
         assert_eq!(report.scenario, def.name);
@@ -34,21 +36,28 @@ fn every_scenario_smokes_and_serializes() {
             );
         }
         let json = report.to_json().to_string();
-        let mut p = JsonParser {
-            bytes: json.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        p.value()
-            .unwrap_or_else(|e| panic!("{}: invalid JSON at byte {}: {e}", def.name, p.pos));
-        p.skip_ws();
-        assert_eq!(
-            p.pos,
-            p.bytes.len(),
-            "{}: trailing garbage after JSON document",
-            def.name
-        );
+        validate_report_str(&json)
+            .unwrap_or_else(|e| panic!("{}: report failed strict validation: {e}", def.name));
     }
+}
+
+#[test]
+fn loss_scenario_emits_the_gated_metrics() {
+    // The CI gate reads frame-loss/loss=0.15/hvdb/delivery_worst; make
+    // sure the scenario emits that exact coordinate even in smoke shape.
+    let report = run_scenario(
+        &hvdb_bench::scenario::find("loss").expect("loss scenario registered"),
+        &RunOpts {
+            smoke: true,
+            seeds: None,
+        },
+    );
+    let doc = validate_report_str(&report.to_json().to_string()).expect("valid report");
+    assert!(
+        metric_of(&doc, "frame-loss", "loss=0.15", "hvdb", "delivery_worst").is_some(),
+        "loss report lost its gate coordinate"
+    );
+    assert!(metric_of(&doc, "frame-loss", "loss=0.15", "hvdb", "delivery").is_some());
 }
 
 #[test]
@@ -65,167 +74,5 @@ fn scenario_names_are_unique_and_cli_safe() {
                 .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'),
             "scenario name {name:?} is not filename-safe"
         );
-    }
-}
-
-/// A strict little recursive-descent JSON parser — enough to validate
-/// that the reports are standard JSON (the writer is hand-rolled, so the
-/// tests must not trust it).
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let b = self.peek()?;
-        self.pos += 1;
-        Some(b)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        match self.bump() {
-            Some(got) if got == b => Ok(()),
-            got => Err(format!(
-                "expected {:?}, got {:?}",
-                b as char,
-                got.map(|g| g as char)
-            )),
-        }
-    }
-
-    fn value(&mut self) -> Result<(), String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected {other:?}")),
-        }
-    }
-
-    fn literal(&mut self, lit: &str) -> Result<(), String> {
-        for &b in lit.as_bytes() {
-            self.expect(b)?;
-        }
-        Ok(())
-    }
-
-    fn object(&mut self) -> Result<(), String> {
-        self.expect(b'{')?;
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            self.skip_ws();
-            self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.value()?;
-            self.skip_ws();
-            match self.bump() {
-                Some(b',') => continue,
-                Some(b'}') => return Ok(()),
-                got => return Err(format!("in object: got {got:?}")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<(), String> {
-        self.expect(b'[')?;
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(());
-        }
-        loop {
-            self.value()?;
-            self.skip_ws();
-            match self.bump() {
-                Some(b',') => continue,
-                Some(b']') => return Ok(()),
-                got => return Err(format!("in array: got {got:?}")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<(), String> {
-        self.expect(b'"')?;
-        loop {
-            match self.bump() {
-                Some(b'"') => return Ok(()),
-                Some(b'\\') => match self.bump() {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
-                    Some(b'u') => {
-                        for _ in 0..4 {
-                            match self.bump() {
-                                Some(h) if h.is_ascii_hexdigit() => {}
-                                got => return Err(format!("bad \\u escape: {got:?}")),
-                            }
-                        }
-                    }
-                    got => return Err(format!("bad escape: {got:?}")),
-                },
-                Some(c) if c < 0x20 => return Err("raw control char in string".into()),
-                Some(_) => {}
-                None => return Err("unterminated string".into()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<(), String> {
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let mut digits = 0;
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
-            digits += 1;
-        }
-        if digits == 0 {
-            return Err("number with no digits".into());
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            let mut frac = 0;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-                frac += 1;
-            }
-            if frac == 0 {
-                return Err("fraction with no digits".into());
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            let mut exp = 0;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-                exp += 1;
-            }
-            if exp == 0 {
-                return Err("exponent with no digits".into());
-            }
-        }
-        Ok(())
     }
 }

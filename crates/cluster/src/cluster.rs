@@ -52,7 +52,7 @@ impl Clustering {
 
 /// Forms clusters from a network snapshot. `nodes` supplies each node's
 /// candidacy (position, velocity, hardware class); election follows the
-/// two criteria of [23] via [`elect`].
+/// two criteria of \[23\] via [`elect`].
 pub fn form_clusters(cfg: &ElectionConfig, grid: &VcGrid, nodes: &[Candidate]) -> Clustering {
     let mut out = Clustering::default();
     // Membership: primary VC plus overlap VCs.

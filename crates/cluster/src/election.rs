@@ -1,7 +1,7 @@
 //! Cluster-head election.
 //!
 //! The paper adopts the "mobility prediction and location-based clustering
-//! technique" of Sivavakeesar et al. [23], "which elects an MN as a CH when
+//! technique" of Sivavakeesar et al. \[23\], "which elects an MN as a CH when
 //! it satisfies the following criteria: (1) it has the highest probability,
 //! in comparison to other MNs within the same cluster, to stay for longer
 //! time within the cluster; (2) it has the minimum distance from the center

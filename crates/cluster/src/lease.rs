@@ -1,0 +1,262 @@
+//! Generation-stamped cluster-head tracking.
+//!
+//! A member's knowledge of "who heads my VC" is soft state learnt from
+//! `ChAnnounce` broadcasts. Under frame loss those broadcasts go missing
+//! and — worse — late or reordered announcements from a superseded head
+//! can roll a member's view backwards, pointing its data traffic at a
+//! node that already resigned. [`HeadLease`] fixes both: announcements
+//! carry a monotone **designation term** (election epoch) per VC, the
+//! lease only moves forward in term order, and the stored head expires
+//! after K missed re-announcements instead of lingering forever.
+//!
+//! The election side mints terms: the winner of a round announces with
+//! `observed term + 1` (see [`HeadLease::next_term`]), so every
+//! legitimate succession is strictly newer than anything the old head
+//! ever stamped.
+
+use hvdb_sim::{SimDuration, SimTime};
+
+/// Verdict of [`HeadLease::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseUpdate {
+    /// The announcement installed a new head (first heard, newer term, or
+    /// deterministic tie-break).
+    New,
+    /// The announcement re-confirmed the current head (same head, term not
+    /// older): the expiry clock restarts.
+    Refreshed,
+    /// The announcement was older than the stored view: suppressed.
+    Stale,
+}
+
+/// A member's generation-stamped view of its VC's current head.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeadLease {
+    head: Option<u32>,
+    term: u64,
+    heard_at: SimTime,
+}
+
+impl HeadLease {
+    /// Observes an announcement `head` stamped with `term` at `now`.
+    ///
+    /// Ordering: a strictly newer term always wins; the current head
+    /// re-announcing at its own term refreshes the lease; an equal term
+    /// from a *different* node (two nodes both believing they won — only
+    /// possible while their candidacy views diverge) breaks the tie
+    /// toward the lower node id, matching the election's final tie-break;
+    /// anything older is stale.
+    ///
+    /// `deadline` bounds the term fence's lifetime: once the view has
+    /// gone that long without an accepted observation, the fence is
+    /// evidence about a head that is long gone, and *any* announcement
+    /// starts a fresh epoch. Without this, a successor that never heard
+    /// the old head (it arrived after the failure) mints a low term and
+    /// would be rejected by fenced members forever — a permanently
+    /// orphaned cluster.
+    pub fn observe(
+        &mut self,
+        head: u32,
+        term: u64,
+        now: SimTime,
+        deadline: SimDuration,
+    ) -> LeaseUpdate {
+        if (self.head.is_some() || self.term > 0) && now.since(self.heard_at) > deadline {
+            // Expired view: accept unconditionally and restart the term
+            // history at the announcer's epoch.
+            self.head = Some(head);
+            self.term = term;
+            self.heard_at = now;
+            return LeaseUpdate::New;
+        }
+        let update = match self.head {
+            // No current head: anything strictly newer than the term
+            // history wins (after [`HeadLease::vacate`] the retired
+            // head's stale announcements still carry the old term and
+            // must stay out; on a fresh/cleared lease the term is 0 and
+            // every real announcement passes).
+            None => {
+                if term > self.term {
+                    LeaseUpdate::New
+                } else {
+                    LeaseUpdate::Stale
+                }
+            }
+            Some(h) if head == h => {
+                if term >= self.term {
+                    LeaseUpdate::Refreshed
+                } else {
+                    LeaseUpdate::Stale
+                }
+            }
+            Some(h) => {
+                if term > self.term || (term == self.term && head < h) {
+                    LeaseUpdate::New
+                } else {
+                    LeaseUpdate::Stale
+                }
+            }
+        };
+        if update != LeaseUpdate::Stale {
+            self.head = Some(head);
+            self.term = self.term.max(term);
+            self.heard_at = now;
+        }
+        update
+    }
+
+    /// The current head, or `None` if nothing was observed or the lease
+    /// has gone `deadline` without a re-announcement (K-miss expiry —
+    /// derive the deadline with `hvdb_core`'s `miss_deadline` or
+    /// equivalent).
+    pub fn head(&self, now: SimTime, deadline: SimDuration) -> Option<u32> {
+        let head = self.head?;
+        if now.since(self.heard_at) > deadline {
+            None
+        } else {
+            Some(head)
+        }
+    }
+
+    /// The current head ignoring expiry (handover bookkeeping).
+    pub fn head_unchecked(&self) -> Option<u32> {
+        self.head
+    }
+
+    /// The highest designation term observed so far.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// The term a newly elected head must announce with to supersede
+    /// everything this view has seen.
+    pub fn next_term(&self) -> u64 {
+        self.term + 1
+    }
+
+    /// Resets the view entirely. Terms are per-VC, so a member that moved
+    /// to a different VC (or failed and recovered) must forget both the
+    /// head *and* the term history — fencing a new VC's announcements
+    /// with the old VC's terms would orphan the member.
+    pub fn clear(&mut self) {
+        *self = HeadLease::default();
+    }
+
+    /// Drops the head but keeps the term history: the head retired (left
+    /// the VC) and told us so. The next winner mints a higher term, so
+    /// keeping the fence costs nothing — while resetting it would let the
+    /// retired head's stale announcements win again.
+    pub fn vacate(&mut self) {
+        self.head = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEADLINE: SimDuration = SimDuration::from_secs(7);
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn first_announcement_installs() {
+        let mut l = HeadLease::default();
+        assert_eq!(l.observe(5, 1, t(0), DEADLINE), LeaseUpdate::New);
+        assert_eq!(l.head(t(1), DEADLINE), Some(5));
+        assert_eq!(l.term(), 1);
+    }
+
+    #[test]
+    fn newer_term_supersedes_older_is_suppressed() {
+        let mut l = HeadLease::default();
+        l.observe(5, 3, t(0), DEADLINE);
+        // Succession: new head with a newer term.
+        assert_eq!(l.observe(9, 4, t(1), DEADLINE), LeaseUpdate::New);
+        assert_eq!(l.head(t(1), DEADLINE), Some(9));
+        // The resigned head's late announcement must not roll us back.
+        assert_eq!(l.observe(5, 3, t(2), DEADLINE), LeaseUpdate::Stale);
+        assert_eq!(l.head(t(2), DEADLINE), Some(9));
+        assert_eq!(l.term(), 4);
+    }
+
+    #[test]
+    fn refresh_restarts_expiry_clock() {
+        let mut l = HeadLease::default();
+        l.observe(5, 2, t(0), DEADLINE);
+        assert_eq!(l.observe(5, 2, t(5), DEADLINE), LeaseUpdate::Refreshed);
+        // 11 s after first hearing but only 6 after the refresh: alive.
+        assert_eq!(l.head(t(11), DEADLINE), Some(5));
+        // Silent past the deadline: the lease reports no head...
+        assert_eq!(l.head(t(13), DEADLINE), None);
+        // ...but the view itself survives for term bookkeeping.
+        assert_eq!(l.head_unchecked(), Some(5));
+    }
+
+    #[test]
+    fn equal_term_ties_break_to_lower_id() {
+        let mut l = HeadLease::default();
+        l.observe(9, 2, t(0), DEADLINE);
+        assert_eq!(l.observe(4, 2, t(1), DEADLINE), LeaseUpdate::New);
+        assert_eq!(l.observe(9, 2, t(2), DEADLINE), LeaseUpdate::Stale);
+        assert_eq!(l.head(t(2), DEADLINE), Some(4));
+    }
+
+    #[test]
+    fn clear_resets_head_and_term() {
+        let mut l = HeadLease::default();
+        l.observe(5, 6, t(0), DEADLINE);
+        l.clear();
+        assert_eq!(l.head(t(0), DEADLINE), None);
+        assert_eq!(l.term(), 0);
+        // In the new VC, term counting starts over: a term-1 announcement
+        // must be accepted even though the old VC was at term 6.
+        assert_eq!(l.observe(7, 1, t(1), DEADLINE), LeaseUpdate::New);
+        assert_eq!(l.head(t(1), DEADLINE), Some(7));
+    }
+
+    #[test]
+    fn vacate_keeps_term_fence() {
+        let mut l = HeadLease::default();
+        l.observe(5, 4, t(0), DEADLINE);
+        l.vacate();
+        assert_eq!(l.head(t(0), DEADLINE), None);
+        // The retiree's stale in-flight announcement cannot re-install it.
+        assert_eq!(l.observe(5, 4, t(1), DEADLINE), LeaseUpdate::Stale);
+        // The successor's next term wins.
+        assert_eq!(l.observe(9, 5, t(1), DEADLINE), LeaseUpdate::New);
+        assert_eq!(l.head(t(1), DEADLINE), Some(9));
+    }
+
+    #[test]
+    fn expired_fence_accepts_a_late_successor() {
+        // Head 5 dies at term 3. The eventual winner arrived after 5's
+        // last announcement, so it minted term 1 — fenced members must
+        // still accept it once the old view has expired, or the cluster
+        // is orphaned forever.
+        let mut l = HeadLease::default();
+        l.observe(5, 3, t(0), DEADLINE);
+        assert_eq!(l.observe(8, 1, t(20), DEADLINE), LeaseUpdate::New);
+        assert_eq!(l.head(t(20), DEADLINE), Some(8));
+        // The term history restarted at the new epoch.
+        assert_eq!(l.term(), 1);
+        // Same for a vacated-but-stale fence.
+        let mut l = HeadLease::default();
+        l.observe(5, 3, t(0), DEADLINE);
+        l.vacate();
+        assert_eq!(l.observe(8, 1, t(20), DEADLINE), LeaseUpdate::New);
+        assert_eq!(l.head(t(20), DEADLINE), Some(8));
+    }
+
+    #[test]
+    fn next_term_supersedes_history() {
+        let mut l = HeadLease::default();
+        l.observe(3, 9, t(0), DEADLINE);
+        let winner_term = l.next_term();
+        assert_eq!(winner_term, 10);
+        assert_eq!(l.observe(8, winner_term, t(1), DEADLINE), LeaseUpdate::New);
+        assert_eq!(l.head(t(1), DEADLINE), Some(8));
+    }
+}

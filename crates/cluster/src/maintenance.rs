@@ -1,7 +1,7 @@
 //! Cluster maintenance: handover, re-election, and stability measurement.
 //!
 //! The HVDB's "non-dynamic" property (§3) rests on clusters staying stable:
-//! the clustering technique of [23] "has been shown to be able to form
+//! the clustering technique of \[23\] "has been shown to be able to form
 //! clusters much more stably than other schemes". This module diffs two
 //! consecutive [`Clustering`] snapshots to (a) enumerate the handover events
 //! the backbone must absorb and (b) quantify stability — the metric the

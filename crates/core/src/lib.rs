@@ -16,6 +16,9 @@
 //! * [`tree`] — mesh-tier multicast trees with header encapsulation;
 //! * [`qos`] — QoS sessions with pre-computed disjoint backups (§5's
 //!   instant-failover availability mechanism);
+//! * [`softstate`] — generation-stamped soft-state primitives (monotone
+//!   origin clocks, stale suppression, K-miss expiry) backing the
+//!   control plane's loss robustness;
 //! * [`packet`] — over-the-air message formats and wire sizes;
 //! * [`protocol`] — the full distributed protocol
 //!   ([`protocol::HvdbProtocol`]) over the `hvdb-sim` event engine,
@@ -29,6 +32,7 @@ pub mod packet;
 pub mod protocol;
 pub mod qos;
 pub mod routes;
+pub mod softstate;
 pub mod summary;
 pub mod tree;
 
@@ -41,5 +45,6 @@ pub use packet::{ChMsg, GeoPacket, GeoTarget, HvdbMsg};
 pub use protocol::{Counters, HvdbProtocol};
 pub use qos::{QosSession, RepairOutcome, SessionManager};
 pub use routes::{AdvertisedRoute, QosMetrics, QosRequirement, RouteEntry, RouteTable};
+pub use softstate::{miss_deadline, Freshness, GenClock, SoftEntry, SoftStore};
 pub use summary::{GroupId, HtSummary, LocalMembership, MntSummary, MtSummary};
 pub use tree::{mesh_path, MeshTree};

@@ -28,7 +28,7 @@ pub struct HvdbConfig {
     pub map: RegionMap,
     /// Local logical route horizon `k` (§4.1, "e.g., k = 4").
     pub k: u32,
-    /// Cluster-head election parameters ([23]).
+    /// Cluster-head election parameters (\[23\]).
     pub election: ElectionConfig,
     /// Clustering round period (candidacy → decision → reports).
     pub cluster_interval: SimDuration,
@@ -41,8 +41,24 @@ pub struct HvdbConfig {
     /// Period of HT-Summary network-wide broadcasts (step 4); the paper
     /// argues this "can be set much more larger" than the lower tiers'.
     pub ht_interval: SimDuration,
-    /// A logical neighbour unheard for this long is considered failed.
-    pub neighbor_ttl: SimDuration,
+    /// Soft-state refresh period: heads re-advertise their designation,
+    /// MNT-Summary and (when designated) HT-Summary this often with a
+    /// fresh generation stamp, decoupled from the slow `mnt_interval` /
+    /// `ht_interval` content cycles, so a lost control broadcast is
+    /// repaired within a couple of seconds instead of a 20 s cycle.
+    pub refresh_interval: SimDuration,
+    /// Upper bound of the uniform random extra delay added to every
+    /// refresh-timer arm (desynchronises refresh floods across heads).
+    pub refresh_jitter: SimDuration,
+    /// K-miss expiry budget: soft state (logical neighbours, member
+    /// reports, MNT/HT summaries) is discarded only after this many
+    /// consecutive missed refreshes, never on a single silent period.
+    pub refresh_miss_limit: u32,
+    /// Number of times a CH broadcasts each `LocalDeliver` frame (members
+    /// dedup by data id). Broadcasts have no MAC recovery, so under frame
+    /// loss the final hop is the delivery bottleneck; 2 turns a 15% loss
+    /// into ~2% at the cost of one extra local frame per delivery.
+    pub deliver_repeats: u32,
     /// TTL (in physical hops) for geographically forwarded packets.
     pub geo_ttl: u32,
     /// Designated-broadcaster selection rule (§4.2's two criteria).
@@ -83,7 +99,10 @@ impl HvdbConfig {
             local_report_interval: SimDuration::from_secs(5),
             mnt_interval: SimDuration::from_secs(8),
             ht_interval: SimDuration::from_secs(20),
-            neighbor_ttl: SimDuration::from_secs(9),
+            refresh_interval: SimDuration::from_secs(2),
+            refresh_jitter: SimDuration::from_millis(1000),
+            refresh_miss_limit: 3,
+            deliver_repeats: 3,
             geo_ttl: 24,
             designation: DesignationCriterion::NeighborhoodGroups,
             cache_trees: true,
@@ -99,6 +118,29 @@ impl HvdbConfig {
     /// Hypercube dimension shorthand.
     pub fn dim(&self) -> u8 {
         self.map.dim()
+    }
+
+    /// Beacon-silence deadline after which a logical neighbour CH is
+    /// declared failed: `refresh_miss_limit` missed beacons plus slack
+    /// (K-miss expiry, not a single TTL).
+    pub fn neighbor_deadline(&self) -> SimDuration {
+        crate::softstate::miss_deadline(self.beacon_interval, self.refresh_miss_limit)
+    }
+
+    /// Refresh-silence deadline for soft state re-advertised every
+    /// `refresh_interval` (MNT entries of silent cube peers). Accounts for
+    /// the refresh jitter on top of the K-miss budget.
+    pub fn summary_deadline(&self) -> SimDuration {
+        crate::softstate::miss_deadline(
+            SimDuration(self.refresh_interval.0 + self.refresh_jitter.0),
+            self.refresh_miss_limit,
+        )
+    }
+
+    /// Report-silence deadline for member Local-Membership reports
+    /// (refreshed every `local_report_interval`).
+    pub fn local_report_deadline(&self) -> SimDuration {
+        crate::softstate::miss_deadline(self.local_report_interval, self.refresh_miss_limit)
     }
 }
 
@@ -458,5 +500,13 @@ mod tests {
         assert!(cfg.ht_interval > cfg.mnt_interval);
         assert!(cfg.mnt_interval > cfg.beacon_interval);
         assert_eq!(cfg.dim(), 4);
+        // Soft-state refresh must run well inside the content cycles it
+        // repairs, and the K-miss deadlines must tolerate at least one
+        // whole silent period.
+        assert!(cfg.refresh_interval < cfg.mnt_interval);
+        assert!(cfg.refresh_interval < cfg.ht_interval);
+        assert!(cfg.neighbor_deadline() > cfg.beacon_interval);
+        assert!(cfg.summary_deadline() > cfg.refresh_interval);
+        assert!(cfg.local_report_deadline() > cfg.local_report_interval);
     }
 }

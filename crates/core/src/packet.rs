@@ -56,24 +56,33 @@ pub enum ChMsg {
         advertised: Vec<AdvertisedRoute>,
     },
     /// MNT-Summary dissemination within one hypercube (Fig. 5 step 3),
-    /// flooded CH-to-CH over logical links.
+    /// flooded CH-to-CH over logical links. Soft state: the stamp
+    /// `(holder, gen)` orders updates per origin label — receivers
+    /// suppress anything not strictly newer (which also dedups the
+    /// flood), and periodic refreshes re-flood with a fresh generation.
     MntShare {
         /// Originating CH's label.
         origin: Hnid,
         /// The hypercube being flooded.
         hid: Hid,
-        /// Origin-local sequence number (flood dedup).
-        seq: u64,
+        /// The node currently holding the origin label (disambiguates
+        /// generation clocks across re-elections).
+        holder: u32,
+        /// Origin-local generation stamp (stale suppression + dedup).
+        gen: u64,
         /// The summary.
         mnt: MntSummary,
     },
     /// Network-wide HT-Summary broadcast by the designated CH (Fig. 5
-    /// step 4), flooded CH-to-CH over all logical links.
+    /// step 4), flooded CH-to-CH over all logical links. Generation-
+    /// stamped soft state like [`ChMsg::MntShare`], keyed by hypercube.
     HtBroadcast {
         /// Originating hypercube.
         origin: Hid,
-        /// Origin-local sequence number.
-        seq: u64,
+        /// The designated CH that emitted this broadcast.
+        holder: u32,
+        /// Origin-local generation stamp (stale suppression + dedup).
+        gen: u64,
         /// The summary.
         ht: HtSummary,
     },
@@ -127,8 +136,10 @@ impl ChMsg {
             ChMsg::Beacon { advertised, .. } => {
                 wire::HEADER + 8 + advertised.len() * ADVERTISED_ROUTE_BYTES
             }
-            ChMsg::MntShare { mnt, .. } => 12 + mnt.wire_size(),
-            ChMsg::HtBroadcast { ht, .. } => 12 + ht.wire_size(),
+            // 12 bytes of flood addressing plus the 12-byte (holder, gen)
+            // soft-state stamp.
+            ChMsg::MntShare { mnt, .. } => 24 + mnt.wire_size(),
+            ChMsg::HtBroadcast { ht, .. } => 24 + ht.wire_size(),
             ChMsg::MeshData { size, edges, .. } => wire::HEADER + edges.len() * 8 + size,
             ChMsg::HcData { size, edges, .. } => wire::HEADER + edges.len() * 4 + size,
         }
@@ -171,21 +182,38 @@ impl GeoPacket {
 /// All HVDB over-the-air messages.
 #[derive(Debug, Clone)]
 pub enum HvdbMsg {
-    /// CH candidacy broadcast (clustering round, technique of [23]).
+    /// CH candidacy broadcast (clustering round, technique of \[23\]).
     Candidacy {
         /// The VC the sender is campaigning for.
         vc: VcId,
         /// The sender's election score.
         score: CandScore,
     },
-    /// The elected CH announces itself to its cluster.
+    /// The elected CH announces itself to its cluster — stamped with its
+    /// designation term so members can suppress stale announcements from
+    /// superseded heads (and re-announced on the soft-state refresh timer
+    /// so one lost frame does not orphan the cluster for a whole round).
     ChAnnounce {
         /// The VC the sender now heads.
         vc: VcId,
+        /// Monotone designation term for this VC (election epochs).
+        term: u64,
+    },
+    /// A head that drifted out of its VC retires its headship explicitly:
+    /// members vacate their lease at once (instead of waiting out the
+    /// K-miss expiry) while keeping the term fence, so the retiree's
+    /// stale announcements cannot win again and the next round elects a
+    /// successor immediately.
+    ChRetire {
+        /// The VC whose headship is vacated.
+        vc: VcId,
     },
     /// A member's periodic Local-Membership report to its CH (Fig. 5
-    /// step 2).
+    /// step 2), generation-stamped so reordered reports cannot roll a
+    /// CH's view backwards.
     JoinReport {
+        /// Member-local report generation.
+        gen: u64,
         /// The member's memberships.
         lm: LocalMembership,
     },
@@ -209,10 +237,22 @@ pub enum HvdbMsg {
         size: usize,
     },
     /// CH handover: the resigning head ships its hypercube-tier views to
-    /// the newly elected head of the same VC ([23]-style state handover).
+    /// the newly elected head of the same VC (\[23\]-style state handover),
+    /// along with its generation clocks so the successor's advertisements
+    /// immediately outrank the state the network still stores for the
+    /// label.
     Handover {
         /// The VC whose headship changes.
         vc: VcId,
+        /// The outgoing head's MNT-flood generation clock.
+        mnt_gen: u64,
+        /// The outgoing head's HT-broadcast generation clock.
+        ht_gen: u64,
+        /// The cluster's member reports `(member, report gen, lm)`, so
+        /// the successor's MNT-Summary is complete immediately instead
+        /// of waiting a report cycle (during which the cluster would
+        /// vanish from every multicast tree).
+        locals: Vec<(u32, u64, LocalMembership)>,
         /// The outgoing head's HT-Summaries (MT view is derivable).
         hts: Vec<HtSummary>,
     },
@@ -233,6 +273,7 @@ impl HvdbMsg {
         match self {
             HvdbMsg::Candidacy { .. } => "candidacy",
             HvdbMsg::ChAnnounce { .. } => "ch-announce",
+            HvdbMsg::ChRetire { .. } => "ch-retire",
             HvdbMsg::JoinReport { .. } => "join-report",
             HvdbMsg::DataToCh { .. } => "data-to-ch",
             HvdbMsg::LocalDeliver { .. } => "local-deliver",
@@ -246,12 +287,19 @@ impl HvdbMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             HvdbMsg::Candidacy { .. } => wire::HEADER + 16,
-            HvdbMsg::ChAnnounce { .. } => wire::HEADER + 4,
-            HvdbMsg::JoinReport { lm } => lm.wire_size(),
+            HvdbMsg::ChAnnounce { .. } => wire::HEADER + 12,
+            HvdbMsg::ChRetire { .. } => wire::HEADER + 4,
+            HvdbMsg::JoinReport { lm, .. } => 8 + lm.wire_size(),
             HvdbMsg::DataToCh { size, .. } => wire::HEADER + size,
             HvdbMsg::LocalDeliver { size, .. } => wire::HEADER + size,
-            HvdbMsg::Handover { hts, .. } => {
-                wire::HEADER + hts.iter().map(|h| h.wire_size()).sum::<usize>()
+            HvdbMsg::Handover { locals, hts, .. } => {
+                wire::HEADER
+                    + 16
+                    + locals
+                        .iter()
+                        .map(|(_, _, lm)| 12 + lm.wire_size())
+                        .sum::<usize>()
+                    + hts.iter().map(|h| h.wire_size()).sum::<usize>()
             }
             HvdbMsg::Geo(p) => p.wire_size(),
             HvdbMsg::Local(m) => m.wire_size(),

@@ -3,7 +3,7 @@
 //! One [`HvdbProtocol`] instance drives every node of the simulated MANET
 //! through the paper's three algorithms:
 //!
-//! 1. **Clustering rounds** (technique of [23], §3): every `cluster_interval`
+//! 1. **Clustering rounds** (technique of \[23\], §3): every `cluster_interval`
 //!    each CH-capable node broadcasts its candidacy (predicted residence,
 //!    distance to VCC); candidates deterministically conclude the per-VC
 //!    winner, which announces itself; members report their Local-Membership
@@ -27,28 +27,50 @@
 //!   radio bitrate (the simulator's per-node transmit queue already makes
 //!   congestion visible as delay). Documented substitution — the paper
 //!   names both metrics but defines neither's estimator.
-//! * CH failure detection is beacon-timeout based (`neighbor_ttl`).
+//! * CH failure detection is beacon-timeout based
+//!   ([`HvdbConfig::neighbor_deadline`], K missed beacons).
+//!
+//! ### Soft-state control plane
+//! Designation announcements, member reports and the MNT/HT summary
+//! floods are generation-stamped soft state ([`crate::softstate`]):
+//! every origin stamps its advertisements with a monotone generation, a
+//! jittered refresh timer ([`HvdbConfig::refresh_interval`], decoupled
+//! from the slow `mnt_interval`/`ht_interval` content cycles) re-floods
+//! the latest state, receivers suppress anything not strictly newer
+//! (which doubles as flood dedup, replacing the old unbounded seen-set),
+//! and entries expire only after K missed refreshes. A lost control
+//! broadcast is therefore repaired within ~one refresh period instead of
+//! wedging the view until the next 8–20 s cycle.
 
 use crate::membership::MembershipDb;
 use crate::model::{build_region_cube, region_center, GroupEvent, HvdbConfig, TrafficItem};
 use crate::packet::{CandScore, ChMsg, GeoPacket, GeoTarget, HvdbMsg};
 use crate::qos::SessionManager;
 use crate::routes::{QosMetrics, QosRequirement, RouteTable};
+use crate::softstate::GenClock;
 use crate::summary::{GroupId, LocalMembership};
 use crate::tree::MeshTree;
+use hvdb_cluster::{HeadLease, LeaseUpdate};
 use hvdb_geo::{Hid, Hnid, LogicalAddress, VcId};
 use hvdb_hypercube::{multicast_tree, MulticastTree};
 use hvdb_sim::georoute;
 use hvdb_sim::{Capability, Ctx, NodeId, Protocol, SimDuration, SimTime};
 use rustc_hash::{FxHashMap, FxHashSet};
 
-// Timer tags.
+// Timer tags. Periodic kinds occupy the low 3 bits; bits 3.. carry the
+// node's *timer epoch* (bumped on recovery) so that a pre-failure timer
+// chain that survived a short outage dies at its next firing instead of
+// free-running alongside the chain `on_recover` re-arms — without the
+// epoch, every fail/recover cycle shorter than a timer period would
+// permanently double that node's control traffic.
 const TAG_CANDIDACY: u64 = 1;
 const TAG_DECIDE: u64 = 2;
 const TAG_REPORT: u64 = 3;
 const TAG_BEACON: u64 = 4;
 const TAG_MNT: u64 = 5;
 const TAG_HT: u64 = 6;
+const TAG_REFRESH: u64 = 7;
+const TAG_KIND_MASK: u64 = 0b111;
 const TAG_TRAFFIC_BASE: u64 = 1 << 32;
 const TAG_GROUP_BASE: u64 = 1 << 33;
 
@@ -78,6 +100,18 @@ pub struct Counters {
     pub mesh_branches: u64,
     /// DataToCh packets bounced because the receiving node had resigned.
     pub data_bounced: u64,
+    /// Geo packets carrying *data* (mesh/hypercube legs) dropped: TTL
+    /// exhausted, no next hop, or no consumer at the target.
+    pub geo_stuck_data: u64,
+    /// Control advertisements originated by the soft-state refresh timer
+    /// (periodic re-floods, not content changes).
+    pub refresh_broadcasts: u64,
+    /// Received control updates suppressed as stale (generation not newer
+    /// than the stored entry's).
+    pub stale_suppressed: u64,
+    /// Soft-state entries (member reports, MNT/HT summaries) expired
+    /// after K missed refreshes.
+    pub soft_expired: u64,
 }
 
 /// A cluster head's protocol state.
@@ -89,10 +123,10 @@ struct HeadState {
     sessions: SessionManager,
     /// Last time each intra-region logical neighbour CH was heard.
     neighbor_last: FxHashMap<Hnid, SimTime>,
-    mnt_seq: u64,
-    ht_seq: u64,
-    /// Flood dedup: (origin key, seq).
-    seen_floods: FxHashSet<(u64, u64)>,
+    /// Generation clock stamping this head's MNT-Summary floods.
+    mnt_gen: GenClock,
+    /// Generation clock stamping this head's HT-Summary broadcasts.
+    ht_gen: GenClock,
     /// Data ids already processed entering this region.
     seen_mesh_data: FxHashSet<u64>,
     /// Mesh-tier tree cache keyed by group, tagged with the MT version.
@@ -114,9 +148,8 @@ impl HeadState {
             db: MembershipDb::default(),
             sessions: SessionManager::new(),
             neighbor_last: FxHashMap::default(),
-            mnt_seq: 0,
-            ht_seq: 0,
-            seen_floods: FxHashSet::default(),
+            mnt_gen: GenClock::default(),
+            ht_gen: GenClock::default(),
             seen_mesh_data: FxHashSet::default(),
             mesh_cache: FxHashMap::default(),
             hc_cache: FxHashMap::default(),
@@ -130,13 +163,36 @@ enum Role {
     Head(Box<HeadState>),
 }
 
+/// A predecessor's handed-over backbone state, buffered until this node's
+/// own decide timer actually makes it the head.
+struct PendingHandover {
+    vc: VcId,
+    mnt_gen: u64,
+    ht_gen: u64,
+    locals: Vec<(u32, u64, LocalMembership)>,
+    hts: Vec<crate::summary::HtSummary>,
+}
+
 /// Per-node protocol state.
 struct NodeState {
     lm: LocalMembership,
     my_vc: VcId,
-    my_ch: Option<NodeId>,
+    /// Generation-stamped view of my VC's current head (soft state:
+    /// term-ordered announcements, K-miss expiry).
+    ch: HeadLease,
+    /// Generation clock stamping this node's Local-Membership reports.
+    report_gen: GenClock,
     /// Best candidacy heard (incl. own) for my VC in the current round.
     best_cand: Option<CandScore>,
+    /// Whether the *current lease head's* bid was heard this round. A
+    /// challenger that "won" a round missing the live incumbent's bid
+    /// (lost frame) defers instead of usurping — self-election without
+    /// this guard is how frame loss creates duplicate heads.
+    heard_head_bid: bool,
+    /// A handover received before winning the round it belongs to.
+    pending_handover: Option<Box<PendingHandover>>,
+    /// Current periodic-timer epoch (see the timer-tag encoding above).
+    timer_epoch: u64,
     role: Role,
     /// Data ids already delivered/seen locally.
     seen_data: FxHashSet<u64>,
@@ -187,6 +243,22 @@ impl HvdbProtocol {
     /// Whether `node` is currently a cluster head.
     pub fn is_head(&self, node: NodeId) -> bool {
         matches!(self.nodes[node.idx()].role, Role::Head(_))
+    }
+
+    /// The head `node` currently trusts for its VC: the lease's holder,
+    /// unless it has gone K refresh periods without a re-announcement.
+    fn current_ch(&self, node: NodeId, now: SimTime) -> Option<NodeId> {
+        self.nodes[node.idx()]
+            .ch
+            .head(now, self.cfg.summary_deadline())
+            .map(NodeId)
+    }
+
+    /// Epoch-stamped tag for a periodic timer of `kind` on `node`.
+    fn ptag(&self, node: NodeId, kind: u64) -> u64 {
+        let epoch = self.nodes[node.idx()].timer_epoch;
+        debug_assert!(kind <= TAG_KIND_MASK && (epoch << 3) < TAG_TRAFFIC_BASE);
+        kind | (epoch << 3)
     }
 
     /// The node ids of all current cluster heads, ascending.
@@ -253,6 +325,13 @@ impl HvdbProtocol {
         }
     }
 
+    fn count_geo_stuck(&mut self, pkt: &GeoPacket) {
+        self.counters.geo_stuck += 1;
+        if matches!(pkt.inner, ChMsg::MeshData { .. } | ChMsg::HcData { .. }) {
+            self.counters.geo_stuck_data += 1;
+        }
+    }
+
     /// Launches a geo packet from `from` toward its target.
     fn geo_send(&mut self, ctx: &mut Ctx<'_, HvdbMsg>, from: NodeId, pkt: GeoPacket) {
         let dest = self.target_point(pkt.target);
@@ -262,7 +341,7 @@ impl HvdbProtocol {
                 let bytes = pkt.wire_size();
                 ctx.send_reliable(from, nh, class, bytes, HvdbMsg::Geo(pkt));
             }
-            None => self.counters.geo_stuck += 1,
+            None => self.count_geo_stuck(&pkt),
         }
     }
 
@@ -332,15 +411,26 @@ impl HvdbProtocol {
         let pos = ctx.position(node);
         let vc = self.cfg.grid.vc_of(pos);
         if self.nodes[node.idx()].my_vc != vc {
-            // Moved to a new VC: prior round's candidacies are void.
+            // Moved to a new VC: prior round's candidacies are void, and
+            // the old VC's head lease (terms are per-VC) with them.
             self.nodes[node.idx()].my_vc = vc;
             self.nodes[node.idx()].best_cand = None;
+            self.nodes[node.idx()].heard_head_bid = false;
+            self.nodes[node.idx()].ch.clear();
         }
-        // A head that drifted out of its VC resigns immediately.
-        if let Role::Head(h) = &self.nodes[node.idx()].role {
-            if h.vc != vc {
-                self.nodes[node.idx()].role = Role::Member;
-            }
+        // A head that drifted out of its VC resigns immediately — and
+        // says so, so its old cluster vacates the lease and elects a
+        // successor next round instead of deferring until expiry.
+        let retired_vc = if let Role::Head(h) = &self.nodes[node.idx()].role {
+            (h.vc != vc).then_some(h.vc)
+        } else {
+            None
+        };
+        if let Some(old_vc) = retired_vc {
+            self.nodes[node.idx()].role = Role::Member;
+            let msg = HvdbMsg::ChRetire { vc: old_vc };
+            let bytes = msg.wire_size();
+            ctx.broadcast(node, "ch-retire", bytes, msg);
         }
         if let Some(score) = self.my_score(ctx, node) {
             // Merge own candidacy with those already heard this round
@@ -354,13 +444,68 @@ impl HvdbProtocol {
             let bytes = msg.wire_size();
             ctx.broadcast(node, "candidacy", bytes, msg);
             // Decision fires 40% into the round.
-            ctx.set_timer(
-                node,
-                SimDuration(self.cfg.cluster_interval.0 * 2 / 5),
-                TAG_DECIDE,
-            );
+            let tag = self.ptag(node, TAG_DECIDE);
+            ctx.set_timer(node, SimDuration(self.cfg.cluster_interval.0 * 2 / 5), tag);
         }
-        ctx.set_timer(node, self.cfg.cluster_interval, TAG_CANDIDACY);
+        let tag = self.ptag(node, TAG_CANDIDACY);
+        ctx.set_timer(node, self.cfg.cluster_interval, tag);
+    }
+
+    /// Folds a predecessor's handover into this (now) head's database:
+    /// HT snapshot gaps, member reports, and the generation clocks that
+    /// keep our floods ahead of the predecessor's surviving state.
+    fn apply_handover(&mut self, node: NodeId, now: SimTime, ho: PendingHandover) {
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        if h.vc != ho.vc {
+            return;
+        }
+        h.db.adopt_snapshot(ho.hts, now);
+        h.mnt_gen.advance_to(ho.mnt_gen);
+        h.ht_gen.advance_to(ho.ht_gen);
+        let mut changed = false;
+        for (n, gen, lm) in ho.locals {
+            let (_, c) = h.db.store_local(n, lm, gen, now);
+            changed |= c;
+        }
+        if changed {
+            h.mnt_version += 1;
+        }
+    }
+
+    /// Steps down as head of `vc`, shipping the backbone state to `rival`
+    /// so the surviving head does not start from an empty view.
+    fn resign_to(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>, vc: VcId, rival: NodeId) {
+        let handover = if let Role::Head(h) = &self.nodes[node.idx()].role {
+            (h.vc == vc).then(|| {
+                let mut hts: Vec<crate::summary::HtSummary> =
+                    h.db.ht_of.values().cloned().collect();
+                hts.sort_by_key(|ht| ht.hid);
+                let mut locals: Vec<(u32, u64, LocalMembership)> =
+                    h.db.locals
+                        .entries()
+                        .filter(|(n, _)| **n != node.0)
+                        .map(|(n, e)| (*n, e.gen, e.value.clone()))
+                        .collect();
+                locals.sort_unstable_by_key(|(n, _, _)| *n);
+                (h.mnt_gen.current(), h.ht_gen.current(), locals, hts)
+            })
+        } else {
+            None
+        };
+        if let Some((mnt_gen, ht_gen, locals, hts)) = handover {
+            self.nodes[node.idx()].role = Role::Member;
+            let msg = HvdbMsg::Handover {
+                vc,
+                mnt_gen,
+                ht_gen,
+                locals,
+                hts,
+            };
+            let bytes = msg.wire_size();
+            ctx.send_reliable(node, rival, "handover", bytes, msg);
+        }
     }
 
     fn on_decide_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
@@ -371,6 +516,20 @@ impl HvdbProtocol {
         let my_vc = st.my_vc;
         let i_won = best.node == node.0;
         let was_head = matches!(st.role, Role::Head(_));
+        if i_won && !was_head && !st.heard_head_bid {
+            if let Some(cur) = self.current_ch(node, ctx.now()) {
+                if cur != node {
+                    // The sitting head's lease is alive but its bid never
+                    // arrived this round (lost frame). "Winning" such a
+                    // round is how loss mints duplicate heads; defer and
+                    // let the next round (or the lease's K-miss expiry,
+                    // if the head really died) settle it.
+                    self.nodes[node.idx()].best_cand = None;
+                    self.nodes[node.idx()].heard_head_bid = false;
+                    return;
+                }
+            }
+        }
         if i_won {
             if !was_head {
                 self.nodes[node.idx()].role =
@@ -381,37 +540,41 @@ impl HvdbProtocol {
                         Role::Head(Box::new(HeadState::new(&self.cfg, my_vc)));
                 }
             }
-            self.nodes[node.idx()].my_ch = Some(node);
-            let msg = HvdbMsg::ChAnnounce { vc: my_vc };
+            // A buffered handover for this VC applies now that the win
+            // it belongs to has happened.
+            if let Some(ho) = self.nodes[node.idx()].pending_handover.take() {
+                if ho.vc == my_vc {
+                    self.apply_handover(node, ctx.now(), *ho);
+                }
+            }
+            // A fresh win mints the next designation term; re-wins of a
+            // sitting head re-announce at the current term (a refresh,
+            // not a succession — members must not see a term churn).
+            let deadline = self.cfg.summary_deadline();
+            let st = &mut self.nodes[node.idx()];
+            let term = if st.ch.head_unchecked() == Some(node.0) {
+                st.ch.term()
+            } else {
+                st.ch.next_term()
+            };
+            st.ch.observe(node.0, term, ctx.now(), deadline);
+            let msg = HvdbMsg::ChAnnounce { vc: my_vc, term };
             let bytes = msg.wire_size();
             ctx.broadcast(node, "ch-announce", bytes, msg);
         } else if was_head {
             // Someone better exists in my VC: step down, handing the
             // backbone state to the winner so the new head does not start
-            // from an empty membership view ([23]-style CH handover).
-            let handover = if let Role::Head(h) = &self.nodes[node.idx()].role {
-                (h.vc == my_vc).then(|| {
-                    let mut hts: Vec<crate::summary::HtSummary> =
-                        h.db.ht_of.values().cloned().collect();
-                    hts.sort_by_key(|ht| ht.hid);
-                    hts
-                })
-            } else {
-                None
-            };
-            if let Some(hts) = handover {
-                self.nodes[node.idx()].role = Role::Member;
-                let msg = HvdbMsg::Handover { vc: my_vc, hts };
-                let bytes = msg.wire_size();
-                ctx.send_reliable(node, NodeId(best.node), "handover", bytes, msg);
-            }
+            // from an empty membership view (\[23\]-style CH handover).
+            self.resign_to(node, ctx, my_vc, NodeId(best.node));
         }
         // The round is decided; start collecting the next round's bids.
         self.nodes[node.idx()].best_cand = None;
+        self.nodes[node.idx()].heard_head_bid = false;
     }
 
     fn on_report_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
-        ctx.set_timer(node, self.cfg.local_report_interval, TAG_REPORT);
+        let tag = self.ptag(node, TAG_REPORT);
+        ctx.set_timer(node, self.cfg.local_report_interval, tag);
         let st = &self.nodes[node.idx()];
         if st.lm.groups.is_empty() {
             return;
@@ -419,9 +582,13 @@ impl HvdbProtocol {
         match &st.role {
             Role::Head(_) => { /* own lm folded in at MNT time */ }
             Role::Member => {
-                if let Some(ch) = st.my_ch {
+                if let Some(ch) = self.current_ch(node, ctx.now()) {
                     if ch != node {
-                        let msg = HvdbMsg::JoinReport { lm: st.lm.clone() };
+                        let st = &mut self.nodes[node.idx()];
+                        let msg = HvdbMsg::JoinReport {
+                            gen: st.report_gen.tick(),
+                            lm: st.lm.clone(),
+                        };
                         let bytes = msg.wire_size();
                         ctx.send_reliable(node, ch, "join-report", bytes, msg);
                     }
@@ -434,9 +601,12 @@ impl HvdbProtocol {
     // Route maintenance (Fig. 4).
 
     fn on_beacon_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
-        ctx.set_timer(node, self.cfg.beacon_interval, TAG_BEACON);
+        let tag = self.ptag(node, TAG_BEACON);
+        ctx.set_timer(node, self.cfg.beacon_interval, tag);
         let now = ctx.now();
-        let ttl = self.cfg.neighbor_ttl;
+        // K-miss expiry: a neighbour is declared failed only after
+        // `refresh_miss_limit` consecutive silent beacon periods.
+        let ttl = self.cfg.neighbor_deadline();
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
             return;
         };
@@ -454,8 +624,11 @@ impl HvdbProtocol {
             let failovers = h.table.remove_via(label);
             failover_count += failovers.len() as u64;
             h.sessions.on_neighbor_failed(&h.table, label);
-            h.db.drop_mnt(label);
-            h.mnt_version += 1;
+            // Routing state only: the label's MNT-Summary lives until its
+            // *own* K-miss refresh deadline (`expire_mnts`). A beacon gap
+            // under frame loss must not punch membership holes into the
+            // multicast trees — the cube-wide refresh flood is far more
+            // redundant than one CH's beacon reception.
             expired_count += 1;
         }
         h.table.expire(now, ttl.saturating_mul(2));
@@ -521,73 +694,120 @@ impl HvdbProtocol {
     }
 
     // ------------------------------------------------------------------
-    // Membership (Fig. 5).
-
-    fn flood_key(origin: u64, seq: u64) -> (u64, u64) {
-        (origin, seq)
-    }
+    // Membership (Fig. 5) — generation-stamped soft state.
 
     fn on_mnt_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
-        ctx.set_timer(node, self.cfg.mnt_interval, TAG_MNT);
+        let tag = self.ptag(node, TAG_MNT);
+        ctx.set_timer(node, self.cfg.mnt_interval, tag);
+        if !self.is_head(node) {
+            return;
+        }
         let own_lm = self.nodes[node.idx()].lm.clone();
+        let own_gen = self.nodes[node.idx()].report_gen.tick();
+        let now = ctx.now();
+        let report_deadline = self.cfg.local_report_deadline();
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
             return;
         };
-        // Members that left silently stop refreshing; prune them first.
-        h.db.prune_locals(
-            ctx.now(),
-            SimDuration(self.cfg.local_report_interval.0 * 5 / 2),
-        );
+        // Members that left silently stop refreshing; prune them after K
+        // missed report periods.
+        let pruned = h.db.prune_locals(now, report_deadline);
         // Fold own memberships in as a cluster member of ourselves.
-        h.db.store_local(node.0, own_lm, ctx.now());
+        let (_, own_changed) = h.db.store_local(node.0, own_lm, own_gen, now);
         let mnt = h.db.my_mnt(h.vc);
-        h.db.store_mnt(h.addr.hnid, mnt.clone());
-        h.mnt_version += 1;
-        h.mnt_seq += 1;
-        let seq = h.mnt_seq;
         let origin = h.addr.hnid;
         let hid = h.addr.hid;
-        h.seen_floods.insert(Self::flood_key(origin.0 as u64, seq));
-        // Also fold the fresh local HT view into our own MT immediately.
+        let gen = h.mnt_gen.tick();
+        let (_, mnt_changed) = h.db.store_mnt(origin, node.0, gen, now, mnt.clone());
+        if pruned > 0 || own_changed || mnt_changed {
+            h.mnt_version += 1;
+        }
+        // Also fold the fresh local HT view into our own MT immediately —
+        // directly, without claiming the region's ht_of origin slot: that
+        // slot belongs to the designated broadcaster, and a non-designee
+        // stamping it with its own (holder, gen) would make the designee's
+        // next refresh look stale here and kill its re-flood through us.
         let ht = h.db.my_ht(hid);
-        h.db.integrate_ht(ht);
+        h.db.mt.integrate(&ht);
+        self.counters.soft_expired += pruned as u64;
+        ctx.record_soft_expired(pruned as u64);
+        let my_vc = h.vc;
         let inner = ChMsg::MntShare {
             origin,
             hid,
-            seq,
+            holder: node.0,
+            gen,
             mnt,
         };
-        let msg = HvdbMsg::Local(inner);
+        let msg = HvdbMsg::Local(inner.clone());
         let bytes = msg.wire_size();
         ctx.broadcast(node, "mnt-share", bytes, msg);
+        self.mnt_far_supplement(ctx, node, my_vc, hid, inner);
     }
 
+    /// Long intra-cube logical links may exceed one broadcast's reach, and
+    /// broadcasts have no MAC recovery — exactly the combination that
+    /// starves fringe CHs of flood waves until their entries hit K-miss
+    /// expiry. Like beacons ([`Self::far_neighbors`]), the origin backs
+    /// the flood with reliable geo-unicasts to the same-region logical
+    /// neighbours its broadcast probably misses.
+    fn mnt_far_supplement(
+        &mut self,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        node: NodeId,
+        my_vc: VcId,
+        hid: Hid,
+        inner: ChMsg,
+    ) {
+        let far = self.far_neighbors(ctx, node, self.cfg.map.logical_neighbors(my_vc));
+        for nvc in far {
+            if self.cfg.map.hid_of(nvc) == hid {
+                self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(nvc), inner.clone());
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn on_mnt_share(
         &mut self,
         node: NodeId,
         ctx: &mut Ctx<'_, HvdbMsg>,
         origin: Hnid,
         hid: Hid,
-        seq: u64,
+        holder: u32,
+        gen: u64,
         mnt: crate::summary::MntSummary,
     ) {
+        let now = ctx.now();
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
             return;
         };
         if h.addr.hid != hid {
             return; // cube-scoped flood leaked; drop
         }
-        let key = Self::flood_key(origin.0 as u64, seq);
-        if !h.seen_floods.insert(key) {
+        let (fresh, changed) = h.db.store_mnt(origin, holder, gen, now, mnt.clone());
+        if !fresh.is_fresh() {
+            // Duplicate of this flood wave, or an out-of-order straggler:
+            // suppressing it is also what terminates the flood.
+            self.counters.stale_suppressed += 1;
+            ctx.record_stale_suppressed();
             return;
         }
-        h.db.store_mnt(origin, mnt.clone());
-        h.mnt_version += 1;
-        // Cube-scoped flood: re-broadcast once per (origin, seq).
+        if changed {
+            h.mnt_version += 1;
+        }
+        if origin == h.addr.hnid && holder != node.0 {
+            // Someone else's stamp outranks ours on our own label (a
+            // predecessor's surviving state after re-election): advance
+            // our clock so the next refresh supersedes it.
+            h.mnt_gen.advance_to(gen);
+        }
+        // Cube-scoped flood: re-broadcast once per (holder, gen).
         let inner = ChMsg::MntShare {
             origin,
             hid,
-            seq,
+            holder,
+            gen,
             mnt,
         };
         let msg = HvdbMsg::Local(inner);
@@ -596,10 +816,20 @@ impl HvdbProtocol {
     }
 
     fn on_ht_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
-        ctx.set_timer(node, self.cfg.ht_interval, TAG_HT);
+        let tag = self.ptag(node, TAG_HT);
+        ctx.set_timer(node, self.cfg.ht_interval, tag);
+        self.broadcast_ht_if_designated(node, ctx);
+    }
+
+    /// §4.2 designated broadcast: if this CH self-designates over its
+    /// current MNT state, (re-)broadcast the HT-Summary with a fresh
+    /// generation. Shared by the slow designation cycle and the fast
+    /// refresh timer. Returns whether a broadcast went out.
+    fn broadcast_ht_if_designated(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) -> bool {
         let criterion = self.cfg.designation;
+        let now = ctx.now();
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
-            return;
+            return false;
         };
         let cube = build_region_cube(
             &self.cfg,
@@ -607,20 +837,23 @@ impl HvdbProtocol {
             h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
         );
         if !h.db.should_broadcast(h.addr.hnid, criterion, &cube) {
-            return;
+            return false;
         }
         let ht = h.db.my_ht(h.addr.hid);
-        h.db.integrate_ht(ht.clone());
-        h.ht_seq += 1;
-        let seq = h.ht_seq;
+        let gen = h.ht_gen.tick();
+        h.db.integrate_ht(ht.clone(), node.0, gen, now);
         let origin = h.addr.hid;
-        let origin_key = ((origin.row as u64) << 16 | origin.col as u64) | 1 << 48;
-        h.seen_floods.insert(Self::flood_key(origin_key, seq));
         self.counters.ht_broadcasts += 1;
-        let inner = ChMsg::HtBroadcast { origin, seq, ht };
+        let inner = ChMsg::HtBroadcast {
+            origin,
+            holder: node.0,
+            gen,
+            ht,
+        };
         let msg = HvdbMsg::Local(inner);
         let bytes = msg.wire_size();
         ctx.broadcast(node, "ht-bcast", bytes, msg);
+        true
     }
 
     fn on_ht_broadcast(
@@ -628,23 +861,115 @@ impl HvdbProtocol {
         node: NodeId,
         ctx: &mut Ctx<'_, HvdbMsg>,
         origin: Hid,
-        seq: u64,
+        holder: u32,
+        gen: u64,
         ht: crate::summary::HtSummary,
     ) {
+        let now = ctx.now();
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
             return;
         };
-        let origin_key = ((origin.row as u64) << 16 | origin.col as u64) | 1 << 48;
-        let key = Self::flood_key(origin_key, seq);
-        if !h.seen_floods.insert(key) {
+        if !h.db.integrate_ht(ht.clone(), holder, gen, now).is_fresh() {
+            self.counters.stale_suppressed += 1;
+            ctx.record_stale_suppressed();
             return;
         }
-        h.db.integrate_ht(ht.clone());
-        // Network-wide CH flood: re-broadcast once per (origin, seq).
-        let inner = ChMsg::HtBroadcast { origin, seq, ht };
+        if origin == h.addr.hid {
+            // Track our region's broadcast clock: if designation moves to
+            // this CH later, its first broadcast must already outrank the
+            // previous designee's stamps.
+            h.ht_gen.advance_to(gen);
+        }
+        // Network-wide CH flood: re-broadcast once per (holder, gen).
+        let inner = ChMsg::HtBroadcast {
+            origin,
+            holder,
+            gen,
+            ht,
+        };
         let msg = HvdbMsg::Local(inner);
         let bytes = msg.wire_size();
         ctx.broadcast(node, "ht-bcast", bytes, msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Soft-state refresh (decoupled from the content cycles above).
+
+    /// The jittered refresh tick: heads re-advertise their designation
+    /// and latest summaries with fresh generation stamps, and sweep the
+    /// K-miss expiry over their soft stores. Refresh traffic is what
+    /// repairs lost control broadcasts within ~one period instead of a
+    /// whole 8–20 s content cycle.
+    fn on_refresh_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+        let tag = self.ptag(node, TAG_REFRESH);
+        ctx.set_timer_jittered(
+            node,
+            self.cfg.refresh_interval,
+            self.cfg.refresh_jitter,
+            tag,
+        );
+        let now = ctx.now();
+        let summary_deadline = self.cfg.summary_deadline();
+        let term = self.nodes[node.idx()].ch.term();
+        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            return;
+        };
+        let addr = h.addr;
+        let vc = h.vc;
+        // Expiry sweeps: silent peers' summaries go after K missed
+        // refreshes; vanished hypercubes are retracted from the MT view.
+        let expired_mnts = h.db.expire_mnts(now, summary_deadline, addr.hnid);
+        for label in &expired_mnts {
+            h.neighbor_last.remove(label);
+        }
+        if !expired_mnts.is_empty() {
+            h.mnt_version += 1;
+        }
+        let expired_hts = h.db.expire_hts(now, summary_deadline, addr.hid);
+        let expired = (expired_mnts.len() + expired_hts.len()) as u64;
+        self.counters.soft_expired += expired;
+        ctx.record_soft_expired(expired);
+        // (a) Re-announce the designation so members that lost the
+        // original ChAnnounce recover within a refresh period.
+        let msg = HvdbMsg::ChAnnounce { vc, term };
+        let bytes = msg.wire_size();
+        ctx.broadcast(node, "ch-announce", bytes, msg);
+        ctx.record_refresh_tx();
+        self.counters.refresh_broadcasts += 1;
+        // (b) Re-flood our own MNT-Summary (if one was computed yet) with
+        // a fresh generation: cube peers that missed the content flood
+        // converge without waiting a whole `mnt_interval`.
+        let own_mnt = {
+            let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+                return;
+            };
+            h.db.mnt_of.get(&addr.hnid).cloned().map(|mnt| {
+                let gen = h.mnt_gen.tick();
+                h.db.store_mnt(addr.hnid, node.0, gen, now, mnt.clone());
+                (gen, mnt)
+            })
+        };
+        if let Some((gen, mnt)) = own_mnt {
+            let inner = ChMsg::MntShare {
+                origin: addr.hnid,
+                hid: addr.hid,
+                holder: node.0,
+                gen,
+                mnt,
+            };
+            let msg = HvdbMsg::Local(inner.clone());
+            let bytes = msg.wire_size();
+            ctx.broadcast(node, "mnt-share", bytes, msg);
+            self.mnt_far_supplement(ctx, node, vc, addr.hid, inner);
+            ctx.record_refresh_tx();
+            self.counters.refresh_broadcasts += 1;
+        }
+        // (c) The designated CH also re-floods the HT-Summary, repairing
+        // the 20 s designation cycle's losses network-wide.
+        if self.broadcast_ht_if_designated(node, ctx) {
+            ctx.record_refresh_tx();
+            self.counters.refresh_broadcasts += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -664,7 +989,7 @@ impl HvdbProtocol {
         ctx.record_origin(data_id, expected);
         if self.is_head(node) {
             self.start_multicast_at_ch(node, ctx, data_id, item.group, item.size);
-        } else if let Some(ch) = self.nodes[node.idx()].my_ch {
+        } else if let Some(ch) = self.current_ch(node, ctx.now()) {
             let msg = HvdbMsg::DataToCh {
                 data_id,
                 group: item.group,
@@ -909,7 +1234,12 @@ impl HvdbProtocol {
             size,
         };
         let bytes = msg.wire_size();
-        ctx.broadcast(node, "local-deliver", bytes, msg);
+        // Broadcasts have no MAC recovery, so the final hop is the loss
+        // bottleneck of the whole delivery chain: repeat the frame
+        // (receivers dedup by data id), turning p loss into p^repeats.
+        for _ in 0..self.cfg.deliver_repeats.max(1) {
+            ctx.broadcast(node, "local-deliver", bytes, msg.clone());
+        }
     }
 
     fn on_group_event(&mut self, idx: usize) {
@@ -937,12 +1267,16 @@ impl HvdbProtocol {
                 ChMsg::MntShare {
                     origin,
                     hid,
-                    seq,
+                    holder,
+                    gen,
                     mnt,
-                } => self.on_mnt_share(node, ctx, origin, hid, seq, mnt),
-                ChMsg::HtBroadcast { origin, seq, ht } => {
-                    self.on_ht_broadcast(node, ctx, origin, seq, ht)
-                }
+                } => self.on_mnt_share(node, ctx, origin, hid, holder, gen, mnt),
+                ChMsg::HtBroadcast {
+                    origin,
+                    holder,
+                    gen,
+                    ht,
+                } => self.on_ht_broadcast(node, ctx, origin, holder, gen, ht),
                 ChMsg::MeshData {
                     data_id,
                     group,
@@ -962,7 +1296,7 @@ impl HvdbProtocol {
             return;
         }
         if pkt.ttl == 0 {
-            self.counters.geo_stuck += 1;
+            self.count_geo_stuck(&pkt);
             return;
         }
         pkt.ttl -= 1;
@@ -971,21 +1305,25 @@ impl HvdbProtocol {
         // packet over directly instead of chasing the VCC geometrically
         // (the relay's cluster state is exactly the "location service" the
         // paper assumes).
+        let now = ctx.now();
         let shortcut = match pkt.target {
             GeoTarget::ChOfVc(vc) => {
+                let my_ch = self.current_ch(node, now);
                 let st = &self.nodes[node.idx()];
-                if st.my_vc == vc && st.my_ch.is_none() {
-                    // We live in the target VC and know of no head: the
-                    // packet has no consumer; drop instead of wandering.
-                    self.counters.geo_stuck += 1;
+                if st.my_vc == vc && my_ch.is_none() {
+                    // We live in the target VC and know of no live head:
+                    // the packet has no consumer; drop instead of
+                    // wandering.
+                    self.count_geo_stuck(&pkt);
                     return;
                 }
-                (st.my_vc == vc).then_some(st.my_ch).flatten()
+                (st.my_vc == vc).then_some(my_ch).flatten()
             }
             GeoTarget::AnyChInRegion(hid) => {
+                let my_ch = self.current_ch(node, now);
                 let st = &self.nodes[node.idx()];
                 (self.cfg.map.hid_of(st.my_vc) == hid)
-                    .then_some(st.my_ch)
+                    .then_some(my_ch)
                     .flatten()
             }
         };
@@ -1019,8 +1357,12 @@ impl Protocol for HvdbProtocol {
                 self.nodes.push(NodeState {
                     lm,
                     my_vc: grid.vc_of(pos),
-                    my_ch: None,
+                    ch: HeadLease::default(),
+                    report_gen: GenClock::default(),
                     best_cand: None,
+                    heard_head_bid: false,
+                    pending_handover: None,
+                    timer_epoch: 0,
                     role: Role::Member,
                     seen_data: FxHashSet::default(),
                 });
@@ -1037,6 +1379,14 @@ impl Protocol for HvdbProtocol {
         ctx.set_timer(node, self.cfg.cluster_interval + j, TAG_MNT);
         let j = jitter(ctx, self.cfg.ht_interval.0);
         ctx.set_timer(node, self.cfg.cluster_interval + j, TAG_HT);
+        // Soft-state refresh: starts once the first clustering can have
+        // produced heads, then free-runs jittered.
+        ctx.set_timer_jittered(
+            node,
+            self.cfg.cluster_interval + self.cfg.refresh_interval,
+            self.cfg.refresh_jitter,
+            TAG_REFRESH,
+        );
         // Members report shortly after each clustering settles.
         ctx.set_timer(
             node,
@@ -1061,22 +1411,67 @@ impl Protocol for HvdbProtocol {
             HvdbMsg::Candidacy { vc, score } => {
                 let st = &mut self.nodes[node.idx()];
                 if vc == st.my_vc {
+                    if st.ch.head_unchecked() == Some(score.node) {
+                        st.heard_head_bid = true;
+                    }
                     match &st.best_cand {
                         Some(best) if !score.beats(best) => {}
                         _ => st.best_cand = Some(score),
                     }
                 }
             }
-            HvdbMsg::ChAnnounce { vc } => {
+            HvdbMsg::ChAnnounce { vc, term } => {
+                let now = ctx.now();
+                let deadline = self.cfg.summary_deadline();
+                // Duplicate-head resolution: frame loss can leave two
+                // nodes each believing they won the same VC (each missed
+                // the other's candidacy). Both then advertise the same
+                // hypercube label with different membership content, and
+                // their generation stamps fight — the classic split-brain
+                // the soft-state ordering cannot repair on its own. The
+                // announcement channel doubles as the resolver: a sitting
+                // head hearing a rival's announcement for its own VC
+                // compares (term, node id) in lease order, and the loser
+                // resigns with a state handover. Exactly one head
+                // survives, and members' leases converge to the same
+                // winner by the same ordering.
+                if from != node {
+                    let me_head_of =
+                        matches!(&self.nodes[node.idx()].role, Role::Head(h) if h.vc == vc);
+                    if me_head_of {
+                        let my_term = self.nodes[node.idx()].ch.term();
+                        let i_lose = term > my_term || (term == my_term && from.0 < node.0);
+                        if i_lose {
+                            self.resign_to(node, ctx, vc, from);
+                        }
+                    }
+                }
                 let st = &mut self.nodes[node.idx()];
-                if vc == st.my_vc {
-                    st.my_ch = Some(from);
+                if vc == st.my_vc
+                    && st.ch.observe(from.0, term, now, deadline) == LeaseUpdate::Stale
+                {
+                    // A superseded head's late announcement: ignored, so
+                    // the member keeps pointing its data at the winner.
+                    self.counters.stale_suppressed += 1;
+                    ctx.record_stale_suppressed();
                 }
             }
-            HvdbMsg::JoinReport { lm } => {
+            HvdbMsg::ChRetire { vc } => {
+                let st = &mut self.nodes[node.idx()];
+                if vc == st.my_vc && st.ch.head_unchecked() == Some(from.0) {
+                    st.ch.vacate();
+                }
+            }
+            HvdbMsg::JoinReport { gen, lm } => {
+                let now = ctx.now();
                 if let Role::Head(h) = &mut self.nodes[node.idx()].role {
-                    h.db.store_local(from.0, lm, ctx.now());
-                    h.mnt_version += 1;
+                    let (fresh, changed) = h.db.store_local(from.0, lm, gen, now);
+                    if !fresh.is_fresh() {
+                        self.counters.stale_suppressed += 1;
+                        ctx.record_stale_suppressed();
+                    } else if changed {
+                        h.mnt_version += 1;
+                    }
                 }
             }
             HvdbMsg::DataToCh {
@@ -1086,7 +1481,7 @@ impl Protocol for HvdbProtocol {
             } => {
                 if self.is_head(node) {
                     self.start_multicast_at_ch(node, ctx, data_id, group, size);
-                } else if let Some(ch) = self.nodes[node.idx()].my_ch {
+                } else if let Some(ch) = self.current_ch(node, ctx.now()) {
                     // The member's view was stale (this node resigned);
                     // bounce the packet to the current head once.
                     if ch != node {
@@ -1107,13 +1502,27 @@ impl Protocol for HvdbProtocol {
                     ctx.record_delivery(data_id, node);
                 }
             }
-            HvdbMsg::Handover { vc, hts } => {
-                if let Role::Head(h) = &mut self.nodes[node.idx()].role {
-                    if h.vc == vc {
-                        for ht in hts {
-                            h.db.integrate_ht(ht);
-                        }
-                    }
+            HvdbMsg::Handover {
+                vc,
+                mnt_gen,
+                ht_gen,
+                locals,
+                hts,
+            } => {
+                let now = ctx.now();
+                let ho = PendingHandover {
+                    vc,
+                    mnt_gen,
+                    ht_gen,
+                    locals,
+                    hts,
+                };
+                if matches!(&self.nodes[node.idx()].role, Role::Head(h) if h.vc == vc) {
+                    self.apply_handover(node, now, ho);
+                } else if self.nodes[node.idx()].my_vc == vc {
+                    // Our decide timer has not fired yet: keep the state
+                    // until the win it belongs to actually happens.
+                    self.nodes[node.idx()].pending_handover = Some(Box::new(ho));
                 }
             }
             HvdbMsg::Geo(pkt) => self.on_geo(node, ctx, pkt),
@@ -1130,12 +1539,16 @@ impl Protocol for HvdbProtocol {
                     ChMsg::MntShare {
                         origin,
                         hid,
-                        seq,
+                        holder,
+                        gen,
                         mnt,
-                    } => self.on_mnt_share(node, ctx, origin, hid, seq, mnt),
-                    ChMsg::HtBroadcast { origin, seq, ht } => {
-                        self.on_ht_broadcast(node, ctx, origin, seq, ht)
-                    }
+                    } => self.on_mnt_share(node, ctx, origin, hid, holder, gen, mnt),
+                    ChMsg::HtBroadcast {
+                        origin,
+                        holder,
+                        gen,
+                        ht,
+                    } => self.on_ht_broadcast(node, ctx, origin, holder, gen, ht),
                     _ => {}
                 }
             }
@@ -1144,17 +1557,27 @@ impl Protocol for HvdbProtocol {
 
     fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, HvdbMsg>) {
         match tag {
-            TAG_CANDIDACY => self.on_candidacy_timer(node, ctx),
-            TAG_DECIDE => self.on_decide_timer(node, ctx),
-            TAG_REPORT => self.on_report_timer(node, ctx),
-            TAG_BEACON => self.on_beacon_timer(node, ctx),
-            TAG_MNT => self.on_mnt_timer(node, ctx),
-            TAG_HT => self.on_ht_timer(node, ctx),
             t if t >= TAG_GROUP_BASE => self.on_group_event((t - TAG_GROUP_BASE) as usize),
             t if t >= TAG_TRAFFIC_BASE => {
                 self.on_traffic_timer(node, ctx, (t - TAG_TRAFFIC_BASE) as usize)
             }
-            _ => unreachable!("unknown timer tag {tag}"),
+            t => {
+                if (t >> 3) != self.nodes[node.idx()].timer_epoch {
+                    // A chain from before this node's last recovery: let
+                    // it die instead of re-arming a duplicate.
+                    return;
+                }
+                match t & TAG_KIND_MASK {
+                    TAG_CANDIDACY => self.on_candidacy_timer(node, ctx),
+                    TAG_DECIDE => self.on_decide_timer(node, ctx),
+                    TAG_REPORT => self.on_report_timer(node, ctx),
+                    TAG_BEACON => self.on_beacon_timer(node, ctx),
+                    TAG_MNT => self.on_mnt_timer(node, ctx),
+                    TAG_HT => self.on_ht_timer(node, ctx),
+                    TAG_REFRESH => self.on_refresh_timer(node, ctx),
+                    _ => unreachable!("unknown timer tag {tag}"),
+                }
+            }
         }
     }
 
@@ -1162,22 +1585,34 @@ impl Protocol for HvdbProtocol {
         // A failed CH simply goes silent; neighbours detect it by beacon
         // timeout (the availability experiment measures exactly this).
         self.nodes[node.idx()].role = Role::Member;
-        self.nodes[node.idx()].my_ch = None;
+        self.nodes[node.idx()].ch.clear();
     }
 
     fn on_recover(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
-        self.nodes[node.idx()].my_ch = None;
+        self.nodes[node.idx()].ch.clear();
         self.nodes[node.idx()].best_cand = None;
-        // Periodic timers re-arm inside their own handlers; any that fired
-        // while the node was down broke their chains, so restart them all.
-        // (If the outage was shorter than a period the old chain survived
-        // and briefly doubles the rate — harmless, and it decays as both
-        // chains re-arm into the same handler cadence.)
+        // Restart every periodic chain under a fresh timer epoch: chains
+        // that fired while the node was down are broken, and any that
+        // survived a short outage carry the old epoch and die at their
+        // next firing — no duplicated cadence either way.
+        self.nodes[node.idx()].timer_epoch += 1;
         let j = SimDuration(ctx.rng().range_u64(0, self.cfg.cluster_interval.0 / 4 + 1));
-        ctx.set_timer(node, j, TAG_CANDIDACY);
-        ctx.set_timer(node, self.cfg.beacon_interval, TAG_BEACON);
-        ctx.set_timer(node, self.cfg.mnt_interval, TAG_MNT);
-        ctx.set_timer(node, self.cfg.ht_interval, TAG_HT);
-        ctx.set_timer(node, self.cfg.local_report_interval, TAG_REPORT);
+        let tag = self.ptag(node, TAG_CANDIDACY);
+        ctx.set_timer(node, j, tag);
+        let tag = self.ptag(node, TAG_BEACON);
+        ctx.set_timer(node, self.cfg.beacon_interval, tag);
+        let tag = self.ptag(node, TAG_MNT);
+        ctx.set_timer(node, self.cfg.mnt_interval, tag);
+        let tag = self.ptag(node, TAG_HT);
+        ctx.set_timer(node, self.cfg.ht_interval, tag);
+        let tag = self.ptag(node, TAG_REPORT);
+        ctx.set_timer(node, self.cfg.local_report_interval, tag);
+        let tag = self.ptag(node, TAG_REFRESH);
+        ctx.set_timer_jittered(
+            node,
+            self.cfg.refresh_interval,
+            self.cfg.refresh_jitter,
+            tag,
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! "if the current logical route is broken, multiple candidate logical
 //! routes become available immediately to sustain the service without QoS
 //! being degraded" (§5), citing the pre-computation idea of Shah &
-//! Nahrstedt [22]. [`SessionManager`] realises that: a session admits a
+//! Nahrstedt \[22\]. [`SessionManager`] realises that: a session admits a
 //! primary route *and* a backup with a distinct first hop at establishment
 //! time; when the primary's first hop fails, the session switches to the
 //! backup instantly (no re-discovery), and the failover is counted — the

@@ -262,7 +262,7 @@ impl VcGrid {
     /// never exits (zero velocity inside the circle).
     ///
     /// This is the geometric core of the mobility-prediction clustering the
-    /// paper adopts from Sivavakeesar et al. [23]: the CH candidate with the
+    /// paper adopts from Sivavakeesar et al. \[23\]: the CH candidate with the
     /// longest predicted residence time wins.
     pub fn residence_time(&self, id: VcId, p: Point, v: crate::point::Vec2) -> Option<f64> {
         let c = self.vcc(id);

@@ -175,6 +175,21 @@ impl<'a, M: Clone> Ctx<'a, M> {
             .push(self.now + delay, EventKind::Timer { node, tag });
     }
 
+    /// Sets a timer firing after `base` plus a uniform random extra delay
+    /// in `[0, jitter)` drawn from the seeded RNG. Soft-state refresh
+    /// timers use this so periodic re-advertisements desynchronise across
+    /// nodes instead of colliding every period.
+    pub fn set_timer_jittered(
+        &mut self,
+        node: NodeId,
+        base: SimDuration,
+        jitter: SimDuration,
+        tag: u64,
+    ) {
+        let extra = SimDuration(self.rng.range_u64(0, jitter.0.max(1)));
+        self.set_timer(node, base + extra, tag);
+    }
+
     fn occupy_radio(&mut self, from: NodeId, bytes: usize) -> SimTime {
         let tx = self.radio.tx_time(bytes);
         let start = self.world.node(from).busy_until.max(self.now);
@@ -267,6 +282,10 @@ impl<'a, M: Clone> Ctx<'a, M> {
                 .push(arrival, EventKind::Deliver { to, from, msg });
             return true;
         }
+        // Retry budget exhausted: the frame is permanently lost. The loop
+        // above is bounded by `attempts`, so exhaustion terminates here —
+        // it never re-enters the MAC.
+        self.stats.drops_retry_exhausted += 1;
         false
     }
 
@@ -313,6 +332,22 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// Records a data-packet delivery at `node`.
     pub fn record_delivery(&mut self, data_id: u64, node: NodeId) {
         self.stats.record_delivery(data_id, node, self.now);
+    }
+
+    /// Counts one control transmission originated by a soft-state refresh
+    /// timer (periodic re-advertisement rather than a state change).
+    pub fn record_refresh_tx(&mut self) {
+        self.stats.soft_refresh_msgs += 1;
+    }
+
+    /// Counts one received soft-state update suppressed as stale.
+    pub fn record_stale_suppressed(&mut self) {
+        self.stats.soft_stale_suppressed += 1;
+    }
+
+    /// Counts `n` soft-state entries expired after K missed refreshes.
+    pub fn record_soft_expired(&mut self, n: u64) {
+        self.stats.soft_expired += n;
     }
 
     /// Read access to the running statistics.

@@ -1,7 +1,7 @@
 //! Location-based unicast forwarding primitives.
 //!
 //! The paper leaves physical routing between cluster heads to "some
-//! location-based unicast routing algorithm" (§4.3), citing GPSR [11] as
+//! location-based unicast routing algorithm" (§4.3), citing GPSR \[11\] as
 //! the canonical example. This module supplies the two decisions such a
 //! scheme makes at every relay:
 //!

@@ -40,6 +40,18 @@ pub struct Stats {
     pub drops_loss: u64,
     /// Frames addressed to dead nodes (or sent by dead nodes).
     pub drops_dead: u64,
+    /// Reliable unicasts abandoned after the MAC retry budget: every
+    /// attempt was lost, the frame is permanently gone (distinct from
+    /// `drops_loss`, which counts individual lost attempts).
+    pub drops_retry_exhausted: u64,
+    /// Soft-state control transmissions originated by refresh timers
+    /// (periodic re-advertisement, not triggered by state change).
+    pub soft_refresh_msgs: u64,
+    /// Received soft-state updates suppressed as stale (generation not
+    /// newer than the stored entry's).
+    pub soft_stale_suppressed: u64,
+    /// Soft-state entries expired after K missed refreshes.
+    pub soft_expired: u64,
     origins: FxHashMap<u64, Origin>,
 }
 
@@ -88,6 +100,30 @@ impl Stats {
     /// Number of originated data packets.
     pub fn origin_count(&self) -> usize {
         self.origins.len()
+    }
+
+    /// Per-origin accounting rows `(data id, sent at, expected, distinct
+    /// deliveries)`, ascending by id — the raw material behind
+    /// [`Stats::delivery_ratio`], exposed for loss diagnostics.
+    pub fn origin_rows(&self) -> Vec<(u64, SimTime, u64, usize)> {
+        let mut rows: Vec<_> = self
+            .origins
+            .iter()
+            .map(|(id, o)| (*id, o.at, o.expected, o.delivered.len()))
+            .collect();
+        rows.sort_unstable_by_key(|r| r.0);
+        rows
+    }
+
+    /// The distinct receivers recorded for packet `id`, ascending.
+    pub fn receivers_of(&self, id: u64) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .origins
+            .get(&id)
+            .map(|o| o.delivered.iter().map(|(n, _)| *n).collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
     }
 
     /// Overall delivery ratio: delivered receiver-slots / expected

@@ -32,7 +32,7 @@ impl Protocol for Chatter {
         if msg < 3 {
             // Re-broadcast with decremented hop budget.
             ctx.broadcast(node, "gossip", 64, msg + 1);
-        } else if msg == 3 && node.0.is_multiple_of(7) {
+        } else if msg == 3 && node.0 % 7 == 0 {
             ctx.record_delivery(99, node);
             ctx.send_reliable(node, from, "ack", 32, 100);
         }

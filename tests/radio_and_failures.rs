@@ -80,15 +80,16 @@ fn moderate_loss_degrades_but_does_not_kill_delivery() {
     };
     let clean = run(0.0, 7);
     assert!(clean >= 0.99, "clean run delivered {clean}");
-    // Periodic summaries, MAC-level unicast retries and local broadcast
-    // give natural redundancy: 15% frame loss must not collapse delivery.
-    // A single run's ratio is a mean of only 24 Bernoulli outcomes whose
-    // per-packet success probabilities swing with the control-plane phase,
-    // so assert the property in expectation over seeds (seed 7 is the
-    // known-worst draw and stays in the set on purpose).
+    // The soft-state control plane (generation-stamped refresh, K-miss
+    // expiry, duplicate-head deferral) plus MAC retries and repeated
+    // local delivery must hold delivery near-perfect at 15% frame loss —
+    // the committed floor the CI `loss` gate enforces (PR 1's baseline
+    // was a mean of ~0.65 here). A single run's ratio is a mean of only
+    // 24 Bernoulli outcomes, so assert in expectation over seeds (seed 7
+    // is PR 1's known-worst draw and stays in the set on purpose).
     let seeds = [1u64, 2, 3, 7];
     let mean = seeds.iter().map(|&s| run(0.15, s)).sum::<f64>() / seeds.len() as f64;
-    assert!(mean >= 0.5, "15% loss collapsed mean delivery to {mean}");
+    assert!(mean >= 0.90, "15% loss dropped mean delivery to {mean}");
     assert!(mean <= clean + 1e-9);
 }
 

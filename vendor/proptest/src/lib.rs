@@ -1,9 +1,9 @@
 //! Vendored stand-in for the `proptest` crate.
 //!
 //! The build environment has no access to crates.io, so this workspace
-//! vendors the subset of proptest its test suites use: the [`Strategy`]
+//! vendors the subset of proptest its test suites use: the [`Strategy`](strategy::Strategy)
 //! trait with `prop_map` / `prop_flat_map`, range and tuple strategies,
-//! [`collection::vec`], [`Just`], `prop_oneof!`, `any::<bool>()`, and the
+//! [`collection::vec`], [`Just`](strategy::Just), `prop_oneof!`, `any::<bool>()`, and the
 //! `proptest!` / `prop_assert*!` / `prop_assume!` macros.
 //!
 //! Differences from real proptest, by design:
