@@ -18,7 +18,10 @@
 //! gate.
 
 use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
-use hvdb_bench::{check_loss_floor, validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR};
+use hvdb_bench::{
+    check_loss_floor, check_overhead_gate, check_trajectory, validate_report_str, ScenarioReport,
+    LOSS_DELIVERY_FLOOR, TRAJECTORY_DELIVERY_TOLERANCE, TRAJECTORY_OVERHEAD_TOLERANCE,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -49,17 +52,26 @@ fn usage() {
     eprintln!("  hvdb-bench list");
     eprintln!("  hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
     eprintln!("  hvdb-bench run --all        [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
-    eprintln!("  hvdb-bench validate <file>... [--loss-floor F]");
+    eprintln!("  hvdb-bench validate <file>... [--loss-floor F] [--baseline-dir DIR]");
+    eprintln!("                                [--delivery-tolerance F] [--overhead-tolerance F]");
     eprintln!();
     eprintln!("Writes BENCH_<scenario>.json per scenario; see `list` for names.");
-    eprintln!("`validate` schema-checks report files; files whose scenario is");
-    eprintln!("\"loss\" must also clear the worst-seed delivery floor (default");
-    eprintln!("{LOSS_DELIVERY_FLOOR}) at 15% frame loss.");
+    eprintln!("`validate` schema-checks report files. Scenario-specific gates:");
+    eprintln!("\"loss\" must clear the worst-seed delivery floor (default");
+    eprintln!("{LOSS_DELIVERY_FLOOR}) at 15% frame loss; \"overhead\" must show the quiet-phase");
+    eprintln!("adaptive-refresh improvement and stay under the frames/s ceiling.");
+    eprintln!("With --baseline-dir, every report is additionally compared against");
+    eprintln!("the committed BENCH_<scenario>.json in DIR: delivery may regress at");
+    eprintln!("most --delivery-tolerance (default {TRAJECTORY_DELIVERY_TOLERANCE}) and overhead metrics may grow");
+    eprintln!("at most --overhead-tolerance (default {TRAJECTORY_OVERHEAD_TOLERANCE}).");
 }
 
 fn validate(args: &[String]) -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut floor = LOSS_DELIVERY_FLOOR;
+    let mut baseline_dir: Option<String> = None;
+    let mut delivery_tol = TRAJECTORY_DELIVERY_TOLERANCE;
+    let mut overhead_tol = TRAJECTORY_OVERHEAD_TOLERANCE;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,6 +81,32 @@ fn validate(args: &[String]) -> ExitCode {
                     Some(f) if (0.0..=1.0).contains(&f) => floor = f,
                     _ => {
                         eprintln!("--loss-floor needs a number in [0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--baseline-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => baseline_dir = Some(dir.clone()),
+                    None => {
+                        eprintln!("--baseline-dir needs a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            flag @ ("--delivery-tolerance" | "--overhead-tolerance") => {
+                i += 1;
+                match args.get(i).and_then(|f| f.parse::<f64>().ok()) {
+                    Some(f) if (0.0..=1.0).contains(&f) => {
+                        if flag == "--delivery-tolerance" {
+                            delivery_tol = f;
+                        } else {
+                            overhead_tol = f;
+                        }
+                    }
+                    _ => {
+                        eprintln!("{flag} needs a number in [0, 1]");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -87,11 +125,40 @@ fn validate(args: &[String]) -> ExitCode {
             .map_err(|e| format!("cannot read: {e}"))
             .and_then(|text| validate_report_str(&text))
             .and_then(|doc| {
-                if scenario_name(&doc).as_deref() == Some("loss") {
-                    let worst = check_loss_floor(&doc, floor)?;
-                    Ok(format!("ok (worst-seed delivery {worst:.3} >= {floor})"))
-                } else {
+                let mut notes: Vec<String> = Vec::new();
+                match scenario_name(&doc).as_deref() {
+                    Some("loss") => {
+                        let worst = check_loss_floor(&doc, floor)?;
+                        notes.push(format!("worst-seed delivery {worst:.3} >= {floor}"));
+                    }
+                    Some("overhead") => {
+                        let (ratio, total) = check_overhead_gate(&doc)?;
+                        notes.push(format!(
+                            "quiet-phase refresh improvement {ratio:.2}x, {total:.0} control frames/s"
+                        ));
+                    }
+                    _ => {}
+                }
+                if let Some(dir) = &baseline_dir {
+                    let scenario = scenario_name(&doc)
+                        .ok_or_else(|| "report has no scenario name".to_string())?;
+                    let base_path = format!("{dir}/BENCH_{scenario}.json");
+                    // A gate that cannot find its baseline must fail, not
+                    // silently wave the candidate through.
+                    let base_text = std::fs::read_to_string(&base_path)
+                        .map_err(|e| format!("cannot read baseline {base_path}: {e}"))?;
+                    let baseline = validate_report_str(&base_text)
+                        .map_err(|e| format!("baseline {base_path} invalid: {e}"))?;
+                    let rows = check_trajectory(&doc, &baseline, delivery_tol, overhead_tol)?;
+                    notes.push(format!(
+                        "trajectory ok vs {base_path} ({} checks)",
+                        rows.len()
+                    ));
+                }
+                if notes.is_empty() {
                     Ok("ok".to_string())
+                } else {
+                    Ok(format!("ok ({})", notes.join("; ")))
                 }
             });
         match verdict {
@@ -185,40 +252,87 @@ fn run(args: &[String]) -> ExitCode {
         }
         defs
     };
-    // Run every requested scenario even if one fails, but never exit 0
-    // with a missing or invalid report on disk — CI and the committed
-    // trajectory both trust the files this loop leaves behind.
-    let mut failures: Vec<String> = Vec::new();
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create --out-dir {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    // Run every requested scenario even if one fails — a panic inside one
+    // scenario (bad assertion, index bug) must not starve the rest of the
+    // registry of coverage — and never exit 0 with a missing or invalid
+    // report on disk: CI and the committed trajectory both trust the
+    // files this loop leaves behind.
+    struct Outcome {
+        name: &'static str,
+        rows: usize,
+        secs: f64,
+        error: Option<String>,
+    }
+    let mut outcomes: Vec<Outcome> = Vec::new();
     for def in &defs {
         let started = std::time::Instant::now();
-        let report = run_scenario(def, &opts);
-        print_report(&report);
-        let path = format!("{out_dir}/BENCH_{}.json", def.name);
-        let json = format!("{}\n", report.to_json());
-        if let Err(e) = validate_report_str(&json) {
-            eprintln!("scenario {}: invalid report: {e}", def.name);
-            failures.push(def.name.to_string());
-            continue;
-        }
-        match std::fs::write(&path, &json) {
-            Ok(()) => println!(
-                "wrote {path} ({} rows, {:.1}s)\n",
-                report.rows.len(),
-                started.elapsed().as_secs_f64()
-            ),
-            Err(e) => {
-                eprintln!("cannot write {path}: {e}");
-                failures.push(def.name.to_string());
+        let report =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_scenario(def, &opts)));
+        let secs = started.elapsed().as_secs_f64();
+        let mut outcome = Outcome {
+            name: def.name,
+            rows: 0,
+            secs,
+            error: None,
+        };
+        match report {
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic with non-string payload");
+                eprintln!("scenario {}: PANICKED: {msg}", def.name);
+                outcome.error = Some(format!("panicked: {msg}"));
+            }
+            Ok(report) => {
+                print_report(&report);
+                outcome.rows = report.rows.len();
+                let path = format!("{out_dir}/BENCH_{}.json", def.name);
+                let json = format!("{}\n", report.to_json());
+                if let Err(e) = validate_report_str(&json) {
+                    eprintln!("scenario {}: invalid report: {e}", def.name);
+                    outcome.error = Some(format!("invalid report: {e}"));
+                } else if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    outcome.error = Some(format!("cannot write {path}: {e}"));
+                } else {
+                    println!("wrote {path} ({} rows, {secs:.1}s)\n", report.rows.len());
+                }
             }
         }
+        outcomes.push(outcome);
     }
+    // End-of-run summary: one line per scenario, failures last-but-loud.
+    if defs.len() > 1 {
+        println!("{:<18} {:>6} {:>8}  status", "scenario", "rows", "secs");
+        for o in &outcomes {
+            println!(
+                "{:<18} {:>6} {:>8.1}  {}",
+                o.name,
+                o.rows,
+                o.secs,
+                o.error.as_deref().unwrap_or("ok")
+            );
+        }
+    }
+    let failures: Vec<&Outcome> = outcomes.iter().filter(|o| o.error.is_some()).collect();
     if failures.is_empty() {
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "{} scenario(s) failed validation: {}",
+            "{} of {} scenario(s) failed: {}",
             failures.len(),
-            failures.join(", ")
+            outcomes.len(),
+            failures
+                .iter()
+                .map(|o| o.name)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         ExitCode::FAILURE
     }

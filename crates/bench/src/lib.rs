@@ -24,9 +24,16 @@ pub mod validate;
 pub mod workload;
 
 pub use report::{Json, Row, ScenarioReport};
-pub use runner::{average, run_one, run_one_instrumented, run_seeds, Proto, RunDetail};
+pub use runner::{
+    average, run_hvdb_tweaked, run_one, run_one_instrumented, run_seeds, Proto, RunDetail,
+};
 pub use scenario::{registry, run_scenario, RunOpts, ScenarioDef};
 pub use validate::{
-    check_loss_floor, parse_strict, validate_report_str, LOSS_DELIVERY_FLOOR, LOSS_GATE_POINT,
+    check_loss_floor, check_overhead_gate, check_trajectory, parse_strict, validate_report_str,
+    LOSS_DELIVERY_FLOOR, LOSS_GATE_POINT, OVERHEAD_CEILING_FRAMES_PER_S, OVERHEAD_GATED_METRICS,
+    OVERHEAD_QUIET_IMPROVEMENT, OVERHEAD_QUIET_POINT, TRAJECTORY_DELIVERY_TOLERANCE,
+    TRAJECTORY_OVERHEAD_TOLERANCE,
 };
-pub use workload::{is_data_class, metrics_of, MobilityKind, RunMetrics, Scenario, Workload};
+pub use workload::{
+    is_data_class, is_refresh_class, metrics_of, MobilityKind, RunMetrics, Scenario, Workload,
+};

@@ -2,9 +2,9 @@
 //! uniform metrics. Sweeps parallelise across (scenario, seed) with rayon —
 //! each simulation stays single-threaded and deterministic.
 
-use crate::workload::{metrics_of, RunMetrics, Scenario, Workload};
+use crate::workload::{is_refresh_class, metrics_of, RunMetrics, Scenario, Workload};
 use hvdb_baselines::{DsmProtocol, FloodingProtocol, SharedTreeProtocol, SpbmProtocol};
-use hvdb_core::HvdbProtocol;
+use hvdb_core::{HvdbConfig, HvdbProtocol};
 use hvdb_sim::Simulator;
 use rayon::prelude::*;
 
@@ -57,6 +57,10 @@ pub fn run_one(proto: Proto, scenario: &Scenario) -> RunMetrics {
 pub struct RunDetail {
     /// HVDB protocol counters (`None` for baselines).
     pub hvdb_counters: Option<hvdb_core::Counters>,
+    /// Refresh-plane frames transmitted (refresh-originated floods
+    /// including their relays; 0 for baselines) — the traffic the
+    /// adaptive refresh controller suppresses in quiet phases.
+    pub refresh_frames: u64,
 }
 
 /// Runs one scenario under one protocol, returning metrics plus
@@ -64,20 +68,9 @@ pub struct RunDetail {
 /// [`Scenario::failures`] are scheduled for every protocol, so fault
 /// comparisons stay apples-to-apples.
 pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, RunDetail) {
-    let mut detail = RunDetail::default();
+    let detail = RunDetail::default();
     let metrics = match proto {
-        Proto::Hvdb => {
-            let mut sim = new_sim(scenario);
-            let mut p = HvdbProtocol::new(
-                scenario.hvdb.clone(),
-                &scenario.members,
-                scenario.traffic.clone(),
-                scenario.group_events.clone(),
-            );
-            sim.run(&mut p, scenario.until);
-            detail.hvdb_counters = Some(p.counters);
-            metrics_of(sim.stats())
-        }
+        Proto::Hvdb => return run_hvdb(scenario),
         Proto::Flooding => {
             let mut sim = new_sim(scenario);
             let mut p = FloodingProtocol::new(
@@ -120,6 +113,37 @@ pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, R
         }
     };
     (metrics, detail)
+}
+
+/// The one canonical HVDB run recipe (every scenario that measures HVDB
+/// goes through here, so the CI-gated trajectory numbers and the
+/// registry sweeps measure the same simulation).
+fn run_hvdb(scenario: &Scenario) -> (RunMetrics, RunDetail) {
+    let mut sim = new_sim(scenario);
+    let mut p = HvdbProtocol::new(
+        scenario.hvdb.clone(),
+        &scenario.members,
+        scenario.traffic.clone(),
+        scenario.group_events.clone(),
+    );
+    sim.run(&mut p, scenario.until);
+    let detail = RunDetail {
+        hvdb_counters: Some(p.counters),
+        refresh_frames: sim.stats().msgs_where(is_refresh_class),
+    };
+    (metrics_of(sim.stats()), detail)
+}
+
+/// Runs HVDB with `tweak` applied to the scenario's derived config first
+/// (e.g. disabling the adaptive refresh controller for a fixed-rate
+/// comparison arm), through the same recipe as [`run_one_instrumented`].
+pub fn run_hvdb_tweaked(
+    scenario: &Scenario,
+    tweak: &dyn Fn(&mut HvdbConfig),
+) -> (RunMetrics, RunDetail) {
+    let mut scenario = scenario.clone();
+    tweak(&mut scenario.hvdb);
+    run_hvdb(&scenario)
 }
 
 /// Builds the simulator for a run: fresh mobility instance plus any

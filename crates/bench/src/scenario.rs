@@ -17,8 +17,8 @@
 //! scenario in smoke mode and validates the emitted JSON.
 
 use crate::report::{Row, ScenarioReport};
-use crate::runner::{average, run_one, run_one_instrumented, Proto};
-use crate::workload::{metrics_of, MobilityKind, RunMetrics, Workload};
+use crate::runner::{average, run_hvdb_tweaked, run_one, run_one_instrumented, Proto};
+use crate::workload::{metrics_of, MobilityKind, RunMetrics, Scenario, Workload};
 use hvdb_core::{
     build_model, build_region_cube, routes::AdvertisedRoute, routes::QosMetrics,
     DesignationCriterion, HvdbConfig, HvdbMsg, HvdbProtocol, QosRequirement, RouteTable,
@@ -90,6 +90,18 @@ pub fn registry() -> Vec<ScenarioDef> {
             figure: "robustness",
             summary: "delivery ratio vs frame-loss rate 0-30% across seeds (soft-state control-plane regression gate)",
             exec: Exec::Custom(custom_loss),
+        },
+        ScenarioDef {
+            name: "scale",
+            figure: "north-star",
+            summary: "node-count sweep 100-600 at constant density: delivery, latency, per-node control bytes (CI trajectory gate)",
+            exec: Exec::Custom(custom_scale),
+        },
+        ScenarioDef {
+            name: "overhead",
+            figure: "roadmap c4",
+            summary: "control frames/s vs churn rate at fixed loss, adaptive vs fixed-rate refresh (CI quiet-phase gate)",
+            exec: Exec::Custom(custom_overhead),
         },
         ScenarioDef {
             name: "c1-availability",
@@ -555,6 +567,224 @@ fn custom_loss(opts: &RunOpts) -> Vec<Row> {
             )
         })
         .collect()
+}
+
+/// One detailed HVDB run's results: uniform metrics, protocol
+/// counters, refresh-plane frames, simulated seconds, node count.
+type DetailedRun = (RunMetrics, hvdb_core::Counters, u64, f64, usize);
+
+/// One fully instrumented HVDB run: uniform metrics, protocol counters,
+/// and the refresh-plane frame count (refresh-originated floods including
+/// their relays — the traffic the adaptive controller saves). `tweak`
+/// edits the derived config before the run (e.g. disabling the adaptive
+/// controller for the fixed-rate comparison rows); the simulation itself
+/// goes through the runner's one canonical HVDB recipe.
+fn run_hvdb_detailed(
+    scenario: &Scenario,
+    tweak: &dyn Fn(&mut HvdbConfig),
+) -> (RunMetrics, hvdb_core::Counters, u64) {
+    let (metrics, detail) = run_hvdb_tweaked(scenario, tweak);
+    (
+        metrics,
+        detail.hvdb_counters.unwrap_or_default(),
+        detail.refresh_frames,
+    )
+}
+
+/// The `scale` trajectory sweep: the paper's geometry stretched from 100
+/// to 600 nodes at constant density, reporting what the north star cares
+/// about — delivery, latency, and *per-node* control cost (which must
+/// stay flat as the network grows for the backbone to call itself
+/// scalable). CI re-runs this sweep and compares every row against the
+/// committed `BENCH_scale.json` within a tolerance band.
+fn custom_scale(opts: &RunOpts) -> Vec<Row> {
+    let node_counts: Vec<usize> = if opts.smoke {
+        vec![30, 40]
+    } else {
+        vec![100, 200, 400, 600]
+    };
+    let mut seeds = opts.seeds.clone().unwrap_or_else(|| vec![1, 2]);
+    if opts.smoke && opts.seeds.is_none() {
+        seeds.truncate(1);
+    }
+    let base = Workload {
+        vc_side: 8,
+        dim: 4,
+        range: 450.0,
+        groups: 3,
+        members_per_group: 10,
+        packets_per_group: 8,
+        warmup: SimDuration::from_secs(100),
+        traffic_window: SimDuration::from_secs(30),
+        cooldown: SimDuration::from_secs(20),
+        ..Workload::default()
+    };
+    let jobs: Vec<(usize, u64)> = node_counts
+        .iter()
+        .flat_map(|&n| seeds.iter().map(move |&s| (n, s)))
+        .collect();
+    let results: Vec<DetailedRun> = jobs
+        .par_iter()
+        .map(|&(nodes, seed)| {
+            let w = Workload {
+                nodes,
+                side: (nodes as f64 * 8533.0).sqrt(),
+                seed,
+                ..base.clone()
+            };
+            let w = if opts.smoke { w.smoke() } else { w };
+            let scenario = w.build();
+            let secs = scenario.until.since(SimTime::ZERO).as_secs_f64();
+            let (m, c, refresh) = run_hvdb_detailed(&scenario, &|_| {});
+            (m, c, refresh, secs, w.nodes)
+        })
+        .collect();
+    node_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &nodes)| {
+            let chunk = &results[i * seeds.len()..(i + 1) * seeds.len()];
+            let mean = average(&chunk.iter().map(|(m, ..)| *m).collect::<Vec<_>>());
+            let worst = chunk
+                .iter()
+                .map(|(m, ..)| m.delivery)
+                .fold(f64::INFINITY, f64::min);
+            let per_run = |f: &dyn Fn(&DetailedRun) -> f64| {
+                chunk.iter().map(f).sum::<f64>() / chunk.len() as f64
+            };
+            Row::new(
+                "network-size",
+                format!("nodes={nodes}"),
+                Proto::Hvdb.name(),
+                vec![
+                    ("delivery".into(), mean.delivery),
+                    ("delivery_worst".into(), worst),
+                    ("latency_ms".into(), mean.latency * 1e3),
+                    (
+                        "control_frames_per_s".into(),
+                        per_run(&|(m, _, _, secs, _)| m.control_msgs as f64 / secs),
+                    ),
+                    (
+                        "control_bytes_per_node".into(),
+                        per_run(&|(m, _, _, _, n)| m.control_bytes as f64 / *n as f64),
+                    ),
+                    (
+                        "refresh_frames_per_s".into(),
+                        per_run(&|(_, _, r, secs, _)| *r as f64 / secs),
+                    ),
+                    (
+                        "refresh_suppressed".into(),
+                        per_run(&|(_, c, ..)| c.refresh_suppressed as f64),
+                    ),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// The `overhead` scenario: control traffic vs membership-churn rate at a
+/// fixed 10% frame loss, run under both the adaptive refresh controller
+/// and the PR 2 fixed rate on byte-identical inputs. The quiet phase
+/// (`churn=0`) is the gated point: adaptive refresh-plane frames/s must
+/// be at least half the fixed-rate baseline's
+/// ([`crate::validate::check_overhead_gate`]), converting the ROADMAP's
+/// c4 overhead delta into an enforced number.
+fn custom_overhead(opts: &RunOpts) -> Vec<Row> {
+    let base = Workload {
+        side: 800.0,
+        nodes: 120,
+        vc_side: 8,
+        dim: 4,
+        range: 250.0,
+        loss_prob: 0.10,
+        groups: 2,
+        members_per_group: 8,
+        packets_per_group: 6,
+        warmup: SimDuration::from_secs(100),
+        traffic_window: SimDuration::from_secs(30),
+        cooldown: SimDuration::from_secs(20),
+        enhanced_fraction: 1.0,
+        ..Workload::default()
+    };
+    let churns: Vec<usize> = if opts.smoke {
+        vec![0, 3]
+    } else {
+        vec![0, 12, 40]
+    };
+    let mut seeds = opts.seeds.clone().unwrap_or_else(|| vec![1, 2, 3]);
+    if opts.smoke && opts.seeds.is_none() {
+        seeds.truncate(1);
+    }
+    const VARIANTS: [(&str, bool); 2] = [("hvdb-adaptive", true), ("hvdb-fixed", false)];
+    let mut jobs: Vec<(usize, bool, u64)> = Vec::new();
+    for &churn in &churns {
+        for &(_, adaptive) in &VARIANTS {
+            for &seed in &seeds {
+                jobs.push((churn, adaptive, seed));
+            }
+        }
+    }
+    let results: Vec<DetailedRun> = jobs
+        .par_iter()
+        .map(|&(churn, adaptive, seed)| {
+            let w = Workload {
+                churn_events: churn,
+                seed,
+                ..base.clone()
+            };
+            let w = if opts.smoke { w.smoke() } else { w };
+            let scenario = w.build();
+            let secs = scenario.until.since(SimTime::ZERO).as_secs_f64();
+            let (m, c, refresh) =
+                run_hvdb_detailed(&scenario, &|cfg| cfg.adaptive_refresh = adaptive);
+            (m, c, refresh, secs, w.nodes)
+        })
+        .collect();
+    let mut rows = Vec::new();
+    let mut chunk_start = 0;
+    for &churn in &churns {
+        for &(proto, _) in &VARIANTS {
+            let chunk = &results[chunk_start..chunk_start + seeds.len()];
+            chunk_start += seeds.len();
+            let mean = average(&chunk.iter().map(|(m, ..)| *m).collect::<Vec<_>>());
+            let per_run = |f: &dyn Fn(&DetailedRun) -> f64| {
+                chunk.iter().map(f).sum::<f64>() / chunk.len() as f64
+            };
+            rows.push(Row::new(
+                "churn",
+                format!("churn={churn}"),
+                proto,
+                vec![
+                    ("delivery".into(), mean.delivery),
+                    (
+                        "control_frames_per_s".into(),
+                        per_run(&|(m, _, _, secs, _)| m.control_msgs as f64 / secs),
+                    ),
+                    (
+                        "control_bytes_per_node".into(),
+                        per_run(&|(m, _, _, _, n)| m.control_bytes as f64 / *n as f64),
+                    ),
+                    (
+                        "refresh_frames_per_s".into(),
+                        per_run(&|(_, _, r, secs, _)| *r as f64 / secs),
+                    ),
+                    (
+                        "refresh_suppressed".into(),
+                        per_run(&|(_, c, ..)| c.refresh_suppressed as f64),
+                    ),
+                    (
+                        "stale_suppressed".into(),
+                        per_run(&|(_, c, ..)| c.stale_suppressed as f64),
+                    ),
+                    (
+                        "stamp_hints_sent".into(),
+                        per_run(&|(_, c, ..)| c.stamp_hints_sent as f64),
+                    ),
+                ],
+            ));
+        }
+    }
+    rows
 }
 
 /// C1: high availability via disjoint logical routes.
@@ -1235,7 +1465,9 @@ fn custom_a1(opts: &RunOpts) -> Vec<Row> {
             vec![],
         );
         sim.run(&mut proto, scenario.until);
-        let ht_bytes = sim.stats().bytes("ht-bcast");
+        // HT traffic spans both the content cycle and the refresh plane
+        // (reclassified to "ht-refresh" for overhead accounting).
+        let ht_bytes = sim.stats().bytes("ht-bcast") + sim.stats().bytes("ht-refresh");
         (metrics_of(sim.stats()), proto.counters, ht_bytes)
     };
     let mut rows = Vec::new();

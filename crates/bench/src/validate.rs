@@ -26,6 +26,40 @@ pub const LOSS_DELIVERY_FLOOR: f64 = 0.90;
 /// The `loss` sweep point the floor applies to (15% frame loss).
 pub const LOSS_GATE_POINT: &str = "loss=0.15";
 
+/// The `overhead` scenario's gated operating point: the quiet phase (no
+/// membership churn), where the adaptive refresh controller must earn
+/// its keep.
+pub const OVERHEAD_QUIET_POINT: &str = "churn=0";
+
+/// Quiet-phase improvement floor: the fixed-rate baseline's
+/// refresh-plane frames/s divided by the adaptive controller's must be
+/// at least this (the committed run measures ~3.2x; the gate keeps the
+/// headline ≥2x claim honest).
+pub const OVERHEAD_QUIET_IMPROVEMENT: f64 = 2.0;
+
+/// Absolute ceiling on the adaptive controller's quiet-phase *total*
+/// control frames/s on the `overhead` workload (committed run: ~719;
+/// the PR 2 fixed rate burned ~1132). Fails any change that quietly
+/// re-inflates the control plane even if the relative gate still passes.
+pub const OVERHEAD_CEILING_FRAMES_PER_S: f64 = 900.0;
+
+/// Bench-trajectory tolerance: a candidate row's `delivery` may fall at
+/// most this fraction below the committed baseline's.
+pub const TRAJECTORY_DELIVERY_TOLERANCE: f64 = 0.10;
+
+/// Bench-trajectory tolerance: a candidate row's overhead metrics
+/// ([`OVERHEAD_GATED_METRICS`]) may grow at most this fraction over the
+/// committed baseline's.
+pub const TRAJECTORY_OVERHEAD_TOLERANCE: f64 = 0.15;
+
+/// The per-row metrics the trajectory comparison treats as overhead
+/// (lower is better, growth is gated).
+pub const OVERHEAD_GATED_METRICS: [&str; 3] = [
+    "control_frames_per_s",
+    "control_bytes_per_node",
+    "refresh_frames_per_s",
+];
+
 /// Parses `input` as one strict JSON document (the whole string, no
 /// trailing garbage) into a [`Json`] value.
 pub fn parse_strict(input: &str) -> Result<Json, String> {
@@ -185,6 +219,154 @@ pub fn check_loss_floor(doc: &Json, floor: f64) -> Result<f64, String> {
         ));
     }
     Ok(worst)
+}
+
+/// Whether a validated report document is a smoke run.
+fn is_smoke(doc: &Json) -> Result<bool, String> {
+    let fields = obj_fields(doc)?;
+    Ok(matches!(field(fields, "smoke")?, Json::Bool(true)))
+}
+
+/// The CI gate over a validated `overhead` report: at the quiet point
+/// ([`OVERHEAD_QUIET_POINT`]) the fixed-rate baseline's refresh-plane
+/// frames/s must be at least [`OVERHEAD_QUIET_IMPROVEMENT`]× the
+/// adaptive controller's, and the adaptive controller's total control
+/// frames/s must stay under [`OVERHEAD_CEILING_FRAMES_PER_S`]. Returns
+/// `(improvement ratio, adaptive control frames/s)`. Refuses smoke
+/// reports.
+pub fn check_overhead_gate(doc: &Json) -> Result<(f64, f64), String> {
+    if is_smoke(doc)? {
+        return Err(
+            "overhead gate needs a full run, not --smoke (smoke numbers are meaningless)".into(),
+        );
+    }
+    let read = |proto: &str, metric: &str| -> Result<f64, String> {
+        metric_of(doc, "churn", OVERHEAD_QUIET_POINT, proto, metric).ok_or_else(|| {
+            format!("no {proto} churn row at {OVERHEAD_QUIET_POINT} with a {metric} metric")
+        })
+    };
+    let fixed = read("hvdb-fixed", "refresh_frames_per_s")?;
+    let adaptive = read("hvdb-adaptive", "refresh_frames_per_s")?;
+    if adaptive <= 0.0 {
+        return Err(
+            "adaptive quiet-phase refresh_frames_per_s is zero — measurement broken".into(),
+        );
+    }
+    let ratio = fixed / adaptive;
+    if ratio < OVERHEAD_QUIET_IMPROVEMENT {
+        return Err(format!(
+            "quiet-phase refresh overhead improvement {ratio:.2}x is below the committed \
+             {OVERHEAD_QUIET_IMPROVEMENT:.1}x floor (fixed {fixed:.1} vs adaptive {adaptive:.1} frames/s)"
+        ));
+    }
+    let total = read("hvdb-adaptive", "control_frames_per_s")?;
+    if total > OVERHEAD_CEILING_FRAMES_PER_S {
+        return Err(format!(
+            "quiet-phase adaptive control traffic {total:.1} frames/s exceeds the committed \
+             ceiling {OVERHEAD_CEILING_FRAMES_PER_S:.0}"
+        ));
+    }
+    Ok((ratio, total))
+}
+
+/// Row coordinates and metrics extracted from a validated report:
+/// `(sweep, label, proto, metrics)`.
+type ReportRow = (String, String, String, Vec<(String, f64)>);
+
+fn report_rows(doc: &Json) -> Result<Vec<ReportRow>, String> {
+    let fields = obj_fields(doc)?;
+    let Json::Arr(rows) = field(fields, "rows")? else {
+        return Err("rows: expected array".into());
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        let rf = obj_fields(row)?;
+        let get = |key: &str| -> Result<String, String> {
+            as_str(field(rf, key)?, key).map(str::to_string)
+        };
+        let Json::Obj(metrics) = field(rf, "metrics")? else {
+            return Err("metrics: expected object".into());
+        };
+        let metrics: Vec<(String, f64)> = metrics
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Json::Num(n) => Some((k.clone(), *n)),
+                _ => None,
+            })
+            .collect();
+        out.push((get("sweep")?, get("label")?, get("proto")?, metrics));
+    }
+    Ok(out)
+}
+
+/// The bench-trajectory gate: compares a freshly produced `candidate`
+/// report against the committed `baseline` within tolerance bands —
+/// every baseline row must exist in the candidate, `delivery` may
+/// regress at most `delivery_tol` (fraction), and the
+/// [`OVERHEAD_GATED_METRICS`] may grow at most `overhead_tol`. Refuses
+/// smoke candidates. Returns one summary line per compared row; all
+/// violations are collected into the error, not just the first.
+pub fn check_trajectory(
+    candidate: &Json,
+    baseline: &Json,
+    delivery_tol: f64,
+    overhead_tol: f64,
+) -> Result<Vec<String>, String> {
+    if is_smoke(candidate)? {
+        return Err("trajectory gate needs a full run, not --smoke".into());
+    }
+    let base_rows = report_rows(baseline)?;
+    let cand_rows = report_rows(candidate)?;
+    let mut summary = Vec::new();
+    let mut violations = Vec::new();
+    for (sweep, label, proto, metrics) in &base_rows {
+        let coord = format!("{sweep}/{label}/{proto}");
+        let Some((.., cand_metrics)) = cand_rows
+            .iter()
+            .find(|(s, l, p, _)| s == sweep && l == label && p == proto)
+        else {
+            violations.push(format!("row {coord} missing from candidate"));
+            continue;
+        };
+        let cand = |name: &str| {
+            cand_metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+        };
+        for (name, base_v) in metrics {
+            if name == "delivery" {
+                let floor = base_v * (1.0 - delivery_tol);
+                match cand(name) {
+                    Some(v) if v >= floor => {
+                        summary.push(format!("{coord}: delivery {v:.3} vs baseline {base_v:.3}"))
+                    }
+                    Some(v) => violations.push(format!(
+                        "{coord}: delivery {v:.3} regressed more than {:.0}% below baseline {base_v:.3}",
+                        delivery_tol * 100.0
+                    )),
+                    None => violations.push(format!("{coord}: delivery metric missing")),
+                }
+            } else if OVERHEAD_GATED_METRICS.contains(&name.as_str()) {
+                let ceiling = base_v * (1.0 + overhead_tol);
+                match cand(name) {
+                    Some(v) if v <= ceiling || *base_v == 0.0 && v == 0.0 => {
+                        summary.push(format!("{coord}: {name} {v:.1} vs baseline {base_v:.1}"))
+                    }
+                    Some(v) => violations.push(format!(
+                        "{coord}: {name} {v:.1} grew more than {:.0}% over baseline {base_v:.1}",
+                        overhead_tol * 100.0
+                    )),
+                    None => violations.push(format!("{coord}: {name} metric missing")),
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(summary)
+    } else {
+        Err(violations.join("; "))
+    }
 }
 
 /// The strict JSON parser behind [`parse_strict`].
@@ -506,6 +688,124 @@ mod tests {
         rep.smoke = false;
         let doc = validate_report_str(&rep.to_json().to_string()).unwrap();
         assert!(check_loss_floor(&doc, LOSS_DELIVERY_FLOOR).is_ok());
+    }
+
+    fn overhead_report(fixed_refresh: f64, adaptive_refresh: f64, adaptive_total: f64) -> String {
+        report(
+            "overhead",
+            vec![
+                Row::new(
+                    "churn",
+                    OVERHEAD_QUIET_POINT,
+                    "hvdb-fixed",
+                    vec![
+                        ("refresh_frames_per_s".into(), fixed_refresh),
+                        ("control_frames_per_s".into(), adaptive_total * 1.5),
+                    ],
+                ),
+                Row::new(
+                    "churn",
+                    OVERHEAD_QUIET_POINT,
+                    "hvdb-adaptive",
+                    vec![
+                        ("refresh_frames_per_s".into(), adaptive_refresh),
+                        ("control_frames_per_s".into(), adaptive_total),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn overhead_gate_enforces_ratio_and_ceiling() {
+        // 3x improvement, total under the ceiling: passes.
+        let doc = validate_report_str(&overhead_report(600.0, 200.0, 700.0)).unwrap();
+        let (ratio, total) = check_overhead_gate(&doc).expect("gate passes");
+        assert!((ratio - 3.0).abs() < 1e-9);
+        assert!((total - 700.0).abs() < 1e-9);
+        // Only 1.5x improvement: fails.
+        let doc = validate_report_str(&overhead_report(300.0, 200.0, 700.0)).unwrap();
+        assert!(check_overhead_gate(&doc).unwrap_err().contains("below"));
+        // Ratio fine but total control traffic blew through the ceiling.
+        let doc = validate_report_str(&overhead_report(
+            9000.0,
+            200.0,
+            OVERHEAD_CEILING_FRAMES_PER_S + 1.0,
+        ))
+        .unwrap();
+        assert!(check_overhead_gate(&doc).unwrap_err().contains("ceiling"));
+        // Missing quiet rows: fails loudly.
+        let doc = validate_report_str(&report(
+            "overhead",
+            vec![Row::new(
+                "churn",
+                "churn=12",
+                "hvdb-adaptive",
+                vec![("refresh_frames_per_s".into(), 1.0)],
+            )],
+        ))
+        .unwrap();
+        assert!(check_overhead_gate(&doc).is_err());
+    }
+
+    #[test]
+    fn overhead_gate_refuses_smoke() {
+        let mut rep = overhead_report(600.0, 200.0, 700.0);
+        rep = rep.replace("\"smoke\": false", "\"smoke\": true");
+        let doc = validate_report_str(&rep).unwrap();
+        assert!(check_overhead_gate(&doc).unwrap_err().contains("smoke"));
+    }
+
+    fn scale_row(delivery: f64, frames: f64) -> Row {
+        Row::new(
+            "network-size",
+            "nodes=200",
+            "hvdb",
+            vec![
+                ("delivery".into(), delivery),
+                ("control_frames_per_s".into(), frames),
+                ("latency_ms".into(), 17.0), // un-gated metric: free to move
+            ],
+        )
+    }
+
+    #[test]
+    fn trajectory_gate_bands_delivery_and_overhead() {
+        let baseline = validate_report_str(&report("scale", vec![scale_row(1.0, 500.0)])).unwrap();
+        // Within both bands: passes with a summary line per checked row.
+        let cand = validate_report_str(&report("scale", vec![scale_row(0.95, 540.0)])).unwrap();
+        let summary = check_trajectory(&cand, &baseline, 0.10, 0.15).expect("within bands");
+        assert_eq!(summary.len(), 2);
+        // Delivery regressed past the band.
+        let cand = validate_report_str(&report("scale", vec![scale_row(0.85, 500.0)])).unwrap();
+        let err = check_trajectory(&cand, &baseline, 0.10, 0.15).unwrap_err();
+        assert!(err.contains("delivery"), "{err}");
+        // Overhead grew past the band.
+        let cand = validate_report_str(&report("scale", vec![scale_row(1.0, 600.0)])).unwrap();
+        let err = check_trajectory(&cand, &baseline, 0.10, 0.15).unwrap_err();
+        assert!(err.contains("control_frames_per_s"), "{err}");
+        // A baseline row vanishing from the candidate is a failure, not a
+        // silent skip.
+        let other = Row::new(
+            "network-size",
+            "nodes=400",
+            "hvdb",
+            vec![("delivery".into(), 1.0)],
+        );
+        let cand = validate_report_str(&report("scale", vec![other])).unwrap();
+        let err = check_trajectory(&cand, &baseline, 0.10, 0.15).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn trajectory_gate_collects_every_violation() {
+        let baseline = validate_report_str(&report("scale", vec![scale_row(1.0, 500.0)])).unwrap();
+        let cand = validate_report_str(&report("scale", vec![scale_row(0.5, 900.0)])).unwrap();
+        let err = check_trajectory(&cand, &baseline, 0.10, 0.15).unwrap_err();
+        assert!(
+            err.contains("delivery") && err.contains("control_frames_per_s"),
+            "{err}"
+        );
     }
 
     #[test]

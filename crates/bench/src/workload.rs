@@ -65,6 +65,11 @@ pub struct Workload {
     pub cooldown: SimDuration,
     /// Fraction of nodes with CH-class hardware.
     pub enhanced_fraction: f64,
+    /// Scripted membership churn: this many join/leave events (drawn
+    /// deterministically from the seed, alternating join-heavy) spread
+    /// over the traffic window. 0 = a quiet control plane (the
+    /// `overhead` scenario's baseline phase).
+    pub churn_events: usize,
     /// Master seed.
     pub seed: u64,
     /// Fail-stop faults injected during the run: this many distinct nodes
@@ -93,6 +98,7 @@ impl Default for Workload {
             traffic_window: SimDuration::from_secs(40),
             cooldown: SimDuration::from_secs(40),
             enhanced_fraction: 0.8,
+            churn_events: 0,
             seed: 1,
             fail_count: 0,
             fail_at: None,
@@ -169,6 +175,25 @@ impl Workload {
             }
         }
         traffic.sort_by_key(|t| (t.at, t.src));
+        // Scripted membership churn: join/leave events over the traffic
+        // window from an independent stream. Two joins per leave keeps
+        // groups populated for the whole run (delivery accounting reads
+        // ground truth at send time, so churn and traffic compose).
+        let mut group_events = Vec::new();
+        if self.churn_events > 0 && self.groups > 0 {
+            let mut crng = SimRng::new(self.seed ^ 0xC4_0412_CAFE);
+            for i in 0..self.churn_events {
+                let gid = GroupId(crng.index(self.groups) as u32 + 1);
+                let node = NodeId(crng.index(self.nodes) as u32);
+                group_events.push(GroupEvent {
+                    at: SimTime(self.warmup.0 + crng.range_u64(0, window)),
+                    node,
+                    group: gid,
+                    join: i % 3 != 2,
+                });
+            }
+            group_events.sort_by_key(|e| (e.at, e.node, e.group.0));
+        }
         let until = SimTime(self.warmup.0 + self.traffic_window.0 + self.cooldown.0);
         // Fault injection: distinct victims from an independent stream,
         // striking mid-traffic-window unless scripted otherwise, so
@@ -190,7 +215,7 @@ impl Workload {
             hvdb,
             members,
             traffic,
-            group_events: Vec::new(),
+            group_events,
             failures,
             until,
             mobility_kind: self.mobility,
@@ -209,6 +234,7 @@ impl Workload {
             groups: self.groups.min(2),
             members_per_group: self.members_per_group.min(3),
             packets_per_group: self.packets_per_group.min(2),
+            churn_events: self.churn_events.min(3),
             warmup: SimDuration::from_millis(400),
             traffic_window: SimDuration::from_millis(300),
             cooldown: SimDuration::from_millis(300),
@@ -260,6 +286,14 @@ impl RunMetrics {
             ("gini".into(), self.gini),
         ]
     }
+}
+
+/// Message classes originated by the soft-state refresh timer (periodic
+/// re-advertisement rather than content change), *including* their flood
+/// relays — the traffic the adaptive controller suppresses in quiet
+/// phases, measured separately so the `overhead` scenario can gate it.
+pub fn is_refresh_class(class: &str) -> bool {
+    matches!(class, "ch-refresh" | "mnt-refresh" | "ht-refresh")
 }
 
 /// Classifies message classes into control vs data planes (shared across
@@ -353,5 +387,34 @@ mod tests {
         assert!(!is_data_class("mnt-share"));
         assert!(!is_data_class("spbm-l0"));
         assert!(!is_data_class("dsm-location"));
+        // Refresh-plane classes are control traffic, and a strict subset
+        // of it.
+        for c in ["ch-refresh", "mnt-refresh", "ht-refresh"] {
+            assert!(is_refresh_class(c));
+            assert!(!is_data_class(c));
+        }
+        assert!(!is_refresh_class("mnt-share"));
+        assert!(!is_refresh_class("stamp-hint"));
+    }
+
+    #[test]
+    fn churn_events_are_deterministic_and_windowed() {
+        let w = Workload {
+            churn_events: 30,
+            ..Workload::default()
+        };
+        let a = w.build();
+        let b = w.build();
+        assert_eq!(a.group_events, b.group_events);
+        assert_eq!(a.group_events.len(), 30);
+        let joins = a.group_events.iter().filter(|e| e.join).count();
+        assert_eq!(joins, 20, "two joins per leave keep groups populated");
+        for e in &a.group_events {
+            assert!(e.at >= SimTime(w.warmup.0));
+            assert!(e.at < SimTime(w.warmup.0 + w.traffic_window.0));
+            assert!(e.group.0 >= 1 && e.group.0 <= w.groups as u32);
+        }
+        // Quiet default: no churn unless asked for.
+        assert!(Workload::default().build().group_events.is_empty());
     }
 }

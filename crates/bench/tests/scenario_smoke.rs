@@ -14,7 +14,7 @@ fn every_scenario_smokes_and_validates() {
         seeds: None,
     };
     let defs = registry();
-    assert!(defs.len() >= 12, "registry lost scenarios: {}", defs.len());
+    assert!(defs.len() >= 15, "registry lost scenarios: {}", defs.len());
     for def in &defs {
         let report = run_scenario(def, &opts);
         assert_eq!(report.scenario, def.name);
@@ -58,6 +58,57 @@ fn loss_scenario_emits_the_gated_metrics() {
         "loss report lost its gate coordinate"
     );
     assert!(metric_of(&doc, "frame-loss", "loss=0.15", "hvdb", "delivery").is_some());
+}
+
+#[test]
+fn overhead_scenario_emits_the_gated_coordinates() {
+    // The CI quiet-phase gate reads churn/churn=0/{hvdb-fixed,
+    // hvdb-adaptive}/refresh_frames_per_s (plus the adaptive side's
+    // control_frames_per_s ceiling); the scenario must emit those exact
+    // coordinates even in smoke shape.
+    let report = run_scenario(
+        &hvdb_bench::scenario::find("overhead").expect("overhead scenario registered"),
+        &RunOpts {
+            smoke: true,
+            seeds: None,
+        },
+    );
+    let doc = validate_report_str(&report.to_json().to_string()).expect("valid report");
+    for proto in ["hvdb-fixed", "hvdb-adaptive"] {
+        assert!(
+            metric_of(&doc, "churn", "churn=0", proto, "refresh_frames_per_s").is_some(),
+            "overhead report lost its {proto} gate coordinate"
+        );
+    }
+    assert!(metric_of(
+        &doc,
+        "churn",
+        "churn=0",
+        "hvdb-adaptive",
+        "control_frames_per_s"
+    )
+    .is_some());
+}
+
+#[test]
+fn scale_scenario_emits_trajectory_metrics() {
+    let report = run_scenario(
+        &hvdb_bench::scenario::find("scale").expect("scale scenario registered"),
+        &RunOpts {
+            smoke: true,
+            seeds: None,
+        },
+    );
+    let doc = validate_report_str(&report.to_json().to_string()).expect("valid report");
+    // Every row must carry the trajectory-gated metrics.
+    for label in ["nodes=30", "nodes=40"] {
+        for metric in ["delivery", "control_bytes_per_node", "control_frames_per_s"] {
+            assert!(
+                metric_of(&doc, "network-size", label, "hvdb", metric).is_some(),
+                "scale report lost {label}/{metric}"
+            );
+        }
+    }
 }
 
 #[test]

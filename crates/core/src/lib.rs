@@ -45,6 +45,7 @@ pub use packet::{ChMsg, GeoPacket, GeoTarget, HvdbMsg};
 pub use protocol::{Counters, HvdbProtocol};
 pub use qos::{QosSession, RepairOutcome, SessionManager};
 pub use routes::{AdvertisedRoute, QosMetrics, QosRequirement, RouteEntry, RouteTable};
+pub use softstate::refresh::RefreshController;
 pub use softstate::{miss_deadline, Freshness, GenClock, SoftEntry, SoftStore};
 pub use summary::{GroupId, HtSummary, LocalMembership, MntSummary, MtSummary};
 pub use tree::{mesh_path, MeshTree};

@@ -54,6 +54,25 @@ pub struct HvdbConfig {
     /// reports, MNT/HT summaries) is discarded only after this many
     /// consecutive missed refreshes, never on a single silent period.
     pub refresh_miss_limit: u32,
+    /// Whether the staleness-driven refresh controller
+    /// ([`crate::softstate::refresh`]) is active. When `false`, every
+    /// store re-advertises on every refresh tick (the PR 2 fixed rate —
+    /// kept as the comparison baseline for the `overhead` scenario).
+    pub adaptive_refresh: bool,
+    /// Multiplicative backoff factor of the adaptive controller: each
+    /// refresh fired after a fully quiet interval widens the next
+    /// interval by this factor.
+    pub refresh_backoff_factor: u32,
+    /// Backoff clamp for designation (`ChAnnounce`) refreshes, in fast
+    /// refresh ticks. Kept small: announcements are cheap single local
+    /// broadcasts, and the members' head-lease expiry — i.e. failure
+    /// detection — must budget for an origin at full backoff.
+    pub refresh_max_backoff_designation: u32,
+    /// Backoff clamp for MNT/HT summary re-floods, in fast refresh
+    /// ticks. These are the expensive frames (cube- and network-wide
+    /// flood fan-out), so they earn the deepest quiet-phase backoff; the
+    /// summary K-miss deadline scales with this cap.
+    pub refresh_max_backoff_summary: u32,
     /// Number of times a CH broadcasts each `LocalDeliver` frame (members
     /// dedup by data id). Broadcasts have no MAC recovery, so under frame
     /// loss the final hop is the delivery bottleneck; 2 turns a 15% loss
@@ -102,6 +121,16 @@ impl HvdbConfig {
             refresh_interval: SimDuration::from_secs(2),
             refresh_jitter: SimDuration::from_millis(1000),
             refresh_miss_limit: 3,
+            adaptive_refresh: true,
+            refresh_backoff_factor: 2,
+            // Designation stays at the floor rate by default: ChAnnounce
+            // is one tiny local broadcast per head, so backing it off
+            // saves almost nothing while its silence deadline *is* the
+            // members' failure detector — halving announcement cost is
+            // not worth doubling fail-stop recovery latency. The savings
+            // come from the flood-amplified summary stores below.
+            refresh_max_backoff_designation: 1,
+            refresh_max_backoff_summary: 4,
             deliver_repeats: 3,
             geo_ttl: 24,
             designation: DesignationCriterion::NeighborhoodGroups,
@@ -127,12 +156,45 @@ impl HvdbConfig {
         crate::softstate::miss_deadline(self.beacon_interval, self.refresh_miss_limit)
     }
 
-    /// Refresh-silence deadline for soft state re-advertised every
-    /// `refresh_interval` (MNT entries of silent cube peers). Accounts for
-    /// the refresh jitter on top of the K-miss budget.
+    /// The slowest interval the adaptive controller may stretch a store's
+    /// refresh to. Every fast tick is armed as `refresh_interval` plus
+    /// its *own* jitter draw, so a store backed off to `cap` ticks can
+    /// accumulate `cap` worst-case jitters between fires — the deadline
+    /// must budget `cap * (interval + jitter)`, not one jitter total, or
+    /// a quiet origin could be expired before its K-miss allowance.
+    fn slowest_refresh(&self, max_backoff: u32) -> SimDuration {
+        let cap = if self.adaptive_refresh {
+            max_backoff.max(1) as u64
+        } else {
+            1
+        };
+        SimDuration(
+            self.refresh_interval
+                .0
+                .saturating_add(self.refresh_jitter.0)
+                .saturating_mul(cap),
+        )
+    }
+
+    /// Refresh-silence deadline for soft state re-advertised on the
+    /// summary refresh rate (MNT entries of silent cube peers, HT entries
+    /// of silent regions). Budgets for an origin at full adaptive
+    /// backoff on top of the K-miss allowance — a quiet origin must never
+    /// be expired for merely being quiet.
     pub fn summary_deadline(&self) -> SimDuration {
         crate::softstate::miss_deadline(
-            SimDuration(self.refresh_interval.0 + self.refresh_jitter.0),
+            self.slowest_refresh(self.refresh_max_backoff_summary),
+            self.refresh_miss_limit,
+        )
+    }
+
+    /// Announcement-silence deadline for the members' head lease.
+    /// Designation refreshes back off on their own (small) cap, so this
+    /// stays much tighter than [`HvdbConfig::summary_deadline`] — it is
+    /// the cluster's failure-detection latency.
+    pub fn designation_deadline(&self) -> SimDuration {
+        crate::softstate::miss_deadline(
+            self.slowest_refresh(self.refresh_max_backoff_designation),
             self.refresh_miss_limit,
         )
     }
@@ -508,5 +570,42 @@ mod tests {
         assert!(cfg.neighbor_deadline() > cfg.beacon_interval);
         assert!(cfg.summary_deadline() > cfg.refresh_interval);
         assert!(cfg.local_report_deadline() > cfg.local_report_interval);
+        // Adaptive-refresh deadlines must budget for an origin at full
+        // backoff: K misses of the *slowest* interval each store may
+        // stretch to, never the floor rate.
+        assert!(cfg.adaptive_refresh);
+        let summary_cap = SimDuration(
+            cfg.refresh_interval.0 * cfg.refresh_max_backoff_summary as u64 + cfg.refresh_jitter.0,
+        );
+        assert!(
+            cfg.summary_deadline() > SimDuration(summary_cap.0 * cfg.refresh_miss_limit as u64)
+        );
+        let dsg_cap = SimDuration(
+            cfg.refresh_interval.0 * cfg.refresh_max_backoff_designation as u64
+                + cfg.refresh_jitter.0,
+        );
+        assert!(
+            cfg.designation_deadline() > SimDuration(dsg_cap.0 * cfg.refresh_miss_limit as u64)
+        );
+        // Failure detection (lease expiry) stays tighter than the summary
+        // deadline: designation backs off less than the summary floods.
+        assert!(cfg.designation_deadline() < cfg.summary_deadline());
+        // The fully backed-off summary refresh still outruns expiry, and
+        // the slow HT content cycle still lands inside the deadline.
+        assert!(cfg.summary_deadline() > cfg.ht_interval);
+    }
+
+    #[test]
+    fn fixed_rate_config_restores_tight_deadlines() {
+        let mut cfg = fig2_cfg();
+        cfg.adaptive_refresh = false;
+        // With the controller off, deadlines collapse to the PR 2 shape:
+        // K misses of the floor rate plus jitter.
+        let base = crate::softstate::miss_deadline(
+            SimDuration(cfg.refresh_interval.0 + cfg.refresh_jitter.0),
+            cfg.refresh_miss_limit,
+        );
+        assert_eq!(cfg.summary_deadline(), base);
+        assert_eq!(cfg.designation_deadline(), base);
     }
 }

@@ -70,6 +70,12 @@ pub enum ChMsg {
         holder: u32,
         /// Origin-local generation stamp (stale suppression + dedup).
         gen: u64,
+        /// Whether this flood was originated by the soft-state refresh
+        /// timer (periodic re-advertisement) rather than the content
+        /// cycle. Rides a header bit (no wire-size cost); relays
+        /// preserve it so the whole refresh flood — fan-out included —
+        /// is accounted to the `mnt-refresh` stats class.
+        refresh: bool,
         /// The summary.
         mnt: MntSummary,
     },
@@ -83,6 +89,9 @@ pub enum ChMsg {
         holder: u32,
         /// Origin-local generation stamp (stale suppression + dedup).
         gen: u64,
+        /// Refresh-timer origination flag (see [`ChMsg::MntShare`]):
+        /// keeps the `ht-refresh` stats class honest across relays.
+        refresh: bool,
         /// The summary.
         ht: HtSummary,
     },
@@ -123,8 +132,10 @@ impl ChMsg {
     pub fn class(&self) -> &'static str {
         match self {
             ChMsg::Beacon { .. } => "beacon",
-            ChMsg::MntShare { .. } => "mnt-share",
-            ChMsg::HtBroadcast { .. } => "ht-bcast",
+            ChMsg::MntShare { refresh: false, .. } => "mnt-share",
+            ChMsg::MntShare { refresh: true, .. } => "mnt-refresh",
+            ChMsg::HtBroadcast { refresh: false, .. } => "ht-bcast",
+            ChMsg::HtBroadcast { refresh: true, .. } => "ht-refresh",
             ChMsg::MeshData { .. } => "mesh-data",
             ChMsg::HcData { .. } => "hc-data",
         }

@@ -47,6 +47,7 @@ use crate::model::{build_region_cube, region_center, GroupEvent, HvdbConfig, Tra
 use crate::packet::{CandScore, ChMsg, GeoPacket, GeoTarget, HvdbMsg};
 use crate::qos::SessionManager;
 use crate::routes::{QosMetrics, QosRequirement, RouteTable};
+use crate::softstate::refresh::RefreshController;
 use crate::softstate::GenClock;
 use crate::summary::{GroupId, LocalMembership};
 use crate::tree::MeshTree;
@@ -112,6 +113,14 @@ pub struct Counters {
     /// Soft-state entries (member reports, MNT/HT summaries) expired
     /// after K missed refreshes.
     pub soft_expired: u64,
+    /// Refresh broadcasts withheld by the adaptive controller (the tick
+    /// fired but the store was quiet and backed off).
+    pub refresh_suppressed: u64,
+    /// Stale-stamp conflicts answered with a corrective unicast carrying
+    /// the stored entry back to the outranked origin (succession repair:
+    /// the new holder advances its clock past its predecessor's stamps
+    /// within one refresh period instead of waiting out K-miss expiry).
+    pub stamp_hints_sent: u64,
 }
 
 /// A cluster head's protocol state.
@@ -136,11 +145,21 @@ struct HeadState {
     hc_cache: FxHashMap<GroupId, (u64, MulticastTree)>,
     /// Bumped whenever the stored MNT set changes (hc cache invalidation).
     mnt_version: u64,
+    /// Adaptive refresh rate for designation announcements.
+    refresh_dsg: RefreshController,
+    /// Adaptive refresh rate for MNT-Summary re-floods.
+    refresh_mnt: RefreshController,
+    /// Adaptive refresh rate for HT-Summary re-broadcasts (designated CH).
+    refresh_ht: RefreshController,
 }
 
 impl HeadState {
     fn new(cfg: &HvdbConfig, vc: VcId) -> Self {
         let addr = cfg.map.address_of(vc);
+        // A disabled controller clamps at 1 tick: every refresh fires,
+        // reproducing the PR 2 fixed rate exactly.
+        let cap = |max: u32| if cfg.adaptive_refresh { max } else { 1 };
+        let ctrl = |max: u32| RefreshController::new(cfg.refresh_backoff_factor, cap(max));
         HeadState {
             vc,
             addr,
@@ -154,6 +173,9 @@ impl HeadState {
             mesh_cache: FxHashMap::default(),
             hc_cache: FxHashMap::default(),
             mnt_version: 0,
+            refresh_dsg: ctrl(cfg.refresh_max_backoff_designation),
+            refresh_mnt: ctrl(cfg.refresh_max_backoff_summary),
+            refresh_ht: ctrl(cfg.refresh_max_backoff_summary),
         }
     }
 }
@@ -250,7 +272,7 @@ impl HvdbProtocol {
     fn current_ch(&self, node: NodeId, now: SimTime) -> Option<NodeId> {
         self.nodes[node.idx()]
             .ch
-            .head(now, self.cfg.summary_deadline())
+            .head(now, self.cfg.designation_deadline())
             .map(NodeId)
     }
 
@@ -472,6 +494,10 @@ impl HvdbProtocol {
         if changed {
             h.mnt_version += 1;
         }
+        // A succession just happened: members and cube peers must learn
+        // the new holder's stamps quickly, whatever the quiet phase was.
+        h.refresh_mnt.on_activity();
+        h.refresh_ht.on_activity();
     }
 
     /// Steps down as head of `vc`, shipping the backbone state to `rival`
@@ -550,7 +576,7 @@ impl HvdbProtocol {
             // A fresh win mints the next designation term; re-wins of a
             // sitting head re-announce at the current term (a refresh,
             // not a succession — members must not see a term churn).
-            let deadline = self.cfg.summary_deadline();
+            let deadline = self.cfg.designation_deadline();
             let st = &mut self.nodes[node.idx()];
             let term = if st.ch.head_unchecked() == Some(node.0) {
                 st.ch.term()
@@ -558,6 +584,11 @@ impl HvdbProtocol {
                 st.ch.next_term()
             };
             st.ch.observe(node.0, term, ctx.now(), deadline);
+            if let Role::Head(h) = &mut st.role {
+                // A (re-)won round is designation churn for the cluster:
+                // re-announce at the floor rate until things settle.
+                h.refresh_dsg.on_activity();
+            }
             let msg = HvdbMsg::ChAnnounce { vc: my_vc, term };
             let bytes = msg.wire_size();
             ctx.broadcast(node, "ch-announce", bytes, msg);
@@ -632,6 +663,12 @@ impl HvdbProtocol {
             expired_count += 1;
         }
         h.table.expire(now, ttl.saturating_mul(2));
+        if expired_count > 0 {
+            // Backbone churn (a logical neighbour vanished): keep the
+            // summary refreshes at the floor rate while views resettle.
+            h.refresh_mnt.on_activity();
+            h.refresh_ht.on_activity();
+        }
         // Beacon to every logical neighbour VC (intra- and inter-region).
         let advertised = h.table.advertisement();
         let from = h.addr;
@@ -721,6 +758,11 @@ impl HvdbProtocol {
         let (_, mnt_changed) = h.db.store_mnt(origin, node.0, gen, now, mnt.clone());
         if pruned > 0 || own_changed || mnt_changed {
             h.mnt_version += 1;
+            // Membership churn: receivers are behind until our next
+            // flood, so the adaptive refresh must run at the floor rate
+            // (and the region's HT content changed with it).
+            h.refresh_mnt.on_activity();
+            h.refresh_ht.on_activity();
         }
         // Also fold the fresh local HT view into our own MT immediately —
         // directly, without claiming the region's ht_of origin slot: that
@@ -737,11 +779,12 @@ impl HvdbProtocol {
             hid,
             holder: node.0,
             gen,
+            refresh: false,
             mnt,
         };
         let msg = HvdbMsg::Local(inner.clone());
         let bytes = msg.wire_size();
-        ctx.broadcast(node, "mnt-share", bytes, msg);
+        ctx.broadcast(node, inner.class(), bytes, msg);
         self.mnt_far_supplement(ctx, node, my_vc, hid, inner);
     }
 
@@ -776,6 +819,7 @@ impl HvdbProtocol {
         hid: Hid,
         holder: u32,
         gen: u64,
+        refresh: bool,
         mnt: crate::summary::MntSummary,
     ) {
         let now = ctx.now();
@@ -791,41 +835,95 @@ impl HvdbProtocol {
             // suppressing it is also what terminates the flood.
             self.counters.stale_suppressed += 1;
             ctx.record_stale_suppressed();
+            let stored = h.db.mnt_of.entry(&origin).map(|e| (e.holder, e.gen));
+            if let Some((s_holder, s_gen)) = stored {
+                if holder == s_holder && gen == s_gen {
+                    return; // the flood wave we already relayed: quiet
+                }
+                // A *non-duplicate* stale offer is observed staleness:
+                // some origin is behind our view. Run our own refreshes
+                // at the floor rate until the conflict settles.
+                h.refresh_mnt.on_activity();
+                if holder != s_holder
+                    && gen < s_gen
+                    && s_holder != crate::membership::SNAPSHOT_HOLDER
+                {
+                    // The offering holder (typically the label's new head
+                    // after an abrupt succession) is outranked by its
+                    // predecessor's surviving stamp. Hand the stored
+                    // entry back to it so its `advance_to` recovery runs
+                    // now, not after K-miss expiry tears the entry down.
+                    // Geo-routed toward the label's VC, not unicast: the
+                    // conflict is often detected multiple hops from the
+                    // holder (relayed floods, far-neighbor supplements),
+                    // where a direct frame would fall out of range.
+                    let hint = h.db.mnt_of.get(&origin).cloned().and_then(|value| {
+                        let addr = LogicalAddress { hid, hnid: origin };
+                        self.cfg.map.vc_of(addr).map(|vc| (vc, value))
+                    });
+                    if let Some((vc, value)) = hint {
+                        let inner = ChMsg::MntShare {
+                            origin,
+                            hid,
+                            holder: s_holder,
+                            gen: s_gen,
+                            refresh: false,
+                            mnt: value,
+                        };
+                        self.counters.stamp_hints_sent += 1;
+                        self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(vc), inner);
+                    }
+                }
+            }
             return;
         }
         if changed {
             h.mnt_version += 1;
+            // Cube churn reached us: the region's HT content changed, so
+            // the designated CH's HT refresh (possibly us) must be fast.
+            h.refresh_ht.on_activity();
         }
         if origin == h.addr.hnid && holder != node.0 {
             // Someone else's stamp outranks ours on our own label (a
             // predecessor's surviving state after re-election): advance
-            // our clock so the next refresh supersedes it.
+            // our clock so the next refresh supersedes it — at the floor
+            // rate, this is exactly the state the backoff must not sit on.
             h.mnt_gen.advance_to(gen);
+            h.refresh_mnt.on_activity();
         }
-        // Cube-scoped flood: re-broadcast once per (holder, gen).
+        // Cube-scoped flood: re-broadcast once per (holder, gen),
+        // preserving the refresh-plane accounting flag.
         let inner = ChMsg::MntShare {
             origin,
             hid,
             holder,
             gen,
+            refresh,
             mnt,
         };
+        let class = inner.class();
         let msg = HvdbMsg::Local(inner);
         let bytes = msg.wire_size();
-        ctx.broadcast(node, "mnt-share", bytes, msg);
+        ctx.broadcast(node, class, bytes, msg);
     }
 
     fn on_ht_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
         let tag = self.ptag(node, TAG_HT);
         ctx.set_timer(node, self.cfg.ht_interval, tag);
-        self.broadcast_ht_if_designated(node, ctx);
+        self.broadcast_ht_if_designated(node, ctx, false);
     }
 
     /// §4.2 designated broadcast: if this CH self-designates over its
     /// current MNT state, (re-)broadcast the HT-Summary with a fresh
-    /// generation. Shared by the slow designation cycle and the fast
-    /// refresh timer. Returns whether a broadcast went out.
-    fn broadcast_ht_if_designated(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) -> bool {
+    /// generation. Shared by the slow designation cycle (`refresh =
+    /// false`) and the fast refresh timer (`refresh = true`, accounted to
+    /// the `ht-refresh` class). Returns whether a broadcast went out.
+    fn broadcast_ht_if_designated(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, HvdbMsg>,
+        refresh: bool,
+    ) -> bool {
         let criterion = self.cfg.designation;
         let now = ctx.now();
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
@@ -848,14 +946,17 @@ impl HvdbProtocol {
             origin,
             holder: node.0,
             gen,
+            refresh,
             ht,
         };
+        let class = inner.class();
         let msg = HvdbMsg::Local(inner);
         let bytes = msg.wire_size();
-        ctx.broadcast(node, "ht-bcast", bytes, msg);
+        ctx.broadcast(node, class, bytes, msg);
         true
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_ht_broadcast(
         &mut self,
         node: NodeId,
@@ -863,6 +964,7 @@ impl HvdbProtocol {
         origin: Hid,
         holder: u32,
         gen: u64,
+        refresh: bool,
         ht: crate::summary::HtSummary,
     ) {
         let now = ctx.now();
@@ -872,6 +974,41 @@ impl HvdbProtocol {
         if !h.db.integrate_ht(ht.clone(), holder, gen, now).is_fresh() {
             self.counters.stale_suppressed += 1;
             ctx.record_stale_suppressed();
+            let stored = h.db.ht_of.entry(&origin).map(|e| (e.holder, e.gen));
+            if let Some((s_holder, s_gen)) = stored {
+                if holder == s_holder && gen == s_gen {
+                    return; // the wave we already relayed
+                }
+                // Observed staleness: run at the floor rate and, when a
+                // new designee is outranked by its predecessor's stamp,
+                // hint the stored entry back so `advance_to` repairs the
+                // succession within a refresh period.
+                h.refresh_ht.on_activity();
+                if holder != s_holder
+                    && gen < s_gen
+                    && s_holder != crate::membership::SNAPSHOT_HOLDER
+                {
+                    // HT hints stay direct unicasts (the designee's VC is
+                    // not derivable from the region id alone), so they
+                    // only help when the holder is in radio range; count
+                    // only hints that were actually deliverable — expiry
+                    // remains the backstop for far designees.
+                    let hint_value = h.db.ht_of.get(&origin).cloned();
+                    if let Some(value) = hint_value {
+                        let msg = HvdbMsg::Local(ChMsg::HtBroadcast {
+                            origin,
+                            holder: s_holder,
+                            gen: s_gen,
+                            refresh: false,
+                            ht: value,
+                        });
+                        let bytes = msg.wire_size();
+                        if ctx.send_reliable(node, NodeId(holder), "stamp-hint", bytes, msg) {
+                            self.counters.stamp_hints_sent += 1;
+                        }
+                    }
+                }
+            }
             return;
         }
         if origin == h.addr.hid {
@@ -880,16 +1017,19 @@ impl HvdbProtocol {
             // previous designee's stamps.
             h.ht_gen.advance_to(gen);
         }
-        // Network-wide CH flood: re-broadcast once per (holder, gen).
+        // Network-wide CH flood: re-broadcast once per (holder, gen),
+        // preserving the refresh-plane accounting flag.
         let inner = ChMsg::HtBroadcast {
             origin,
             holder,
             gen,
+            refresh,
             ht,
         };
+        let class = inner.class();
         let msg = HvdbMsg::Local(inner);
         let bytes = msg.wire_size();
-        ctx.broadcast(node, "ht-bcast", bytes, msg);
+        ctx.broadcast(node, class, bytes, msg);
     }
 
     // ------------------------------------------------------------------
@@ -900,6 +1040,16 @@ impl HvdbProtocol {
     /// K-miss expiry over their soft stores. Refresh traffic is what
     /// repairs lost control broadcasts within ~one period instead of a
     /// whole 8–20 s content cycle.
+    ///
+    /// The timer always ticks at the fast floor rate; the per-store
+    /// [`RefreshController`]s decide which stores actually re-advertise
+    /// this tick. While the cube is quiet (no churn, no observed
+    /// staleness, no entries drifting toward expiry) the controllers
+    /// widen their intervals multiplicatively, shedding most of the
+    /// refresh overhead; any activity snaps them back so repair latency
+    /// stays one fast period. Withheld refreshes are counted
+    /// (`refresh_suppressed`), fired ones feed the refresh-rate
+    /// histogram.
     fn on_refresh_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
         let tag = self.ptag(node, TAG_REFRESH);
         ctx.set_timer_jittered(
@@ -916,8 +1066,9 @@ impl HvdbProtocol {
         };
         let addr = h.addr;
         let vc = h.vc;
-        // Expiry sweeps: silent peers' summaries go after K missed
-        // refreshes; vanished hypercubes are retracted from the MT view.
+        // Expiry sweeps (every tick, regardless of backoff): silent
+        // peers' summaries go after K missed refreshes; vanished
+        // hypercubes are retracted from the MT view.
         let expired_mnts = h.db.expire_mnts(now, summary_deadline, addr.hnid);
         for label in &expired_mnts {
             h.neighbor_last.remove(label);
@@ -927,48 +1078,111 @@ impl HvdbProtocol {
         }
         let expired_hts = h.db.expire_hts(now, summary_deadline, addr.hid);
         let expired = (expired_mnts.len() + expired_hts.len()) as u64;
+        if expired > 0 {
+            // State was torn down — the view is in flux; refresh fast.
+            h.refresh_mnt.on_activity();
+            h.refresh_ht.on_activity();
+        }
+        // K-miss pressure: surviving entries past half the expiry budget
+        // mean refreshes are being lost in flight. Backing off now would
+        // finish the job the loss started; snap back instead (this is
+        // what preserves the ≥25%-loss floor under the adaptive rate).
+        let pressure = SimDuration(summary_deadline.0 / 2);
+        if h.db.mnt_of.aged(now, pressure) > 0 {
+            h.refresh_mnt.on_activity();
+        }
+        if h.db.ht_of.aged(now, pressure) > 0 {
+            h.refresh_ht.on_activity();
+        }
+        // Histogram rates are read *before* on_tick widens the backoff:
+        // each fire is recorded under the interval it actually waited.
+        let rates = (
+            h.refresh_dsg.interval_ticks(),
+            h.refresh_mnt.interval_ticks(),
+            h.refresh_ht.interval_ticks(),
+        );
+        let fire_dsg = h.refresh_dsg.on_tick();
+        let fire_mnt = h.refresh_mnt.on_tick();
+        let fire_ht = h.refresh_ht.on_tick();
+        // Suppression is only *counted* when the store actually had
+        // something to send this tick, mirroring the fire path (which
+        // records nothing for a head without an MNT yet, or one that is
+        // not the designated broadcaster) — the counter audits frames
+        // saved against the fixed rate, not ticks skipped. Designation
+        // is evaluated lazily: on fire ticks broadcast_ht_if_designated
+        // answers it anyway, so the cube is only built here on
+        // suppressed ticks.
+        let has_own_mnt = h.db.mnt_of.contains_key(&addr.hnid);
+        let designated = !fire_ht && {
+            let cube = build_region_cube(
+                &self.cfg,
+                addr.hid,
+                h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
+            );
+            h.db.should_broadcast(addr.hnid, self.cfg.designation, &cube)
+        };
         self.counters.soft_expired += expired;
         ctx.record_soft_expired(expired);
         // (a) Re-announce the designation so members that lost the
         // original ChAnnounce recover within a refresh period.
-        let msg = HvdbMsg::ChAnnounce { vc, term };
-        let bytes = msg.wire_size();
-        ctx.broadcast(node, "ch-announce", bytes, msg);
-        ctx.record_refresh_tx();
-        self.counters.refresh_broadcasts += 1;
+        if fire_dsg {
+            let msg = HvdbMsg::ChAnnounce { vc, term };
+            let bytes = msg.wire_size();
+            ctx.broadcast(node, "ch-refresh", bytes, msg);
+            ctx.record_refresh_tx();
+            ctx.record_refresh_rate(rates.0);
+            self.counters.refresh_broadcasts += 1;
+        } else {
+            ctx.record_refresh_suppressed(1);
+            self.counters.refresh_suppressed += 1;
+        }
         // (b) Re-flood our own MNT-Summary (if one was computed yet) with
         // a fresh generation: cube peers that missed the content flood
         // converge without waiting a whole `mnt_interval`.
-        let own_mnt = {
-            let Role::Head(h) = &mut self.nodes[node.idx()].role else {
-                return;
+        if fire_mnt {
+            let own_mnt = {
+                let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+                    return;
+                };
+                h.db.mnt_of.get(&addr.hnid).cloned().map(|mnt| {
+                    let gen = h.mnt_gen.tick();
+                    h.db.store_mnt(addr.hnid, node.0, gen, now, mnt.clone());
+                    (gen, mnt)
+                })
             };
-            h.db.mnt_of.get(&addr.hnid).cloned().map(|mnt| {
-                let gen = h.mnt_gen.tick();
-                h.db.store_mnt(addr.hnid, node.0, gen, now, mnt.clone());
-                (gen, mnt)
-            })
-        };
-        if let Some((gen, mnt)) = own_mnt {
-            let inner = ChMsg::MntShare {
-                origin: addr.hnid,
-                hid: addr.hid,
-                holder: node.0,
-                gen,
-                mnt,
-            };
-            let msg = HvdbMsg::Local(inner.clone());
-            let bytes = msg.wire_size();
-            ctx.broadcast(node, "mnt-share", bytes, msg);
-            self.mnt_far_supplement(ctx, node, vc, addr.hid, inner);
-            ctx.record_refresh_tx();
-            self.counters.refresh_broadcasts += 1;
+            if let Some((gen, mnt)) = own_mnt {
+                let inner = ChMsg::MntShare {
+                    origin: addr.hnid,
+                    hid: addr.hid,
+                    holder: node.0,
+                    gen,
+                    refresh: true,
+                    mnt,
+                };
+                let class = inner.class();
+                let msg = HvdbMsg::Local(inner.clone());
+                let bytes = msg.wire_size();
+                ctx.broadcast(node, class, bytes, msg);
+                self.mnt_far_supplement(ctx, node, vc, addr.hid, inner);
+                ctx.record_refresh_tx();
+                ctx.record_refresh_rate(rates.1);
+                self.counters.refresh_broadcasts += 1;
+            }
+        } else if has_own_mnt {
+            ctx.record_refresh_suppressed(1);
+            self.counters.refresh_suppressed += 1;
         }
         // (c) The designated CH also re-floods the HT-Summary, repairing
         // the 20 s designation cycle's losses network-wide.
-        if self.broadcast_ht_if_designated(node, ctx) {
-            ctx.record_refresh_tx();
-            self.counters.refresh_broadcasts += 1;
+        if fire_ht {
+            if self.broadcast_ht_if_designated(node, ctx, true) {
+                ctx.record_refresh_tx();
+                ctx.record_refresh_rate(rates.2);
+                self.counters.refresh_broadcasts += 1;
+            }
+        } else if designated {
+            ctx.record_refresh_suppressed(1);
+            self.counters.refresh_suppressed += 1;
         }
     }
 
@@ -1269,14 +1483,16 @@ impl HvdbProtocol {
                     hid,
                     holder,
                     gen,
+                    refresh,
                     mnt,
-                } => self.on_mnt_share(node, ctx, origin, hid, holder, gen, mnt),
+                } => self.on_mnt_share(node, ctx, origin, hid, holder, gen, refresh, mnt),
                 ChMsg::HtBroadcast {
                     origin,
                     holder,
                     gen,
+                    refresh,
                     ht,
-                } => self.on_ht_broadcast(node, ctx, origin, holder, gen, ht),
+                } => self.on_ht_broadcast(node, ctx, origin, holder, gen, refresh, ht),
                 ChMsg::MeshData {
                     data_id,
                     group,
@@ -1422,7 +1638,7 @@ impl Protocol for HvdbProtocol {
             }
             HvdbMsg::ChAnnounce { vc, term } => {
                 let now = ctx.now();
-                let deadline = self.cfg.summary_deadline();
+                let deadline = self.cfg.designation_deadline();
                 // Duplicate-head resolution: frame loss can leave two
                 // nodes each believing they won the same VC (each missed
                 // the other's candidacy). Both then advertise the same
@@ -1471,6 +1687,11 @@ impl Protocol for HvdbProtocol {
                         ctx.record_stale_suppressed();
                     } else if changed {
                         h.mnt_version += 1;
+                        // A member's memberships changed: our MNT (and
+                        // with it the region's HT) is about to change —
+                        // refresh at the floor rate until it has flooded.
+                        h.refresh_mnt.on_activity();
+                        h.refresh_ht.on_activity();
                     }
                 }
             }
@@ -1541,14 +1762,16 @@ impl Protocol for HvdbProtocol {
                         hid,
                         holder,
                         gen,
+                        refresh,
                         mnt,
-                    } => self.on_mnt_share(node, ctx, origin, hid, holder, gen, mnt),
+                    } => self.on_mnt_share(node, ctx, origin, hid, holder, gen, refresh, mnt),
                     ChMsg::HtBroadcast {
                         origin,
                         holder,
                         gen,
+                        refresh,
                         ht,
-                    } => self.on_ht_broadcast(node, ctx, origin, holder, gen, ht),
+                    } => self.on_ht_broadcast(node, ctx, origin, holder, gen, refresh, ht),
                     _ => {}
                 }
             }

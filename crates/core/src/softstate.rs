@@ -25,6 +25,8 @@ use hvdb_sim::{SimDuration, SimTime};
 use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
+pub mod refresh;
+
 /// A per-origin monotone generation counter.
 ///
 /// `tick()` is called for every advertisement the origin emits; receivers
@@ -183,6 +185,17 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
     /// declared failed by the routing tier).
     pub fn remove(&mut self, key: &K) -> Option<SoftEntry<V>> {
         self.entries.remove(key)
+    }
+
+    /// Counts entries whose refresh age exceeds `threshold` at `now` —
+    /// the adaptive refresh controller's K-miss pressure signal: entries
+    /// drifting toward expiry mean refreshes are being lost, so backing
+    /// off further would be exactly wrong.
+    pub fn aged(&self, now: SimTime, threshold: SimDuration) -> usize {
+        self.entries
+            .values()
+            .filter(|e| now.since(e.refreshed_at) > threshold)
+            .count()
     }
 
     /// The stored value for `key`.

@@ -345,6 +345,22 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.stats.soft_stale_suppressed += 1;
     }
 
+    /// Counts `n` refresh broadcasts withheld by the adaptive refresh
+    /// controller (backed-off store on a fired tick).
+    pub fn record_refresh_suppressed(&mut self, n: u64) {
+        self.stats.soft_refresh_suppressed += n;
+    }
+
+    /// Records one fired refresh at the store's current interval (in
+    /// fast-timer ticks) into the refresh-rate histogram.
+    pub fn record_refresh_rate(&mut self, interval_ticks: u32) {
+        *self
+            .stats
+            .refresh_rate_hist
+            .entry(interval_ticks)
+            .or_insert(0) += 1;
+    }
+
     /// Counts `n` soft-state entries expired after K missed refreshes.
     pub fn record_soft_expired(&mut self, n: u64) {
         self.stats.soft_expired += n;

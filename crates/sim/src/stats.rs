@@ -47,6 +47,14 @@ pub struct Stats {
     /// Soft-state control transmissions originated by refresh timers
     /// (periodic re-advertisement, not triggered by state change).
     pub soft_refresh_msgs: u64,
+    /// Refresh broadcasts *withheld* by the adaptive controller (a tick
+    /// fired but the store was backed off): the quiet-phase overhead
+    /// saving, counted so it can be audited rather than inferred.
+    pub soft_refresh_suppressed: u64,
+    /// Refresh-rate histogram: for every refresh actually fired, the
+    /// store's current interval in fast-timer ticks (1 = floor rate) →
+    /// count. Shows where the adaptive controller spent its time.
+    pub refresh_rate_hist: FxHashMap<u32, u64>,
     /// Received soft-state updates suppressed as stale (generation not
     /// newer than the stored entry's).
     pub soft_stale_suppressed: u64,
