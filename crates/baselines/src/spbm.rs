@@ -600,6 +600,7 @@ mod tests {
             mobility_tick: SimDuration::ZERO,
             enhanced_fraction: 1.0,
             seed,
+            per_receiver_delivery: false,
         };
         let mut sim = Simulator::new(cfg, Box::new(Stationary));
         for r in 0..n_side {

@@ -19,8 +19,9 @@
 
 use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
 use hvdb_bench::{
-    check_loss_floor, check_overhead_gate, check_trajectory, validate_report_str, ScenarioReport,
-    LOSS_DELIVERY_FLOOR, TRAJECTORY_DELIVERY_TOLERANCE, TRAJECTORY_OVERHEAD_TOLERANCE,
+    check_loss_floor, check_loss_high_band, check_overhead_gate, check_perf_gate, check_trajectory,
+    validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR, PERF_SPEEDUP_FLOOR,
+    TRAJECTORY_DELIVERY_TOLERANCE, TRAJECTORY_OVERHEAD_TOLERANCE,
 };
 use std::process::ExitCode;
 
@@ -52,14 +53,17 @@ fn usage() {
     eprintln!("  hvdb-bench list");
     eprintln!("  hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
     eprintln!("  hvdb-bench run --all        [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
-    eprintln!("  hvdb-bench validate <file>... [--loss-floor F] [--baseline-dir DIR]");
+    eprintln!("  hvdb-bench validate <file>... [--loss-floor F] [--perf-floor F]");
+    eprintln!("                                [--baseline-dir DIR]");
     eprintln!("                                [--delivery-tolerance F] [--overhead-tolerance F]");
     eprintln!();
     eprintln!("Writes BENCH_<scenario>.json per scenario; see `list` for names.");
     eprintln!("`validate` schema-checks report files. Scenario-specific gates:");
     eprintln!("\"loss\" must clear the worst-seed delivery floor (default");
     eprintln!("{LOSS_DELIVERY_FLOOR}) at 15% frame loss; \"overhead\" must show the quiet-phase");
-    eprintln!("adaptive-refresh improvement and stay under the frames/s ceiling.");
+    eprintln!("adaptive-refresh improvement and stay under the frames/s ceiling;");
+    eprintln!("\"perf\" must show shared-frame delivery at least --perf-floor times");
+    eprintln!("(default {PERF_SPEEDUP_FLOOR}) faster than the per-receiver-clone arm.");
     eprintln!("With --baseline-dir, every report is additionally compared against");
     eprintln!("the committed BENCH_<scenario>.json in DIR: delivery may regress at");
     eprintln!("most --delivery-tolerance (default {TRAJECTORY_DELIVERY_TOLERANCE}) and overhead metrics may grow");
@@ -69,6 +73,7 @@ fn usage() {
 fn validate(args: &[String]) -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut floor = LOSS_DELIVERY_FLOOR;
+    let mut perf_floor = PERF_SPEEDUP_FLOOR;
     let mut baseline_dir: Option<String> = None;
     let mut delivery_tol = TRAJECTORY_DELIVERY_TOLERANCE;
     let mut overhead_tol = TRAJECTORY_OVERHEAD_TOLERANCE;
@@ -81,6 +86,16 @@ fn validate(args: &[String]) -> ExitCode {
                     Some(f) if (0.0..=1.0).contains(&f) => floor = f,
                     _ => {
                         eprintln!("--loss-floor needs a number in [0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--perf-floor" => {
+                i += 1;
+                match args.get(i).and_then(|f| f.parse::<f64>().ok()) {
+                    Some(f) if f > 0.0 && f.is_finite() => perf_floor = f,
+                    _ => {
+                        eprintln!("--perf-floor needs a positive number");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -130,11 +145,21 @@ fn validate(args: &[String]) -> ExitCode {
                     Some("loss") => {
                         let worst = check_loss_floor(&doc, floor)?;
                         notes.push(format!("worst-seed delivery {worst:.3} >= {floor}"));
+                        let band = check_loss_high_band(&doc)?;
+                        for (point, w) in band {
+                            notes.push(format!("{point} worst {w:.3}"));
+                        }
                     }
                     Some("overhead") => {
                         let (ratio, total) = check_overhead_gate(&doc)?;
                         notes.push(format!(
                             "quiet-phase refresh improvement {ratio:.2}x, {total:.0} control frames/s"
+                        ));
+                    }
+                    Some("perf") => {
+                        let (label, speedup) = check_perf_gate(&doc, perf_floor)?;
+                        notes.push(format!(
+                            "shared-frame delivery {speedup:.2}x faster at {label} (floor {perf_floor})"
                         ));
                     }
                     _ => {}

@@ -61,6 +61,29 @@ pub struct RunDetail {
     /// including their relays; 0 for baselines) — the traffic the
     /// adaptive refresh controller suppresses in quiet phases.
     pub refresh_frames: u64,
+    /// Protocol callbacks dispatched by the engine
+    /// ([`hvdb_sim::Stats::events_processed`]): identical across
+    /// delivery modes on the same workload, making events/s a pure
+    /// wall-clock speedup for the `perf` scenario.
+    pub events_processed: u64,
+    /// Wall-clock seconds spent inside [`Simulator::run`].
+    pub wall_secs: f64,
+    /// Deliveries served from a shared broadcast payload.
+    pub frames_shared: u64,
+    /// Per-receiver payload clones in the legacy delivery mode.
+    pub frames_cloned: u64,
+}
+
+/// Collects the engine-side instrumentation common to every protocol.
+fn engine_detail<M: Clone>(sim: &Simulator<M>) -> RunDetail {
+    RunDetail {
+        hvdb_counters: None,
+        refresh_frames: sim.stats().msgs_where(is_refresh_class),
+        events_processed: sim.stats().events_processed,
+        wall_secs: sim.wall_secs(),
+        frames_shared: sim.stats().frames_shared,
+        frames_cloned: sim.stats().frames_cloned,
+    }
 }
 
 /// Runs one scenario under one protocol, returning metrics plus
@@ -68,9 +91,8 @@ pub struct RunDetail {
 /// [`Scenario::failures`] are scheduled for every protocol, so fault
 /// comparisons stay apples-to-apples.
 pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, RunDetail) {
-    let detail = RunDetail::default();
-    let metrics = match proto {
-        Proto::Hvdb => return run_hvdb(scenario),
+    match proto {
+        Proto::Hvdb => run_hvdb(scenario),
         Proto::Flooding => {
             let mut sim = new_sim(scenario);
             let mut p = FloodingProtocol::new(
@@ -79,7 +101,7 @@ pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, R
                 scenario.group_events.clone(),
             );
             sim.run(&mut p, scenario.until);
-            metrics_of(sim.stats())
+            (metrics_of(sim.stats()), engine_detail(&sim))
         }
         Proto::SharedTree => {
             let mut sim = new_sim(scenario);
@@ -89,7 +111,7 @@ pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, R
                 scenario.group_events.clone(),
             );
             sim.run(&mut p, scenario.until);
-            metrics_of(sim.stats())
+            (metrics_of(sim.stats()), engine_detail(&sim))
         }
         Proto::Dsm => {
             let mut sim = new_sim(scenario);
@@ -99,7 +121,7 @@ pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, R
                 scenario.group_events.clone(),
             );
             sim.run(&mut p, scenario.until);
-            metrics_of(sim.stats())
+            (metrics_of(sim.stats()), engine_detail(&sim))
         }
         Proto::Spbm => {
             let mut sim = new_sim(scenario);
@@ -109,10 +131,9 @@ pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, R
                 scenario.group_events.clone(),
             );
             sim.run(&mut p, scenario.until);
-            metrics_of(sim.stats())
+            (metrics_of(sim.stats()), engine_detail(&sim))
         }
-    };
-    (metrics, detail)
+    }
 }
 
 /// The one canonical HVDB run recipe (every scenario that measures HVDB
@@ -129,7 +150,7 @@ fn run_hvdb(scenario: &Scenario) -> (RunMetrics, RunDetail) {
     sim.run(&mut p, scenario.until);
     let detail = RunDetail {
         hvdb_counters: Some(p.counters),
-        refresh_frames: sim.stats().msgs_where(is_refresh_class),
+        ..engine_detail(&sim)
     };
     (metrics_of(sim.stats()), detail)
 }

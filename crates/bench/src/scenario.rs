@@ -21,15 +21,15 @@ use crate::runner::{average, run_hvdb_tweaked, run_one, run_one_instrumented, Pr
 use crate::workload::{metrics_of, MobilityKind, RunMetrics, Scenario, Workload};
 use hvdb_core::{
     build_model, build_region_cube, routes::AdvertisedRoute, routes::QosMetrics,
-    DesignationCriterion, HvdbConfig, HvdbMsg, HvdbProtocol, QosRequirement, RouteTable,
+    DesignationCriterion, FrameBytes, HvdbConfig, HvdbProtocol, QosRequirement, RouteTable,
     SessionManager,
 };
 use hvdb_geo::{Aabb, Hid, Hnid, Point, Vec2};
 use hvdb_hypercube::routing::{diameter, local_routes};
 use hvdb_hypercube::{label, pair_connectivity, IncompleteHypercube};
 use hvdb_sim::{
-    gini, jain_fairness, max_mean_ratio, NodeId, RadioConfig, SimConfig, SimDuration, SimRng,
-    SimTime, Simulator, Stationary,
+    gini, jain_fairness, max_mean_ratio, sim_sec_per_wall_sec, NodeId, RadioConfig, SimConfig,
+    SimDuration, SimRng, SimTime, Simulator, Stationary,
 };
 use rayon::prelude::*;
 
@@ -94,8 +94,14 @@ pub fn registry() -> Vec<ScenarioDef> {
         ScenarioDef {
             name: "scale",
             figure: "north-star",
-            summary: "node-count sweep 100-600 at constant density: delivery, latency, per-node control bytes (CI trajectory gate)",
+            summary: "node-count sweep 100-2000 at constant density: delivery, latency, per-node control bytes (CI trajectory gate)",
             exec: Exec::Custom(custom_scale),
+        },
+        ScenarioDef {
+            name: "perf",
+            figure: "north-star",
+            summary: "engine wall-clock throughput: shared-frame vs per-receiver-clone delivery on byte-identical workloads (events/s gate)",
+            exec: Exec::Custom(custom_perf),
         },
         ScenarioDef {
             name: "overhead",
@@ -591,6 +597,18 @@ fn run_hvdb_detailed(
     )
 }
 
+/// VC grid side for a constant-density node sweep: the deployment area
+/// grows with the node count while the radio range stays fixed, so the
+/// VC grid must grow with it or VCs outgrow radio reach and the backbone
+/// cannot form (same convention as the c4 sweep).
+fn scaled_vc_side(nodes: usize) -> u16 {
+    if nodes >= 1000 {
+        12
+    } else {
+        8
+    }
+}
+
 /// The `scale` trajectory sweep: the paper's geometry stretched from 100
 /// to 600 nodes at constant density, reporting what the north star cares
 /// about — delivery, latency, and *per-node* control cost (which must
@@ -601,14 +619,14 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
     let node_counts: Vec<usize> = if opts.smoke {
         vec![30, 40]
     } else {
-        vec![100, 200, 400, 600]
+        vec![100, 200, 400, 600, 1000, 1400, 2000]
     };
     let mut seeds = opts.seeds.clone().unwrap_or_else(|| vec![1, 2]);
     if opts.smoke && opts.seeds.is_none() {
         seeds.truncate(1);
     }
+    // vc_side is set per point by `scaled_vc_side` below.
     let base = Workload {
-        vc_side: 8,
         dim: 4,
         range: 450.0,
         groups: 3,
@@ -629,6 +647,7 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
             let w = Workload {
                 nodes,
                 side: (nodes as f64 * 8533.0).sqrt(),
+                vc_side: scaled_vc_side(nodes),
                 seed,
                 ..base.clone()
             };
@@ -680,6 +699,109 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
             )
         })
         .collect()
+}
+
+/// The `perf` scenario: wall-clock throughput of the simulation engine
+/// itself, measured as events/s and simulated-seconds per wall-second on
+/// **byte-identical workloads** under two delivery machineries:
+///
+/// * `hvdb-shared` — the zero-copy frame plane: one `DeliverMany` event
+///   per broadcast, payload shared by refcount;
+/// * `hvdb-cloned` — the pre-refactor arm: one event and one deep
+///   payload copy per receiver
+///   ([`SimConfig::per_receiver_delivery`](hvdb_sim::SimConfig) +
+///   `HvdbConfig::deep_clone_frames`).
+///
+/// Both arms replay the identical event sequence (the golden-report test
+/// enforces this bit-for-bit), so `events_processed` matches exactly and
+/// the events/s ratio is a pure speedup. Runs are **serial** — no rayon —
+/// because wall-clock is the measurand. `validate` gates the ratio at
+/// the largest common node count ([`crate::validate::check_perf_gate`]).
+///
+/// Smoke mode shrinks the node counts but keeps tens of simulated
+/// seconds (unlike [`Workload::smoke`]'s milliseconds): a wall-clock
+/// ratio needs enough work to rise above timer noise.
+fn custom_perf(opts: &RunOpts) -> Vec<Row> {
+    let node_counts: Vec<usize> = if opts.smoke {
+        vec![120]
+    } else {
+        vec![200, 600, 1200, 2000]
+    };
+    let mut seeds = opts.seeds.clone().unwrap_or_else(|| vec![1, 2]);
+    if opts.smoke && opts.seeds.is_none() {
+        seeds.truncate(1);
+    }
+    // vc_side is set per point by `scaled_vc_side` below.
+    let full = Workload {
+        dim: 4,
+        range: 450.0,
+        groups: 3,
+        members_per_group: 10,
+        packets_per_group: 8,
+        warmup: SimDuration::from_secs(100),
+        traffic_window: SimDuration::from_secs(30),
+        cooldown: SimDuration::from_secs(20),
+        ..Workload::default()
+    };
+    let base = if opts.smoke {
+        Workload {
+            warmup: SimDuration::from_secs(40),
+            traffic_window: SimDuration::from_secs(10),
+            cooldown: SimDuration::from_secs(10),
+            ..full
+        }
+    } else {
+        full
+    };
+    const ARMS: [(&str, bool); 2] = [("hvdb-shared", false), ("hvdb-cloned", true)];
+    let mut rows = Vec::new();
+    for &nodes in &node_counts {
+        for &(arm, cloned) in &ARMS {
+            let mut events = 0u64;
+            let mut wall = 0.0f64;
+            let mut sim_secs = 0.0f64;
+            let mut shared_frames = 0u64;
+            let mut cloned_frames = 0u64;
+            let mut delivery = 0.0f64;
+            for &seed in &seeds {
+                let w = Workload {
+                    nodes,
+                    side: (nodes as f64 * 8533.0).sqrt(),
+                    vc_side: scaled_vc_side(nodes),
+                    seed,
+                    ..base.clone()
+                };
+                let mut scenario = w.build();
+                scenario.sim.per_receiver_delivery = cloned;
+                let (m, detail) =
+                    run_hvdb_tweaked(&scenario, &|cfg| cfg.deep_clone_frames = cloned);
+                events += detail.events_processed;
+                wall += detail.wall_secs;
+                sim_secs += scenario.until.since(SimTime::ZERO).as_secs_f64();
+                shared_frames += detail.frames_shared;
+                cloned_frames += detail.frames_cloned;
+                delivery += m.delivery;
+            }
+            rows.push(Row::new(
+                "delivery-mode",
+                format!("nodes={nodes}"),
+                arm,
+                vec![
+                    ("events_per_s".into(), events as f64 / wall.max(1e-9)),
+                    (
+                        "sim_sec_per_wall_sec".into(),
+                        sim_sec_per_wall_sec(sim_secs, wall),
+                    ),
+                    ("wall_ms".into(), wall * 1e3),
+                    ("events_processed".into(), events as f64),
+                    ("frames_shared".into(), shared_frames as f64),
+                    ("frames_cloned".into(), cloned_frames as f64),
+                    ("delivery".into(), delivery / seeds.len() as f64),
+                ],
+            ));
+        }
+    }
+    rows
 }
 
 /// The `overhead` scenario: control traffic vs membership-churn rate at a
@@ -1339,7 +1461,7 @@ fn custom_f3(opts: &RunOpts) -> Vec<Row> {
 fn custom_f4(opts: &RunOpts) -> Vec<Row> {
     // One node pinned near every VC centre.
     let (grid_side, run_secs) = if opts.smoke { (4u16, 20u64) } else { (8, 60) };
-    let build_sim = |seed: u64| -> (Simulator<HvdbMsg>, HvdbConfig) {
+    let build_sim = |seed: u64| -> (Simulator<FrameBytes>, HvdbConfig) {
         let area = Aabb::from_size(200.0 * grid_side as f64, 200.0 * grid_side as f64);
         let cfg = HvdbConfig::new(area, grid_side, grid_side, 4);
         let n = (grid_side * grid_side) as usize;
@@ -1353,8 +1475,9 @@ fn custom_f4(opts: &RunOpts) -> Vec<Row> {
             mobility_tick: SimDuration::ZERO,
             enhanced_fraction: 1.0,
             seed,
+            per_receiver_delivery: false,
         };
-        let mut sim: Simulator<HvdbMsg> = Simulator::new(sim_cfg, Box::new(Stationary));
+        let mut sim: Simulator<FrameBytes> = Simulator::new(sim_cfg, Box::new(Stationary));
         let ids: Vec<_> = cfg.grid.iter_ids().collect();
         for (i, vc) in ids.iter().enumerate() {
             let c = cfg.grid.vcc(*vc);

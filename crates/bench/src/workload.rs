@@ -146,6 +146,7 @@ impl Workload {
             },
             enhanced_fraction: self.enhanced_fraction,
             seed: self.seed,
+            per_receiver_delivery: false,
         };
         let hvdb = HvdbConfig::new(area, self.vc_side, self.vc_side, self.dim);
         // Deterministic membership and traffic from a scenario-level RNG

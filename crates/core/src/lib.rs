@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod membership;
 pub mod model;
 pub mod packet;
@@ -36,6 +37,7 @@ pub mod softstate;
 pub mod summary;
 pub mod tree;
 
+pub use frame::{FrameBytes, FrameCtx};
 pub use membership::MembershipDb;
 pub use model::{
     build_model, build_region_cube, region_center, BackboneStats, DesignationCriterion, GroupEvent,

@@ -52,7 +52,7 @@ impl MembershipDb {
     pub fn store_local(
         &mut self,
         node: u32,
-        lm: LocalMembership,
+        lm: &LocalMembership,
         gen: u64,
         now: SimTime,
     ) -> (Freshness, bool) {
@@ -67,8 +67,11 @@ impl MembershipDb {
                 None => (Freshness::Fresh, false),
             }
         } else {
-            let changed = self.locals.get(&node) != Some(&lm);
-            let fresh = self.locals.offer(node, node, gen, now, lm);
+            // Lazy everywhere: duplicate reports (the common case) cost
+            // a stamp comparison — no value compare, no clone.
+            let changed =
+                self.locals.accepts(&node, node, gen) && self.locals.get(&node) != Some(lm);
+            let fresh = self.locals.offer_with(node, node, gen, now, || lm.clone());
             (fresh, fresh.is_fresh() && changed)
         }
     }
@@ -105,10 +108,17 @@ impl MembershipDb {
         holder: u32,
         gen: u64,
         now: SimTime,
-        mnt: MntSummary,
+        mnt: &MntSummary,
     ) -> (Freshness, bool) {
-        let changed = self.mnt_of.get(&from) != Some(&mnt);
-        let fresh = self.mnt_of.offer(from, holder, gen, now, mnt);
+        // Lazy everywhere: a stale flood duplicate (every re-reception
+        // of a wave already stored — the dominant reception on the
+        // delivery hot path) costs a stamp comparison, never a value
+        // compare or a clone.
+        let changed =
+            self.mnt_of.accepts(&from, holder, gen) && self.mnt_of.get(&from) != Some(mnt);
+        let fresh = self
+            .mnt_of
+            .offer_with(from, holder, gen, now, || mnt.clone());
         (fresh, fresh.is_fresh() && changed)
     }
 
@@ -144,13 +154,14 @@ impl MembershipDb {
     /// drives mesh-tree cache invalidation).
     pub fn integrate_ht(
         &mut self,
-        ht: HtSummary,
+        ht: &HtSummary,
         holder: u32,
         gen: u64,
         now: SimTime,
     ) -> Freshness {
         let hid = ht.hid;
-        let fresh = self.ht_of.offer(hid, holder, gen, now, ht);
+        // Lazy value: stale flood duplicates never clone the summary.
+        let fresh = self.ht_of.offer_with(hid, holder, gen, now, || ht.clone());
         if fresh.is_fresh() {
             // `offer` stored the summary; fold it into the MT view.
             let ht = self.ht_of.get(&hid).expect("just stored");
@@ -169,7 +180,7 @@ impl MembershipDb {
             if self.ht_of.contains_key(&ht.hid) {
                 continue;
             }
-            if self.integrate_ht(ht, SNAPSHOT_HOLDER, 0, now).is_fresh() {
+            if self.integrate_ht(&ht, SNAPSHOT_HOLDER, 0, now).is_fresh() {
                 adopted += 1;
             }
         }
@@ -274,13 +285,13 @@ mod tests {
     #[test]
     fn local_report_lifecycle() {
         let mut db = MembershipDb::default();
-        db.store_local(1, lm(&[10, 11]), 1, SimTime::ZERO);
-        db.store_local(2, lm(&[10]), 1, SimTime::ZERO);
+        db.store_local(1, &lm(&[10, 11]), 1, SimTime::ZERO);
+        db.store_local(2, &lm(&[10]), 1, SimTime::ZERO);
         assert!(db.has_local_members(GroupId(10)));
         assert_eq!(db.local_members(GroupId(10)), vec![1, 2]);
         assert_eq!(db.local_members(GroupId(11)), vec![1]);
         // A fresh empty report removes the entry.
-        db.store_local(1, lm(&[]), 2, SimTime::ZERO);
+        db.store_local(1, &lm(&[]), 2, SimTime::ZERO);
         assert_eq!(db.local_members(GroupId(11)), Vec::<u32>::new());
         db.drop_local(2);
         assert!(!db.has_local_members(GroupId(10)));
@@ -289,20 +300,20 @@ mod tests {
     #[test]
     fn stale_local_reports_are_suppressed() {
         let mut db = MembershipDb::default();
-        let (f, changed) = db.store_local(1, lm(&[5, 6]), 3, SimTime::ZERO);
+        let (f, changed) = db.store_local(1, &lm(&[5, 6]), 3, SimTime::ZERO);
         assert!(f.is_fresh());
         assert!(changed);
         // A reordered older report must not roll the view back.
-        let (f, changed) = db.store_local(1, lm(&[5]), 2, SimTime::from_secs(1));
+        let (f, changed) = db.store_local(1, &lm(&[5]), 2, SimTime::from_secs(1));
         assert_eq!(f, Freshness::Stale);
         assert!(!changed);
         assert_eq!(db.local_members(GroupId(6)), vec![1]);
         // Neither may a stale leave-all.
-        let (f, _) = db.store_local(1, lm(&[]), 3, SimTime::from_secs(1));
+        let (f, _) = db.store_local(1, &lm(&[]), 3, SimTime::from_secs(1));
         assert_eq!(f, Freshness::Stale);
         assert!(db.has_local_members(GroupId(5)));
         // Same content re-reported: fresh but unchanged.
-        let (f, changed) = db.store_local(1, lm(&[5, 6]), 4, SimTime::from_secs(2));
+        let (f, changed) = db.store_local(1, &lm(&[5, 6]), 4, SimTime::from_secs(2));
         assert!(f.is_fresh());
         assert!(!changed);
     }
@@ -310,8 +321,8 @@ mod tests {
     #[test]
     fn locals_prune_after_k_missed_reports() {
         let mut db = MembershipDb::default();
-        db.store_local(1, lm(&[10]), 1, SimTime::ZERO);
-        db.store_local(2, lm(&[10]), 1, SimTime::from_secs(10));
+        db.store_local(1, &lm(&[10]), 1, SimTime::ZERO);
+        db.store_local(2, &lm(&[10]), 1, SimTime::from_secs(10));
         let deadline = crate::softstate::miss_deadline(SimDuration::from_secs(5), 2);
         assert_eq!(db.prune_locals(SimTime::from_secs(12), deadline), 0);
         assert_eq!(db.prune_locals(SimTime::from_secs(13), deadline), 1);
@@ -321,15 +332,15 @@ mod tests {
     #[test]
     fn mnt_reflects_current_locals() {
         let mut db = MembershipDb::default();
-        db.store_local(1, lm(&[5]), 1, SimTime::ZERO);
-        db.store_local(2, lm(&[5, 6]), 1, SimTime::ZERO);
+        db.store_local(1, &lm(&[5]), 1, SimTime::ZERO);
+        db.store_local(2, &lm(&[5, 6]), 1, SimTime::ZERO);
         let mnt = db.my_mnt(VcId::new(0, 0));
         assert_eq!(mnt.counts[&GroupId(5)], 2);
         assert_eq!(mnt.counts[&GroupId(6)], 1);
     }
 
     fn store(db: &mut MembershipDb, label: u32, gen: u64, mnt: MntSummary) -> (Freshness, bool) {
-        db.store_mnt(Hnid(label), label, gen, SimTime::ZERO, mnt)
+        db.store_mnt(Hnid(label), label, gen, SimTime::ZERO, &mnt)
     }
 
     #[test]
@@ -372,9 +383,9 @@ mod tests {
         assert!(!changed);
         // A re-elected CH with a restarted clock is suppressed until it
         // advances past the stored stamp (or the entry expires).
-        let (f, _) = db.store_mnt(Hnid(2), 77, 1, SimTime::ZERO, newer.clone());
+        let (f, _) = db.store_mnt(Hnid(2), 77, 1, SimTime::ZERO, &newer.clone());
         assert_eq!(f, Freshness::Stale);
-        let (f, changed) = db.store_mnt(Hnid(2), 77, 7, SimTime::ZERO, newer);
+        let (f, changed) = db.store_mnt(Hnid(2), 77, 7, SimTime::ZERO, &newer);
         assert!(f.is_fresh() && changed);
     }
 
@@ -395,17 +406,17 @@ mod tests {
         let mut mnt = MntSummary::default();
         mnt.counts.insert(GroupId(9), 1);
         let ht = HtSummary::from_mnt(Hid::new(1, 0), [(Hnid(2), &mnt)].into_iter());
-        assert!(db.integrate_ht(ht.clone(), 1, 1, SimTime::ZERO).is_fresh());
+        assert!(db.integrate_ht(&ht.clone(), 1, 1, SimTime::ZERO).is_fresh());
         assert_eq!(db.mt.hypercubes_with(GroupId(9)), &[Hid::new(1, 0)]);
         let v = db.mt.version();
         // A duplicate of the same broadcast: stale, MT untouched.
         assert_eq!(
-            db.integrate_ht(ht.clone(), 1, 1, SimTime::ZERO),
+            db.integrate_ht(&ht.clone(), 1, 1, SimTime::ZERO),
             Freshness::Stale
         );
         assert_eq!(db.mt.version(), v);
         // A refresh with identical content: fresh, MT content unchanged.
-        assert!(db.integrate_ht(ht, 1, 2, SimTime::from_secs(1)).is_fresh());
+        assert!(db.integrate_ht(&ht, 1, 2, SimTime::from_secs(1)).is_fresh());
         assert_eq!(db.mt.version(), v);
         assert!(db.ht_of.contains_key(&Hid::new(1, 0)));
     }
@@ -417,8 +428,8 @@ mod tests {
         mnt.counts.insert(GroupId(4), 1);
         let far = HtSummary::from_mnt(Hid::new(1, 1), [(Hnid(0), &mnt)].into_iter());
         let own = HtSummary::from_mnt(Hid::new(0, 0), [(Hnid(0), &mnt)].into_iter());
-        db.integrate_ht(far, 9, 1, SimTime::ZERO);
-        db.integrate_ht(own, 1, 1, SimTime::ZERO);
+        db.integrate_ht(&far, 9, 1, SimTime::ZERO);
+        db.integrate_ht(&own, 1, 1, SimTime::ZERO);
         let expired = db.expire_hts(
             SimTime::from_secs(30),
             SimDuration::from_secs(10),
@@ -436,7 +447,7 @@ mod tests {
         let mut mnt = MntSummary::default();
         mnt.counts.insert(GroupId(1), 1);
         let known = HtSummary::from_mnt(Hid::new(0, 1), [(Hnid(0), &mnt)].into_iter());
-        db.integrate_ht(known.clone(), 3, 7, SimTime::ZERO);
+        db.integrate_ht(&known, 3, 7, SimTime::ZERO);
         let novel = HtSummary::from_mnt(Hid::new(1, 0), [(Hnid(1), &mnt)].into_iter());
         let adopted = db.adopt_snapshot(vec![known, novel], SimTime::ZERO);
         assert_eq!(adopted, 1);
@@ -448,7 +459,7 @@ mod tests {
         // The first real origin broadcast supersedes the snapshot stamp.
         let refreshed = HtSummary::from_mnt(Hid::new(1, 0), [(Hnid(2), &mnt)].into_iter());
         assert!(db
-            .integrate_ht(refreshed, 12, 1, SimTime::from_secs(1))
+            .integrate_ht(&refreshed, 12, 1, SimTime::from_secs(1))
             .is_fresh());
         assert_eq!(db.ht_of.entry(&Hid::new(1, 0)).unwrap().holder, 12);
     }

@@ -42,6 +42,7 @@
 //! broadcast is therefore repaired within ~one refresh period instead of
 //! wedging the view until the next 8–20 s cycle.
 
+use crate::frame::{FrameBytes, FrameCtx};
 use crate::membership::MembershipDb;
 use crate::model::{build_region_cube, region_center, GroupEvent, HvdbConfig, TrafficItem};
 use crate::packet::{CandScore, ChMsg, GeoPacket, GeoTarget, HvdbMsg};
@@ -330,7 +331,17 @@ impl HvdbProtocol {
     }
 
     // ------------------------------------------------------------------
-    // Geographic sending.
+    // Frame sealing and geographic sending.
+
+    /// Seals an outgoing message into a shared frame: class and wire
+    /// size interned once, clones are refcount bumps from here on. The
+    /// `perf` scenario's "cloned" arm flips
+    /// [`HvdbConfig::deep_clone_frames`] to re-pay the legacy per-copy
+    /// cost on byte-identical workloads.
+    #[inline]
+    fn seal(&self, msg: HvdbMsg) -> FrameBytes {
+        FrameBytes::seal_mode(msg, self.cfg.deep_clone_frames)
+    }
 
     fn target_point(&self, target: GeoTarget) -> hvdb_geo::Point {
         match target {
@@ -355,13 +366,12 @@ impl HvdbProtocol {
     }
 
     /// Launches a geo packet from `from` toward its target.
-    fn geo_send(&mut self, ctx: &mut Ctx<'_, HvdbMsg>, from: NodeId, pkt: GeoPacket) {
+    fn geo_send(&mut self, ctx: &mut Ctx<'_, FrameBytes>, from: NodeId, pkt: GeoPacket) {
         let dest = self.target_point(pkt.target);
         match georoute::next_hop(ctx, from, dest, &pkt.visited) {
             Some(nh) => {
-                let class = pkt.inner.class();
-                let bytes = pkt.wire_size();
-                ctx.send_reliable(from, nh, class, bytes, HvdbMsg::Geo(pkt));
+                let frame = self.seal(HvdbMsg::Geo(pkt));
+                ctx.send_frame_reliable(from, nh, frame);
             }
             None => self.count_geo_stuck(&pkt),
         }
@@ -370,7 +380,7 @@ impl HvdbProtocol {
     /// Wraps and sends a CH message toward a target.
     fn geo_dispatch(
         &mut self,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         from: NodeId,
         target: GeoTarget,
         inner: ChMsg,
@@ -388,7 +398,12 @@ impl HvdbProtocol {
     /// probably cannot reach (VCC farther than ~85% of the radio range):
     /// these get a supplementary geo-unicast so long hypercube links
     /// (labels two grid cells apart) stay alive.
-    fn far_neighbors(&self, ctx: &mut Ctx<'_, HvdbMsg>, node: NodeId, vcs: Vec<VcId>) -> Vec<VcId> {
+    fn far_neighbors(
+        &self,
+        ctx: &mut Ctx<'_, FrameBytes>,
+        node: NodeId,
+        vcs: Vec<VcId>,
+    ) -> Vec<VcId> {
         let pos = ctx.position(node);
         // A neighbour CH can sit up to a VC radius beyond its VCC; only
         // VCCs we can reach with that margin (plus 10% slack) are safely
@@ -402,7 +417,7 @@ impl HvdbProtocol {
     // ------------------------------------------------------------------
     // Clustering rounds.
 
-    fn my_score(&self, ctx: &mut Ctx<'_, HvdbMsg>, node: NodeId) -> Option<CandScore> {
+    fn my_score(&self, ctx: &mut Ctx<'_, FrameBytes>, node: NodeId) -> Option<CandScore> {
         if ctx.capability(node) != Capability::Enhanced {
             return None;
         }
@@ -429,7 +444,7 @@ impl HvdbProtocol {
         })
     }
 
-    fn on_candidacy_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_candidacy_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         let pos = ctx.position(node);
         let vc = self.cfg.grid.vc_of(pos);
         if self.nodes[node.idx()].my_vc != vc {
@@ -450,9 +465,8 @@ impl HvdbProtocol {
         };
         if let Some(old_vc) = retired_vc {
             self.nodes[node.idx()].role = Role::Member;
-            let msg = HvdbMsg::ChRetire { vc: old_vc };
-            let bytes = msg.wire_size();
-            ctx.broadcast(node, "ch-retire", bytes, msg);
+            let frame = self.seal(HvdbMsg::ChRetire { vc: old_vc });
+            ctx.broadcast_frame(node, frame);
         }
         if let Some(score) = self.my_score(ctx, node) {
             // Merge own candidacy with those already heard this round
@@ -462,9 +476,8 @@ impl HvdbProtocol {
                 Some(best) if !score.beats(best) => {}
                 _ => st.best_cand = Some(score),
             }
-            let msg = HvdbMsg::Candidacy { vc, score };
-            let bytes = msg.wire_size();
-            ctx.broadcast(node, "candidacy", bytes, msg);
+            let frame = self.seal(HvdbMsg::Candidacy { vc, score });
+            ctx.broadcast_frame(node, frame);
             // Decision fires 40% into the round.
             let tag = self.ptag(node, TAG_DECIDE);
             ctx.set_timer(node, SimDuration(self.cfg.cluster_interval.0 * 2 / 5), tag);
@@ -488,7 +501,7 @@ impl HvdbProtocol {
         h.ht_gen.advance_to(ho.ht_gen);
         let mut changed = false;
         for (n, gen, lm) in ho.locals {
-            let (_, c) = h.db.store_local(n, lm, gen, now);
+            let (_, c) = h.db.store_local(n, &lm, gen, now);
             changed |= c;
         }
         if changed {
@@ -502,7 +515,7 @@ impl HvdbProtocol {
 
     /// Steps down as head of `vc`, shipping the backbone state to `rival`
     /// so the surviving head does not start from an empty view.
-    fn resign_to(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>, vc: VcId, rival: NodeId) {
+    fn resign_to(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>, vc: VcId, rival: NodeId) {
         let handover = if let Role::Head(h) = &self.nodes[node.idx()].role {
             (h.vc == vc).then(|| {
                 let mut hts: Vec<crate::summary::HtSummary> =
@@ -522,19 +535,18 @@ impl HvdbProtocol {
         };
         if let Some((mnt_gen, ht_gen, locals, hts)) = handover {
             self.nodes[node.idx()].role = Role::Member;
-            let msg = HvdbMsg::Handover {
+            let frame = self.seal(HvdbMsg::Handover {
                 vc,
                 mnt_gen,
                 ht_gen,
                 locals,
                 hts,
-            };
-            let bytes = msg.wire_size();
-            ctx.send_reliable(node, rival, "handover", bytes, msg);
+            });
+            ctx.send_frame_reliable(node, rival, frame);
         }
     }
 
-    fn on_decide_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_decide_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         let st = &self.nodes[node.idx()];
         let Some(best) = st.best_cand else {
             return;
@@ -589,9 +601,8 @@ impl HvdbProtocol {
                 // re-announce at the floor rate until things settle.
                 h.refresh_dsg.on_activity();
             }
-            let msg = HvdbMsg::ChAnnounce { vc: my_vc, term };
-            let bytes = msg.wire_size();
-            ctx.broadcast(node, "ch-announce", bytes, msg);
+            let frame = self.seal(HvdbMsg::ChAnnounce { vc: my_vc, term });
+            ctx.broadcast_frame(node, frame);
         } else if was_head {
             // Someone better exists in my VC: step down, handing the
             // backbone state to the winner so the new head does not start
@@ -603,7 +614,7 @@ impl HvdbProtocol {
         self.nodes[node.idx()].heard_head_bid = false;
     }
 
-    fn on_report_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_report_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         let tag = self.ptag(node, TAG_REPORT);
         ctx.set_timer(node, self.cfg.local_report_interval, tag);
         let st = &self.nodes[node.idx()];
@@ -616,12 +627,12 @@ impl HvdbProtocol {
                 if let Some(ch) = self.current_ch(node, ctx.now()) {
                     if ch != node {
                         let st = &mut self.nodes[node.idx()];
-                        let msg = HvdbMsg::JoinReport {
+                        let report = HvdbMsg::JoinReport {
                             gen: st.report_gen.tick(),
                             lm: st.lm.clone(),
                         };
-                        let bytes = msg.wire_size();
-                        ctx.send_reliable(node, ch, "join-report", bytes, msg);
+                        let frame = self.seal(report);
+                        ctx.send_frame_reliable(node, ch, frame);
                     }
                 }
             }
@@ -631,7 +642,7 @@ impl HvdbProtocol {
     // ------------------------------------------------------------------
     // Route maintenance (Fig. 4).
 
-    fn on_beacon_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_beacon_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         let tag = self.ptag(node, TAG_BEACON);
         ctx.set_timer(node, self.cfg.beacon_interval, tag);
         let now = ctx.now();
@@ -683,9 +694,8 @@ impl HvdbProtocol {
             sent_at: now,
             advertised,
         };
-        let msg = HvdbMsg::Local(inner.clone());
-        let bytes = msg.wire_size();
-        ctx.broadcast(node, "beacon", bytes, msg);
+        let frame = self.seal(HvdbMsg::Local(inner.clone()));
+        ctx.broadcast_frame(node, frame);
         // Long logical links (two grid cells) may exceed broadcast reach.
         let far = self.far_neighbors(ctx, node, self.cfg.map.logical_neighbors(my_vc));
         for nvc in far {
@@ -696,10 +706,10 @@ impl HvdbProtocol {
     fn on_beacon(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         from: LogicalAddress,
         sent_at: SimTime,
-        advertised: Vec<crate::routes::AdvertisedRoute>,
+        advertised: &[crate::routes::AdvertisedRoute],
     ) {
         let now = ctx.now();
         let bitrate = 2_000_000.0; // modelled logical-link bandwidth (see module docs)
@@ -724,7 +734,7 @@ impl HvdbProtocol {
                 delay: now.since(sent_at),
                 bandwidth_bps: bitrate,
             };
-            h.table.integrate_beacon(from.hnid, link, &advertised, now);
+            h.table.integrate_beacon(from.hnid, link, advertised, now);
         }
         // Inter-region beacons establish BCH liveness; mesh-tier routing is
         // geographic, so no mesh route table is needed.
@@ -733,7 +743,7 @@ impl HvdbProtocol {
     // ------------------------------------------------------------------
     // Membership (Fig. 5) — generation-stamped soft state.
 
-    fn on_mnt_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_mnt_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         let tag = self.ptag(node, TAG_MNT);
         ctx.set_timer(node, self.cfg.mnt_interval, tag);
         if !self.is_head(node) {
@@ -750,12 +760,12 @@ impl HvdbProtocol {
         // missed report periods.
         let pruned = h.db.prune_locals(now, report_deadline);
         // Fold own memberships in as a cluster member of ourselves.
-        let (_, own_changed) = h.db.store_local(node.0, own_lm, own_gen, now);
+        let (_, own_changed) = h.db.store_local(node.0, &own_lm, own_gen, now);
         let mnt = h.db.my_mnt(h.vc);
         let origin = h.addr.hnid;
         let hid = h.addr.hid;
         let gen = h.mnt_gen.tick();
-        let (_, mnt_changed) = h.db.store_mnt(origin, node.0, gen, now, mnt.clone());
+        let (_, mnt_changed) = h.db.store_mnt(origin, node.0, gen, now, &mnt);
         if pruned > 0 || own_changed || mnt_changed {
             h.mnt_version += 1;
             // Membership churn: receivers are behind until our next
@@ -782,9 +792,8 @@ impl HvdbProtocol {
             refresh: false,
             mnt,
         };
-        let msg = HvdbMsg::Local(inner.clone());
-        let bytes = msg.wire_size();
-        ctx.broadcast(node, inner.class(), bytes, msg);
+        let frame = self.seal(HvdbMsg::Local(inner.clone()));
+        ctx.broadcast_frame(node, frame);
         self.mnt_far_supplement(ctx, node, my_vc, hid, inner);
     }
 
@@ -796,7 +805,7 @@ impl HvdbProtocol {
     /// neighbours its broadcast probably misses.
     fn mnt_far_supplement(
         &mut self,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         node: NodeId,
         my_vc: VcId,
         hid: Hid,
@@ -814,13 +823,14 @@ impl HvdbProtocol {
     fn on_mnt_share(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         origin: Hnid,
         hid: Hid,
         holder: u32,
         gen: u64,
         refresh: bool,
-        mnt: crate::summary::MntSummary,
+        mnt: &crate::summary::MntSummary,
+        relay: Option<&FrameBytes>,
     ) {
         let now = ctx.now();
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
@@ -829,7 +839,7 @@ impl HvdbProtocol {
         if h.addr.hid != hid {
             return; // cube-scoped flood leaked; drop
         }
-        let (fresh, changed) = h.db.store_mnt(origin, holder, gen, now, mnt.clone());
+        let (fresh, changed) = h.db.store_mnt(origin, holder, gen, now, mnt);
         if !fresh.is_fresh() {
             // Duplicate of this flood wave, or an out-of-order straggler:
             // suppressing it is also what terminates the flood.
@@ -892,22 +902,30 @@ impl HvdbProtocol {
             h.refresh_mnt.on_activity();
         }
         // Cube-scoped flood: re-broadcast once per (holder, gen),
-        // preserving the refresh-plane accounting flag.
-        let inner = ChMsg::MntShare {
-            origin,
-            hid,
-            holder,
-            gen,
-            refresh,
-            mnt,
+        // preserving the refresh-plane accounting flag. A flood wave
+        // that arrived as a local broadcast is relayed as the *same*
+        // shared frame — the zero-copy path every relay hop rides; only
+        // geo-delivered far-neighbour supplements rebuild the local
+        // frame once.
+        let frame = match relay {
+            // Reuse only frames whose accounting class is the payload's
+            // own: a corrective frame sealed under an override class
+            // (e.g. "stamp-hint") must not leak that class into the
+            // flood's relay accounting.
+            Some(f) if f.class() == f.msg().class() => f.clone(),
+            _ => self.seal(HvdbMsg::Local(ChMsg::MntShare {
+                origin,
+                hid,
+                holder,
+                gen,
+                refresh,
+                mnt: mnt.clone(),
+            })),
         };
-        let class = inner.class();
-        let msg = HvdbMsg::Local(inner);
-        let bytes = msg.wire_size();
-        ctx.broadcast(node, class, bytes, msg);
+        ctx.broadcast_frame(node, frame);
     }
 
-    fn on_ht_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_ht_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         let tag = self.ptag(node, TAG_HT);
         ctx.set_timer(node, self.cfg.ht_interval, tag);
         self.broadcast_ht_if_designated(node, ctx, false);
@@ -921,7 +939,7 @@ impl HvdbProtocol {
     fn broadcast_ht_if_designated(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         refresh: bool,
     ) -> bool {
         let criterion = self.cfg.designation;
@@ -939,20 +957,17 @@ impl HvdbProtocol {
         }
         let ht = h.db.my_ht(h.addr.hid);
         let gen = h.ht_gen.tick();
-        h.db.integrate_ht(ht.clone(), node.0, gen, now);
+        h.db.integrate_ht(&ht, node.0, gen, now);
         let origin = h.addr.hid;
         self.counters.ht_broadcasts += 1;
-        let inner = ChMsg::HtBroadcast {
+        let frame = self.seal(HvdbMsg::Local(ChMsg::HtBroadcast {
             origin,
             holder: node.0,
             gen,
             refresh,
             ht,
-        };
-        let class = inner.class();
-        let msg = HvdbMsg::Local(inner);
-        let bytes = msg.wire_size();
-        ctx.broadcast(node, class, bytes, msg);
+        }));
+        ctx.broadcast_frame(node, frame);
         true
     }
 
@@ -960,18 +975,19 @@ impl HvdbProtocol {
     fn on_ht_broadcast(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         origin: Hid,
         holder: u32,
         gen: u64,
         refresh: bool,
-        ht: crate::summary::HtSummary,
+        ht: &crate::summary::HtSummary,
+        relay: Option<&FrameBytes>,
     ) {
         let now = ctx.now();
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
             return;
         };
-        if !h.db.integrate_ht(ht.clone(), holder, gen, now).is_fresh() {
+        if !h.db.integrate_ht(ht, holder, gen, now).is_fresh() {
             self.counters.stale_suppressed += 1;
             ctx.record_stale_suppressed();
             let stored = h.db.ht_of.entry(&origin).map(|e| (e.holder, e.gen));
@@ -995,15 +1011,17 @@ impl HvdbProtocol {
                     // remains the backstop for far designees.
                     let hint_value = h.db.ht_of.get(&origin).cloned();
                     if let Some(value) = hint_value {
-                        let msg = HvdbMsg::Local(ChMsg::HtBroadcast {
-                            origin,
-                            holder: s_holder,
-                            gen: s_gen,
-                            refresh: false,
-                            ht: value,
-                        });
-                        let bytes = msg.wire_size();
-                        if ctx.send_reliable(node, NodeId(holder), "stamp-hint", bytes, msg) {
+                        let frame = FrameBytes::seal_as(
+                            HvdbMsg::Local(ChMsg::HtBroadcast {
+                                origin,
+                                holder: s_holder,
+                                gen: s_gen,
+                                refresh: false,
+                                ht: value,
+                            }),
+                            "stamp-hint",
+                        );
+                        if ctx.send_frame_reliable(node, NodeId(holder), frame) {
                             self.counters.stamp_hints_sent += 1;
                         }
                     }
@@ -1018,18 +1036,23 @@ impl HvdbProtocol {
             h.ht_gen.advance_to(gen);
         }
         // Network-wide CH flood: re-broadcast once per (holder, gen),
-        // preserving the refresh-plane accounting flag.
-        let inner = ChMsg::HtBroadcast {
-            origin,
-            holder,
-            gen,
-            refresh,
-            ht,
+        // preserving the refresh-plane accounting flag — as the same
+        // shared frame whenever the wave arrived by local broadcast.
+        let frame = match relay {
+            // See on_mnt_share: never relay under an overridden
+            // accounting class — a fresh HtBroadcast received as a
+            // "stamp-hint" re-enters the flood as ht-bcast/ht-refresh,
+            // exactly as the pre-refactor rebuild accounted it.
+            Some(f) if f.class() == f.msg().class() => f.clone(),
+            _ => self.seal(HvdbMsg::Local(ChMsg::HtBroadcast {
+                origin,
+                holder,
+                gen,
+                refresh,
+                ht: ht.clone(),
+            })),
         };
-        let class = inner.class();
-        let msg = HvdbMsg::Local(inner);
-        let bytes = msg.wire_size();
-        ctx.broadcast(node, class, bytes, msg);
+        ctx.broadcast_frame(node, frame);
     }
 
     // ------------------------------------------------------------------
@@ -1050,7 +1073,7 @@ impl HvdbProtocol {
     /// stays one fast period. Withheld refreshes are counted
     /// (`refresh_suppressed`), fired ones feed the refresh-rate
     /// histogram.
-    fn on_refresh_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_refresh_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         let tag = self.ptag(node, TAG_REFRESH);
         ctx.set_timer_jittered(
             node,
@@ -1126,9 +1149,8 @@ impl HvdbProtocol {
         // (a) Re-announce the designation so members that lost the
         // original ChAnnounce recover within a refresh period.
         if fire_dsg {
-            let msg = HvdbMsg::ChAnnounce { vc, term };
-            let bytes = msg.wire_size();
-            ctx.broadcast(node, "ch-refresh", bytes, msg);
+            let frame = FrameBytes::seal_as(HvdbMsg::ChAnnounce { vc, term }, "ch-refresh");
+            ctx.broadcast_frame(node, frame);
             ctx.record_refresh_tx();
             ctx.record_refresh_rate(rates.0);
             self.counters.refresh_broadcasts += 1;
@@ -1146,7 +1168,7 @@ impl HvdbProtocol {
                 };
                 h.db.mnt_of.get(&addr.hnid).cloned().map(|mnt| {
                     let gen = h.mnt_gen.tick();
-                    h.db.store_mnt(addr.hnid, node.0, gen, now, mnt.clone());
+                    h.db.store_mnt(addr.hnid, node.0, gen, now, &mnt);
                     (gen, mnt)
                 })
             };
@@ -1159,10 +1181,8 @@ impl HvdbProtocol {
                     refresh: true,
                     mnt,
                 };
-                let class = inner.class();
-                let msg = HvdbMsg::Local(inner.clone());
-                let bytes = msg.wire_size();
-                ctx.broadcast(node, class, bytes, msg);
+                let frame = self.seal(HvdbMsg::Local(inner.clone()));
+                ctx.broadcast_frame(node, frame);
                 self.mnt_far_supplement(ctx, node, vc, addr.hid, inner);
                 ctx.record_refresh_tx();
                 ctx.record_refresh_rate(rates.1);
@@ -1189,7 +1209,7 @@ impl HvdbProtocol {
     // ------------------------------------------------------------------
     // Multicast data path (Fig. 6).
 
-    fn on_traffic_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>, idx: usize) {
+    fn on_traffic_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>, idx: usize) {
         let item = self.traffic[idx];
         let data_id = self.next_data_id;
         self.next_data_id += 1;
@@ -1204,13 +1224,12 @@ impl HvdbProtocol {
         if self.is_head(node) {
             self.start_multicast_at_ch(node, ctx, data_id, item.group, item.size);
         } else if let Some(ch) = self.current_ch(node, ctx.now()) {
-            let msg = HvdbMsg::DataToCh {
+            let frame = self.seal(HvdbMsg::DataToCh {
                 data_id,
                 group: item.group,
                 size: item.size,
-            };
-            let bytes = msg.wire_size();
-            ctx.send_reliable(node, ch, "data-to-ch", bytes, msg);
+            });
+            ctx.send_frame_reliable(node, ch, frame);
         } else {
             self.counters.no_ch += 1;
         }
@@ -1221,7 +1240,7 @@ impl HvdbProtocol {
     fn start_multicast_at_ch(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         data_id: u64,
         group: GroupId,
         size: usize,
@@ -1260,7 +1279,7 @@ impl HvdbProtocol {
     fn enter_region(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         data_id: u64,
         group: GroupId,
         size: usize,
@@ -1331,7 +1350,7 @@ impl HvdbProtocol {
     fn process_hc_tree_node(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         data_id: u64,
         group: GroupId,
         size: usize,
@@ -1355,7 +1374,7 @@ impl HvdbProtocol {
     #[allow(clippy::too_many_arguments)]
     fn forward_hc_leg(
         &mut self,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         node: NodeId,
         data_id: u64,
         group: GroupId,
@@ -1396,12 +1415,12 @@ impl HvdbProtocol {
     fn on_hc_data(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         data_id: u64,
         group: GroupId,
         size: usize,
         hid: Hid,
-        edges: Vec<(Hnid, Hnid)>,
+        edges: &[(Hnid, Hnid)],
         leg_dst: Hnid,
     ) {
         let my_label = {
@@ -1423,7 +1442,7 @@ impl HvdbProtocol {
     fn deliver_locally(
         &mut self,
         node: NodeId,
-        ctx: &mut Ctx<'_, HvdbMsg>,
+        ctx: &mut Ctx<'_, FrameBytes>,
         data_id: u64,
         group: GroupId,
         size: usize,
@@ -1442,17 +1461,17 @@ impl HvdbProtocol {
         if st.lm.contains(group) && st.seen_data.insert(data_id) {
             ctx.record_delivery(data_id, node);
         }
-        let msg = HvdbMsg::LocalDeliver {
+        let frame = self.seal(HvdbMsg::LocalDeliver {
             data_id,
             group,
             size,
-        };
-        let bytes = msg.wire_size();
+        });
         // Broadcasts have no MAC recovery, so the final hop is the loss
         // bottleneck of the whole delivery chain: repeat the frame
         // (receivers dedup by data id), turning p loss into p^repeats.
+        // One sealed frame serves every repeat and every receiver.
         for _ in 0..self.cfg.deliver_repeats.max(1) {
-            ctx.broadcast(node, "local-deliver", bytes, msg.clone());
+            ctx.broadcast_frame(node, frame.clone());
         }
     }
 
@@ -1470,14 +1489,14 @@ impl HvdbProtocol {
         }
     }
 
-    fn on_geo(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>, mut pkt: GeoPacket) {
+    fn on_geo(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>, mut pkt: GeoPacket) {
         if self.satisfies_target(node, pkt.target) {
-            match pkt.inner {
+            match &pkt.inner {
                 ChMsg::Beacon {
                     from,
                     sent_at,
                     advertised,
-                } => self.on_beacon(node, ctx, from, sent_at, advertised),
+                } => self.on_beacon(node, ctx, *from, *sent_at, advertised),
                 ChMsg::MntShare {
                     origin,
                     hid,
@@ -1485,21 +1504,25 @@ impl HvdbProtocol {
                     gen,
                     refresh,
                     mnt,
-                } => self.on_mnt_share(node, ctx, origin, hid, holder, gen, refresh, mnt),
+                } => {
+                    self.on_mnt_share(node, ctx, *origin, *hid, *holder, *gen, *refresh, mnt, None);
+                }
                 ChMsg::HtBroadcast {
                     origin,
                     holder,
                     gen,
                     refresh,
                     ht,
-                } => self.on_ht_broadcast(node, ctx, origin, holder, gen, refresh, ht),
+                } => {
+                    self.on_ht_broadcast(node, ctx, *origin, *holder, *gen, *refresh, ht, None);
+                }
                 ChMsg::MeshData {
                     data_id,
                     group,
                     size,
                     this,
                     edges,
-                } => self.enter_region(node, ctx, data_id, group, size, this, &edges),
+                } => self.enter_region(node, ctx, *data_id, *group, *size, *this, edges),
                 ChMsg::HcData {
                     data_id,
                     group,
@@ -1507,7 +1530,7 @@ impl HvdbProtocol {
                     hid,
                     edges,
                     leg_dst,
-                } => self.on_hc_data(node, ctx, data_id, group, size, hid, edges, leg_dst),
+                } => self.on_hc_data(node, ctx, *data_id, *group, *size, *hid, edges, *leg_dst),
             }
             return;
         }
@@ -1545,9 +1568,8 @@ impl HvdbProtocol {
         };
         if let Some(ch) = shortcut {
             if ch != node && ctx.is_alive(ch) && self.satisfies_target(ch, pkt.target) {
-                let class = pkt.inner.class();
-                let bytes = pkt.wire_size();
-                ctx.send_reliable(node, ch, class, bytes, HvdbMsg::Geo(pkt));
+                let frame = self.seal(HvdbMsg::Geo(pkt));
+                ctx.send_frame_reliable(node, ch, frame);
                 return;
             }
         }
@@ -1556,9 +1578,9 @@ impl HvdbProtocol {
 }
 
 impl Protocol for HvdbProtocol {
-    type Msg = HvdbMsg;
+    type Msg = FrameBytes;
 
-    fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         if self.nodes.len() < ctx.node_count() {
             // First callback: allocate per-node state.
             let grid = &self.cfg.grid;
@@ -1585,8 +1607,9 @@ impl Protocol for HvdbProtocol {
             }
         }
         // Phase-jittered periodic timers.
-        let jitter =
-            |ctx: &mut Ctx<'_, HvdbMsg>, max: u64| SimDuration(ctx.rng().range_u64(0, max.max(1)));
+        let jitter = |ctx: &mut Ctx<'_, FrameBytes>, max: u64| {
+            SimDuration(ctx.rng().range_u64(0, max.max(1)))
+        };
         let j = jitter(ctx, self.cfg.cluster_interval.0 / 4);
         ctx.set_timer(node, j, TAG_CANDIDACY);
         let j = jitter(ctx, self.cfg.beacon_interval.0);
@@ -1622,9 +1645,19 @@ impl Protocol for HvdbProtocol {
         }
     }
 
-    fn on_message(&mut self, node: NodeId, from: NodeId, msg: HvdbMsg, ctx: &mut Ctx<'_, HvdbMsg>) {
-        match msg {
+    fn on_message(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        msg: FrameBytes,
+        ctx: &mut Ctx<'_, FrameBytes>,
+    ) {
+        // Receivers read the shared payload in place; only the arms that
+        // *store or forward* owned state take the payload out (unicast
+        // frames are uniquely held, so `into_msg` is a move, not a copy).
+        match msg.msg() {
             HvdbMsg::Candidacy { vc, score } => {
+                let (vc, score) = (*vc, *score);
                 let st = &mut self.nodes[node.idx()];
                 if vc == st.my_vc {
                     if st.ch.head_unchecked() == Some(score.node) {
@@ -1637,6 +1670,7 @@ impl Protocol for HvdbProtocol {
                 }
             }
             HvdbMsg::ChAnnounce { vc, term } => {
+                let (vc, term) = (*vc, *term);
                 let now = ctx.now();
                 let deadline = self.cfg.designation_deadline();
                 // Duplicate-head resolution: frame loss can leave two
@@ -1673,6 +1707,7 @@ impl Protocol for HvdbProtocol {
                 }
             }
             HvdbMsg::ChRetire { vc } => {
+                let vc = *vc;
                 let st = &mut self.nodes[node.idx()];
                 if vc == st.my_vc && st.ch.head_unchecked() == Some(from.0) {
                     st.ch.vacate();
@@ -1681,7 +1716,7 @@ impl Protocol for HvdbProtocol {
             HvdbMsg::JoinReport { gen, lm } => {
                 let now = ctx.now();
                 if let Role::Head(h) = &mut self.nodes[node.idx()].role {
-                    let (fresh, changed) = h.db.store_local(from.0, lm, gen, now);
+                    let (fresh, changed) = h.db.store_local(from.0, lm, *gen, now);
                     if !fresh.is_fresh() {
                         self.counters.stale_suppressed += 1;
                         ctx.record_stale_suppressed();
@@ -1700,36 +1735,40 @@ impl Protocol for HvdbProtocol {
                 group,
                 size,
             } => {
+                let (data_id, group, size) = (*data_id, *group, *size);
                 if self.is_head(node) {
                     self.start_multicast_at_ch(node, ctx, data_id, group, size);
                 } else if let Some(ch) = self.current_ch(node, ctx.now()) {
                     // The member's view was stale (this node resigned);
                     // bounce the packet to the current head once.
                     if ch != node {
+                        // The received frame is forwarded unchanged: the
+                        // bounce rides the same shared payload.
                         self.counters.data_bounced += 1;
-                        let msg = HvdbMsg::DataToCh {
-                            data_id,
-                            group,
-                            size,
-                        };
-                        let bytes = msg.wire_size();
-                        ctx.send_reliable(node, ch, "data-to-ch", bytes, msg);
+                        ctx.send_frame_reliable(node, ch, msg.clone());
                     }
                 }
             }
             HvdbMsg::LocalDeliver { data_id, group, .. } => {
+                let (data_id, group) = (*data_id, *group);
                 let st = &mut self.nodes[node.idx()];
                 if st.lm.contains(group) && st.seen_data.insert(data_id) {
                     ctx.record_delivery(data_id, node);
                 }
             }
-            HvdbMsg::Handover {
-                vc,
-                mnt_gen,
-                ht_gen,
-                locals,
-                hts,
-            } => {
+            HvdbMsg::Handover { .. } => {
+                // Unicast: this handle is the payload's only owner, so
+                // the member vectors move out without copying.
+                let HvdbMsg::Handover {
+                    vc,
+                    mnt_gen,
+                    ht_gen,
+                    locals,
+                    hts,
+                } = msg.into_msg()
+                else {
+                    unreachable!("matched Handover above");
+                };
                 let now = ctx.now();
                 let ho = PendingHandover {
                     vc,
@@ -1746,7 +1785,15 @@ impl Protocol for HvdbProtocol {
                     self.nodes[node.idx()].pending_handover = Some(Box::new(ho));
                 }
             }
-            HvdbMsg::Geo(pkt) => self.on_geo(node, ctx, pkt),
+            HvdbMsg::Geo(_) => {
+                // Unicast relay envelope: take the packet out (a move —
+                // geo frames are never shared) so TTL/visited mutate in
+                // place before the next hop is sealed.
+                let HvdbMsg::Geo(pkt) = msg.into_msg() else {
+                    unreachable!("matched Geo above");
+                };
+                self.on_geo(node, ctx, pkt);
+            }
             HvdbMsg::Local(inner) => {
                 if !self.is_head(node) {
                     return; // CH-plane traffic; members ignore it
@@ -1756,7 +1803,7 @@ impl Protocol for HvdbProtocol {
                         from,
                         sent_at,
                         advertised,
-                    } => self.on_beacon(node, ctx, from, sent_at, advertised),
+                    } => self.on_beacon(node, ctx, *from, *sent_at, advertised),
                     ChMsg::MntShare {
                         origin,
                         hid,
@@ -1764,21 +1811,47 @@ impl Protocol for HvdbProtocol {
                         gen,
                         refresh,
                         mnt,
-                    } => self.on_mnt_share(node, ctx, origin, hid, holder, gen, refresh, mnt),
+                    } => {
+                        // Flood reception: relays re-broadcast this very
+                        // frame (`Some(&msg)`), so a wave crosses the
+                        // whole cube behind one allocation.
+                        self.on_mnt_share(
+                            node,
+                            ctx,
+                            *origin,
+                            *hid,
+                            *holder,
+                            *gen,
+                            *refresh,
+                            mnt,
+                            Some(&msg),
+                        );
+                    }
                     ChMsg::HtBroadcast {
                         origin,
                         holder,
                         gen,
                         refresh,
                         ht,
-                    } => self.on_ht_broadcast(node, ctx, origin, holder, gen, refresh, ht),
+                    } => {
+                        self.on_ht_broadcast(
+                            node,
+                            ctx,
+                            *origin,
+                            *holder,
+                            *gen,
+                            *refresh,
+                            ht,
+                            Some(&msg),
+                        );
+                    }
                     _ => {}
                 }
             }
         }
     }
 
-    fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, FrameBytes>) {
         match tag {
             t if t >= TAG_GROUP_BASE => self.on_group_event((t - TAG_GROUP_BASE) as usize),
             t if t >= TAG_TRAFFIC_BASE => {
@@ -1804,14 +1877,14 @@ impl Protocol for HvdbProtocol {
         }
     }
 
-    fn on_fail(&mut self, node: NodeId, _ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_fail(&mut self, node: NodeId, _ctx: &mut Ctx<'_, FrameBytes>) {
         // A failed CH simply goes silent; neighbours detect it by beacon
         // timeout (the availability experiment measures exactly this).
         self.nodes[node.idx()].role = Role::Member;
         self.nodes[node.idx()].ch.clear();
     }
 
-    fn on_recover(&mut self, node: NodeId, ctx: &mut Ctx<'_, HvdbMsg>) {
+    fn on_recover(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
         self.nodes[node.idx()].ch.clear();
         self.nodes[node.idx()].best_cand = None;
         // Restart every periodic chain under a fresh timer epoch: chains

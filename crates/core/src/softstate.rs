@@ -126,13 +126,29 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
     /// propagation but still proves the origin alive, so it touches the
     /// refresh clock.
     pub fn offer(&mut self, key: K, holder: u32, gen: u64, now: SimTime, value: V) -> Freshness {
+        self.offer_with(key, holder, gen, now, || value)
+    }
+
+    /// [`SoftStore::offer`] with a **lazily built** value: `value` is
+    /// invoked only when the stamp actually wins. Callers holding a
+    /// borrowed payload (a shared frame's summary) pass `|| v.clone()`
+    /// so the dominant stale path — every duplicate of an already-stored
+    /// flood wave — costs a stamp comparison and nothing else.
+    pub fn offer_with(
+        &mut self,
+        key: K,
+        holder: u32,
+        gen: u64,
+        now: SimTime,
+        value: impl FnOnce() -> V,
+    ) -> Freshness {
         match self.entries.get_mut(&key) {
             Some(e) => {
                 if gen > e.gen || (gen == e.gen && holder < e.holder) {
                     e.gen = gen;
                     e.holder = holder;
                     e.refreshed_at = now;
-                    e.value = value;
+                    e.value = value();
                     Freshness::Fresh
                 } else {
                     if holder == e.holder && gen == e.gen {
@@ -148,11 +164,23 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
                         gen,
                         holder,
                         refreshed_at: now,
-                        value,
+                        value: value(),
                     },
                 );
                 Freshness::Fresh
             }
+        }
+    }
+
+    /// Whether an offer stamped `(holder, gen)` for `key` would be
+    /// accepted as fresh — the pure predicate behind
+    /// [`SoftStore::offer`], exposed so callers can skip work (value
+    /// comparisons, clones) that only matters on the accept path before
+    /// making the offer itself.
+    pub fn accepts(&self, key: &K, holder: u32, gen: u64) -> bool {
+        match self.entries.get(key) {
+            Some(e) => gen > e.gen || (gen == e.gen && holder < e.holder),
+            None => true,
         }
     }
 

@@ -4,7 +4,7 @@
 //! baseline on byte-identical inputs, without costing convergence or
 //! delivery — and churn must snap the rate back.
 
-use hvdb_core::{GroupEvent, GroupId, HvdbConfig, HvdbMsg, HvdbProtocol, TrafficItem};
+use hvdb_core::{FrameBytes, GroupEvent, GroupId, HvdbConfig, HvdbProtocol, TrafficItem};
 use hvdb_geo::{Aabb, Point, Vec2};
 use hvdb_sim::{
     NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary, Stats,
@@ -14,7 +14,7 @@ use hvdb_sim::{
 /// every VC centre — a backbone that converges quickly and then goes
 /// fully quiet, the adaptive controller's best case and the fixed rate's
 /// worst.
-fn fig2_sim(seed: u64) -> (Simulator<HvdbMsg>, HvdbConfig) {
+fn fig2_sim(seed: u64) -> (Simulator<FrameBytes>, HvdbConfig) {
     let area = Aabb::from_size(800.0, 800.0);
     let cfg = HvdbConfig::fig2(area);
     let sim_cfg = SimConfig {
@@ -27,8 +27,9 @@ fn fig2_sim(seed: u64) -> (Simulator<HvdbMsg>, HvdbConfig) {
         mobility_tick: SimDuration::ZERO,
         enhanced_fraction: 1.0,
         seed,
+        per_receiver_delivery: false,
     };
-    let mut sim: Simulator<HvdbMsg> = Simulator::new(sim_cfg, Box::new(Stationary));
+    let mut sim: Simulator<FrameBytes> = Simulator::new(sim_cfg, Box::new(Stationary));
     let grid = cfg.grid.clone();
     for (i, vc) in grid.iter_ids().enumerate() {
         let c = grid.vcc(vc);

@@ -226,7 +226,7 @@ proptest! {
                 lm.join(GroupId(*g));
             }
             let mnt = MntSummary::from_locals(VcId::new(0, 0), std::iter::once(&lm));
-            db.store_mnt(Hnid(*label), *label, 1, SimTime::ZERO, mnt);
+            db.store_mnt(Hnid(*label), *label, 1, SimTime::ZERO, &mnt);
             present.push(*label);
         }
         let cube = IncompleteHypercube::with_nodes(4, present.clone());

@@ -2,13 +2,13 @@
 //! discrete-event simulator: clustering convergence, route maintenance,
 //! membership propagation, and the full Fig. 6 multicast path.
 
-use hvdb_core::{GroupEvent, GroupId, HvdbConfig, HvdbMsg, HvdbProtocol, TrafficItem};
+use hvdb_core::{FrameBytes, GroupEvent, GroupId, HvdbConfig, HvdbProtocol, TrafficItem};
 use hvdb_geo::{Aabb, Point, Vec2};
 use hvdb_sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
 
 /// A dense, stationary scenario over the paper's Fig. 2 layout: one node
 /// near every VC centre (plus extras), everyone CH-capable.
-fn fig2_sim(num_extra: usize, seed: u64) -> (Simulator<HvdbMsg>, HvdbConfig) {
+fn fig2_sim(num_extra: usize, seed: u64) -> (Simulator<FrameBytes>, HvdbConfig) {
     let area = Aabb::from_size(800.0, 800.0);
     let cfg = HvdbConfig::fig2(area);
     let n = 64 + num_extra;
@@ -22,8 +22,9 @@ fn fig2_sim(num_extra: usize, seed: u64) -> (Simulator<HvdbMsg>, HvdbConfig) {
         mobility_tick: SimDuration::ZERO,
         enhanced_fraction: 1.0,
         seed,
+        per_receiver_delivery: false,
     };
-    let mut sim: Simulator<HvdbMsg> = Simulator::new(sim_cfg, Box::new(Stationary));
+    let mut sim: Simulator<FrameBytes> = Simulator::new(sim_cfg, Box::new(Stationary));
     // Pin the first 64 nodes near the VC centres (small offsets so the
     // election distance criterion is exercised), extras scattered around
     // cell interiors.

@@ -101,6 +101,29 @@ impl SpatialIndex {
         self.insert(id, new);
     }
 
+    /// Incremental position update: when `old` and `new` map to the same
+    /// cell (the common case under per-tick mobility steps, where a node
+    /// moves a few metres inside a radio-range-sized cell) the stored
+    /// position is rewritten in place; only cell crossings pay the
+    /// remove+insert of [`SpatialIndex::relocate`]. This is what lets the
+    /// simulator maintain the index under mobility instead of rebuilding
+    /// it from scratch every tick.
+    pub fn update(&mut self, id: u32, old: Point, new: Point) {
+        let oc = self.cell_of(old);
+        if oc == self.cell_of(new) {
+            if let Some(bucket) = self.cells.get_mut(&oc) {
+                if let Some(slot) = bucket.iter_mut().find(|(i, _)| *i == id) {
+                    slot.1 = new;
+                    return;
+                }
+            }
+            debug_assert!(false, "update of unindexed item {id}");
+            self.insert(id, new);
+        } else {
+            self.relocate(id, old, new);
+        }
+    }
+
     /// Collects the ids of all items within `radius` of `center`
     /// (inclusive), appending to `out`. `out` is cleared first; passing a
     /// reused buffer avoids per-query allocation (hot path).
@@ -225,6 +248,30 @@ mod tests {
             idx.nearest_within(Point::new(1000.0, 0.0), 10.0, u32::MAX),
             None
         );
+    }
+
+    #[test]
+    fn update_same_cell_rewrites_position_in_place() {
+        let mut idx = sample_index();
+        // 30,40 -> 35,45 stays in the 50 m cell (0,0).
+        idx.update(2, Point::new(30.0, 40.0), Point::new(35.0, 45.0));
+        assert_eq!(idx.len(), 4);
+        // Query that only matches the new position.
+        let got = idx.query_range(Point::new(35.0, 45.0), 1.0);
+        assert_eq!(got, vec![2]);
+        // The old position no longer matches a tight query.
+        assert!(idx.query_range(Point::new(30.0, 40.0), 1.0).is_empty());
+    }
+
+    #[test]
+    fn update_across_cells_relocates() {
+        let mut idx = sample_index();
+        idx.update(4, Point::new(500.0, 500.0), Point::new(10.0, 10.0));
+        assert_eq!(idx.len(), 4);
+        let mut got = idx.query_range(Point::ORIGIN, 50.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 4]);
+        assert!(idx.query_range(Point::new(500.0, 500.0), 10.0).is_empty());
     }
 
     #[test]

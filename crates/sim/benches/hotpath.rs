@@ -1,0 +1,124 @@
+//! Micro-benchmarks for the engine's delivery hot path (vendored
+//! criterion harness — wall-clock mean/min, comparable run-to-run):
+//!
+//! * `neighbors_into` — scratch-threaded spatial query vs the preserved
+//!   legacy allocate-and-sort-per-call path;
+//! * `broadcast_round` — one full broadcast fan-out through the event
+//!   loop (send → queue → per-receiver dispatch), shared `DeliverMany`
+//!   vs legacy per-receiver clone events;
+//! * `mobility_tick` — the incremental spatial-index update under a
+//!   whole-population waypoint step.
+//!
+//! Run with `cargo bench -p hvdb-sim`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hvdb_geo::Aabb;
+use hvdb_sim::{
+    Ctx, Mobility, NodeId, Protocol, RandomWaypoint, SimConfig, SimDuration, SimRng, SimTime,
+    Simulator, World,
+};
+
+const NODES: usize = 600;
+
+/// A 600-node world at the `scale` scenario's density.
+fn bench_world() -> World {
+    let side = (NODES as f64 * 8533.0).sqrt();
+    let mut world = World::new(Aabb::from_size(side, side), NODES, 450.0);
+    let mut rng = SimRng::new(7);
+    let mut mobility = RandomWaypoint::new(1.0, 5.0, 10.0);
+    mobility.init(&mut world, &mut rng);
+    world
+}
+
+fn bench_neighbors(c: &mut Criterion) {
+    let world = bench_world();
+    let mut group = c.benchmark_group("neighbors_into");
+    let mut out = Vec::new();
+    let mut raw = Vec::new();
+    group.bench_function("scratch", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % NODES as u32;
+            world.neighbors_into(NodeId(i), &mut out, &mut raw);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("legacy_alloc", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % NODES as u32;
+            world.neighbors_into_legacy(NodeId(i), &mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+/// A protocol that floods one bounded gossip wave: node 0 broadcasts at
+/// start, every receiver re-broadcasts until the hop budget runs out —
+/// one realistic broadcast round per `run` call.
+struct Gossip;
+
+impl Protocol for Gossip {
+    type Msg = u32;
+
+    fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, u32>) {
+        if node == NodeId(0) {
+            ctx.broadcast(node, "gossip", 64, 2);
+        }
+    }
+
+    fn on_message(&mut self, node: NodeId, _from: NodeId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+        if msg > 0 {
+            ctx.broadcast(node, "gossip", 64, msg - 1);
+        }
+    }
+
+    fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, u32>) {}
+}
+
+fn bench_broadcast_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_round");
+    group.sample_size(20);
+    for (label, legacy) in [("shared", false), ("per_receiver_clone", true)] {
+        group.bench_with_input(BenchmarkId::new("mode", label), &legacy, |b, &legacy| {
+            b.iter(|| {
+                let side = (NODES as f64 * 8533.0).sqrt();
+                let cfg = SimConfig {
+                    area: Aabb::from_size(side, side),
+                    num_nodes: NODES,
+                    mobility_tick: SimDuration::ZERO,
+                    per_receiver_delivery: legacy,
+                    ..SimConfig::default()
+                };
+                let mut sim: Simulator<u32> =
+                    Simulator::new(cfg, Box::new(RandomWaypoint::new(1.0, 5.0, 10.0)));
+                let mut p = Gossip;
+                sim.run(&mut p, SimTime::from_secs(5));
+                black_box(sim.stats().events_processed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mobility_tick(c: &mut Criterion) {
+    let mut world = bench_world();
+    let mut rng = SimRng::new(11);
+    let mut mobility = RandomWaypoint::new(1.0, 5.0, 10.0);
+    mobility.init(&mut world, &mut rng);
+    c.bench_function("mobility_tick/incremental_index", |b| {
+        b.iter(|| {
+            mobility.step(1.0, &mut world, &mut rng);
+            black_box(world.position(NodeId(0)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_neighbors,
+    bench_broadcast_round,
+    bench_mobility_tick
+);
+criterion_main!(benches);

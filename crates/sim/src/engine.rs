@@ -37,6 +37,15 @@ pub struct SimConfig {
     pub enhanced_fraction: f64,
     /// Master random seed.
     pub seed: u64,
+    /// Legacy delivery machinery, preserved as the `perf` scenario's
+    /// before/after comparison arm: broadcasts push one `Deliver` event
+    /// per receiver (each with its own payload clone) instead of one
+    /// shared [`EventKind::DeliverMany`], and neighbour queries run the
+    /// old allocate-and-sort-per-call path
+    /// ([`World::neighbors_into_legacy`]). Both modes dispatch receivers
+    /// in the same total order and draw the RNG identically, so results
+    /// are bit-identical — only the wall-clock cost differs.
+    pub per_receiver_delivery: bool,
 }
 
 impl Default for SimConfig {
@@ -48,6 +57,7 @@ impl Default for SimConfig {
             mobility_tick: SimDuration::from_secs(1),
             enhanced_fraction: 1.0,
             seed: 1,
+            per_receiver_delivery: false,
         }
     }
 }
@@ -90,6 +100,9 @@ pub struct Ctx<'a, M> {
     radio: &'a RadioConfig,
     rng: &'a mut SimRng,
     scratch: &'a mut Vec<NodeId>,
+    raw_scratch: &'a mut Vec<u32>,
+    recv_pool: &'a mut Vec<Vec<NodeId>>,
+    per_receiver_delivery: bool,
 }
 
 impl<'a, M: Clone> Ctx<'a, M> {
@@ -143,18 +156,24 @@ impl<'a, M: Clone> Ctx<'a, M> {
     }
 
     /// Calls `f` with the node's current alive radio neighbours (ascending
-    /// id order), reusing the engine's scratch buffer instead of handing
-    /// out a fresh `Vec` per query. (The spatial index still allocates one
-    /// candidate list inside [`World::neighbors_into`]; hoisting that into
-    /// a second scratch is a follow-up.) The closure receives the context
-    /// back, so it can read positions or send while inspecting the list.
+    /// id order), reusing the engine's scratch buffers — both the result
+    /// list and the spatial-index candidate list — so a neighbour query on
+    /// the hot path performs zero allocations. The closure receives the
+    /// context back, so it can read positions or send while inspecting
+    /// the list.
     pub fn with_neighbors<R>(
         &mut self,
         id: NodeId,
         f: impl FnOnce(&mut Ctx<'_, M>, &[NodeId]) -> R,
     ) -> R {
         let mut buf = std::mem::take(self.scratch);
-        self.world.neighbors_into(id, &mut buf);
+        if self.per_receiver_delivery {
+            self.world.neighbors_into_legacy(id, &mut buf);
+        } else {
+            let mut raw = std::mem::take(self.raw_scratch);
+            self.world.neighbors_into(id, &mut buf, &mut raw);
+            *self.raw_scratch = raw;
+        }
         let r = f(self, &buf);
         buf.clear();
         *self.scratch = buf;
@@ -294,6 +313,14 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// scheduled. This is the MANET broadcast advantage the paper notes:
     /// "MANETs are inherently ready for multicast communications due to
     /// their broadcast nature" (§1).
+    ///
+    /// The frame is queued **once** as an [`EventKind::DeliverMany`]
+    /// sharing one payload across all receivers; the receiver list comes
+    /// from a pooled buffer, so a steady-state broadcast performs no
+    /// allocation at all. With [`SimConfig::per_receiver_delivery`] set,
+    /// the legacy path (one `Deliver` event and one payload clone per
+    /// receiver) runs instead — same RNG draws, same dispatch order,
+    /// strictly more work — as the `perf` scenario's comparison arm.
     pub fn broadcast(&mut self, from: NodeId, class: &'static str, bytes: usize, msg: M) -> usize {
         if !self.world.alive(from) {
             self.stats.drops_dead += 1;
@@ -301,26 +328,51 @@ impl<'a, M: Clone> Ctx<'a, M> {
         }
         let arrival = self.occupy_radio(from, bytes);
         self.stats.count_tx(from, class, bytes);
-        let scratch = std::mem::take(self.scratch);
-        let mut neighbors = scratch;
-        self.world.neighbors_into(from, &mut neighbors);
-        let mut n = 0;
-        for &to in neighbors.iter() {
+        let mut receivers = self.recv_pool.pop().unwrap_or_default();
+        if self.per_receiver_delivery {
+            // Legacy arm: the per-query allocation the old engine paid.
+            self.world.neighbors_into_legacy(from, &mut receivers);
+        } else {
+            let mut raw = std::mem::take(self.raw_scratch);
+            self.world.neighbors_into(from, &mut receivers, &mut raw);
+            *self.raw_scratch = raw;
+        }
+        // Loss is decided per receiver at send time, in ascending id
+        // order — the exact draw order of the per-receiver path.
+        receivers.retain(|_| {
             if self.rng.chance(self.radio.loss_prob) {
                 self.stats.drops_loss += 1;
-                continue;
+                false
+            } else {
+                true
             }
+        });
+        let n = receivers.len();
+        if self.per_receiver_delivery {
+            self.stats.frames_cloned += n as u64;
+            for &to in receivers.iter() {
+                self.queue.push(
+                    arrival,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        } else if n > 0 {
             self.queue.push(
                 arrival,
-                EventKind::Deliver {
-                    to,
+                EventKind::DeliverMany {
+                    to: receivers,
                     from,
-                    msg: msg.clone(),
+                    msg,
                 },
             );
-            n += 1;
+            return n;
         }
-        *self.scratch = neighbors;
+        receivers.clear();
+        self.recv_pool.push(receivers);
         n
     }
 
@@ -383,6 +435,9 @@ pub struct Simulator<M> {
     now: SimTime,
     started: bool,
     scratch: Vec<NodeId>,
+    raw_scratch: Vec<u32>,
+    recv_pool: Vec<Vec<NodeId>>,
+    wall_secs: f64,
 }
 
 impl<M: Clone> Simulator<M> {
@@ -412,7 +467,19 @@ impl<M: Clone> Simulator<M> {
             now: SimTime::ZERO,
             started: false,
             scratch: Vec::new(),
+            raw_scratch: Vec::new(),
+            recv_pool: Vec::new(),
+            wall_secs: 0.0,
         }
+    }
+
+    /// Wall-clock seconds spent inside [`Simulator::run`] so far. Kept on
+    /// the simulator rather than in [`Stats`] so that statistics stay a
+    /// pure function of `(config, seed, protocol)` — two identical runs
+    /// compare bit-equal while still exposing engine throughput
+    /// ([`crate::stats::sim_sec_per_wall_sec`]).
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_secs
     }
 
     /// Current simulation time.
@@ -431,8 +498,9 @@ impl<M: Clone> Simulator<M> {
     }
 
     /// Mutable world access for scenario setup (placing nodes, toggling
-    /// capabilities) before or between `run` calls. Remember to call
-    /// [`World::rebuild_index`] after moving nodes.
+    /// capabilities) before or between `run` calls. [`World::set_motion`]
+    /// maintains the spatial index incrementally, so no rebuild step is
+    /// needed after moving nodes.
     pub fn world_mut(&mut self) -> &mut World {
         &mut self.world
     }
@@ -452,33 +520,30 @@ impl<M: Clone> Simulator<M> {
         self.queue.push(at, EventKind::Recover(node));
     }
 
-    fn make_ctx<'a>(
-        now: SimTime,
-        world: &'a mut World,
-        queue: &'a mut EventQueue<M>,
-        stats: &'a mut Stats,
-        radio: &'a RadioConfig,
-        rng: &'a mut SimRng,
-        scratch: &'a mut Vec<NodeId>,
-    ) -> Ctx<'a, M> {
-        Ctx {
-            now,
-            world,
-            queue,
-            stats,
-            radio,
-            rng,
-            scratch,
-        }
-    }
-
     /// Runs the simulation until `until` (inclusive), dispatching events to
     /// `proto`. May be called repeatedly with increasing horizons; node
     /// start-up happens on the first call.
     pub fn run<P: Protocol<Msg = M>>(&mut self, proto: &mut P, until: SimTime) {
+        let wall_start = std::time::Instant::now();
+        // Split-borrow context construction, shared by every dispatch arm.
+        macro_rules! ctx {
+            ($now:expr) => {
+                Ctx {
+                    now: $now,
+                    world: &mut self.world,
+                    queue: &mut self.queue,
+                    stats: &mut self.stats,
+                    radio: &self.cfg.radio,
+                    rng: &mut self.rng,
+                    scratch: &mut self.scratch,
+                    raw_scratch: &mut self.raw_scratch,
+                    recv_pool: &mut self.recv_pool,
+                    per_receiver_delivery: self.cfg.per_receiver_delivery,
+                }
+            };
+        }
         if !self.started {
             self.started = true;
-            self.world.rebuild_index();
             if self.cfg.mobility_tick > SimDuration::ZERO {
                 self.queue.push(
                     SimTime::ZERO + self.cfg.mobility_tick,
@@ -486,15 +551,7 @@ impl<M: Clone> Simulator<M> {
                 );
             }
             for id in 0..self.world.len() as u32 {
-                let mut ctx = Self::make_ctx(
-                    SimTime::ZERO,
-                    &mut self.world,
-                    &mut self.queue,
-                    &mut self.stats,
-                    &self.cfg.radio,
-                    &mut self.rng,
-                    &mut self.scratch,
-                );
+                let mut ctx = ctx!(SimTime::ZERO);
                 proto.on_start(NodeId(id), &mut ctx);
             }
         }
@@ -506,63 +563,66 @@ impl<M: Clone> Simulator<M> {
             self.now = ev.time;
             match ev.kind {
                 EventKind::Deliver { to, from, msg } => {
+                    self.stats.events_processed += 1;
                     if self.world.alive(to) {
-                        let mut ctx = Self::make_ctx(
-                            self.now,
-                            &mut self.world,
-                            &mut self.queue,
-                            &mut self.stats,
-                            &self.cfg.radio,
-                            &mut self.rng,
-                            &mut self.scratch,
-                        );
+                        let mut ctx = ctx!(self.now);
                         proto.on_message(to, from, msg, &mut ctx);
                     } else {
                         self.stats.drops_dead += 1;
                     }
                 }
+                EventKind::DeliverMany { to, from, msg } => {
+                    // One shared payload, dispatched to each receiver in
+                    // list (= ascending id) order: all but the last
+                    // receiver get a clone (a refcount bump for shared
+                    // frame types), the last takes the payload itself.
+                    let mut payload = Some(msg);
+                    let last = to.len().saturating_sub(1);
+                    for (i, &node) in to.iter().enumerate() {
+                        self.stats.events_processed += 1;
+                        if !self.world.alive(node) {
+                            self.stats.drops_dead += 1;
+                            continue;
+                        }
+                        self.stats.frames_shared += 1;
+                        let m = if i == last {
+                            payload.take().expect("payload taken before last receiver")
+                        } else {
+                            payload
+                                .as_ref()
+                                .expect("payload taken before last receiver")
+                                .clone()
+                        };
+                        let mut ctx = ctx!(self.now);
+                        proto.on_message(node, from, m, &mut ctx);
+                    }
+                    // Recycle the receiver list for the next broadcast.
+                    let mut to = to;
+                    to.clear();
+                    self.recv_pool.push(to);
+                }
                 EventKind::Timer { node, tag } => {
+                    self.stats.events_processed += 1;
                     if self.world.alive(node) {
-                        let mut ctx = Self::make_ctx(
-                            self.now,
-                            &mut self.world,
-                            &mut self.queue,
-                            &mut self.stats,
-                            &self.cfg.radio,
-                            &mut self.rng,
-                            &mut self.scratch,
-                        );
+                        let mut ctx = ctx!(self.now);
                         proto.on_timer(node, tag, &mut ctx);
                     }
                 }
                 EventKind::Fail(node) => {
+                    self.stats.events_processed += 1;
                     self.world.set_alive(node, false);
-                    let mut ctx = Self::make_ctx(
-                        self.now,
-                        &mut self.world,
-                        &mut self.queue,
-                        &mut self.stats,
-                        &self.cfg.radio,
-                        &mut self.rng,
-                        &mut self.scratch,
-                    );
+                    let mut ctx = ctx!(self.now);
                     proto.on_fail(node, &mut ctx);
                 }
                 EventKind::Recover(node) => {
+                    self.stats.events_processed += 1;
                     self.world.set_alive(node, true);
                     self.world.node_mut(node).busy_until = self.now;
-                    let mut ctx = Self::make_ctx(
-                        self.now,
-                        &mut self.world,
-                        &mut self.queue,
-                        &mut self.stats,
-                        &self.cfg.radio,
-                        &mut self.rng,
-                        &mut self.scratch,
-                    );
+                    let mut ctx = ctx!(self.now);
                     proto.on_recover(node, &mut ctx);
                 }
                 EventKind::MobilityTick => {
+                    self.stats.events_processed += 1;
                     let dt = self.cfg.mobility_tick.as_secs_f64();
                     let mut mrng = self.rng.fork(0x7160);
                     self.mobility.step(dt, &mut self.world, &mut mrng);
@@ -572,6 +632,7 @@ impl<M: Clone> Simulator<M> {
             }
         }
         self.now = until.max(self.now);
+        self.wall_secs += wall_start.elapsed().as_secs_f64();
     }
 }
 

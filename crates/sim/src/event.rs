@@ -21,6 +21,22 @@ pub enum EventKind<M> {
         /// Protocol payload.
         msg: M,
     },
+    /// One broadcast frame arriving at every listed receiver at the same
+    /// instant. The payload is stored **once**; the engine hands each
+    /// receiver a clone at dispatch (for shared-payload message types —
+    /// `hvdb_core::FrameBytes` — that clone is a refcount bump, so a
+    /// 30-neighbour broadcast costs one allocation total instead of 30
+    /// deep copies in the queue). Receivers are dispatched in list order,
+    /// which the sender builds in ascending id order — the same total
+    /// order the per-receiver events produced.
+    DeliverMany {
+        /// Receiving nodes, ascending id order, loss-filtered at send.
+        to: Vec<NodeId>,
+        /// Transmitting node.
+        from: NodeId,
+        /// Protocol payload, shared by every receiver.
+        msg: M,
+    },
     /// A protocol timer set by `node` with an opaque `tag` fires.
     Timer {
         /// The node whose timer fires.

@@ -36,7 +36,6 @@ impl Mobility for Stationary {
             let p = rng.point_in(&area);
             world.set_motion(id, p, Vec2::ZERO);
         }
-        world.rebuild_index();
     }
 
     fn step(&mut self, _dt: f64, _world: &mut World, _rng: &mut SimRng) {}
@@ -93,7 +92,6 @@ impl Mobility for RandomWaypoint {
                 pause_left: 0.0,
             });
         }
-        world.rebuild_index();
     }
 
     fn step(&mut self, dt: f64, world: &mut World, rng: &mut SimRng) {
@@ -123,7 +121,6 @@ impl Mobility for RandomWaypoint {
                 world.set_motion(id, pos.advanced(vel, dt), vel);
             }
         }
-        world.rebuild_index();
     }
 }
 
@@ -172,7 +169,6 @@ impl ReferencePointGroup {
             let vel = rp.vector_to(target).normalized().scaled(speed);
             world.set_motion(id, pos, vel);
         }
-        world.rebuild_index();
     }
 }
 

@@ -60,6 +60,21 @@ pub struct Stats {
     pub soft_stale_suppressed: u64,
     /// Soft-state entries expired after K missed refreshes.
     pub soft_expired: u64,
+    /// Protocol callbacks dispatched by the event loop: every `Deliver`,
+    /// each receiver of a `DeliverMany`, every timer/fail/recover, and
+    /// every mobility tick. The workload-normalised denominator of the
+    /// `perf` scenario's events/s throughput metric — both delivery modes
+    /// dispatch the identical callback sequence, so events/s ratios are
+    /// pure wall-clock speedups.
+    pub events_processed: u64,
+    /// Per-receiver payload clones performed by the legacy broadcast
+    /// fan-out ([`crate::SimConfig::per_receiver_delivery`]): the copies
+    /// the shared frame plane exists to avoid. 0 in shared mode.
+    pub frames_cloned: u64,
+    /// Deliveries served from a shared broadcast payload
+    /// ([`crate::EventKind::DeliverMany`]): receivers that got the frame
+    /// by reference count instead of a deep copy. 0 in legacy mode.
+    pub frames_shared: u64,
     origins: FxHashMap<u64, Origin>,
 }
 
@@ -209,6 +224,19 @@ impl Stats {
     /// Byte count for one class.
     pub fn bytes(&self, class: &str) -> u64 {
         self.msg_bytes.get(class).copied().unwrap_or(0)
+    }
+}
+
+/// Simulated seconds advanced per wall-clock second: the engine's own
+/// throughput, the `perf` scenario's headline metric. Wall time lives on
+/// [`crate::Simulator::wall_secs`] (not in [`Stats`], which must stay a
+/// deterministic pure function of the run); this helper just guards the
+/// division. Returns 0.0 when no wall time was measured.
+pub fn sim_sec_per_wall_sec(sim_secs: f64, wall_secs: f64) -> f64 {
+    if wall_secs > 0.0 {
+        sim_secs / wall_secs
+    } else {
+        0.0
     }
 }
 

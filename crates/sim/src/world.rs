@@ -5,13 +5,18 @@ use hvdb_geo::{Aabb, Point, SpatialIndex, Vec2};
 
 /// The physical state of the simulated MANET: every node's position,
 /// velocity, liveness, and a spatial index for radio-range queries.
+///
+/// The index is maintained *incrementally*: [`World::set_motion`] updates
+/// the moved node's index slot in place (same-cell fast path, relocate on
+/// cell crossings), so queries are always fresh — there is no "stale
+/// index" state to forget about, and mobility ticks never pay a full
+/// rebuild.
 #[derive(Debug, Clone)]
 pub struct World {
     area: Aabb,
     radio_range: f64,
     nodes: Vec<NodeState>,
     index: SpatialIndex,
-    index_dirty: bool,
 }
 
 impl World {
@@ -26,7 +31,6 @@ impl World {
             radio_range,
             nodes,
             index: SpatialIndex::new(radio_range.max(1.0)),
-            index_dirty: true,
         };
         w.rebuild_index();
         w
@@ -108,23 +112,26 @@ impl World {
         self.nodes[id.idx()].capability = c;
     }
 
-    /// Updates a node's position and velocity, clamping to the area and
-    /// marking the spatial index stale.
+    /// Updates a node's position and velocity, clamping to the area. The
+    /// spatial index is updated in place (same-cell fast path), so range
+    /// queries stay fresh without any rebuild step.
     pub fn set_motion(&mut self, id: NodeId, pos: Point, vel: Vec2) {
         let clamped = self.area.clamp(pos);
         let n = &mut self.nodes[id.idx()];
+        let old = n.pos;
         n.pos = clamped;
         n.vel = vel;
-        self.index_dirty = true;
+        self.index.update(id.0, old, clamped);
     }
 
-    /// Rebuilds the spatial index from current positions. The engine calls
-    /// this after each mobility tick; query methods assert freshness.
+    /// Rebuilds the spatial index from current positions. Since
+    /// [`World::set_motion`] maintains the index incrementally this is
+    /// never *required*; it remains as an idempotent full resync for bulk
+    /// scenario setup code written against the old rebuild contract.
     pub fn rebuild_index(&mut self) {
         let nodes = &self.nodes;
         self.index
             .rebuild(nodes.iter().enumerate().map(|(i, n)| (i as u32, n.pos)));
-        self.index_dirty = false;
     }
 
     /// Whether two nodes are within radio range of each other (and both
@@ -138,8 +145,38 @@ impl World {
 
     /// Collects the alive radio neighbours of `id` (excluding itself) into
     /// `out` (cleared first), in ascending id order for determinism.
-    pub fn neighbors_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
-        debug_assert!(!self.index_dirty, "spatial index stale: call rebuild_index");
+    /// `raw` is a reusable query scratch buffer (cleared by the index
+    /// query); threading it from the caller keeps the hot path free of
+    /// per-query allocations.
+    pub fn neighbors_into(&self, id: NodeId, out: &mut Vec<NodeId>, raw: &mut Vec<u32>) {
+        let me = &self.nodes[id.idx()];
+        out.clear();
+        if !me.alive {
+            return;
+        }
+        self.index.query_range_into(me.pos, self.radio_range, raw);
+        for &other in raw.iter() {
+            let oid = NodeId(other);
+            if oid != id && self.nodes[oid.idx()].alive {
+                out.push(oid);
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Allocating convenience wrapper over [`World::neighbors_into`].
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(id, &mut out, &mut Vec::new());
+        out
+    }
+
+    /// The pre-zero-copy neighbour query, preserved verbatim for the
+    /// `perf` scenario's legacy arm: allocates (and sorts) a fresh
+    /// candidate buffer on every call, exactly as every broadcast and
+    /// geo-forwarding decision used to. Results are identical to
+    /// [`World::neighbors_into`].
+    pub fn neighbors_into_legacy(&self, id: NodeId, out: &mut Vec<NodeId>) {
         let me = &self.nodes[id.idx()];
         out.clear();
         if !me.alive {
@@ -157,22 +194,33 @@ impl World {
         }
     }
 
-    /// Allocating convenience wrapper over [`World::neighbors_into`].
-    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        self.neighbors_into(id, &mut out);
-        out
+    /// Collects all alive nodes within `radius` of a point into `out`
+    /// (cleared first), ascending id order. Like
+    /// [`World::neighbors_into`], `raw` is caller-threaded query scratch —
+    /// no sorted temporary is allocated per call.
+    pub fn nodes_near_into(
+        &self,
+        p: Point,
+        radius: f64,
+        out: &mut Vec<NodeId>,
+        raw: &mut Vec<u32>,
+    ) {
+        out.clear();
+        self.index.query_range_into(p, radius, raw);
+        for &other in raw.iter() {
+            let oid = NodeId(other);
+            if self.nodes[oid.idx()].alive {
+                out.push(oid);
+            }
+        }
+        out.sort_unstable();
     }
 
-    /// All alive nodes within `radius` of a point, ascending id order.
+    /// Allocating convenience wrapper over [`World::nodes_near_into`].
     pub fn nodes_near(&self, p: Point, radius: f64) -> Vec<NodeId> {
-        debug_assert!(!self.index_dirty, "spatial index stale: call rebuild_index");
-        let mut raw = self.index.query_range(p, radius);
-        raw.sort_unstable();
-        raw.into_iter()
-            .map(NodeId)
-            .filter(|id| self.nodes[id.idx()].alive)
-            .collect()
+        let mut out = Vec::new();
+        self.nodes_near_into(p, radius, &mut out, &mut Vec::new());
+        out
     }
 }
 
@@ -225,12 +273,34 @@ mod tests {
     }
 
     #[test]
-    fn motion_updates_neighborhoods_after_rebuild() {
+    fn motion_updates_neighborhoods_immediately() {
         let mut w = line_world();
+        // No rebuild_index call: set_motion maintains the index in place.
         w.set_motion(NodeId(4), Point::new(80.0, 50.0), Vec2::ZERO);
-        w.rebuild_index();
         let n0 = w.neighbors(NodeId(0));
         assert_eq!(n0, vec![NodeId(1), NodeId(4)]);
+        // Same-cell drift (80 -> 10, both in the first 150 m cell) is
+        // reflected immediately: node 2 at x=200 loses 4 as a neighbour
+        // only if the stored position really moved.
+        w.set_motion(NodeId(4), Point::new(10.0, 50.0), Vec2::ZERO);
+        assert_eq!(w.neighbors(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+        // A cell-crossing move relocates.
+        w.set_motion(NodeId(4), Point::new(260.0, 50.0), Vec2::ZERO);
+        assert_eq!(w.neighbors(NodeId(0)), vec![NodeId(1)]);
+        // An explicit rebuild stays idempotent.
+        w.rebuild_index();
+        assert_eq!(w.neighbors(NodeId(0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let w = line_world();
+        let mut out = Vec::new();
+        let mut raw = Vec::new();
+        w.neighbors_into(NodeId(2), &mut out, &mut raw);
+        assert_eq!(out, vec![NodeId(1), NodeId(3)]);
+        w.nodes_near_into(Point::new(100.0, 50.0), 120.0, &mut out, &mut raw);
+        assert_eq!(out, vec![NodeId(0), NodeId(1), NodeId(2)]);
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn main() {
         // One in four nodes is vehicle-class (CH-capable).
         enhanced_fraction: 0.25,
         seed: 1944,
+        per_receiver_delivery: false,
     };
     // Squads of 10 moving together at convoy speeds.
     let mobility = ReferencePointGroup::new(10, 2.0, 8.0, 120.0);

@@ -29,6 +29,7 @@ fn main() {
         mobility_tick: SimDuration::from_secs(1),
         enhanced_fraction: 0.5,
         seed: 911,
+        per_receiver_delivery: false,
     };
     let mobility = RandomWaypoint::new(0.5, 3.0, 15.0); // searching on foot
     let mut sim = Simulator::new(sim_cfg, Box::new(mobility));

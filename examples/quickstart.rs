@@ -30,6 +30,7 @@ fn main() {
         mobility_tick: SimDuration::from_secs(1),
         enhanced_fraction: 0.6, // 60% of nodes have CH-class hardware
         seed: 2005,
+        per_receiver_delivery: false,
     };
     // Gentle pedestrian mobility.
     let mobility = RandomWaypoint::new(0.5, 2.0, 20.0);

@@ -3,7 +3,7 @@
 //! state (core + sim).
 
 use hvdb::cluster::Candidate;
-use hvdb::core::{build_model, HvdbConfig, HvdbMsg, HvdbProtocol};
+use hvdb::core::{build_model, FrameBytes, HvdbConfig, HvdbProtocol};
 use hvdb::geo::{Aabb, Vec2};
 use hvdb::sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
 
@@ -41,8 +41,9 @@ fn snapshot_and_distributed_clustering_agree() {
         mobility_tick: SimDuration::ZERO,
         enhanced_fraction: 1.0,
         seed: 3,
+        per_receiver_delivery: false,
     };
-    let mut sim: Simulator<HvdbMsg> = Simulator::new(sim_cfg, Box::new(Stationary));
+    let mut sim: Simulator<FrameBytes> = Simulator::new(sim_cfg, Box::new(Stationary));
     for (i, c) in candidates.iter().enumerate() {
         sim.world_mut()
             .set_motion(NodeId(i as u32), c.pos, Vec2::ZERO);

@@ -5,7 +5,7 @@ use hvdb::core::{GroupId, HvdbConfig, HvdbProtocol, TrafficItem};
 use hvdb::geo::{Aabb, Point, Vec2};
 use hvdb::sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
 
-fn lossy_sim(loss: f64, seed: u64) -> Simulator<hvdb::core::HvdbMsg> {
+fn lossy_sim(loss: f64, seed: u64) -> Simulator<hvdb::core::FrameBytes> {
     let area = Aabb::from_size(800.0, 800.0);
     let cfg = SimConfig {
         area,
@@ -18,6 +18,7 @@ fn lossy_sim(loss: f64, seed: u64) -> Simulator<hvdb::core::HvdbMsg> {
         mobility_tick: SimDuration::ZERO,
         enhanced_fraction: 1.0,
         seed,
+        per_receiver_delivery: false,
     };
     let mut sim = Simulator::new(cfg, Box::new(Stationary));
     // 64 nodes at VC centres + 16 extras.
