@@ -108,7 +108,9 @@ impl ScenarioState {
             .get(&item.group)
             .map(|m| m.iter().filter(|n| **n != node).count() as u64)
             .unwrap_or(0);
-        ctx.record_origin(data_id, expected);
+        // Traffic-plane items carry a flow id; legacy scripted traffic
+        // registers as FLOW_NONE at zero cost.
+        ctx.record_origin_flow(data_id, expected, item.flow, item.seq);
         (data_id, item.group, item.size)
     }
 
@@ -121,9 +123,22 @@ impl ScenarioState {
         data_id: u64,
         group: GroupId,
     ) -> bool {
+        self.deliver_hops(node, ctx, data_id, group, 0)
+    }
+
+    /// [`ScenarioState::deliver`] carrying the physical hop count the
+    /// packet traversed (feeds the per-flow hop histograms).
+    pub fn deliver_hops<M: Clone>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut Ctx<'_, M>,
+        data_id: u64,
+        group: GroupId,
+        hops: u32,
+    ) -> bool {
         if self.member_of[node.idx()].contains(&group) && self.seen_data[node.idx()].insert(data_id)
         {
-            ctx.record_delivery(data_id, node);
+            ctx.record_delivery_hops(data_id, node, hops);
             true
         } else {
             false

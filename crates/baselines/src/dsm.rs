@@ -261,6 +261,7 @@ mod tests {
             enhanced_fraction: 1.0,
             seed,
             per_receiver_delivery: false,
+            compact_delivery: false,
         };
         let mut sim = Simulator::new(cfg, Box::new(Stationary));
         for r in 0..n_side {
@@ -303,6 +304,7 @@ mod tests {
             src: NodeId(0),
             group: g,
             size: 300,
+            ..Default::default()
         }];
         let mut p = DsmProtocol::new(&members, traffic, vec![]);
         sim.run(&mut p, SimTime::from_secs(40));
@@ -328,6 +330,7 @@ mod tests {
             src: NodeId(0),
             group: g,
             size: 100,
+            ..Default::default()
         }];
         let mut p = DsmProtocol::new(&[], traffic, events);
         sim.run(&mut p, SimTime::from_secs(55));

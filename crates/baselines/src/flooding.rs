@@ -19,6 +19,9 @@ pub struct FloodMsg {
     pub group: GroupId,
     /// Payload bytes.
     pub size: usize,
+    /// Transmissions the packet took before this broadcast (hop-count
+    /// accounting; rides the 20-byte header allowance).
+    pub hops: u32,
 }
 
 /// The flooding protocol.
@@ -72,8 +75,11 @@ impl Protocol for FloodingProtocol {
         msg: FloodMsg,
         ctx: &mut Ctx<'_, FloodMsg>,
     ) {
-        self.scenario.deliver(node, ctx, msg.data_id, msg.group);
-        self.flood(node, ctx, msg);
+        // The broadcast that reached us is one more transmission.
+        let hops = msg.hops + 1;
+        self.scenario
+            .deliver_hops(node, ctx, msg.data_id, msg.group, hops);
+        self.flood(node, ctx, FloodMsg { hops, ..msg });
     }
 
     fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, FloodMsg>) {
@@ -91,6 +97,7 @@ impl Protocol for FloodingProtocol {
                     data_id,
                     group,
                     size,
+                    hops: 0,
                 },
             );
         }
@@ -117,6 +124,7 @@ mod tests {
             enhanced_fraction: 1.0,
             seed,
             per_receiver_delivery: false,
+            compact_delivery: false,
         };
         let mut sim = Simulator::new(cfg, Box::new(Stationary));
         for r in 0..n_side {
@@ -140,6 +148,7 @@ mod tests {
             src: NodeId(6),
             group: g,
             size: 256,
+            ..Default::default()
         }];
         let mut p = FloodingProtocol::new(&members, traffic, vec![]);
         sim.run(&mut p, SimTime::from_secs(10));
@@ -155,6 +164,7 @@ mod tests {
             src: NodeId(0),
             group: g,
             size: 100,
+            ..Default::default()
         }];
         let mut p = FloodingProtocol::new(&[(NodeId(15), g)], traffic, vec![]);
         sim.run(&mut p, SimTime::from_secs(10));
@@ -171,6 +181,7 @@ mod tests {
             src: NodeId(0),
             group: g,
             size: 64,
+            ..Default::default()
         }];
         let mut p = FloodingProtocol::new(&[(NodeId(8), g)], traffic, vec![]);
         sim.run(&mut p, SimTime::from_secs(10));

@@ -51,6 +51,9 @@ pub enum TreeMsg {
         visited: Vec<NodeId>,
         /// Remaining hops.
         ttl: u32,
+        /// Transmissions taken before the current send (hop-count
+        /// accounting; rides the header allowance).
+        hops: u32,
     },
     /// Data travelling down the shared tree.
     DataDown {
@@ -60,6 +63,8 @@ pub enum TreeMsg {
         group: GroupId,
         /// Payload bytes.
         size: usize,
+        /// Transmissions taken before the current send.
+        hops: u32,
     },
 }
 
@@ -165,6 +170,8 @@ impl SharedTreeProtocol {
         }
     }
 
+    /// Delivers at this tree node (`hops` transmissions behind us) and
+    /// forwards down every live branch.
     fn push_down(
         &mut self,
         node: NodeId,
@@ -172,16 +179,18 @@ impl SharedTreeProtocol {
         data_id: u64,
         group: GroupId,
         size: usize,
+        hops: u32,
     ) {
         if !self.forwarded[node.idx()].insert(data_id) {
             return;
         }
-        self.scenario.deliver(node, ctx, data_id, group);
+        self.scenario.deliver_hops(node, ctx, data_id, group, hops);
         for child in self.live_children(node, group, ctx.now()) {
             let msg = TreeMsg::DataDown {
                 data_id,
                 group,
                 size,
+                hops,
             };
             let bytes = msg.wire_size();
             ctx.send_reliable(node, child, "tree-data-down", bytes, msg);
@@ -245,10 +254,12 @@ impl Protocol for SharedTreeProtocol {
                 size,
                 mut visited,
                 ttl,
+                hops,
             } => {
-                self.scenario.deliver(node, ctx, data_id, group);
+                let hops = hops + 1; // the send that reached us
+                self.scenario.deliver_hops(node, ctx, data_id, group, hops);
                 if self.am_core(node) {
-                    self.push_down(node, ctx, data_id, group, size);
+                    self.push_down(node, ctx, data_id, group, size, hops);
                 } else if ttl > 0 {
                     georoute::push_visited(&mut visited, node);
                     self.forward_toward_core(
@@ -260,6 +271,7 @@ impl Protocol for SharedTreeProtocol {
                             size,
                             visited,
                             ttl: ttl - 1,
+                            hops,
                         },
                     );
                 }
@@ -268,8 +280,9 @@ impl Protocol for SharedTreeProtocol {
                 data_id,
                 group,
                 size,
+                hops,
             } => {
-                self.push_down(node, ctx, data_id, group, size);
+                self.push_down(node, ctx, data_id, group, size, hops + 1);
             }
         }
     }
@@ -283,7 +296,7 @@ impl Protocol for SharedTreeProtocol {
                 self.scenario
                     .originate(node, ctx, (tag - TAG_TRAFFIC_BASE) as usize);
             if self.am_core(node) {
-                self.push_down(node, ctx, data_id, group, size);
+                self.push_down(node, ctx, data_id, group, size, 0);
             } else {
                 self.forward_toward_core(
                     node,
@@ -294,6 +307,7 @@ impl Protocol for SharedTreeProtocol {
                         size,
                         visited: vec![node],
                         ttl: self.geo_ttl,
+                        hops: 0,
                     },
                 );
             }
@@ -344,6 +358,7 @@ mod tests {
             enhanced_fraction: 1.0,
             seed,
             per_receiver_delivery: false,
+            compact_delivery: false,
         };
         let mut sim = Simulator::new(cfg, Box::new(Stationary));
         for r in 0..n_side {
@@ -367,6 +382,7 @@ mod tests {
             src: NodeId(20),
             group: g,
             size: 256,
+            ..Default::default()
         }];
         let mut p = SharedTreeProtocol::new(&members, traffic, vec![]);
         sim.run(&mut p, SimTime::from_secs(40));
@@ -403,6 +419,7 @@ mod tests {
                 src: NodeId(2),
                 group: g,
                 size: 400,
+                ..Default::default()
             })
             .collect();
         let mut p = SharedTreeProtocol::new(&members, traffic, vec![]);
@@ -435,6 +452,7 @@ mod tests {
             src: NodeId(0),
             group: g,
             size: 100,
+            ..Default::default()
         }];
         let mut p = SharedTreeProtocol::new(&members, traffic, events);
         sim.run(&mut p, SimTime::from_secs(80));

@@ -601,6 +601,7 @@ mod tests {
             enhanced_fraction: 1.0,
             seed,
             per_receiver_delivery: false,
+            compact_delivery: false,
         };
         let mut sim = Simulator::new(cfg, Box::new(Stationary));
         for r in 0..n_side {
@@ -650,6 +651,7 @@ mod tests {
             src: NodeId(0),
             group: g,
             size: 256,
+            ..Default::default()
         }];
         let mut p = SpbmProtocol::new(&members, traffic, vec![]);
         sim.run(&mut p, SimTime::from_secs(70));

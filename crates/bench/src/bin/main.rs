@@ -19,9 +19,10 @@
 
 use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
 use hvdb_bench::{
-    check_loss_floor, check_loss_high_band, check_overhead_gate, check_perf_gate, check_trajectory,
-    validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR, PERF_SPEEDUP_FLOOR,
-    TRAJECTORY_DELIVERY_TOLERANCE, TRAJECTORY_OVERHEAD_TOLERANCE,
+    check_loss_floor, check_loss_high_band, check_overhead_gate, check_perf_gate,
+    check_traffic_gate, check_trajectory, validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR,
+    PERF_SPEEDUP_FLOOR, TRAFFIC_P99_REFERENCE_POINT, TRAJECTORY_DELIVERY_TOLERANCE,
+    TRAJECTORY_OVERHEAD_TOLERANCE,
 };
 use std::process::ExitCode;
 
@@ -160,6 +161,13 @@ fn validate(args: &[String]) -> ExitCode {
                         let (label, speedup) = check_perf_gate(&doc, perf_floor)?;
                         notes.push(format!(
                             "shared-frame delivery {speedup:.2}x faster at {label} (floor {perf_floor})"
+                        ));
+                    }
+                    Some("traffic") => {
+                        let (knee, p99) = check_traffic_gate(&doc)?;
+                        notes.push(format!(
+                            "hvdb sustains {knee:.0} pps past both baselines' knees, \
+                             p99 {p99:.1} ms at {TRAFFIC_P99_REFERENCE_POINT}"
                         ));
                     }
                     _ => {}

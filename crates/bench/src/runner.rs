@@ -72,6 +72,56 @@ pub struct RunDetail {
     pub frames_shared: u64,
     /// Per-receiver payload clones in the legacy delivery mode.
     pub frames_cloned: u64,
+    /// Traffic-plane delivery profile (histogram quantiles, per-flow
+    /// goodput, pacing drops). Meaningful whenever data was delivered;
+    /// flow/jitter/hop figures need flow-tagged traffic.
+    pub traffic: TrafficProfile,
+}
+
+/// Histogram-derived delivery profile of one run: the traffic scenario's
+/// row material. Latency/jitter quantiles are bucket-resolution
+/// (±~3%, extremes exact); 0.0 where nothing was recorded.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficProfile {
+    /// Median end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, ms.
+    pub p999_ms: f64,
+    /// Mean receiver-observed delay variation, ms.
+    pub jitter_mean_ms: f64,
+    /// 99th-percentile delay variation, ms.
+    pub jitter_p99_ms: f64,
+    /// Mean physical hops per delivery (flow-tagged traffic only).
+    pub hops_mean: f64,
+    /// 99th-percentile hops.
+    pub hops_p99: f64,
+    /// Packets originated by traffic-plane flows.
+    pub flow_sent: u64,
+    /// Distinct (packet, receiver) deliveries across flows.
+    pub flow_delivered: u64,
+    /// Sends refused by the interface-queue cap.
+    pub drops_queue_full: u64,
+}
+
+/// Extracts the delivery profile from a finished simulation's stats.
+pub fn traffic_profile_of(stats: &hvdb_sim::Stats) -> TrafficProfile {
+    let lat_ms = |q: f64| stats.latency_quantile(q).map_or(0.0, |s| s * 1e3);
+    let jitter = stats.flows().merged_jitter();
+    let hops = stats.flows().merged_hops();
+    TrafficProfile {
+        p50_ms: lat_ms(0.50),
+        p99_ms: lat_ms(0.99),
+        p999_ms: lat_ms(0.999),
+        jitter_mean_ms: jitter.mean().unwrap_or(0.0) / 1e3,
+        jitter_p99_ms: jitter.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+        hops_mean: hops.mean().unwrap_or(0.0),
+        hops_p99: hops.quantile(0.99).unwrap_or(0) as f64,
+        flow_sent: stats.flows().total_sent(),
+        flow_delivered: stats.flows().total_delivered(),
+        drops_queue_full: stats.drops_queue_full,
+    }
 }
 
 /// Collects the engine-side instrumentation common to every protocol.
@@ -83,6 +133,7 @@ fn engine_detail<M: Clone>(sim: &Simulator<M>) -> RunDetail {
         wall_secs: sim.wall_secs(),
         frames_shared: sim.stats().frames_shared,
         frames_cloned: sim.stats().frames_cloned,
+        traffic: traffic_profile_of(sim.stats()),
     }
 }
 

@@ -189,6 +189,7 @@ mod tests {
             data_id: 7,
             group: GroupId(1),
             size: 512,
+            hops: 0,
         }
     }
 

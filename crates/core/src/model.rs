@@ -373,6 +373,12 @@ impl HvdbModel {
 
 /// A multicast traffic item for scenario scripting: at `at`, node `src`
 /// multicasts `size` bytes to `group`.
+///
+/// Items produced by the traffic plane additionally carry their flow id
+/// and per-flow sequence number, so the simulator's per-flow
+/// latency/jitter/goodput accounting can attribute each packet; legacy
+/// scripted traffic leaves `flow` at [`hvdb_traffic::FLOW_NONE`] (the
+/// `Default`), which costs nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrafficItem {
     /// Send instant.
@@ -383,6 +389,23 @@ pub struct TrafficItem {
     pub group: GroupId,
     /// Payload size in bytes.
     pub size: usize,
+    /// Traffic-plane flow id ([`hvdb_traffic::FLOW_NONE`] = untracked).
+    pub flow: u32,
+    /// Per-flow sequence number (send order within the flow).
+    pub seq: u32,
+}
+
+impl Default for TrafficItem {
+    fn default() -> Self {
+        TrafficItem {
+            at: SimTime::ZERO,
+            src: NodeId(0),
+            group: GroupId(0),
+            size: 0,
+            flow: hvdb_traffic::FLOW_NONE,
+            seq: 0,
+        }
+    }
 }
 
 /// A scripted membership change: at `at`, `node` joins or leaves `group`.

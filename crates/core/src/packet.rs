@@ -108,6 +108,10 @@ pub enum ChMsg {
         this: Hid,
         /// The remaining subtree (BFS edge list rooted at `this`).
         edges: Vec<(Hid, Hid)>,
+        /// Physical transmissions the packet took *before* this leg
+        /// (hop-count accounting for the per-flow histograms; rides the
+        /// fixed header allowance, no wire-size cost).
+        hops: u32,
     },
     /// A multicast data packet travelling a hypercube-tier tree (Fig. 6
     /// step 5), currently on the logical leg toward `leg_dst`.
@@ -124,6 +128,9 @@ pub enum ChMsg {
         edges: Vec<(Hnid, Hnid)>,
         /// The tree node this packet is currently routed toward.
         leg_dst: Hnid,
+        /// Physical transmissions taken before this leg (see
+        /// [`ChMsg::MeshData`]).
+        hops: u32,
     },
 }
 
@@ -174,6 +181,10 @@ pub struct GeoPacket {
     pub target: GeoTarget,
     /// Remaining physical hops.
     pub ttl: u32,
+    /// Physical transmissions taken so far on this leg (incremented per
+    /// relay; the bounded `visited` list cannot serve as a hop counter).
+    /// Rides the fixed [`GEO_HEADER_BYTES`] allowance.
+    pub hops: u32,
     /// Recently visited relays (greedy-recovery memory).
     pub visited: Vec<NodeId>,
     /// The CH-level payload.
@@ -246,6 +257,10 @@ pub enum HvdbMsg {
         group: GroupId,
         /// Payload bytes.
         size: usize,
+        /// Physical transmissions up to (and including) the delivering
+        /// CH's reception; receivers record `hops + 1` for the final
+        /// broadcast hop. Rides the header allowance (no wire cost).
+        hops: u32,
     },
     /// CH handover: the resigning head ships its hypercube-tier views to
     /// the newly elected head of the same VC (\[23\]-style state handover),
@@ -403,11 +418,13 @@ mod tests {
             size: 512,
             this: Hid::new(0, 0),
             edges: vec![],
+            hops: 3,
         };
         let inner_size = inner.wire_size();
         let pkt = GeoPacket {
             target: GeoTarget::AnyChInRegion(Hid::new(0, 0)),
             ttl: 32,
+            hops: 0,
             visited: vec![],
             inner,
         };
@@ -434,7 +451,8 @@ mod tests {
             HvdbMsg::LocalDeliver {
                 data_id: 0,
                 group: GroupId(0),
-                size: 0
+                size: 0,
+                hops: 0
             }
             .class(),
             "local-deliver"

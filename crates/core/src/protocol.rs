@@ -54,7 +54,7 @@ use crate::summary::{GroupId, LocalMembership};
 use crate::tree::MeshTree;
 use hvdb_cluster::{HeadLease, LeaseUpdate};
 use hvdb_geo::{Hid, Hnid, LogicalAddress, VcId};
-use hvdb_hypercube::{multicast_tree, MulticastTree};
+use hvdb_hypercube::{multicast_tree, IncompleteHypercube, MulticastTree};
 use hvdb_sim::georoute;
 use hvdb_sim::{Capability, Ctx, NodeId, Protocol, SimDuration, SimTime};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -122,6 +122,13 @@ pub struct Counters {
     /// the new holder advances its clock past its predecessor's stamps
     /// within one refresh period instead of waiting out K-miss expiry).
     pub stamp_hints_sent: u64,
+    /// Region-hypercube constructions actually performed (cache misses:
+    /// the MNT label set changed since the last build).
+    pub cube_rebuilds: u64,
+    /// Region-hypercube constructions served from the per-head cache —
+    /// in a quiet phase every suppressed refresh tick's designation
+    /// check lands here instead of rebuilding the cube.
+    pub cube_cache_hits: u64,
 }
 
 /// A cluster head's protocol state.
@@ -146,6 +153,12 @@ struct HeadState {
     hc_cache: FxHashMap<GroupId, (u64, MulticastTree)>,
     /// Bumped whenever the stored MNT set changes (hc cache invalidation).
     mnt_version: u64,
+    /// The region hypercube built from `db.mnt_of`'s label set, tagged
+    /// with the store's key revision. Designation checks (every refresh
+    /// tick, fired *or* suppressed) and hypercube-tree builds reuse it
+    /// until a label appears or expires, instead of rebuilding the cube
+    /// per check (ROADMAP residual from PR 4).
+    cube_cache: Option<(u64, IncompleteHypercube)>,
     /// Adaptive refresh rate for designation announcements.
     refresh_dsg: RefreshController,
     /// Adaptive refresh rate for MNT-Summary re-floods.
@@ -174,6 +187,7 @@ impl HeadState {
             mesh_cache: FxHashMap::default(),
             hc_cache: FxHashMap::default(),
             mnt_version: 0,
+            cube_cache: None,
             refresh_dsg: ctrl(cfg.refresh_max_backoff_designation),
             refresh_mnt: ctrl(cfg.refresh_max_backoff_summary),
             refresh_ht: ctrl(cfg.refresh_max_backoff_summary),
@@ -184,6 +198,26 @@ impl HeadState {
 enum Role {
     Member,
     Head(Box<HeadState>),
+}
+
+/// Ensures `h.cube_cache` holds the region hypercube for the *current*
+/// MNT label set, rebuilding only when the store's key revision moved
+/// (labels appeared or expired — value refreshes never invalidate).
+/// Counts hits and rebuilds. A free function over disjoint `HvdbProtocol`
+/// fields so call sites can keep `h` borrowed from `self.nodes`.
+fn refresh_region_cube(cfg: &HvdbConfig, counters: &mut Counters, h: &mut HeadState) {
+    let rev = h.db.mnt_of.key_revision();
+    if h.cube_cache.as_ref().is_some_and(|(r, _)| *r == rev) {
+        counters.cube_cache_hits += 1;
+        return;
+    }
+    let cube = build_region_cube(
+        cfg,
+        h.addr.hid,
+        h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
+    );
+    h.cube_cache = Some((rev, cube));
+    counters.cube_rebuilds += 1;
 }
 
 /// A predecessor's handed-over backbone state, buffered until this node's
@@ -388,6 +422,7 @@ impl HvdbProtocol {
         let pkt = GeoPacket {
             target,
             ttl: self.cfg.geo_ttl,
+            hops: 0,
             visited: Vec::new(),
             inner,
         };
@@ -947,12 +982,9 @@ impl HvdbProtocol {
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
             return false;
         };
-        let cube = build_region_cube(
-            &self.cfg,
-            h.addr.hid,
-            h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
-        );
-        if !h.db.should_broadcast(h.addr.hnid, criterion, &cube) {
+        refresh_region_cube(&self.cfg, &mut self.counters, h);
+        let cube = &h.cube_cache.as_ref().expect("cube cache just filled").1;
+        if !h.db.should_broadcast(h.addr.hnid, criterion, cube) {
             return false;
         }
         let ht = h.db.my_ht(h.addr.hid);
@@ -1137,12 +1169,9 @@ impl HvdbProtocol {
         // suppressed ticks.
         let has_own_mnt = h.db.mnt_of.contains_key(&addr.hnid);
         let designated = !fire_ht && {
-            let cube = build_region_cube(
-                &self.cfg,
-                addr.hid,
-                h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
-            );
-            h.db.should_broadcast(addr.hnid, self.cfg.designation, &cube)
+            refresh_region_cube(&self.cfg, &mut self.counters, h);
+            let cube = &h.cube_cache.as_ref().expect("cube cache just filled").1;
+            h.db.should_broadcast(addr.hnid, self.cfg.designation, cube)
         };
         self.counters.soft_expired += expired;
         ctx.record_soft_expired(expired);
@@ -1220,9 +1249,9 @@ impl HvdbProtocol {
             .get(&item.group)
             .map(|m| m.iter().filter(|n| **n != node).count() as u64)
             .unwrap_or(0);
-        ctx.record_origin(data_id, expected);
+        ctx.record_origin_flow(data_id, expected, item.flow, item.seq);
         if self.is_head(node) {
-            self.start_multicast_at_ch(node, ctx, data_id, item.group, item.size);
+            self.start_multicast_at_ch(node, ctx, data_id, item.group, item.size, 0);
         } else if let Some(ch) = self.current_ch(node, ctx.now()) {
             let frame = self.seal(HvdbMsg::DataToCh {
                 data_id,
@@ -1237,6 +1266,7 @@ impl HvdbProtocol {
 
     /// Fig. 6 steps 2–3: the source CH computes the mesh-tier tree and
     /// launches the branches, then enters its own hypercube.
+    #[allow(clippy::too_many_arguments)]
     fn start_multicast_at_ch(
         &mut self,
         node: NodeId,
@@ -1244,6 +1274,7 @@ impl HvdbProtocol {
         data_id: u64,
         group: GroupId,
         size: usize,
+        hops: u32,
     ) {
         let cache_trees = self.cfg.cache_trees;
         let Role::Head(h) = &mut self.nodes[node.idx()].role else {
@@ -1271,7 +1302,7 @@ impl HvdbProtocol {
         };
         // Enter our own hypercube with the whole tree.
         let edges = tree.encode_edges();
-        self.enter_region(node, ctx, data_id, group, size, my_hid, &edges);
+        self.enter_region(node, ctx, data_id, group, size, my_hid, &edges, hops);
     }
 
     /// Fig. 6 step 4: a packet enters hypercube `this` at this CH.
@@ -1285,6 +1316,7 @@ impl HvdbProtocol {
         size: usize,
         this: Hid,
         edges: &[(Hid, Hid)],
+        hops: u32,
     ) {
         let cache_trees = self.cfg.cache_trees;
         {
@@ -1306,6 +1338,7 @@ impl HvdbProtocol {
                     size,
                     this: child,
                     edges: sub,
+                    hops,
                 };
                 self.counters.mesh_branches += 1;
                 self.geo_dispatch(ctx, node, GeoTarget::AnyChInRegion(child), inner);
@@ -1326,12 +1359,20 @@ impl HvdbProtocol {
                 _ => {
                     let ht = h.db.my_ht(this);
                     let dests: Vec<u32> = ht.nodes_with(group).iter().map(|l| l.0).collect();
-                    let cube = build_region_cube(
-                        &self.cfg,
-                        this,
-                        h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
-                    );
-                    let t = multicast_tree(&cube, my_label.0, &dests);
+                    let t = if this == h.addr.hid {
+                        // The common case (a CH always enters its own
+                        // region): reuse the cached region cube.
+                        refresh_region_cube(&self.cfg, &mut self.counters, h);
+                        let cube = &h.cube_cache.as_ref().expect("cube cache just filled").1;
+                        multicast_tree(cube, my_label.0, &dests)
+                    } else {
+                        let cube = build_region_cube(
+                            &self.cfg,
+                            this,
+                            h.db.mnt_of.keys().copied().collect::<Vec<_>>(),
+                        );
+                        multicast_tree(&cube, my_label.0, &dests)
+                    };
                     self.counters.trees_built += 1;
                     if cache_trees {
                         h.hc_cache.insert(group, (key, t.clone()));
@@ -1341,7 +1382,9 @@ impl HvdbProtocol {
             };
             (tree.encode_edges(), my_label)
         };
-        self.process_hc_tree_node(node, ctx, data_id, group, size, this, &hc_edges, my_label);
+        self.process_hc_tree_node(
+            node, ctx, data_id, group, size, this, &hc_edges, my_label, hops,
+        );
     }
 
     /// Fig. 6 steps 5–6 at a tree node: deliver locally, forward to
@@ -1357,9 +1400,10 @@ impl HvdbProtocol {
         hid: Hid,
         edges: &[(u32, u32)],
         my_label: Hnid,
+        hops: u32,
     ) {
         // Local delivery.
-        self.deliver_locally(node, ctx, data_id, group, size);
+        self.deliver_locally(node, ctx, data_id, group, size, hops);
         // Children of my label in the tree.
         let children: Vec<u32> = edges
             .iter()
@@ -1367,7 +1411,17 @@ impl HvdbProtocol {
             .map(|(_, c)| *c)
             .collect();
         for child in children {
-            self.forward_hc_leg(ctx, node, data_id, group, size, hid, edges, Hnid(child));
+            self.forward_hc_leg(
+                ctx,
+                node,
+                data_id,
+                group,
+                size,
+                hid,
+                edges,
+                Hnid(child),
+                hops,
+            );
         }
     }
 
@@ -1382,6 +1436,7 @@ impl HvdbProtocol {
         hid: Hid,
         edges: &[(u32, u32)],
         leg_dst: Hnid,
+        hops: u32,
     ) {
         let next = {
             let Role::Head(h) = &self.nodes[node.idx()].role else {
@@ -1407,6 +1462,7 @@ impl HvdbProtocol {
             hid,
             edges: edges.iter().map(|(p, c)| (Hnid(*p), Hnid(*c))).collect(),
             leg_dst,
+            hops,
         };
         self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(next_vc), inner);
     }
@@ -1422,6 +1478,7 @@ impl HvdbProtocol {
         hid: Hid,
         edges: &[(Hnid, Hnid)],
         leg_dst: Hnid,
+        hops: u32,
     ) {
         let my_label = {
             let Role::Head(h) = &self.nodes[node.idx()].role else {
@@ -1431,14 +1488,19 @@ impl HvdbProtocol {
         };
         let raw_edges: Vec<(u32, u32)> = edges.iter().map(|(p, c)| (p.0, c.0)).collect();
         if leg_dst == my_label {
-            self.process_hc_tree_node(node, ctx, data_id, group, size, hid, &raw_edges, my_label);
+            self.process_hc_tree_node(
+                node, ctx, data_id, group, size, hid, &raw_edges, my_label, hops,
+            );
         } else {
             // Relay along the logical route toward leg_dst.
-            self.forward_hc_leg(ctx, node, data_id, group, size, hid, &raw_edges, leg_dst);
+            self.forward_hc_leg(
+                ctx, node, data_id, group, size, hid, &raw_edges, leg_dst, hops,
+            );
         }
     }
 
     /// Fig. 6 step 6: CH local broadcast + own delivery.
+    #[allow(clippy::too_many_arguments)]
     fn deliver_locally(
         &mut self,
         node: NodeId,
@@ -1446,6 +1508,7 @@ impl HvdbProtocol {
         data_id: u64,
         group: GroupId,
         size: usize,
+        hops: u32,
     ) {
         let has_members = {
             let Role::Head(h) = &self.nodes[node.idx()].role else {
@@ -1459,12 +1522,13 @@ impl HvdbProtocol {
         // Own delivery.
         let st = &mut self.nodes[node.idx()];
         if st.lm.contains(group) && st.seen_data.insert(data_id) {
-            ctx.record_delivery(data_id, node);
+            ctx.record_delivery_hops(data_id, node, hops);
         }
         let frame = self.seal(HvdbMsg::LocalDeliver {
             data_id,
             group,
             size,
+            hops,
         });
         // Broadcasts have no MAC recovery, so the final hop is the loss
         // bottleneck of the whole delivery chain: repeat the frame
@@ -1491,6 +1555,9 @@ impl HvdbProtocol {
 
     fn on_geo(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>, mut pkt: GeoPacket) {
         if self.satisfies_target(node, pkt.target) {
+            // Physical transmissions this geo leg took: one per relay
+            // (`pkt.hops`) plus the final hop that reached us.
+            let leg_hops = pkt.hops + 1;
             match &pkt.inner {
                 ChMsg::Beacon {
                     from,
@@ -1522,7 +1589,11 @@ impl HvdbProtocol {
                     size,
                     this,
                     edges,
-                } => self.enter_region(node, ctx, *data_id, *group, *size, *this, edges),
+                    hops,
+                } => {
+                    let total = *hops + leg_hops;
+                    self.enter_region(node, ctx, *data_id, *group, *size, *this, edges, total)
+                }
                 ChMsg::HcData {
                     data_id,
                     group,
@@ -1530,7 +1601,13 @@ impl HvdbProtocol {
                     hid,
                     edges,
                     leg_dst,
-                } => self.on_hc_data(node, ctx, *data_id, *group, *size, *hid, edges, *leg_dst),
+                    hops,
+                } => {
+                    let total = *hops + leg_hops;
+                    self.on_hc_data(
+                        node, ctx, *data_id, *group, *size, *hid, edges, *leg_dst, total,
+                    )
+                }
             }
             return;
         }
@@ -1539,6 +1616,7 @@ impl HvdbProtocol {
             return;
         }
         pkt.ttl -= 1;
+        pkt.hops += 1;
         georoute::push_visited(&mut pkt.visited, node);
         // Last-hop shortcut: a relay that knows the target's CH hands the
         // packet over directly instead of chasing the VCC geometrically
@@ -1737,7 +1815,11 @@ impl Protocol for HvdbProtocol {
             } => {
                 let (data_id, group, size) = (*data_id, *group, *size);
                 if self.is_head(node) {
-                    self.start_multicast_at_ch(node, ctx, data_id, group, size);
+                    // One member→CH transmission behind us. (A bounced
+                    // frame rides the same shared payload, so its extra
+                    // hop is deliberately not re-stamped — rare and
+                    // cheaper than re-sealing.)
+                    self.start_multicast_at_ch(node, ctx, data_id, group, size, 1);
                 } else if let Some(ch) = self.current_ch(node, ctx.now()) {
                     // The member's view was stale (this node resigned);
                     // bounce the packet to the current head once.
@@ -1749,11 +1831,17 @@ impl Protocol for HvdbProtocol {
                     }
                 }
             }
-            HvdbMsg::LocalDeliver { data_id, group, .. } => {
-                let (data_id, group) = (*data_id, *group);
+            HvdbMsg::LocalDeliver {
+                data_id,
+                group,
+                hops,
+                ..
+            } => {
+                let (data_id, group, hops) = (*data_id, *group, *hops);
                 let st = &mut self.nodes[node.idx()];
                 if st.lm.contains(group) && st.seen_data.insert(data_id) {
-                    ctx.record_delivery(data_id, node);
+                    // +1 for the CH's local delivery broadcast itself.
+                    ctx.record_delivery_hops(data_id, node, hops + 1);
                 }
             }
             HvdbMsg::Handover { .. } => {

@@ -95,12 +95,18 @@ pub struct SoftEntry<V> {
 #[derive(Debug, Clone)]
 pub struct SoftStore<K, V> {
     entries: FxHashMap<K, SoftEntry<V>>,
+    /// Monotone counter bumped whenever the *key set* changes (insert of
+    /// a new key, expiry, removal) — never on value refreshes. Caches
+    /// derived purely from the key set (e.g. the region hypercube built
+    /// from `mnt_of`'s labels) key their validity on this.
+    key_rev: u64,
 }
 
 impl<K, V> Default for SoftStore<K, V> {
     fn default() -> Self {
         SoftStore {
             entries: FxHashMap::default(),
+            key_rev: 0,
         }
     }
 }
@@ -158,6 +164,7 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
                 }
             }
             None => {
+                self.key_rev += 1;
                 self.entries.insert(
                     key,
                     SoftEntry {
@@ -206,13 +213,26 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
             }
             keep
         });
+        if !expired.is_empty() {
+            self.key_rev += 1;
+        }
         expired
     }
 
     /// Removes `key` outright (explicit teardown, e.g. a neighbour
     /// declared failed by the routing tier).
     pub fn remove(&mut self, key: &K) -> Option<SoftEntry<V>> {
-        self.entries.remove(key)
+        let removed = self.entries.remove(key);
+        if removed.is_some() {
+            self.key_rev += 1;
+        }
+        removed
+    }
+
+    /// The current key-set revision: changes iff a key was inserted or
+    /// removed since the store was created. See the field docs.
+    pub fn key_revision(&self) -> u64 {
+        self.key_rev
     }
 
     /// Counts entries whose refresh age exceeds `threshold` at `now` —
@@ -403,6 +423,35 @@ mod tests {
         assert_eq!(removed.value, "x");
         assert!(s.remove(&1).is_none());
         assert!(!s.contains_key(&1));
+    }
+
+    #[test]
+    fn key_revision_tracks_key_set_changes_only() {
+        let mut s: SoftStore<u32, &str> = SoftStore::default();
+        let r0 = s.key_revision();
+        // New key: revision moves.
+        s.offer(1, 1, 1, T0, "a");
+        let r1 = s.key_revision();
+        assert_ne!(r1, r0);
+        // Value refresh / stale offers on an existing key: unchanged.
+        s.offer(1, 1, 2, t(1), "b");
+        s.offer(1, 1, 2, t(2), "dup");
+        s.touch(1, t(3));
+        assert_eq!(s.key_revision(), r1);
+        // Expiry sweep that removes nothing: unchanged.
+        assert!(s.expire(t(3), SimDuration::from_secs(60)).is_empty());
+        assert_eq!(s.key_revision(), r1);
+        // Removal: moves. Removing an absent key: unchanged.
+        s.remove(&1);
+        let r2 = s.key_revision();
+        assert_ne!(r2, r1);
+        s.remove(&1);
+        assert_eq!(s.key_revision(), r2);
+        // Expiry that removes entries: moves.
+        s.offer(2, 1, 1, t(4), "x");
+        let r3 = s.key_revision();
+        assert_eq!(s.expire(t(100), SimDuration::from_secs(1)), vec![2]);
+        assert_ne!(s.key_revision(), r3);
     }
 
     #[test]

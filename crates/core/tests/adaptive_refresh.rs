@@ -28,6 +28,7 @@ fn fig2_sim(seed: u64) -> (Simulator<FrameBytes>, HvdbConfig) {
         enhanced_fraction: 1.0,
         seed,
         per_receiver_delivery: false,
+        compact_delivery: false,
     };
     let mut sim: Simulator<FrameBytes> = Simulator::new(sim_cfg, Box::new(Stationary));
     let grid = cfg.grid.clone();
@@ -76,6 +77,7 @@ fn quiet_phase_refresh_traffic_drops_at_least_2x() {
         src: NodeId(3),
         group: GroupId(1),
         size: 256,
+        ..Default::default()
     }];
     let (fixed_proto, fixed_stats) = run_variant(false, 120, &members, traffic.clone(), vec![]);
     let (adaptive_proto, adaptive_stats) = run_variant(true, 120, &members, traffic, vec![]);
@@ -109,6 +111,19 @@ fn quiet_phase_refresh_traffic_drops_at_least_2x() {
         adaptive_stats.soft_refresh_suppressed, adaptive_proto.counters.refresh_suppressed,
         "sim and protocol suppression counters must agree"
     );
+    // The region-cube cache earns its keep exactly here: once the
+    // backbone converges, every refresh tick's designation check (fired
+    // or suppressed) must reuse the cached cube instead of rebuilding it
+    // from the MNT label set — hits dominate rebuilds in a quiet phase.
+    for proto in [&fixed_proto, &adaptive_proto] {
+        let hits = proto.counters.cube_cache_hits;
+        let rebuilds = proto.counters.cube_rebuilds;
+        assert!(
+            hits > rebuilds,
+            "quiet phase must be cache-hit dominated: {hits} hits vs {rebuilds} rebuilds"
+        );
+        assert!(rebuilds > 0, "convergence itself must rebuild the cube");
+    }
 }
 
 #[test]

@@ -55,6 +55,7 @@ fn arb_ch_msg() -> impl Strategy<Value = ChMsg> {
                     .into_iter()
                     .map(|(a, b, c, d)| (Hid::new(a, b), Hid::new(c, d)))
                     .collect(),
+                hops: 2,
             }
         });
     let hc =
@@ -65,6 +66,7 @@ fn arb_ch_msg() -> impl Strategy<Value = ChMsg> {
             hid: Hid::new(0, 0),
             edges: edges.into_iter().map(|(a, b)| (Hnid(a), Hnid(b))).collect(),
             leg_dst: Hnid(7),
+            hops: 1,
         });
     prop_oneof![beacon, mesh, hc]
 }
@@ -84,6 +86,7 @@ fn arb_msg() -> impl Strategy<Value = HvdbMsg> {
             data_id: id,
             group: GroupId(g),
             size,
+            hops: 0,
         }),
         (arb_lm(), 0u64..50).prop_map(|(lm, gen)| HvdbMsg::JoinReport { gen, lm }),
     ];
@@ -97,6 +100,7 @@ fn arb_msg() -> impl Strategy<Value = HvdbMsg> {
             HvdbMsg::Geo(GeoPacket {
                 target: GeoTarget::AnyChInRegion(Hid::new(1, 0)),
                 ttl,
+                hops: 0,
                 visited: visited.into_iter().map(NodeId).collect(),
                 inner,
             })

@@ -23,6 +23,7 @@ fn fig2_sim(num_extra: usize, seed: u64) -> (Simulator<FrameBytes>, HvdbConfig) 
         enhanced_fraction: 1.0,
         seed,
         per_receiver_delivery: false,
+        compact_delivery: false,
     };
     let mut sim: Simulator<FrameBytes> = Simulator::new(sim_cfg, Box::new(Stationary));
     // Pin the first 64 nodes near the VC centres (small offsets so the
@@ -136,12 +137,14 @@ fn multicast_delivers_across_regions() {
             src: NodeId(63), // VC (7,7) region (1,1)
             group: g,
             size: 512,
+            ..Default::default()
         },
         TrafficItem {
             at: SimTime::from_secs(140),
             src: NodeId(63),
             group: g,
             size: 512,
+            ..Default::default()
         },
     ];
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
@@ -168,6 +171,7 @@ fn multicast_within_single_region_uses_hypercube_tier() {
         src: NodeId(0), // VC (0,0)
         group: g,
         size: 256,
+        ..Default::default()
     }];
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
     sim.run(&mut proto, SimTime::from_secs(130));
@@ -197,6 +201,7 @@ fn dynamic_join_becomes_visible_to_routing() {
         src: NodeId(27), // VC (3,3) region (0,0)
         group: g,
         size: 512,
+        ..Default::default()
     }];
     let mut proto = HvdbProtocol::new(cfg, &[], traffic, events);
     sim.run(&mut proto, SimTime::from_secs(180));
@@ -220,6 +225,7 @@ fn deterministic_replay() {
             src: NodeId(30),
             group: g,
             size: 400,
+            ..Default::default()
         }];
         let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
         sim.run(&mut proto, SimTime::from_secs(150));
@@ -243,6 +249,7 @@ fn ch_failure_is_detected_and_routed_around() {
         src: NodeId(16), // VC (2,0) region (0,0)
         group: g,
         size: 300,
+        ..Default::default()
     }];
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
     // Kill the CH of VC (1,1) (node 9) after the backbone forms: routes
@@ -271,6 +278,7 @@ fn tree_caching_avoids_recomputation() {
             src: NodeId(56),
             group: g,
             size: 200,
+            ..Default::default()
         })
         .collect();
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);

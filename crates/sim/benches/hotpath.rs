@@ -7,7 +7,9 @@
 //!   loop (send → queue → per-receiver dispatch), shared `DeliverMany`
 //!   vs legacy per-receiver clone events;
 //! * `mobility_tick` — the incremental spatial-index update under a
-//!   whole-population waypoint step.
+//!   whole-population waypoint step;
+//! * `class_counters` — per-transmission stats accounting: interned
+//!   class-id slots vs the old string-keyed hash maps.
 //!
 //! Run with `cargo bench -p hvdb-sim`.
 
@@ -15,8 +17,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use hvdb_geo::Aabb;
 use hvdb_sim::{
     Ctx, Mobility, NodeId, Protocol, RandomWaypoint, SimConfig, SimDuration, SimRng, SimTime,
-    Simulator, World,
+    Simulator, Stats, World,
 };
+use rustc_hash::FxHashMap;
 
 const NODES: usize = 600;
 
@@ -115,10 +118,61 @@ fn bench_mobility_tick(c: &mut Criterion) {
     });
 }
 
+/// The protocol's real class mix (labels and typical wire sizes), cycled
+/// the way a busy run hits the counters.
+const CLASS_MIX: [(&str, usize); 8] = [
+    ("beacon", 76),
+    ("candidacy", 36),
+    ("ch-announce", 32),
+    ("mnt-share", 180),
+    ("ht-bcast", 220),
+    ("mesh-data", 540),
+    ("local-deliver", 532),
+    ("mnt-refresh", 180),
+];
+
+fn bench_class_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("class_counters");
+    // The production path: first use interns the label by (pointer,
+    // length); every transmission after that is a two-word hash plus a
+    // direct slot index.
+    group.bench_function("interned_slots", |b| {
+        let mut stats = Stats::new(NODES);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % CLASS_MIX.len();
+            let (class, bytes) = CLASS_MIX[i];
+            stats.count_tx(NodeId((i % NODES) as u32), class, bytes);
+            black_box(stats.node_tx_msgs[i % NODES])
+        })
+    });
+    // The pre-interning accounting (PR 4 residual): two string-keyed
+    // FxHashMap entry lookups hashing the class label's bytes on every
+    // single transmission.
+    group.bench_function("string_keyed_maps", |b| {
+        let mut msgs: FxHashMap<&'static str, u64> = FxHashMap::default();
+        let mut bytes_by_class: FxHashMap<&'static str, u64> = FxHashMap::default();
+        let mut node_tx_msgs = vec![0u64; NODES];
+        let mut node_tx_bytes = vec![0u64; NODES];
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % CLASS_MIX.len();
+            let (class, bytes) = CLASS_MIX[i];
+            *msgs.entry(class).or_insert(0) += 1;
+            *bytes_by_class.entry(class).or_insert(0) += bytes as u64;
+            node_tx_msgs[i % NODES] += 1;
+            node_tx_bytes[i % NODES] += bytes as u64;
+            black_box(node_tx_msgs[i % NODES])
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_neighbors,
     bench_broadcast_round,
-    bench_mobility_tick
+    bench_mobility_tick,
+    bench_class_counters
 );
 criterion_main!(benches);

@@ -46,6 +46,11 @@ pub struct SimConfig {
     /// in the same total order and draw the RNG identically, so results
     /// are bit-identical — only the wall-clock cost differs.
     pub per_receiver_delivery: bool,
+    /// Compact delivery accounting ([`Stats::set_compact_delivery`]):
+    /// origins keep counters only — no per-receiver record lists — so
+    /// heavy traffic-plane runs stay O(packets) in memory. Requires the
+    /// protocol to dedup deliveries by data id (all registered ones do).
+    pub compact_delivery: bool,
 }
 
 impl Default for SimConfig {
@@ -58,6 +63,7 @@ impl Default for SimConfig {
             enhanced_fraction: 1.0,
             seed: 1,
             per_receiver_delivery: false,
+            compact_delivery: false,
         }
     }
 }
@@ -209,6 +215,33 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.set_timer(node, base + extra, tag);
     }
 
+    /// The sender's current transmit backlog: how much queued airtime sits
+    /// between now and the radio going idle. The traffic plane's pacing
+    /// signal — sources (and the queue cap below) read it to decide
+    /// whether another frame still fits.
+    pub fn tx_backlog(&self, node: NodeId) -> SimDuration {
+        let busy = self.world.node(node).busy_until;
+        if busy > self.now {
+            busy.since(self.now)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Send-queue pacing: whether a send from `from` must be refused
+    /// because the interface queue already exceeds the configured cap.
+    /// Counts the drop. With `max_queue == 0` the cap is disabled and
+    /// this never fires (the pre-traffic-plane behaviour, bit-identical).
+    fn queue_full(&mut self, from: NodeId) -> bool {
+        if self.radio.max_queue > SimDuration::ZERO && self.tx_backlog(from) > self.radio.max_queue
+        {
+            self.stats.drops_queue_full += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     fn occupy_radio(&mut self, from: NodeId, bytes: usize) -> SimTime {
         let tx = self.radio.tx_time(bytes);
         let start = self.world.node(from).busy_until.max(self.now);
@@ -233,6 +266,9 @@ impl<'a, M: Clone> Ctx<'a, M> {
     ) -> bool {
         if !self.world.alive(from) {
             self.stats.drops_dead += 1;
+            return false;
+        }
+        if self.queue_full(from) {
             return false;
         }
         let arrival = self.occupy_radio(from, bytes);
@@ -275,6 +311,9 @@ impl<'a, M: Clone> Ctx<'a, M> {
     ) -> bool {
         if !self.world.alive(from) {
             self.stats.drops_dead += 1;
+            return false;
+        }
+        if self.queue_full(from) {
             return false;
         }
         let attempts = 1 + self.radio.mac_retries;
@@ -324,6 +363,9 @@ impl<'a, M: Clone> Ctx<'a, M> {
     pub fn broadcast(&mut self, from: NodeId, class: &'static str, bytes: usize, msg: M) -> usize {
         if !self.world.alive(from) {
             self.stats.drops_dead += 1;
+            return 0;
+        }
+        if self.queue_full(from) {
             return 0;
         }
         let arrival = self.occupy_radio(from, bytes);
@@ -381,9 +423,26 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.stats.record_origin(data_id, self.now, expected);
     }
 
+    /// Registers an originated data packet carrying sequence number
+    /// `seq` of traffic-plane flow `flow` ([`hvdb_traffic::FLOW_NONE`] =
+    /// untracked): deliveries additionally feed the flow's
+    /// latency/jitter/hop/reorder accounting.
+    pub fn record_origin_flow(&mut self, data_id: u64, expected: u64, flow: u32, seq: u32) {
+        self.stats
+            .record_origin_flow(data_id, self.now, expected, flow, seq);
+    }
+
     /// Records a data-packet delivery at `node`.
     pub fn record_delivery(&mut self, data_id: u64, node: NodeId) {
         self.stats.record_delivery(data_id, node, self.now);
+    }
+
+    /// Records a data-packet delivery at `node` after `hops` physical
+    /// transmissions (feeds the flow hop-count histogram when the origin
+    /// was flow-tagged).
+    pub fn record_delivery_hops(&mut self, data_id: u64, node: NodeId, hops: u32) {
+        self.stats
+            .record_delivery_hops(data_id, node, self.now, hops);
     }
 
     /// Counts one control transmission originated by a soft-state refresh
@@ -456,7 +515,8 @@ impl<M: Clone> Simulator<M> {
         for i in chosen {
             world.set_capability(NodeId(i as u32), Capability::Enhanced);
         }
-        let stats = Stats::new(cfg.num_nodes);
+        let mut stats = Stats::new(cfg.num_nodes);
+        stats.set_compact_delivery(cfg.compact_delivery);
         Simulator {
             cfg,
             world,

@@ -40,6 +40,6 @@ pub use mobility::{Mobility, RandomWaypoint, ReferencePointGroup, Stationary};
 pub use node::{Capability, NodeId, NodeState};
 pub use radio::RadioConfig;
 pub use rng::SimRng;
-pub use stats::{gini, jain_fairness, max_mean_ratio, sim_sec_per_wall_sec, Stats};
+pub use stats::{gini, jain_fairness, max_mean_ratio, sim_sec_per_wall_sec, ClassId, Stats};
 pub use time::{SimDuration, SimTime};
 pub use world::World;

@@ -36,6 +36,13 @@ pub struct RadioConfig {
     /// loop (broadcast frames have no MAC recovery, as in the real MAC).
     /// Every attempt occupies the radio and is counted as overhead.
     pub mac_retries: u32,
+    /// Transmit-queue cap (send-queue pacing): a send attempted while the
+    /// node's radio already holds more than this much queued airtime is
+    /// refused at the interface — never transmitted, counted in
+    /// [`crate::Stats::drops_queue_full`] — modelling a finite interface
+    /// queue. `ZERO` (the default) disables the cap: backlog grows
+    /// unboundedly, exactly the pre-traffic-plane behaviour.
+    pub max_queue: SimDuration,
 }
 
 impl Default for RadioConfig {
@@ -47,6 +54,7 @@ impl Default for RadioConfig {
             jitter: SimDuration::from_micros(200),
             loss_prob: 0.0,
             mac_retries: 3,
+            max_queue: SimDuration::ZERO,
         }
     }
 }

@@ -3,9 +3,19 @@
 //! Every quantity the experiments report is collected here:
 //!
 //! * per-class message/byte counters (control overhead, experiment F5/C4),
+//!   backed by **interned class ids** — the hot path indexes a dense slot
+//!   vector; the only hashing left per transmission is a two-word
+//!   `(pointer, length)` key, never the class string's bytes,
 //! * per-node transmission counters (load balancing, experiment C3),
-//! * origin/delivery records for data packets (delivery ratio and latency,
-//!   experiments F6/C1).
+//! * delivery accounting for data packets (delivery ratio and latency,
+//!   experiments F6/C1), with latency held in a fixed-bucket log-scale
+//!   histogram ([`hvdb_traffic::LogHist`]) — the mean stays exact (running
+//!   sum), quantiles are bucket-resolution — plus optional **per-flow**
+//!   latency/jitter/hop tracking ([`hvdb_traffic::FlowSet`]) for traffic-
+//!   plane scenarios,
+//! * a *compact* delivery mode ([`Stats::set_compact_delivery`]) that
+//!   drops the per-origin receiver lists entirely, so heavy traffic runs
+//!   cost O(flows + packets) counters instead of O(deliveries) records.
 //!
 //! Fairness indices (Jain, max/mean, Gini) are free functions over plain
 //! slices so the harness can compute them for arbitrary node subsets (e.g.
@@ -13,23 +23,51 @@
 
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime};
+use hvdb_traffic::{FlowSet, LogHist, FLOW_NONE};
 use rustc_hash::FxHashMap;
 
-/// One originated data packet's bookkeeping.
+/// A pre-resolved per-class counter slot index (see [`Stats::class_id`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassId(u32);
+
+/// One interned class's counters.
+#[derive(Debug, Clone, PartialEq)]
+struct ClassSlot {
+    name: &'static str,
+    msgs: u64,
+    bytes: u64,
+}
+
+/// One originated data packet's bookkeeping. In compact mode the
+/// per-receiver list stays empty and dedup is delegated to the protocol
+/// layer (every registered protocol dedups deliveries by data id before
+/// recording — see [`Stats::set_compact_delivery`]).
 #[derive(Debug, Clone, PartialEq)]
 struct Origin {
     at: SimTime,
     expected: u64,
-    delivered: Vec<(NodeId, SimTime)>,
+    /// Traffic-plane flow id, [`FLOW_NONE`] for untracked traffic.
+    flow: u32,
+    /// Per-flow sequence number (reorder accounting; 0 when untracked).
+    seq: u32,
+    /// Distinct receivers (detail mode only; empty in compact mode).
+    delivered: Vec<NodeId>,
+    /// Distinct delivery count (kept in both modes).
+    delivered_count: u64,
 }
 
 /// Simulation-wide measurement state.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
-    /// Messages transmitted, by protocol-chosen class label.
-    pub msg_counts: FxHashMap<&'static str, u64>,
-    /// Bytes transmitted, by class label.
-    pub msg_bytes: FxHashMap<&'static str, u64>,
+    /// Interned per-class counters, in first-use order (deterministic for
+    /// a deterministic run).
+    class_slots: Vec<ClassSlot>,
+    /// `(pointer, length)` of the `&'static str` label → slot index. The
+    /// same literal always has the same address, so a relayed frame's
+    /// class resolves without hashing the string content; distinct
+    /// literals with equal text get separate slots and are merged by the
+    /// name-keyed accessors.
+    class_index: FxHashMap<(usize, usize), u32>,
     /// Per-node transmitted message count (senders and forwarders).
     pub node_tx_msgs: Vec<u64>,
     /// Per-node transmitted bytes.
@@ -44,6 +82,11 @@ pub struct Stats {
     /// attempt was lost, the frame is permanently gone (distinct from
     /// `drops_loss`, which counts individual lost attempts).
     pub drops_retry_exhausted: u64,
+    /// Frames refused at the sender because its transmit queue already
+    /// held more than [`crate::RadioConfig::max_queue`] of backlog — the
+    /// send-queue pacing drop of the traffic plane (0 when the cap is
+    /// disabled).
+    pub drops_queue_full: u64,
     /// Soft-state control transmissions originated by refresh timers
     /// (periodic re-advertisement, not triggered by state change).
     pub soft_refresh_msgs: u64,
@@ -75,6 +118,14 @@ pub struct Stats {
     /// ([`crate::EventKind::DeliverMany`]): receivers that got the frame
     /// by reference count instead of a deep copy. 0 in legacy mode.
     pub frames_shared: u64,
+    /// End-to-end delivery latency over all data deliveries,
+    /// microseconds, in fixed log-scale buckets.
+    latency_hist: LogHist,
+    /// Per-flow goodput/latency/jitter/hop accounting for traffic-plane
+    /// scenarios (empty unless origins carry flow ids).
+    flows: FlowSet,
+    /// Compact delivery accounting: drop per-origin receiver lists.
+    compact_delivery: bool,
     origins: FxHashMap<u64, Origin>,
 }
 
@@ -88,10 +139,51 @@ impl Stats {
         }
     }
 
+    /// Switches delivery accounting to compact mode: origins keep only
+    /// counters — no per-receiver list — so memory stays O(packets)
+    /// under heavy multi-receiver load. Dedup of repeated deliveries to
+    /// one receiver is delegated to the protocol layer (every registered
+    /// protocol already dedups by data id per node before recording);
+    /// [`Stats::receivers_of`] returns nothing in this mode. Flip it
+    /// before the run starts.
+    pub fn set_compact_delivery(&mut self, compact: bool) {
+        self.compact_delivery = compact;
+    }
+
+    /// Resolves (interning on first use) the dense counter slot for a
+    /// class label. The key is the label's `(address, length)`, so
+    /// resolution never hashes the string content. Instrumentation that
+    /// counts one class many times can resolve once and use
+    /// [`Stats::count_tx_id`] directly; the engine's send paths go
+    /// through [`Stats::count_tx`], whose per-transmission cost is this
+    /// two-word lookup.
+    pub fn class_id(&mut self, class: &'static str) -> ClassId {
+        let key = (class.as_ptr() as usize, class.len());
+        if let Some(&i) = self.class_index.get(&key) {
+            return ClassId(i);
+        }
+        let i = self.class_slots.len() as u32;
+        self.class_slots.push(ClassSlot {
+            name: class,
+            msgs: 0,
+            bytes: 0,
+        });
+        self.class_index.insert(key, i);
+        ClassId(i)
+    }
+
     /// Records one transmission by `node` of `bytes` bytes in `class`.
     pub fn count_tx(&mut self, node: NodeId, class: &'static str, bytes: usize) {
-        *self.msg_counts.entry(class).or_insert(0) += 1;
-        *self.msg_bytes.entry(class).or_insert(0) += bytes as u64;
+        let id = self.class_id(class);
+        self.count_tx_id(node, id, bytes);
+    }
+
+    /// [`Stats::count_tx`] with a pre-resolved class id: a direct slot
+    /// index, no hashing at all.
+    pub fn count_tx_id(&mut self, node: NodeId, id: ClassId, bytes: usize) {
+        let slot = &mut self.class_slots[id.0 as usize];
+        slot.msgs += 1;
+        slot.bytes += bytes as u64;
         self.node_tx_msgs[node.idx()] += 1;
         self.node_tx_bytes[node.idx()] += bytes as u64;
     }
@@ -99,25 +191,53 @@ impl Stats {
     /// Registers an originated data packet `id` expecting delivery to
     /// `expected` distinct receivers.
     pub fn record_origin(&mut self, id: u64, at: SimTime, expected: u64) {
+        self.record_origin_flow(id, at, expected, FLOW_NONE, 0);
+    }
+
+    /// Registers an originated data packet carrying sequence number
+    /// `seq` of traffic-plane flow `flow`: deliveries feed the flow's
+    /// latency/jitter/hop/reorder accounting in addition to the global
+    /// histograms.
+    pub fn record_origin_flow(&mut self, id: u64, at: SimTime, expected: u64, flow: u32, seq: u32) {
+        self.flows.record_send(flow);
         self.origins.insert(
             id,
             Origin {
                 at,
                 expected,
+                flow,
+                seq,
                 delivered: Vec::new(),
+                delivered_count: 0,
             },
         );
     }
 
-    /// Records a delivery of packet `id` at `node`. Duplicate deliveries to
-    /// the same node are ignored (multicast may reach a node twice; the
-    /// ratio counts distinct receivers). Unknown ids are ignored.
+    /// Records a delivery of packet `id` at `node`. In detail mode,
+    /// duplicate deliveries to the same node are ignored (multicast may
+    /// reach a node twice; the ratio counts distinct receivers); in
+    /// compact mode dedup is the protocol's job. Unknown ids are ignored.
     pub fn record_delivery(&mut self, id: u64, node: NodeId, at: SimTime) {
-        if let Some(o) = self.origins.get_mut(&id) {
-            if !o.delivered.iter().any(|(n, _)| *n == node) {
-                o.delivered.push((node, at));
+        self.record_delivery_hops(id, node, at, 0);
+    }
+
+    /// [`Stats::record_delivery`] carrying the physical hop count the
+    /// packet traversed, recorded into the flow's hop histogram.
+    pub fn record_delivery_hops(&mut self, id: u64, node: NodeId, at: SimTime, hops: u32) {
+        let Some(o) = self.origins.get_mut(&id) else {
+            return;
+        };
+        if !self.compact_delivery {
+            if o.delivered.contains(&node) {
+                return;
             }
+            o.delivered.push(node);
         }
+        o.delivered_count += 1;
+        let latency_us = at.since(o.at).0;
+        self.latency_hist.record(latency_us);
+        self.flows
+            .record_delivery(o.flow, node.0, o.seq, latency_us, hops);
     }
 
     /// Number of originated data packets.
@@ -132,18 +252,19 @@ impl Stats {
         let mut rows: Vec<_> = self
             .origins
             .iter()
-            .map(|(id, o)| (*id, o.at, o.expected, o.delivered.len()))
+            .map(|(id, o)| (*id, o.at, o.expected, o.delivered_count as usize))
             .collect();
         rows.sort_unstable_by_key(|r| r.0);
         rows
     }
 
-    /// The distinct receivers recorded for packet `id`, ascending.
+    /// The distinct receivers recorded for packet `id`, ascending. Empty
+    /// in compact mode (receiver lists are not kept).
     pub fn receivers_of(&self, id: u64) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self
             .origins
             .get(&id)
-            .map(|o| o.delivered.iter().map(|(n, _)| *n).collect())
+            .map(|o| o.delivered.clone())
             .unwrap_or_default();
         out.sort_unstable();
         out
@@ -157,7 +278,7 @@ impl Stats {
         let mut delivered = 0u64;
         for o in self.origins.values() {
             expected += o.expected;
-            delivered += (o.delivered.len() as u64).min(o.expected);
+            delivered += o.delivered_count.min(o.expected);
         }
         if expected == 0 {
             1.0
@@ -166,64 +287,73 @@ impl Stats {
         }
     }
 
-    /// All end-to-end delivery latencies.
+    /// The end-to-end latency histogram (microseconds) over all data
+    /// deliveries.
+    pub fn latency_hist(&self) -> &LogHist {
+        &self.latency_hist
+    }
+
+    /// Per-flow traffic-plane measurements (empty unless origins were
+    /// registered with flow ids via [`Stats::record_origin_flow`]).
+    pub fn flows(&self) -> &FlowSet {
+        &self.flows
+    }
+
+    /// All end-to-end delivery latencies at histogram resolution: one
+    /// bucket-midpoint duration per recorded delivery, ascending. The
+    /// count is exact; individual values carry the bucket's ±3% rounding.
     pub fn latencies(&self) -> Vec<SimDuration> {
-        let mut out = Vec::new();
-        for o in self.origins.values() {
-            for (_, t) in &o.delivered {
-                out.push(t.since(o.at));
-            }
+        let (min, max) = match (self.latency_hist.min(), self.latency_hist.max()) {
+            (Some(min), Some(max)) => (min, max),
+            _ => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(self.latency_hist.count() as usize);
+        for (lo, hi, count) in self.latency_hist.buckets() {
+            let mid = (lo + (hi - lo - 1) / 2).clamp(min, max);
+            out.resize(out.len() + count as usize, SimDuration(mid));
         }
         out
     }
 
     /// Mean delivery latency in seconds, or `None` if nothing delivered.
+    /// Exact: computed from the histogram's running sum, not its buckets.
     pub fn mean_latency(&self) -> Option<f64> {
-        let l = self.latencies();
-        if l.is_empty() {
-            None
-        } else {
-            Some(l.iter().map(|d| d.as_secs_f64()).sum::<f64>() / l.len() as f64)
-        }
+        self.latency_hist.mean().map(|us| us / 1e6)
     }
 
-    /// The `q`-quantile (0..=1) of delivery latency in seconds.
+    /// The `q`-quantile (0..=1) of delivery latency in seconds, at
+    /// histogram bucket resolution (±[`LogHist::RELATIVE_ERROR`];
+    /// extremes exact).
     pub fn latency_quantile(&self, q: f64) -> Option<f64> {
-        let mut l: Vec<f64> = self.latencies().iter().map(|d| d.as_secs_f64()).collect();
-        if l.is_empty() {
-            return None;
-        }
-        l.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let idx = ((l.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(l[idx])
+        self.latency_hist.quantile(q).map(|us| us as f64 / 1e6)
     }
 
     /// Total bytes across message classes matching `pred`.
     pub fn bytes_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
-        self.msg_bytes
+        self.class_slots
             .iter()
-            .filter(|(k, _)| pred(k))
-            .map(|(_, v)| *v)
+            .filter(|s| pred(s.name))
+            .map(|s| s.bytes)
             .sum()
     }
 
     /// Total messages across classes matching `pred`.
     pub fn msgs_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
-        self.msg_counts
+        self.class_slots
             .iter()
-            .filter(|(k, _)| pred(k))
-            .map(|(_, v)| *v)
+            .filter(|s| pred(s.name))
+            .map(|s| s.msgs)
             .sum()
     }
 
     /// Message count for one class.
     pub fn msgs(&self, class: &str) -> u64 {
-        self.msg_counts.get(class).copied().unwrap_or(0)
+        self.msgs_where(|c| c == class)
     }
 
     /// Byte count for one class.
     pub fn bytes(&self, class: &str) -> u64 {
-        self.msg_bytes.get(class).copied().unwrap_or(0)
+        self.bytes_where(|c| c == class)
     }
 }
 
@@ -313,6 +443,35 @@ mod tests {
     }
 
     #[test]
+    fn class_ids_are_stable_and_direct() {
+        let mut s = Stats::new(1);
+        let beacon = s.class_id("beacon");
+        let data = s.class_id("data");
+        assert_ne!(beacon, data);
+        assert_eq!(s.class_id("beacon"), beacon);
+        s.count_tx_id(NodeId(0), beacon, 50);
+        s.count_tx_id(NodeId(0), beacon, 50);
+        s.count_tx_id(NodeId(0), data, 10);
+        assert_eq!(s.msgs("beacon"), 2);
+        assert_eq!(s.bytes("beacon"), 100);
+        assert_eq!(s.bytes("data"), 10);
+    }
+
+    #[test]
+    fn duplicate_literals_from_distinct_addresses_merge_by_name() {
+        // Force two distinct 'static strings with equal text: the name-
+        // keyed accessors must merge their slots.
+        let a: &'static str = Box::leak("dup-class".to_string().into_boxed_str());
+        let b: &'static str = Box::leak("dup-class".to_string().into_boxed_str());
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        let mut s = Stats::new(1);
+        s.count_tx(NodeId(0), a, 10);
+        s.count_tx(NodeId(0), b, 20);
+        assert_eq!(s.msgs("dup-class"), 2);
+        assert_eq!(s.bytes("dup-class"), 30);
+    }
+
+    #[test]
     fn delivery_ratio_counts_distinct_receivers() {
         let mut s = Stats::new(4);
         s.record_origin(1, SimTime::ZERO, 2);
@@ -324,6 +483,7 @@ mod tests {
         // Unknown packet id: ignored.
         s.record_delivery(99, NodeId(3), SimTime::from_millis(1));
         assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.receivers_of(1), vec![NodeId(1), NodeId(2)]);
     }
 
     #[test]
@@ -362,12 +522,58 @@ mod tests {
             NodeId(3),
             SimTime::from_secs(1) + SimDuration::from_millis(60),
         );
+        // The mean is exact (running sum, not bucketised).
         let mean = s.mean_latency().unwrap();
         assert!((mean - 0.03).abs() < 1e-9);
-        assert!((s.latency_quantile(0.5).unwrap() - 0.02).abs() < 1e-9);
+        // Quantiles are bucket-resolution: within the histogram's
+        // relative error of the exact value; the max is exact.
+        let p50 = s.latency_quantile(0.5).unwrap();
+        assert!(
+            (p50 - 0.02).abs() <= 0.02 * LogHist::RELATIVE_ERROR + 1e-6,
+            "{p50}"
+        );
         assert!((s.latency_quantile(1.0).unwrap() - 0.06).abs() < 1e-9);
         assert_eq!(s.latencies().len(), 3);
         assert_eq!(s.origin_count(), 1);
+        assert_eq!(s.latency_hist().count(), 3);
+    }
+
+    #[test]
+    fn compact_mode_keeps_counts_but_not_receivers() {
+        let mut s = Stats::new(4);
+        s.set_compact_delivery(true);
+        s.record_origin(1, SimTime::ZERO, 2);
+        s.record_delivery(1, NodeId(1), SimTime::from_millis(5));
+        s.record_delivery(1, NodeId(2), SimTime::from_millis(9));
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.origin_rows(), vec![(1, SimTime::ZERO, 2, 2)]);
+        assert!(s.receivers_of(1).is_empty());
+        assert_eq!(s.latencies().len(), 2);
+    }
+
+    #[test]
+    fn flow_tagged_origins_feed_flow_stats() {
+        let mut s = Stats::new(4);
+        s.record_origin_flow(1, SimTime::ZERO, 2, 0, 0);
+        s.record_origin_flow(2, SimTime::from_millis(10), 2, 0, 1);
+        s.record_origin_flow(3, SimTime::ZERO, 1, 1, 0);
+        s.record_delivery_hops(1, NodeId(1), SimTime::from_millis(4), 3);
+        s.record_delivery_hops(2, NodeId(1), SimTime::from_millis(16), 3);
+        s.record_delivery_hops(3, NodeId(2), SimTime::from_millis(2), 1);
+        let f0 = s.flows().get(0).unwrap();
+        assert_eq!(f0.sent, 2);
+        assert_eq!(f0.delivered, 2);
+        assert_eq!(f0.latency.count(), 2);
+        // Jitter: |6ms - 4ms| = 2ms for receiver 1's consecutive deliveries.
+        assert_eq!(f0.jitter.count(), 1);
+        assert_eq!(f0.jitter.max(), Some(2_000));
+        assert_eq!(f0.hops.quantile(1.0), Some(3));
+        assert_eq!(s.flows().get(1).unwrap().sent, 1);
+        // Untracked origins touch no flow.
+        s.record_origin(9, SimTime::ZERO, 1);
+        s.record_delivery(9, NodeId(3), SimTime::from_millis(1));
+        assert_eq!(s.flows().len(), 2);
+        assert_eq!(s.flows().total_delivered(), 3);
     }
 
     #[test]

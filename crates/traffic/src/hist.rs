@@ -1,0 +1,291 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! [`LogHist`] records unsigned 64-bit samples (the stack uses
+//! microseconds for latency/jitter, plain counts for hops) into a fixed
+//! array of log₂ buckets with 16 sub-buckets per octave, HDR-histogram
+//! style. Memory is a few kilobytes *regardless of sample count*, which
+//! is what lets heavy traffic runs drop the per-packet delivery-record
+//! vectors entirely:
+//!
+//! * the **mean is exact** (a running sum is kept alongside the
+//!   buckets), so headline `latency_ms` metrics are unchanged by the
+//!   migration;
+//! * **quantiles are bucket-resolution**: the returned value is the
+//!   bucket midpoint, within ±[`LogHist::RELATIVE_ERROR`] of the exact
+//!   sample quantile (values below 16 are exact — those buckets are
+//!   width one);
+//! * **min and max are exact**, and quantile results are clamped to
+//!   them, so p0/p100 round-trip exactly.
+
+/// Values below this are binned exactly (one bucket per value).
+const LINEAR_CUTOFF: u64 = 16;
+/// Sub-buckets per octave above the linear range.
+const SUB: usize = 16;
+/// Largest binned exponent: values at or above `2^(MAX_EXP + 1)` share
+/// one overflow bucket. `2^40` µs is ~12.7 days — far beyond any
+/// simulated latency.
+const MAX_EXP: u32 = 39;
+/// Total bucket count: the linear range, `SUB` per octave from exponent
+/// 4 through [`MAX_EXP`], and one overflow bucket.
+const BUCKETS: usize = LINEAR_CUTOFF as usize + (MAX_EXP as usize - 4 + 1) * SUB + 1;
+
+/// A fixed-bucket log-scale histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        LogHist {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        if exp > MAX_EXP {
+            BUCKETS - 1
+        } else {
+            let sub = ((v >> (exp - 4)) & 15) as usize;
+            LINEAR_CUTOFF as usize + (exp as usize - 4) * SUB + sub
+        }
+    }
+}
+
+/// Half-open value range `[lo, hi)` of bucket `idx`.
+fn bounds_of(idx: usize) -> (u64, u64) {
+    if idx < LINEAR_CUTOFF as usize {
+        (idx as u64, idx as u64 + 1)
+    } else if idx == BUCKETS - 1 {
+        (1u64 << (MAX_EXP + 1), u64::MAX)
+    } else {
+        let rel = idx - LINEAR_CUTOFF as usize;
+        let exp = 4 + (rel / SUB) as u32;
+        let sub = (rel % SUB) as u64;
+        let lo = (LINEAR_CUTOFF + sub) << (exp - 4);
+        (lo, lo + (1u64 << (exp - 4)))
+    }
+}
+
+impl LogHist {
+    /// Worst-case relative error of a quantile estimate in the log
+    /// range: half a sub-bucket's width, `1 / (2 * 16)`.
+    pub const RELATIVE_ERROR: f64 = 1.0 / (2.0 * SUB as f64);
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (0..=1) at bucket resolution: the midpoint of
+    /// the bucket holding the rank-`round((n-1)·q)` sample (the same
+    /// nearest-rank rule the pre-histogram sort-based quantile used),
+    /// clamped to the exact observed `[min, max]`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        if rank == 0 {
+            return Some(self.min);
+        }
+        if rank >= self.count - 1 {
+            return Some(self.max);
+        }
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                let (lo, hi) = bounds_of(idx);
+                let mid = lo + (hi - lo - 1) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)` with `[lo,
+    /// hi)` the bucket's value range — the export shape for reports.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let (lo, hi) = bounds_of(i);
+                (lo, hi, *c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        // Every bucket's hi is the next bucket's lo, and bucket_of maps
+        // each bound into its own bucket.
+        for idx in 0..BUCKETS - 1 {
+            let (lo, hi) = bounds_of(idx);
+            assert!(lo < hi, "bucket {idx}");
+            assert_eq!(bucket_of(lo), idx, "lo of bucket {idx}");
+            assert_eq!(bucket_of(hi - 1), idx, "hi-1 of bucket {idx}");
+            assert_eq!(bounds_of(idx + 1).0, hi, "contiguity at {idx}");
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHist::new();
+        for v in [0u64, 1, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(15));
+        assert_eq!(h.mean(), Some(26.0 / 5.0));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(15));
+    }
+
+    #[test]
+    fn empty_hist_returns_none() {
+        let h = LogHist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LogHist::new();
+        let mut vals: Vec<u64> = (0..2000u64)
+            .map(|i| (i * i * 37 + 100) % 5_000_000)
+            .collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((vals.len() - 1) as f64 * q).round() as usize;
+            let exact = vals[rank] as f64;
+            let got = h.quantile(q).unwrap() as f64;
+            let tol = exact * LogHist::RELATIVE_ERROR + 1.0;
+            assert!(
+                (got - exact).abs() <= tol,
+                "q={q}: got {got}, exact {exact}, tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = LogHist::new();
+        h.record(1_234_567);
+        h.record(89);
+        assert_eq!(h.quantile(0.0), Some(89));
+        assert_eq!(h.quantile(1.0), Some(1_234_567));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHist::new();
+        let mut b = LogHist::new();
+        for v in [5u64, 500, 50_000] {
+            a.record(v);
+        }
+        for v in [7u64, 700_000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.min(), Some(5));
+        assert_eq!(merged.max(), Some(700_000));
+        assert_eq!(merged.buckets().map(|(.., c)| c).sum::<u64>(), 5);
+        // Merging an empty histogram changes nothing.
+        let before = merged.clone();
+        merged.merge(&LogHist::new());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_samples() {
+        let mut h = LogHist::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 45);
+        assert_eq!(h.count(), 2);
+        // Quantiles stay clamped to the exact max.
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,38 @@
+//! # hvdb-traffic — the deterministic traffic plane
+//!
+//! Application-level load generation and flow-level measurement for the
+//! HVDB reproduction, designed for **heavy** runs: offered load is
+//! scripted from seeded per-flow RNG streams (bit-identical replays),
+//! and measurement is histogram-backed (fixed-size log-scale buckets)
+//! so a million-delivery run costs a few kilobytes of accounting instead
+//! of a per-packet record vector.
+//!
+//! The crate sits *below* the simulator on purpose: it knows nothing of
+//! nodes, radios or protocols. It deals in plain `u64` microseconds,
+//! `u32` flow/receiver ids and packet counts, so `hvdb-sim` can embed
+//! its histograms in the engine statistics and `hvdb-bench` can script
+//! workloads from its sources without a dependency cycle.
+//!
+//! * [`rng`] — a self-contained SplitMix64 stream, one per flow;
+//! * [`hist`] — [`LogHist`]: fixed-bucket log₂ histograms with exact
+//!   mean and bucket-resolution quantiles;
+//! * [`source`] — [`SourceModel`]: CBR, Poisson and bursty on/off
+//!   arrival processes;
+//! * [`spec`] — [`TrafficSpec`]: multi-group, multi-flow session
+//!   scripting producing a deterministic packet schedule;
+//! * [`flow`] — [`FlowSet`]: per-flow sequence/goodput tracking plus
+//!   latency, inter-arrival jitter and hop-count histograms.
+
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod hist;
+pub mod rng;
+pub mod source;
+pub mod spec;
+
+pub use flow::{FlowSet, FlowStats, FLOW_NONE};
+pub use hist::LogHist;
+pub use rng::{flow_seed, Rng64};
+pub use source::SourceModel;
+pub use spec::{FlowPacket, TrafficSpec};

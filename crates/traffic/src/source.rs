@@ -1,0 +1,196 @@
+//! Application-level traffic source models.
+//!
+//! A [`SourceModel`] turns a target rate and a window into a
+//! deterministic arrival-time sequence, drawing only from the caller's
+//! [`Rng64`] stream — the same `(model, rate, window, seed)` always
+//! yields the same schedule. Three classic shapes:
+//!
+//! * **CBR** — constant bit rate: fixed inter-packet gap with a random
+//!   initial phase (so concurrent flows desynchronise instead of
+//!   colliding every period);
+//! * **Poisson** — memoryless arrivals at the given mean rate;
+//! * **on/off** — bursty: exponentially distributed on and off periods,
+//!   CBR at an elevated peak rate during on periods, silent otherwise,
+//!   with the peak chosen so the *long-run mean* equals the target rate
+//!   (the standard interrupted-Poisson/CBR burst model).
+
+use crate::rng::Rng64;
+
+/// An arrival process shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceModel {
+    /// Constant bit rate: one packet every `1/rate` seconds.
+    Cbr,
+    /// Poisson arrivals with mean rate `rate`.
+    Poisson,
+    /// Bursty on/off: exponential on/off periods with the given means
+    /// (seconds), CBR during on periods at `rate * (on + off) / on`.
+    OnOff {
+        /// Mean on-period length in seconds.
+        mean_on_s: f64,
+        /// Mean off-period length in seconds.
+        mean_off_s: f64,
+    },
+}
+
+impl SourceModel {
+    /// The arrival offsets (microseconds, strictly increasing, all `<
+    /// window_us`) of one flow at `rate_pps` packets per second over a
+    /// window, drawn from `rng`. Returns an empty schedule for
+    /// non-positive rates or an empty window.
+    pub fn arrivals_us(&self, rate_pps: f64, window_us: u64, rng: &mut Rng64) -> Vec<u64> {
+        if rate_pps <= 0.0 || window_us == 0 {
+            return Vec::new();
+        }
+        let mean_gap = 1e6 / rate_pps;
+        let mut out = Vec::new();
+        let push = |t: f64, out: &mut Vec<u64>| -> bool {
+            if t >= window_us as f64 {
+                return false;
+            }
+            // Strictly increasing integer times: sub-microsecond gaps
+            // collapse onto consecutive microseconds.
+            let t = (t as u64).max(out.last().map_or(0, |l| l + 1));
+            if t >= window_us {
+                return false;
+            }
+            out.push(t);
+            true
+        };
+        match self {
+            SourceModel::Cbr => {
+                let mut t = rng.unit() * mean_gap;
+                while push(t, &mut out) {
+                    t += mean_gap;
+                }
+            }
+            SourceModel::Poisson => {
+                let mut t = rng.exponential(mean_gap);
+                while push(t, &mut out) {
+                    t += rng.exponential(mean_gap);
+                }
+            }
+            SourceModel::OnOff {
+                mean_on_s,
+                mean_off_s,
+            } => {
+                let on_us = (mean_on_s.max(1e-6)) * 1e6;
+                let off_us = (mean_off_s.max(0.0)) * 1e6;
+                // Peak gap so the long-run mean rate hits the target.
+                let peak_gap = mean_gap * on_us / (on_us + off_us);
+                let mut cycle_start = 0.0f64;
+                while cycle_start < window_us as f64 {
+                    let on_len = rng.exponential(on_us);
+                    let off_len = rng.exponential(off_us.max(1e-6));
+                    let mut t = cycle_start + rng.unit() * peak_gap;
+                    while t < cycle_start + on_len {
+                        if !push(t, &mut out) && t >= window_us as f64 {
+                            return out;
+                        }
+                        t += peak_gap;
+                    }
+                    cycle_start += on_len + off_len;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaps(a: &[u64]) -> Vec<u64> {
+        a.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    #[test]
+    fn cbr_is_evenly_spaced() {
+        let mut rng = Rng64::new(1);
+        let a = SourceModel::Cbr.arrivals_us(100.0, 1_000_000, &mut rng);
+        // 100 pps over 1 s: 100 packets, gaps all ~10 ms.
+        assert!((99..=101).contains(&a.len()), "{}", a.len());
+        for g in gaps(&a) {
+            assert!((9_999..=10_001).contains(&g), "gap {g}");
+        }
+    }
+
+    #[test]
+    fn poisson_hits_mean_rate() {
+        let mut rng = Rng64::new(2);
+        let a = SourceModel::Poisson.arrivals_us(200.0, 10_000_000, &mut rng);
+        // 200 pps over 10 s: ~2000 packets (±10%).
+        assert!((1800..=2200).contains(&a.len()), "{}", a.len());
+        // Memoryless: gap variance far above CBR's zero.
+        let g = gaps(&a);
+        let mean = g.iter().sum::<u64>() as f64 / g.len() as f64;
+        let var = g.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / g.len() as f64;
+        assert!(var.sqrt() > mean * 0.5, "std {} mean {mean}", var.sqrt());
+    }
+
+    #[test]
+    fn onoff_hits_mean_rate_but_bursts() {
+        let mut rng = Rng64::new(3);
+        let model = SourceModel::OnOff {
+            mean_on_s: 0.5,
+            mean_off_s: 0.5,
+        };
+        let a = model.arrivals_us(200.0, 20_000_000, &mut rng);
+        // Long-run mean ~200 pps over 20 s (±20% — bursty by design).
+        let n = a.len() as f64;
+        assert!((3200.0..=4800.0).contains(&n), "{n}");
+        // Bursty: some gaps are much longer than the mean gap.
+        let g = gaps(&a);
+        let max = *g.iter().max().unwrap();
+        assert!(max > 50_000, "max gap {max} — no off periods seen");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_windowed() {
+        for model in [
+            SourceModel::Cbr,
+            SourceModel::Poisson,
+            SourceModel::OnOff {
+                mean_on_s: 0.1,
+                mean_off_s: 0.2,
+            },
+        ] {
+            let mut rng = Rng64::new(9);
+            let a = model.arrivals_us(5000.0, 500_000, &mut rng);
+            assert!(!a.is_empty());
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "{model:?}");
+            assert!(a.iter().all(|&t| t < 500_000), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty_schedules() {
+        let mut rng = Rng64::new(4);
+        assert!(SourceModel::Cbr
+            .arrivals_us(0.0, 1_000_000, &mut rng)
+            .is_empty());
+        assert!(SourceModel::Cbr
+            .arrivals_us(-1.0, 1_000_000, &mut rng)
+            .is_empty());
+        assert!(SourceModel::Poisson
+            .arrivals_us(100.0, 0, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for model in [
+            SourceModel::Cbr,
+            SourceModel::Poisson,
+            SourceModel::OnOff {
+                mean_on_s: 0.3,
+                mean_off_s: 0.7,
+            },
+        ] {
+            let a = model.arrivals_us(123.0, 2_000_000, &mut Rng64::new(77));
+            let b = model.arrivals_us(123.0, 2_000_000, &mut Rng64::new(77));
+            assert_eq!(a, b, "{model:?}");
+        }
+    }
+}

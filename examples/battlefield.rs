@@ -35,6 +35,7 @@ fn main() {
         enhanced_fraction: 0.25,
         seed: 1944,
         per_receiver_delivery: false,
+        compact_delivery: false,
     };
     // Squads of 10 moving together at convoy speeds.
     let mobility = ReferencePointGroup::new(10, 2.0, 8.0, 120.0);
@@ -63,6 +64,7 @@ fn main() {
             src: NodeId(0),
             group: orders,
             size: 768,
+            ..Default::default()
         });
     }
     // Recon (node 399) streams reports.
@@ -72,6 +74,7 @@ fn main() {
             src: NodeId(399),
             group: recon,
             size: 1024,
+            ..Default::default()
         });
     }
 

@@ -30,6 +30,7 @@ fn main() {
         enhanced_fraction: 0.5,
         seed: 911,
         per_receiver_delivery: false,
+        compact_delivery: false,
     };
     let mobility = RandomWaypoint::new(0.5, 3.0, 15.0); // searching on foot
     let mut sim = Simulator::new(sim_cfg, Box::new(mobility));
@@ -72,6 +73,7 @@ fn main() {
             src: NodeId(149),
             group: if i % 2 == 0 { medical } else { search },
             size: 400,
+            ..Default::default()
         });
     }
 

@@ -31,6 +31,7 @@ fn main() {
         enhanced_fraction: 0.6, // 60% of nodes have CH-class hardware
         seed: 2005,
         per_receiver_delivery: false,
+        compact_delivery: false,
     };
     // Gentle pedestrian mobility.
     let mobility = RandomWaypoint::new(0.5, 2.0, 20.0);
@@ -50,6 +51,7 @@ fn main() {
             src: NodeId(40),
             group,
             size: 512,
+            ..Default::default()
         })
         .collect();
 

@@ -26,6 +26,7 @@ fn scenario() -> (Vec<(NodeId, GroupId)>, Vec<TrafficItem>) {
             src: NodeId(3),
             group: hazard,
             size: 200,
+            ..Default::default()
         })
         .collect();
     (members, traffic)
@@ -44,6 +45,7 @@ fn sim_config(seed: u64) -> (Aabb, SimConfig) {
         enhanced_fraction: 0.4,
         seed,
         per_receiver_delivery: false,
+        compact_delivery: false,
     };
     (area, cfg)
 }

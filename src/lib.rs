@@ -9,6 +9,7 @@
 //! | [`geo`] | virtual-circle grid, logical identifiers (CHID/HNID/HID/MNID), spatial index |
 //! | [`hypercube`] | incomplete hypercubes, routing, disjoint paths, multicast trees |
 //! | [`sim`] | deterministic discrete-event MANET simulator |
+//! | [`traffic`] | deterministic traffic plane: seeded load generators, per-flow latency/jitter/hop histograms |
 //! | [`cluster`] | mobility-prediction cluster-head election |
 //! | [`core`] | the HVDB model and protocol (route maintenance, membership summaries, multicast) |
 //! | [`baselines`] | flooding, shared-tree, DSM-style and SPBM-style comparison protocols |
@@ -32,6 +33,7 @@
 //! let members = [(NodeId(10), group), (NodeId(190), group)];
 //! let traffic = vec![TrafficItem {
 //!     at: SimTime::from_secs(120), src: NodeId(50), group, size: 512,
+//!     ..Default::default()
 //! }];
 //! let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
 //! sim.run(&mut proto, SimTime::from_secs(180));
@@ -44,3 +46,4 @@ pub use hvdb_core as core;
 pub use hvdb_geo as geo;
 pub use hvdb_hypercube as hypercube;
 pub use hvdb_sim as sim;
+pub use hvdb_traffic as traffic;

@@ -26,6 +26,7 @@ fn sim_cfg(seed: u64) -> SimConfig {
         enhanced_fraction: 1.0,
         seed,
         per_receiver_delivery: false,
+        compact_delivery: false,
     }
 }
 
@@ -54,6 +55,7 @@ fn scenario() -> (Vec<(NodeId, GroupId)>, Vec<TrafficItem>) {
             src: NodeId(14),
             group: g,
             size: 400,
+            ..Default::default()
         })
         .collect();
     (members, traffic)
@@ -150,6 +152,7 @@ fn dsm_membership_overhead_grows_faster_than_hvdb() {
             enhanced_fraction: 1.0,
             seed: 2,
             per_receiver_delivery: false,
+            compact_delivery: false,
         };
         let mut sim = Simulator::new(cfg, Box::new(Stationary));
         for r in 0..n_side {

@@ -78,6 +78,7 @@ fn protocol_delivers_through_ch_failures() {
         enhanced_fraction: 1.0,
         seed: 9,
         per_receiver_delivery: false,
+        compact_delivery: false,
     };
     let mut sim = Simulator::new(sim_cfg, Box::new(Stationary));
     let grid = cfg.grid.clone();
@@ -101,6 +102,7 @@ fn protocol_delivers_through_ch_failures() {
             src: NodeId(90),
             group: g,
             size: 300,
+            ..Default::default()
         })
         .collect();
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);

@@ -19,6 +19,7 @@ fn lossy_sim(loss: f64, seed: u64) -> Simulator<hvdb::core::FrameBytes> {
         enhanced_fraction: 1.0,
         seed,
         per_receiver_delivery: false,
+        compact_delivery: false,
     };
     let mut sim = Simulator::new(cfg, Box::new(Stationary));
     // 64 nodes at VC centres + 16 extras.
@@ -49,6 +50,7 @@ fn scenario() -> (Vec<(NodeId, GroupId)>, Vec<TrafficItem>) {
             src: NodeId(67),
             group: g,
             size: 256,
+            ..Default::default()
         })
         .collect();
     (members, traffic)
