@@ -6,6 +6,9 @@
 //! the HVDB protocol:
 //!
 //! * [`flooding`] — network-wide flooding: Θ(N) per packet, no state;
+//! * [`par_flood`] — the same flooding algorithm ported to the sharded
+//!   parallel engine ([`hvdb_sim::ParProtocol`]); the `engine-threads`
+//!   benchmark arm and the reference example of such a port;
 //! * [`shared_tree`] — core-rooted shared tree (MAODV-style): the
 //!   "tree-based architecture" whose core bottleneck the paper's
 //!   load-balancing claim targets (§5);
@@ -23,11 +26,13 @@
 pub mod common;
 pub mod dsm;
 pub mod flooding;
+pub mod par_flood;
 pub mod shared_tree;
 pub mod spbm;
 
 pub use common::ScenarioState;
 pub use dsm::{DsmMsg, DsmProtocol};
 pub use flooding::{FloodMsg, FloodingProtocol};
+pub use par_flood::{ParFlood, ParFloodMsg, ParFloodNode};
 pub use shared_tree::{SharedTreeProtocol, TreeMsg};
 pub use spbm::{QuadTree, SpbmMsg, SpbmProtocol, Square};

@@ -20,9 +20,9 @@
 use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
 use hvdb_bench::{
     check_loss_floor, check_loss_high_band, check_overhead_gate, check_perf_gate,
-    check_traffic_gate, check_trajectory, validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR,
-    PERF_SPEEDUP_FLOOR, TRAFFIC_P99_REFERENCE_POINT, TRAJECTORY_DELIVERY_TOLERANCE,
-    TRAJECTORY_OVERHEAD_TOLERANCE,
+    check_perf_threads_gate, check_traffic_gate, check_trajectory, validate_report_str,
+    ScenarioReport, LOSS_DELIVERY_FLOOR, PERF_SPEEDUP_FLOOR, PERF_THREADS_SPEEDUP_FLOOR,
+    TRAFFIC_P99_REFERENCE_POINT, TRAJECTORY_DELIVERY_TOLERANCE, TRAJECTORY_OVERHEAD_TOLERANCE,
 };
 use std::process::ExitCode;
 
@@ -52,10 +52,14 @@ fn usage() {
     eprintln!();
     eprintln!("USAGE:");
     eprintln!("  hvdb-bench list");
-    eprintln!("  hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
-    eprintln!("  hvdb-bench run --all        [--smoke] [--seeds 1,2,3] [--out-dir DIR]");
+    eprintln!(
+        "  hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--threads N] [--out-dir DIR]"
+    );
+    eprintln!(
+        "  hvdb-bench run --all        [--smoke] [--seeds 1,2,3] [--threads N] [--out-dir DIR]"
+    );
     eprintln!("  hvdb-bench validate <file>... [--loss-floor F] [--perf-floor F]");
-    eprintln!("                                [--baseline-dir DIR]");
+    eprintln!("                                [--threads-floor F] [--baseline-dir DIR]");
     eprintln!("                                [--delivery-tolerance F] [--overhead-tolerance F]");
     eprintln!();
     eprintln!("Writes BENCH_<scenario>.json per scenario; see `list` for names.");
@@ -64,7 +68,13 @@ fn usage() {
     eprintln!("{LOSS_DELIVERY_FLOOR}) at 15% frame loss; \"overhead\" must show the quiet-phase");
     eprintln!("adaptive-refresh improvement and stay under the frames/s ceiling;");
     eprintln!("\"perf\" must show shared-frame delivery at least --perf-floor times");
-    eprintln!("(default {PERF_SPEEDUP_FLOOR}) faster than the per-receiver-clone arm.");
+    eprintln!("(default {PERF_SPEEDUP_FLOOR}) faster than the per-receiver-clone arm, and its");
+    eprintln!("engine-threads arm must keep events_processed identical across thread");
+    eprintln!("counts and — on machines with >= 4 hardware threads — clear the");
+    eprintln!("--threads-floor speedup (default {PERF_THREADS_SPEEDUP_FLOOR}).");
+    eprintln!("`run --threads N` sets the worker-thread count of parallel-engine");
+    eprintln!("arms (default 1); it is recorded in every report and cannot change");
+    eprintln!("deterministic metrics.");
     eprintln!("With --baseline-dir, every report is additionally compared against");
     eprintln!("the committed BENCH_<scenario>.json in DIR: delivery may regress at");
     eprintln!("most --delivery-tolerance (default {TRAJECTORY_DELIVERY_TOLERANCE}) and overhead metrics may grow");
@@ -75,6 +85,7 @@ fn validate(args: &[String]) -> ExitCode {
     let mut files: Vec<String> = Vec::new();
     let mut floor = LOSS_DELIVERY_FLOOR;
     let mut perf_floor = PERF_SPEEDUP_FLOOR;
+    let mut threads_floor = PERF_THREADS_SPEEDUP_FLOOR;
     let mut baseline_dir: Option<String> = None;
     let mut delivery_tol = TRAJECTORY_DELIVERY_TOLERANCE;
     let mut overhead_tol = TRAJECTORY_OVERHEAD_TOLERANCE;
@@ -91,12 +102,18 @@ fn validate(args: &[String]) -> ExitCode {
                     }
                 }
             }
-            "--perf-floor" => {
+            flag @ ("--perf-floor" | "--threads-floor") => {
                 i += 1;
                 match args.get(i).and_then(|f| f.parse::<f64>().ok()) {
-                    Some(f) if f > 0.0 && f.is_finite() => perf_floor = f,
+                    Some(f) if f > 0.0 && f.is_finite() => {
+                        if flag == "--perf-floor" {
+                            perf_floor = f;
+                        } else {
+                            threads_floor = f;
+                        }
+                    }
                     _ => {
-                        eprintln!("--perf-floor needs a positive number");
+                        eprintln!("{flag} needs a positive number");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -162,6 +179,17 @@ fn validate(args: &[String]) -> ExitCode {
                         notes.push(format!(
                             "shared-frame delivery {speedup:.2}x faster at {label} (floor {perf_floor})"
                         ));
+                        let (tlabel, tspeedup, enforced) =
+                            check_perf_threads_gate(&doc, threads_floor)?;
+                        notes.push(if enforced {
+                            format!(
+                                "parallel engine {tspeedup:.2}x at {tlabel} (floor {threads_floor}), identical event counts"
+                            )
+                        } else {
+                            format!(
+                                "parallel engine {tspeedup:.2}x at {tlabel} (speedup floor waived: < 4 hardware threads), identical event counts"
+                            )
+                        });
                     }
                     Some("traffic") => {
                         let (knee, p99) = check_traffic_gate(&doc)?;
@@ -237,6 +265,16 @@ fn run(args: &[String]) -> ExitCode {
         match args[i].as_str() {
             "--all" => all = true,
             "--smoke" => opts.smoke = true,
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => opts.threads = n,
+                    _ => {
+                        eprintln!("--threads needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--seeds" => {
                 i += 1;
                 let Some(list) = args.get(i) else {

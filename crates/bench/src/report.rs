@@ -52,6 +52,11 @@ pub struct ScenarioReport {
     pub summary: String,
     /// Whether this was a shrunk smoke run (numbers not meaningful).
     pub smoke: bool,
+    /// Worker-thread count the run was invoked with (`--threads`, default
+    /// 1). Recorded in every report so a wall-clock number can always be
+    /// traced back to its parallelism; deterministic metrics are identical
+    /// at every value.
+    pub threads: usize,
     /// The measurements.
     pub rows: Vec<Row>,
 }
@@ -64,6 +69,7 @@ impl ScenarioReport {
             ("figure".into(), Json::Str(self.figure.clone())),
             ("summary".into(), Json::Str(self.summary.clone())),
             ("smoke".into(), Json::Bool(self.smoke)),
+            ("threads".into(), Json::Num(self.threads as f64)),
             (
                 "rows".into(),
                 Json::Arr(
@@ -217,6 +223,7 @@ mod tests {
             figure: "Fig. 0".into(),
             summary: "s".into(),
             smoke: false,
+            threads: 1,
             rows: vec![Row::new(
                 "axis",
                 "n=1",
@@ -226,6 +233,7 @@ mod tests {
         };
         let s = rep.to_json().to_string();
         assert!(s.contains("\"scenario\": \"x\""));
+        assert!(s.contains("\"threads\": 1"));
         assert!(s.contains("\"delivery\": 1"));
     }
 }

@@ -3,9 +3,12 @@
 //! each simulation stays single-threaded and deterministic.
 
 use crate::workload::{is_refresh_class, metrics_of, RunMetrics, Scenario, Workload};
-use hvdb_baselines::{DsmProtocol, FloodingProtocol, SharedTreeProtocol, SpbmProtocol};
+use hvdb_baselines::{
+    DsmProtocol, FloodingProtocol, ParFlood, ParFloodMsg, ParFloodNode, SharedTreeProtocol,
+    SpbmProtocol,
+};
 use hvdb_core::{HvdbConfig, HvdbProtocol};
-use hvdb_sim::Simulator;
+use hvdb_sim::{ParSimulator, Simulator};
 use rayon::prelude::*;
 
 /// The protocols under comparison.
@@ -68,6 +71,10 @@ pub struct RunDetail {
     pub events_processed: u64,
     /// Wall-clock seconds spent inside [`Simulator::run`].
     pub wall_secs: f64,
+    /// Simulated seconds actually advanced across those `run` calls
+    /// (resume-safe, unlike reading the scenario horizon: a resumed run
+    /// advances the clock once per segment, not once per call).
+    pub sim_secs: f64,
     /// Deliveries served from a shared broadcast payload.
     pub frames_shared: u64,
     /// Per-receiver payload clones in the legacy delivery mode.
@@ -131,6 +138,7 @@ fn engine_detail<M: Clone>(sim: &Simulator<M>) -> RunDetail {
         refresh_frames: sim.stats().msgs_where(is_refresh_class),
         events_processed: sim.stats().events_processed,
         wall_secs: sim.wall_secs(),
+        sim_secs: sim.sim_secs(),
         frames_shared: sim.stats().frames_shared,
         frames_cloned: sim.stats().frames_cloned,
         traffic: traffic_profile_of(sim.stats()),
@@ -216,6 +224,42 @@ pub fn run_hvdb_tweaked(
     let mut scenario = scenario.clone();
     tweak(&mut scenario.hvdb);
     run_hvdb(&scenario)
+}
+
+/// Runs the scenario's traffic script under flooding on the **sharded
+/// parallel engine** ([`ParSimulator`] + [`ParFlood`]) with `shards`
+/// shards and the scenario's [`Scenario::threads`] worker threads. The
+/// `perf` scenario's `engine-threads` arm: deterministic metrics are
+/// byte-identical at every thread count (the engine's contract), so only
+/// wall-clock moves with `threads`. Scripted failures are scheduled
+/// exactly as [`run_one_instrumented`] does.
+pub fn run_par_flood(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDetail) {
+    let mut sim: ParSimulator<ParFloodNode, ParFloodMsg> = ParSimulator::new(
+        scenario.sim.clone(),
+        scenario.hvdb_mobility(),
+        shards,
+        scenario.threads,
+    );
+    for &(node, at) in &scenario.failures {
+        sim.schedule_fail(node, at);
+    }
+    let p = ParFlood::new(
+        &scenario.members,
+        scenario.traffic.clone(),
+        scenario.group_events.clone(),
+    );
+    sim.run(&p, scenario.until);
+    let detail = RunDetail {
+        hvdb_counters: None,
+        refresh_frames: sim.stats().msgs_where(is_refresh_class),
+        events_processed: sim.stats().events_processed,
+        wall_secs: sim.wall_secs(),
+        sim_secs: sim.sim_secs(),
+        frames_shared: sim.stats().frames_shared,
+        frames_cloned: sim.stats().frames_cloned,
+        traffic: traffic_profile_of(sim.stats()),
+    };
+    (metrics_of(sim.stats()), detail)
 }
 
 /// Builds the simulator for a run: fresh mobility instance plus any

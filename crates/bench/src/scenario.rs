@@ -18,7 +18,7 @@
 
 use crate::report::{Row, ScenarioReport};
 use crate::runner::{
-    average, run_hvdb_tweaked, run_one, run_one_instrumented, Proto, TrafficProfile,
+    average, run_hvdb_tweaked, run_one, run_one_instrumented, run_par_flood, Proto, TrafficProfile,
 };
 use crate::workload::{metrics_of, MobilityKind, RunMetrics, Scenario, Workload};
 use hvdb_core::{
@@ -36,12 +36,25 @@ use hvdb_sim::{
 use rayon::prelude::*;
 
 /// Options shared by every scenario execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunOpts {
     /// Shrink everything to a ~1-second pipeline check.
     pub smoke: bool,
     /// Override the seed set of declarative sweeps.
     pub seeds: Option<Vec<u64>>,
+    /// Worker threads for parallel-engine arms (`--threads`, default 1).
+    /// Recorded in the report; deterministic metrics do not depend on it.
+    pub threads: usize,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            smoke: false,
+            seeds: None,
+            threads: 1,
+        }
+    }
 }
 
 /// One declarative sweep: an axis of workload points, run under a set of
@@ -202,6 +215,7 @@ pub fn run_scenario(def: &ScenarioDef, opts: &RunOpts) -> ScenarioReport {
         figure: def.figure.into(),
         summary: def.summary.into(),
         smoke: opts.smoke,
+        threads: opts.threads.max(1),
         rows,
     }
 }
@@ -726,6 +740,14 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
 /// because wall-clock is the measurand. `validate` gates the ratio at
 /// the largest common node count ([`crate::validate::check_perf_gate`]).
 ///
+/// A third sweep, `engine-threads`, measures the sharded parallel engine
+/// ([`hvdb_sim::ParSimulator`] running [`hvdb_baselines::ParFlood`]) at 1
+/// and `--threads` (default 4) worker threads on the gate node count:
+/// identical `events_processed` at every thread count (the determinism
+/// contract, always gated) and a >= 2x events/s speedup when the machine
+/// has the cores to show one
+/// ([`crate::validate::check_perf_threads_gate`]).
+///
 /// Smoke mode shrinks the node counts but keeps tens of simulated
 /// seconds (unlike [`Workload::smoke`]'s milliseconds): a wall-clock
 /// ratio needs enough work to rise above timer noise.
@@ -785,7 +807,7 @@ fn custom_perf(opts: &RunOpts) -> Vec<Row> {
                     run_hvdb_tweaked(&scenario, &|cfg| cfg.deep_clone_frames = cloned);
                 events += detail.events_processed;
                 wall += detail.wall_secs;
-                sim_secs += scenario.until.since(SimTime::ZERO).as_secs_f64();
+                sim_secs += detail.sim_secs;
                 shared_frames += detail.frames_shared;
                 cloned_frames += detail.frames_cloned;
                 delivery += m.delivery;
@@ -808,6 +830,57 @@ fn custom_perf(opts: &RunOpts) -> Vec<Row> {
                 ],
             ));
         }
+    }
+    // The engine-threads arm: the *same* flooding workload on the sharded
+    // parallel engine at 1 and N worker threads. Thread count must be
+    // invisible in everything but wall-clock (events_processed is gated
+    // for exact equality); on a machine with >= 4 hardware threads the
+    // multi-thread row must also clear the speedup floor
+    // ([`crate::validate::check_perf_threads_gate`]).
+    const PAR_SHARDS: usize = 16;
+    let par_nodes = if opts.smoke { 120 } else { 600 };
+    let multi = if opts.threads > 1 { opts.threads } else { 4 };
+    for &threads in &[1usize, multi] {
+        let mut events = 0u64;
+        let mut wall = 0.0f64;
+        let mut sim_secs = 0.0f64;
+        let mut delivery = 0.0f64;
+        for &seed in &seeds {
+            let w = Workload {
+                nodes: par_nodes,
+                side: (par_nodes as f64 * 8533.0).sqrt(),
+                vc_side: scaled_vc_side(par_nodes),
+                seed,
+                threads,
+                // Flooding carries the whole load here; triple the packet
+                // schedule so lookahead windows stay dense enough for the
+                // speedup measurement to reflect the engine, not idle
+                // lanes between wavefronts.
+                packets_per_group: base.packets_per_group * 3,
+                ..base.clone()
+            };
+            let (m, detail) = run_par_flood(&w.build(), PAR_SHARDS);
+            events += detail.events_processed;
+            wall += detail.wall_secs;
+            sim_secs += detail.sim_secs;
+            delivery += m.delivery;
+        }
+        rows.push(Row::new(
+            "engine-threads",
+            format!("threads={threads}"),
+            "par-flood",
+            vec![
+                ("events_per_s".into(), events as f64 / wall.max(1e-9)),
+                (
+                    "sim_sec_per_wall_sec".into(),
+                    sim_sec_per_wall_sec(sim_secs, wall),
+                ),
+                ("wall_ms".into(), wall * 1e3),
+                ("events_processed".into(), events as f64),
+                ("hardware_threads".into(), rayon::hardware_threads() as f64),
+                ("delivery".into(), delivery / seeds.len() as f64),
+            ],
+        ));
     }
     rows
 }

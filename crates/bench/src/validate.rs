@@ -5,7 +5,7 @@
 //! trust it blindly: [`parse_strict`] is a strict recursive-descent JSON
 //! parser (no trailing garbage, no bad escapes, no bare control chars),
 //! and [`validate_report_str`] layers the exact report schema on top —
-//! the five top-level fields with their types, every row fully typed,
+//! the six top-level fields with their types, every row fully typed,
 //! finite metrics only, no unknown keys. The CLI (`hvdb-bench validate`,
 //! and `run`'s post-write check) and the test suite share this code, so
 //! a malformed report can neither land in CI artifacts nor be committed
@@ -43,6 +43,14 @@ pub const LOSS_HIGH_POINTS: [&str; 2] = ["loss=0.25", "loss=0.3"];
 /// absorbs shared-runner wall-clock noise). CI's `perf-smoke` job passes
 /// a lower floor for its shrunk workload via `--perf-floor`.
 pub const PERF_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// The `perf` scenario's parallel-engine speedup floor: the
+/// `engine-threads` arm's multi-thread row must process events at least
+/// this many times faster than its single-thread row — *when the machine
+/// can actually run the threads* (see [`check_perf_threads_gate`]; on a
+/// box with fewer than 4 hardware threads only the determinism half of
+/// the gate is enforced, because a timesliced "speedup" measures nothing).
+pub const PERF_THREADS_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// The `overhead` scenario's gated operating point: the quiet phase (no
 /// membership churn), where the adaptive refresh controller must earn
@@ -155,7 +163,7 @@ fn as_str<'a>(v: &'a Json, what: &str) -> Result<&'a str, String> {
 /// no unknown top-level or row keys, rows non-empty, metrics finite.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let fields = obj_fields(doc)?;
-    const TOP: [&str; 5] = ["scenario", "figure", "summary", "smoke", "rows"];
+    const TOP: [&str; 6] = ["scenario", "figure", "summary", "smoke", "threads", "rows"];
     for (k, _) in fields {
         if !TOP.contains(&k.as_str()) {
             return Err(format!("unknown top-level field {k:?}"));
@@ -170,6 +178,14 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
     match field(fields, "smoke")? {
         Json::Bool(_) => {}
         other => return Err(format!("smoke: expected bool, got {other:?}")),
+    }
+    match field(fields, "threads")? {
+        Json::Num(n) if *n >= 1.0 && n.fract() == 0.0 => {}
+        other => {
+            return Err(format!(
+                "threads: expected a positive integer, got {other:?}"
+            ))
+        }
     }
     let rows = match field(fields, "rows")? {
         Json::Arr(rows) => rows,
@@ -342,6 +358,88 @@ pub fn check_perf_gate(doc: &Json, floor: f64) -> Result<(String, f64), String> 
         ));
     }
     Ok((gate_label, speedup))
+}
+
+/// The `perf` scenario's parallel-engine gate, over the `engine-threads`
+/// sweep (the `par-flood` protocol run at 1 and N worker threads on the
+/// same workload).
+///
+/// Two halves:
+///
+/// * **Determinism** — always enforced: every `engine-threads` row must
+///   report **exactly** the same `events_processed`. Threads are allowed
+///   to change wall-clock only; a diverging event count means the
+///   parallel engine's commit order leaked into results.
+/// * **Speedup** — enforced only when it can mean something: the
+///   multi-thread row must show `events_per_s` at least `floor` times the
+///   single-thread row's, *if* that row ran with >= 4 threads on a
+///   machine reporting >= 4 hardware threads (the row's
+///   `hardware_threads` metric). On smaller machines the threads
+///   timeslice one core and the ratio measures scheduler noise, so the
+///   gate records the measurement without enforcing the floor.
+///
+/// Returns `(multi-thread label, speedup, enforced)`. Missing rows or
+/// metrics fail loudly — a gate that cannot find its points must not wave
+/// the report through.
+pub fn check_perf_threads_gate(doc: &Json, floor: f64) -> Result<(String, f64, bool), String> {
+    let rows = report_rows(doc)?;
+    let mut points: Vec<(u64, f64, f64, f64)> = Vec::new(); // (threads, events/s, events, hw)
+    for (sweep, label, proto, metrics) in &rows {
+        if sweep != "engine-threads" || proto != "par-flood" {
+            continue;
+        }
+        let threads: u64 = label
+            .strip_prefix("threads=")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("engine-threads row has unparseable label {label:?}"))?;
+        let get = |name: &str| -> Result<f64, String> {
+            metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("engine-threads row {label} has no {name} metric"))
+        };
+        points.push((
+            threads,
+            get("events_per_s")?,
+            get("events_processed")?,
+            get("hardware_threads")?,
+        ));
+    }
+    if points.len() < 2 {
+        return Err(format!(
+            "need engine-threads par-flood rows at >= 2 thread counts, found {}",
+            points.len()
+        ));
+    }
+    points.sort_by_key(|p| p.0);
+    let &(single_threads, single_eps, single_events, _) = points.first().expect("len checked");
+    let &(threads, multi_eps, _, hw) = points.last().expect("len checked");
+    let multi_label = format!("threads={threads}");
+    if single_threads != 1 {
+        return Err("engine-threads sweep has no threads=1 baseline row".into());
+    }
+    for &(t, _, events, _) in &points {
+        if events != single_events {
+            return Err(format!(
+                "parallel engine diverged: threads={t} processed {events:.0} events, \
+                 threads=1 processed {single_events:.0} — determinism contract broken"
+            ));
+        }
+    }
+    if single_eps <= 0.0 {
+        return Err("single-thread events_per_s is zero — measurement broken".into());
+    }
+    let speedup = multi_eps / single_eps;
+    let enforced = threads >= 4 && hw >= 4.0;
+    if enforced && speedup < floor {
+        return Err(format!(
+            "parallel-engine speedup {speedup:.2}x at {multi_label} is below the {floor:.1}x \
+             floor (multi {multi_eps:.0} vs single {single_eps:.0} events/s, \
+             {hw:.0} hardware threads)"
+        ));
+    }
+    Ok((multi_label, speedup, enforced))
 }
 
 /// Whether a validated report document is a smoke run.
@@ -798,6 +896,7 @@ mod tests {
             figure: "Fig. X".into(),
             summary: "s".into(),
             smoke: false,
+            threads: 1,
             rows,
         }
         .to_json()
@@ -839,10 +938,20 @@ mod tests {
         // Missing fields.
         assert!(validate_report_str("{\"scenario\": \"x\"}").is_err());
         // Unknown top-level key.
-        let s = "{\"scenario\": \"x\", \"figure\": \"f\", \"summary\": \"s\", \"smoke\": false, \"rows\": [], \"extra\": 1}";
+        let s = "{\"scenario\": \"x\", \"figure\": \"f\", \"summary\": \"s\", \"smoke\": false, \"threads\": 1, \"rows\": [], \"extra\": 1}";
         assert!(validate_report_str(s).is_err());
+        // Missing threads field.
+        let s = "{\"scenario\": \"x\", \"figure\": \"f\", \"summary\": \"s\", \"smoke\": false, \"rows\": [{\"sweep\": \"a\", \"label\": \"b\", \"proto\": \"c\", \"metrics\": {\"m\": 1}}]}";
+        assert!(validate_report_str(s).unwrap_err().contains("threads"));
+        // Zero and fractional thread counts are nonsense.
+        for bad in ["0", "1.5", "-2", "true"] {
+            let s = format!(
+                "{{\"scenario\": \"x\", \"figure\": \"f\", \"summary\": \"s\", \"smoke\": false, \"threads\": {bad}, \"rows\": [{{\"sweep\": \"a\", \"label\": \"b\", \"proto\": \"c\", \"metrics\": {{\"m\": 1}}}}]}}"
+            );
+            assert!(validate_report_str(&s).unwrap_err().contains("threads"));
+        }
         // Empty rows.
-        let s = "{\"scenario\": \"x\", \"figure\": \"f\", \"summary\": \"s\", \"smoke\": false, \"rows\": []}";
+        let s = "{\"scenario\": \"x\", \"figure\": \"f\", \"summary\": \"s\", \"smoke\": false, \"threads\": 1, \"rows\": []}";
         assert!(validate_report_str(s).is_err());
         // Non-finite metric serializes as null and must be rejected.
         let s = report(
@@ -899,6 +1008,7 @@ mod tests {
             figure: "f".into(),
             summary: "s".into(),
             smoke: true,
+            threads: 1,
             rows: vec![Row::new(
                 "frame-loss",
                 LOSS_GATE_POINT,
@@ -1222,6 +1332,92 @@ mod tests {
         let rep_none = report("perf", vec![perf_row("nodes=600", "hvdb-shared", 9e6, 8e6)]);
         let doc = validate_report_str(&rep_none).unwrap();
         assert!(check_perf_gate(&doc, 2.0).is_err());
+    }
+
+    fn threads_row(threads: u64, eps: f64, events: f64, hw: f64) -> Row {
+        Row::new(
+            "engine-threads",
+            format!("threads={threads}"),
+            "par-flood",
+            vec![
+                ("events_per_s".into(), eps),
+                ("events_processed".into(), events),
+                ("hardware_threads".into(), hw),
+            ],
+        )
+    }
+
+    #[test]
+    fn threads_gate_enforces_speedup_on_capable_machines() {
+        // 4 threads on a 4-core box at 2.5x: enforced and passing.
+        let rep = report(
+            "perf",
+            vec![
+                threads_row(1, 1e6, 5e6, 4.0),
+                threads_row(4, 2.5e6, 5e6, 4.0),
+            ],
+        );
+        let doc = validate_report_str(&rep).unwrap();
+        let (label, speedup, enforced) = check_perf_threads_gate(&doc, 2.0).expect("passes");
+        assert_eq!(label, "threads=4");
+        assert!((speedup - 2.5).abs() < 1e-9);
+        assert!(enforced);
+        // Below the floor on a capable machine: fails.
+        let rep = report(
+            "perf",
+            vec![
+                threads_row(1, 1e6, 5e6, 4.0),
+                threads_row(4, 1.5e6, 5e6, 4.0),
+            ],
+        );
+        let doc = validate_report_str(&rep).unwrap();
+        assert!(check_perf_threads_gate(&doc, 2.0)
+            .unwrap_err()
+            .contains("below"));
+    }
+
+    #[test]
+    fn threads_gate_skips_speedup_without_hardware_parallelism() {
+        // Same sub-floor ratio, but only 1 hardware thread: the speedup
+        // half is waived (timesliced threads measure nothing)...
+        let rep = report(
+            "perf",
+            vec![
+                threads_row(1, 1e6, 5e6, 1.0),
+                threads_row(4, 0.9e6, 5e6, 1.0),
+            ],
+        );
+        let doc = validate_report_str(&rep).unwrap();
+        let (_, _, enforced) = check_perf_threads_gate(&doc, 2.0).expect("waived");
+        assert!(!enforced);
+        // ...but the determinism half never is.
+        let rep = report(
+            "perf",
+            vec![
+                threads_row(1, 1e6, 5e6, 1.0),
+                threads_row(4, 0.9e6, 5e6 + 1.0, 1.0),
+            ],
+        );
+        let doc = validate_report_str(&rep).unwrap();
+        assert!(check_perf_threads_gate(&doc, 2.0)
+            .unwrap_err()
+            .contains("diverged"));
+    }
+
+    #[test]
+    fn threads_gate_requires_both_rows() {
+        let rep = report("perf", vec![threads_row(4, 2.5e6, 5e6, 4.0)]);
+        let doc = validate_report_str(&rep).unwrap();
+        assert!(check_perf_threads_gate(&doc, 2.0).is_err());
+        // Two rows but no threads=1 baseline.
+        let rep = report(
+            "perf",
+            vec![threads_row(2, 1e6, 5e6, 4.0), threads_row(4, 2e6, 5e6, 4.0)],
+        );
+        let doc = validate_report_str(&rep).unwrap();
+        assert!(check_perf_threads_gate(&doc, 2.0)
+            .unwrap_err()
+            .contains("baseline"));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use hvdb_bench::validate::{metric_of, validate_report_str};
 fn every_scenario_smokes_and_validates() {
     let opts = RunOpts {
         smoke: true,
-        seeds: None,
+        ..RunOpts::default()
     };
     let defs = registry();
     assert!(defs.len() >= 15, "registry lost scenarios: {}", defs.len());
@@ -50,6 +50,7 @@ fn loss_scenario_emits_the_gated_metrics() {
         &RunOpts {
             smoke: true,
             seeds: None,
+            ..RunOpts::default()
         },
     );
     let doc = validate_report_str(&report.to_json().to_string()).expect("valid report");
@@ -71,6 +72,7 @@ fn overhead_scenario_emits_the_gated_coordinates() {
         &RunOpts {
             smoke: true,
             seeds: None,
+            ..RunOpts::default()
         },
     );
     let doc = validate_report_str(&report.to_json().to_string()).expect("valid report");
@@ -97,6 +99,7 @@ fn scale_scenario_emits_trajectory_metrics() {
         &RunOpts {
             smoke: true,
             seeds: None,
+            ..RunOpts::default()
         },
     );
     let doc = validate_report_str(&report.to_json().to_string()).expect("valid report");

@@ -60,6 +60,15 @@ impl SpatialIndex {
         )
     }
 
+    /// The grid-cell key a point falls in. Exposed so callers can
+    /// partition items *by cell* (the sharded simulation engine groups
+    /// nodes into spatially coherent shards this way) without re-deriving
+    /// the index's bucketing arithmetic.
+    #[inline]
+    pub fn cell_key(&self, p: Point) -> (i32, i32) {
+        self.cell_of(p)
+    }
+
     /// Inserts one item. Duplicate ids are allowed but queries will return
     /// each inserted copy; callers maintaining a mutable population should
     /// prefer [`SpatialIndex::rebuild`].

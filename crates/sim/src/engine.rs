@@ -497,6 +497,7 @@ pub struct Simulator<M> {
     raw_scratch: Vec<u32>,
     recv_pool: Vec<Vec<NodeId>>,
     wall_secs: f64,
+    sim_secs: f64,
 }
 
 impl<M: Clone> Simulator<M> {
@@ -530,6 +531,7 @@ impl<M: Clone> Simulator<M> {
             raw_scratch: Vec::new(),
             recv_pool: Vec::new(),
             wall_secs: 0.0,
+            sim_secs: 0.0,
         }
     }
 
@@ -540,6 +542,17 @@ impl<M: Clone> Simulator<M> {
     /// ([`crate::stats::sim_sec_per_wall_sec`]).
     pub fn wall_secs(&self) -> f64 {
         self.wall_secs
+    }
+
+    /// Simulated seconds covered by [`Simulator::run`] calls so far —
+    /// the numerator that pairs with [`Simulator::wall_secs`] in
+    /// [`crate::stats::sim_sec_per_wall_sec`]. Accumulated from a
+    /// snapshot of the clock at each `run()` entry, so resumed runs
+    /// (repeated `run` calls with increasing horizons) count every
+    /// simulated second exactly once; summing the final horizon per call
+    /// instead would double-count the already-simulated prefix.
+    pub fn sim_secs(&self) -> f64 {
+        self.sim_secs
     }
 
     /// Current simulation time.
@@ -585,6 +598,7 @@ impl<M: Clone> Simulator<M> {
     /// start-up happens on the first call.
     pub fn run<P: Protocol<Msg = M>>(&mut self, proto: &mut P, until: SimTime) {
         let wall_start = std::time::Instant::now();
+        let entry = self.now;
         // Split-borrow context construction, shared by every dispatch arm.
         macro_rules! ctx {
             ($now:expr) => {
@@ -692,6 +706,7 @@ impl<M: Clone> Simulator<M> {
             }
         }
         self.now = until.max(self.now);
+        self.sim_secs += self.now.since(entry).as_secs_f64();
         self.wall_secs += wall_start.elapsed().as_secs_f64();
     }
 }
@@ -1010,5 +1025,23 @@ mod tests {
         sim.run(&mut p, SimTime::from_secs(20));
         assert_eq!(p.timer_fired, 1);
         assert_eq!(sim.now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn resumed_run_does_not_double_count_sim_time() {
+        // sim_secs must accumulate the *advance* of each run() call, not
+        // the absolute horizon: run(10) + run(20) is 20 simulated seconds,
+        // not 30. (Regression: the wall-clock-rate helper used to be fed
+        // `until` directly by callers, double-counting resumed runs.)
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
+        place_two(&mut sim, 100.0);
+        let mut p = PingPong::default();
+        sim.run(&mut p, SimTime::from_secs(10));
+        assert!((sim.sim_secs() - 10.0).abs() < 1e-9, "{}", sim.sim_secs());
+        sim.run(&mut p, SimTime::from_secs(20));
+        assert!((sim.sim_secs() - 20.0).abs() < 1e-9, "{}", sim.sim_secs());
+        // Re-running at an earlier horizon advances nothing.
+        sim.run(&mut p, SimTime::from_secs(5));
+        assert!((sim.sim_secs() - 20.0).abs() < 1e-9, "{}", sim.sim_secs());
     }
 }

@@ -121,6 +121,13 @@ impl<M> EventQueue<M> {
         self.heap.peek().map(|s| s.time)
     }
 
+    /// The earliest scheduled event without removing it. The parallel
+    /// engine inspects the head to decide whether the next event is a
+    /// serial barrier (fail/recover/mobility) or joins a parallel window.
+    pub fn peek(&self) -> Option<&Scheduled<M>> {
+        self.heap.peek()
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

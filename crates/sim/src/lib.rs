@@ -13,13 +13,18 @@
 //! * [`stats`] — overhead, load, delivery and latency measurement plus
 //!   fairness indices (Jain, max/mean, Gini);
 //! * [`georoute`] — greedy location-based forwarding (GPSR-style);
-//! * [`engine`] — the [`Protocol`] trait and [`Simulator`] event loop.
+//! * [`engine`] — the [`Protocol`] trait and [`Simulator`] event loop;
+//! * [`par`] — the sharded parallel engine ([`ParProtocol`] /
+//!   [`ParSimulator`]): same determinism contract, multi-threaded window
+//!   dispatch.
 //!
 //! Every run is a pure function of `(SimConfig, protocol)`: events are
 //! totally ordered, iteration is index-ordered, and all randomness flows
-//! from the config seed. Parallelism belongs *outside* the simulator
-//! (sweeps over seeds/parameters in `hvdb-bench`), keeping each run
-//! deterministic per the hpc-parallel guidance.
+//! from the config seed. Coarse parallelism still belongs outside the
+//! simulator (sweeps over seeds/parameters in `hvdb-bench`); *within* one
+//! run, [`ParSimulator`] shards the node population and commits each
+//! lookahead window in a fixed order, so its output is byte-identical at
+//! every thread count.
 
 #![warn(missing_docs)]
 
@@ -28,6 +33,7 @@ pub mod event;
 pub mod georoute;
 pub mod mobility;
 pub mod node;
+pub mod par;
 pub mod radio;
 pub mod rng;
 pub mod stats;
@@ -38,6 +44,7 @@ pub use engine::{Ctx, Protocol, SimConfig, Simulator};
 pub use event::{EventKind, EventQueue};
 pub use mobility::{Mobility, RandomWaypoint, ReferencePointGroup, Stationary};
 pub use node::{Capability, NodeId, NodeState};
+pub use par::{ParCtx, ParProtocol, ParSimulator};
 pub use radio::RadioConfig;
 pub use rng::SimRng;
 pub use stats::{gini, jain_fairness, max_mean_ratio, sim_sec_per_wall_sec, ClassId, Stats};

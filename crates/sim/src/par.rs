@@ -1,0 +1,1513 @@
+//! The sharded parallel deterministic engine.
+//!
+//! [`ParSimulator`] partitions nodes into `K` shards by spatial-index cell
+//! ([`World::cell_of`]) and dispatches same-window events shard-parallel on
+//! the vendored rayon pool, while keeping every statistic a pure function
+//! of `(SimConfig, shards, protocol)` — **independent of the thread
+//! count**. The construction:
+//!
+//! * **Lookahead windows.** The radio's propagation latency is a strict
+//!   lower bound on send→arrival (`arrival = tx_end + latency + jitter`,
+//!   `tx_end ≥ now`), so all events inside one window `[t0, t0+latency)`
+//!   are causally independent across shards: nothing dispatched in the
+//!   window can schedule a message *into* the window. [`ParSimulator::new`]
+//!   asserts `radio.latency > 0`.
+//! * **Shard-local state.** During the parallel phase each shard owns its
+//!   nodes' protocol state, radio busy-until and RNG stream, and only
+//!   *reads* the frozen [`World`]. Sends and stat records append to
+//!   shard-local buffers.
+//! * **Deterministic commit.** After a window drains, buffers are folded
+//!   into the global event queue and [`Stats`] in **shard-index order**:
+//!   outbound events get their tie-breaking `seq` from that fixed
+//!   schedule, order-sensitive stat ops (class interning, origins,
+//!   deliveries) replay in the same order, and commutative counters are
+//!   summed. Thread lanes only decide *which OS thread* drains a shard,
+//!   never the commit order, so `threads = N` is byte-identical to
+//!   `threads = 1` by construction.
+//! * **Per-node RNG.** Every node draws from its own SplitMix64 stream
+//!   ([`hvdb_traffic::Rng64`]) derived from the master seed — the pattern
+//!   the traffic plane already uses per flow — so event outcomes never
+//!   depend on cross-shard interleaving.
+//! * **Serial barriers.** `Fail`/`Recover`/`MobilityTick` mutate the
+//!   shared world, so each runs alone between windows with `&mut World`;
+//!   window collection stops at the first barrier in `(time, seq)` order,
+//!   which preserves exact serial semantics for simultaneous
+//!   fail/deliver events.
+//!
+//! Contract differences from the serial [`crate::Simulator`], both
+//! deterministic and documented: timers with delays shorter than the
+//! radio latency are dispatched at window granularity (they may run after
+//! temporally-later same-window events), and a node that migrates to
+//! another cell keeps its original shard (mild load drift, never an
+//! ordering change).
+
+use crate::engine::SimConfig;
+use crate::event::{EventKind, EventQueue, Scheduled};
+use crate::mobility::Mobility;
+use crate::node::{Capability, NodeId};
+use crate::radio::RadioConfig;
+use crate::rng::SimRng;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::world::World;
+use hvdb_geo::{Aabb, Point, Vec2};
+use hvdb_traffic::{flow_seed, Rng64, FLOW_NONE};
+use rustc_hash::FxHashMap;
+
+/// Salt mixed into the master seed for per-node streams, so node streams
+/// never collide with the traffic plane's per-flow streams (which use the
+/// unsalted seed through the same [`flow_seed`] mix).
+const NODE_STREAM_SALT: u64 = 0x4E4F_4445_5253;
+
+/// A protocol runnable on the sharded parallel engine.
+///
+/// Unlike the serial [`crate::Protocol`] — one `&mut self` over the whole
+/// network — a `ParProtocol` is a shared read-only recipe (`&self`, hence
+/// the `Sync` bound) over per-node state values ([`ParProtocol::Node`])
+/// that the engine owns inside shards. Callbacks receive the dispatched
+/// node's id, its mutable state, and a [`ParCtx`] restricted to actions
+/// originating at that node.
+pub trait ParProtocol: Sync {
+    /// The over-the-air message type.
+    type Msg: Clone + Send;
+    /// Per-node protocol state, owned by the node's shard.
+    type Node: Send;
+
+    /// Builds node `id`'s initial state (called once, ascending id order,
+    /// before the first event dispatch).
+    fn make_node(&self, id: NodeId, world: &World) -> Self::Node;
+
+    /// Called once per node at t = 0.
+    fn on_start(&self, id: NodeId, node: &mut Self::Node, ctx: &mut ParCtx<'_, Self::Msg>);
+
+    /// Called when `id` receives `msg` transmitted by `from`.
+    fn on_message(
+        &self,
+        id: NodeId,
+        node: &mut Self::Node,
+        from: NodeId,
+        msg: Self::Msg,
+        ctx: &mut ParCtx<'_, Self::Msg>,
+    );
+
+    /// Called when a timer set by `id` with `tag` fires.
+    fn on_timer(
+        &self,
+        id: NodeId,
+        node: &mut Self::Node,
+        tag: u64,
+        ctx: &mut ParCtx<'_, Self::Msg>,
+    );
+
+    /// Fault injection: `id` just went down. Default: nothing.
+    fn on_fail(&self, _id: NodeId, _node: &mut Self::Node, _ctx: &mut ParCtx<'_, Self::Msg>) {}
+
+    /// Fault injection: `id` just came back up. Default: nothing.
+    fn on_recover(&self, _id: NodeId, _node: &mut Self::Node, _ctx: &mut ParCtx<'_, Self::Msg>) {}
+}
+
+/// Commutative statistics deltas: plain sums, safe to fold in any order
+/// (we still fold them in shard order, but nothing depends on it).
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    events_processed: u64,
+    frames_shared: u64,
+    frames_cloned: u64,
+    drops_out_of_range: u64,
+    drops_loss: u64,
+    drops_dead: u64,
+    drops_retry_exhausted: u64,
+    drops_queue_full: u64,
+}
+
+impl Counters {
+    fn fold_into(&mut self, stats: &mut Stats) {
+        stats.events_processed += self.events_processed;
+        stats.frames_shared += self.frames_shared;
+        stats.frames_cloned += self.frames_cloned;
+        stats.drops_out_of_range += self.drops_out_of_range;
+        stats.drops_loss += self.drops_loss;
+        stats.drops_dead += self.drops_dead;
+        stats.drops_retry_exhausted += self.drops_retry_exhausted;
+        stats.drops_queue_full += self.drops_queue_full;
+        *self = Counters::default();
+    }
+}
+
+/// Order-sensitive statistics operations, recorded shard-locally during
+/// the parallel phase and replayed against the global [`Stats`] in
+/// shard-index order at commit (class-slot interning order, origin
+/// registration and flow accounting all depend on replay order).
+#[derive(Debug, Clone)]
+enum StatOp {
+    Tx {
+        node: NodeId,
+        class: &'static str,
+        bytes: usize,
+    },
+    OriginFlow {
+        data_id: u64,
+        at: SimTime,
+        expected: u64,
+        flow: u32,
+        seq: u32,
+    },
+    DeliveryHops {
+        data_id: u64,
+        node: NodeId,
+        at: SimTime,
+        hops: u32,
+    },
+}
+
+/// One window's work item, routed to the target node's shard.
+#[derive(Debug)]
+enum Task<M> {
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        at: SimTime,
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+    },
+    /// The slice of a shared-payload broadcast whose receivers live in
+    /// this shard (ascending id order preserved from the sender).
+    DeliverSlice {
+        at: SimTime,
+        from: NodeId,
+        receivers: Vec<NodeId>,
+        msg: M,
+    },
+    Timer {
+        at: SimTime,
+        node: NodeId,
+        tag: u64,
+    },
+}
+
+/// Per-node state owned by a shard.
+struct ParSlot<N> {
+    id: NodeId,
+    busy_until: SimTime,
+    rng: Rng64,
+    node: N,
+}
+
+struct Shard<N, M> {
+    /// Slots in ascending node-id order.
+    slots: Vec<ParSlot<N>>,
+    tasks: Vec<Task<M>>,
+    /// Outbound events, appended in dispatch order.
+    outbox: Vec<(SimTime, EventKind<M>)>,
+    ops: Vec<StatOp>,
+    counters: Counters,
+    scratch: Vec<NodeId>,
+    raw_scratch: Vec<u32>,
+    recv_pool: Vec<Vec<NodeId>>,
+}
+
+impl<N, M> Shard<N, M> {
+    fn new() -> Self {
+        Shard {
+            slots: Vec::new(),
+            tasks: Vec::new(),
+            outbox: Vec::new(),
+            ops: Vec::new(),
+            counters: Counters::default(),
+            scratch: Vec::new(),
+            raw_scratch: Vec::new(),
+            recv_pool: Vec::new(),
+        }
+    }
+}
+
+impl<N: Send, M: Clone + Send> Shard<N, M> {
+    /// Runs `f` on slot `idx` with a [`ParCtx`] over this shard's buffers.
+    fn with_slot<R>(
+        &mut self,
+        idx: usize,
+        at: SimTime,
+        world: &World,
+        radio: &RadioConfig,
+        per_receiver: bool,
+        f: impl FnOnce(NodeId, &mut N, &mut ParCtx<'_, M>) -> R,
+    ) -> R {
+        let ParSlot {
+            id,
+            busy_until,
+            rng,
+            node,
+        } = &mut self.slots[idx];
+        let mut ctx = ParCtx {
+            now: at,
+            current: *id,
+            world,
+            radio,
+            per_receiver,
+            busy_until,
+            rng,
+            outbox: &mut self.outbox,
+            ops: &mut self.ops,
+            counters: &mut self.counters,
+            scratch: &mut self.scratch,
+            raw_scratch: &mut self.raw_scratch,
+            recv_pool: &mut self.recv_pool,
+        };
+        f(*id, node, &mut ctx)
+    }
+
+    fn run_task<P: ParProtocol<Msg = M, Node = N>>(
+        &mut self,
+        proto: &P,
+        task: Task<M>,
+        world: &World,
+        radio: &RadioConfig,
+        per_receiver: bool,
+        map: &[(u32, u32)],
+    ) {
+        match task {
+            Task::Start { node } => {
+                let i = map[node.idx()].1 as usize;
+                self.with_slot(
+                    i,
+                    SimTime::ZERO,
+                    world,
+                    radio,
+                    per_receiver,
+                    |id, n, ctx| proto.on_start(id, n, ctx),
+                );
+            }
+            Task::Deliver { at, to, from, msg } => {
+                self.counters.events_processed += 1;
+                if world.alive(to) {
+                    let i = map[to.idx()].1 as usize;
+                    self.with_slot(i, at, world, radio, per_receiver, |id, n, ctx| {
+                        proto.on_message(id, n, from, msg, ctx)
+                    });
+                } else {
+                    self.counters.drops_dead += 1;
+                }
+            }
+            Task::DeliverSlice {
+                at,
+                from,
+                mut receivers,
+                msg,
+            } => {
+                // Mirror of the serial `DeliverMany` dispatch: clone for
+                // all but the last receiver, which takes the payload.
+                let mut payload = Some(msg);
+                let last = receivers.len().saturating_sub(1);
+                for (i, &node) in receivers.iter().enumerate() {
+                    self.counters.events_processed += 1;
+                    if !world.alive(node) {
+                        self.counters.drops_dead += 1;
+                        continue;
+                    }
+                    self.counters.frames_shared += 1;
+                    let m = if i == last {
+                        payload.take().expect("payload taken before last receiver")
+                    } else {
+                        payload
+                            .as_ref()
+                            .expect("payload taken before last receiver")
+                            .clone()
+                    };
+                    let si = map[node.idx()].1 as usize;
+                    self.with_slot(si, at, world, radio, per_receiver, |id, n, ctx| {
+                        proto.on_message(id, n, from, m, ctx)
+                    });
+                }
+                receivers.clear();
+                self.recv_pool.push(receivers);
+            }
+            Task::Timer { at, node, tag } => {
+                self.counters.events_processed += 1;
+                if world.alive(node) {
+                    let i = map[node.idx()].1 as usize;
+                    self.with_slot(i, at, world, radio, per_receiver, |id, n, ctx| {
+                        proto.on_timer(id, n, tag, ctx)
+                    });
+                }
+            }
+        }
+    }
+
+    fn drain<P: ParProtocol<Msg = M, Node = N>>(
+        &mut self,
+        proto: &P,
+        world: &World,
+        radio: &RadioConfig,
+        per_receiver: bool,
+        map: &[(u32, u32)],
+    ) {
+        let mut tasks = std::mem::take(&mut self.tasks);
+        for task in tasks.drain(..) {
+            self.run_task(proto, task, world, radio, per_receiver, map);
+        }
+        // Hand the (now empty) buffer back for the next window.
+        self.tasks = tasks;
+    }
+}
+
+/// The protocol's window onto the engine during a parallel-phase callback:
+/// the frozen world, the dispatched node's own radio/RNG state, and
+/// shard-local send/record buffers. All actions must originate at the
+/// dispatched node (enforced by debug assertions) — that restriction is
+/// what makes shard execution order invisible.
+pub struct ParCtx<'a, M> {
+    now: SimTime,
+    current: NodeId,
+    world: &'a World,
+    radio: &'a RadioConfig,
+    per_receiver: bool,
+    busy_until: &'a mut SimTime,
+    rng: &'a mut Rng64,
+    outbox: &'a mut Vec<(SimTime, EventKind<M>)>,
+    ops: &'a mut Vec<StatOp>,
+    counters: &'a mut Counters,
+    scratch: &'a mut Vec<NodeId>,
+    raw_scratch: &'a mut Vec<u32>,
+    recv_pool: &'a mut Vec<Vec<NodeId>>,
+}
+
+impl<'a, M: Clone> ParCtx<'a, M> {
+    /// Current simulation time (the dispatched event's timestamp).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes in the world.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.world.len()
+    }
+
+    /// A node's position.
+    #[inline]
+    pub fn position(&self, id: NodeId) -> Point {
+        self.world.position(id)
+    }
+
+    /// A node's velocity.
+    #[inline]
+    pub fn velocity(&self, id: NodeId) -> Vec2 {
+        self.world.velocity(id)
+    }
+
+    /// Whether a node is up (frozen for the duration of the window —
+    /// fail/recover events are serial barriers between windows).
+    #[inline]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.world.alive(id)
+    }
+
+    /// A node's hardware class.
+    #[inline]
+    pub fn capability(&self, id: NodeId) -> Capability {
+        self.world.capability(id)
+    }
+
+    /// The deployment area.
+    #[inline]
+    pub fn area(&self) -> Aabb {
+        self.world.area()
+    }
+
+    /// The radio range.
+    #[inline]
+    pub fn radio_range(&self) -> f64 {
+        self.radio.range
+    }
+
+    /// The dispatched node's private RNG stream. Draws here never affect
+    /// any other node's outcomes, whatever the shard/thread layout.
+    #[inline]
+    pub fn rng(&mut self) -> &mut Rng64 {
+        self.rng
+    }
+
+    /// Calls `f` with the node's current alive radio neighbours (ascending
+    /// id order), reusing shard-local scratch buffers.
+    pub fn with_neighbors<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut ParCtx<'_, M>, &[NodeId]) -> R,
+    ) -> R {
+        let mut buf = std::mem::take(self.scratch);
+        if self.per_receiver {
+            self.world.neighbors_into_legacy(id, &mut buf);
+        } else {
+            self.world.neighbors_into(id, &mut buf, self.raw_scratch);
+        }
+        let r = f(self, &buf);
+        buf.clear();
+        *self.scratch = buf;
+        r
+    }
+
+    /// Sets a timer for the dispatched node firing after `delay`.
+    ///
+    /// Window-granularity contract: a delay shorter than the radio
+    /// latency lands inside the current lookahead window and is
+    /// dispatched *after* the window commits — deterministically, but
+    /// possibly after temporally-later same-window events. Delays of at
+    /// least one latency behave exactly like the serial engine.
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        debug_assert_eq!(
+            node, self.current,
+            "parallel timers must target the dispatched node"
+        );
+        self.outbox
+            .push((self.now + delay, EventKind::Timer { node, tag }));
+    }
+
+    /// [`ParCtx::set_timer`] plus a uniform random extra delay in
+    /// `[0, jitter)` drawn from the node's stream.
+    pub fn set_timer_jittered(
+        &mut self,
+        node: NodeId,
+        base: SimDuration,
+        jitter: SimDuration,
+        tag: u64,
+    ) {
+        let extra = SimDuration(self.rng.range_u64(0, jitter.0.max(1)));
+        self.set_timer(node, base + extra, tag);
+    }
+
+    /// The dispatched node's transmit backlog (queued airtime between now
+    /// and its radio going idle).
+    pub fn tx_backlog(&self, node: NodeId) -> SimDuration {
+        debug_assert_eq!(
+            node, self.current,
+            "backlog is only visible for the dispatched node"
+        );
+        if *self.busy_until > self.now {
+            self.busy_until.since(self.now)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    fn queue_full(&mut self) -> bool {
+        if self.radio.max_queue > SimDuration::ZERO
+            && self.tx_backlog(self.current) > self.radio.max_queue
+        {
+            self.counters.drops_queue_full += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn occupy_radio(&mut self, bytes: usize) -> SimTime {
+        let tx = self.radio.tx_time(bytes);
+        let start = (*self.busy_until).max(self.now);
+        let end = start + tx;
+        *self.busy_until = end;
+        let jitter = SimDuration(self.rng.range_u64(0, self.radio.jitter.0.max(1)));
+        // `end >= now`, so arrival is at least one latency past `now` —
+        // always outside the current lookahead window.
+        end + self.radio.latency + jitter
+    }
+
+    /// Unicast transmission from the dispatched node; semantics of
+    /// [`crate::Ctx::send`] with loss/jitter drawn from the node's stream.
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: M,
+    ) -> bool {
+        debug_assert_eq!(
+            from, self.current,
+            "parallel sends must originate at the dispatched node"
+        );
+        if !self.world.alive(from) {
+            self.counters.drops_dead += 1;
+            return false;
+        }
+        if self.queue_full() {
+            return false;
+        }
+        let arrival = self.occupy_radio(bytes);
+        self.ops.push(StatOp::Tx {
+            node: from,
+            class,
+            bytes,
+        });
+        if !self.world.alive(to) {
+            self.counters.drops_dead += 1;
+            return false;
+        }
+        let dist_sq = self
+            .world
+            .position(from)
+            .distance_sq(self.world.position(to));
+        if dist_sq > self.radio.range * self.radio.range {
+            self.counters.drops_out_of_range += 1;
+            return false;
+        }
+        if self.rng.chance(self.radio.loss_prob) {
+            self.counters.drops_loss += 1;
+            return false;
+        }
+        self.outbox
+            .push((arrival, EventKind::Deliver { to, from, msg }));
+        true
+    }
+
+    /// Unicast with MAC-level retransmissions; semantics of
+    /// [`crate::Ctx::send_reliable`].
+    pub fn send_reliable(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: M,
+    ) -> bool {
+        debug_assert_eq!(
+            from, self.current,
+            "parallel sends must originate at the dispatched node"
+        );
+        if !self.world.alive(from) {
+            self.counters.drops_dead += 1;
+            return false;
+        }
+        if self.queue_full() {
+            return false;
+        }
+        let attempts = 1 + self.radio.mac_retries;
+        for _ in 0..attempts {
+            let arrival = self.occupy_radio(bytes);
+            self.ops.push(StatOp::Tx {
+                node: from,
+                class,
+                bytes,
+            });
+            if !self.world.alive(to) {
+                self.counters.drops_dead += 1;
+                return false;
+            }
+            let dist_sq = self
+                .world
+                .position(from)
+                .distance_sq(self.world.position(to));
+            if dist_sq > self.radio.range * self.radio.range {
+                self.counters.drops_out_of_range += 1;
+                return false;
+            }
+            if self.rng.chance(self.radio.loss_prob) {
+                self.counters.drops_loss += 1;
+                continue;
+            }
+            self.outbox
+                .push((arrival, EventKind::Deliver { to, from, msg }));
+            return true;
+        }
+        self.counters.drops_retry_exhausted += 1;
+        false
+    }
+
+    /// Broadcast transmission from the dispatched node; semantics of
+    /// [`crate::Ctx::broadcast`] (shared-payload `DeliverMany`, or the
+    /// legacy per-receiver path under
+    /// [`SimConfig::per_receiver_delivery`]).
+    pub fn broadcast(&mut self, from: NodeId, class: &'static str, bytes: usize, msg: M) -> usize {
+        debug_assert_eq!(
+            from, self.current,
+            "parallel sends must originate at the dispatched node"
+        );
+        if !self.world.alive(from) {
+            self.counters.drops_dead += 1;
+            return 0;
+        }
+        if self.queue_full() {
+            return 0;
+        }
+        let arrival = self.occupy_radio(bytes);
+        self.ops.push(StatOp::Tx {
+            node: from,
+            class,
+            bytes,
+        });
+        let mut receivers = self.recv_pool.pop().unwrap_or_default();
+        if self.per_receiver {
+            self.world.neighbors_into_legacy(from, &mut receivers);
+        } else {
+            self.world
+                .neighbors_into(from, &mut receivers, self.raw_scratch);
+        }
+        // Loss per receiver in ascending id order, from the sender's
+        // stream (the serial engine draws the same way from its global
+        // stream).
+        receivers.retain(|_| {
+            if self.rng.chance(self.radio.loss_prob) {
+                self.counters.drops_loss += 1;
+                false
+            } else {
+                true
+            }
+        });
+        let n = receivers.len();
+        if self.per_receiver {
+            self.counters.frames_cloned += n as u64;
+            for &to in receivers.iter() {
+                self.outbox.push((
+                    arrival,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        msg: msg.clone(),
+                    },
+                ));
+            }
+        } else if n > 0 {
+            self.outbox.push((
+                arrival,
+                EventKind::DeliverMany {
+                    to: receivers,
+                    from,
+                    msg,
+                },
+            ));
+            return n;
+        }
+        receivers.clear();
+        self.recv_pool.push(receivers);
+        n
+    }
+
+    /// Registers an originated data packet for delivery-ratio accounting.
+    pub fn record_origin(&mut self, data_id: u64, expected: u64) {
+        self.record_origin_flow(data_id, expected, FLOW_NONE, 0);
+    }
+
+    /// Registers an originated data packet carrying sequence number `seq`
+    /// of traffic-plane flow `flow`.
+    pub fn record_origin_flow(&mut self, data_id: u64, expected: u64, flow: u32, seq: u32) {
+        self.ops.push(StatOp::OriginFlow {
+            data_id,
+            at: self.now,
+            expected,
+            flow,
+            seq,
+        });
+    }
+
+    /// Records a data-packet delivery at `node`.
+    pub fn record_delivery(&mut self, data_id: u64, node: NodeId) {
+        self.record_delivery_hops(data_id, node, 0);
+    }
+
+    /// Records a data-packet delivery at `node` after `hops` physical
+    /// transmissions.
+    pub fn record_delivery_hops(&mut self, data_id: u64, node: NodeId, hops: u32) {
+        self.ops.push(StatOp::DeliveryHops {
+            data_id,
+            node,
+            at: self.now,
+            hops,
+        });
+    }
+}
+
+fn is_barrier<M>(kind: &EventKind<M>) -> bool {
+    matches!(
+        kind,
+        EventKind::Fail(_) | EventKind::Recover(_) | EventKind::MobilityTick
+    )
+}
+
+/// The sharded parallel discrete-event simulator. See the [module
+/// docs](self) for the determinism construction. `N` is the protocol's
+/// per-node state, `M` its message type.
+pub struct ParSimulator<N, M> {
+    cfg: SimConfig,
+    world: World,
+    queue: EventQueue<M>,
+    stats: Stats,
+    /// Serial-phase RNG: mirrors the serial engine's construction draws
+    /// (mobility init, capability sampling) and forks mobility-tick
+    /// streams. Never touched during the parallel phase.
+    ctrl_rng: SimRng,
+    mobility: Box<dyn Mobility>,
+    now: SimTime,
+    started: bool,
+    threads: usize,
+    num_shards: usize,
+    shards: Vec<Shard<N, M>>,
+    /// Node index -> (shard index, slot index within shard). Fixed at
+    /// first run; migrating nodes keep their shard.
+    node_map: Vec<(u32, u32)>,
+    /// Per-shard routing buffers for splitting cross-shard broadcasts.
+    route_bufs: Vec<Vec<NodeId>>,
+    wall_secs: f64,
+    sim_secs: f64,
+}
+
+impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
+    /// Builds a parallel simulator over `shards` spatial shards, draining
+    /// windows on up to `threads` lanes (1 = fully inline). World setup
+    /// (node scattering, capability sampling) mirrors the serial
+    /// [`crate::Simulator::new`] draw-for-draw, so a given config yields
+    /// the identical initial world.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`, or if `cfg.radio.latency` is zero — the
+    /// latency is the lookahead bound that makes same-window events
+    /// causally independent.
+    pub fn new(
+        cfg: SimConfig,
+        mut mobility: Box<dyn Mobility>,
+        shards: usize,
+        threads: usize,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            cfg.radio.latency > SimDuration::ZERO,
+            "parallel engine needs radio.latency > 0 as its lookahead window"
+        );
+        let mut rng = SimRng::new(cfg.seed);
+        let mut world = World::new(cfg.area, cfg.num_nodes, cfg.radio.range);
+        let mut mobility_rng = rng.fork(0x4D4F42);
+        mobility.init(&mut world, &mut mobility_rng);
+        let n_enhanced =
+            ((cfg.num_nodes as f64) * cfg.enhanced_fraction.clamp(0.0, 1.0)).round() as usize;
+        let chosen = rng.sample_indices(cfg.num_nodes, n_enhanced.min(cfg.num_nodes));
+        for i in chosen {
+            world.set_capability(NodeId(i as u32), Capability::Enhanced);
+        }
+        let mut stats = Stats::new(cfg.num_nodes);
+        stats.set_compact_delivery(cfg.compact_delivery);
+        ParSimulator {
+            cfg,
+            world,
+            queue: EventQueue::new(),
+            stats,
+            ctrl_rng: rng,
+            mobility,
+            now: SimTime::ZERO,
+            started: false,
+            threads: threads.max(1),
+            num_shards: shards,
+            shards: Vec::new(),
+            node_map: Vec::new(),
+            route_bufs: Vec::new(),
+            wall_secs: 0.0,
+            sim_secs: 0.0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The physical world (read-only).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable world access for scenario setup before the first `run`
+    /// call (shards are partitioned from node positions at that point).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The collected statistics — a pure function of
+    /// `(config, shards, protocol)`, independent of `threads`.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Wall-clock seconds spent inside [`ParSimulator::run`] so far.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_secs
+    }
+
+    /// Simulated seconds covered by [`ParSimulator::run`] calls so far
+    /// (resume-safe, like [`crate::Simulator::sim_secs`]).
+    pub fn sim_secs(&self) -> f64 {
+        self.sim_secs
+    }
+
+    /// The configured execution lane count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured shard count.
+    pub fn shard_count(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard node `id` was assigned to, or `None` before the first
+    /// `run` call (shards are built lazily from node positions).
+    pub fn shard_of(&self, id: NodeId) -> Option<usize> {
+        if self.started {
+            Some(self.node_map[id.idx()].0 as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Read access to node `id`'s protocol state, or `None` before the
+    /// first `run` call.
+    pub fn node_state(&self, id: NodeId) -> Option<&N> {
+        if !self.started {
+            return None;
+        }
+        let (s, i) = self.node_map[id.idx()];
+        Some(&self.shards[s as usize].slots[i as usize].node)
+    }
+
+    /// Schedules a fail-stop fault at `node`.
+    pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
+        self.queue.push(at, EventKind::Fail(node));
+    }
+
+    /// Schedules a recovery of `node`.
+    pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
+        self.queue.push(at, EventKind::Recover(node));
+    }
+
+    /// Partitions nodes into shards by spatial cell: distinct cell keys
+    /// are sorted and round-robined over the shard count, so spatially
+    /// coherent nodes share a shard and the assignment is a pure function
+    /// of node positions.
+    fn build_shards<P: ParProtocol<Msg = M, Node = N>>(&mut self, proto: &P) {
+        let mut cells: Vec<(i32, i32)> =
+            self.world.ids().map(|id| self.world.cell_of(id)).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        let k = self.num_shards;
+        let cell_shard: FxHashMap<(i32, i32), u32> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (*c, (i % k) as u32))
+            .collect();
+        self.shards = (0..k).map(|_| Shard::new()).collect();
+        self.node_map = vec![(0, 0); self.world.len()];
+        for id in self.world.ids() {
+            let s = cell_shard[&self.world.cell_of(id)];
+            let shard = &mut self.shards[s as usize];
+            self.node_map[id.idx()] = (s, shard.slots.len() as u32);
+            shard.slots.push(ParSlot {
+                id,
+                busy_until: SimTime::ZERO,
+                rng: Rng64::new(flow_seed(self.cfg.seed ^ NODE_STREAM_SALT, id.0)),
+                node: proto.make_node(id, &self.world),
+            });
+        }
+        self.route_bufs = vec![Vec::new(); k];
+    }
+
+    /// Routes one popped window event to its target shard's task list.
+    fn route(&mut self, ev: Scheduled<M>) {
+        let at = ev.time;
+        match ev.kind {
+            EventKind::Deliver { to, from, msg } => {
+                let s = self.node_map[to.idx()].0 as usize;
+                self.shards[s]
+                    .tasks
+                    .push(Task::Deliver { at, to, from, msg });
+            }
+            EventKind::DeliverMany { to, from, msg } => {
+                let first = self.node_map[to[0].idx()].0;
+                if to.iter().all(|n| self.node_map[n.idx()].0 == first) {
+                    // Fast path: every receiver lives in one shard — move
+                    // the list wholesale, no copies.
+                    self.shards[first as usize].tasks.push(Task::DeliverSlice {
+                        at,
+                        from,
+                        receivers: to,
+                        msg,
+                    });
+                } else {
+                    for &n in &to {
+                        let s = self.node_map[n.idx()].0 as usize;
+                        self.route_bufs[s].push(n);
+                    }
+                    for s in 0..self.shards.len() {
+                        if !self.route_bufs[s].is_empty() {
+                            let receivers = std::mem::take(&mut self.route_bufs[s]);
+                            self.shards[s].tasks.push(Task::DeliverSlice {
+                                at,
+                                from,
+                                receivers,
+                                msg: msg.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            EventKind::Timer { node, tag } => {
+                let s = self.node_map[node.idx()].0 as usize;
+                self.shards[s].tasks.push(Task::Timer { at, node, tag });
+            }
+            EventKind::Fail(_) | EventKind::Recover(_) | EventKind::MobilityTick => {
+                unreachable!("barrier events are handled serially")
+            }
+        }
+    }
+
+    /// Drains all shards' task lists, in parallel across up to `threads`
+    /// contiguous shard groups (inline when `threads == 1`). Which lane
+    /// runs which shard is invisible: shards touch only shard-local state
+    /// plus the frozen world.
+    fn drain_shards<P: ParProtocol<Msg = M, Node = N>>(&mut self, proto: &P) {
+        let world = &self.world;
+        let radio = &self.cfg.radio;
+        let per_receiver = self.cfg.per_receiver_delivery;
+        let map = self.node_map.as_slice();
+        let lanes = self.threads.min(self.shards.len()).max(1);
+        if lanes <= 1 {
+            for shard in &mut self.shards {
+                shard.drain(proto, world, radio, per_receiver, map);
+            }
+        } else {
+            let chunk = self.shards.len().div_ceil(lanes);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+                .shards
+                .chunks_mut(chunk)
+                .map(|group| {
+                    Box::new(move || {
+                        for shard in group {
+                            shard.drain(proto, world, radio, per_receiver, map);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            rayon::run_tasks(tasks);
+        }
+    }
+
+    /// The deterministic ordered commit: folds every shard's buffers into
+    /// the global queue and statistics in shard-index order. Event `seq`
+    /// numbers are assigned by this fixed schedule; order-sensitive stat
+    /// ops replay in the same order; commutative counters are summed.
+    fn commit(&mut self) {
+        let shards = &mut self.shards;
+        let queue = &mut self.queue;
+        let stats = &mut self.stats;
+        for shard in shards.iter_mut() {
+            for (time, kind) in shard.outbox.drain(..) {
+                queue.push(time, kind);
+            }
+            for op in shard.ops.drain(..) {
+                match op {
+                    StatOp::Tx { node, class, bytes } => stats.count_tx(node, class, bytes),
+                    StatOp::OriginFlow {
+                        data_id,
+                        at,
+                        expected,
+                        flow,
+                        seq,
+                    } => stats.record_origin_flow(data_id, at, expected, flow, seq),
+                    StatOp::DeliveryHops {
+                        data_id,
+                        node,
+                        at,
+                        hops,
+                    } => stats.record_delivery_hops(data_id, node, at, hops),
+                }
+            }
+            shard.counters.fold_into(stats);
+        }
+    }
+
+    /// Processes one barrier event serially with full `&mut World`
+    /// access, then commits any callback output immediately.
+    fn barrier<P: ParProtocol<Msg = M, Node = N>>(&mut self, proto: &P, ev: Scheduled<M>) {
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Fail(node) => {
+                self.stats.events_processed += 1;
+                self.world.set_alive(node, false);
+                let (s, i) = self.node_map[node.idx()];
+                self.shards[s as usize].with_slot(
+                    i as usize,
+                    self.now,
+                    &self.world,
+                    &self.cfg.radio,
+                    self.cfg.per_receiver_delivery,
+                    |id, n, ctx| proto.on_fail(id, n, ctx),
+                );
+                self.commit();
+            }
+            EventKind::Recover(node) => {
+                self.stats.events_processed += 1;
+                self.world.set_alive(node, true);
+                let (s, i) = self.node_map[node.idx()];
+                self.shards[s as usize].slots[i as usize].busy_until = self.now;
+                self.shards[s as usize].with_slot(
+                    i as usize,
+                    self.now,
+                    &self.world,
+                    &self.cfg.radio,
+                    self.cfg.per_receiver_delivery,
+                    |id, n, ctx| proto.on_recover(id, n, ctx),
+                );
+                self.commit();
+            }
+            EventKind::MobilityTick => {
+                self.stats.events_processed += 1;
+                let dt = self.cfg.mobility_tick.as_secs_f64();
+                let mut mrng = self.ctrl_rng.fork(0x7160);
+                self.mobility.step(dt, &mut self.world, &mut mrng);
+                self.queue
+                    .push(self.now + self.cfg.mobility_tick, EventKind::MobilityTick);
+            }
+            _ => unreachable!("non-barrier event routed to barrier"),
+        }
+    }
+
+    /// Runs the simulation until `until` (inclusive), dispatching windows
+    /// of causally independent events shard-parallel and committing each
+    /// window deterministically. May be called repeatedly with increasing
+    /// horizons; shard construction and node start-up happen on the first
+    /// call.
+    pub fn run<P: ParProtocol<Msg = M, Node = N>>(&mut self, proto: &P, until: SimTime) {
+        let wall_start = std::time::Instant::now();
+        let entry = self.now;
+        if !self.started {
+            self.started = true;
+            self.build_shards(proto);
+            if self.cfg.mobility_tick > SimDuration::ZERO {
+                self.queue.push(
+                    SimTime::ZERO + self.cfg.mobility_tick,
+                    EventKind::MobilityTick,
+                );
+            }
+            for id in self.world.ids() {
+                let s = self.node_map[id.idx()].0 as usize;
+                self.shards[s].tasks.push(Task::Start { node: id });
+            }
+            self.drain_shards(proto);
+            self.commit();
+        }
+        let delta = self.cfg.radio.latency;
+        loop {
+            let (head_time, head_is_barrier) = match self.queue.peek() {
+                Some(s) if s.time <= until => (s.time, is_barrier(&s.kind)),
+                _ => break,
+            };
+            if head_is_barrier {
+                let ev = self.queue.pop().expect("peeked event vanished");
+                self.barrier(proto, ev);
+                continue;
+            }
+            // Collect the lookahead window [head_time, head_time + delta),
+            // stopping early at the horizon or the first barrier.
+            let window_end = head_time + delta;
+            loop {
+                let take = match self.queue.peek() {
+                    Some(s) => s.time <= until && s.time < window_end && !is_barrier(&s.kind),
+                    None => false,
+                };
+                if !take {
+                    break;
+                }
+                let ev = self.queue.pop().expect("peeked event vanished");
+                self.now = ev.time;
+                self.route(ev);
+            }
+            self.drain_shards(proto);
+            self.commit();
+        }
+        self.now = until.max(self.now);
+        self.sim_secs += self.now.since(entry).as_secs_f64();
+        self.wall_secs += wall_start.elapsed().as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::{RandomWaypoint, Stationary};
+    use rustc_hash::FxHashSet;
+
+    fn grid_cfg(n_side: u32, seed: u64) -> SimConfig {
+        let spacing = 150.0;
+        let side = n_side as f64 * spacing;
+        SimConfig {
+            area: Aabb::from_size(side, side),
+            num_nodes: (n_side * n_side) as usize,
+            radio: RadioConfig {
+                range: 250.0,
+                ..Default::default()
+            },
+            mobility_tick: SimDuration::ZERO,
+            enhanced_fraction: 1.0,
+            seed,
+            per_receiver_delivery: false,
+            compact_delivery: false,
+        }
+    }
+
+    fn place_grid<N, M: Clone + Send>(sim: &mut ParSimulator<N, M>, n_side: u32)
+    where
+        N: Send,
+    {
+        let spacing = 150.0;
+        for r in 0..n_side {
+            for c in 0..n_side {
+                let id = NodeId(r * n_side + c);
+                let p = Point::new(c as f64 * spacing + 10.0, r as f64 * spacing + 10.0);
+                sim.world_mut().set_motion(id, p, Vec2::ZERO);
+            }
+        }
+        sim.world_mut().rebuild_index();
+    }
+
+    /// A chatty gossip protocol exercising broadcast, per-node RNG,
+    /// jittered timers and origin/delivery records.
+    #[derive(Clone)]
+    struct GossipMsg {
+        origin: NodeId,
+        ttl: u32,
+    }
+
+    struct Gossip {
+        ttl: u32,
+    }
+
+    #[derive(Default)]
+    struct GossipNode {
+        heard: u32,
+        relayed: FxHashSet<(u32, u32)>,
+    }
+
+    impl ParProtocol for Gossip {
+        type Msg = GossipMsg;
+        type Node = GossipNode;
+
+        fn make_node(&self, _id: NodeId, _world: &World) -> GossipNode {
+            GossipNode::default()
+        }
+
+        fn on_start(&self, id: NodeId, _node: &mut GossipNode, ctx: &mut ParCtx<'_, GossipMsg>) {
+            ctx.broadcast(
+                id,
+                "gossip",
+                64,
+                GossipMsg {
+                    origin: id,
+                    ttl: self.ttl,
+                },
+            );
+            ctx.set_timer_jittered(
+                id,
+                SimDuration::from_millis(400),
+                SimDuration::from_millis(200),
+                1,
+            );
+        }
+
+        fn on_message(
+            &self,
+            id: NodeId,
+            node: &mut GossipNode,
+            _from: NodeId,
+            msg: GossipMsg,
+            ctx: &mut ParCtx<'_, GossipMsg>,
+        ) {
+            node.heard += 1;
+            if msg.ttl > 0 && node.relayed.insert((msg.origin.0, msg.ttl)) {
+                ctx.broadcast(
+                    id,
+                    "gossip",
+                    64,
+                    GossipMsg {
+                        origin: msg.origin,
+                        ttl: msg.ttl - 1,
+                    },
+                );
+            }
+        }
+
+        fn on_timer(
+            &self,
+            id: NodeId,
+            _node: &mut GossipNode,
+            _tag: u64,
+            ctx: &mut ParCtx<'_, GossipMsg>,
+        ) {
+            if ctx.rng().chance(0.5) {
+                ctx.broadcast(id, "probe", 32, GossipMsg { origin: id, ttl: 0 });
+            }
+            ctx.set_timer_jittered(
+                id,
+                SimDuration::from_millis(400),
+                SimDuration::from_millis(200),
+                1,
+            );
+        }
+    }
+
+    fn run_gossip_grid(threads: usize, shards: usize) -> (String, u64) {
+        let mut sim: ParSimulator<GossipNode, GossipMsg> =
+            ParSimulator::new(grid_cfg(6, 7), Box::new(Stationary), shards, threads);
+        place_grid(&mut sim, 6);
+        sim.run(&Gossip { ttl: 3 }, SimTime::from_secs(3));
+        let heard: u64 = sim
+            .world()
+            .ids()
+            .map(|id| sim.node_state(id).unwrap().heard as u64)
+            .sum();
+        (format!("{:?}", sim.stats()), heard)
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        // The tentpole proof obligation: threads=4 output is byte-identical
+        // to threads=1 (same shard count), and so is every lane count in
+        // between.
+        let (s1, h1) = run_gossip_grid(1, 16);
+        let (s2, h2) = run_gossip_grid(2, 16);
+        let (s4, h4) = run_gossip_grid(4, 16);
+        assert!(h1 > 0, "gossip must actually flow");
+        assert_eq!(h1, h2);
+        assert_eq!(h1, h4);
+        assert_eq!(s1, s2, "threads=2 diverged from threads=1");
+        assert_eq!(s1, s4, "threads=4 diverged from threads=1");
+    }
+
+    #[test]
+    fn mobility_migration_keeps_determinism() {
+        // Nodes cross cells mid-run under random waypoint; migrating
+        // nodes keep their shard, and thread count stays invisible.
+        let run = |threads: usize| {
+            let mut cfg = grid_cfg(6, 11);
+            cfg.mobility_tick = SimDuration::from_secs(1);
+            let mut sim: ParSimulator<GossipNode, GossipMsg> = ParSimulator::new(
+                cfg,
+                Box::new(RandomWaypoint::new(20.0, 60.0, 0.2)),
+                8,
+                threads,
+            );
+            let before: Vec<(i32, i32)> = sim
+                .world()
+                .ids()
+                .map(|id| sim.world().cell_of(id))
+                .collect();
+            sim.run(&Gossip { ttl: 2 }, SimTime::from_secs(8));
+            let after: Vec<(i32, i32)> = sim
+                .world()
+                .ids()
+                .map(|id| sim.world().cell_of(id))
+                .collect();
+            (format!("{:?}", sim.stats()), before != after)
+        };
+        let (s1, moved1) = run(1);
+        let (s4, moved4) = run(4);
+        assert!(moved1, "waypoint mobility must move nodes across cells");
+        assert!(moved4);
+        assert_eq!(s1, s4, "mid-run cell migration broke thread invariance");
+    }
+
+    /// One unicast from node 0 to node 1 at start; jitter and loss
+    /// disabled so the arrival instant is exact.
+    struct OneShot;
+
+    #[derive(Default)]
+    struct OneShotNode {
+        got: u32,
+    }
+
+    impl ParProtocol for OneShot {
+        type Msg = u8;
+        type Node = OneShotNode;
+
+        fn make_node(&self, _id: NodeId, _world: &World) -> OneShotNode {
+            OneShotNode::default()
+        }
+
+        fn on_start(&self, id: NodeId, _node: &mut OneShotNode, ctx: &mut ParCtx<'_, u8>) {
+            if id == NodeId(0) {
+                ctx.send(id, NodeId(1), "one-shot", 100, 1);
+            }
+        }
+
+        fn on_message(
+            &self,
+            _id: NodeId,
+            node: &mut OneShotNode,
+            _from: NodeId,
+            _msg: u8,
+            _ctx: &mut ParCtx<'_, u8>,
+        ) {
+            node.got += 1;
+        }
+
+        fn on_timer(
+            &self,
+            _id: NodeId,
+            _node: &mut OneShotNode,
+            _tag: u64,
+            _ctx: &mut ParCtx<'_, u8>,
+        ) {
+        }
+    }
+
+    fn exact_pair_sim(threads: usize) -> ParSimulator<OneShotNode, u8> {
+        let cfg = SimConfig {
+            num_nodes: 2,
+            mobility_tick: SimDuration::ZERO,
+            radio: RadioConfig {
+                jitter: SimDuration::ZERO,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sim = ParSimulator::new(cfg, Box::new(Stationary), 2, threads);
+        sim.world_mut()
+            .set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
+        sim.world_mut()
+            .set_motion(NodeId(1), Point::new(100.0, 0.0), Vec2::ZERO);
+        sim.world_mut().rebuild_index();
+        sim
+    }
+
+    // 100 bytes at 2 Mb/s = 400 us tx + 500 us latency, zero jitter.
+    const ARRIVAL: SimTime = SimTime(900);
+
+    #[test]
+    fn fail_scheduled_first_beats_simultaneous_deliver() {
+        // Fail enqueued before the send: lower seq at the same instant,
+        // so the barrier commits first and the delivery hits a dead node.
+        let mut sim = exact_pair_sim(2);
+        sim.schedule_fail(NodeId(1), ARRIVAL);
+        sim.run(&OneShot, SimTime::from_secs(1));
+        assert_eq!(sim.node_state(NodeId(1)).unwrap().got, 0);
+        assert_eq!(sim.stats().drops_dead, 1);
+    }
+
+    #[test]
+    fn deliver_scheduled_first_beats_simultaneous_fail() {
+        // Start-up (and its send) commits before the fail is scheduled:
+        // the delivery's seq is lower, so it lands before the node dies.
+        let mut sim = exact_pair_sim(2);
+        sim.run(&OneShot, SimTime::from_millis(0));
+        sim.schedule_fail(NodeId(1), ARRIVAL);
+        sim.run(&OneShot, SimTime::from_secs(1));
+        assert_eq!(sim.node_state(NodeId(1)).unwrap().got, 1);
+        assert_eq!(sim.stats().drops_dead, 0);
+        assert!(!sim.world().alive(NodeId(1)));
+    }
+
+    /// Node 0 broadcasts once at start; everyone else just counts.
+    struct SpanBcast;
+
+    impl ParProtocol for SpanBcast {
+        type Msg = u8;
+        type Node = OneShotNode;
+
+        fn make_node(&self, _id: NodeId, _world: &World) -> OneShotNode {
+            OneShotNode::default()
+        }
+
+        fn on_start(&self, id: NodeId, _node: &mut OneShotNode, ctx: &mut ParCtx<'_, u8>) {
+            if id == NodeId(0) {
+                ctx.broadcast(id, "span", 50, 7);
+            }
+        }
+
+        fn on_message(
+            &self,
+            _id: NodeId,
+            node: &mut OneShotNode,
+            _from: NodeId,
+            _msg: u8,
+            _ctx: &mut ParCtx<'_, u8>,
+        ) {
+            node.got += 1;
+        }
+
+        fn on_timer(
+            &self,
+            _id: NodeId,
+            _node: &mut OneShotNode,
+            _tag: u64,
+            _ctx: &mut ParCtx<'_, u8>,
+        ) {
+        }
+    }
+
+    #[test]
+    fn broadcast_receiver_set_spans_three_shards() {
+        // Five nodes around the (250, 250) cell corner: the sender sits
+        // in cell (0,0) and its receivers straddle four distinct cells,
+        // hence (with shards >= cells) at least three distinct shards.
+        let cfg = SimConfig {
+            area: Aabb::from_size(600.0, 600.0),
+            num_nodes: 5,
+            mobility_tick: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let run = |threads: usize| {
+            let mut sim: ParSimulator<OneShotNode, u8> =
+                ParSimulator::new(cfg.clone(), Box::new(Stationary), 4, threads);
+            let pos = [
+                Point::new(245.0, 245.0), // sender, cell (0,0)
+                Point::new(255.0, 245.0), // cell (1,0)
+                Point::new(245.0, 255.0), // cell (0,1)
+                Point::new(255.0, 255.0), // cell (1,1)
+                Point::new(100.0, 100.0), // cell (0,0)
+            ];
+            for (i, p) in pos.iter().enumerate() {
+                sim.world_mut().set_motion(NodeId(i as u32), *p, Vec2::ZERO);
+            }
+            sim.world_mut().rebuild_index();
+            sim.run(&SpanBcast, SimTime::from_secs(1));
+            let receiver_shards: FxHashSet<usize> =
+                (1..5).map(|i| sim.shard_of(NodeId(i)).unwrap()).collect();
+            assert!(
+                receiver_shards.len() >= 3,
+                "receivers span only {} shards",
+                receiver_shards.len()
+            );
+            let got: Vec<u32> = (0..5)
+                .map(|i| sim.node_state(NodeId(i)).unwrap().got)
+                .collect();
+            assert_eq!(got, vec![0, 1, 1, 1, 1]);
+            format!("{:?}", sim.stats())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn resumed_runs_accumulate_sim_secs_once() {
+        let mut sim = exact_pair_sim(1);
+        sim.run(&OneShot, SimTime::from_secs(10));
+        sim.run(&OneShot, SimTime::from_secs(20));
+        assert!((sim.sim_secs() - 20.0).abs() < 1e-9, "{}", sim.sim_secs());
+    }
+
+    #[test]
+    fn zero_latency_is_rejected() {
+        let cfg = SimConfig {
+            radio: RadioConfig {
+                latency: SimDuration::ZERO,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = std::panic::catch_unwind(|| {
+            ParSimulator::<OneShotNode, u8>::new(cfg, Box::new(Stationary), 4, 2)
+        });
+        assert!(r.is_err());
+    }
+}

@@ -134,6 +134,14 @@ impl World {
             .rebuild(nodes.iter().enumerate().map(|(i, n)| (i as u32, n.pos)));
     }
 
+    /// The spatial-index cell a node currently occupies. Cell keys are
+    /// the partitioning unit of the sharded parallel engine
+    /// ([`crate::par`]): nodes sharing a cell always share a shard.
+    #[inline]
+    pub fn cell_of(&self, id: NodeId) -> (i32, i32) {
+        self.index.cell_key(self.nodes[id.idx()].pos)
+    }
+
     /// Whether two nodes are within radio range of each other (and both
     /// alive). Unit-disk connectivity: "Two MNs communicate directly if
     /// they are within the radio transmission range of each other" (§1).

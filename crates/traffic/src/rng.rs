@@ -39,6 +39,29 @@ impl Rng64 {
         // 1 - unit() is in (0, 1]; ln of it is finite and <= 0.
         -mean * (1.0 - self.unit()).ln()
     }
+
+    /// Uniform `u64` in `[lo, hi)` (returns `lo` when the range is empty).
+    /// Plain modulo reduction: the spans drawn in simulation (jitter
+    /// windows of a few hundred microseconds) are vanishingly small
+    /// against 2^64, so the bias is immaterial — and the reduction is
+    /// branch-free, which matters on the per-frame hot path.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
 }
 
 /// The seed of flow `flow`'s private stream under master seed `master`.
@@ -78,6 +101,26 @@ mod tests {
         let sum: f64 = (0..n).map(|_| r.exponential(3.0)).sum();
         let mean = sum / n as f64;
         assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn range_u64_respects_bounds() {
+        let mut r = Rng64::new(17);
+        for _ in 0..1000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        assert_eq!(r.range_u64(5, 5), 5, "empty range returns lo");
+        assert_eq!(r.range_u64(9, 3), 9, "inverted range returns lo");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng64::new(23);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
     }
 
     #[test]

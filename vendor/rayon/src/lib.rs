@@ -1,25 +1,171 @@
 //! Vendored stand-in for the `rayon` crate.
 //!
 //! The build environment has no access to crates.io, so this workspace
-//! vendors the API surface it uses: `slice.par_iter().map(f).collect()`.
-//! Work is executed on scoped std threads (one chunk per available core)
-//! and results are returned in input order, so sweeps behave exactly like
-//! their sequential counterparts — only faster. There is no work stealing;
-//! for the coarse-grained simulation sweeps this workspace runs, static
-//! chunking is indistinguishable from real rayon.
+//! vendors the API surface it uses: `slice.par_iter().map(f).collect()`,
+//! plus a [`run_tasks`] batch primitive for callers that need scoped
+//! mutable borrows (the sharded simulation engine in `hvdb-sim`).
+//!
+//! Work executes on a **lazily-initialized reusable worker pool**: the
+//! first parallel call spawns the workers once and every later call
+//! re-uses them, so steady-state parallel sections pay one mutex round
+//! trip instead of a thread spawn/join per call. Results are returned in
+//! input order regardless of which worker finishes first, so sweeps
+//! behave exactly like their sequential counterparts — only faster.
+//! There is no work stealing; for the coarse-grained jobs this workspace
+//! runs, a shared injector queue is indistinguishable from real rayon.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// The traits and types user code imports via `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParIter, ParMap, ParallelIterator};
 }
 
-/// How many worker threads a parallel call may use.
-fn thread_budget() -> usize {
+/// Hardware threads reported by the OS (the *parallelism* available; the
+/// pool may hold more workers than this, see [`pool_threads`]).
+pub fn hardware_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// The pool never runs with fewer workers than this, even on single-core
+/// machines: callers that rely on tasks *interleaving* (determinism tests
+/// for multi-lane execution) still get genuine concurrency from the OS
+/// scheduler where the hardware provides no parallelism.
+const MIN_POOL_THREADS: usize = 4;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared worker pool: a mutex-guarded injector queue and a condvar
+/// both workers and scope waiters sleep on.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+    workers: usize,
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+/// The process-wide pool, spawning its workers on first use. The pool is
+/// leaked deliberately: workers live for the whole process, parked on the
+/// condvar when idle.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = hardware_threads().max(MIN_POOL_THREADS);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-pool-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("spawn pool worker");
+        }
+        pool
+    })
+}
+
+/// Number of workers in the shared pool (initializing it if needed).
+pub fn pool_threads() -> usize {
+    pool().workers
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut q = pool.queue.lock().expect("pool lock");
+    loop {
+        if let Some(job) = q.pop_front() {
+            drop(q);
+            job();
+            q = pool.queue.lock().expect("pool lock");
+            // A finished job may have opened a scope latch: wake waiters.
+            pool.cond.notify_all();
+        } else {
+            q = pool.cond.wait(q).expect("pool lock");
+        }
+    }
+}
+
+/// Per-batch completion latch. Jobs decrement `remaining`; the submitting
+/// thread waits (and helps execute queued work) until it reaches zero, so
+/// borrowed data outlives every job of the batch.
+struct ScopeLatch {
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Runs a batch of independent tasks on the shared pool, blocking until
+/// all of them complete. Tasks may borrow from the caller's stack (the
+/// call does not return before every task has run). The submitting thread
+/// participates in execution while it waits, so nested `run_tasks` calls
+/// from inside a task cannot deadlock the pool. If any task panics, the
+/// panic is re-raised here after the whole batch has drained.
+pub fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    if n == 1 {
+        for task in tasks {
+            task();
+        }
+        return;
+    }
+    let pool = pool();
+    let latch = ScopeLatch {
+        remaining: AtomicUsize::new(n),
+        panic: Mutex::new(None),
+    };
+    let latch_ref: &ScopeLatch = &latch;
+    let mut q = pool.queue.lock().expect("pool lock");
+    for task in tasks {
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(task)) {
+                *latch_ref.panic.lock().expect("latch lock") = Some(p);
+            }
+            latch_ref.remaining.fetch_sub(1, Ordering::SeqCst);
+        });
+        // SAFETY: the job borrows `latch` and the caller's task captures,
+        // all of which outlive it because this function does not return
+        // until `remaining` hits zero — i.e. until every queued job has
+        // finished running. The transmute only erases that lifetime to
+        // satisfy the queue's `'static` bound; it never extends actual
+        // use beyond the blocking wait below.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(job)
+        };
+        q.push_back(job);
+    }
+    pool.cond.notify_all();
+    // Help drain the queue until our batch completes. The timed wait makes
+    // missed-wakeup bugs impossible to deadlock on: at worst the check
+    // re-runs a millisecond late.
+    while latch_ref.remaining.load(Ordering::SeqCst) > 0 {
+        if let Some(job) = q.pop_front() {
+            drop(q);
+            job();
+            q = pool.queue.lock().expect("pool lock");
+            pool.cond.notify_all();
+        } else {
+            let (guard, _timeout) = pool
+                .cond
+                .wait_timeout(q, Duration::from_millis(1))
+                .expect("pool lock");
+            q = guard;
+        }
+    }
+    drop(q);
+    let panic = latch.panic.lock().expect("latch lock").take();
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
 }
 
 /// `par_iter()` entry point, mirroring `rayon::iter::IntoParallelRefIterator`.
@@ -128,7 +274,7 @@ where
 }
 
 /// Order-preserving parallel map: splits `items` into one contiguous chunk
-/// per worker and reassembles results by index.
+/// per pool worker and reassembles results by index.
 fn parallel_map<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
 where
     T: Sync,
@@ -139,29 +285,29 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = thread_budget().min(n);
+    let workers = pool_threads().min(n);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
     let chunk = n.div_ceil(workers);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let mut rest = slots.as_mut_slice();
-        let mut offset = 0;
-        while offset < n {
-            let take = chunk.min(n - offset);
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let lo = offset;
-            scope.spawn(move || {
-                for (i, slot) in head.iter_mut().enumerate() {
-                    *slot = Some(f(&items[lo + i]));
-                }
-            });
-            offset += take;
-        }
-    });
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+    let mut rest = slots.as_mut_slice();
+    let mut offset = 0;
+    while offset < n {
+        let take = chunk.min(n - offset);
+        let (head, tail) = rest.split_at_mut(take);
+        rest = tail;
+        let lo = offset;
+        tasks.push(Box::new(move || {
+            for (i, slot) in head.iter_mut().enumerate() {
+                *slot = Some(f(&items[lo + i]));
+            }
+        }));
+        offset += take;
+    }
+    run_tasks(tasks);
     slots
         .into_iter()
         .map(|s| s.expect("worker filled every slot"))
@@ -191,5 +337,70 @@ mod tests {
         let xs = [41u32];
         let ys: Vec<u32> = xs.par_iter().map(|x| x + 1).collect();
         assert_eq!(ys, vec![42]);
+    }
+
+    #[test]
+    fn order_preserved_under_contention() {
+        // Several threads hammer the shared pool at once with work whose
+        // per-item cost varies wildly; every collect must still come back
+        // in input order.
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let xs: Vec<u64> = (0..2048).collect();
+                    let ys: Vec<u64> = xs
+                        .par_iter()
+                        .map(|&x| {
+                            let spins = if x % 3 == 0 { 400 } else { 1 };
+                            let mut acc = x ^ t;
+                            for _ in 0..spins {
+                                acc = std::hint::black_box(
+                                    acc.wrapping_mul(6364136223846793005).wrapping_add(1),
+                                );
+                            }
+                            let _ = acc;
+                            x * 3 + t
+                        })
+                        .collect();
+                    assert_eq!(ys, (0..2048).map(|x| x * 3 + t).collect::<Vec<u64>>());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("contention worker panicked");
+        }
+    }
+
+    #[test]
+    fn run_tasks_supports_mut_borrows() {
+        let mut vals = vec![0u32; 16];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vals
+            .iter_mut()
+            .enumerate()
+            .map(|(i, v)| Box::new(move || *v = i as u32 + 1) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        crate::run_tasks(tasks);
+        assert_eq!(vals, (1..=16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            let xs: Vec<u32> = (0..64).collect();
+            let _: Vec<u32> = xs
+                .par_iter()
+                .map(|&x| {
+                    if x == 13 {
+                        panic!("boom");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The pool keeps serving after a panicked batch.
+        let xs: Vec<u32> = (0..64).collect();
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, (1..=64).collect::<Vec<u32>>());
     }
 }
