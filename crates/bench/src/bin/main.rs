@@ -20,9 +20,10 @@
 use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
 use hvdb_bench::{
     check_loss_floor, check_loss_high_band, check_overhead_gate, check_perf_gate,
-    check_perf_threads_gate, check_traffic_gate, check_trajectory, validate_report_str,
-    ScenarioReport, LOSS_DELIVERY_FLOOR, PERF_SPEEDUP_FLOOR, PERF_THREADS_SPEEDUP_FLOOR,
-    TRAFFIC_P99_REFERENCE_POINT, TRAJECTORY_DELIVERY_TOLERANCE, TRAJECTORY_OVERHEAD_TOLERANCE,
+    check_perf_threads_gate, check_scale_gate, check_traffic_gate, check_trajectory,
+    validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR, PERF_SPEEDUP_FLOOR,
+    PERF_THREADS_SPEEDUP_FLOOR, TRAFFIC_P99_REFERENCE_POINT, TRAJECTORY_DELIVERY_TOLERANCE,
+    TRAJECTORY_OVERHEAD_TOLERANCE,
 };
 use std::process::ExitCode;
 
@@ -74,7 +75,9 @@ fn usage() {
     eprintln!("--threads-floor speedup (default {PERF_THREADS_SPEEDUP_FLOOR}).");
     eprintln!("`run --threads N` sets the worker-thread count of parallel-engine");
     eprintln!("arms (default 1); it is recorded in every report and cannot change");
-    eprintln!("deterministic metrics.");
+    eprintln!("deterministic metrics. \"scale\" must keep events_processed identical");
+    eprintln!("across its engine-threads arm, and full (non-smoke) runs must hold");
+    eprintln!("delivery at the largest network size (the 100k campaign gate).");
     eprintln!("With --baseline-dir, every report is additionally compared against");
     eprintln!("the committed BENCH_<scenario>.json in DIR: delivery may regress at");
     eprintln!("most --delivery-tolerance (default {TRAJECTORY_DELIVERY_TOLERANCE}) and overhead metrics may grow");
@@ -198,6 +201,9 @@ fn validate(args: &[String]) -> ExitCode {
                              p99 {p99:.1} ms at {TRAFFIC_P99_REFERENCE_POINT}"
                         ));
                     }
+                    Some("scale") => {
+                        notes.extend(check_scale_gate(&doc)?);
+                    }
                     _ => {}
                 }
                 if let Some(dir) = &baseline_dir {
@@ -255,56 +261,75 @@ fn list() {
     }
 }
 
-fn run(args: &[String]) -> ExitCode {
-    let mut names: Vec<String> = Vec::new();
-    let mut all = false;
-    let mut opts = RunOpts::default();
-    let mut out_dir = String::from(".");
+/// Parsed form of `hvdb-bench run`'s arguments, separated from the
+/// side-effecting run loop so flag handling is unit-testable.
+struct RunArgs {
+    names: Vec<String>,
+    all: bool,
+    opts: RunOpts,
+    out_dir: String,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut parsed = RunArgs {
+        names: Vec::new(),
+        all: false,
+        opts: RunOpts::default(),
+        out_dir: String::from("."),
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--all" => all = true,
-            "--smoke" => opts.smoke = true,
+            "--all" => parsed.all = true,
+            "--smoke" => parsed.opts.smoke = true,
             "--threads" => {
                 i += 1;
                 match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
-                    Some(n) if n >= 1 => opts.threads = n,
-                    _ => {
-                        eprintln!("--threads needs a positive integer");
-                        return ExitCode::FAILURE;
-                    }
+                    Some(n) if n >= 1 => parsed.opts.threads = n,
+                    _ => return Err("--threads needs a positive integer".to_string()),
                 }
             }
             "--seeds" => {
                 i += 1;
                 let Some(list) = args.get(i) else {
-                    eprintln!("--seeds needs a comma-separated list");
-                    return ExitCode::FAILURE;
+                    return Err("--seeds needs a comma-separated list".to_string());
                 };
                 match list
                     .split(',')
                     .map(str::parse::<u64>)
                     .collect::<Result<Vec<_>, _>>()
                 {
-                    Ok(seeds) if !seeds.is_empty() => opts.seeds = Some(seeds),
-                    _ => {
-                        eprintln!("--seeds needs a comma-separated list of integers");
-                        return ExitCode::FAILURE;
-                    }
+                    Ok(seeds) if !seeds.is_empty() => parsed.opts.seeds = Some(seeds),
+                    _ => return Err("--seeds needs a comma-separated list of integers".to_string()),
                 }
             }
             "--out-dir" => {
                 i += 1;
                 let Some(dir) = args.get(i) else {
-                    eprintln!("--out-dir needs a path");
-                    return ExitCode::FAILURE;
+                    return Err("--out-dir needs a path".to_string());
                 };
-                out_dir = dir.clone();
+                parsed.out_dir = dir.clone();
             }
-            name => names.push(name.to_string()),
+            name => parsed.names.push(name.to_string()),
         }
         i += 1;
     }
+    Ok(parsed)
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let RunArgs {
+        names,
+        all,
+        opts,
+        out_dir,
+    } = match parse_run_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let defs: Vec<ScenarioDef> = if all {
         registry()
     } else if names.is_empty() {
@@ -440,5 +465,53 @@ fn print_report(report: &ScenarioReport) {
             row.proto,
             metrics.join(" ")
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_run_args;
+
+    fn argv(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn all_with_threads_parses_both_flags() {
+        let parsed = parse_run_args(&argv(&["--all", "--threads", "4"])).unwrap();
+        assert!(parsed.all);
+        assert_eq!(parsed.opts.threads, 4);
+        assert!(parsed.names.is_empty());
+        assert!(!parsed.opts.smoke);
+        assert_eq!(parsed.out_dir, ".");
+    }
+
+    #[test]
+    fn scenario_names_and_options_coexist() {
+        let parsed = parse_run_args(&argv(&[
+            "scale",
+            "--smoke",
+            "--threads",
+            "2",
+            "--seeds",
+            "7,8",
+            "--out-dir",
+            "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.names, vec!["scale"]);
+        assert!(!parsed.all);
+        assert!(parsed.opts.smoke);
+        assert_eq!(parsed.opts.threads, 2);
+        assert_eq!(parsed.opts.seeds.as_deref(), Some(&[7, 8][..]));
+        assert_eq!(parsed.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn bad_flag_values_are_rejected() {
+        assert!(parse_run_args(&argv(&["--threads", "0"])).is_err());
+        assert!(parse_run_args(&argv(&["--threads"])).is_err());
+        assert!(parse_run_args(&argv(&["--seeds", ""])).is_err());
+        assert!(parse_run_args(&argv(&["--out-dir"])).is_err());
     }
 }

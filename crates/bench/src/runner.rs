@@ -83,6 +83,12 @@ pub struct RunDetail {
     /// goodput, pacing drops). Meaningful whenever data was delivered;
     /// flow/jitter/hop figures need flow-tagged traffic.
     pub traffic: TrafficProfile,
+    /// End-of-run content bytes of world + protocol state divided by the
+    /// node count: the `scale` scenario's footprint column. Deterministic
+    /// (entry counts × entry sizes, not allocator capacity), so CI can
+    /// gate it against a committed baseline. 0.0 where the protocol does
+    /// not expose a state estimate (baselines).
+    pub memory_per_node_bytes: f64,
 }
 
 /// Histogram-derived delivery profile of one run: the traffic scenario's
@@ -142,6 +148,7 @@ fn engine_detail<M: Clone>(sim: &Simulator<M>) -> RunDetail {
         frames_shared: sim.stats().frames_shared,
         frames_cloned: sim.stats().frames_cloned,
         traffic: traffic_profile_of(sim.stats()),
+        memory_per_node_bytes: 0.0,
     }
 }
 
@@ -207,8 +214,10 @@ fn run_hvdb(scenario: &Scenario) -> (RunMetrics, RunDetail) {
         scenario.group_events.clone(),
     );
     sim.run(&mut p, scenario.until);
+    let n = sim.world().len().max(1);
     let detail = RunDetail {
-        hvdb_counters: Some(p.counters),
+        hvdb_counters: Some(p.counters()),
+        memory_per_node_bytes: (sim.world().memory_bytes() + p.memory_bytes()) as f64 / n as f64,
         ..engine_detail(&sim)
     };
     (metrics_of(sim.stats()), detail)
@@ -258,6 +267,55 @@ pub fn run_par_flood(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDeta
         frames_shared: sim.stats().frames_shared,
         frames_cloned: sim.stats().frames_cloned,
         traffic: traffic_profile_of(sim.stats()),
+        memory_per_node_bytes: 0.0,
+    };
+    (metrics_of(sim.stats()), detail)
+}
+
+/// Runs **HVDB itself** on the sharded parallel engine: the same
+/// [`HvdbCore`](hvdb_core::HvdbCore) recipe the serial runner wraps,
+/// driven as a [`hvdb_sim::ParProtocol`] with `shards` shards and the
+/// scenario's [`Scenario::threads`] worker threads. Metrics are
+/// byte-identical at every thread count (the engine's determinism
+/// contract, exercised by `crates/core/tests/par_protocol.rs`), so
+/// thread count moves only wall-clock. This is the recipe behind the
+/// `scale` scenario's large-N rows and its `engine-threads` sweep.
+pub fn run_par_hvdb(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDetail) {
+    let mut sim: ParSimulator<hvdb_core::HvdbNode, hvdb_core::FrameBytes> = ParSimulator::new(
+        scenario.sim.clone(),
+        scenario.hvdb_mobility(),
+        shards,
+        scenario.threads,
+    );
+    for &(node, at) in &scenario.failures {
+        sim.schedule_fail(node, at);
+    }
+    let core = hvdb_core::HvdbCore::new(
+        scenario.hvdb.clone(),
+        &scenario.members,
+        scenario.traffic.clone(),
+        scenario.group_events.clone(),
+    );
+    sim.run(&core, scenario.until);
+    let n = sim.world().len().max(1);
+    let mut counters = hvdb_core::Counters::default();
+    let mut state_bytes = 0usize;
+    for id in sim.world().ids().collect::<Vec<_>>() {
+        if let Some(node) = sim.node_state(id) {
+            counters += node.counters();
+            state_bytes += node.memory_bytes();
+        }
+    }
+    let detail = RunDetail {
+        hvdb_counters: Some(counters),
+        refresh_frames: sim.stats().msgs_where(is_refresh_class),
+        events_processed: sim.stats().events_processed,
+        wall_secs: sim.wall_secs(),
+        sim_secs: sim.sim_secs(),
+        frames_shared: sim.stats().frames_shared,
+        frames_cloned: sim.stats().frames_cloned,
+        traffic: traffic_profile_of(sim.stats()),
+        memory_per_node_bytes: (sim.world().memory_bytes() + state_bytes) as f64 / n as f64,
     };
     (metrics_of(sim.stats()), detail)
 }

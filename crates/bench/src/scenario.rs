@@ -18,7 +18,8 @@
 
 use crate::report::{Row, ScenarioReport};
 use crate::runner::{
-    average, run_hvdb_tweaked, run_one, run_one_instrumented, run_par_flood, Proto, TrafficProfile,
+    average, run_hvdb_tweaked, run_one, run_one_instrumented, run_par_flood, run_par_hvdb, Proto,
+    RunDetail, TrafficProfile,
 };
 use crate::workload::{metrics_of, MobilityKind, RunMetrics, Scenario, Workload};
 use hvdb_core::{
@@ -109,7 +110,7 @@ pub fn registry() -> Vec<ScenarioDef> {
         ScenarioDef {
             name: "scale",
             figure: "north-star",
-            summary: "node-count sweep 100-2000 at constant density: delivery, latency, per-node control bytes (CI trajectory gate)",
+            summary: "node-count sweep 100-20000 at constant density: delivery, latency, per-node control bytes + memory; large-N points and the engine-threads arm run HVDB on the sharded parallel engine (CI trajectory gate)",
             exec: Exec::Custom(custom_scale),
         },
         ScenarioDef {
@@ -623,25 +624,117 @@ fn run_hvdb_detailed(
 /// grows with the node count while the radio range stays fixed, so the
 /// VC grid must grow with it or VCs outgrow radio reach and the backbone
 /// cannot form (same convention as the c4 sweep).
+///
+/// The historical 100–2000-node trajectory points keep their committed
+/// grids (8 below 1000 nodes, 12 up to 2000) so the CI baselines stay
+/// comparable across PRs; beyond 2000 the side is derived from the
+/// geometry directly — enough cells that the VC *diagonal* stays inside
+/// the 450 m radio range (cell ≤ 450/√2 ≈ 318 m): a member in one corner
+/// of its VC must still hear a head elected in the opposite corner, or
+/// the final local-delivery broadcast strands it (measured: a 363 m cell
+/// at 20k nodes loses ~3% delivery to exactly this geometry, with zero
+/// drops anywhere else in the pipeline). The bound also keeps
+/// neighbouring VC centres comfortably within reach of each other.
+/// Rounded up to the multiple of 4 the 2×2-region hypercube map
+/// requires: 20k nodes get a 44-cell side; the 100k campaign point lands
+/// at 92.
 fn scaled_vc_side(nodes: usize) -> u16 {
-    if nodes >= 1000 {
+    if nodes < 1000 {
+        8
+    } else if nodes <= 2000 {
         12
     } else {
-        8
+        let side = (nodes as f64 * 8533.0).sqrt();
+        ((side / 318.0).ceil() as u16).next_multiple_of(4)
     }
 }
 
-/// The `scale` trajectory sweep: the paper's geometry stretched from 100
-/// to 600 nodes at constant density, reporting what the north star cares
-/// about — delivery, latency, and *per-node* control cost (which must
-/// stay flat as the network grows for the backbone to call itself
-/// scalable). CI re-runs this sweep and compares every row against the
-/// committed `BENCH_scale.json` within a tolerance band.
+/// One scale-sweep run: uniform metrics, full engine instrumentation,
+/// scenario horizon (simulated seconds), node count.
+type ScaleRun = (RunMetrics, RunDetail, f64, usize);
+
+/// Aggregates one node-count's runs into a `scale` report row. All rows
+/// — serial, parallel large-N, and engine-threads — share this column
+/// set, so the trajectory gate applies uniformly.
+fn scale_row(sweep: &str, label: String, proto: &str, chunk: &[ScaleRun]) -> Row {
+    let mean = average(&chunk.iter().map(|(m, ..)| *m).collect::<Vec<_>>());
+    let worst = chunk
+        .iter()
+        .map(|(m, ..)| m.delivery)
+        .fold(f64::INFINITY, f64::min);
+    let per_run =
+        |f: &dyn Fn(&ScaleRun) -> f64| chunk.iter().map(f).sum::<f64>() / chunk.len() as f64;
+    Row::new(
+        sweep,
+        label,
+        proto,
+        vec![
+            ("delivery".into(), mean.delivery),
+            ("delivery_worst".into(), worst),
+            ("latency_ms".into(), mean.latency * 1e3),
+            (
+                "control_frames_per_s".into(),
+                per_run(&|(m, _, secs, _)| m.control_msgs as f64 / secs),
+            ),
+            (
+                "control_bytes_per_node".into(),
+                per_run(&|(m, _, _, n)| m.control_bytes as f64 / *n as f64),
+            ),
+            (
+                "refresh_frames_per_s".into(),
+                per_run(&|(_, d, secs, _)| d.refresh_frames as f64 / secs),
+            ),
+            (
+                "refresh_suppressed".into(),
+                per_run(&|(_, d, ..)| {
+                    d.hvdb_counters.unwrap_or_default().refresh_suppressed as f64
+                }),
+            ),
+            (
+                "memory_per_node_bytes".into(),
+                per_run(&|(_, d, ..)| d.memory_per_node_bytes),
+            ),
+            (
+                "events_per_sec".into(),
+                per_run(&|(_, d, ..)| d.events_processed as f64 / d.wall_secs.max(1e-9)),
+            ),
+            (
+                "events_processed".into(),
+                per_run(&|(_, d, ..)| d.events_processed as f64),
+            ),
+        ],
+    )
+}
+
+/// The `scale` trajectory sweep: the paper's geometry stretched at
+/// constant density, reporting what the north star cares about —
+/// delivery, latency, *per-node* control cost and *per-node* memory
+/// (both must stay flat as the network grows for the backbone to call
+/// itself scalable). CI re-runs this sweep and compares every row
+/// against the committed `BENCH_scale.json` within a tolerance band.
+///
+/// Three sub-sweeps:
+///
+/// * `network-size` (proto `hvdb`) — 100–2000 nodes on the serial
+///   engine, the committed trajectory since PR 3;
+/// * `network-size` (proto `hvdb-par`) — the large-N campaign points
+///   (5000–20000 nodes, opening the road to 100k) on the sharded
+///   parallel engine via [`run_par_hvdb`]; delivery at the 20k point is
+///   gated at >= 0.99 ([`crate::validate`]);
+/// * `engine-threads` (proto `hvdb-par`) — HVDB itself at 1 vs N worker
+///   threads on the same workload: `events_processed` must be exactly
+///   equal (the determinism contract on the real protocol, not just the
+///   flooding benchmark).
 fn custom_scale(opts: &RunOpts) -> Vec<Row> {
     let node_counts: Vec<usize> = if opts.smoke {
         vec![30, 40]
     } else {
         vec![100, 200, 400, 600, 1000, 1400, 2000]
+    };
+    let par_counts: Vec<usize> = if opts.smoke {
+        vec![]
+    } else {
+        vec![5000, 10000, 20000]
     };
     let mut seeds = opts.seeds.clone().unwrap_or_else(|| vec![1, 2]);
     if opts.smoke && opts.seeds.is_none() {
@@ -659,68 +752,96 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
         cooldown: SimDuration::from_secs(20),
         ..Workload::default()
     };
+    let scale_workload = |nodes: usize, seed: u64, threads: usize| {
+        let w = Workload {
+            nodes,
+            side: (nodes as f64 * 8533.0).sqrt(),
+            vc_side: scaled_vc_side(nodes),
+            seed,
+            threads,
+            ..base.clone()
+        };
+        let w = if opts.smoke { w.smoke() } else { w };
+        let mut scenario = w.build();
+        // Geo unicast makes ~one VC of progress per hop (heads sit near
+        // VC centres), so the default TTL of 24 strands far corners of
+        // grids wider than ~12 VCs — the Manhattan diameter plus slack
+        // keeps every member reachable at any sweep size.
+        let diameter = 2 * scaled_vc_side(nodes) as u32;
+        scenario.hvdb.geo_ttl = scenario.hvdb.geo_ttl.max(diameter + 8);
+        scenario
+    };
+    let multi = if opts.threads > 1 { opts.threads } else { 4 };
+
+    // Serial trajectory points, (node count × seed) in parallel via rayon.
     let jobs: Vec<(usize, u64)> = node_counts
         .iter()
         .flat_map(|&n| seeds.iter().map(move |&s| (n, s)))
         .collect();
-    let results: Vec<DetailedRun> = jobs
+    let results: Vec<ScaleRun> = jobs
         .par_iter()
         .map(|&(nodes, seed)| {
-            let w = Workload {
-                nodes,
-                side: (nodes as f64 * 8533.0).sqrt(),
-                vc_side: scaled_vc_side(nodes),
-                seed,
-                ..base.clone()
-            };
-            let w = if opts.smoke { w.smoke() } else { w };
-            let scenario = w.build();
+            let scenario = scale_workload(nodes, seed, 1);
             let secs = scenario.until.since(SimTime::ZERO).as_secs_f64();
-            let (m, c, refresh) = run_hvdb_detailed(&scenario, &|_| {});
-            (m, c, refresh, secs, w.nodes)
+            let (m, detail) = run_hvdb_tweaked(&scenario, &|_| {});
+            (m, detail, secs, nodes)
         })
         .collect();
-    node_counts
+    let mut rows: Vec<Row> = node_counts
         .iter()
         .enumerate()
         .map(|(i, &nodes)| {
             let chunk = &results[i * seeds.len()..(i + 1) * seeds.len()];
-            let mean = average(&chunk.iter().map(|(m, ..)| *m).collect::<Vec<_>>());
-            let worst = chunk
-                .iter()
-                .map(|(m, ..)| m.delivery)
-                .fold(f64::INFINITY, f64::min);
-            let per_run = |f: &dyn Fn(&DetailedRun) -> f64| {
-                chunk.iter().map(f).sum::<f64>() / chunk.len() as f64
-            };
-            Row::new(
+            scale_row(
                 "network-size",
                 format!("nodes={nodes}"),
                 Proto::Hvdb.name(),
-                vec![
-                    ("delivery".into(), mean.delivery),
-                    ("delivery_worst".into(), worst),
-                    ("latency_ms".into(), mean.latency * 1e3),
-                    (
-                        "control_frames_per_s".into(),
-                        per_run(&|(m, _, _, secs, _)| m.control_msgs as f64 / secs),
-                    ),
-                    (
-                        "control_bytes_per_node".into(),
-                        per_run(&|(m, _, _, _, n)| m.control_bytes as f64 / *n as f64),
-                    ),
-                    (
-                        "refresh_frames_per_s".into(),
-                        per_run(&|(_, _, r, secs, _)| *r as f64 / secs),
-                    ),
-                    (
-                        "refresh_suppressed".into(),
-                        per_run(&|(_, c, ..)| c.refresh_suppressed as f64),
-                    ),
-                ],
+                chunk,
             )
         })
-        .collect()
+        .collect();
+
+    // Large-N campaign points on the sharded parallel engine: one seed
+    // each (a 20k-node HVDB run is the wall-clock budget of the whole
+    // serial sweep), run serially — each run already uses `multi`
+    // worker threads.
+    const PAR_SHARDS: usize = 64;
+    for &nodes in &par_counts {
+        let scenario = scale_workload(nodes, seeds[0], multi);
+        let secs = scenario.until.since(SimTime::ZERO).as_secs_f64();
+        let (m, detail) = run_par_hvdb(&scenario, PAR_SHARDS);
+        let chunk = [(m, detail, secs, nodes)];
+        rows.push(scale_row(
+            "network-size",
+            format!("nodes={nodes}"),
+            "hvdb-par",
+            &chunk,
+        ));
+    }
+
+    // The engine-threads sweep: HVDB itself at 1 vs `multi` worker
+    // threads on the same workload and shard layout. Everything but
+    // wall-clock must match exactly; validate gates `events_processed`
+    // equality across the two rows.
+    let et_nodes = if opts.smoke { 40 } else { 2000 };
+    for &threads in &[1usize, multi] {
+        let runs: Vec<ScaleRun> = seeds
+            .iter()
+            .map(|&seed| {
+                let scenario = scale_workload(et_nodes, seed, threads);
+                let secs = scenario.until.since(SimTime::ZERO).as_secs_f64();
+                let (m, detail) = run_par_hvdb(&scenario, PAR_SHARDS);
+                (m, detail, secs, et_nodes)
+            })
+            .collect();
+        rows.push(scale_row(
+            "engine-threads",
+            format!("threads={threads}"),
+            "hvdb-par",
+            &runs,
+        ));
+    }
+    rows
 }
 
 /// The `perf` scenario: wall-clock throughput of the simulation engine
@@ -1790,11 +1911,11 @@ fn custom_f4(opts: &RunOpts) -> Vec<Row> {
             vec![
                 (
                     "neighbors_expired".into(),
-                    proto.counters.neighbors_expired as f64,
+                    proto.counters().neighbors_expired as f64,
                 ),
                 (
                     "route_failovers".into(),
-                    proto.counters.route_failovers as f64,
+                    proto.counters().route_failovers as f64,
                 ),
                 (
                     "avg_destinations".into(),
@@ -1827,7 +1948,7 @@ fn custom_a1(opts: &RunOpts) -> Vec<Row> {
         // HT traffic spans both the content cycle and the refresh plane
         // (reclassified to "ht-refresh" for overhead accounting).
         let ht_bytes = sim.stats().bytes("ht-bcast") + sim.stats().bytes("ht-refresh");
-        (metrics_of(sim.stats()), proto.counters, ht_bytes)
+        (metrics_of(sim.stats()), proto.counters(), ht_bytes)
     };
     let mut rows = Vec::new();
     // A1a — horizon k: route-table reach vs beacon cost.
@@ -1904,4 +2025,31 @@ fn custom_a1(opts: &RunOpts) -> Vec<Row> {
         ));
     }
     rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scaled_vc_side;
+
+    /// Beyond the historical trajectory points, the derived grid must
+    /// keep every VC's diagonal inside the 450 m radio range (a member
+    /// in one corner must hear a head in the opposite corner) and stay
+    /// a multiple of 4 for the 2x2-region hypercube map.
+    #[test]
+    fn derived_grids_keep_vc_diagonal_in_radio_range() {
+        for nodes in [2001usize, 5000, 10000, 20000, 50000, 100000] {
+            let side = (nodes as f64 * 8533.0).sqrt();
+            let vc = scaled_vc_side(nodes);
+            assert_eq!(vc % 4, 0, "{nodes} nodes: vc_side {vc} not 4-aligned");
+            let cell = side / vc as f64;
+            assert!(
+                cell * std::f64::consts::SQRT_2 <= 450.0,
+                "{nodes} nodes: cell {cell:.1} m diagonal exceeds radio range"
+            );
+        }
+        assert_eq!(scaled_vc_side(500), 8);
+        assert_eq!(scaled_vc_side(2000), 12);
+        assert_eq!(scaled_vc_side(20000), 44);
+        assert_eq!(scaled_vc_side(100000), 92);
+    }
 }

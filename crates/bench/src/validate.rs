@@ -101,12 +101,24 @@ pub const TRAJECTORY_DELIVERY_TOLERANCE: f64 = 0.10;
 pub const TRAJECTORY_OVERHEAD_TOLERANCE: f64 = 0.15;
 
 /// The per-row metrics the trajectory comparison treats as overhead
-/// (lower is better, growth is gated).
-pub const OVERHEAD_GATED_METRICS: [&str; 3] = [
+/// (lower is better, growth is gated). `memory_per_node_bytes` is the
+/// `scale` scenario's footprint column: deterministic content-byte
+/// estimates, so a growth past the band is a real per-node state
+/// regression, not allocator noise.
+pub const OVERHEAD_GATED_METRICS: [&str; 4] = [
     "control_frames_per_s",
     "control_bytes_per_node",
     "refresh_frames_per_s",
+    "memory_per_node_bytes",
 ];
+
+/// Minimum delivery ratio the `scale` scenario's largest parallel-engine
+/// point must sustain ([`check_scale_gate`]).
+pub const SCALE_DELIVERY_FLOOR: f64 = 0.99;
+
+/// The `scale` delivery gate applies from this node count up: the 100k
+/// scale campaign's first enforced milestone is "delivery holds at 20k".
+pub const SCALE_GATE_MIN_NODES: u64 = 20_000;
 
 /// Parses `input` as one strict JSON document (the whole string, no
 /// trailing garbage) into a [`Json`] value.
@@ -440,6 +452,107 @@ pub fn check_perf_threads_gate(doc: &Json, floor: f64) -> Result<(String, f64, b
         ));
     }
     Ok((multi_label, speedup, enforced))
+}
+
+/// The CI gate over a validated `scale` report, in two parts:
+///
+/// * **Determinism** (applies to smoke and full runs): the
+///   `engine-threads` sweep's `hvdb-par` rows — HVDB itself on the
+///   sharded parallel engine — must exist at a `threads=1` baseline plus
+///   at least one other thread count, with *exactly* equal
+///   `events_processed` everywhere. This is the thread-invariance
+///   contract enforced on the real protocol, not just the flooding
+///   benchmark.
+/// * **Scale campaign** (full runs only): the largest `network-size`
+///   point at or above [`SCALE_GATE_MIN_NODES`] nodes must deliver at
+///   least [`SCALE_DELIVERY_FLOOR`]; a full report with no such point
+///   fails — the campaign row cannot silently drop out of the sweep.
+///
+/// Returns one human-readable note per passed part.
+pub fn check_scale_gate(doc: &Json) -> Result<Vec<String>, String> {
+    let rows = report_rows(doc)?;
+    let mut notes = Vec::new();
+
+    let mut points: Vec<(u64, f64)> = Vec::new(); // (threads, events_processed)
+    for (sweep, label, proto, metrics) in &rows {
+        if sweep != "engine-threads" || proto != "hvdb-par" {
+            continue;
+        }
+        let threads: u64 = label
+            .strip_prefix("threads=")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("engine-threads row has unparseable label {label:?}"))?;
+        let events = metrics
+            .iter()
+            .find(|(k, _)| k == "events_processed")
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("engine-threads row {label} has no events_processed"))?;
+        points.push((threads, events));
+    }
+    if points.len() < 2 {
+        return Err(format!(
+            "need engine-threads hvdb-par rows at >= 2 thread counts, found {}",
+            points.len()
+        ));
+    }
+    points.sort_by_key(|p| p.0);
+    let &(single_threads, single_events) = points.first().expect("len checked");
+    if single_threads != 1 {
+        return Err("engine-threads sweep has no threads=1 baseline row".into());
+    }
+    for &(t, events) in &points {
+        if events != single_events {
+            return Err(format!(
+                "HVDB on the parallel engine diverged: threads={t} processed {events:.0} \
+                 events, threads=1 processed {single_events:.0} — determinism contract broken"
+            ));
+        }
+    }
+    notes.push(format!(
+        "hvdb-par events_processed identical across {} thread counts",
+        points.len()
+    ));
+
+    if !is_smoke(doc)? {
+        let mut campaign: Option<(u64, f64)> = None; // (nodes, delivery)
+        for (sweep, label, _, metrics) in &rows {
+            if sweep != "network-size" {
+                continue;
+            }
+            let Some(nodes) = label
+                .strip_prefix("nodes=")
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if nodes < SCALE_GATE_MIN_NODES {
+                continue;
+            }
+            let delivery = metrics
+                .iter()
+                .find(|(k, _)| k == "delivery")
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("network-size row {label} has no delivery metric"))?;
+            if campaign.is_none_or(|(n, _)| nodes > n) {
+                campaign = Some((nodes, delivery));
+            }
+        }
+        let Some((nodes, delivery)) = campaign else {
+            return Err(format!(
+                "full scale report has no network-size point at >= {SCALE_GATE_MIN_NODES} nodes"
+            ));
+        };
+        if delivery < SCALE_DELIVERY_FLOOR {
+            return Err(format!(
+                "delivery {delivery:.3} at nodes={nodes} is below the scale-campaign \
+                 floor {SCALE_DELIVERY_FLOOR}"
+            ));
+        }
+        notes.push(format!(
+            "delivery {delivery:.3} >= {SCALE_DELIVERY_FLOOR} at nodes={nodes}"
+        ));
+    }
+    Ok(notes)
 }
 
 /// Whether a validated report document is a smoke run.

@@ -31,7 +31,7 @@
 //!   share it.
 
 use crate::packet::HvdbMsg;
-use hvdb_sim::{Ctx, NodeId};
+use hvdb_sim::{NodeId, ProtoCtx};
 use std::sync::Arc;
 
 /// An immutable, reference-shared wire payload: the message type the
@@ -151,21 +151,23 @@ impl Clone for FrameBytes {
     }
 }
 
-/// Frame-aware sending sugar over the engine's [`Ctx`]: every method
-/// reads the interned class and wire size off the sealed frame, so call
-/// sites cannot drift out of sync with the payload they transmit.
+/// Frame-aware sending sugar over any engine context: every method reads
+/// the interned class and wire size off the sealed frame, so call sites
+/// cannot drift out of sync with the payload they transmit. Blanket-
+/// implemented for every [`ProtoCtx`] carrying [`FrameBytes`] (both the
+/// serial `Ctx` and the parallel `ParCtx`).
 pub trait FrameCtx {
-    /// Unicast a sealed frame ([`Ctx::send`] semantics).
+    /// Unicast a sealed frame ([`ProtoCtx::send`] semantics).
     fn send_frame(&mut self, from: NodeId, to: NodeId, frame: FrameBytes) -> bool;
-    /// Unicast a sealed frame with MAC retries ([`Ctx::send_reliable`]
+    /// Unicast a sealed frame with MAC retries ([`ProtoCtx::send_reliable`]
     /// semantics).
     fn send_frame_reliable(&mut self, from: NodeId, to: NodeId, frame: FrameBytes) -> bool;
-    /// Broadcast a sealed frame ([`Ctx::broadcast`] semantics); the
+    /// Broadcast a sealed frame ([`ProtoCtx::broadcast`] semantics); the
     /// payload is shared, not copied, across receivers.
     fn broadcast_frame(&mut self, from: NodeId, frame: FrameBytes) -> usize;
 }
 
-impl FrameCtx for Ctx<'_, FrameBytes> {
+impl<C: ProtoCtx<Msg = FrameBytes>> FrameCtx for C {
     fn send_frame(&mut self, from: NodeId, to: NodeId, frame: FrameBytes) -> bool {
         self.send(from, to, frame.class(), frame.wire_size(), frame)
     }

@@ -44,7 +44,7 @@ pub use model::{
     HvdbConfig, HvdbModel, TrafficItem,
 };
 pub use packet::{ChMsg, GeoPacket, GeoTarget, HvdbMsg};
-pub use protocol::{Counters, HvdbProtocol};
+pub use protocol::{Counters, HvdbCore, HvdbNode, HvdbProtocol};
 pub use qos::{QosSession, RepairOutcome, SessionManager};
 pub use routes::{AdvertisedRoute, QosMetrics, QosRequirement, RouteEntry, RouteTable};
 pub use softstate::refresh::RefreshController;

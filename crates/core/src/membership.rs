@@ -268,6 +268,56 @@ impl MembershipDb {
         let my_score = score(me);
         self.mnt_of.keys().all(|l| *l == me || score(*l) < my_score)
     }
+
+    /// Deterministic content-byte estimate of all three tiers (entries ×
+    /// entry size plus per-value container lengths, not allocator
+    /// capacity) — feeds the `scale` scenario's `memory_per_node_bytes`
+    /// column.
+    pub fn memory_bytes(&self) -> usize {
+        use crate::softstate::SoftEntry;
+        use crate::summary::GroupPresence;
+        use std::mem::size_of;
+        let locals: usize = self
+            .locals
+            .iter()
+            .map(|(_, lm)| {
+                size_of::<u32>()
+                    + size_of::<SoftEntry<LocalMembership>>()
+                    + lm.groups.len() * size_of::<GroupId>()
+            })
+            .sum();
+        let mnts: usize = self
+            .mnt_of
+            .iter()
+            .map(|(_, m)| {
+                size_of::<Hnid>()
+                    + size_of::<SoftEntry<MntSummary>>()
+                    + m.counts.len() * size_of::<(GroupId, u32)>()
+            })
+            .sum();
+        let hts: usize = self
+            .ht_of
+            .iter()
+            .map(|(_, ht)| {
+                size_of::<Hid>()
+                    + size_of::<SoftEntry<HtSummary>>()
+                    + ht.presence
+                        .values()
+                        .map(|p| {
+                            size_of::<(GroupId, GroupPresence)>()
+                                + p.nodes.len() * size_of::<Hnid>()
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        let mt: usize = self
+            .mt
+            .hypercubes
+            .values()
+            .map(|v| size_of::<GroupId>() + v.len() * size_of::<Hid>())
+            .sum();
+        locals + mnts + hts + mt
+    }
 }
 
 #[cfg(test)]

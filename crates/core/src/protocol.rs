@@ -56,7 +56,9 @@ use hvdb_cluster::{HeadLease, LeaseUpdate};
 use hvdb_geo::{Hid, Hnid, LogicalAddress, VcId};
 use hvdb_hypercube::{multicast_tree, IncompleteHypercube, MulticastTree};
 use hvdb_sim::georoute;
-use hvdb_sim::{Capability, Ctx, NodeId, Protocol, SimDuration, SimTime};
+use hvdb_sim::{
+    Capability, Ctx, NodeId, ParCtx, ParProtocol, ProtoCtx, Protocol, SimDuration, SimTime, World,
+};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 // Timer tags. Periodic kinds occupy the low 3 bits; bits 3.. carry the
@@ -131,6 +133,30 @@ pub struct Counters {
     pub cube_cache_hits: u64,
 }
 
+impl std::ops::AddAssign<&Counters> for Counters {
+    fn add_assign(&mut self, o: &Counters) {
+        self.geo_stuck += o.geo_stuck;
+        self.no_route += o.no_route;
+        self.no_ch += o.no_ch;
+        self.trees_built += o.trees_built;
+        self.tree_cache_hits += o.tree_cache_hits;
+        self.neighbors_expired += o.neighbors_expired;
+        self.route_failovers += o.route_failovers;
+        self.ht_broadcasts += o.ht_broadcasts;
+        self.mt_empty_at_send += o.mt_empty_at_send;
+        self.mesh_branches += o.mesh_branches;
+        self.data_bounced += o.data_bounced;
+        self.geo_stuck_data += o.geo_stuck_data;
+        self.refresh_broadcasts += o.refresh_broadcasts;
+        self.stale_suppressed += o.stale_suppressed;
+        self.soft_expired += o.soft_expired;
+        self.refresh_suppressed += o.refresh_suppressed;
+        self.stamp_hints_sent += o.stamp_hints_sent;
+        self.cube_rebuilds += o.cube_rebuilds;
+        self.cube_cache_hits += o.cube_cache_hits;
+    }
+}
+
 /// A cluster head's protocol state.
 struct HeadState {
     vc: VcId,
@@ -203,8 +229,8 @@ enum Role {
 /// Ensures `h.cube_cache` holds the region hypercube for the *current*
 /// MNT label set, rebuilding only when the store's key revision moved
 /// (labels appeared or expired — value refreshes never invalidate).
-/// Counts hits and rebuilds. A free function over disjoint `HvdbProtocol`
-/// fields so call sites can keep `h` borrowed from `self.nodes`.
+/// Counts hits and rebuilds. A free function over disjoint [`HvdbNode`]
+/// fields so call sites can keep `h` borrowed from the node's `role`.
 fn refresh_region_cube(cfg: &HvdbConfig, counters: &mut Counters, h: &mut HeadState) {
     let rev = h.db.mnt_of.key_revision();
     if h.cube_cache.as_ref().is_some_and(|(r, _)| *r == rev) {
@@ -230,8 +256,10 @@ struct PendingHandover {
     hts: Vec<crate::summary::HtSummary>,
 }
 
-/// Per-node protocol state.
-struct NodeState {
+/// Per-node protocol state. On the serial engine these live inside
+/// [`HvdbProtocol`]; on the sharded parallel engine each value is owned
+/// by its node's shard (the [`hvdb_sim::ParProtocol::Node`] type).
+pub struct HvdbNode {
     lm: LocalMembership,
     my_vc: VcId,
     /// Generation-stamped view of my VC's current head (soft state:
@@ -253,19 +281,98 @@ struct NodeState {
     role: Role,
     /// Data ids already delivered/seen locally.
     seen_data: FxHashSet<u64>,
+    /// This node's slice of the protocol counters; reports sum them.
+    counters: Counters,
 }
 
-/// The full HVDB protocol, implementing [`hvdb_sim::Protocol`].
-pub struct HvdbProtocol {
+impl HvdbNode {
+    /// Whether this node currently serves as a cluster head.
+    pub fn is_head(&self) -> bool {
+        matches!(self.role, Role::Head(_))
+    }
+
+    /// This node's slice of the protocol counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Deterministic estimate of this node's protocol-state bytes: the
+    /// struct itself plus content-length-based container estimates
+    /// (entries × entry size). Deliberately *not* allocator or capacity
+    /// statistics — the value is a pure function of protocol state, so
+    /// the `scale` scenario's `memory_per_node_bytes` column reproduces
+    /// across machines and allocators and can be gated.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut b = size_of::<Self>();
+        b += self.lm.groups.len() * size_of::<GroupId>();
+        b += self.seen_data.len() * size_of::<u64>();
+        if let Role::Head(h) = &self.role {
+            b += size_of::<HeadState>();
+            b += h.neighbor_last.len() * (size_of::<Hnid>() + size_of::<SimTime>());
+            b += h.seen_mesh_data.len() * size_of::<u64>();
+            b += h.table.memory_bytes();
+            b += h.db.memory_bytes();
+            b += h
+                .mesh_cache
+                .values()
+                .map(|(_, t)| size_of::<(GroupId, u64, MeshTree)>() + t.memory_bytes())
+                .sum::<usize>();
+            b += h
+                .hc_cache
+                .values()
+                .map(|(_, t)| size_of::<(GroupId, u64, MulticastTree)>() + t.memory_bytes())
+                .sum::<usize>();
+        }
+        b
+    }
+}
+
+/// Epoch-stamped tag for a periodic timer of `kind` on the node owning
+/// `st`.
+fn ptag(st: &HvdbNode, kind: u64) -> u64 {
+    let epoch = st.timer_epoch;
+    debug_assert!(kind <= TAG_KIND_MASK && (epoch << 3) < TAG_TRAFFIC_BASE);
+    kind | (epoch << 3)
+}
+
+/// Whether the node owning `st` is a consumer for `target`.
+fn satisfies_target(st: &HvdbNode, target: GeoTarget) -> bool {
+    match (&st.role, target) {
+        (Role::Head(h), GeoTarget::ChOfVc(vc)) => h.vc == vc,
+        (Role::Head(h), GeoTarget::AnyChInRegion(hid)) => h.addr.hid == hid,
+        (Role::Member, _) => false,
+    }
+}
+
+/// The shared, read-only HVDB recipe: configuration plus the scenario
+/// script and per-item expected receiver counts precomputed from it.
+/// Every handler takes `&self` and an explicit [`HvdbNode`], so one
+/// instance drives every node on either engine: the struct is `Sync` and
+/// never mutated after construction — exactly the contract the sharded
+/// parallel engine's [`hvdb_sim::ParProtocol`] requires.
+pub struct HvdbCore {
     cfg: HvdbConfig,
     traffic: Vec<TrafficItem>,
     group_events: Vec<GroupEvent>,
-    nodes: Vec<NodeState>,
-    /// Ground-truth group membership (for expected-receiver accounting).
-    truth: FxHashMap<GroupId, FxHashSet<NodeId>>,
-    next_data_id: u64,
-    /// Protocol counters.
-    pub counters: Counters,
+    /// Expected receiver count per traffic item, precomputed from the
+    /// script: the item's group after applying every group event with
+    /// `at <= item.at` (in list order), minus the source itself.
+    /// Scripted rather than tracked in a run-time truth map — shards
+    /// must not reach into shared mutable state.
+    expected: Vec<u64>,
+    /// Scripted initial membership, group → members (seeds each node's
+    /// Local-Membership).
+    initial: FxHashMap<GroupId, FxHashSet<NodeId>>,
+}
+
+/// The full HVDB protocol for the serial engine, implementing
+/// [`hvdb_sim::Protocol`]: an [`HvdbCore`] recipe plus the owned node
+/// states. The parallel engine runs the core directly (its shards own
+/// the [`HvdbNode`]s).
+pub struct HvdbProtocol {
+    core: HvdbCore,
+    nodes: Vec<HvdbNode>,
 }
 
 impl HvdbProtocol {
@@ -277,45 +384,26 @@ impl HvdbProtocol {
         traffic: Vec<TrafficItem>,
         group_events: Vec<GroupEvent>,
     ) -> Self {
-        let mut truth: FxHashMap<GroupId, FxHashSet<NodeId>> = FxHashMap::default();
-        for (node, group) in initial_groups {
-            truth.entry(*group).or_default().insert(*node);
-        }
         HvdbProtocol {
-            cfg,
-            traffic,
-            group_events,
+            core: HvdbCore::new(cfg, initial_groups, traffic, group_events),
             nodes: Vec::new(),
-            truth,
-            next_data_id: 1,
-            counters: Counters::default(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &HvdbConfig {
-        &self.cfg
+        self.core.config()
+    }
+
+    /// The shared engine-agnostic recipe.
+    pub fn core(&self) -> &HvdbCore {
+        &self.core
     }
 
     /// Whether `node` is currently a cluster head.
     pub fn is_head(&self, node: NodeId) -> bool {
-        matches!(self.nodes[node.idx()].role, Role::Head(_))
-    }
-
-    /// The head `node` currently trusts for its VC: the lease's holder,
-    /// unless it has gone K refresh periods without a re-announcement.
-    fn current_ch(&self, node: NodeId, now: SimTime) -> Option<NodeId> {
-        self.nodes[node.idx()]
-            .ch
-            .head(now, self.cfg.designation_deadline())
-            .map(NodeId)
-    }
-
-    /// Epoch-stamped tag for a periodic timer of `kind` on `node`.
-    fn ptag(&self, node: NodeId, kind: u64) -> u64 {
-        let epoch = self.nodes[node.idx()].timer_epoch;
-        debug_assert!(kind <= TAG_KIND_MASK && (epoch << 3) < TAG_TRAFFIC_BASE);
-        kind | (epoch << 3)
+        let n = &self.nodes[node.idx()];
+        n.is_head()
     }
 
     /// The node ids of all current cluster heads, ascending.
@@ -326,20 +414,30 @@ impl HvdbProtocol {
             .collect()
     }
 
-    /// The current ground-truth members of `group`, ascending.
+    /// The current members of `group`, ascending — read from each node's
+    /// Local-Membership (before the first callback allocates node state,
+    /// from the scripted initial membership).
     pub fn group_members(&self, group: GroupId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .truth
-            .get(&group)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        out.sort_unstable();
-        out
+        if self.nodes.is_empty() {
+            let mut out: Vec<NodeId> = self
+                .core
+                .initial
+                .get(&group)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            out.sort_unstable();
+            return out;
+        }
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|id| self.nodes[id.idx()].lm.contains(group))
+            .collect()
     }
 
     /// Read access to a head's route table (experiment instrumentation).
     pub fn route_table(&self, node: NodeId) -> Option<&RouteTable> {
-        match &self.nodes[node.idx()].role {
+        let n = &self.nodes[node.idx()];
+        match &n.role {
             Role::Head(h) => Some(&h.table),
             Role::Member => None,
         }
@@ -347,7 +445,8 @@ impl HvdbProtocol {
 
     /// Read access to a head's membership database.
     pub fn membership_db(&self, node: NodeId) -> Option<&MembershipDb> {
-        match &self.nodes[node.idx()].role {
+        let n = &self.nodes[node.idx()];
+        match &n.role {
             Role::Head(h) => Some(&h.db),
             Role::Member => None,
         }
@@ -362,6 +461,94 @@ impl HvdbProtocol {
                 Role::Member => None,
             })
             .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    }
+
+    /// Aggregate protocol counters, summed over all nodes.
+    pub fn counters(&self) -> Counters {
+        let mut total = Counters::default();
+        for n in &self.nodes {
+            total += n.counters();
+        }
+        total
+    }
+
+    /// Deterministic content-byte estimate of all protocol state, summed
+    /// over every node (see [`HvdbNode::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.memory_bytes()).sum()
+    }
+}
+
+impl HvdbCore {
+    /// Builds the shared recipe over `cfg` (see [`HvdbProtocol::new`]).
+    pub fn new(
+        cfg: HvdbConfig,
+        initial_groups: &[(NodeId, GroupId)],
+        traffic: Vec<TrafficItem>,
+        group_events: Vec<GroupEvent>,
+    ) -> Self {
+        let mut initial: FxHashMap<GroupId, FxHashSet<NodeId>> = FxHashMap::default();
+        for (node, group) in initial_groups {
+            initial.entry(*group).or_default().insert(*node);
+        }
+        let expected = traffic
+            .iter()
+            .map(|item| {
+                let mut members = initial.get(&item.group).cloned().unwrap_or_default();
+                for ev in &group_events {
+                    if ev.group == item.group && ev.at <= item.at {
+                        if ev.join {
+                            members.insert(ev.node);
+                        } else {
+                            members.remove(&ev.node);
+                        }
+                    }
+                }
+                members.iter().filter(|n| **n != item.src).count() as u64
+            })
+            .collect();
+        HvdbCore {
+            cfg,
+            traffic,
+            group_events,
+            expected,
+            initial,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HvdbConfig {
+        &self.cfg
+    }
+
+    /// Fresh per-node state for `id` starting at `pos`.
+    fn new_node(&self, id: NodeId, pos: hvdb_geo::Point) -> HvdbNode {
+        let mut lm = LocalMembership::default();
+        for (g, members) in &self.initial {
+            if members.contains(&id) {
+                lm.join(*g);
+            }
+        }
+        HvdbNode {
+            lm,
+            my_vc: self.cfg.grid.vc_of(pos),
+            ch: HeadLease::default(),
+            report_gen: GenClock::default(),
+            best_cand: None,
+            heard_head_bid: false,
+            pending_handover: None,
+            timer_epoch: 0,
+            role: Role::Member,
+            seen_data: FxHashSet::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The head the owner of `st` currently trusts for its VC: the
+    /// lease's holder, unless it has gone K refresh periods without a
+    /// re-announcement.
+    fn current_ch(&self, st: &HvdbNode, now: SimTime) -> Option<NodeId> {
+        st.ch.head(now, self.cfg.designation_deadline()).map(NodeId)
     }
 
     // ------------------------------------------------------------------
@@ -384,37 +571,36 @@ impl HvdbProtocol {
         }
     }
 
-    fn satisfies_target(&self, node: NodeId, target: GeoTarget) -> bool {
-        match (&self.nodes[node.idx()].role, target) {
-            (Role::Head(h), GeoTarget::ChOfVc(vc)) => h.vc == vc,
-            (Role::Head(h), GeoTarget::AnyChInRegion(hid)) => h.addr.hid == hid,
-            (Role::Member, _) => false,
-        }
-    }
-
-    fn count_geo_stuck(&mut self, pkt: &GeoPacket) {
-        self.counters.geo_stuck += 1;
+    fn count_geo_stuck(st: &mut HvdbNode, pkt: &GeoPacket) {
+        st.counters.geo_stuck += 1;
         if matches!(pkt.inner, ChMsg::MeshData { .. } | ChMsg::HcData { .. }) {
-            self.counters.geo_stuck_data += 1;
+            st.counters.geo_stuck_data += 1;
         }
     }
 
     /// Launches a geo packet from `from` toward its target.
-    fn geo_send(&mut self, ctx: &mut Ctx<'_, FrameBytes>, from: NodeId, pkt: GeoPacket) {
+    fn geo_send<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+        from: NodeId,
+        pkt: GeoPacket,
+    ) {
         let dest = self.target_point(pkt.target);
         match georoute::next_hop(ctx, from, dest, &pkt.visited) {
             Some(nh) => {
                 let frame = self.seal(HvdbMsg::Geo(pkt));
                 ctx.send_frame_reliable(from, nh, frame);
             }
-            None => self.count_geo_stuck(&pkt),
+            None => Self::count_geo_stuck(st, &pkt),
         }
     }
 
     /// Wraps and sends a CH message toward a target.
-    fn geo_dispatch(
-        &mut self,
-        ctx: &mut Ctx<'_, FrameBytes>,
+    fn geo_dispatch<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         from: NodeId,
         target: GeoTarget,
         inner: ChMsg,
@@ -426,16 +612,16 @@ impl HvdbProtocol {
             visited: Vec::new(),
             inner,
         };
-        self.geo_send(ctx, from, pkt);
+        self.geo_send(st, ctx, from, pkt);
     }
 
     /// Logical-neighbour VCs whose heads a local broadcast from `node`
     /// probably cannot reach (VCC farther than ~85% of the radio range):
     /// these get a supplementary geo-unicast so long hypercube links
     /// (labels two grid cells apart) stay alive.
-    fn far_neighbors(
+    fn far_neighbors<C: ProtoCtx<Msg = FrameBytes>>(
         &self,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        ctx: &mut C,
         node: NodeId,
         vcs: Vec<VcId>,
     ) -> Vec<VcId> {
@@ -452,7 +638,12 @@ impl HvdbProtocol {
     // ------------------------------------------------------------------
     // Clustering rounds.
 
-    fn my_score(&self, ctx: &mut Ctx<'_, FrameBytes>, node: NodeId) -> Option<CandScore> {
+    fn my_score<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        st: &HvdbNode,
+        ctx: &mut C,
+        node: NodeId,
+    ) -> Option<CandScore> {
         if ctx.capability(node) != Capability::Enhanced {
             return None;
         }
@@ -467,7 +658,7 @@ impl HvdbProtocol {
         // half its distance, so marginally-closer challengers do not churn
         // the backbone every round (the stability that [23]'s handover
         // machinery provides).
-        if let Role::Head(h) = &self.nodes[node.idx()].role {
+        if let Role::Head(h) = &st.role {
             if h.vc == vc {
                 dist_um /= 2;
             }
@@ -479,34 +670,38 @@ impl HvdbProtocol {
         })
     }
 
-    fn on_candidacy_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
+    fn on_candidacy_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+    ) {
         let pos = ctx.position(node);
         let vc = self.cfg.grid.vc_of(pos);
-        if self.nodes[node.idx()].my_vc != vc {
+        if st.my_vc != vc {
             // Moved to a new VC: prior round's candidacies are void, and
             // the old VC's head lease (terms are per-VC) with them.
-            self.nodes[node.idx()].my_vc = vc;
-            self.nodes[node.idx()].best_cand = None;
-            self.nodes[node.idx()].heard_head_bid = false;
-            self.nodes[node.idx()].ch.clear();
+            st.my_vc = vc;
+            st.best_cand = None;
+            st.heard_head_bid = false;
+            st.ch.clear();
         }
         // A head that drifted out of its VC resigns immediately — and
         // says so, so its old cluster vacates the lease and elects a
         // successor next round instead of deferring until expiry.
-        let retired_vc = if let Role::Head(h) = &self.nodes[node.idx()].role {
+        let retired_vc = if let Role::Head(h) = &st.role {
             (h.vc != vc).then_some(h.vc)
         } else {
             None
         };
         if let Some(old_vc) = retired_vc {
-            self.nodes[node.idx()].role = Role::Member;
+            st.role = Role::Member;
             let frame = self.seal(HvdbMsg::ChRetire { vc: old_vc });
             ctx.broadcast_frame(node, frame);
         }
-        if let Some(score) = self.my_score(ctx, node) {
+        if let Some(score) = self.my_score(st, ctx, node) {
             // Merge own candidacy with those already heard this round
             // (candidacy phases are jittered; never wipe others' bids).
-            let st = &mut self.nodes[node.idx()];
             match &st.best_cand {
                 Some(best) if !score.beats(best) => {}
                 _ => st.best_cand = Some(score),
@@ -514,18 +709,18 @@ impl HvdbProtocol {
             let frame = self.seal(HvdbMsg::Candidacy { vc, score });
             ctx.broadcast_frame(node, frame);
             // Decision fires 40% into the round.
-            let tag = self.ptag(node, TAG_DECIDE);
+            let tag = ptag(st, TAG_DECIDE);
             ctx.set_timer(node, SimDuration(self.cfg.cluster_interval.0 * 2 / 5), tag);
         }
-        let tag = self.ptag(node, TAG_CANDIDACY);
+        let tag = ptag(st, TAG_CANDIDACY);
         ctx.set_timer(node, self.cfg.cluster_interval, tag);
     }
 
     /// Folds a predecessor's handover into this (now) head's database:
     /// HT snapshot gaps, member reports, and the generation clocks that
     /// keep our floods ahead of the predecessor's surviving state.
-    fn apply_handover(&mut self, node: NodeId, now: SimTime, ho: PendingHandover) {
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+    fn apply_handover(st: &mut HvdbNode, now: SimTime, ho: PendingHandover) {
+        let Role::Head(h) = &mut st.role else {
             return;
         };
         if h.vc != ho.vc {
@@ -550,8 +745,15 @@ impl HvdbProtocol {
 
     /// Steps down as head of `vc`, shipping the backbone state to `rival`
     /// so the surviving head does not start from an empty view.
-    fn resign_to(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>, vc: VcId, rival: NodeId) {
-        let handover = if let Role::Head(h) = &self.nodes[node.idx()].role {
+    fn resign_to<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+        vc: VcId,
+        rival: NodeId,
+    ) {
+        let handover = if let Role::Head(h) = &st.role {
             (h.vc == vc).then(|| {
                 let mut hts: Vec<crate::summary::HtSummary> =
                     h.db.ht_of.values().cloned().collect();
@@ -569,7 +771,7 @@ impl HvdbProtocol {
             None
         };
         if let Some((mnt_gen, ht_gen, locals, hts)) = handover {
-            self.nodes[node.idx()].role = Role::Member;
+            st.role = Role::Member;
             let frame = self.seal(HvdbMsg::Handover {
                 vc,
                 mnt_gen,
@@ -581,8 +783,12 @@ impl HvdbProtocol {
         }
     }
 
-    fn on_decide_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
-        let st = &self.nodes[node.idx()];
+    fn on_decide_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+    ) {
         let Some(best) = st.best_cand else {
             return;
         };
@@ -590,41 +796,38 @@ impl HvdbProtocol {
         let i_won = best.node == node.0;
         let was_head = matches!(st.role, Role::Head(_));
         if i_won && !was_head && !st.heard_head_bid {
-            if let Some(cur) = self.current_ch(node, ctx.now()) {
+            if let Some(cur) = self.current_ch(st, ctx.now()) {
                 if cur != node {
                     // The sitting head's lease is alive but its bid never
                     // arrived this round (lost frame). "Winning" such a
                     // round is how loss mints duplicate heads; defer and
                     // let the next round (or the lease's K-miss expiry,
                     // if the head really died) settle it.
-                    self.nodes[node.idx()].best_cand = None;
-                    self.nodes[node.idx()].heard_head_bid = false;
+                    st.best_cand = None;
+                    st.heard_head_bid = false;
                     return;
                 }
             }
         }
         if i_won {
             if !was_head {
-                self.nodes[node.idx()].role =
-                    Role::Head(Box::new(HeadState::new(&self.cfg, my_vc)));
-            } else if let Role::Head(h) = &self.nodes[node.idx()].role {
+                st.role = Role::Head(Box::new(HeadState::new(&self.cfg, my_vc)));
+            } else if let Role::Head(h) = &st.role {
                 if h.vc != my_vc {
-                    self.nodes[node.idx()].role =
-                        Role::Head(Box::new(HeadState::new(&self.cfg, my_vc)));
+                    st.role = Role::Head(Box::new(HeadState::new(&self.cfg, my_vc)));
                 }
             }
             // A buffered handover for this VC applies now that the win
             // it belongs to has happened.
-            if let Some(ho) = self.nodes[node.idx()].pending_handover.take() {
+            if let Some(ho) = st.pending_handover.take() {
                 if ho.vc == my_vc {
-                    self.apply_handover(node, ctx.now(), *ho);
+                    Self::apply_handover(st, ctx.now(), *ho);
                 }
             }
             // A fresh win mints the next designation term; re-wins of a
             // sitting head re-announce at the current term (a refresh,
             // not a succession — members must not see a term churn).
             let deadline = self.cfg.designation_deadline();
-            let st = &mut self.nodes[node.idx()];
             let term = if st.ch.head_unchecked() == Some(node.0) {
                 st.ch.term()
             } else {
@@ -642,26 +845,29 @@ impl HvdbProtocol {
             // Someone better exists in my VC: step down, handing the
             // backbone state to the winner so the new head does not start
             // from an empty membership view (\[23\]-style CH handover).
-            self.resign_to(node, ctx, my_vc, NodeId(best.node));
+            self.resign_to(node, st, ctx, my_vc, NodeId(best.node));
         }
         // The round is decided; start collecting the next round's bids.
-        self.nodes[node.idx()].best_cand = None;
-        self.nodes[node.idx()].heard_head_bid = false;
+        st.best_cand = None;
+        st.heard_head_bid = false;
     }
 
-    fn on_report_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
-        let tag = self.ptag(node, TAG_REPORT);
+    fn on_report_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+    ) {
+        let tag = ptag(st, TAG_REPORT);
         ctx.set_timer(node, self.cfg.local_report_interval, tag);
-        let st = &self.nodes[node.idx()];
         if st.lm.groups.is_empty() {
             return;
         }
         match &st.role {
             Role::Head(_) => { /* own lm folded in at MNT time */ }
             Role::Member => {
-                if let Some(ch) = self.current_ch(node, ctx.now()) {
+                if let Some(ch) = self.current_ch(st, ctx.now()) {
                     if ch != node {
-                        let st = &mut self.nodes[node.idx()];
                         let report = HvdbMsg::JoinReport {
                             gen: st.report_gen.tick(),
                             lm: st.lm.clone(),
@@ -677,14 +883,19 @@ impl HvdbProtocol {
     // ------------------------------------------------------------------
     // Route maintenance (Fig. 4).
 
-    fn on_beacon_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
-        let tag = self.ptag(node, TAG_BEACON);
+    fn on_beacon_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+    ) {
+        let tag = ptag(st, TAG_BEACON);
         ctx.set_timer(node, self.cfg.beacon_interval, tag);
         let now = ctx.now();
         // K-miss expiry: a neighbour is declared failed only after
         // `refresh_miss_limit` consecutive silent beacon periods.
         let ttl = self.cfg.neighbor_deadline();
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+        let Role::Head(h) = &mut st.role else {
             return;
         };
         // Expire silent neighbours -> immediate failover to alternatives.
@@ -718,8 +929,8 @@ impl HvdbProtocol {
         // Beacon to every logical neighbour VC (intra- and inter-region).
         let advertised = h.table.advertisement();
         let from = h.addr;
-        self.counters.neighbors_expired += expired_count;
-        self.counters.route_failovers += failover_count;
+        st.counters.neighbors_expired += expired_count;
+        st.counters.route_failovers += failover_count;
         // One local broadcast reaches every logical neighbour CH (VC
         // spacing is well below radio range); receivers filter by logical
         // adjacency.
@@ -734,21 +945,22 @@ impl HvdbProtocol {
         // Long logical links (two grid cells) may exceed broadcast reach.
         let far = self.far_neighbors(ctx, node, self.cfg.map.logical_neighbors(my_vc));
         for nvc in far {
-            self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(nvc), inner.clone());
+            self.geo_dispatch(st, ctx, node, GeoTarget::ChOfVc(nvc), inner.clone());
         }
     }
 
-    fn on_beacon(
-        &mut self,
-        node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+    fn on_beacon<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        _node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         from: LogicalAddress,
         sent_at: SimTime,
         advertised: &[crate::routes::AdvertisedRoute],
     ) {
         let now = ctx.now();
         let bitrate = 2_000_000.0; // modelled logical-link bandwidth (see module docs)
-        let my_vc = match &self.nodes[node.idx()].role {
+        let my_vc = match &st.role {
             Role::Head(h) => h.vc,
             Role::Member => return,
         };
@@ -759,7 +971,7 @@ impl HvdbProtocol {
         if !self.cfg.map.logical_neighbors(my_vc).contains(&sender_vc) {
             return;
         }
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+        let Role::Head(h) = &mut st.role else {
             return;
         };
         if from.hid == h.addr.hid {
@@ -778,17 +990,22 @@ impl HvdbProtocol {
     // ------------------------------------------------------------------
     // Membership (Fig. 5) — generation-stamped soft state.
 
-    fn on_mnt_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
-        let tag = self.ptag(node, TAG_MNT);
+    fn on_mnt_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+    ) {
+        let tag = ptag(st, TAG_MNT);
         ctx.set_timer(node, self.cfg.mnt_interval, tag);
-        if !self.is_head(node) {
+        if !st.is_head() {
             return;
         }
-        let own_lm = self.nodes[node.idx()].lm.clone();
-        let own_gen = self.nodes[node.idx()].report_gen.tick();
+        let own_lm = st.lm.clone();
+        let own_gen = st.report_gen.tick();
         let now = ctx.now();
         let report_deadline = self.cfg.local_report_deadline();
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+        let Role::Head(h) = &mut st.role else {
             return;
         };
         // Members that left silently stop refreshing; prune them after K
@@ -816,7 +1033,7 @@ impl HvdbProtocol {
         // next refresh look stale here and kill its re-flood through us.
         let ht = h.db.my_ht(hid);
         h.db.mt.integrate(&ht);
-        self.counters.soft_expired += pruned as u64;
+        st.counters.soft_expired += pruned as u64;
         ctx.record_soft_expired(pruned as u64);
         let my_vc = h.vc;
         let inner = ChMsg::MntShare {
@@ -829,7 +1046,7 @@ impl HvdbProtocol {
         };
         let frame = self.seal(HvdbMsg::Local(inner.clone()));
         ctx.broadcast_frame(node, frame);
-        self.mnt_far_supplement(ctx, node, my_vc, hid, inner);
+        self.mnt_far_supplement(st, ctx, node, my_vc, hid, inner);
     }
 
     /// Long intra-cube logical links may exceed one broadcast's reach, and
@@ -838,9 +1055,10 @@ impl HvdbProtocol {
     /// expiry. Like beacons ([`Self::far_neighbors`]), the origin backs
     /// the flood with reliable geo-unicasts to the same-region logical
     /// neighbours its broadcast probably misses.
-    fn mnt_far_supplement(
-        &mut self,
-        ctx: &mut Ctx<'_, FrameBytes>,
+    fn mnt_far_supplement<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         node: NodeId,
         my_vc: VcId,
         hid: Hid,
@@ -849,16 +1067,17 @@ impl HvdbProtocol {
         let far = self.far_neighbors(ctx, node, self.cfg.map.logical_neighbors(my_vc));
         for nvc in far {
             if self.cfg.map.hid_of(nvc) == hid {
-                self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(nvc), inner.clone());
+                self.geo_dispatch(st, ctx, node, GeoTarget::ChOfVc(nvc), inner.clone());
             }
         }
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn on_mnt_share(
-        &mut self,
+    fn on_mnt_share<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         origin: Hnid,
         hid: Hid,
         holder: u32,
@@ -868,7 +1087,7 @@ impl HvdbProtocol {
         relay: Option<&FrameBytes>,
     ) {
         let now = ctx.now();
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+        let Role::Head(h) = &mut st.role else {
             return;
         };
         if h.addr.hid != hid {
@@ -878,7 +1097,7 @@ impl HvdbProtocol {
         if !fresh.is_fresh() {
             // Duplicate of this flood wave, or an out-of-order straggler:
             // suppressing it is also what terminates the flood.
-            self.counters.stale_suppressed += 1;
+            st.counters.stale_suppressed += 1;
             ctx.record_stale_suppressed();
             let stored = h.db.mnt_of.entry(&origin).map(|e| (e.holder, e.gen));
             if let Some((s_holder, s_gen)) = stored {
@@ -915,8 +1134,8 @@ impl HvdbProtocol {
                             refresh: false,
                             mnt: value,
                         };
-                        self.counters.stamp_hints_sent += 1;
-                        self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(vc), inner);
+                        st.counters.stamp_hints_sent += 1;
+                        self.geo_dispatch(st, ctx, node, GeoTarget::ChOfVc(vc), inner);
                     }
                 }
             }
@@ -960,10 +1179,15 @@ impl HvdbProtocol {
         ctx.broadcast_frame(node, frame);
     }
 
-    fn on_ht_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
-        let tag = self.ptag(node, TAG_HT);
+    fn on_ht_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+    ) {
+        let tag = ptag(st, TAG_HT);
         ctx.set_timer(node, self.cfg.ht_interval, tag);
-        self.broadcast_ht_if_designated(node, ctx, false);
+        self.broadcast_ht_if_designated(node, st, ctx, false);
     }
 
     /// §4.2 designated broadcast: if this CH self-designates over its
@@ -971,18 +1195,19 @@ impl HvdbProtocol {
     /// generation. Shared by the slow designation cycle (`refresh =
     /// false`) and the fast refresh timer (`refresh = true`, accounted to
     /// the `ht-refresh` class). Returns whether a broadcast went out.
-    fn broadcast_ht_if_designated(
-        &mut self,
+    fn broadcast_ht_if_designated<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         refresh: bool,
     ) -> bool {
         let criterion = self.cfg.designation;
         let now = ctx.now();
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+        let Role::Head(h) = &mut st.role else {
             return false;
         };
-        refresh_region_cube(&self.cfg, &mut self.counters, h);
+        refresh_region_cube(&self.cfg, &mut st.counters, h);
         let cube = &h.cube_cache.as_ref().expect("cube cache just filled").1;
         if !h.db.should_broadcast(h.addr.hnid, criterion, cube) {
             return false;
@@ -991,7 +1216,7 @@ impl HvdbProtocol {
         let gen = h.ht_gen.tick();
         h.db.integrate_ht(&ht, node.0, gen, now);
         let origin = h.addr.hid;
-        self.counters.ht_broadcasts += 1;
+        st.counters.ht_broadcasts += 1;
         let frame = self.seal(HvdbMsg::Local(ChMsg::HtBroadcast {
             origin,
             holder: node.0,
@@ -1004,10 +1229,11 @@ impl HvdbProtocol {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn on_ht_broadcast(
-        &mut self,
+    fn on_ht_broadcast<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         origin: Hid,
         holder: u32,
         gen: u64,
@@ -1016,11 +1242,11 @@ impl HvdbProtocol {
         relay: Option<&FrameBytes>,
     ) {
         let now = ctx.now();
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+        let Role::Head(h) = &mut st.role else {
             return;
         };
         if !h.db.integrate_ht(ht, holder, gen, now).is_fresh() {
-            self.counters.stale_suppressed += 1;
+            st.counters.stale_suppressed += 1;
             ctx.record_stale_suppressed();
             let stored = h.db.ht_of.entry(&origin).map(|e| (e.holder, e.gen));
             if let Some((s_holder, s_gen)) = stored {
@@ -1054,7 +1280,7 @@ impl HvdbProtocol {
                             "stamp-hint",
                         );
                         if ctx.send_frame_reliable(node, NodeId(holder), frame) {
-                            self.counters.stamp_hints_sent += 1;
+                            st.counters.stamp_hints_sent += 1;
                         }
                     }
                 }
@@ -1105,8 +1331,13 @@ impl HvdbProtocol {
     /// stays one fast period. Withheld refreshes are counted
     /// (`refresh_suppressed`), fired ones feed the refresh-rate
     /// histogram.
-    fn on_refresh_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
-        let tag = self.ptag(node, TAG_REFRESH);
+    fn on_refresh_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+    ) {
+        let tag = ptag(st, TAG_REFRESH);
         ctx.set_timer_jittered(
             node,
             self.cfg.refresh_interval,
@@ -1115,8 +1346,8 @@ impl HvdbProtocol {
         );
         let now = ctx.now();
         let summary_deadline = self.cfg.summary_deadline();
-        let term = self.nodes[node.idx()].ch.term();
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+        let term = st.ch.term();
+        let Role::Head(h) = &mut st.role else {
             return;
         };
         let addr = h.addr;
@@ -1169,11 +1400,11 @@ impl HvdbProtocol {
         // suppressed ticks.
         let has_own_mnt = h.db.mnt_of.contains_key(&addr.hnid);
         let designated = !fire_ht && {
-            refresh_region_cube(&self.cfg, &mut self.counters, h);
+            refresh_region_cube(&self.cfg, &mut st.counters, h);
             let cube = &h.cube_cache.as_ref().expect("cube cache just filled").1;
             h.db.should_broadcast(addr.hnid, self.cfg.designation, cube)
         };
-        self.counters.soft_expired += expired;
+        st.counters.soft_expired += expired;
         ctx.record_soft_expired(expired);
         // (a) Re-announce the designation so members that lost the
         // original ChAnnounce recover within a refresh period.
@@ -1182,17 +1413,17 @@ impl HvdbProtocol {
             ctx.broadcast_frame(node, frame);
             ctx.record_refresh_tx();
             ctx.record_refresh_rate(rates.0);
-            self.counters.refresh_broadcasts += 1;
+            st.counters.refresh_broadcasts += 1;
         } else {
             ctx.record_refresh_suppressed(1);
-            self.counters.refresh_suppressed += 1;
+            st.counters.refresh_suppressed += 1;
         }
         // (b) Re-flood our own MNT-Summary (if one was computed yet) with
         // a fresh generation: cube peers that missed the content flood
         // converge without waiting a whole `mnt_interval`.
         if fire_mnt {
             let own_mnt = {
-                let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+                let Role::Head(h) = &mut st.role else {
                     return;
                 };
                 h.db.mnt_of.get(&addr.hnid).cloned().map(|mnt| {
@@ -1212,47 +1443,49 @@ impl HvdbProtocol {
                 };
                 let frame = self.seal(HvdbMsg::Local(inner.clone()));
                 ctx.broadcast_frame(node, frame);
-                self.mnt_far_supplement(ctx, node, vc, addr.hid, inner);
+                self.mnt_far_supplement(st, ctx, node, vc, addr.hid, inner);
                 ctx.record_refresh_tx();
                 ctx.record_refresh_rate(rates.1);
-                self.counters.refresh_broadcasts += 1;
+                st.counters.refresh_broadcasts += 1;
             }
         } else if has_own_mnt {
             ctx.record_refresh_suppressed(1);
-            self.counters.refresh_suppressed += 1;
+            st.counters.refresh_suppressed += 1;
         }
         // (c) The designated CH also re-floods the HT-Summary, repairing
         // the 20 s designation cycle's losses network-wide.
         if fire_ht {
-            if self.broadcast_ht_if_designated(node, ctx, true) {
+            if self.broadcast_ht_if_designated(node, st, ctx, true) {
                 ctx.record_refresh_tx();
                 ctx.record_refresh_rate(rates.2);
-                self.counters.refresh_broadcasts += 1;
+                st.counters.refresh_broadcasts += 1;
             }
         } else if designated {
             ctx.record_refresh_suppressed(1);
-            self.counters.refresh_suppressed += 1;
+            st.counters.refresh_suppressed += 1;
         }
     }
 
     // ------------------------------------------------------------------
     // Multicast data path (Fig. 6).
 
-    fn on_traffic_timer(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>, idx: usize) {
+    fn on_traffic_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+        idx: usize,
+    ) {
         let item = self.traffic[idx];
-        let data_id = self.next_data_id;
-        self.next_data_id += 1;
-        // Expected receivers: the group's true members right now, minus the
-        // source itself.
-        let expected = self
-            .truth
-            .get(&item.group)
-            .map(|m| m.iter().filter(|n| **n != node).count() as u64)
-            .unwrap_or(0);
-        ctx.record_origin_flow(data_id, expected, item.flow, item.seq);
-        if self.is_head(node) {
-            self.start_multicast_at_ch(node, ctx, data_id, item.group, item.size, 0);
-        } else if let Some(ch) = self.current_ch(node, ctx.now()) {
+        // Deterministic data ids (the traffic item's index) and expected
+        // receiver counts precomputed from the script at construction:
+        // the send path touches no shared mutable state, so the same
+        // recipe drives both engines.
+        let data_id = idx as u64 + 1;
+        ctx.record_origin_flow(data_id, self.expected[idx], item.flow, item.seq);
+        if st.is_head() {
+            self.start_multicast_at_ch(node, st, ctx, data_id, item.group, item.size, 0);
+        } else if let Some(ch) = self.current_ch(st, ctx.now()) {
             let frame = self.seal(HvdbMsg::DataToCh {
                 data_id,
                 group: item.group,
@@ -1260,40 +1493,41 @@ impl HvdbProtocol {
             });
             ctx.send_frame_reliable(node, ch, frame);
         } else {
-            self.counters.no_ch += 1;
+            st.counters.no_ch += 1;
         }
     }
 
     /// Fig. 6 steps 2–3: the source CH computes the mesh-tier tree and
     /// launches the branches, then enters its own hypercube.
     #[allow(clippy::too_many_arguments)]
-    fn start_multicast_at_ch(
-        &mut self,
+    fn start_multicast_at_ch<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         data_id: u64,
         group: GroupId,
         size: usize,
         hops: u32,
     ) {
         let cache_trees = self.cfg.cache_trees;
-        let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+        let Role::Head(h) = &mut st.role else {
             return;
         };
         let my_hid = h.addr.hid;
         let mt_version = h.db.mt.version();
         let tree = match h.mesh_cache.get(&group) {
             Some((v, t)) if cache_trees && *v == mt_version => {
-                self.counters.tree_cache_hits += 1;
+                st.counters.tree_cache_hits += 1;
                 t.clone()
             }
             _ => {
                 let dests = h.db.mt.hypercubes_with(group).to_vec();
                 if dests.iter().all(|d| *d == my_hid) {
-                    self.counters.mt_empty_at_send += 1;
+                    st.counters.mt_empty_at_send += 1;
                 }
                 let t = MeshTree::build(my_hid, &dests);
-                self.counters.trees_built += 1;
+                st.counters.trees_built += 1;
                 if cache_trees {
                     h.mesh_cache.insert(group, (mt_version, t.clone()));
                 }
@@ -1302,15 +1536,16 @@ impl HvdbProtocol {
         };
         // Enter our own hypercube with the whole tree.
         let edges = tree.encode_edges();
-        self.enter_region(node, ctx, data_id, group, size, my_hid, &edges, hops);
+        self.enter_region(node, st, ctx, data_id, group, size, my_hid, &edges, hops);
     }
 
     /// Fig. 6 step 4: a packet enters hypercube `this` at this CH.
     #[allow(clippy::too_many_arguments)]
-    fn enter_region(
-        &mut self,
+    fn enter_region<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         data_id: u64,
         group: GroupId,
         size: usize,
@@ -1320,7 +1555,7 @@ impl HvdbProtocol {
     ) {
         let cache_trees = self.cfg.cache_trees;
         {
-            let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            let Role::Head(h) = &mut st.role else {
                 return;
             };
             if !h.seen_mesh_data.insert(data_id) {
@@ -1340,20 +1575,20 @@ impl HvdbProtocol {
                     edges: sub,
                     hops,
                 };
-                self.counters.mesh_branches += 1;
-                self.geo_dispatch(ctx, node, GeoTarget::AnyChInRegion(child), inner);
+                st.counters.mesh_branches += 1;
+                self.geo_dispatch(st, ctx, node, GeoTarget::AnyChInRegion(child), inner);
             }
         }
         // (b) Hypercube-tier tree from the HT view.
         let (hc_edges, my_label) = {
-            let Role::Head(h) = &mut self.nodes[node.idx()].role else {
+            let Role::Head(h) = &mut st.role else {
                 return;
             };
             let my_label = h.addr.hnid;
             let key = h.mnt_version;
             let tree = match h.hc_cache.get(&group) {
                 Some((v, t)) if cache_trees && *v == key && t.root == my_label.0 => {
-                    self.counters.tree_cache_hits += 1;
+                    st.counters.tree_cache_hits += 1;
                     t.clone()
                 }
                 _ => {
@@ -1362,7 +1597,7 @@ impl HvdbProtocol {
                     let t = if this == h.addr.hid {
                         // The common case (a CH always enters its own
                         // region): reuse the cached region cube.
-                        refresh_region_cube(&self.cfg, &mut self.counters, h);
+                        refresh_region_cube(&self.cfg, &mut st.counters, h);
                         let cube = &h.cube_cache.as_ref().expect("cube cache just filled").1;
                         multicast_tree(cube, my_label.0, &dests)
                     } else {
@@ -1373,7 +1608,7 @@ impl HvdbProtocol {
                         );
                         multicast_tree(&cube, my_label.0, &dests)
                     };
-                    self.counters.trees_built += 1;
+                    st.counters.trees_built += 1;
                     if cache_trees {
                         h.hc_cache.insert(group, (key, t.clone()));
                     }
@@ -1383,17 +1618,18 @@ impl HvdbProtocol {
             (tree.encode_edges(), my_label)
         };
         self.process_hc_tree_node(
-            node, ctx, data_id, group, size, this, &hc_edges, my_label, hops,
+            node, st, ctx, data_id, group, size, this, &hc_edges, my_label, hops,
         );
     }
 
     /// Fig. 6 steps 5–6 at a tree node: deliver locally, forward to
     /// children over logical routes.
     #[allow(clippy::too_many_arguments)]
-    fn process_hc_tree_node(
-        &mut self,
+    fn process_hc_tree_node<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         data_id: u64,
         group: GroupId,
         size: usize,
@@ -1403,7 +1639,7 @@ impl HvdbProtocol {
         hops: u32,
     ) {
         // Local delivery.
-        self.deliver_locally(node, ctx, data_id, group, size, hops);
+        self.deliver_locally(node, st, ctx, data_id, group, size, hops);
         // Children of my label in the tree.
         let children: Vec<u32> = edges
             .iter()
@@ -1412,6 +1648,7 @@ impl HvdbProtocol {
             .collect();
         for child in children {
             self.forward_hc_leg(
+                st,
                 ctx,
                 node,
                 data_id,
@@ -1426,9 +1663,10 @@ impl HvdbProtocol {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn forward_hc_leg(
-        &mut self,
-        ctx: &mut Ctx<'_, FrameBytes>,
+    fn forward_hc_leg<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         node: NodeId,
         data_id: u64,
         group: GroupId,
@@ -1439,7 +1677,7 @@ impl HvdbProtocol {
         hops: u32,
     ) {
         let next = {
-            let Role::Head(h) = &self.nodes[node.idx()].role else {
+            let Role::Head(h) = &st.role else {
                 return;
             };
             h.table
@@ -1447,12 +1685,12 @@ impl HvdbProtocol {
                 .map(|r| r.next_hop)
         };
         let Some(next) = next else {
-            self.counters.no_route += 1;
+            st.counters.no_route += 1;
             return;
         };
         let next_addr = LogicalAddress { hid, hnid: next };
         let Some(next_vc) = self.cfg.map.vc_of(next_addr) else {
-            self.counters.no_route += 1;
+            st.counters.no_route += 1;
             return;
         };
         let inner = ChMsg::HcData {
@@ -1464,14 +1702,15 @@ impl HvdbProtocol {
             leg_dst,
             hops,
         };
-        self.geo_dispatch(ctx, node, GeoTarget::ChOfVc(next_vc), inner);
+        self.geo_dispatch(st, ctx, node, GeoTarget::ChOfVc(next_vc), inner);
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn on_hc_data(
-        &mut self,
+    fn on_hc_data<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         data_id: u64,
         group: GroupId,
         size: usize,
@@ -1481,7 +1720,7 @@ impl HvdbProtocol {
         hops: u32,
     ) {
         let my_label = {
-            let Role::Head(h) = &self.nodes[node.idx()].role else {
+            let Role::Head(h) = &st.role else {
                 return;
             };
             h.addr.hnid
@@ -1489,38 +1728,38 @@ impl HvdbProtocol {
         let raw_edges: Vec<(u32, u32)> = edges.iter().map(|(p, c)| (p.0, c.0)).collect();
         if leg_dst == my_label {
             self.process_hc_tree_node(
-                node, ctx, data_id, group, size, hid, &raw_edges, my_label, hops,
+                node, st, ctx, data_id, group, size, hid, &raw_edges, my_label, hops,
             );
         } else {
             // Relay along the logical route toward leg_dst.
             self.forward_hc_leg(
-                ctx, node, data_id, group, size, hid, &raw_edges, leg_dst, hops,
+                st, ctx, node, data_id, group, size, hid, &raw_edges, leg_dst, hops,
             );
         }
     }
 
     /// Fig. 6 step 6: CH local broadcast + own delivery.
     #[allow(clippy::too_many_arguments)]
-    fn deliver_locally(
-        &mut self,
+    fn deliver_locally<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        st: &mut HvdbNode,
+        ctx: &mut C,
         data_id: u64,
         group: GroupId,
         size: usize,
         hops: u32,
     ) {
         let has_members = {
-            let Role::Head(h) = &self.nodes[node.idx()].role else {
+            let Role::Head(h) = &st.role else {
                 return;
             };
-            h.db.has_local_members(group) || self.nodes[node.idx()].lm.contains(group)
+            h.db.has_local_members(group) || st.lm.contains(group)
         };
         if !has_members {
             return;
         }
         // Own delivery.
-        let st = &mut self.nodes[node.idx()];
         if st.lm.contains(group) && st.seen_data.insert(data_id) {
             ctx.record_delivery_hops(data_id, node, hops);
         }
@@ -1539,22 +1778,24 @@ impl HvdbProtocol {
         }
     }
 
-    fn on_group_event(&mut self, idx: usize) {
+    fn on_group_event(&self, node: NodeId, st: &mut HvdbNode, idx: usize) {
         let ev = self.group_events[idx];
-        let st = &mut self.nodes[ev.node.idx()];
+        debug_assert_eq!(ev.node, node, "group-event timer fired at the wrong node");
         if ev.join {
             st.lm.join(ev.group);
-            self.truth.entry(ev.group).or_default().insert(ev.node);
         } else {
             st.lm.leave(ev.group);
-            if let Some(m) = self.truth.get_mut(&ev.group) {
-                m.remove(&ev.node);
-            }
         }
     }
 
-    fn on_geo(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>, mut pkt: GeoPacket) {
-        if self.satisfies_target(node, pkt.target) {
+    fn on_geo<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+        mut pkt: GeoPacket,
+    ) {
+        if satisfies_target(st, pkt.target) {
             // Physical transmissions this geo leg took: one per relay
             // (`pkt.hops`) plus the final hop that reached us.
             let leg_hops = pkt.hops + 1;
@@ -1563,7 +1804,7 @@ impl HvdbProtocol {
                     from,
                     sent_at,
                     advertised,
-                } => self.on_beacon(node, ctx, *from, *sent_at, advertised),
+                } => self.on_beacon(node, st, ctx, *from, *sent_at, advertised),
                 ChMsg::MntShare {
                     origin,
                     hid,
@@ -1572,7 +1813,9 @@ impl HvdbProtocol {
                     refresh,
                     mnt,
                 } => {
-                    self.on_mnt_share(node, ctx, *origin, *hid, *holder, *gen, *refresh, mnt, None);
+                    self.on_mnt_share(
+                        node, st, ctx, *origin, *hid, *holder, *gen, *refresh, mnt, None,
+                    );
                 }
                 ChMsg::HtBroadcast {
                     origin,
@@ -1581,7 +1824,7 @@ impl HvdbProtocol {
                     refresh,
                     ht,
                 } => {
-                    self.on_ht_broadcast(node, ctx, *origin, *holder, *gen, *refresh, ht, None);
+                    self.on_ht_broadcast(node, st, ctx, *origin, *holder, *gen, *refresh, ht, None);
                 }
                 ChMsg::MeshData {
                     data_id,
@@ -1592,7 +1835,7 @@ impl HvdbProtocol {
                     hops,
                 } => {
                     let total = *hops + leg_hops;
-                    self.enter_region(node, ctx, *data_id, *group, *size, *this, edges, total)
+                    self.enter_region(node, st, ctx, *data_id, *group, *size, *this, edges, total)
                 }
                 ChMsg::HcData {
                     data_id,
@@ -1605,14 +1848,14 @@ impl HvdbProtocol {
                 } => {
                     let total = *hops + leg_hops;
                     self.on_hc_data(
-                        node, ctx, *data_id, *group, *size, *hid, edges, *leg_dst, total,
+                        node, st, ctx, *data_id, *group, *size, *hid, edges, *leg_dst, total,
                     )
                 }
             }
             return;
         }
         if pkt.ttl == 0 {
-            self.count_geo_stuck(&pkt);
+            Self::count_geo_stuck(st, &pkt);
             return;
         }
         pkt.ttl -= 1;
@@ -1625,69 +1868,46 @@ impl HvdbProtocol {
         let now = ctx.now();
         let shortcut = match pkt.target {
             GeoTarget::ChOfVc(vc) => {
-                let my_ch = self.current_ch(node, now);
-                let st = &self.nodes[node.idx()];
+                let my_ch = self.current_ch(st, now);
                 if st.my_vc == vc && my_ch.is_none() {
                     // We live in the target VC and know of no live head:
                     // the packet has no consumer; drop instead of
                     // wandering.
-                    self.count_geo_stuck(&pkt);
+                    Self::count_geo_stuck(st, &pkt);
                     return;
                 }
                 (st.my_vc == vc).then_some(my_ch).flatten()
             }
             GeoTarget::AnyChInRegion(hid) => {
-                let my_ch = self.current_ch(node, now);
-                let st = &self.nodes[node.idx()];
+                let my_ch = self.current_ch(st, now);
                 (self.cfg.map.hid_of(st.my_vc) == hid)
                     .then_some(my_ch)
                     .flatten()
             }
         };
         if let Some(ch) = shortcut {
-            if ch != node && ctx.is_alive(ch) && self.satisfies_target(ch, pkt.target) {
+            // Whether `ch` still satisfies the target is the receiver's
+            // call, not ours: a relay cannot read another node's role (on
+            // the sharded engine that would be a cross-shard state read),
+            // so the handover rides on lease evidence alone and a stale
+            // head simply relays the packet onward — the TTL still bounds
+            // the detour.
+            if ch != node && ctx.is_alive(ch) {
                 let frame = self.seal(HvdbMsg::Geo(pkt));
                 ctx.send_frame_reliable(node, ch, frame);
                 return;
             }
         }
-        self.geo_send(ctx, node, pkt);
+        self.geo_send(st, ctx, node, pkt);
     }
-}
 
-impl Protocol for HvdbProtocol {
-    type Msg = FrameBytes;
+    // ------------------------------------------------------------------
+    // Dispatch shared by both engines.
 
-    fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
-        if self.nodes.len() < ctx.node_count() {
-            // First callback: allocate per-node state.
-            let grid = &self.cfg.grid;
-            for id in 0..ctx.node_count() as u32 {
-                let pos = ctx.position(NodeId(id));
-                let mut lm = LocalMembership::default();
-                for (g, members) in &self.truth {
-                    if members.contains(&NodeId(id)) {
-                        lm.join(*g);
-                    }
-                }
-                self.nodes.push(NodeState {
-                    lm,
-                    my_vc: grid.vc_of(pos),
-                    ch: HeadLease::default(),
-                    report_gen: GenClock::default(),
-                    best_cand: None,
-                    heard_head_bid: false,
-                    pending_handover: None,
-                    timer_epoch: 0,
-                    role: Role::Member,
-                    seen_data: FxHashSet::default(),
-                });
-            }
-        }
-        // Phase-jittered periodic timers.
-        let jitter = |ctx: &mut Ctx<'_, FrameBytes>, max: u64| {
-            SimDuration(ctx.rng().range_u64(0, max.max(1)))
-        };
+    /// Arms one node's phase-jittered periodic timers plus its scripted
+    /// traffic and group-event timers (t = 0 on either engine).
+    fn start_node<C: ProtoCtx<Msg = FrameBytes>>(&self, node: NodeId, ctx: &mut C) {
+        let jitter = |ctx: &mut C, max: u64| SimDuration(ctx.rand_u64(0, max.max(1)));
         let j = jitter(ctx, self.cfg.cluster_interval.0 / 4);
         ctx.set_timer(node, j, TAG_CANDIDACY);
         let j = jitter(ctx, self.cfg.beacon_interval.0);
@@ -1723,12 +1943,14 @@ impl Protocol for HvdbProtocol {
         }
     }
 
-    fn on_message(
-        &mut self,
+    /// Message dispatch for the node owning `st` (both engines).
+    fn dispatch_message<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
         node: NodeId,
+        st: &mut HvdbNode,
         from: NodeId,
         msg: FrameBytes,
-        ctx: &mut Ctx<'_, FrameBytes>,
+        ctx: &mut C,
     ) {
         // Receivers read the shared payload in place; only the arms that
         // *store or forward* owned state take the payload out (unicast
@@ -1736,7 +1958,6 @@ impl Protocol for HvdbProtocol {
         match msg.msg() {
             HvdbMsg::Candidacy { vc, score } => {
                 let (vc, score) = (*vc, *score);
-                let st = &mut self.nodes[node.idx()];
                 if vc == st.my_vc {
                     if st.ch.head_unchecked() == Some(score.node) {
                         st.heard_head_bid = true;
@@ -1764,39 +1985,36 @@ impl Protocol for HvdbProtocol {
                 // survives, and members' leases converge to the same
                 // winner by the same ordering.
                 if from != node {
-                    let me_head_of =
-                        matches!(&self.nodes[node.idx()].role, Role::Head(h) if h.vc == vc);
+                    let me_head_of = matches!(&st.role, Role::Head(h) if h.vc == vc);
                     if me_head_of {
-                        let my_term = self.nodes[node.idx()].ch.term();
+                        let my_term = st.ch.term();
                         let i_lose = term > my_term || (term == my_term && from.0 < node.0);
                         if i_lose {
-                            self.resign_to(node, ctx, vc, from);
+                            self.resign_to(node, st, ctx, vc, from);
                         }
                     }
                 }
-                let st = &mut self.nodes[node.idx()];
                 if vc == st.my_vc
                     && st.ch.observe(from.0, term, now, deadline) == LeaseUpdate::Stale
                 {
                     // A superseded head's late announcement: ignored, so
                     // the member keeps pointing its data at the winner.
-                    self.counters.stale_suppressed += 1;
+                    st.counters.stale_suppressed += 1;
                     ctx.record_stale_suppressed();
                 }
             }
             HvdbMsg::ChRetire { vc } => {
                 let vc = *vc;
-                let st = &mut self.nodes[node.idx()];
                 if vc == st.my_vc && st.ch.head_unchecked() == Some(from.0) {
                     st.ch.vacate();
                 }
             }
             HvdbMsg::JoinReport { gen, lm } => {
                 let now = ctx.now();
-                if let Role::Head(h) = &mut self.nodes[node.idx()].role {
+                if let Role::Head(h) = &mut st.role {
                     let (fresh, changed) = h.db.store_local(from.0, lm, *gen, now);
                     if !fresh.is_fresh() {
-                        self.counters.stale_suppressed += 1;
+                        st.counters.stale_suppressed += 1;
                         ctx.record_stale_suppressed();
                     } else if changed {
                         h.mnt_version += 1;
@@ -1814,19 +2032,19 @@ impl Protocol for HvdbProtocol {
                 size,
             } => {
                 let (data_id, group, size) = (*data_id, *group, *size);
-                if self.is_head(node) {
+                if st.is_head() {
                     // One member→CH transmission behind us. (A bounced
                     // frame rides the same shared payload, so its extra
                     // hop is deliberately not re-stamped — rare and
                     // cheaper than re-sealing.)
-                    self.start_multicast_at_ch(node, ctx, data_id, group, size, 1);
-                } else if let Some(ch) = self.current_ch(node, ctx.now()) {
+                    self.start_multicast_at_ch(node, st, ctx, data_id, group, size, 1);
+                } else if let Some(ch) = self.current_ch(st, ctx.now()) {
                     // The member's view was stale (this node resigned);
                     // bounce the packet to the current head once.
                     if ch != node {
                         // The received frame is forwarded unchanged: the
                         // bounce rides the same shared payload.
-                        self.counters.data_bounced += 1;
+                        st.counters.data_bounced += 1;
                         ctx.send_frame_reliable(node, ch, msg.clone());
                     }
                 }
@@ -1838,7 +2056,6 @@ impl Protocol for HvdbProtocol {
                 ..
             } => {
                 let (data_id, group, hops) = (*data_id, *group, *hops);
-                let st = &mut self.nodes[node.idx()];
                 if st.lm.contains(group) && st.seen_data.insert(data_id) {
                     // +1 for the CH's local delivery broadcast itself.
                     ctx.record_delivery_hops(data_id, node, hops + 1);
@@ -1865,12 +2082,12 @@ impl Protocol for HvdbProtocol {
                     locals,
                     hts,
                 };
-                if matches!(&self.nodes[node.idx()].role, Role::Head(h) if h.vc == vc) {
-                    self.apply_handover(node, now, ho);
-                } else if self.nodes[node.idx()].my_vc == vc {
+                if matches!(&st.role, Role::Head(h) if h.vc == vc) {
+                    Self::apply_handover(st, now, ho);
+                } else if st.my_vc == vc {
                     // Our decide timer has not fired yet: keep the state
                     // until the win it belongs to actually happens.
-                    self.nodes[node.idx()].pending_handover = Some(Box::new(ho));
+                    st.pending_handover = Some(Box::new(ho));
                 }
             }
             HvdbMsg::Geo(_) => {
@@ -1880,10 +2097,10 @@ impl Protocol for HvdbProtocol {
                 let HvdbMsg::Geo(pkt) = msg.into_msg() else {
                     unreachable!("matched Geo above");
                 };
-                self.on_geo(node, ctx, pkt);
+                self.on_geo(node, st, ctx, pkt);
             }
             HvdbMsg::Local(inner) => {
-                if !self.is_head(node) {
+                if !st.is_head() {
                     return; // CH-plane traffic; members ignore it
                 }
                 match inner {
@@ -1891,7 +2108,7 @@ impl Protocol for HvdbProtocol {
                         from,
                         sent_at,
                         advertised,
-                    } => self.on_beacon(node, ctx, *from, *sent_at, advertised),
+                    } => self.on_beacon(node, st, ctx, *from, *sent_at, advertised),
                     ChMsg::MntShare {
                         origin,
                         hid,
@@ -1905,6 +2122,7 @@ impl Protocol for HvdbProtocol {
                         // whole cube behind one allocation.
                         self.on_mnt_share(
                             node,
+                            st,
                             ctx,
                             *origin,
                             *hid,
@@ -1924,6 +2142,7 @@ impl Protocol for HvdbProtocol {
                     } => {
                         self.on_ht_broadcast(
                             node,
+                            st,
                             ctx,
                             *origin,
                             *holder,
@@ -1939,64 +2158,162 @@ impl Protocol for HvdbProtocol {
         }
     }
 
-    fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, FrameBytes>) {
+    /// Timer dispatch for the node owning `st` (both engines).
+    fn dispatch_timer<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        tag: u64,
+        ctx: &mut C,
+    ) {
         match tag {
-            t if t >= TAG_GROUP_BASE => self.on_group_event((t - TAG_GROUP_BASE) as usize),
+            t if t >= TAG_GROUP_BASE => {
+                self.on_group_event(node, st, (t - TAG_GROUP_BASE) as usize)
+            }
             t if t >= TAG_TRAFFIC_BASE => {
-                self.on_traffic_timer(node, ctx, (t - TAG_TRAFFIC_BASE) as usize)
+                self.on_traffic_timer(node, st, ctx, (t - TAG_TRAFFIC_BASE) as usize)
             }
             t => {
-                if (t >> 3) != self.nodes[node.idx()].timer_epoch {
+                if (t >> 3) != st.timer_epoch {
                     // A chain from before this node's last recovery: let
                     // it die instead of re-arming a duplicate.
                     return;
                 }
                 match t & TAG_KIND_MASK {
-                    TAG_CANDIDACY => self.on_candidacy_timer(node, ctx),
-                    TAG_DECIDE => self.on_decide_timer(node, ctx),
-                    TAG_REPORT => self.on_report_timer(node, ctx),
-                    TAG_BEACON => self.on_beacon_timer(node, ctx),
-                    TAG_MNT => self.on_mnt_timer(node, ctx),
-                    TAG_HT => self.on_ht_timer(node, ctx),
-                    TAG_REFRESH => self.on_refresh_timer(node, ctx),
+                    TAG_CANDIDACY => self.on_candidacy_timer(node, st, ctx),
+                    TAG_DECIDE => self.on_decide_timer(node, st, ctx),
+                    TAG_REPORT => self.on_report_timer(node, st, ctx),
+                    TAG_BEACON => self.on_beacon_timer(node, st, ctx),
+                    TAG_MNT => self.on_mnt_timer(node, st, ctx),
+                    TAG_HT => self.on_ht_timer(node, st, ctx),
+                    TAG_REFRESH => self.on_refresh_timer(node, st, ctx),
                     _ => unreachable!("unknown timer tag {tag}"),
                 }
             }
         }
     }
 
-    fn on_fail(&mut self, node: NodeId, _ctx: &mut Ctx<'_, FrameBytes>) {
-        // A failed CH simply goes silent; neighbours detect it by beacon
-        // timeout (the availability experiment measures exactly this).
-        self.nodes[node.idx()].role = Role::Member;
-        self.nodes[node.idx()].ch.clear();
+    /// Fault injection: a failed CH simply goes silent; neighbours detect
+    /// it by beacon timeout (the availability experiment measures exactly
+    /// this).
+    fn fail_node(st: &mut HvdbNode) {
+        st.role = Role::Member;
+        st.ch.clear();
     }
 
-    fn on_recover(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
-        self.nodes[node.idx()].ch.clear();
-        self.nodes[node.idx()].best_cand = None;
+    /// Fault injection: the node came back up with cleared volatile view.
+    fn recover_node<C: ProtoCtx<Msg = FrameBytes>>(
+        &self,
+        node: NodeId,
+        st: &mut HvdbNode,
+        ctx: &mut C,
+    ) {
+        st.ch.clear();
+        st.best_cand = None;
         // Restart every periodic chain under a fresh timer epoch: chains
         // that fired while the node was down are broken, and any that
         // survived a short outage carry the old epoch and die at their
         // next firing — no duplicated cadence either way.
-        self.nodes[node.idx()].timer_epoch += 1;
-        let j = SimDuration(ctx.rng().range_u64(0, self.cfg.cluster_interval.0 / 4 + 1));
-        let tag = self.ptag(node, TAG_CANDIDACY);
+        st.timer_epoch += 1;
+        let j = SimDuration(ctx.rand_u64(0, self.cfg.cluster_interval.0 / 4 + 1));
+        let tag = ptag(st, TAG_CANDIDACY);
         ctx.set_timer(node, j, tag);
-        let tag = self.ptag(node, TAG_BEACON);
+        let tag = ptag(st, TAG_BEACON);
         ctx.set_timer(node, self.cfg.beacon_interval, tag);
-        let tag = self.ptag(node, TAG_MNT);
+        let tag = ptag(st, TAG_MNT);
         ctx.set_timer(node, self.cfg.mnt_interval, tag);
-        let tag = self.ptag(node, TAG_HT);
+        let tag = ptag(st, TAG_HT);
         ctx.set_timer(node, self.cfg.ht_interval, tag);
-        let tag = self.ptag(node, TAG_REPORT);
+        let tag = ptag(st, TAG_REPORT);
         ctx.set_timer(node, self.cfg.local_report_interval, tag);
-        let tag = self.ptag(node, TAG_REFRESH);
+        let tag = ptag(st, TAG_REFRESH);
         ctx.set_timer_jittered(
             node,
             self.cfg.refresh_interval,
             self.cfg.refresh_jitter,
             tag,
         );
+    }
+}
+
+impl Protocol for HvdbProtocol {
+    type Msg = FrameBytes;
+
+    fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
+        if self.nodes.len() < ctx.node_count() {
+            // First callback: allocate per-node state.
+            for id in 0..ctx.node_count() as u32 {
+                let pos = ctx.position(NodeId(id));
+                self.nodes.push(self.core.new_node(NodeId(id), pos));
+            }
+        }
+        self.core.start_node(node, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        node: NodeId,
+        from: NodeId,
+        msg: FrameBytes,
+        ctx: &mut Ctx<'_, FrameBytes>,
+    ) {
+        let HvdbProtocol { core, nodes } = self;
+        core.dispatch_message(node, &mut nodes[node.idx()], from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, node: NodeId, tag: u64, ctx: &mut Ctx<'_, FrameBytes>) {
+        let HvdbProtocol { core, nodes } = self;
+        core.dispatch_timer(node, &mut nodes[node.idx()], tag, ctx);
+    }
+
+    fn on_fail(&mut self, node: NodeId, _ctx: &mut Ctx<'_, FrameBytes>) {
+        HvdbCore::fail_node(&mut self.nodes[node.idx()]);
+    }
+
+    fn on_recover(&mut self, node: NodeId, ctx: &mut Ctx<'_, FrameBytes>) {
+        let HvdbProtocol { core, nodes } = self;
+        core.recover_node(node, &mut nodes[node.idx()], ctx);
+    }
+}
+
+impl ParProtocol for HvdbCore {
+    type Msg = FrameBytes;
+    type Node = HvdbNode;
+
+    fn make_node(&self, id: NodeId, world: &World) -> HvdbNode {
+        self.new_node(id, world.position(id))
+    }
+
+    fn on_start(&self, id: NodeId, _node: &mut HvdbNode, ctx: &mut ParCtx<'_, FrameBytes>) {
+        self.start_node(id, ctx);
+    }
+
+    fn on_message(
+        &self,
+        id: NodeId,
+        node: &mut HvdbNode,
+        from: NodeId,
+        msg: FrameBytes,
+        ctx: &mut ParCtx<'_, FrameBytes>,
+    ) {
+        self.dispatch_message(id, node, from, msg, ctx);
+    }
+
+    fn on_timer(
+        &self,
+        id: NodeId,
+        node: &mut HvdbNode,
+        tag: u64,
+        ctx: &mut ParCtx<'_, FrameBytes>,
+    ) {
+        self.dispatch_timer(id, node, tag, ctx);
+    }
+
+    fn on_fail(&self, _id: NodeId, node: &mut HvdbNode, _ctx: &mut ParCtx<'_, FrameBytes>) {
+        Self::fail_node(node);
+    }
+
+    fn on_recover(&self, id: NodeId, node: &mut HvdbNode, ctx: &mut ParCtx<'_, FrameBytes>) {
+        self.recover_node(id, node, ctx);
     }
 }

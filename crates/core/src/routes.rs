@@ -134,6 +134,17 @@ impl RouteTable {
         self.routes.len()
     }
 
+    /// Deterministic content-byte estimate of the table (entries × entry
+    /// size, not allocator capacity) — feeds the `scale` scenario's
+    /// `memory_per_node_bytes` column.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.routes
+            .values()
+            .map(|v| size_of::<Hnid>() + v.len() * size_of::<RouteEntry>())
+            .sum()
+    }
+
     /// Integrates a beacon received from 1-logical-hop neighbour `from`
     /// over a link with measured QoS `link`, advertising `advertised`.
     /// Implements step 2 of Fig. 4 ("Each CH updates its local logical

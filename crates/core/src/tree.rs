@@ -107,6 +107,18 @@ impl MeshTree {
         self.parent.len()
     }
 
+    /// Deterministic content-byte estimate of the tree's maps (entries ×
+    /// entry size, not allocator capacity).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.parent.len() * size_of::<(Hid, Hid)>()
+            + self
+                .children
+                .values()
+                .map(|c| size_of::<Hid>() + c.len() * size_of::<Hid>())
+                .sum::<usize>()
+    }
+
     /// Serialises as a BFS-ordered edge list for the packet header (the
     /// §4.3 encapsulation).
     pub fn encode_edges(&self) -> Vec<(Hid, Hid)> {

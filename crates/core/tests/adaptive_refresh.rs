@@ -99,8 +99,8 @@ fn quiet_phase_refresh_traffic_drops_at_least_2x() {
     // The saving is visible in the controller's own books, not just the
     // radio's: refreshes were suppressed, and the rate histogram shows
     // time spent at backed-off intervals.
-    assert_eq!(fixed_proto.counters.refresh_suppressed, 0);
-    assert!(adaptive_proto.counters.refresh_suppressed > 0);
+    assert_eq!(fixed_proto.counters().refresh_suppressed, 0);
+    assert!(adaptive_proto.counters().refresh_suppressed > 0);
     assert!(fixed_stats.refresh_rate_hist.keys().all(|t| *t == 1));
     assert!(
         adaptive_stats.refresh_rate_hist.keys().any(|t| *t > 1),
@@ -108,7 +108,8 @@ fn quiet_phase_refresh_traffic_drops_at_least_2x() {
         adaptive_stats.refresh_rate_hist
     );
     assert_eq!(
-        adaptive_stats.soft_refresh_suppressed, adaptive_proto.counters.refresh_suppressed,
+        adaptive_stats.soft_refresh_suppressed,
+        adaptive_proto.counters().refresh_suppressed,
         "sim and protocol suppression counters must agree"
     );
     // The region-cube cache earns its keep exactly here: once the
@@ -116,8 +117,8 @@ fn quiet_phase_refresh_traffic_drops_at_least_2x() {
     // or suppressed) must reuse the cached cube instead of rebuilding it
     // from the MNT label set — hits dominate rebuilds in a quiet phase.
     for proto in [&fixed_proto, &adaptive_proto] {
-        let hits = proto.counters.cube_cache_hits;
-        let rebuilds = proto.counters.cube_rebuilds;
+        let hits = proto.counters().cube_cache_hits;
+        let rebuilds = proto.counters().cube_rebuilds;
         assert!(
             hits > rebuilds,
             "quiet phase must be cache-hit dominated: {hits} hits vs {rebuilds} rebuilds"
@@ -150,8 +151,8 @@ fn membership_churn_snaps_the_rate_back() {
         "churned run must refresh more ({churned} vs {quiet})"
     );
     assert!(
-        churn_proto.counters.refresh_suppressed > 0,
+        churn_proto.counters().refresh_suppressed > 0,
         "even the churned run has quiet stretches to back off in"
     );
-    assert!(quiet_proto.counters.refresh_suppressed > churn_proto.counters.refresh_suppressed);
+    assert!(quiet_proto.counters().refresh_suppressed > churn_proto.counters().refresh_suppressed);
 }

@@ -153,7 +153,7 @@ fn multicast_delivers_across_regions() {
     assert!(
         ratio >= 0.75,
         "delivery ratio {ratio} too low; counters: {:?}",
-        proto.counters
+        proto.counters()
     );
     // Data had to traverse the mesh tier.
     assert!(sim.stats().msgs("mesh-data") > 0, "no mesh-tier traffic");
@@ -179,7 +179,7 @@ fn multicast_within_single_region_uses_hypercube_tier() {
         sim.stats().delivery_ratio() >= 0.99,
         "ratio {} counters {:?}",
         sim.stats().delivery_ratio(),
-        proto.counters
+        proto.counters()
     );
     assert!(sim.stats().msgs("hc-data") > 0, "no hypercube-tier traffic");
 }
@@ -210,7 +210,7 @@ fn dynamic_join_becomes_visible_to_routing() {
         sim.stats().delivery_ratio() >= 0.99,
         "ratio {} counters {:?}",
         sim.stats().delivery_ratio(),
-        proto.counters
+        proto.counters()
     );
 }
 
@@ -256,12 +256,12 @@ fn ch_failure_is_detected_and_routed_around() {
     // through label 0011 must fail over.
     sim.schedule_fail(NodeId(9), SimTime::from_secs(60));
     sim.run(&mut proto, SimTime::from_secs(180));
-    assert!(proto.counters.neighbors_expired > 0, "failure undetected");
+    assert!(proto.counters().neighbors_expired > 0, "failure undetected");
     assert!(
         sim.stats().delivery_ratio() >= 0.99,
         "ratio {} counters {:?}",
         sim.stats().delivery_ratio(),
-        proto.counters
+        proto.counters()
     );
 }
 
@@ -284,9 +284,9 @@ fn tree_caching_avoids_recomputation() {
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
     sim.run(&mut proto, SimTime::from_secs(170));
     assert!(
-        proto.counters.tree_cache_hits > 0,
+        proto.counters().tree_cache_hits > 0,
         "no cache hits: {:?}",
-        proto.counters
+        proto.counters()
     );
     assert!(sim.stats().delivery_ratio() > 0.8);
 }

@@ -6,9 +6,27 @@
 //! the standard choice for roughly uniform node distributions (dense MANET
 //! deployments). Keys are small integers, so we use `FxHashMap` per the
 //! performance guidance for integer-keyed hot maps.
+//!
+//! The index is **two-level**: above the fine cell grid sits a coarse
+//! occupancy grid of 8×8-cell super-cells (an item count per super-cell,
+//! maintained on every insert/remove). Radio-range queries scan a 3×3
+//! cell window and never consult it, but *wide* queries — a region-scoped
+//! scan, a large `nodes_near` radius over a 100k-node area — skip whole
+//! empty super-cells (64 hash probes at a time) instead of probing every
+//! cell in the rectangle. Cell visit order is identical on both paths, so
+//! results are byte-for-byte the same whichever level answers.
 
 use crate::point::Point;
 use rustc_hash::FxHashMap;
+
+/// Cells per super-cell edge is `1 << SUPER_SHIFT` (8): coarse enough to
+/// skip in useful strides, fine enough that occupancy stays informative.
+const SUPER_SHIFT: i32 = 3;
+
+/// Scan half-widths at or above this use the coarse level: below it the
+/// rectangle is at most 7×7 cells and the occupancy probes cost more than
+/// they save.
+const COARSE_MIN_REACH: i32 = 4;
 
 /// A spatial hash over items identified by `u32` ids.
 ///
@@ -19,6 +37,8 @@ use rustc_hash::FxHashMap;
 pub struct SpatialIndex {
     cell_size: f64,
     cells: FxHashMap<(i32, i32), Vec<(u32, Point)>>,
+    /// Coarse level: items per super-cell (absent key = empty).
+    coarse: FxHashMap<(i32, i32), u32>,
     len: usize,
 }
 
@@ -36,6 +56,7 @@ impl SpatialIndex {
         SpatialIndex {
             cell_size,
             cells: FxHashMap::default(),
+            coarse: FxHashMap::default(),
             len: 0,
         }
     }
@@ -69,11 +90,18 @@ impl SpatialIndex {
         self.cell_of(p)
     }
 
+    #[inline]
+    fn super_of(cell: (i32, i32)) -> (i32, i32) {
+        (cell.0 >> SUPER_SHIFT, cell.1 >> SUPER_SHIFT)
+    }
+
     /// Inserts one item. Duplicate ids are allowed but queries will return
     /// each inserted copy; callers maintaining a mutable population should
     /// prefer [`SpatialIndex::rebuild`].
     pub fn insert(&mut self, id: u32, p: Point) {
-        self.cells.entry(self.cell_of(p)).or_default().push((id, p));
+        let cell = self.cell_of(p);
+        self.cells.entry(cell).or_default().push((id, p));
+        *self.coarse.entry(Self::super_of(cell)).or_insert(0) += 1;
         self.len += 1;
     }
 
@@ -83,6 +111,7 @@ impl SpatialIndex {
         for bucket in self.cells.values_mut() {
             bucket.clear();
         }
+        self.coarse.clear();
         self.len = 0;
         for (id, p) in items {
             self.insert(id, p);
@@ -96,6 +125,13 @@ impl SpatialIndex {
         if let Some(bucket) = self.cells.get_mut(&key) {
             if let Some(pos) = bucket.iter().position(|(i, _)| *i == id) {
                 bucket.swap_remove(pos);
+                let sk = Self::super_of(key);
+                if let Some(c) = self.coarse.get_mut(&sk) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.coarse.remove(&sk);
+                    }
+                }
                 self.len -= 1;
                 return true;
             }
@@ -133,6 +169,33 @@ impl SpatialIndex {
         }
     }
 
+    /// Visits every non-empty cell bucket in the `(2·reach+1)²` rectangle
+    /// around `(cx, cy)`, in ascending `(gx, gy)` order. Wide rectangles
+    /// consult the coarse level first and leap over empty super-cells;
+    /// the visit order (and therefore every query's output order) is
+    /// unchanged either way.
+    fn for_cells_in_reach(&self, cx: i32, cy: i32, reach: i32, mut f: impl FnMut(&[(u32, Point)])) {
+        let use_coarse = reach >= COARSE_MIN_REACH;
+        for gx in (cx - reach)..=(cx + reach) {
+            let mut gy = cy - reach;
+            while gy <= cy + reach {
+                if use_coarse {
+                    let sk = Self::super_of((gx, gy));
+                    if !self.coarse.contains_key(&sk) {
+                        // Skip to the first cell row of the next
+                        // super-cell down this column.
+                        gy = ((sk.1 + 1) << SUPER_SHIFT).max(gy + 1);
+                        continue;
+                    }
+                }
+                if let Some(bucket) = self.cells.get(&(gx, gy)) {
+                    f(bucket);
+                }
+                gy += 1;
+            }
+        }
+    }
+
     /// Collects the ids of all items within `radius` of `center`
     /// (inclusive), appending to `out`. `out` is cleared first; passing a
     /// reused buffer avoids per-query allocation (hot path).
@@ -141,17 +204,13 @@ impl SpatialIndex {
         let r_sq = radius * radius;
         let reach = (radius / self.cell_size).ceil() as i32;
         let (cx, cy) = self.cell_of(center);
-        for gx in (cx - reach)..=(cx + reach) {
-            for gy in (cy - reach)..=(cy + reach) {
-                if let Some(bucket) = self.cells.get(&(gx, gy)) {
-                    for (id, p) in bucket {
-                        if p.distance_sq(center) <= r_sq {
-                            out.push(*id);
-                        }
-                    }
+        self.for_cells_in_reach(cx, cy, reach, |bucket| {
+            for (id, p) in bucket {
+                if p.distance_sq(center) <= r_sq {
+                    out.push(*id);
                 }
             }
-        }
+        });
     }
 
     /// Allocation-per-call convenience wrapper over
@@ -169,22 +228,29 @@ impl SpatialIndex {
         let reach = (radius / self.cell_size).ceil() as i32;
         let (cx, cy) = self.cell_of(center);
         let mut best: Option<(u32, f64)> = None;
-        for gx in (cx - reach)..=(cx + reach) {
-            for gy in (cy - reach)..=(cy + reach) {
-                if let Some(bucket) = self.cells.get(&(gx, gy)) {
-                    for (id, p) in bucket {
-                        if *id == exclude {
-                            continue;
-                        }
-                        let d = p.distance_sq(center);
-                        if d <= r_sq && best.is_none_or(|(_, bd)| d < bd) {
-                            best = Some((*id, d));
-                        }
-                    }
+        self.for_cells_in_reach(cx, cy, reach, |bucket| {
+            for (id, p) in bucket {
+                if *id == exclude {
+                    continue;
+                }
+                let d = p.distance_sq(center);
+                if d <= r_sq && best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((*id, d));
                 }
             }
-        }
+        });
         best.map(|(id, _)| id)
+    }
+
+    /// Deterministic content-byte estimate of both index levels (live
+    /// entries × entry size, not allocator capacity).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.cells
+            .values()
+            .map(|b| size_of::<(i32, i32)>() + b.len() * size_of::<(u32, Point)>())
+            .sum::<usize>()
+            + self.coarse.len() * size_of::<((i32, i32), u32)>()
     }
 }
 
@@ -281,6 +347,65 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, vec![1, 2, 4]);
         assert!(idx.query_range(Point::new(500.0, 500.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn wide_query_agrees_with_narrow_scan() {
+        // A population sparse enough that the coarse level actually skips
+        // super-cells, with a query radius wide enough (reach >= 4) to
+        // take the coarse path. Results must match a brute-force filter.
+        let mut idx = SpatialIndex::new(50.0);
+        let pts: Vec<(u32, Point)> = (0..40)
+            .map(|i| {
+                (
+                    i,
+                    Point::new((i as f64 * 397.0) % 2000.0, (i as f64 * 211.0) % 2000.0),
+                )
+            })
+            .collect();
+        idx.rebuild(pts.iter().copied());
+        for &(_, c) in &[
+            (0, Point::new(500.0, 500.0)),
+            (0, Point::new(1900.0, 100.0)),
+        ] {
+            let mut got = idx.query_range(c, 450.0); // reach = 9
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .filter(|(_, p)| p.distance_sq(c) <= 450.0 * 450.0)
+                .map(|(i, _)| *i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn coarse_level_tracks_removals() {
+        let mut idx = SpatialIndex::new(50.0);
+        idx.insert(1, Point::new(10.0, 10.0));
+        idx.insert(2, Point::new(1500.0, 1500.0));
+        assert!(idx.remove(2, Point::new(1500.0, 1500.0)));
+        // Wide query from near the removed item: the coarse skip must not
+        // hide the survivor, and the emptied super-cell stays empty.
+        let got = idx.query_range(Point::new(700.0, 700.0), 1200.0); // reach = 24
+        assert_eq!(got, vec![1]);
+        assert!(idx
+            .query_range(Point::new(1500.0, 1500.0), 300.0)
+            .is_empty());
+        // Reinsertion revives the super-cell.
+        idx.insert(3, Point::new(1510.0, 1490.0));
+        assert_eq!(idx.query_range(Point::new(1500.0, 1500.0), 300.0), vec![3]);
+    }
+
+    #[test]
+    fn memory_bytes_counts_entries() {
+        let mut idx = SpatialIndex::new(50.0);
+        assert_eq!(idx.memory_bytes(), 0);
+        idx.insert(1, Point::new(0.0, 0.0));
+        let one = idx.memory_bytes();
+        idx.insert(2, Point::new(1000.0, 1000.0));
+        assert!(idx.memory_bytes() > one);
     }
 
     #[test]

@@ -73,6 +73,18 @@ impl MulticastTree {
         self.parent.len()
     }
 
+    /// Deterministic content-byte estimate of the tree's maps (entries ×
+    /// entry size, not allocator capacity).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.parent.len() * size_of::<(NodeLabel, NodeLabel)>()
+            + self
+                .children
+                .values()
+                .map(|c| size_of::<NodeLabel>() + c.len() * size_of::<NodeLabel>())
+                .sum::<usize>()
+    }
+
     /// Depth of the tree (root = 0).
     pub fn depth(&self) -> u32 {
         let mut best = 0;

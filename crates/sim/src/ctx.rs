@@ -1,0 +1,339 @@
+//! Engine-agnostic protocol context.
+//!
+//! The serial [`Ctx`] and the sharded parallel
+//! [`ParCtx`] expose the same conceptual surface —
+//! world queries, timers, the radio, and statistics recording — but as
+//! distinct concrete types. [`ProtoCtx`] abstracts over both so protocol
+//! logic can be written once and executed on either engine: a handler
+//! takes `ctx: &mut impl ProtoCtx<Msg = …>` and the engine it actually
+//! runs on is invisible to it.
+//!
+//! Differences the trait deliberately papers over:
+//!
+//! * **Randomness.** The serial engine has one global
+//!   [`SimRng`](crate::rng::SimRng) stream; the parallel engine gives every node an
+//!   independent `Rng64` stream (a requirement for shard isolation). The
+//!   trait therefore exposes draws ([`ProtoCtx::rand_u64`],
+//!   [`ProtoCtx::rand_chance`]) rather than a concrete RNG type. Protocol
+//!   decisions driven by these draws are deterministic per engine but
+//!   *differ between* the engines — cross-engine comparisons must be
+//!   statistical (delivery, overhead), not byte-exact. Within one engine
+//!   a (config, seed) pair still replays bit-identically, and the
+//!   parallel engine remains byte-identical across thread counts.
+//! * **Delivery bookkeeping.** Serial stats mutate in place; parallel
+//!   stats buffer into per-shard deltas replayed at commit. The
+//!   `record_*` family hides that distinction.
+
+use crate::engine::Ctx;
+use crate::node::{Capability, NodeId};
+use crate::par::ParCtx;
+use crate::time::{SimDuration, SimTime};
+use hvdb_geo::{Aabb, Point, Vec2};
+
+/// The protocol-facing context surface common to [`Ctx`] and [`ParCtx`].
+///
+/// All methods mirror the inherent methods of the two concrete contexts;
+/// see their documentation for semantics (unit-disk radio, loss model,
+/// timer tags, delivery accounting).
+pub trait ProtoCtx {
+    /// The message type carried by the engine's event queue.
+    type Msg: Clone;
+
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+    /// Total number of nodes in the world.
+    fn node_count(&self) -> usize;
+    /// Current position of `id`.
+    fn position(&self, id: NodeId) -> Point;
+    /// Current velocity of `id`.
+    fn velocity(&self, id: NodeId) -> Vec2;
+    /// Whether `id` is currently up.
+    fn is_alive(&self, id: NodeId) -> bool;
+    /// Hardware capability class of `id`.
+    fn capability(&self, id: NodeId) -> Capability;
+    /// The simulation area.
+    fn area(&self) -> Aabb;
+    /// The unit-disk radio range.
+    fn radio_range(&self) -> f64;
+
+    /// Calls `f` with the node's current alive radio neighbours in
+    /// ascending id order, allocation-free on the hot path.
+    fn with_neighbors<R>(&mut self, id: NodeId, f: impl FnOnce(&mut Self, &[NodeId]) -> R) -> R
+    where
+        Self: Sized;
+
+    /// Uniform `u64` in `[lo, hi)` from the engine's deterministic stream
+    /// (global stream on the serial engine, per-node stream on the
+    /// parallel engine).
+    fn rand_u64(&mut self, lo: u64, hi: u64) -> u64;
+    /// Bernoulli draw with probability `p` from the same stream.
+    fn rand_chance(&mut self, p: f64) -> bool;
+
+    /// Sets a timer for `node` firing after `delay` with discriminator
+    /// `tag`.
+    fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64);
+    /// Sets a timer firing after `base` plus a uniform extra in
+    /// `[0, jitter)`.
+    fn set_timer_jittered(
+        &mut self,
+        node: NodeId,
+        base: SimDuration,
+        jitter: SimDuration,
+        tag: u64,
+    );
+    /// The sender's current transmit backlog.
+    fn tx_backlog(&self, node: NodeId) -> SimDuration;
+
+    /// Unicast transmission; returns `false` if it could not be delivered.
+    fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: Self::Msg,
+    ) -> bool;
+    /// Unicast with MAC-level retransmissions.
+    fn send_reliable(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: Self::Msg,
+    ) -> bool;
+    /// Broadcast to every alive in-range neighbour; returns the receiver
+    /// count.
+    fn broadcast(
+        &mut self,
+        from: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: Self::Msg,
+    ) -> usize;
+
+    /// Registers an originated data packet for delivery-ratio accounting.
+    fn record_origin(&mut self, data_id: u64, expected: u64);
+    /// Registers an originated data packet on a traffic-plane flow.
+    fn record_origin_flow(&mut self, data_id: u64, expected: u64, flow: u32, seq: u32);
+    /// Records a data-packet delivery at `node`.
+    fn record_delivery(&mut self, data_id: u64, node: NodeId);
+    /// Records a data-packet delivery at `node` after `hops` transmissions.
+    fn record_delivery_hops(&mut self, data_id: u64, node: NodeId, hops: u32);
+    /// Counts one transmitted soft-state refresh advertisement.
+    fn record_refresh_tx(&mut self);
+    /// Counts one stale message suppressed by a receiver.
+    fn record_stale_suppressed(&mut self);
+    /// Counts `n` sender-side suppressed periodic refreshes.
+    fn record_refresh_suppressed(&mut self, n: u64);
+    /// Records the adaptive refresh interval (base-tick multiples).
+    fn record_refresh_rate(&mut self, interval_ticks: u32);
+    /// Counts `n` soft-state entries dropped by timeout expiry.
+    fn record_soft_expired(&mut self, n: u64);
+}
+
+impl<M: Clone> ProtoCtx for Ctx<'_, M> {
+    type Msg = M;
+
+    fn now(&self) -> SimTime {
+        Ctx::now(self)
+    }
+    fn node_count(&self) -> usize {
+        Ctx::node_count(self)
+    }
+    fn position(&self, id: NodeId) -> Point {
+        Ctx::position(self, id)
+    }
+    fn velocity(&self, id: NodeId) -> Vec2 {
+        Ctx::velocity(self, id)
+    }
+    fn is_alive(&self, id: NodeId) -> bool {
+        Ctx::is_alive(self, id)
+    }
+    fn capability(&self, id: NodeId) -> Capability {
+        Ctx::capability(self, id)
+    }
+    fn area(&self) -> Aabb {
+        Ctx::area(self)
+    }
+    fn radio_range(&self) -> f64 {
+        Ctx::radio_range(self)
+    }
+    fn with_neighbors<R>(&mut self, id: NodeId, f: impl FnOnce(&mut Self, &[NodeId]) -> R) -> R {
+        Ctx::with_neighbors(self, id, f)
+    }
+    fn rand_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng().range_u64(lo, hi)
+    }
+    fn rand_chance(&mut self, p: f64) -> bool {
+        self.rng().chance(p)
+    }
+    fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        Ctx::set_timer(self, node, delay, tag)
+    }
+    fn set_timer_jittered(
+        &mut self,
+        node: NodeId,
+        base: SimDuration,
+        jitter: SimDuration,
+        tag: u64,
+    ) {
+        Ctx::set_timer_jittered(self, node, base, jitter, tag)
+    }
+    fn tx_backlog(&self, node: NodeId) -> SimDuration {
+        Ctx::tx_backlog(self, node)
+    }
+    fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: M,
+    ) -> bool {
+        Ctx::send(self, from, to, class, bytes, msg)
+    }
+    fn send_reliable(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: M,
+    ) -> bool {
+        Ctx::send_reliable(self, from, to, class, bytes, msg)
+    }
+    fn broadcast(&mut self, from: NodeId, class: &'static str, bytes: usize, msg: M) -> usize {
+        Ctx::broadcast(self, from, class, bytes, msg)
+    }
+    fn record_origin(&mut self, data_id: u64, expected: u64) {
+        Ctx::record_origin(self, data_id, expected)
+    }
+    fn record_origin_flow(&mut self, data_id: u64, expected: u64, flow: u32, seq: u32) {
+        Ctx::record_origin_flow(self, data_id, expected, flow, seq)
+    }
+    fn record_delivery(&mut self, data_id: u64, node: NodeId) {
+        Ctx::record_delivery(self, data_id, node)
+    }
+    fn record_delivery_hops(&mut self, data_id: u64, node: NodeId, hops: u32) {
+        Ctx::record_delivery_hops(self, data_id, node, hops)
+    }
+    fn record_refresh_tx(&mut self) {
+        Ctx::record_refresh_tx(self)
+    }
+    fn record_stale_suppressed(&mut self) {
+        Ctx::record_stale_suppressed(self)
+    }
+    fn record_refresh_suppressed(&mut self, n: u64) {
+        Ctx::record_refresh_suppressed(self, n)
+    }
+    fn record_refresh_rate(&mut self, interval_ticks: u32) {
+        Ctx::record_refresh_rate(self, interval_ticks)
+    }
+    fn record_soft_expired(&mut self, n: u64) {
+        Ctx::record_soft_expired(self, n)
+    }
+}
+
+impl<M: Clone> ProtoCtx for ParCtx<'_, M> {
+    type Msg = M;
+
+    fn now(&self) -> SimTime {
+        ParCtx::now(self)
+    }
+    fn node_count(&self) -> usize {
+        ParCtx::node_count(self)
+    }
+    fn position(&self, id: NodeId) -> Point {
+        ParCtx::position(self, id)
+    }
+    fn velocity(&self, id: NodeId) -> Vec2 {
+        ParCtx::velocity(self, id)
+    }
+    fn is_alive(&self, id: NodeId) -> bool {
+        ParCtx::is_alive(self, id)
+    }
+    fn capability(&self, id: NodeId) -> Capability {
+        ParCtx::capability(self, id)
+    }
+    fn area(&self) -> Aabb {
+        ParCtx::area(self)
+    }
+    fn radio_range(&self) -> f64 {
+        ParCtx::radio_range(self)
+    }
+    fn with_neighbors<R>(&mut self, id: NodeId, f: impl FnOnce(&mut Self, &[NodeId]) -> R) -> R {
+        ParCtx::with_neighbors(self, id, f)
+    }
+    fn rand_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng().range_u64(lo, hi)
+    }
+    fn rand_chance(&mut self, p: f64) -> bool {
+        self.rng().chance(p)
+    }
+    fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        ParCtx::set_timer(self, node, delay, tag)
+    }
+    fn set_timer_jittered(
+        &mut self,
+        node: NodeId,
+        base: SimDuration,
+        jitter: SimDuration,
+        tag: u64,
+    ) {
+        ParCtx::set_timer_jittered(self, node, base, jitter, tag)
+    }
+    fn tx_backlog(&self, node: NodeId) -> SimDuration {
+        ParCtx::tx_backlog(self, node)
+    }
+    fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: M,
+    ) -> bool {
+        ParCtx::send(self, from, to, class, bytes, msg)
+    }
+    fn send_reliable(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: &'static str,
+        bytes: usize,
+        msg: M,
+    ) -> bool {
+        ParCtx::send_reliable(self, from, to, class, bytes, msg)
+    }
+    fn broadcast(&mut self, from: NodeId, class: &'static str, bytes: usize, msg: M) -> usize {
+        ParCtx::broadcast(self, from, class, bytes, msg)
+    }
+    fn record_origin(&mut self, data_id: u64, expected: u64) {
+        ParCtx::record_origin(self, data_id, expected)
+    }
+    fn record_origin_flow(&mut self, data_id: u64, expected: u64, flow: u32, seq: u32) {
+        ParCtx::record_origin_flow(self, data_id, expected, flow, seq)
+    }
+    fn record_delivery(&mut self, data_id: u64, node: NodeId) {
+        ParCtx::record_delivery(self, data_id, node)
+    }
+    fn record_delivery_hops(&mut self, data_id: u64, node: NodeId, hops: u32) {
+        ParCtx::record_delivery_hops(self, data_id, node, hops)
+    }
+    fn record_refresh_tx(&mut self) {
+        ParCtx::record_refresh_tx(self)
+    }
+    fn record_stale_suppressed(&mut self) {
+        ParCtx::record_stale_suppressed(self)
+    }
+    fn record_refresh_suppressed(&mut self, n: u64) {
+        ParCtx::record_refresh_suppressed(self, n)
+    }
+    fn record_refresh_rate(&mut self, interval_ticks: u32) {
+        ParCtx::record_refresh_rate(self, interval_ticks)
+    }
+    fn record_soft_expired(&mut self, n: u64) {
+        ParCtx::record_soft_expired(self, n)
+    }
+}

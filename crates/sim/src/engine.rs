@@ -170,7 +170,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
     pub fn with_neighbors<R>(
         &mut self,
         id: NodeId,
-        f: impl FnOnce(&mut Ctx<'_, M>, &[NodeId]) -> R,
+        f: impl FnOnce(&mut Self, &[NodeId]) -> R,
     ) -> R {
         let mut buf = std::mem::take(self.scratch);
         if self.per_receiver_delivery {
@@ -220,7 +220,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// signal — sources (and the queue cap below) read it to decide
     /// whether another frame still fits.
     pub fn tx_backlog(&self, node: NodeId) -> SimDuration {
-        let busy = self.world.node(node).busy_until;
+        let busy = self.world.busy_until(node);
         if busy > self.now {
             busy.since(self.now)
         } else {
@@ -244,9 +244,9 @@ impl<'a, M: Clone> Ctx<'a, M> {
 
     fn occupy_radio(&mut self, from: NodeId, bytes: usize) -> SimTime {
         let tx = self.radio.tx_time(bytes);
-        let start = self.world.node(from).busy_until.max(self.now);
+        let start = self.world.busy_until(from).max(self.now);
         let end = start + tx;
-        self.world.node_mut(from).busy_until = end;
+        self.world.set_busy_until(from, end);
         let jitter = SimDuration(self.rng.range_u64(0, self.radio.jitter.0.max(1)));
         end + self.radio.latency + jitter
     }
@@ -691,7 +691,7 @@ impl<M: Clone> Simulator<M> {
                 EventKind::Recover(node) => {
                     self.stats.events_processed += 1;
                     self.world.set_alive(node, true);
-                    self.world.node_mut(node).busy_until = self.now;
+                    self.world.set_busy_until(node, self.now);
                     let mut ctx = ctx!(self.now);
                     proto.on_recover(node, &mut ctx);
                 }

@@ -16,24 +16,20 @@
 //!
 //! Both helpers are deterministic (ties break toward lower node id).
 
-use crate::engine::Ctx;
+use crate::ctx::ProtoCtx;
 use crate::node::NodeId;
 use hvdb_geo::Point;
 
 /// The neighbour of `from` strictly closer to `dest` than `from` itself,
 /// breaking ties toward lower node id. `None` at a local minimum.
-pub fn greedy_next_hop<M: Clone>(
-    ctx: &mut Ctx<'_, M>,
-    from: NodeId,
-    dest: Point,
-) -> Option<NodeId> {
+pub fn greedy_next_hop<C: ProtoCtx>(ctx: &mut C, from: NodeId, dest: Point) -> Option<NodeId> {
     greedy_next_hop_avoiding(ctx, from, dest, &[])
 }
 
 /// Greedy next hop that additionally skips `visited` relays — prevents
 /// two-node ping-pong when a packet oscillates around a local minimum.
-pub fn greedy_next_hop_avoiding<M: Clone>(
-    ctx: &mut Ctx<'_, M>,
+pub fn greedy_next_hop_avoiding<C: ProtoCtx>(
+    ctx: &mut C,
     from: NodeId,
     dest: Point,
     visited: &[NodeId],
@@ -53,8 +49,8 @@ pub fn greedy_next_hop_avoiding<M: Clone>(
 
 /// Recovery mode: the neighbour closest to `dest` that is not in `visited`
 /// (progress not required). `None` if every neighbour was already visited.
-pub fn recovery_next_hop<M: Clone>(
-    ctx: &mut Ctx<'_, M>,
+pub fn recovery_next_hop<C: ProtoCtx>(
+    ctx: &mut C,
     from: NodeId,
     dest: Point,
     visited: &[NodeId],
@@ -72,8 +68,8 @@ pub fn recovery_next_hop<M: Clone>(
 
 /// One forwarding decision: greedy if possible, else recovery. Returns the
 /// chosen next hop, or `None` if the packet is stuck.
-pub fn next_hop<M: Clone>(
-    ctx: &mut Ctx<'_, M>,
+pub fn next_hop<C: ProtoCtx>(
+    ctx: &mut C,
     from: NodeId,
     dest: Point,
     visited: &[NodeId],
@@ -99,7 +95,7 @@ pub fn push_visited(visited: &mut Vec<NodeId>, hop: NodeId) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Protocol, SimConfig, Simulator};
+    use crate::engine::{Ctx, Protocol, SimConfig, Simulator};
     use crate::mobility::Stationary;
     use crate::time::{SimDuration, SimTime};
     use hvdb_geo::Vec2;

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ctx;
 pub mod engine;
 pub mod event;
 pub mod georoute;
@@ -40,6 +41,7 @@ pub mod stats;
 pub mod time;
 pub mod world;
 
+pub use ctx::ProtoCtx;
 pub use engine::{Ctx, Protocol, SimConfig, Simulator};
 pub use event::{EventKind, EventQueue};
 pub use mobility::{Mobility, RandomWaypoint, ReferencePointGroup, Stationary};

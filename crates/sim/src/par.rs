@@ -106,9 +106,10 @@ pub trait ParProtocol: Sync {
     fn on_recover(&self, _id: NodeId, _node: &mut Self::Node, _ctx: &mut ParCtx<'_, Self::Msg>) {}
 }
 
-/// Commutative statistics deltas: plain sums, safe to fold in any order
-/// (we still fold them in shard order, but nothing depends on it).
-#[derive(Debug, Clone, Copy, Default)]
+/// Commutative statistics deltas: plain sums (and one histogram folded by
+/// addition), safe to fold in any order (we still fold them in shard
+/// order, but nothing depends on it).
+#[derive(Debug, Clone, Default)]
 struct Counters {
     events_processed: u64,
     frames_shared: u64,
@@ -118,6 +119,11 @@ struct Counters {
     drops_dead: u64,
     drops_retry_exhausted: u64,
     drops_queue_full: u64,
+    soft_refresh_msgs: u64,
+    soft_refresh_suppressed: u64,
+    soft_stale_suppressed: u64,
+    soft_expired: u64,
+    refresh_rate: Vec<(u32, u64)>,
 }
 
 impl Counters {
@@ -130,6 +136,13 @@ impl Counters {
         stats.drops_dead += self.drops_dead;
         stats.drops_retry_exhausted += self.drops_retry_exhausted;
         stats.drops_queue_full += self.drops_queue_full;
+        stats.soft_refresh_msgs += self.soft_refresh_msgs;
+        stats.soft_refresh_suppressed += self.soft_refresh_suppressed;
+        stats.soft_stale_suppressed += self.soft_stale_suppressed;
+        stats.soft_expired += self.soft_expired;
+        for &(ticks, n) in &self.refresh_rate {
+            *stats.refresh_rate_hist.entry(ticks).or_insert(0) += n;
+        }
         *self = Counters::default();
     }
 }
@@ -435,7 +448,7 @@ impl<'a, M: Clone> ParCtx<'a, M> {
     pub fn with_neighbors<R>(
         &mut self,
         id: NodeId,
-        f: impl FnOnce(&mut ParCtx<'_, M>, &[NodeId]) -> R,
+        f: impl FnOnce(&mut Self, &[NodeId]) -> R,
     ) -> R {
         let mut buf = std::mem::take(self.scratch);
         if self.per_receiver {
@@ -715,6 +728,34 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             at: self.now,
             hops,
         });
+    }
+
+    /// Counts one transmitted soft-state refresh advertisement.
+    pub fn record_refresh_tx(&mut self) {
+        self.counters.soft_refresh_msgs += 1;
+    }
+
+    /// Counts one stale (out-of-date generation) message suppressed by a
+    /// receiver instead of being applied.
+    pub fn record_stale_suppressed(&mut self) {
+        self.counters.soft_stale_suppressed += 1;
+    }
+
+    /// Counts `n` periodic refreshes suppressed at the sender because the
+    /// advertised state was unchanged.
+    pub fn record_refresh_suppressed(&mut self, n: u64) {
+        self.counters.soft_refresh_suppressed += n;
+    }
+
+    /// Records the adaptive refresh controller's current interval (in
+    /// base-tick multiples) for the refresh-rate histogram.
+    pub fn record_refresh_rate(&mut self, interval_ticks: u32) {
+        self.counters.refresh_rate.push((interval_ticks, 1));
+    }
+
+    /// Counts `n` soft-state entries dropped by timeout expiry.
+    pub fn record_soft_expired(&mut self, n: u64) {
+        self.counters.soft_expired += n;
     }
 }
 

@@ -1,10 +1,20 @@
 //! The physical world: node population, positions, and range queries.
 
-use crate::node::{Capability, NodeId, NodeState};
+use crate::node::{Capability, NodeId};
+use crate::time::SimTime;
 use hvdb_geo::{Aabb, Point, SpatialIndex, Vec2};
 
 /// The physical state of the simulated MANET: every node's position,
 /// velocity, liveness, and a spatial index for radio-range queries.
+///
+/// Node state is stored **struct-of-arrays**: one dense vector per field
+/// (position, velocity, capability, liveness, radio backlog) indexed by
+/// [`NodeId`]. The hot paths — mobility ticks, neighbour queries, the
+/// parallel engine's shard partitioning — each touch only one or two of
+/// these fields across many nodes, so splitting the arrays keeps cache
+/// lines full of the field being scanned instead of dragging the whole
+/// node record through the cache. At the 100k-node scale this layout is
+/// what keeps a mobility tick memory-bound on positions alone.
 ///
 /// The index is maintained *incrementally*: [`World::set_motion`] updates
 /// the moved node's index slot in place (same-cell fast path, relocate on
@@ -15,7 +25,11 @@ use hvdb_geo::{Aabb, Point, SpatialIndex, Vec2};
 pub struct World {
     area: Aabb,
     radio_range: f64,
-    nodes: Vec<NodeState>,
+    pos: Vec<Point>,
+    vel: Vec<Vec2>,
+    capability: Vec<Capability>,
+    alive: Vec<bool>,
+    busy_until: Vec<SimTime>,
     index: SpatialIndex,
 }
 
@@ -25,11 +39,14 @@ impl World {
     pub fn new(area: Aabb, n: usize, radio_range: f64) -> Self {
         assert!(radio_range > 0.0, "radio range must be positive");
         let center = area.center();
-        let nodes = vec![NodeState::new(center, Capability::Regular); n];
         let mut w = World {
             area,
             radio_range,
-            nodes,
+            pos: vec![center; n],
+            vel: vec![Vec2::ZERO; n],
+            capability: vec![Capability::Regular; n],
+            alive: vec![true; n],
+            busy_until: vec![SimTime::ZERO; n],
             index: SpatialIndex::new(radio_range.max(1.0)),
         };
         w.rebuild_index();
@@ -51,65 +68,65 @@ impl World {
     /// Number of nodes (alive or not).
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.pos.len()
     }
 
     /// Whether the world has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.pos.is_empty()
     }
 
     /// Iterates over all node ids.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.nodes.len() as u32).map(NodeId)
-    }
-
-    /// Immutable access to a node's state.
-    #[inline]
-    pub fn node(&self, id: NodeId) -> &NodeState {
-        &self.nodes[id.idx()]
-    }
-
-    /// Mutable access to a node's state. Callers that move nodes must use
-    /// [`World::set_motion`] instead so the spatial index stays consistent.
-    #[inline]
-    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
-        &mut self.nodes[id.idx()]
+        (0..self.pos.len() as u32).map(NodeId)
     }
 
     /// Position shorthand.
     #[inline]
     pub fn position(&self, id: NodeId) -> Point {
-        self.nodes[id.idx()].pos
+        self.pos[id.idx()]
     }
 
     /// Velocity shorthand.
     #[inline]
     pub fn velocity(&self, id: NodeId) -> Vec2 {
-        self.nodes[id.idx()].vel
+        self.vel[id.idx()]
     }
 
     /// Liveness shorthand.
     #[inline]
     pub fn alive(&self, id: NodeId) -> bool {
-        self.nodes[id.idx()].alive
+        self.alive[id.idx()]
     }
 
     /// Capability shorthand.
     #[inline]
     pub fn capability(&self, id: NodeId) -> Capability {
-        self.nodes[id.idx()].capability
+        self.capability[id.idx()]
+    }
+
+    /// The instant `id`'s radio finishes its queued transmissions
+    /// (per-node bandwidth serialisation).
+    #[inline]
+    pub fn busy_until(&self, id: NodeId) -> SimTime {
+        self.busy_until[id.idx()]
+    }
+
+    /// Sets `id`'s radio-backlog horizon.
+    #[inline]
+    pub fn set_busy_until(&mut self, id: NodeId, t: SimTime) {
+        self.busy_until[id.idx()] = t;
     }
 
     /// Marks a node up or down.
     pub fn set_alive(&mut self, id: NodeId, alive: bool) {
-        self.nodes[id.idx()].alive = alive;
+        self.alive[id.idx()] = alive;
     }
 
     /// Sets a node's hardware class.
     pub fn set_capability(&mut self, id: NodeId, c: Capability) {
-        self.nodes[id.idx()].capability = c;
+        self.capability[id.idx()] = c;
     }
 
     /// Updates a node's position and velocity, clamping to the area. The
@@ -117,10 +134,9 @@ impl World {
     /// queries stay fresh without any rebuild step.
     pub fn set_motion(&mut self, id: NodeId, pos: Point, vel: Vec2) {
         let clamped = self.area.clamp(pos);
-        let n = &mut self.nodes[id.idx()];
-        let old = n.pos;
-        n.pos = clamped;
-        n.vel = vel;
+        let old = self.pos[id.idx()];
+        self.pos[id.idx()] = clamped;
+        self.vel[id.idx()] = vel;
         self.index.update(id.0, old, clamped);
     }
 
@@ -129,9 +145,9 @@ impl World {
     /// never *required*; it remains as an idempotent full resync for bulk
     /// scenario setup code written against the old rebuild contract.
     pub fn rebuild_index(&mut self) {
-        let nodes = &self.nodes;
+        let pos = &self.pos;
         self.index
-            .rebuild(nodes.iter().enumerate().map(|(i, n)| (i as u32, n.pos)));
+            .rebuild(pos.iter().enumerate().map(|(i, p)| (i as u32, *p)));
     }
 
     /// The spatial-index cell a node currently occupies. Cell keys are
@@ -139,16 +155,31 @@ impl World {
     /// ([`crate::par`]): nodes sharing a cell always share a shard.
     #[inline]
     pub fn cell_of(&self, id: NodeId) -> (i32, i32) {
-        self.index.cell_key(self.nodes[id.idx()].pos)
+        self.index.cell_key(self.pos[id.idx()])
+    }
+
+    /// Deterministic content-byte estimate of the world's per-node state
+    /// and spatial index: live entries × entry size, independent of
+    /// allocator capacity, so the figure reproduces across machines.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let n = self.pos.len();
+        n * (size_of::<Point>()
+            + size_of::<Vec2>()
+            + size_of::<Capability>()
+            + size_of::<bool>()
+            + size_of::<SimTime>())
+            + self.index.memory_bytes()
     }
 
     /// Whether two nodes are within radio range of each other (and both
     /// alive). Unit-disk connectivity: "Two MNs communicate directly if
     /// they are within the radio transmission range of each other" (§1).
     pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
-        let na = &self.nodes[a.idx()];
-        let nb = &self.nodes[b.idx()];
-        na.alive && nb.alive && na.pos.distance_sq(nb.pos) <= self.radio_range * self.radio_range
+        self.alive[a.idx()]
+            && self.alive[b.idx()]
+            && self.pos[a.idx()].distance_sq(self.pos[b.idx()])
+                <= self.radio_range * self.radio_range
     }
 
     /// Collects the alive radio neighbours of `id` (excluding itself) into
@@ -157,15 +188,15 @@ impl World {
     /// query); threading it from the caller keeps the hot path free of
     /// per-query allocations.
     pub fn neighbors_into(&self, id: NodeId, out: &mut Vec<NodeId>, raw: &mut Vec<u32>) {
-        let me = &self.nodes[id.idx()];
         out.clear();
-        if !me.alive {
+        if !self.alive[id.idx()] {
             return;
         }
-        self.index.query_range_into(me.pos, self.radio_range, raw);
+        self.index
+            .query_range_into(self.pos[id.idx()], self.radio_range, raw);
         for &other in raw.iter() {
             let oid = NodeId(other);
-            if oid != id && self.nodes[oid.idx()].alive {
+            if oid != id && self.alive[oid.idx()] {
                 out.push(oid);
             }
         }
@@ -185,18 +216,17 @@ impl World {
     /// geo-forwarding decision used to. Results are identical to
     /// [`World::neighbors_into`].
     pub fn neighbors_into_legacy(&self, id: NodeId, out: &mut Vec<NodeId>) {
-        let me = &self.nodes[id.idx()];
         out.clear();
-        if !me.alive {
+        if !self.alive[id.idx()] {
             return;
         }
         let mut raw = Vec::new();
         self.index
-            .query_range_into(me.pos, self.radio_range, &mut raw);
+            .query_range_into(self.pos[id.idx()], self.radio_range, &mut raw);
         raw.sort_unstable();
         for other in raw {
             let oid = NodeId(other);
-            if oid != id && self.nodes[oid.idx()].alive {
+            if oid != id && self.alive[oid.idx()] {
                 out.push(oid);
             }
         }
@@ -217,7 +247,7 @@ impl World {
         self.index.query_range_into(p, radius, raw);
         for &other in raw.iter() {
             let oid = NodeId(other);
-            if self.nodes[oid.idx()].alive {
+            if self.alive[oid.idx()] {
                 out.push(oid);
             }
         }
@@ -324,5 +354,22 @@ mod tests {
         assert_eq!(w.capability(NodeId(3)), Capability::Regular);
         w.set_capability(NodeId(3), Capability::Enhanced);
         assert_eq!(w.capability(NodeId(3)), Capability::Enhanced);
+    }
+
+    #[test]
+    fn busy_until_round_trips() {
+        let mut w = line_world();
+        assert_eq!(w.busy_until(NodeId(2)), SimTime::ZERO);
+        w.set_busy_until(NodeId(2), SimTime::from_secs(3));
+        assert_eq!(w.busy_until(NodeId(2)), SimTime::from_secs(3));
+        assert_eq!(w.busy_until(NodeId(1)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn memory_bytes_scales_with_population() {
+        let small = World::new(Aabb::from_size(1000.0, 1000.0), 10, 150.0);
+        let large = World::new(Aabb::from_size(1000.0, 1000.0), 1000, 150.0);
+        assert!(small.memory_bytes() > 0);
+        assert!(large.memory_bytes() > 50 * small.memory_bytes() / 10);
     }
 }

@@ -99,7 +99,8 @@ fn main() {
     );
     println!(
         "failovers after loss : {} (neighbors expired {})",
-        proto.counters.route_failovers, proto.counters.neighbors_expired
+        proto.counters().route_failovers,
+        proto.counters().neighbors_expired
     );
-    println!("counters             : {:?}", proto.counters);
+    println!("counters             : {:?}", proto.counters());
 }

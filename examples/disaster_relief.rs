@@ -98,5 +98,5 @@ fn main() {
         stats.bytes("ht-bcast"),
         stats.bytes("join-report"),
     );
-    println!("counters        : {:?}", proto.counters);
+    println!("counters        : {:?}", proto.counters());
 }

@@ -75,5 +75,5 @@ fn main() {
         stats.msgs("hc-data"),
         stats.msgs("local-deliver"),
     );
-    println!("protocol counters     : {:?}", proto.counters);
+    println!("protocol counters     : {:?}", proto.counters());
 }

@@ -115,7 +115,7 @@ fn protocol_delivers_through_ch_failures() {
         sim.stats().delivery_ratio() >= 0.9,
         "delivery {} after backbone failures; counters {:?}",
         sim.stats().delivery_ratio(),
-        proto.counters
+        proto.counters()
     );
     // The spares took over the headless VCs.
     let heads = proto.cluster_heads();
