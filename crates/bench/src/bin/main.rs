@@ -19,11 +19,11 @@
 
 use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
 use hvdb_bench::{
-    check_loss_floor, check_loss_high_band, check_overhead_gate, check_perf_gate,
-    check_perf_threads_gate, check_scale_gate, check_traffic_gate, check_trajectory,
-    validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR, PERF_SPEEDUP_FLOOR,
-    PERF_THREADS_SPEEDUP_FLOOR, TRAFFIC_P99_REFERENCE_POINT, TRAJECTORY_DELIVERY_TOLERANCE,
-    TRAJECTORY_OVERHEAD_TOLERANCE,
+    check_byzantine_gate, check_loss_floor, check_loss_high_band, check_overhead_gate,
+    check_partition_gate, check_perf_gate, check_perf_threads_gate, check_scale_gate,
+    check_traffic_gate, check_trajectory, validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR,
+    PERF_SPEEDUP_FLOOR, PERF_THREADS_SPEEDUP_FLOOR, TRAFFIC_P99_REFERENCE_POINT,
+    TRAJECTORY_DELIVERY_TOLERANCE, TRAJECTORY_OVERHEAD_TOLERANCE,
 };
 use std::process::ExitCode;
 
@@ -78,6 +78,10 @@ fn usage() {
     eprintln!("deterministic metrics. \"scale\" must keep events_processed identical");
     eprintln!("across its engine-threads arm, and full (non-smoke) runs must hold");
     eprintln!("delivery at the largest network size (the 100k campaign gate).");
+    eprintln!("\"partition\" must keep worst-seed reachable delivery above the");
+    eprintln!("floor during the split and re-merge the head hierarchy within the");
+    eprintln!("budget after the heal; \"byzantine\" must bound the worst per-node");
+    eprintln!("delivery damage across its k sweep (full runs only for both).");
     eprintln!("With --baseline-dir, every report is additionally compared against");
     eprintln!("the committed BENCH_<scenario>.json in DIR: delivery may regress at");
     eprintln!("most --delivery-tolerance (default {TRAJECTORY_DELIVERY_TOLERANCE}) and overhead metrics may grow");
@@ -203,6 +207,12 @@ fn validate(args: &[String]) -> ExitCode {
                     }
                     Some("scale") => {
                         notes.extend(check_scale_gate(&doc)?);
+                    }
+                    Some("partition") => {
+                        notes.extend(check_partition_gate(&doc)?);
+                    }
+                    Some("byzantine") => {
+                        notes.extend(check_byzantine_gate(&doc)?);
                     }
                     _ => {}
                 }

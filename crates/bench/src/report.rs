@@ -57,6 +57,12 @@ pub struct ScenarioReport {
     /// traced back to its parallelism; deterministic metrics are identical
     /// at every value.
     pub threads: usize,
+    /// The scenario's declarative workload block — currently the
+    /// serialized fault plan for scenarios that inject one
+    /// ([`crate::scenario::fault_plan_json`]). `None` (and absent from
+    /// the JSON document) for scenarios without scripted faults, keeping
+    /// historical reports byte-stable.
+    pub workload: Option<Json>,
     /// The measurements.
     pub rows: Vec<Row>,
 }
@@ -64,37 +70,41 @@ pub struct ScenarioReport {
 impl ScenarioReport {
     /// The report as a JSON document.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("scenario".into(), Json::Str(self.scenario.clone())),
             ("figure".into(), Json::Str(self.figure.clone())),
             ("summary".into(), Json::Str(self.summary.clone())),
             ("smoke".into(), Json::Bool(self.smoke)),
             ("threads".into(), Json::Num(self.threads as f64)),
-            (
-                "rows".into(),
-                Json::Arr(
-                    self.rows
-                        .iter()
-                        .map(|r| {
-                            Json::Obj(vec![
-                                ("sweep".into(), Json::Str(r.sweep.clone())),
-                                ("label".into(), Json::Str(r.label.clone())),
-                                ("proto".into(), Json::Str(r.proto.clone())),
-                                (
-                                    "metrics".into(),
-                                    Json::Obj(
-                                        r.metrics
-                                            .iter()
-                                            .map(|(k, v)| (k.clone(), Json::Num(*v)))
-                                            .collect(),
-                                    ),
+        ];
+        if let Some(w) = &self.workload {
+            fields.push(("workload".into(), w.clone()));
+        }
+        fields.push((
+            "rows".into(),
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("sweep".into(), Json::Str(r.sweep.clone())),
+                            ("label".into(), Json::Str(r.label.clone())),
+                            ("proto".into(), Json::Str(r.proto.clone())),
+                            (
+                                "metrics".into(),
+                                Json::Obj(
+                                    r.metrics
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                        .collect(),
                                 ),
-                            ])
-                        })
-                        .collect(),
-                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
             ),
-        ])
+        ));
+        Json::Obj(fields)
     }
 }
 
@@ -224,6 +234,7 @@ mod tests {
             summary: "s".into(),
             smoke: false,
             threads: 1,
+            workload: None,
             rows: vec![Row::new(
                 "axis",
                 "n=1",
@@ -235,5 +246,16 @@ mod tests {
         assert!(s.contains("\"scenario\": \"x\""));
         assert!(s.contains("\"threads\": 1"));
         assert!(s.contains("\"delivery\": 1"));
+        assert!(
+            !s.contains("\"workload\""),
+            "absent workload keeps legacy reports byte-stable"
+        );
+        let with = ScenarioReport {
+            workload: Some(Json::Obj(vec![("fault_plan".into(), Json::Arr(vec![]))])),
+            ..rep
+        };
+        let s = with.to_json().to_string();
+        assert!(s.contains("\"workload\""));
+        assert!(s.contains("\"fault_plan\""));
     }
 }

@@ -89,6 +89,15 @@ pub struct RunDetail {
     /// gate it against a committed baseline. 0.0 where the protocol does
     /// not expose a state estimate (baselines).
     pub memory_per_node_bytes: f64,
+    /// Frames refused because sender and receiver sat in different
+    /// islands of an active partition ([`hvdb_sim::Stats::drops_partitioned`]).
+    pub drops_partitioned: u64,
+    /// Frames a Byzantine node silently dropped at its own interface
+    /// ([`hvdb_sim::Stats::byzantine_dropped`]).
+    pub byzantine_dropped: u64,
+    /// Stale duplicates Byzantine replay nodes put on the air
+    /// ([`hvdb_sim::Stats::byzantine_replayed`]).
+    pub byzantine_replayed: u64,
 }
 
 /// Histogram-derived delivery profile of one run: the traffic scenario's
@@ -149,12 +158,15 @@ fn engine_detail<M: Clone>(sim: &Simulator<M>) -> RunDetail {
         frames_cloned: sim.stats().frames_cloned,
         traffic: traffic_profile_of(sim.stats()),
         memory_per_node_bytes: 0.0,
+        drops_partitioned: sim.stats().drops_partitioned,
+        byzantine_dropped: sim.stats().byzantine_dropped,
+        byzantine_replayed: sim.stats().byzantine_replayed,
     }
 }
 
 /// Runs one scenario under one protocol, returning metrics plus
-/// protocol-specific instrumentation. Scripted fail-stop faults in
-/// [`Scenario::failures`] are scheduled for every protocol, so fault
+/// protocol-specific instrumentation. The scripted fault plan in
+/// [`Scenario::faults`] is injected for every protocol, so fault
 /// comparisons stay apples-to-apples.
 pub fn run_one_instrumented(proto: Proto, scenario: &Scenario) -> (RunMetrics, RunDetail) {
     match proto {
@@ -240,8 +252,8 @@ pub fn run_hvdb_tweaked(
 /// shards and the scenario's [`Scenario::threads`] worker threads. The
 /// `perf` scenario's `engine-threads` arm: deterministic metrics are
 /// byte-identical at every thread count (the engine's contract), so only
-/// wall-clock moves with `threads`. Scripted failures are scheduled
-/// exactly as [`run_one_instrumented`] does.
+/// wall-clock moves with `threads`. The scenario's fault plan is
+/// injected exactly as [`run_one_instrumented`] does.
 pub fn run_par_flood(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDetail) {
     let mut sim: ParSimulator<ParFloodNode, ParFloodMsg> = ParSimulator::new(
         scenario.sim.clone(),
@@ -249,9 +261,7 @@ pub fn run_par_flood(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDeta
         shards,
         scenario.threads,
     );
-    for &(node, at) in &scenario.failures {
-        sim.schedule_fail(node, at);
-    }
+    sim.inject_plan(&scenario.faults);
     let p = ParFlood::new(
         &scenario.members,
         scenario.traffic.clone(),
@@ -268,6 +278,9 @@ pub fn run_par_flood(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDeta
         frames_cloned: sim.stats().frames_cloned,
         traffic: traffic_profile_of(sim.stats()),
         memory_per_node_bytes: 0.0,
+        drops_partitioned: sim.stats().drops_partitioned,
+        byzantine_dropped: sim.stats().byzantine_dropped,
+        byzantine_replayed: sim.stats().byzantine_replayed,
     };
     (metrics_of(sim.stats()), detail)
 }
@@ -287,9 +300,7 @@ pub fn run_par_hvdb(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDetai
         shards,
         scenario.threads,
     );
-    for &(node, at) in &scenario.failures {
-        sim.schedule_fail(node, at);
-    }
+    sim.inject_plan(&scenario.faults);
     let core = hvdb_core::HvdbCore::new(
         scenario.hvdb.clone(),
         &scenario.members,
@@ -316,17 +327,18 @@ pub fn run_par_hvdb(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDetai
         frames_cloned: sim.stats().frames_cloned,
         traffic: traffic_profile_of(sim.stats()),
         memory_per_node_bytes: (sim.world().memory_bytes() + state_bytes) as f64 / n as f64,
+        drops_partitioned: sim.stats().drops_partitioned,
+        byzantine_dropped: sim.stats().byzantine_dropped,
+        byzantine_replayed: sim.stats().byzantine_replayed,
     };
     (metrics_of(sim.stats()), detail)
 }
 
-/// Builds the simulator for a run: fresh mobility instance plus any
-/// scripted fail-stop faults.
+/// Builds the simulator for a run: fresh mobility instance plus the
+/// scenario's scripted fault plan.
 fn new_sim<M: Clone>(scenario: &Scenario) -> Simulator<M> {
     let mut sim = Simulator::new(scenario.sim.clone(), scenario.hvdb_mobility());
-    for &(node, at) in &scenario.failures {
-        sim.schedule_fail(node, at);
-    }
+    sim.inject_plan(&scenario.faults);
     sim
 }
 

@@ -120,6 +120,29 @@ pub const SCALE_DELIVERY_FLOOR: f64 = 0.99;
 /// scale campaign's first enforced milestone is "delivery holds at 20k".
 pub const SCALE_GATE_MIN_NODES: u64 = 20_000;
 
+/// The `partition` scenario's steady-state delivery floor *among
+/// reachable nodes*: once each island has had the settle interval to
+/// re-grow its half of the backbone, worst-seed delivery to receivers in
+/// the sender's own island must stay at or above this. Cross-island
+/// traffic is physically impossible during the split and is excluded —
+/// the gate asserts the protocol keeps serving whatever the radio still
+/// permits, per the paper's partition-tolerance claim. (The cut
+/// transient itself is reported as `delivery_reachable` but not gated:
+/// re-election takes tens of seconds by design.)
+pub const PARTITION_REACHABLE_DELIVERY_FLOOR: f64 = 0.95;
+
+/// The `partition` scenario's re-merge budget (seconds): after the heal,
+/// the worst seed's cluster-head census must fall back to its
+/// pre-partition level within this long (the committed full run measures
+/// re-merge in ~5 s; the budget gives soft-state expiry headroom).
+pub const PARTITION_REMERGE_BUDGET_SECS: f64 = 15.0;
+
+/// The `byzantine` scenario's damage ceiling: mean delivery lost per
+/// misbehaving node, `(delivery(k=0) - delivery(k)) / k`, must stay at
+/// or below this at every injected count k > 0. Bounds the blast radius
+/// of one adversarial node on the multicast plane.
+pub const BYZANTINE_DAMAGE_PER_NODE: f64 = 0.05;
+
 /// Parses `input` as one strict JSON document (the whole string, no
 /// trailing garbage) into a [`Json`] value.
 pub fn parse_strict(input: &str) -> Result<Json, String> {
@@ -175,10 +198,20 @@ fn as_str<'a>(v: &'a Json, what: &str) -> Result<&'a str, String> {
 /// no unknown top-level or row keys, rows non-empty, metrics finite.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let fields = obj_fields(doc)?;
-    const TOP: [&str; 6] = ["scenario", "figure", "summary", "smoke", "threads", "rows"];
+    // "workload" is the one optional key: scenarios with a scripted
+    // fault plan serialize it; everything else omits it, keeping
+    // historical reports byte-stable.
+    const TOP: [&str; 7] = [
+        "scenario", "figure", "summary", "smoke", "threads", "workload", "rows",
+    ];
     for (k, _) in fields {
         if !TOP.contains(&k.as_str()) {
             return Err(format!("unknown top-level field {k:?}"));
+        }
+    }
+    if let Some((_, v)) = fields.iter().find(|(k, _)| k == "workload") {
+        if !matches!(v, Json::Obj(_)) {
+            return Err(format!("workload: expected object, got {v:?}"));
         }
     }
     let scenario = as_str(field(fields, "scenario")?, "scenario")?;
@@ -551,6 +584,102 @@ pub fn check_scale_gate(doc: &Json) -> Result<Vec<String>, String> {
         notes.push(format!(
             "delivery {delivery:.3} >= {SCALE_DELIVERY_FLOOR} at nodes={nodes}"
         ));
+    }
+    Ok(notes)
+}
+
+/// The CI gate over a validated `partition` report:
+///
+/// * at `phase=partition`, worst-seed `delivery_reachable_steady_worst`
+///   must be at least [`PARTITION_REACHABLE_DELIVERY_FLOOR`] — once past
+///   the re-election transient, the split network keeps serving every
+///   receiver the radio can still reach;
+/// * at `phase=healed`, `remerge_secs_worst` must be at most
+///   [`PARTITION_REMERGE_BUDGET_SECS`] — the split head hierarchies
+///   re-merge promptly once connectivity returns.
+///
+/// Refuses smoke reports; missing rows or metrics fail loudly. Returns
+/// one human-readable note per passed check.
+pub fn check_partition_gate(doc: &Json) -> Result<Vec<String>, String> {
+    if is_smoke(doc)? {
+        return Err(
+            "partition gate needs a full run, not --smoke (smoke numbers are meaningless)".into(),
+        );
+    }
+    let read = |label: &str, metric: &str| -> Result<f64, String> {
+        metric_of(doc, "partition", label, "hvdb", metric)
+            .ok_or_else(|| format!("no hvdb partition row at {label} with a {metric} metric"))
+    };
+    let mut notes = Vec::new();
+    let reachable = read("phase=partition", "delivery_reachable_steady_worst")?;
+    if reachable < PARTITION_REACHABLE_DELIVERY_FLOOR {
+        return Err(format!(
+            "worst-seed steady reachable delivery {reachable:.3} during the partition is below \
+             the committed floor {PARTITION_REACHABLE_DELIVERY_FLOOR:.2}"
+        ));
+    }
+    notes.push(format!(
+        "steady reachable delivery {reachable:.3} >= {PARTITION_REACHABLE_DELIVERY_FLOOR} \
+         during the split"
+    ));
+    let remerge = read("phase=healed", "remerge_secs_worst")?;
+    if remerge > PARTITION_REMERGE_BUDGET_SECS {
+        return Err(format!(
+            "worst-seed head-hierarchy re-merge took {remerge:.1} s after the heal, over the \
+             committed budget {PARTITION_REMERGE_BUDGET_SECS:.0} s"
+        ));
+    }
+    notes.push(format!(
+        "re-merge {remerge:.1} s <= {PARTITION_REMERGE_BUDGET_SECS:.0} s budget"
+    ));
+    Ok(notes)
+}
+
+/// The CI gate over a validated `byzantine` report: every `byz=k` row
+/// with k > 0 must keep `damage_per_node` — mean delivery lost per
+/// misbehaving node relative to the k=0 control — at or below
+/// [`BYZANTINE_DAMAGE_PER_NODE`]. The k=0 control row must exist (the
+/// damage metric is meaningless without its reference). Refuses smoke
+/// reports. Returns one note per checked row.
+pub fn check_byzantine_gate(doc: &Json) -> Result<Vec<String>, String> {
+    if is_smoke(doc)? {
+        return Err(
+            "byzantine gate needs a full run, not --smoke (smoke numbers are meaningless)".into(),
+        );
+    }
+    let rows = report_rows(doc)?;
+    if !rows
+        .iter()
+        .any(|(s, l, p, _)| s == "byzantine" && l == "byz=0" && p == "hvdb")
+    {
+        return Err("no hvdb byzantine row at byz=0 (the damage reference)".into());
+    }
+    let mut notes = Vec::new();
+    for (sweep, label, proto, metrics) in &rows {
+        if sweep != "byzantine" || proto != "hvdb" || label == "byz=0" {
+            continue;
+        }
+        let k: u64 = label
+            .strip_prefix("byz=")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("byzantine row has unparseable label {label:?}"))?;
+        let damage = metrics
+            .iter()
+            .find(|(name, _)| name == "damage_per_node")
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("byzantine row {label} has no damage_per_node metric"))?;
+        if damage > BYZANTINE_DAMAGE_PER_NODE {
+            return Err(format!(
+                "delivery damage {damage:.3} per Byzantine node at {label} exceeds the \
+                 committed ceiling {BYZANTINE_DAMAGE_PER_NODE:.2}"
+            ));
+        }
+        notes.push(format!(
+            "damage {damage:.3}/node <= {BYZANTINE_DAMAGE_PER_NODE:.2} at k={k}"
+        ));
+    }
+    if notes.is_empty() {
+        return Err("no hvdb byzantine rows with k > 0 to gate".into());
     }
     Ok(notes)
 }
@@ -1010,6 +1139,7 @@ mod tests {
             summary: "s".into(),
             smoke: false,
             threads: 1,
+            workload: None,
             rows,
         }
         .to_json()
@@ -1122,6 +1252,7 @@ mod tests {
             summary: "s".into(),
             smoke: true,
             threads: 1,
+            workload: None,
             rows: vec![Row::new(
                 "frame-loss",
                 LOSS_GATE_POINT,
@@ -1531,6 +1662,116 @@ mod tests {
         assert!(check_perf_threads_gate(&doc, 2.0)
             .unwrap_err()
             .contains("baseline"));
+    }
+
+    #[test]
+    fn schema_accepts_optional_workload_block() {
+        // A workload object between threads and rows validates...
+        let s = "{\"scenario\": \"partition\", \"figure\": \"f\", \"summary\": \"s\", \
+                  \"smoke\": false, \"threads\": 1, \
+                  \"workload\": {\"fault_plan\": [{\"at_us\": 1, \"kind\": \"heal\"}]}, \
+                  \"rows\": [{\"sweep\": \"a\", \"label\": \"b\", \"proto\": \"c\", \
+                  \"metrics\": {\"m\": 1}}]}";
+        validate_report_str(s).expect("workload block accepted");
+        // ...but only as an object.
+        let s = s.replace(
+            "{\"fault_plan\": [{\"at_us\": 1, \"kind\": \"heal\"}]}",
+            "\"oops\"",
+        );
+        assert!(validate_report_str(&s).unwrap_err().contains("workload"));
+    }
+
+    fn partition_rows(reachable_worst: f64, remerge_worst: f64) -> Vec<Row> {
+        vec![
+            Row::new(
+                "partition",
+                "phase=partition",
+                "hvdb",
+                vec![("delivery_reachable_steady_worst".into(), reachable_worst)],
+            ),
+            Row::new(
+                "partition",
+                "phase=healed",
+                "hvdb",
+                vec![("remerge_secs_worst".into(), remerge_worst)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn partition_gate_enforces_floor_and_remerge_budget() {
+        let ok = report("partition", partition_rows(0.99, 10.0));
+        let doc = validate_report_str(&ok).unwrap();
+        assert_eq!(check_partition_gate(&doc).expect("passes").len(), 2);
+        // Reachable delivery under the floor.
+        let bad = report(
+            "partition",
+            partition_rows(PARTITION_REACHABLE_DELIVERY_FLOOR - 0.01, 10.0),
+        );
+        let doc = validate_report_str(&bad).unwrap();
+        assert!(check_partition_gate(&doc)
+            .unwrap_err()
+            .contains("reachable"));
+        // Re-merge over budget.
+        let bad = report(
+            "partition",
+            partition_rows(0.99, PARTITION_REMERGE_BUDGET_SECS + 1.0),
+        );
+        let doc = validate_report_str(&bad).unwrap();
+        assert!(check_partition_gate(&doc).unwrap_err().contains("re-merge"));
+        // Missing rows fail loudly; smoke is refused.
+        let none = report("partition", partition_rows(0.99, 10.0)[..1].to_vec());
+        let doc = validate_report_str(&none).unwrap();
+        assert!(check_partition_gate(&doc)
+            .unwrap_err()
+            .contains("remerge_secs_worst"));
+        let smoke = report("partition", partition_rows(0.99, 10.0))
+            .replace("\"smoke\": false", "\"smoke\": true");
+        let doc = validate_report_str(&smoke).unwrap();
+        assert!(check_partition_gate(&doc).unwrap_err().contains("smoke"));
+    }
+
+    fn byz_row(k: u64, damage: f64) -> Row {
+        Row::new(
+            "byzantine",
+            format!("byz={k}"),
+            "hvdb",
+            vec![
+                ("delivery".into(), 0.99 - damage * k as f64),
+                ("damage_per_node".into(), damage),
+            ],
+        )
+    }
+
+    #[test]
+    fn byzantine_gate_bounds_damage_per_node() {
+        let ok = report("byzantine", vec![byz_row(0, 0.0), byz_row(2, 0.01)]);
+        let doc = validate_report_str(&ok).unwrap();
+        assert_eq!(check_byzantine_gate(&doc).expect("passes").len(), 1);
+        // One row over the ceiling fails.
+        let bad = report(
+            "byzantine",
+            vec![
+                byz_row(0, 0.0),
+                byz_row(1, 0.01),
+                byz_row(4, BYZANTINE_DAMAGE_PER_NODE + 0.01),
+            ],
+        );
+        let doc = validate_report_str(&bad).unwrap();
+        assert!(check_byzantine_gate(&doc).unwrap_err().contains("byz=4"));
+        // Missing k=0 control fails loudly.
+        let none = report("byzantine", vec![byz_row(2, 0.01)]);
+        let doc = validate_report_str(&none).unwrap();
+        assert!(check_byzantine_gate(&doc).unwrap_err().contains("byz=0"));
+        // No gated rows at all fails (k=0 alone proves nothing).
+        let only_control = report("byzantine", vec![byz_row(0, 0.0)]);
+        let doc = validate_report_str(&only_control).unwrap();
+        assert!(check_byzantine_gate(&doc).is_err());
+        // Smoke refused.
+        let smoke = report("byzantine", vec![byz_row(0, 0.0), byz_row(2, 0.01)])
+            .replace("\"smoke\": false", "\"smoke\": true");
+        let doc = validate_report_str(&smoke).unwrap();
+        assert!(check_byzantine_gate(&doc).unwrap_err().contains("smoke"));
     }
 
     #[test]

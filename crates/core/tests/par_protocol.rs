@@ -23,8 +23,8 @@
 use hvdb_core::{FrameBytes, GroupId, HvdbConfig, HvdbCore, HvdbNode, HvdbProtocol, TrafficItem};
 use hvdb_geo::{Aabb, Point, Vec2};
 use hvdb_sim::{
-    NodeId, ParSimulator, RadioConfig, RandomWaypoint, SimConfig, SimDuration, SimTime, Simulator,
-    Stationary,
+    FaultPlan, NodeId, ParSimulator, RadioConfig, RandomWaypoint, SimConfig, SimDuration, SimTime,
+    Simulator, Stationary,
 };
 
 const NODES: usize = 74; // 64 VC-centre nodes + 10 extras.
@@ -204,10 +204,13 @@ fn head_handover_with_member_fail_in_one_window() {
         // Node 9 heads VC (1,1) and is also a g1 member; node 70 is a g1
         // member in another shard. Both fail inside one lookahead window
         // (sub-millisecond apart; the window is the radio latency).
-        sim.schedule_fail(NodeId(9), SimTime::from_secs(38));
-        sim.schedule_fail(
-            NodeId(70),
-            SimTime::from_secs(38) + SimDuration::from_micros(100),
+        sim.inject_plan(
+            &FaultPlan::new()
+                .fail(SimTime::from_secs(38), NodeId(9))
+                .fail(
+                    SimTime::from_secs(38) + SimDuration::from_micros(100),
+                    NodeId(70),
+                ),
         );
         let core = HvdbCore::new(cfg, &members, traffic, vec![]);
         sim.run(&core, SimTime::from_secs(55));

@@ -4,7 +4,10 @@
 
 use hvdb_core::{FrameBytes, GroupEvent, GroupId, HvdbConfig, HvdbProtocol, TrafficItem};
 use hvdb_geo::{Aabb, Point, Vec2};
-use hvdb_sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
+use hvdb_sim::{
+    FaultEvent, FaultKind, NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator,
+    Stationary,
+};
 
 /// A dense, stationary scenario over the paper's Fig. 2 layout: one node
 /// near every VC centre (plus extras), everyone CH-capable.
@@ -254,7 +257,10 @@ fn ch_failure_is_detected_and_routed_around() {
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
     // Kill the CH of VC (1,1) (node 9) after the backbone forms: routes
     // through label 0011 must fail over.
-    sim.schedule_fail(NodeId(9), SimTime::from_secs(60));
+    sim.inject(FaultEvent {
+        at: SimTime::from_secs(60),
+        kind: FaultKind::Fail(NodeId(9)),
+    });
     sim.run(&mut proto, SimTime::from_secs(180));
     assert!(proto.counters().neighbors_expired > 0, "failure undetected");
     assert!(

@@ -11,6 +11,7 @@
 //! and all randomness flows through the seeded [`SimRng`].
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{ByzantineMode, FaultEvent, FaultKind, FaultPlan};
 use crate::mobility::Mobility;
 use crate::node::{Capability, NodeId};
 use crate::radio::RadioConfig;
@@ -100,6 +101,9 @@ pub trait Protocol {
 /// The protocol's window onto the engine during a callback.
 pub struct Ctx<'a, M> {
     now: SimTime,
+    /// The node this callback runs at: its clock skew colours
+    /// [`Ctx::now`]. Engine-internal scheduling keeps true time.
+    current: NodeId,
     world: &'a mut World,
     queue: &'a mut EventQueue<M>,
     stats: &'a mut Stats,
@@ -112,10 +116,13 @@ pub struct Ctx<'a, M> {
 }
 
 impl<'a, M: Clone> Ctx<'a, M> {
-    /// Current simulation time.
+    /// Current simulation time *as observed by the node this callback
+    /// runs at*: exact unless a [`FaultKind::ClockSkew`] fault skewed
+    /// this node's clock. Timer scheduling, radio occupancy, and
+    /// statistics timestamps all use true engine time regardless.
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.now
+        self.world.local_time(self.current, self.now)
     }
 
     /// Number of nodes in the world.
@@ -124,10 +131,13 @@ impl<'a, M: Clone> Ctx<'a, M> {
         self.world.len()
     }
 
-    /// A node's position (the GPS reading the paper assumes, §3).
+    /// A node's position (the GPS reading the paper assumes, §3):
+    /// exact unless a [`FaultKind::PositionError`] fault displaced the
+    /// node's GPS, in which case the protocol observes the displaced
+    /// reading while radio reachability keeps using truth.
     #[inline]
     pub fn position(&self, id: NodeId) -> Point {
-        self.world.position(id)
+        self.world.reported_position(id)
     }
 
     /// A node's velocity (GPS-derived, §3).
@@ -228,6 +238,28 @@ impl<'a, M: Clone> Ctx<'a, M> {
         }
     }
 
+    /// Byzantine sender intercept: whether `from` silently discards the
+    /// frame it is about to transmit (selective-forwarding and
+    /// bogus-candidacy modes). Honest nodes draw **no** RNG here, so
+    /// fault-free runs replay bit-identically to the pre-fault-plane
+    /// engine.
+    fn byzantine_drops(&mut self, from: NodeId) -> bool {
+        if let Some(mode) = self.world.byzantine(from) {
+            let p = mode.drop_prob();
+            if p > 0.0 && self.rng.chance(p) {
+                self.stats.byzantine_dropped += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The replay lag of `from`'s Byzantine mode, if it replays.
+    #[inline]
+    fn replay_delay_of(&self, from: NodeId) -> Option<SimDuration> {
+        self.world.byzantine(from).and_then(|m| m.replay_delay())
+    }
+
     /// Send-queue pacing: whether a send from `from` must be refused
     /// because the interface queue already exceeds the configured cap.
     /// Counts the drop. With `max_queue == 0` the cap is disabled and
@@ -268,6 +300,9 @@ impl<'a, M: Clone> Ctx<'a, M> {
             self.stats.drops_dead += 1;
             return false;
         }
+        if self.byzantine_drops(from) {
+            return false;
+        }
         if self.queue_full(from) {
             return false;
         }
@@ -285,9 +320,24 @@ impl<'a, M: Clone> Ctx<'a, M> {
             self.stats.drops_out_of_range += 1;
             return false;
         }
+        if !self.world.same_island(from, to) {
+            self.stats.drops_partitioned += 1;
+            return false;
+        }
         if self.rng.chance(self.radio.loss_prob) {
             self.stats.drops_loss += 1;
             return false;
+        }
+        if let Some(delay) = self.replay_delay_of(from) {
+            self.stats.byzantine_replayed += 1;
+            self.queue.push(
+                arrival + delay,
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg: msg.clone(),
+                },
+            );
         }
         self.queue
             .push(arrival, EventKind::Deliver { to, from, msg });
@@ -313,6 +363,9 @@ impl<'a, M: Clone> Ctx<'a, M> {
             self.stats.drops_dead += 1;
             return false;
         }
+        if self.byzantine_drops(from) {
+            return false;
+        }
         if self.queue_full(from) {
             return false;
         }
@@ -332,9 +385,26 @@ impl<'a, M: Clone> Ctx<'a, M> {
                 self.stats.drops_out_of_range += 1;
                 return false;
             }
+            if !self.world.same_island(from, to) {
+                // Like out-of-range: no number of MAC retries crosses a
+                // partition cut.
+                self.stats.drops_partitioned += 1;
+                return false;
+            }
             if self.rng.chance(self.radio.loss_prob) {
                 self.stats.drops_loss += 1;
                 continue;
+            }
+            if let Some(delay) = self.replay_delay_of(from) {
+                self.stats.byzantine_replayed += 1;
+                self.queue.push(
+                    arrival + delay,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        msg: msg.clone(),
+                    },
+                );
             }
             self.queue
                 .push(arrival, EventKind::Deliver { to, from, msg });
@@ -365,6 +435,9 @@ impl<'a, M: Clone> Ctx<'a, M> {
             self.stats.drops_dead += 1;
             return 0;
         }
+        if self.byzantine_drops(from) {
+            return 0;
+        }
         if self.queue_full(from) {
             return 0;
         }
@@ -379,6 +452,15 @@ impl<'a, M: Clone> Ctx<'a, M> {
             self.world.neighbors_into(from, &mut receivers, &mut raw);
             *self.raw_scratch = raw;
         }
+        // Partition gating before the loss draws: receivers across the
+        // cut vanish without consuming RNG, so runs without partitions
+        // (the entire committed baseline trajectory) draw identically.
+        if self.world.partitioned() {
+            let before = receivers.len();
+            let world = &self.world;
+            receivers.retain(|&to| world.same_island(from, to));
+            self.stats.drops_partitioned += (before - receivers.len()) as u64;
+        }
         // Loss is decided per receiver at send time, in ascending id
         // order — the exact draw order of the per-receiver path.
         receivers.retain(|_| {
@@ -390,6 +472,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
             }
         });
         let n = receivers.len();
+        let replay = self.replay_delay_of(from);
         if self.per_receiver_delivery {
             self.stats.frames_cloned += n as u64;
             for &to in receivers.iter() {
@@ -402,7 +485,32 @@ impl<'a, M: Clone> Ctx<'a, M> {
                     },
                 );
             }
+            if let Some(delay) = replay {
+                self.stats.byzantine_replayed += n as u64;
+                self.stats.frames_cloned += n as u64;
+                for &to in receivers.iter() {
+                    self.queue.push(
+                        arrival + delay,
+                        EventKind::Deliver {
+                            to,
+                            from,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+            }
         } else if n > 0 {
+            if let Some(delay) = replay {
+                self.stats.byzantine_replayed += n as u64;
+                self.queue.push(
+                    arrival + delay,
+                    EventKind::DeliverMany {
+                        to: receivers.clone(),
+                        from,
+                        msg: msg.clone(),
+                    },
+                );
+            }
             self.queue.push(
                 arrival,
                 EventKind::DeliverMany {
@@ -583,14 +691,40 @@ impl<M: Clone> Simulator<M> {
         &self.stats
     }
 
-    /// Schedules a fail-stop fault at `node`.
-    pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
-        self.queue.push(at, EventKind::Fail(node));
+    /// Injects one fault into the schedule — the single entry point of
+    /// the fault plane ([`crate::fault`]). The fault applies atomically
+    /// at `ev.at` with [`Protocol::on_fail`]/[`Protocol::on_recover`]
+    /// callbacks where the kind defines them.
+    pub fn inject(&mut self, ev: FaultEvent) {
+        self.queue.push(ev.at, EventKind::Fault(ev.kind));
     }
 
-    /// Schedules a recovery of `node`.
+    /// Injects every event of a declarative [`FaultPlan`], in plan
+    /// order (ties at the same instant keep plan order).
+    pub fn inject_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            self.inject(ev.clone());
+        }
+    }
+
+    /// Back-compat shim: schedules a fail-stop fault at `node`. New
+    /// code should build a [`FaultPlan`] and use [`Simulator::inject`] /
+    /// [`Simulator::inject_plan`].
+    pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
+        self.inject(FaultEvent {
+            at,
+            kind: FaultKind::Fail(node),
+        });
+    }
+
+    /// Back-compat shim: schedules a recovery of `node`. New code
+    /// should build a [`FaultPlan`] and use [`Simulator::inject`] /
+    /// [`Simulator::inject_plan`].
     pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
-        self.queue.push(at, EventKind::Recover(node));
+        self.inject(FaultEvent {
+            at,
+            kind: FaultKind::Recover(node),
+        });
     }
 
     /// Runs the simulation until `until` (inclusive), dispatching events to
@@ -601,9 +735,10 @@ impl<M: Clone> Simulator<M> {
         let entry = self.now;
         // Split-borrow context construction, shared by every dispatch arm.
         macro_rules! ctx {
-            ($now:expr) => {
+            ($now:expr, $current:expr) => {
                 Ctx {
                     now: $now,
+                    current: $current,
                     world: &mut self.world,
                     queue: &mut self.queue,
                     stats: &mut self.stats,
@@ -625,7 +760,7 @@ impl<M: Clone> Simulator<M> {
                 );
             }
             for id in 0..self.world.len() as u32 {
-                let mut ctx = ctx!(SimTime::ZERO);
+                let mut ctx = ctx!(SimTime::ZERO, NodeId(id));
                 proto.on_start(NodeId(id), &mut ctx);
             }
         }
@@ -639,7 +774,7 @@ impl<M: Clone> Simulator<M> {
                 EventKind::Deliver { to, from, msg } => {
                     self.stats.events_processed += 1;
                     if self.world.alive(to) {
-                        let mut ctx = ctx!(self.now);
+                        let mut ctx = ctx!(self.now, to);
                         proto.on_message(to, from, msg, &mut ctx);
                     } else {
                         self.stats.drops_dead += 1;
@@ -667,7 +802,7 @@ impl<M: Clone> Simulator<M> {
                                 .expect("payload taken before last receiver")
                                 .clone()
                         };
-                        let mut ctx = ctx!(self.now);
+                        let mut ctx = ctx!(self.now, node);
                         proto.on_message(node, from, m, &mut ctx);
                     }
                     // Recycle the receiver list for the next broadcast.
@@ -678,22 +813,58 @@ impl<M: Clone> Simulator<M> {
                 EventKind::Timer { node, tag } => {
                     self.stats.events_processed += 1;
                     if self.world.alive(node) {
-                        let mut ctx = ctx!(self.now);
+                        let mut ctx = ctx!(self.now, node);
                         proto.on_timer(node, tag, &mut ctx);
                     }
                 }
-                EventKind::Fail(node) => {
+                EventKind::Fault(kind) => {
+                    // One fault event = one processed event, regardless
+                    // of how many nodes it touches — keeps the events/s
+                    // denominator comparable across fault plans.
                     self.stats.events_processed += 1;
-                    self.world.set_alive(node, false);
-                    let mut ctx = ctx!(self.now);
-                    proto.on_fail(node, &mut ctx);
-                }
-                EventKind::Recover(node) => {
-                    self.stats.events_processed += 1;
-                    self.world.set_alive(node, true);
-                    self.world.set_busy_until(node, self.now);
-                    let mut ctx = ctx!(self.now);
-                    proto.on_recover(node, &mut ctx);
+                    match kind {
+                        FaultKind::Fail(node) => {
+                            self.world.set_alive(node, false);
+                            let mut ctx = ctx!(self.now, node);
+                            proto.on_fail(node, &mut ctx);
+                        }
+                        FaultKind::Recover(node) => {
+                            self.world.set_alive(node, true);
+                            self.world.set_busy_until(node, self.now);
+                            let mut ctx = ctx!(self.now, node);
+                            proto.on_recover(node, &mut ctx);
+                        }
+                        FaultKind::Partition(groups) => {
+                            self.world.apply_partition(&groups);
+                        }
+                        FaultKind::Heal => self.world.heal_partition(),
+                        FaultKind::FailRegion { center, radius } => {
+                            // Victims go into local buffers: the engine
+                            // scratch is reserved for the neighbour
+                            // queries the on_fail callbacks may run.
+                            let mut victims = Vec::new();
+                            let mut raw = Vec::new();
+                            self.world
+                                .nodes_near_into(center, radius, &mut victims, &mut raw);
+                            for node in victims {
+                                self.world.set_alive(node, false);
+                                let mut ctx = ctx!(self.now, node);
+                                proto.on_fail(node, &mut ctx);
+                            }
+                        }
+                        FaultKind::Byzantine { node, mode } => {
+                            if matches!(mode, ByzantineMode::BogusCandidacy { .. }) {
+                                self.world.set_capability(node, Capability::Enhanced);
+                            }
+                            self.world.set_byzantine(node, Some(mode));
+                        }
+                        FaultKind::ClockSkew { node, skew_us } => {
+                            self.world.set_clock_skew_us(node, skew_us);
+                        }
+                        FaultKind::PositionError { node, error } => {
+                            self.world.set_position_error(node, error);
+                        }
+                    }
                 }
                 EventKind::MobilityTick => {
                     self.stats.events_processed += 1;
@@ -1043,5 +1214,259 @@ mod tests {
         // Re-running at an earlier horizon advances nothing.
         sim.run(&mut p, SimTime::from_secs(5));
         assert!((sim.sim_secs() - 20.0).abs() < 1e-9, "{}", sim.sim_secs());
+    }
+
+    #[test]
+    fn partition_blocks_unicast_until_heal() {
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
+        place_two(&mut sim, 100.0);
+        // Cut 0 from 1 for the first 4 s. The initial ping leaves during
+        // on_start, *before* the t = 0 partition event fires, so it is
+        // already in flight and arrives — but node 1's pong reply is
+        // sent under the cut and dies. The 5 s timer re-ping round-trips
+        // freely after the heal.
+        sim.inject_plan(
+            &FaultPlan::new()
+                .partition(SimTime::ZERO, vec![vec![NodeId(0)], vec![NodeId(1)]])
+                .heal(SimTime::from_secs(4)),
+        );
+        let mut p = PingPong::default();
+        sim.run(&mut p, SimTime::from_secs(10));
+        assert_eq!(p.pings_rx, 2);
+        assert_eq!(p.pongs_rx, 1);
+        assert_eq!(sim.stats().drops_partitioned, 1);
+        assert_eq!(sim.stats().drops_loss, 0);
+    }
+
+    #[test]
+    fn partition_filters_broadcast_receivers() {
+        struct B;
+        impl Protocol for B {
+            type Msg = u8;
+            fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, u8>) {
+                if node == NodeId(0) {
+                    let n = ctx.broadcast(node, "b", 50, 1);
+                    // Only same-island node 1 remains of 3 in-range peers.
+                    assert_eq!(n, 1);
+                }
+            }
+            fn on_message(&mut self, node: NodeId, _f: NodeId, _m: u8, _c: &mut Ctx<'_, u8>) {
+                assert_eq!(node, NodeId(1));
+            }
+            fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, u8>) {}
+        }
+        let cfg = SimConfig {
+            num_nodes: 4,
+            mobility_tick: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let mut sim: Simulator<u8> = Simulator::new(cfg, Box::new(Stationary));
+        for i in 0..4u32 {
+            sim.world
+                .set_motion(NodeId(i), Point::new(i as f64 * 60.0, 0.0), Vec2::ZERO);
+        }
+        sim.world.rebuild_index();
+        sim.world
+            .apply_partition(&[vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        sim.run(&mut B, SimTime::from_secs(1));
+        assert_eq!(sim.stats().drops_partitioned, 2);
+    }
+
+    #[test]
+    fn fail_region_kills_the_disc() {
+        #[derive(Default)]
+        struct FR {
+            fails: Vec<NodeId>,
+        }
+        impl Protocol for FR {
+            type Msg = ();
+            fn on_start(&mut self, _n: NodeId, _c: &mut Ctx<'_, ()>) {}
+            fn on_message(&mut self, _n: NodeId, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, ()>) {}
+            fn on_fail(&mut self, node: NodeId, _c: &mut Ctx<'_, ()>) {
+                self.fails.push(node);
+            }
+        }
+        let cfg = SimConfig {
+            num_nodes: 5,
+            mobility_tick: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let mut sim: Simulator<()> = Simulator::new(cfg, Box::new(Stationary));
+        for i in 0..5u32 {
+            sim.world
+                .set_motion(NodeId(i), Point::new(i as f64 * 100.0, 0.0), Vec2::ZERO);
+        }
+        sim.world.rebuild_index();
+        sim.inject(FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::FailRegion {
+                center: Point::new(100.0, 0.0),
+                radius: 120.0,
+            },
+        });
+        let mut p = FR::default();
+        sim.run(&mut p, SimTime::from_secs(2));
+        // Nodes at x = 0, 100, 200 sit within 120 m of (100, 0).
+        assert_eq!(p.fails, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(!sim.world().alive(NodeId(1)));
+        assert!(sim.world().alive(NodeId(3)));
+        // One barrier event, not one per victim.
+        assert_eq!(sim.stats().events_processed, 1);
+    }
+
+    #[test]
+    fn selective_forward_drops_at_the_sender() {
+        let mut sim: Simulator<&'static str> = Simulator::new(
+            SimConfig {
+                num_nodes: 2,
+                mobility_tick: SimDuration::ZERO,
+                seed: 3,
+                ..Default::default()
+            },
+            Box::new(Stationary),
+        );
+        place_two(&mut sim, 100.0);
+        sim.inject(FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::Byzantine {
+                node: NodeId(1),
+                mode: ByzantineMode::SelectiveForward { drop_prob: 1.0 },
+            },
+        });
+        let mut p = PingPong::default();
+        sim.run(&mut p, SimTime::from_secs(10));
+        // Node 1 hears both pings but silently swallows every pong.
+        assert_eq!(p.pings_rx, 2);
+        assert_eq!(p.pongs_rx, 0);
+        assert_eq!(sim.stats().byzantine_dropped, 2);
+        // The dropped frames never hit the air: no tx counted for them.
+        assert_eq!(sim.stats().msgs("pong"), 0);
+    }
+
+    #[test]
+    fn replay_stale_duplicates_deliveries() {
+        let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
+        place_two(&mut sim, 100.0);
+        sim.inject(FaultEvent {
+            at: SimTime::ZERO,
+            kind: FaultKind::Byzantine {
+                node: NodeId(0),
+                mode: ByzantineMode::ReplayStale {
+                    delay: SimDuration::from_secs(1),
+                },
+            },
+        });
+        let mut p = PingPong::default();
+        sim.run(&mut p, SimTime::from_secs(10));
+        // The initial ping leaves during on_start, before the t = 0
+        // Byzantine onset applies; the 5 s timer re-ping is replayed, so
+        // node 1 hears three pings off two genuine sends plus one stale
+        // duplicate.
+        assert_eq!(p.pings_rx, 3);
+        assert_eq!(sim.stats().byzantine_replayed, 1);
+        // Replays are queue copies, not transmissions.
+        assert_eq!(sim.stats().msgs("ping"), 2);
+    }
+
+    #[test]
+    fn bogus_candidacy_flips_capability() {
+        let cfg = SimConfig {
+            num_nodes: 2,
+            enhanced_fraction: 0.0,
+            mobility_tick: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let mut sim: Simulator<()> = Simulator::new(cfg, Box::new(Stationary));
+        assert_eq!(sim.world().capability(NodeId(1)), Capability::Regular);
+        sim.inject(FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::Byzantine {
+                node: NodeId(1),
+                mode: ByzantineMode::BogusCandidacy { drop_prob: 0.5 },
+            },
+        });
+        struct Noop;
+        impl Protocol for Noop {
+            type Msg = ();
+            fn on_start(&mut self, _n: NodeId, _c: &mut Ctx<'_, ()>) {}
+            fn on_message(&mut self, _n: NodeId, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, _n: NodeId, _t: u64, _c: &mut Ctx<'_, ()>) {}
+        }
+        sim.run(&mut Noop, SimTime::from_secs(2));
+        assert_eq!(sim.world().capability(NodeId(1)), Capability::Enhanced);
+    }
+
+    #[test]
+    fn clock_skew_and_position_error_colour_observations() {
+        struct Obs {
+            seen: Option<(SimTime, Point)>,
+        }
+        impl Protocol for Obs {
+            type Msg = u8;
+            fn on_start(&mut self, node: NodeId, ctx: &mut Ctx<'_, u8>) {
+                if node == NodeId(0) {
+                    ctx.set_timer(node, SimDuration::from_secs(5), 1);
+                }
+            }
+            fn on_message(&mut self, _n: NodeId, _f: NodeId, _m: u8, _c: &mut Ctx<'_, u8>) {}
+            fn on_timer(&mut self, node: NodeId, _t: u64, ctx: &mut Ctx<'_, u8>) {
+                self.seen = Some((ctx.now(), ctx.position(node)));
+            }
+        }
+        let mut sim: Simulator<u8> = Simulator::new(two_node_cfg(), Box::new(Stationary));
+        sim.world
+            .set_motion(NodeId(0), Point::new(0.0, 0.0), Vec2::ZERO);
+        sim.world
+            .set_motion(NodeId(1), Point::new(100.0, 0.0), Vec2::ZERO);
+        sim.world.rebuild_index();
+        sim.inject_plan(
+            &FaultPlan::new()
+                .clock_skew(SimTime::from_secs(1), NodeId(0), -2_000_000)
+                .position_error(SimTime::from_secs(1), NodeId(0), Vec2::new(30.0, 0.0)),
+        );
+        let mut p = Obs { seen: None };
+        sim.run(&mut p, SimTime::from_secs(6));
+        let (t, pos) = p.seen.expect("timer fired");
+        // The timer fires at true t = 5 s but node 0's clock reads 3 s,
+        // and its GPS reads 30 m east of truth.
+        assert_eq!(t, SimTime::from_secs(3));
+        assert_eq!(pos, Point::new(30.0, 0.0));
+        // Engine scheduling itself stayed exact.
+        assert_eq!(sim.now(), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn fault_free_runs_unchanged_by_fault_plane() {
+        // The committed baseline trajectory depends on this: a run with
+        // no faults injected must replay bit-identically to the
+        // pre-fault-plane engine (no extra RNG draws, no counter noise).
+        let run = |with_noop_faults: bool| {
+            let cfg = SimConfig {
+                num_nodes: 30,
+                seed: 42,
+                ..Default::default()
+            };
+            let mut sim: Simulator<&'static str> = Simulator::new(
+                cfg,
+                Box::new(crate::mobility::RandomWaypoint::new(1.0, 10.0, 2.0)),
+            );
+            if with_noop_faults {
+                // Heal with no partition active: a no-op world mutation.
+                sim.inject_plan(&FaultPlan::new().heal(SimTime::from_secs(30)));
+            }
+            let mut p = PingPong::default();
+            sim.run(&mut p, SimTime::from_secs(60));
+            (
+                p.pings_rx,
+                p.pongs_rx,
+                sim.stats().drops_loss,
+                sim.stats().node_tx_bytes.clone(),
+            )
+        };
+        let (a_pings, a_pongs, a_loss, a_bytes) = run(false);
+        let (b_pings, b_pongs, b_loss, b_bytes) = run(true);
+        assert_eq!((a_pings, a_pongs, a_loss), (b_pings, b_pongs, b_loss));
+        assert_eq!(a_bytes, b_bytes);
     }
 }

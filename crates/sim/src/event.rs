@@ -4,6 +4,7 @@
 //! same instant dispatch in insertion order, which makes every run replay
 //! identically — the foundation of the reproducible experiments.
 
+use crate::fault::FaultKind;
 use crate::node::NodeId;
 use crate::time::SimTime;
 use std::collections::BinaryHeap;
@@ -44,10 +45,12 @@ pub enum EventKind<M> {
         /// Protocol-chosen discriminator.
         tag: u64,
     },
-    /// Fault injection: the node goes down.
-    Fail(NodeId),
-    /// Fault injection: the node comes back up.
-    Recover(NodeId),
+    /// Fault injection: one event of the declarative fault plane
+    /// ([`crate::FaultPlan`]) fires — fail-stop, recovery, partition,
+    /// heal, regional outage, Byzantine onset, clock or position error.
+    /// Every kind mutates the shared world, so the parallel engine runs
+    /// it as a serial barrier between lookahead windows.
+    Fault(FaultKind),
     /// Engine-internal: advance mobility and rebuild the spatial index.
     MobilityTick,
 }
@@ -123,7 +126,7 @@ impl<M> EventQueue<M> {
 
     /// The earliest scheduled event without removing it. The parallel
     /// engine inspects the head to decide whether the next event is a
-    /// serial barrier (fail/recover/mobility) or joins a parallel window.
+    /// serial barrier (fault/mobility) or joins a parallel window.
     pub fn peek(&self) -> Option<&Scheduled<M>> {
         self.heap.peek()
     }

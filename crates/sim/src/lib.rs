@@ -12,6 +12,9 @@
 //! * [`mobility`] — stationary, random-waypoint and group mobility;
 //! * [`stats`] — overhead, load, delivery and latency measurement plus
 //!   fairness indices (Jain, max/mean, Gini);
+//! * [`fault`] — the declarative adversary & partition plane
+//!   ([`FaultPlan`]): partitions with heal, regional outages, Byzantine
+//!   nodes, clock/position error, injected as barrier events;
 //! * [`georoute`] — greedy location-based forwarding (GPSR-style);
 //! * [`engine`] — the [`Protocol`] trait and [`Simulator`] event loop;
 //! * [`par`] — the sharded parallel engine ([`ParProtocol`] /
@@ -31,6 +34,7 @@
 pub mod ctx;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod georoute;
 pub mod mobility;
 pub mod node;
@@ -44,6 +48,7 @@ pub mod world;
 pub use ctx::ProtoCtx;
 pub use engine::{Ctx, Protocol, SimConfig, Simulator};
 pub use event::{EventKind, EventQueue};
+pub use fault::{ByzantineMode, FaultEvent, FaultKind, FaultPlan};
 pub use mobility::{Mobility, RandomWaypoint, ReferencePointGroup, Stationary};
 pub use node::{Capability, NodeId, NodeState};
 pub use par::{ParCtx, ParProtocol, ParSimulator};

@@ -28,11 +28,15 @@
 //!   ([`hvdb_traffic::Rng64`]) derived from the master seed — the pattern
 //!   the traffic plane already uses per flow — so event outcomes never
 //!   depend on cross-shard interleaving.
-//! * **Serial barriers.** `Fail`/`Recover`/`MobilityTick` mutate the
+//! * **Serial barriers.** `Fault`/`MobilityTick` events mutate the
 //!   shared world, so each runs alone between windows with `&mut World`;
 //!   window collection stops at the first barrier in `(time, seq)` order,
 //!   which preserves exact serial semantics for simultaneous
-//!   fail/deliver events.
+//!   fault/deliver events. Every kind of the fault plane
+//!   ([`crate::FaultPlan`]) — partitions, heals, regional outages,
+//!   Byzantine onsets, clock/position error — applies atomically this
+//!   way, which is what keeps the thread count invisible under fault
+//!   injection.
 //!
 //! Contract differences from the serial [`crate::Simulator`], both
 //! deterministic and documented: timers with delays shorter than the
@@ -43,6 +47,7 @@
 
 use crate::engine::SimConfig;
 use crate::event::{EventKind, EventQueue, Scheduled};
+use crate::fault::{ByzantineMode, FaultEvent, FaultKind, FaultPlan};
 use crate::mobility::Mobility;
 use crate::node::{Capability, NodeId};
 use crate::radio::RadioConfig;
@@ -119,6 +124,9 @@ struct Counters {
     drops_dead: u64,
     drops_retry_exhausted: u64,
     drops_queue_full: u64,
+    drops_partitioned: u64,
+    byzantine_dropped: u64,
+    byzantine_replayed: u64,
     soft_refresh_msgs: u64,
     soft_refresh_suppressed: u64,
     soft_stale_suppressed: u64,
@@ -136,6 +144,9 @@ impl Counters {
         stats.drops_dead += self.drops_dead;
         stats.drops_retry_exhausted += self.drops_retry_exhausted;
         stats.drops_queue_full += self.drops_queue_full;
+        stats.drops_partitioned += self.drops_partitioned;
+        stats.byzantine_dropped += self.byzantine_dropped;
+        stats.byzantine_replayed += self.byzantine_replayed;
         stats.soft_refresh_msgs += self.soft_refresh_msgs;
         stats.soft_refresh_suppressed += self.soft_refresh_suppressed;
         stats.soft_stale_suppressed += self.soft_stale_suppressed;
@@ -387,10 +398,13 @@ pub struct ParCtx<'a, M> {
 }
 
 impl<'a, M: Clone> ParCtx<'a, M> {
-    /// Current simulation time (the dispatched event's timestamp).
+    /// Current simulation time (the dispatched event's timestamp) *as
+    /// observed by the dispatched node*: exact unless a
+    /// [`FaultKind::ClockSkew`] fault skewed this node's clock. Timers,
+    /// radio occupancy, and statistics keep true engine time.
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.now
+        self.world.local_time(self.current, self.now)
     }
 
     /// Number of nodes in the world.
@@ -399,10 +413,12 @@ impl<'a, M: Clone> ParCtx<'a, M> {
         self.world.len()
     }
 
-    /// A node's position.
+    /// A node's position as the protocol observes it: exact unless a
+    /// [`FaultKind::PositionError`] fault displaced the node's GPS
+    /// (radio reachability keeps using truth).
     #[inline]
     pub fn position(&self, id: NodeId) -> Point {
-        self.world.position(id)
+        self.world.reported_position(id)
     }
 
     /// A node's velocity.
@@ -505,6 +521,27 @@ impl<'a, M: Clone> ParCtx<'a, M> {
         }
     }
 
+    /// Mirror of the serial engine's Byzantine sender intercept: honest
+    /// nodes draw no RNG here, so fault-free runs are unchanged.
+    fn byzantine_drops(&mut self) -> bool {
+        if let Some(mode) = self.world.byzantine(self.current) {
+            let p = mode.drop_prob();
+            if p > 0.0 && self.rng.chance(p) {
+                self.counters.byzantine_dropped += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The replay lag of the dispatched node's Byzantine mode, if any.
+    #[inline]
+    fn replay_delay(&self) -> Option<SimDuration> {
+        self.world
+            .byzantine(self.current)
+            .and_then(|m| m.replay_delay())
+    }
+
     fn queue_full(&mut self) -> bool {
         if self.radio.max_queue > SimDuration::ZERO
             && self.tx_backlog(self.current) > self.radio.max_queue
@@ -545,6 +582,9 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             self.counters.drops_dead += 1;
             return false;
         }
+        if self.byzantine_drops() {
+            return false;
+        }
         if self.queue_full() {
             return false;
         }
@@ -566,9 +606,24 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             self.counters.drops_out_of_range += 1;
             return false;
         }
+        if !self.world.same_island(from, to) {
+            self.counters.drops_partitioned += 1;
+            return false;
+        }
         if self.rng.chance(self.radio.loss_prob) {
             self.counters.drops_loss += 1;
             return false;
+        }
+        if let Some(delay) = self.replay_delay() {
+            self.counters.byzantine_replayed += 1;
+            self.outbox.push((
+                arrival + delay,
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg: msg.clone(),
+                },
+            ));
         }
         self.outbox
             .push((arrival, EventKind::Deliver { to, from, msg }));
@@ -591,6 +646,9 @@ impl<'a, M: Clone> ParCtx<'a, M> {
         );
         if !self.world.alive(from) {
             self.counters.drops_dead += 1;
+            return false;
+        }
+        if self.byzantine_drops() {
             return false;
         }
         if self.queue_full() {
@@ -616,9 +674,25 @@ impl<'a, M: Clone> ParCtx<'a, M> {
                 self.counters.drops_out_of_range += 1;
                 return false;
             }
+            if !self.world.same_island(from, to) {
+                // Like out-of-range: retries never cross a partition.
+                self.counters.drops_partitioned += 1;
+                return false;
+            }
             if self.rng.chance(self.radio.loss_prob) {
                 self.counters.drops_loss += 1;
                 continue;
+            }
+            if let Some(delay) = self.replay_delay() {
+                self.counters.byzantine_replayed += 1;
+                self.outbox.push((
+                    arrival + delay,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        msg: msg.clone(),
+                    },
+                ));
             }
             self.outbox
                 .push((arrival, EventKind::Deliver { to, from, msg }));
@@ -641,6 +715,9 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             self.counters.drops_dead += 1;
             return 0;
         }
+        if self.byzantine_drops() {
+            return 0;
+        }
         if self.queue_full() {
             return 0;
         }
@@ -657,6 +734,14 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             self.world
                 .neighbors_into(from, &mut receivers, self.raw_scratch);
         }
+        // Partition gating before the loss draws (mirror of the serial
+        // engine): cross-island receivers vanish without consuming RNG.
+        if self.world.partitioned() {
+            let before = receivers.len();
+            let world = self.world;
+            receivers.retain(|&to| world.same_island(from, to));
+            self.counters.drops_partitioned += (before - receivers.len()) as u64;
+        }
         // Loss per receiver in ascending id order, from the sender's
         // stream (the serial engine draws the same way from its global
         // stream).
@@ -669,6 +754,7 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             }
         });
         let n = receivers.len();
+        let replay = self.replay_delay();
         if self.per_receiver {
             self.counters.frames_cloned += n as u64;
             for &to in receivers.iter() {
@@ -681,7 +767,32 @@ impl<'a, M: Clone> ParCtx<'a, M> {
                     },
                 ));
             }
+            if let Some(delay) = replay {
+                self.counters.byzantine_replayed += n as u64;
+                self.counters.frames_cloned += n as u64;
+                for &to in receivers.iter() {
+                    self.outbox.push((
+                        arrival + delay,
+                        EventKind::Deliver {
+                            to,
+                            from,
+                            msg: msg.clone(),
+                        },
+                    ));
+                }
+            }
         } else if n > 0 {
+            if let Some(delay) = replay {
+                self.counters.byzantine_replayed += n as u64;
+                self.outbox.push((
+                    arrival + delay,
+                    EventKind::DeliverMany {
+                        to: receivers.clone(),
+                        from,
+                        msg: msg.clone(),
+                    },
+                ));
+            }
             self.outbox.push((
                 arrival,
                 EventKind::DeliverMany {
@@ -760,10 +871,7 @@ impl<'a, M: Clone> ParCtx<'a, M> {
 }
 
 fn is_barrier<M>(kind: &EventKind<M>) -> bool {
-    matches!(
-        kind,
-        EventKind::Fail(_) | EventKind::Recover(_) | EventKind::MobilityTick
-    )
+    matches!(kind, EventKind::Fault(_) | EventKind::MobilityTick)
 }
 
 /// The sharded parallel discrete-event simulator. See the [module
@@ -914,14 +1022,40 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
         Some(&self.shards[s as usize].slots[i as usize].node)
     }
 
-    /// Schedules a fail-stop fault at `node`.
-    pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
-        self.queue.push(at, EventKind::Fail(node));
+    /// Injects one fault into the schedule — the single entry point of
+    /// the fault plane ([`crate::fault`]). Every fault kind runs as a
+    /// serial barrier between lookahead windows, so outcomes stay
+    /// independent of the thread count.
+    pub fn inject(&mut self, ev: FaultEvent) {
+        self.queue.push(ev.at, EventKind::Fault(ev.kind));
     }
 
-    /// Schedules a recovery of `node`.
+    /// Injects every event of a declarative [`FaultPlan`], in plan
+    /// order (ties at the same instant keep plan order).
+    pub fn inject_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            self.inject(ev.clone());
+        }
+    }
+
+    /// Back-compat shim: schedules a fail-stop fault at `node`. New
+    /// code should build a [`FaultPlan`] and use
+    /// [`ParSimulator::inject`] / [`ParSimulator::inject_plan`].
+    pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
+        self.inject(FaultEvent {
+            at,
+            kind: FaultKind::Fail(node),
+        });
+    }
+
+    /// Back-compat shim: schedules a recovery of `node`. New code
+    /// should build a [`FaultPlan`] and use [`ParSimulator::inject`] /
+    /// [`ParSimulator::inject_plan`].
     pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
-        self.queue.push(at, EventKind::Recover(node));
+        self.inject(FaultEvent {
+            at,
+            kind: FaultKind::Recover(node),
+        });
     }
 
     /// Partitions nodes into shards by spatial cell: distinct cell keys
@@ -998,7 +1132,7 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
                 let s = self.node_map[node.idx()].0 as usize;
                 self.shards[s].tasks.push(Task::Timer { at, node, tag });
             }
-            EventKind::Fail(_) | EventKind::Recover(_) | EventKind::MobilityTick => {
+            EventKind::Fault(_) | EventKind::MobilityTick => {
                 unreachable!("barrier events are handled serially")
             }
         }
@@ -1074,34 +1208,78 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
     fn barrier<P: ParProtocol<Msg = M, Node = N>>(&mut self, proto: &P, ev: Scheduled<M>) {
         self.now = ev.time;
         match ev.kind {
-            EventKind::Fail(node) => {
+            EventKind::Fault(kind) => {
+                // One fault event = one processed event (the serial
+                // engine counts identically), however many nodes it
+                // touches.
                 self.stats.events_processed += 1;
-                self.world.set_alive(node, false);
-                let (s, i) = self.node_map[node.idx()];
-                self.shards[s as usize].with_slot(
-                    i as usize,
-                    self.now,
-                    &self.world,
-                    &self.cfg.radio,
-                    self.cfg.per_receiver_delivery,
-                    |id, n, ctx| proto.on_fail(id, n, ctx),
-                );
-                self.commit();
-            }
-            EventKind::Recover(node) => {
-                self.stats.events_processed += 1;
-                self.world.set_alive(node, true);
-                let (s, i) = self.node_map[node.idx()];
-                self.shards[s as usize].slots[i as usize].busy_until = self.now;
-                self.shards[s as usize].with_slot(
-                    i as usize,
-                    self.now,
-                    &self.world,
-                    &self.cfg.radio,
-                    self.cfg.per_receiver_delivery,
-                    |id, n, ctx| proto.on_recover(id, n, ctx),
-                );
-                self.commit();
+                match kind {
+                    FaultKind::Fail(node) => {
+                        self.world.set_alive(node, false);
+                        let (s, i) = self.node_map[node.idx()];
+                        self.shards[s as usize].with_slot(
+                            i as usize,
+                            self.now,
+                            &self.world,
+                            &self.cfg.radio,
+                            self.cfg.per_receiver_delivery,
+                            |id, n, ctx| proto.on_fail(id, n, ctx),
+                        );
+                        self.commit();
+                    }
+                    FaultKind::Recover(node) => {
+                        self.world.set_alive(node, true);
+                        let (s, i) = self.node_map[node.idx()];
+                        self.shards[s as usize].slots[i as usize].busy_until = self.now;
+                        self.shards[s as usize].with_slot(
+                            i as usize,
+                            self.now,
+                            &self.world,
+                            &self.cfg.radio,
+                            self.cfg.per_receiver_delivery,
+                            |id, n, ctx| proto.on_recover(id, n, ctx),
+                        );
+                        self.commit();
+                    }
+                    FaultKind::Partition(groups) => {
+                        self.world.apply_partition(&groups);
+                    }
+                    FaultKind::Heal => self.world.heal_partition(),
+                    FaultKind::FailRegion { center, radius } => {
+                        // Victims fail together in ascending id order,
+                        // exactly as the serial engine iterates; one
+                        // commit seals all their callbacks' output.
+                        let mut victims = Vec::new();
+                        let mut raw = Vec::new();
+                        self.world
+                            .nodes_near_into(center, radius, &mut victims, &mut raw);
+                        for node in victims {
+                            self.world.set_alive(node, false);
+                            let (s, i) = self.node_map[node.idx()];
+                            self.shards[s as usize].with_slot(
+                                i as usize,
+                                self.now,
+                                &self.world,
+                                &self.cfg.radio,
+                                self.cfg.per_receiver_delivery,
+                                |id, n, ctx| proto.on_fail(id, n, ctx),
+                            );
+                        }
+                        self.commit();
+                    }
+                    FaultKind::Byzantine { node, mode } => {
+                        if matches!(mode, ByzantineMode::BogusCandidacy { .. }) {
+                            self.world.set_capability(node, Capability::Enhanced);
+                        }
+                        self.world.set_byzantine(node, Some(mode));
+                    }
+                    FaultKind::ClockSkew { node, skew_us } => {
+                        self.world.set_clock_skew_us(node, skew_us);
+                    }
+                    FaultKind::PositionError { node, error } => {
+                        self.world.set_position_error(node, error);
+                    }
+                }
             }
             EventKind::MobilityTick => {
                 self.stats.events_processed += 1;
@@ -1324,6 +1502,71 @@ mod tests {
         assert_eq!(h1, h4);
         assert_eq!(s1, s2, "threads=2 diverged from threads=1");
         assert_eq!(s1, s4, "threads=4 diverged from threads=1");
+    }
+
+    /// The full fault-plane schedule: every [`FaultKind`] fires mid-run,
+    /// with the partition+heal pair straddling many lookahead windows
+    /// (odd microsecond timestamps, nowhere near window boundaries).
+    fn run_faulted_gossip(threads: usize) -> String {
+        let mut sim: ParSimulator<GossipNode, GossipMsg> =
+            ParSimulator::new(grid_cfg(6, 13), Box::new(Stationary), 16, threads);
+        place_grid(&mut sim, 6);
+        let left: Vec<NodeId> = (0..18).map(NodeId).collect();
+        let right: Vec<NodeId> = (18..36).map(NodeId).collect();
+        let plan = FaultPlan::new()
+            .byzantine(
+                SimTime::from_millis(200),
+                NodeId(5),
+                ByzantineMode::SelectiveForward { drop_prob: 1.0 },
+            )
+            .byzantine(
+                SimTime::from_millis(200),
+                NodeId(7),
+                ByzantineMode::ReplayStale {
+                    delay: SimDuration::from_millis(700),
+                },
+            )
+            .byzantine(
+                SimTime::from_millis(200),
+                NodeId(9),
+                ByzantineMode::BogusCandidacy { drop_prob: 0.5 },
+            )
+            .clock_skew(SimTime::from_millis(300), NodeId(3), -40_000)
+            .position_error(SimTime::from_millis(300), NodeId(4), Vec2::new(20.0, -15.0))
+            .partition(SimTime(512_345), vec![left, right])
+            .fail(SimTime::from_secs(1), NodeId(20))
+            .heal(SimTime(1_499_777))
+            .recover(SimTime::from_secs(2), NodeId(20))
+            .fail_region(SimTime(2_250_101), Point::new(450.0, 450.0), 200.0);
+        sim.inject_plan(&plan);
+        sim.run(&Gossip { ttl: 3 }, SimTime::from_secs(3));
+        assert!(
+            sim.stats().drops_partitioned > 0,
+            "the partition never bit: no cross-island traffic was cut"
+        );
+        assert!(
+            sim.stats().byzantine_dropped > 0,
+            "selective forwarding never dropped a frame"
+        );
+        assert!(
+            sim.stats().byzantine_replayed > 0,
+            "replay-stale never duplicated a frame"
+        );
+        assert_eq!(sim.world().capability(NodeId(9)), Capability::Enhanced);
+        format!("{:?}", sim.stats())
+    }
+
+    #[test]
+    fn every_fault_kind_is_thread_invisible() {
+        // The tentpole acceptance bar: the whole fault family — partition
+        // + heal straddling lookahead windows, regional outage, all three
+        // Byzantine modes, clock and position error, fail/recover — with
+        // stats byte-identical at threads 1, 2 and 4.
+        let s1 = run_faulted_gossip(1);
+        let s2 = run_faulted_gossip(2);
+        let s4 = run_faulted_gossip(4);
+        assert_eq!(s1, s2, "threads=2 diverged under fault injection");
+        assert_eq!(s1, s4, "threads=4 diverged under fault injection");
     }
 
     #[test]

@@ -87,6 +87,18 @@ pub struct Stats {
     /// send-queue pacing drop of the traffic plane (0 when the cap is
     /// disabled).
     pub drops_queue_full: u64,
+    /// Frames dropped by the radio model because sender and receiver sat
+    /// in different partition islands ([`crate::FaultKind::Partition`]).
+    /// 0 outside partition intervals.
+    pub drops_partitioned: u64,
+    /// Frames a Byzantine sender silently discarded (selective
+    /// forwarding / bogus-candidacy modes of
+    /// [`crate::ByzantineMode`]). 0 without Byzantine faults.
+    pub byzantine_dropped: u64,
+    /// Stale duplicate deliveries scheduled by Byzantine replay
+    /// ([`crate::ByzantineMode::ReplayStale`]), one per receiver slot. 0
+    /// without Byzantine faults.
+    pub byzantine_replayed: u64,
     /// Soft-state control transmissions originated by refresh timers
     /// (periodic re-advertisement, not triggered by state change).
     pub soft_refresh_msgs: u64,

@@ -1,5 +1,6 @@
 //! The physical world: node population, positions, and range queries.
 
+use crate::fault::ByzantineMode;
 use crate::node::{Capability, NodeId};
 use crate::time::SimTime;
 use hvdb_geo::{Aabb, Point, SpatialIndex, Vec2};
@@ -31,6 +32,16 @@ pub struct World {
     alive: Vec<bool>,
     busy_until: Vec<SimTime>,
     index: SpatialIndex,
+    /// Partition islands (`None` = fully connected). Allocated lazily on
+    /// the first [`World::apply_partition`], so fault-free runs pay no
+    /// memory or cache cost for the fault plane.
+    island: Option<Vec<u32>>,
+    /// Per-node Byzantine mode (`None` entry = honest). Lazily allocated.
+    byz: Option<Vec<Option<ByzantineMode>>>,
+    /// Per-node observed-clock skew in microseconds. Lazily allocated.
+    clock_skew: Option<Vec<i64>>,
+    /// Per-node reported-minus-true GPS displacement. Lazily allocated.
+    pos_err: Option<Vec<Vec2>>,
 }
 
 impl World {
@@ -48,6 +59,10 @@ impl World {
             alive: vec![true; n],
             busy_until: vec![SimTime::ZERO; n],
             index: SpatialIndex::new(radio_range.max(1.0)),
+            island: None,
+            byz: None,
+            clock_skew: None,
+            pos_err: None,
         };
         w.rebuild_index();
         w
@@ -129,6 +144,107 @@ impl World {
         self.capability[id.idx()] = c;
     }
 
+    /// Splits the network into partition islands: each `groups[i]` lists
+    /// the members of island `i`, and nodes absent from every group stay
+    /// in island 0 (with the first group). Replaces any previous
+    /// partition. The engines consult [`World::same_island`] in their
+    /// send paths, so the cut is enforced by the radio model — protocol
+    /// code never sees it except as undeliverable frames.
+    pub fn apply_partition(&mut self, groups: &[Vec<NodeId>]) {
+        let mut island = vec![0u32; self.pos.len()];
+        for (i, group) in groups.iter().enumerate() {
+            for &id in group {
+                island[id.idx()] = i as u32;
+            }
+        }
+        self.island = Some(island);
+    }
+
+    /// Removes the active partition: full connectivity returns.
+    pub fn heal_partition(&mut self) {
+        self.island = None;
+    }
+
+    /// Whether a partition is currently active.
+    #[inline]
+    pub fn partitioned(&self) -> bool {
+        self.island.is_some()
+    }
+
+    /// Whether `a` and `b` can exchange frames under the active
+    /// partition (always true when none is active).
+    #[inline]
+    pub fn same_island(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.island {
+            Some(island) => island[a.idx()] == island[b.idx()],
+            None => true,
+        }
+    }
+
+    /// The node's Byzantine mode, or `None` for honest nodes.
+    #[inline]
+    pub fn byzantine(&self, id: NodeId) -> Option<ByzantineMode> {
+        self.byz.as_ref().and_then(|b| b[id.idx()])
+    }
+
+    /// Marks a node Byzantine (or honest again with `None`).
+    pub fn set_byzantine(&mut self, id: NodeId, mode: Option<ByzantineMode>) {
+        let n = self.pos.len();
+        self.byz.get_or_insert_with(|| vec![None; n])[id.idx()] = mode;
+    }
+
+    /// The node's observed-clock skew in microseconds (0 = exact).
+    #[inline]
+    pub fn clock_skew_us(&self, id: NodeId) -> i64 {
+        self.clock_skew.as_ref().map_or(0, |s| s[id.idx()])
+    }
+
+    /// Sets the node's observed-clock skew in microseconds.
+    pub fn set_clock_skew_us(&mut self, id: NodeId, skew_us: i64) {
+        let n = self.pos.len();
+        self.clock_skew.get_or_insert_with(|| vec![0; n])[id.idx()] = skew_us;
+    }
+
+    /// The instant node `id`'s skewed clock reads when true simulation
+    /// time is `t` (clamped at zero). Identity for unskewed nodes.
+    #[inline]
+    pub fn local_time(&self, id: NodeId, t: SimTime) -> SimTime {
+        let skew = self.clock_skew_us(id);
+        if skew == 0 {
+            t
+        } else {
+            SimTime((t.0 as i64).saturating_add(skew).max(0) as u64)
+        }
+    }
+
+    /// The node's reported-minus-true GPS displacement (zero = exact).
+    #[inline]
+    pub fn position_error(&self, id: NodeId) -> Vec2 {
+        self.pos_err.as_ref().map_or(Vec2::ZERO, |e| e[id.idx()])
+    }
+
+    /// Sets the node's GPS displacement.
+    pub fn set_position_error(&mut self, id: NodeId, error: Vec2) {
+        let n = self.pos.len();
+        self.pos_err.get_or_insert_with(|| vec![Vec2::ZERO; n])[id.idx()] = error;
+    }
+
+    /// The position node `id` *reports* (GPS reading): true position
+    /// plus any injected [`World::position_error`]. Protocol-visible
+    /// observations use this; radio reachability and the spatial index
+    /// keep using true positions.
+    #[inline]
+    pub fn reported_position(&self, id: NodeId) -> Point {
+        let p = self.pos[id.idx()];
+        match &self.pos_err {
+            Some(err) => {
+                let e = err[id.idx()];
+                Point::new(p.x + e.x, p.y + e.y)
+            }
+            None => p,
+        }
+    }
+
     /// Updates a node's position and velocity, clamping to the area. The
     /// spatial index is updated in place (same-cell fast path), so range
     /// queries stay fresh without any rebuild step.
@@ -161,14 +277,33 @@ impl World {
     /// Deterministic content-byte estimate of the world's per-node state
     /// and spatial index: live entries × entry size, independent of
     /// allocator capacity, so the figure reproduces across machines.
+    /// Fault-plane arrays count only once allocated (fault-free runs
+    /// report the same figure as before the fault plane existed).
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
         let n = self.pos.len();
+        let fault = self
+            .island
+            .as_ref()
+            .map_or(0, |v| v.len() * size_of::<u32>())
+            + self
+                .byz
+                .as_ref()
+                .map_or(0, |v| v.len() * size_of::<Option<ByzantineMode>>())
+            + self
+                .clock_skew
+                .as_ref()
+                .map_or(0, |v| v.len() * size_of::<i64>())
+            + self
+                .pos_err
+                .as_ref()
+                .map_or(0, |v| v.len() * size_of::<Vec2>());
         n * (size_of::<Point>()
             + size_of::<Vec2>()
             + size_of::<Capability>()
             + size_of::<bool>()
             + size_of::<SimTime>())
+            + fault
             + self.index.memory_bytes()
     }
 
@@ -363,6 +498,82 @@ mod tests {
         w.set_busy_until(NodeId(2), SimTime::from_secs(3));
         assert_eq!(w.busy_until(NodeId(2)), SimTime::from_secs(3));
         assert_eq!(w.busy_until(NodeId(1)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn partition_gates_island_membership() {
+        let mut w = line_world();
+        assert!(!w.partitioned());
+        assert!(w.same_island(NodeId(0), NodeId(4)));
+        w.apply_partition(&[vec![NodeId(0), NodeId(1)], vec![NodeId(3), NodeId(4)]]);
+        assert!(w.partitioned());
+        assert!(w.same_island(NodeId(0), NodeId(1)));
+        assert!(!w.same_island(NodeId(1), NodeId(3)));
+        // Node 2 is listed nowhere: it stays in island 0.
+        assert!(w.same_island(NodeId(2), NodeId(0)));
+        assert!(!w.same_island(NodeId(2), NodeId(4)));
+        // A new partition replaces the old one.
+        w.apply_partition(&[vec![], vec![NodeId(0)]]);
+        assert!(!w.same_island(NodeId(0), NodeId(1)));
+        assert!(w.same_island(NodeId(1), NodeId(4)));
+        w.heal_partition();
+        assert!(!w.partitioned());
+        assert!(w.same_island(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn byzantine_marking_round_trips() {
+        let mut w = line_world();
+        assert_eq!(w.byzantine(NodeId(2)), None);
+        let mode = ByzantineMode::SelectiveForward { drop_prob: 0.5 };
+        w.set_byzantine(NodeId(2), Some(mode));
+        assert_eq!(w.byzantine(NodeId(2)), Some(mode));
+        assert_eq!(w.byzantine(NodeId(1)), None);
+        w.set_byzantine(NodeId(2), None);
+        assert_eq!(w.byzantine(NodeId(2)), None);
+    }
+
+    #[test]
+    fn clock_skew_shifts_local_time_only() {
+        let mut w = line_world();
+        let t = SimTime::from_secs(10);
+        assert_eq!(w.local_time(NodeId(0), t), t);
+        w.set_clock_skew_us(NodeId(0), -2_000_000);
+        assert_eq!(w.local_time(NodeId(0), t), SimTime::from_secs(8));
+        assert_eq!(w.local_time(NodeId(1), t), t);
+        // Clamped at zero: a clock running far behind never underflows.
+        w.set_clock_skew_us(NodeId(0), -20_000_000);
+        assert_eq!(w.local_time(NodeId(0), t), SimTime::ZERO);
+        w.set_clock_skew_us(NodeId(0), 500);
+        assert_eq!(w.local_time(NodeId(0), t), SimTime(t.0 + 500));
+    }
+
+    #[test]
+    fn position_error_displaces_reported_only() {
+        let mut w = line_world();
+        let true_pos = w.position(NodeId(3));
+        assert_eq!(w.reported_position(NodeId(3)), true_pos);
+        w.set_position_error(NodeId(3), Vec2::new(25.0, -10.0));
+        let reported = w.reported_position(NodeId(3));
+        assert_eq!(reported, Point::new(true_pos.x + 25.0, true_pos.y - 10.0));
+        // True position (and hence radio connectivity) is untouched.
+        assert_eq!(w.position(NodeId(3)), true_pos);
+        assert_eq!(w.position_error(NodeId(2)), Vec2::ZERO);
+    }
+
+    #[test]
+    fn fault_arrays_count_in_memory_bytes_only_when_allocated() {
+        let mut w = line_world();
+        let base = w.memory_bytes();
+        w.apply_partition(&[vec![NodeId(0)], vec![NodeId(1)]]);
+        w.set_byzantine(
+            NodeId(0),
+            Some(ByzantineMode::BogusCandidacy { drop_prob: 0.1 }),
+        );
+        assert!(w.memory_bytes() > base);
+        w.heal_partition();
+        // byz stays allocated; island is freed again.
+        assert!(w.memory_bytes() > base);
     }
 
     #[test]

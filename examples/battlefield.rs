@@ -15,7 +15,7 @@
 use hvdb::core::{GroupId, HvdbConfig, HvdbProtocol, TrafficItem};
 use hvdb::geo::Aabb;
 use hvdb::sim::{
-    NodeId, RadioConfig, ReferencePointGroup, SimConfig, SimDuration, SimTime, Simulator,
+    FaultPlan, NodeId, RadioConfig, ReferencePointGroup, SimConfig, SimDuration, SimTime, Simulator,
 };
 
 fn main() {
@@ -80,9 +80,11 @@ fn main() {
 
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
     // A platoon is destroyed at t = 200 s: 10 nodes fail simultaneously.
+    let mut plan = FaultPlan::new();
     for i in 100..110u32 {
-        sim.schedule_fail(NodeId(i), SimTime::from_secs(200));
+        plan = plan.fail(SimTime::from_secs(200), NodeId(i));
     }
+    sim.inject_plan(&plan);
     sim.run(&mut proto, SimTime::from_secs(260));
 
     let stats = sim.stats();

@@ -8,7 +8,9 @@ use hvdb::core::{
 };
 use hvdb::geo::{Aabb, Hnid, Point, Vec2};
 use hvdb::hypercube::{disjoint_paths_complete, pair_connectivity, IncompleteHypercube};
-use hvdb::sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
+use hvdb::sim::{
+    FaultPlan, NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary,
+};
 
 #[test]
 fn structural_redundancy_flows_into_route_alternatives() {
@@ -107,9 +109,11 @@ fn protocol_delivers_through_ch_failures() {
         .collect();
     let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
     // Kill 16 of the 64 centre nodes (the elected CHs) at t = 120 s.
+    let mut plan = FaultPlan::new();
     for i in (0..64u32).step_by(4) {
-        sim.schedule_fail(NodeId(i), SimTime::from_secs(120));
+        plan = plan.fail(SimTime::from_secs(120), NodeId(i));
     }
+    sim.inject_plan(&plan);
     sim.run(&mut proto, SimTime::from_secs(190));
     assert!(
         sim.stats().delivery_ratio() >= 0.9,

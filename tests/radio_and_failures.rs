@@ -3,7 +3,9 @@
 
 use hvdb::core::{GroupId, HvdbConfig, HvdbProtocol, TrafficItem};
 use hvdb::geo::{Aabb, Point, Vec2};
-use hvdb::sim::{NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary};
+use hvdb::sim::{
+    FaultPlan, NodeId, RadioConfig, SimConfig, SimDuration, SimTime, Simulator, Stationary,
+};
 
 fn lossy_sim(loss: f64, seed: u64) -> Simulator<hvdb::core::FrameBytes> {
     let area = Aabb::from_size(800.0, 800.0);
@@ -103,10 +105,13 @@ fn recovered_nodes_rejoin_the_backbone() {
     let mut proto = HvdbProtocol::new(cfg, &[], vec![], vec![]);
     // Take down 8 centre nodes, bring them back, and check they head VCs
     // again (the spares near those VCs are farther from the VCCs).
+    let mut plan = FaultPlan::new();
     for i in 0..8u32 {
-        sim.schedule_fail(NodeId(i * 8), SimTime::from_secs(30));
-        sim.schedule_recover(NodeId(i * 8), SimTime::from_secs(60));
+        plan = plan
+            .fail(SimTime::from_secs(30), NodeId(i * 8))
+            .recover(SimTime::from_secs(60), NodeId(i * 8));
     }
+    sim.inject_plan(&plan);
     sim.run(&mut proto, SimTime::from_secs(100));
     for i in 0..8u32 {
         assert!(
