@@ -159,36 +159,78 @@ fn validate(args: &[String]) -> ExitCode {
         eprintln!("validate needs at least one report file");
         return ExitCode::FAILURE;
     }
+    // Runs one gate, folding its passed-check notes or its failure
+    // message into the per-file tallies: every applicable gate runs, so
+    // a failing report lists *all* broken gates (with expected vs
+    // actual) instead of stopping at the first.
+    fn run_gate(
+        res: Result<Vec<String>, String>,
+        notes: &mut Vec<String>,
+        fails: &mut Vec<String>,
+    ) {
+        match res {
+            Ok(mut n) => notes.append(&mut n),
+            Err(e) => fails.push(e),
+        }
+    }
+
     let mut failures = 0u32;
     for file in &files {
-        let verdict = std::fs::read_to_string(file)
+        let doc = match std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read: {e}"))
             .and_then(|text| validate_report_str(&text))
-            .and_then(|doc| {
-                let mut notes: Vec<String> = Vec::new();
-                match scenario_name(&doc).as_deref() {
-                    Some("loss") => {
-                        let worst = check_loss_floor(&doc, floor)?;
-                        notes.push(format!("worst-seed delivery {worst:.3} >= {floor}"));
-                        let band = check_loss_high_band(&doc)?;
-                        for (point, w) in band {
-                            notes.push(format!("{point} worst {w:.3}"));
-                        }
-                    }
-                    Some("overhead") => {
-                        let (ratio, total) = check_overhead_gate(&doc)?;
-                        notes.push(format!(
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{file}: FAIL: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let mut notes: Vec<String> = Vec::new();
+        let mut fails: Vec<String> = Vec::new();
+        match scenario_name(&doc).as_deref() {
+            Some("loss") => {
+                run_gate(
+                    check_loss_floor(&doc, floor)
+                        .map(|worst| vec![format!("worst-seed delivery {worst:.3} >= {floor}")]),
+                    &mut notes,
+                    &mut fails,
+                );
+                run_gate(
+                    check_loss_high_band(&doc).map(|band| {
+                        band.into_iter()
+                            .map(|(point, w)| format!("{point} worst {w:.3}"))
+                            .collect()
+                    }),
+                    &mut notes,
+                    &mut fails,
+                );
+            }
+            Some("overhead") => {
+                run_gate(
+                    check_overhead_gate(&doc).map(|(ratio, total)| {
+                        vec![format!(
                             "quiet-phase refresh improvement {ratio:.2}x, {total:.0} control frames/s"
-                        ));
-                    }
-                    Some("perf") => {
-                        let (label, speedup) = check_perf_gate(&doc, perf_floor)?;
-                        notes.push(format!(
+                        )]
+                    }),
+                    &mut notes,
+                    &mut fails,
+                );
+            }
+            Some("perf") => {
+                run_gate(
+                    check_perf_gate(&doc, perf_floor).map(|(label, speedup)| {
+                        vec![format!(
                             "shared-frame delivery {speedup:.2}x faster at {label} (floor {perf_floor})"
-                        ));
-                        let (tlabel, tspeedup, enforced) =
-                            check_perf_threads_gate(&doc, threads_floor)?;
-                        notes.push(if enforced {
+                        )]
+                    }),
+                    &mut notes,
+                    &mut fails,
+                );
+                run_gate(
+                    check_perf_threads_gate(&doc, threads_floor).map(|(tlabel, tspeedup, enforced)| {
+                        vec![if enforced {
                             format!(
                                 "parallel engine {tspeedup:.2}x at {tlabel} (floor {threads_floor}), identical event counts"
                             )
@@ -196,54 +238,58 @@ fn validate(args: &[String]) -> ExitCode {
                             format!(
                                 "parallel engine {tspeedup:.2}x at {tlabel} (speedup floor waived: < 4 hardware threads), identical event counts"
                             )
-                        });
-                    }
-                    Some("traffic") => {
-                        let (knee, p99) = check_traffic_gate(&doc)?;
-                        notes.push(format!(
+                        }]
+                    }),
+                    &mut notes,
+                    &mut fails,
+                );
+            }
+            Some("traffic") => {
+                run_gate(
+                    check_traffic_gate(&doc).map(|(knee, p99)| {
+                        vec![format!(
                             "hvdb sustains {knee:.0} pps past both baselines' knees, \
                              p99 {p99:.1} ms at {TRAFFIC_P99_REFERENCE_POINT}"
-                        ));
-                    }
-                    Some("scale") => {
-                        notes.extend(check_scale_gate(&doc)?);
-                    }
-                    Some("partition") => {
-                        notes.extend(check_partition_gate(&doc)?);
-                    }
-                    Some("byzantine") => {
-                        notes.extend(check_byzantine_gate(&doc)?);
-                    }
-                    _ => {}
-                }
-                if let Some(dir) = &baseline_dir {
-                    let scenario = scenario_name(&doc)
-                        .ok_or_else(|| "report has no scenario name".to_string())?;
-                    let base_path = format!("{dir}/BENCH_{scenario}.json");
-                    // A gate that cannot find its baseline must fail, not
-                    // silently wave the candidate through.
-                    let base_text = std::fs::read_to_string(&base_path)
-                        .map_err(|e| format!("cannot read baseline {base_path}: {e}"))?;
-                    let baseline = validate_report_str(&base_text)
-                        .map_err(|e| format!("baseline {base_path} invalid: {e}"))?;
-                    let rows = check_trajectory(&doc, &baseline, delivery_tol, overhead_tol)?;
-                    notes.push(format!(
-                        "trajectory ok vs {base_path} ({} checks)",
-                        rows.len()
-                    ));
-                }
-                if notes.is_empty() {
-                    Ok("ok".to_string())
-                } else {
-                    Ok(format!("ok ({})", notes.join("; ")))
-                }
-            });
-        match verdict {
-            Ok(msg) => println!("{file}: {msg}"),
-            Err(e) => {
-                eprintln!("{file}: FAIL: {e}");
-                failures += 1;
+                        )]
+                    }),
+                    &mut notes,
+                    &mut fails,
+                );
             }
+            Some("scale") => run_gate(check_scale_gate(&doc), &mut notes, &mut fails),
+            Some("partition") => run_gate(check_partition_gate(&doc), &mut notes, &mut fails),
+            Some("byzantine") => run_gate(check_byzantine_gate(&doc), &mut notes, &mut fails),
+            _ => {}
+        }
+        if let Some(dir) = &baseline_dir {
+            let trajectory = (|| {
+                let scenario =
+                    scenario_name(&doc).ok_or_else(|| "report has no scenario name".to_string())?;
+                let base_path = format!("{dir}/BENCH_{scenario}.json");
+                // A gate that cannot find its baseline must fail, not
+                // silently wave the candidate through.
+                let base_text = std::fs::read_to_string(&base_path)
+                    .map_err(|e| format!("cannot read baseline {base_path}: {e}"))?;
+                let baseline = validate_report_str(&base_text)
+                    .map_err(|e| format!("baseline {base_path} invalid: {e}"))?;
+                let rows = check_trajectory(&doc, &baseline, delivery_tol, overhead_tol)?;
+                Ok(vec![format!(
+                    "trajectory ok vs {base_path} ({} checks)",
+                    rows.len()
+                )])
+            })();
+            run_gate(trajectory, &mut notes, &mut fails);
+        }
+        if !fails.is_empty() {
+            eprintln!("{file}: FAIL ({} gate(s)):", fails.len());
+            for f in &fails {
+                eprintln!("  - {f}");
+            }
+            failures += 1;
+        } else if notes.is_empty() {
+            println!("{file}: ok");
+        } else {
+            println!("{file}: ok ({})", notes.join("; "));
         }
     }
     if failures > 0 {

@@ -1184,9 +1184,9 @@ fn scale_row(sweep: &str, label: String, proto: &str, chunk: &[ScaleRun]) -> Row
 /// * `network-size` (proto `hvdb`) — 100–2000 nodes on the serial
 ///   engine, the committed trajectory since PR 3;
 /// * `network-size` (proto `hvdb-par`) — the large-N campaign points
-///   (5000–20000 nodes, opening the road to 100k) on the sharded
-///   parallel engine via [`run_par_hvdb`]; delivery at the 20k point is
-///   gated at >= 0.99 ([`crate::validate`]);
+///   (5000–100000 nodes) on the sharded parallel engine via
+///   [`run_par_hvdb`]; delivery at every point from 20k up is gated at
+///   >= 0.99 ([`crate::validate`]);
 /// * `engine-threads` (proto `hvdb-par`) — HVDB itself at 1 vs N worker
 ///   threads on the same workload: `events_processed` must be exactly
 ///   equal (the determinism contract on the real protocol, not just the
@@ -1200,7 +1200,7 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
     let par_counts: Vec<usize> = if opts.smoke {
         vec![]
     } else {
-        vec![5000, 10000, 20000]
+        vec![5000, 10000, 20000, 50000, 100000]
     };
     let mut seeds = opts.seeds.clone().unwrap_or_else(|| vec![1, 2]);
     if opts.smoke && opts.seeds.is_none() {

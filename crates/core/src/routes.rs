@@ -15,7 +15,6 @@
 
 use hvdb_geo::Hnid;
 use hvdb_sim::{SimDuration, SimTime};
-use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 /// QoS metrics of a (concatenation of) logical link(s).
@@ -99,12 +98,28 @@ pub struct RouteEntry {
 /// Alternatives retained per destination (distinct first hops).
 pub const MAX_ALTERNATIVES: usize = 3;
 
+/// One destination's retained alternatives, stored inline — no boxed
+/// `Vec` per destination. `entries[..len]` is kept sorted by
+/// `(hops, delay, next_hop)`; the unused tail is padding.
+#[derive(Debug, Clone, Copy)]
+struct RouteSlot {
+    dst: Hnid,
+    len: u8,
+    entries: [RouteEntry; MAX_ALTERNATIVES],
+}
+
 /// A CH's proactively maintained local logical route table.
+///
+/// Flat layout: one contiguous `Vec` of per-destination slots sorted by
+/// destination label (binary-searched on lookup), each holding its up to
+/// [`MAX_ALTERNATIVES`] routes inline. One allocation for the whole
+/// table, cache-linear iteration, and naturally sorted traversal for
+/// `advertisement`/`neighbors`.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
     me: Hnid,
     k: u32,
-    routes: FxHashMap<Hnid, Vec<RouteEntry>>,
+    slots: Vec<RouteSlot>,
 }
 
 impl RouteTable {
@@ -115,7 +130,7 @@ impl RouteTable {
         RouteTable {
             me,
             k,
-            routes: FxHashMap::default(),
+            slots: Vec::new(),
         }
     }
 
@@ -131,7 +146,7 @@ impl RouteTable {
 
     /// Number of destinations with at least one route.
     pub fn destination_count(&self) -> usize {
-        self.routes.len()
+        self.slots.len()
     }
 
     /// Deterministic content-byte estimate of the table (entries × entry
@@ -139,10 +154,18 @@ impl RouteTable {
     /// `memory_per_node_bytes` column.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.routes
-            .values()
-            .map(|v| size_of::<Hnid>() + v.len() * size_of::<RouteEntry>())
+        self.slots
+            .iter()
+            .map(|s| size_of::<Hnid>() + s.len as usize * size_of::<RouteEntry>())
             .sum()
+    }
+
+    #[inline]
+    fn slot(&self, dst: Hnid) -> Option<&RouteSlot> {
+        self.slots
+            .binary_search_by_key(&dst, |s| s.dst)
+            .ok()
+            .map(|i| &self.slots[i])
     }
 
     /// Integrates a beacon received from 1-logical-hop neighbour `from`
@@ -186,24 +209,53 @@ impl RouteTable {
     }
 
     fn offer(&mut self, entry: RouteEntry) {
-        let routes = self.routes.entry(entry.dst).or_default();
-        if let Some(existing) = routes.iter_mut().find(|r| r.next_hop == entry.next_hop) {
+        let idx = match self.slots.binary_search_by_key(&entry.dst, |s| s.dst) {
+            Ok(i) => i,
+            Err(i) => {
+                // `entry` doubles as padding for the unused inline tail.
+                self.slots.insert(
+                    i,
+                    RouteSlot {
+                        dst: entry.dst,
+                        len: 0,
+                        entries: [entry; MAX_ALTERNATIVES],
+                    },
+                );
+                i
+            }
+        };
+        let slot = &mut self.slots[idx];
+        let n = slot.len as usize;
+        // Work in a MAX_ALTERNATIVES + 1 scratch so a worse-than-all offer
+        // still competes and loses by sort order, exactly as before.
+        let mut buf = [entry; MAX_ALTERNATIVES + 1];
+        buf[..n].copy_from_slice(&slot.entries[..n]);
+        let total = match buf[..n].iter_mut().find(|r| r.next_hop == entry.next_hop) {
             // Same first hop: the beacon is fresher truth for that path.
-            *existing = entry;
-        } else {
-            routes.push(entry);
-        }
-        // Keep the best MAX_ALTERNATIVES by (hops, delay, next_hop).
-        routes.sort_by(|a, b| {
+            Some(existing) => {
+                *existing = entry;
+                n
+            }
+            None => {
+                buf[n] = entry;
+                n + 1
+            }
+        };
+        // Keep the best MAX_ALTERNATIVES by (hops, delay, next_hop); the
+        // key is unique per entry (distinct first hops), so the unstable
+        // sort is deterministic.
+        buf[..total].sort_unstable_by(|a, b| {
             (a.hops, a.qos.delay, a.next_hop).cmp(&(b.hops, b.qos.delay, b.next_hop))
         });
-        routes.truncate(MAX_ALTERNATIVES);
+        let kept = total.min(MAX_ALTERNATIVES);
+        slot.entries[..kept].copy_from_slice(&buf[..kept]);
+        slot.len = kept as u8;
     }
 
     /// The best route to `dst` satisfying `req` (pass
     /// [`QosRequirement::BEST_EFFORT`] for none).
     pub fn best_route(&self, dst: Hnid, req: &QosRequirement) -> Option<&RouteEntry> {
-        self.routes.get(&dst)?.iter().find(|r| r.qos.satisfies(req))
+        self.routes_to(dst).iter().find(|r| r.qos.satisfies(req))
     }
 
     /// The best route to `dst` whose first hop differs from `exclude` —
@@ -214,58 +266,59 @@ impl RouteTable {
         exclude: Hnid,
         req: &QosRequirement,
     ) -> Option<&RouteEntry> {
-        self.routes
-            .get(&dst)?
+        self.routes_to(dst)
             .iter()
             .find(|r| r.next_hop != exclude && r.qos.satisfies(req))
     }
 
-    /// All retained routes to `dst`.
+    /// All retained routes to `dst`, best first.
     pub fn routes_to(&self, dst: Hnid) -> &[RouteEntry] {
-        self.routes.get(&dst).map_or(&[], |v| v.as_slice())
+        self.slot(dst).map_or(&[], |s| &s.entries[..s.len as usize])
     }
 
     /// The table's advertisement for outgoing beacons: the best route per
     /// destination, limited to `k − 1` hops (so composed routes stay within
-    /// `k` at the receiver).
+    /// `k` at the receiver). Ascending by destination (the slot array's
+    /// natural order).
     pub fn advertisement(&self) -> Vec<AdvertisedRoute> {
-        let mut out: Vec<AdvertisedRoute> = self
-            .routes
+        self.slots
             .iter()
-            .filter_map(|(dst, routes)| routes.first().map(|r| (dst, r)))
+            .filter(|s| s.len > 0)
+            .map(|s| (s.dst, &s.entries[0]))
             .filter(|(_, r)| r.hops <= self.k.saturating_sub(1))
             .map(|(dst, r)| AdvertisedRoute {
-                dst: *dst,
+                dst,
                 hops: r.hops,
                 qos: r.qos,
             })
-            .collect();
-        out.sort_by_key(|a| a.dst);
-        out
+            .collect()
     }
 
     /// Drops every route whose first hop is `neighbor` (it failed or moved
     /// away). Returns the destinations that lost their *best* route but
-    /// still have an alternative — the immediate-failover set.
+    /// still have an alternative — the immediate-failover set, ascending.
     pub fn remove_via(&mut self, neighbor: Hnid) -> Vec<Hnid> {
         let mut failovers = Vec::new();
-        let mut emptied = Vec::new();
-        for (dst, routes) in self.routes.iter_mut() {
-            let was_best = routes
-                .first()
-                .map(|r| r.next_hop == neighbor)
-                .unwrap_or(false);
-            routes.retain(|r| r.next_hop != neighbor);
-            if routes.is_empty() {
-                emptied.push(*dst);
-            } else if was_best {
-                failovers.push(*dst);
+        self.slots.retain_mut(|slot| {
+            let n = slot.len as usize;
+            let was_best = n > 0 && slot.entries[0].next_hop == neighbor;
+            let mut kept = 0;
+            for i in 0..n {
+                if slot.entries[i].next_hop != neighbor {
+                    slot.entries[kept] = slot.entries[i];
+                    kept += 1;
+                }
             }
-        }
-        for dst in emptied {
-            self.routes.remove(&dst);
-        }
-        failovers.sort_unstable();
+            slot.len = kept as u8;
+            if kept == 0 {
+                return false;
+            }
+            if was_best {
+                failovers.push(slot.dst);
+            }
+            true
+        });
+        // Slot order is ascending by dst already.
         failovers
     }
 
@@ -273,31 +326,29 @@ impl RouteTable {
     /// entries expired.
     pub fn expire(&mut self, now: SimTime, ttl: SimDuration) -> usize {
         let mut expired = 0;
-        let mut emptied = Vec::new();
-        for (dst, routes) in self.routes.iter_mut() {
-            let before = routes.len();
-            routes.retain(|r| now.since(r.updated) <= ttl);
-            expired += before - routes.len();
-            if routes.is_empty() {
-                emptied.push(*dst);
+        self.slots.retain_mut(|slot| {
+            let n = slot.len as usize;
+            let mut kept = 0;
+            for i in 0..n {
+                if now.since(slot.entries[i].updated) <= ttl {
+                    slot.entries[kept] = slot.entries[i];
+                    kept += 1;
+                }
             }
-        }
-        for dst in emptied {
-            self.routes.remove(&dst);
-        }
+            expired += n - kept;
+            slot.len = kept as u8;
+            kept > 0
+        });
         expired
     }
 
     /// The 1-logical-hop neighbours currently in the table, ascending.
     pub fn neighbors(&self) -> Vec<Hnid> {
-        let mut out: Vec<Hnid> = self
-            .routes
+        self.slots
             .iter()
-            .filter(|(_, routes)| routes.iter().any(|r| r.hops == 1))
-            .map(|(dst, _)| *dst)
-            .collect();
-        out.sort_unstable();
-        out
+            .filter(|s| s.entries[..s.len as usize].iter().any(|r| r.hops == 1))
+            .map(|s| s.dst)
+            .collect()
     }
 }
 

@@ -22,8 +22,6 @@
 //!   recovers via [`GenClock::advance_to`] or waits out the expiry.
 
 use hvdb_sim::{SimDuration, SimTime};
-use rustc_hash::FxHashMap;
-use std::hash::Hash;
 
 pub mod refresh;
 
@@ -92,9 +90,15 @@ pub struct SoftEntry<V> {
 }
 
 /// A keyed store of generation-stamped soft state with K-miss expiry.
+///
+/// Flat layout: one contiguous `Vec` of `(key, entry)` pairs kept sorted
+/// by key and binary-searched on lookup — no per-store hash table, no
+/// boxed buckets, and every iterator walks ascending key order (which
+/// makes derived artifacts like summaries and expiry lists
+/// deterministic without a caller-side sort).
 #[derive(Debug, Clone)]
 pub struct SoftStore<K, V> {
-    entries: FxHashMap<K, SoftEntry<V>>,
+    entries: Vec<(K, SoftEntry<V>)>,
     /// Monotone counter bumped whenever the *key set* changes (insert of
     /// a new key, expiry, removal) — never on value refreshes. Caches
     /// derived purely from the key set (e.g. the region hypercube built
@@ -105,13 +109,17 @@ pub struct SoftStore<K, V> {
 impl<K, V> Default for SoftStore<K, V> {
     fn default() -> Self {
         SoftStore {
-            entries: FxHashMap::default(),
+            entries: Vec::new(),
             key_rev: 0,
         }
     }
 }
 
-impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
+impl<K: Ord + Copy, V> SoftStore<K, V> {
+    #[inline]
+    fn find(&self, key: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
     /// Offers an update for `key` stamped `(holder, gen)` at `now`.
     ///
     /// Stamps are **totally ordered**: a higher generation wins, an equal
@@ -148,8 +156,9 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
         now: SimTime,
         value: impl FnOnce() -> V,
     ) -> Freshness {
-        match self.entries.get_mut(&key) {
-            Some(e) => {
+        match self.find(&key) {
+            Ok(i) => {
+                let e = &mut self.entries[i].1;
                 if gen > e.gen || (gen == e.gen && holder < e.holder) {
                     e.gen = gen;
                     e.holder = holder;
@@ -163,16 +172,19 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
                     Freshness::Stale
                 }
             }
-            None => {
+            Err(i) => {
                 self.key_rev += 1;
                 self.entries.insert(
-                    key,
-                    SoftEntry {
-                        gen,
-                        holder,
-                        refreshed_at: now,
-                        value: value(),
-                    },
+                    i,
+                    (
+                        key,
+                        SoftEntry {
+                            gen,
+                            holder,
+                            refreshed_at: now,
+                            value: value(),
+                        },
+                    ),
                 );
                 Freshness::Fresh
             }
@@ -185,9 +197,12 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
     /// comparisons, clones) that only matters on the accept path before
     /// making the offer itself.
     pub fn accepts(&self, key: &K, holder: u32, gen: u64) -> bool {
-        match self.entries.get(key) {
-            Some(e) => gen > e.gen || (gen == e.gen && holder < e.holder),
-            None => true,
+        match self.find(key) {
+            Ok(i) => {
+                let e = &self.entries[i].1;
+                gen > e.gen || (gen == e.gen && holder < e.holder)
+            }
+            Err(_) => true,
         }
     }
 
@@ -195,18 +210,18 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
     /// re-derived the value locally, e.g. its own entry). No-op when the
     /// key is absent.
     pub fn touch(&mut self, key: K, now: SimTime) {
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.refreshed_at = now;
+        if let Ok(i) = self.find(&key) {
+            self.entries[i].1.refreshed_at = now;
         }
     }
 
     /// Removes every entry not refreshed within `deadline`, returning the
-    /// expired keys (sorted by the caller if determinism over hash order
-    /// matters). Use [`miss_deadline`] to derive the deadline from the
-    /// refresh period and the configured miss budget.
+    /// expired keys in ascending order. Use [`miss_deadline`] to derive
+    /// the deadline from the refresh period and the configured miss
+    /// budget.
     pub fn expire(&mut self, now: SimTime, deadline: SimDuration) -> Vec<K> {
         let mut expired = Vec::new();
-        self.entries.retain(|k, e| {
+        self.entries.retain(|(k, e)| {
             let keep = now.since(e.refreshed_at) <= deadline;
             if !keep {
                 expired.push(*k);
@@ -222,11 +237,13 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
     /// Removes `key` outright (explicit teardown, e.g. a neighbour
     /// declared failed by the routing tier).
     pub fn remove(&mut self, key: &K) -> Option<SoftEntry<V>> {
-        let removed = self.entries.remove(key);
-        if removed.is_some() {
-            self.key_rev += 1;
+        match self.find(key) {
+            Ok(i) => {
+                self.key_rev += 1;
+                Some(self.entries.remove(i).1)
+            }
+            Err(_) => None,
         }
-        removed
     }
 
     /// The current key-set revision: changes iff a key was inserted or
@@ -241,45 +258,45 @@ impl<K: Eq + Hash + Copy, V> SoftStore<K, V> {
     /// off further would be exactly wrong.
     pub fn aged(&self, now: SimTime, threshold: SimDuration) -> usize {
         self.entries
-            .values()
-            .filter(|e| now.since(e.refreshed_at) > threshold)
+            .iter()
+            .filter(|(_, e)| now.since(e.refreshed_at) > threshold)
             .count()
     }
 
     /// The stored value for `key`.
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.entries.get(key).map(|e| &e.value)
+        self.find(key).ok().map(|i| &self.entries[i].1.value)
     }
 
     /// The full stamped entry for `key`.
     pub fn entry(&self, key: &K) -> Option<&SoftEntry<V>> {
-        self.entries.get(key)
+        self.find(key).ok().map(|i| &self.entries[i].1)
     }
 
     /// Whether `key` is present.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.entries.contains_key(key)
+        self.find(key).is_ok()
     }
 
-    /// Iterates stored keys (hash order).
+    /// Iterates stored keys (ascending).
     pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.entries.keys()
+        self.entries.iter().map(|(k, _)| k)
     }
 
-    /// Iterates stored values (hash order).
+    /// Iterates stored values (ascending key order).
     pub fn values(&self) -> impl Iterator<Item = &V> {
-        self.entries.values().map(|e| &e.value)
+        self.entries.iter().map(|(_, e)| &e.value)
     }
 
-    /// Iterates `(key, value)` pairs (hash order).
+    /// Iterates `(key, value)` pairs (ascending key order).
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
         self.entries.iter().map(|(k, e)| (k, &e.value))
     }
 
-    /// Iterates full stamped entries (hash order) — state transfer needs
-    /// the stamps, not just the values.
+    /// Iterates full stamped entries (ascending key order) — state
+    /// transfer needs the stamps, not just the values.
     pub fn entries(&self) -> impl Iterator<Item = (&K, &SoftEntry<V>)> {
-        self.entries.iter()
+        self.entries.iter().map(|(k, e)| (k, e))
     }
 
     /// Number of stored entries.

@@ -42,30 +42,60 @@ pub fn mesh_path(from: Hid, to: Hid) -> Vec<Hid> {
 
 /// A multicast tree over mesh nodes (hypercubes), rooted at the source
 /// CH's hypercube.
+///
+/// Flat layout: three contiguous arrays instead of two hash maps —
+/// `(child, parent)` pairs sorted by child (binary-searched for parent
+/// lookups), plus a CSR-style `(parent, start, len)` span table over one
+/// concatenated child list for child traversal. Everything is derived
+/// deterministically from the parent relation, so the structural
+/// equality the tests rely on still holds.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MeshTree {
     /// The root hypercube.
     pub root: Hid,
-    /// child -> parent.
-    pub parent: FxHashMap<Hid, Hid>,
-    /// parent -> sorted children.
-    pub children: FxHashMap<Hid, Vec<Hid>>,
+    /// `(child, parent)`, sorted by child.
+    by_child: Vec<(Hid, Hid)>,
+    /// `(parent, start, len)` spans into `child_list`, sorted by parent.
+    spans: Vec<(Hid, u32, u32)>,
+    /// Child runs, grouped per parent in span order, each run sorted.
+    child_list: Vec<Hid>,
 }
 
 impl MeshTree {
     fn from_parents(root: Hid, parent: FxHashMap<Hid, Hid>) -> Self {
-        let mut children: FxHashMap<Hid, Vec<Hid>> = FxHashMap::default();
-        for (&c, &p) in &parent {
-            children.entry(p).or_default().push(c);
-        }
-        for v in children.values_mut() {
-            v.sort_unstable();
+        let mut by_child: Vec<(Hid, Hid)> = parent.into_iter().collect();
+        by_child.sort_unstable();
+        Self::from_sorted_pairs(root, by_child)
+    }
+
+    /// Builds the flat tables from a `(child, parent)` list already
+    /// sorted by (unique) child.
+    fn from_sorted_pairs(root: Hid, by_child: Vec<(Hid, Hid)>) -> Self {
+        let mut pc: Vec<(Hid, Hid)> = by_child.iter().map(|&(c, p)| (p, c)).collect();
+        pc.sort_unstable();
+        let mut spans: Vec<(Hid, u32, u32)> = Vec::new();
+        let mut child_list = Vec::with_capacity(pc.len());
+        for (p, c) in pc {
+            match spans.last_mut() {
+                Some((lp, _, len)) if *lp == p => *len += 1,
+                _ => spans.push((p, child_list.len() as u32, 1)),
+            }
+            child_list.push(c);
         }
         MeshTree {
             root,
-            parent,
-            children,
+            by_child,
+            spans,
+            child_list,
         }
+    }
+
+    /// The parent of `hid`, if it is a non-root tree node.
+    pub fn parent_of(&self, hid: Hid) -> Option<Hid> {
+        self.by_child
+            .binary_search_by_key(&hid, |&(c, _)| c)
+            .ok()
+            .map(|i| self.by_child[i].1)
     }
 
     /// Builds the tree covering `destinations` (the hypercubes the
@@ -94,29 +124,32 @@ impl MeshTree {
 
     /// The children of `hid` in the tree.
     pub fn children_of(&self, hid: Hid) -> &[Hid] {
-        self.children.get(&hid).map_or(&[], |v| v.as_slice())
+        match self.spans.binary_search_by_key(&hid, |&(p, ..)| p) {
+            Ok(i) => {
+                let (_, start, len) = self.spans[i];
+                &self.child_list[start as usize..(start + len) as usize]
+            }
+            Err(_) => &[],
+        }
     }
 
     /// Whether the tree contains `hid`.
     pub fn contains(&self, hid: Hid) -> bool {
-        hid == self.root || self.parent.contains_key(&hid)
+        hid == self.root || self.parent_of(hid).is_some()
     }
 
     /// Number of tree links (= inter-hypercube transfers for one packet).
     pub fn edge_count(&self) -> usize {
-        self.parent.len()
+        self.by_child.len()
     }
 
-    /// Deterministic content-byte estimate of the tree's maps (entries ×
-    /// entry size, not allocator capacity).
+    /// Deterministic content-byte estimate of the tree's flat arrays
+    /// (entries × entry size, not allocator capacity).
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.parent.len() * size_of::<(Hid, Hid)>()
-            + self
-                .children
-                .values()
-                .map(|c| size_of::<Hid>() + c.len() * size_of::<Hid>())
-                .sum::<usize>()
+        self.by_child.len() * size_of::<(Hid, Hid)>()
+            + self.spans.len() * size_of::<(Hid, u32, u32)>()
+            + self.child_list.len() * size_of::<Hid>()
     }
 
     /// Serialises as a BFS-ordered edge list for the packet header (the
@@ -135,13 +168,19 @@ impl MeshTree {
 
     /// Rebuilds from an encoded edge list; `None` if inconsistent.
     pub fn decode_edges(root: Hid, edges: &[(Hid, Hid)]) -> Option<Self> {
-        let mut parent = FxHashMap::default();
+        let mut by_child: Vec<(Hid, Hid)> = Vec::with_capacity(edges.len());
         for &(p, c) in edges {
-            if c == root || parent.insert(c, p).is_some() {
+            if c == root {
                 return None;
             }
+            by_child.push((c, p));
         }
-        let tree = Self::from_parents(root, parent);
+        by_child.sort_unstable();
+        // A child with two parents is not a tree.
+        if by_child.windows(2).any(|w| w[0].0 == w[1].0) {
+            return None;
+        }
+        let tree = Self::from_sorted_pairs(root, by_child);
         // Audit reachability.
         let mut reached = 1usize;
         let mut queue = VecDeque::from([root]);
@@ -151,7 +190,7 @@ impl MeshTree {
                 queue.push_back(c);
             }
         }
-        (reached == tree.parent.len() + 1).then_some(tree)
+        (reached == tree.edge_count() + 1).then_some(tree)
     }
 
     /// Wire size of the encoded tree (bytes): 8 per edge.

@@ -241,3 +241,138 @@ proptest! {
         prop_assert_eq!(winners.len(), 1, "criterion {:?}", criterion);
     }
 }
+
+proptest! {
+    /// `MembershipDb::memory_bytes` tracks the live entry population
+    /// exactly across arbitrary join / leave-all / drop / expiry churn:
+    /// removed entries must stop counting (no leaked accumulation) and
+    /// surviving entries must count their real per-entry payload lengths.
+    /// The test replays every report against an independent shadow model
+    /// of the Local-Membership store's staleness semantics and re-derives
+    /// the byte estimate from shadow entry counts after every operation.
+    #[test]
+    fn membership_memory_estimate_tracks_churn(
+        ops in proptest::collection::vec(
+            (0u8..5, 0u32..12, 0u64..16, proptest::collection::vec(0u32..10, 0..6)),
+            1..60,
+        ),
+    ) {
+        use hvdb_core::SoftEntry;
+        use std::collections::BTreeMap;
+        use std::mem::size_of;
+
+        let deadline = SimDuration::from_millis(10_000);
+        let mut db = MembershipDb::default();
+        let mut now = SimTime::ZERO;
+        // Shadow: node -> (gen, distinct group count, refreshed_at).
+        let mut shadow: BTreeMap<u32, (u64, usize, SimTime)> = BTreeMap::new();
+
+        for (kind, node, gen, groups) in ops {
+            match kind {
+                // A Local-Membership report: join/refresh when it names
+                // groups, an explicit leave-all when it is empty.
+                0 | 1 => {
+                    let mut lm = LocalMembership::default();
+                    for g in &groups {
+                        lm.join(GroupId(*g));
+                    }
+                    let distinct = lm.groups.len();
+                    db.store_local(node, &lm, gen, now);
+                    if distinct == 0 {
+                        // Leave-all is honoured only when not stale.
+                        if shadow.get(&node).is_some_and(|&(g0, _, _)| gen > g0) {
+                            shadow.remove(&node);
+                        }
+                    } else {
+                        match shadow.get_mut(&node) {
+                            None => {
+                                shadow.insert(node, (gen, distinct, now));
+                            }
+                            Some(e) if gen > e.0 => *e = (gen, distinct, now),
+                            // A duplicate at the current stamp is stale
+                            // for propagation but proves the member
+                            // alive: only the refresh clock moves.
+                            Some(e) if gen == e.0 => e.2 = now,
+                            Some(_) => {}
+                        }
+                    }
+                }
+                2 => {
+                    db.drop_local(node);
+                    shadow.remove(&node);
+                }
+                3 => now += SimDuration::from_millis(1000 * (1 + gen % 4)),
+                _ => {
+                    db.prune_locals(now, deadline);
+                    shadow.retain(|_, &mut (_, _, refreshed)| now.since(refreshed) <= deadline);
+                }
+            }
+            let expected: usize = shadow
+                .values()
+                .map(|&(_, distinct, _)| {
+                    size_of::<u32>()
+                        + size_of::<SoftEntry<LocalMembership>>()
+                        + distinct * size_of::<GroupId>()
+                })
+                .sum();
+            prop_assert_eq!(db.memory_bytes(), expected);
+        }
+    }
+
+    /// `RouteTable::memory_bytes` stays consistent with the publicly
+    /// observable route population across beacon / neighbour-failure /
+    /// TTL-expiry churn: every destination slot counts exactly its live
+    /// alternatives and no slot survives losing its last route.
+    #[test]
+    fn route_table_memory_estimate_tracks_churn(
+        ops in proptest::collection::vec(
+            (0u8..4, 1u32..8, proptest::collection::vec((0u32..16, 0u32..4), 0..5)),
+            1..40,
+        ),
+    ) {
+        use std::mem::size_of;
+
+        let me = Hnid(31);
+        let ttl = SimDuration::from_millis(5_000);
+        let mut t = RouteTable::new(me, 4);
+        let mut now = SimTime::ZERO;
+        let link = QosMetrics {
+            delay: SimDuration::from_millis(2),
+            bandwidth_bps: 2e6,
+        };
+
+        for (kind, from, advs) in ops {
+            match kind {
+                0 | 1 => {
+                    let advertised: Vec<AdvertisedRoute> = advs
+                        .iter()
+                        .map(|(dst, hops)| AdvertisedRoute {
+                            dst: Hnid(*dst),
+                            hops: *hops,
+                            qos: link,
+                        })
+                        .collect();
+                    t.integrate_beacon(Hnid(from), link, &advertised, now);
+                }
+                2 => {
+                    t.remove_via(Hnid(from));
+                }
+                _ => {
+                    now += SimDuration::from_millis(2_000);
+                    t.expire(now, ttl);
+                }
+            }
+            let mut expected = 0usize;
+            let mut live_dsts = 0usize;
+            for dst in (0u32..32).map(Hnid) {
+                let routes = t.routes_to(dst);
+                if !routes.is_empty() {
+                    live_dsts += 1;
+                    expected += size_of::<Hnid>() + std::mem::size_of_val(routes);
+                }
+            }
+            prop_assert_eq!(t.destination_count(), live_dsts, "empty slot leaked");
+            prop_assert_eq!(t.memory_bytes(), expected);
+        }
+    }
+}

@@ -22,30 +22,59 @@ use std::collections::VecDeque;
 /// A multicast tree: parent links and a deterministic child ordering,
 /// rooted at `root`. Suitable for header encapsulation (see
 /// [`MulticastTree::encode_edges`]).
+///
+/// Flat layout: three contiguous arrays instead of two hash maps —
+/// `(child, parent)` pairs sorted by child (binary-searched for parent
+/// lookups), plus a CSR-style `(parent, start, len)` span table over one
+/// concatenated child list for traversal. Derived deterministically from
+/// the parent relation, so structural equality is well-defined.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MulticastTree {
     /// The root label.
     pub root: NodeLabel,
-    /// child -> parent.
-    pub parent: FxHashMap<NodeLabel, NodeLabel>,
-    /// parent -> sorted children.
-    pub children: FxHashMap<NodeLabel, Vec<NodeLabel>>,
+    /// `(child, parent)`, sorted by child.
+    by_child: Vec<(NodeLabel, NodeLabel)>,
+    /// `(parent, start, len)` spans into `child_list`, sorted by parent.
+    spans: Vec<(NodeLabel, u32, u32)>,
+    /// Child runs, grouped per parent in span order, each run sorted.
+    child_list: Vec<NodeLabel>,
 }
 
 impl MulticastTree {
     fn from_parents(root: NodeLabel, parent: FxHashMap<NodeLabel, NodeLabel>) -> Self {
-        let mut children: FxHashMap<NodeLabel, Vec<NodeLabel>> = FxHashMap::default();
-        for (&c, &p) in &parent {
-            children.entry(p).or_default().push(c);
-        }
-        for v in children.values_mut() {
-            v.sort_unstable();
+        let mut by_child: Vec<(NodeLabel, NodeLabel)> = parent.into_iter().collect();
+        by_child.sort_unstable();
+        Self::from_sorted_pairs(root, by_child)
+    }
+
+    /// Builds the flat tables from a `(child, parent)` list already
+    /// sorted by (unique) child.
+    fn from_sorted_pairs(root: NodeLabel, by_child: Vec<(NodeLabel, NodeLabel)>) -> Self {
+        let mut pc: Vec<(NodeLabel, NodeLabel)> = by_child.iter().map(|&(c, p)| (p, c)).collect();
+        pc.sort_unstable();
+        let mut spans: Vec<(NodeLabel, u32, u32)> = Vec::new();
+        let mut child_list = Vec::with_capacity(pc.len());
+        for (p, c) in pc {
+            match spans.last_mut() {
+                Some((lp, _, len)) if *lp == p => *len += 1,
+                _ => spans.push((p, child_list.len() as u32, 1)),
+            }
+            child_list.push(c);
         }
         MulticastTree {
             root,
-            parent,
-            children,
+            by_child,
+            spans,
+            child_list,
         }
+    }
+
+    /// The parent of `u`, if it is a non-root tree node.
+    pub fn parent_of(&self, u: NodeLabel) -> Option<NodeLabel> {
+        self.by_child
+            .binary_search_by_key(&u, |&(c, _)| c)
+            .ok()
+            .map(|i| self.by_child[i].1)
     }
 
     /// All nodes of the tree (root first, then BFS order).
@@ -53,11 +82,9 @@ impl MulticastTree {
         let mut out = vec![self.root];
         let mut queue = VecDeque::from([self.root]);
         while let Some(u) = queue.pop_front() {
-            if let Some(ch) = self.children.get(&u) {
-                for &c in ch {
-                    out.push(c);
-                    queue.push_back(c);
-                }
+            for &c in self.children_of(u) {
+                out.push(c);
+                queue.push_back(c);
             }
         }
         out
@@ -65,33 +92,30 @@ impl MulticastTree {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.parent.len() + 1
+        self.by_child.len() + 1
     }
 
     /// Number of links (= forwarding transmissions for one packet).
     pub fn edge_count(&self) -> usize {
-        self.parent.len()
+        self.by_child.len()
     }
 
-    /// Deterministic content-byte estimate of the tree's maps (entries ×
-    /// entry size, not allocator capacity).
+    /// Deterministic content-byte estimate of the tree's flat arrays
+    /// (entries × entry size, not allocator capacity).
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.parent.len() * size_of::<(NodeLabel, NodeLabel)>()
-            + self
-                .children
-                .values()
-                .map(|c| size_of::<NodeLabel>() + c.len() * size_of::<NodeLabel>())
-                .sum::<usize>()
+        self.by_child.len() * size_of::<(NodeLabel, NodeLabel)>()
+            + self.spans.len() * size_of::<(NodeLabel, u32, u32)>()
+            + self.child_list.len() * size_of::<NodeLabel>()
     }
 
     /// Depth of the tree (root = 0).
     pub fn depth(&self) -> u32 {
         let mut best = 0;
-        for &leaf in self.parent.keys() {
+        for &(leaf, _) in &self.by_child {
             let mut d = 0;
             let mut cur = leaf;
-            while let Some(&p) = self.parent.get(&cur) {
+            while let Some(p) = self.parent_of(cur) {
                 d += 1;
                 cur = p;
             }
@@ -102,12 +126,18 @@ impl MulticastTree {
 
     /// Whether the tree contains `u`.
     pub fn contains(&self, u: NodeLabel) -> bool {
-        u == self.root || self.parent.contains_key(&u)
+        u == self.root || self.parent_of(u).is_some()
     }
 
     /// The children of `u` (empty slice if leaf or absent).
     pub fn children_of(&self, u: NodeLabel) -> &[NodeLabel] {
-        self.children.get(&u).map_or(&[], |v| v.as_slice())
+        match self.spans.binary_search_by_key(&u, |&(p, ..)| p) {
+            Ok(i) => {
+                let (_, start, len) = self.spans[i];
+                &self.child_list[start as usize..(start + len) as usize]
+            }
+            Err(_) => &[],
+        }
     }
 
     /// Serialises the tree as a flat (parent, child) edge list in BFS order
@@ -130,13 +160,19 @@ impl MulticastTree {
     /// [`MulticastTree::encode_edges`]). Returns `None` for an inconsistent
     /// list (a child with two parents, or edges not reachable from `root`).
     pub fn decode_edges(root: NodeLabel, edges: &[(NodeLabel, NodeLabel)]) -> Option<Self> {
-        let mut parent = FxHashMap::default();
+        let mut by_child: Vec<(NodeLabel, NodeLabel)> = Vec::with_capacity(edges.len());
         for &(p, c) in edges {
-            if parent.insert(c, p).is_some() || c == root {
+            if c == root {
                 return None;
             }
+            by_child.push((c, p));
         }
-        let tree = Self::from_parents(root, parent);
+        by_child.sort_unstable();
+        // A child with two parents is not a tree.
+        if by_child.windows(2).any(|w| w[0].0 == w[1].0) {
+            return None;
+        }
+        let tree = Self::from_sorted_pairs(root, by_child);
         // Reachability audit.
         if tree.nodes().len() != tree.node_count() {
             return None;
@@ -149,7 +185,10 @@ impl MulticastTree {
     /// load-balancing claim (C3) compares the distribution of this quantity
     /// across trees.
     pub fn forwarding_load(&self) -> FxHashMap<NodeLabel, usize> {
-        self.children.iter().map(|(&u, ch)| (u, ch.len())).collect()
+        self.spans
+            .iter()
+            .map(|&(u, _, len)| (u, len as usize))
+            .collect()
     }
 }
 
@@ -355,7 +394,7 @@ mod tests {
             // Depth of d equals Hamming distance (shortest).
             let mut hops = 0;
             let mut cur = d;
-            while let Some(&p) = t.parent.get(&cur) {
+            while let Some(p) = t.parent_of(cur) {
                 hops += 1;
                 cur = p;
             }

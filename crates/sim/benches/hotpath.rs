@@ -9,15 +9,20 @@
 //! * `mobility_tick` — the incremental spatial-index update under a
 //!   whole-population waypoint step;
 //! * `class_counters` — per-transmission stats accounting: interned
-//!   class-id slots vs the old string-keyed hash maps.
+//!   class-id slots vs the old string-keyed hash maps;
+//! * `commit_pass` — the parallel engine's window-commit splice: shard
+//!   outboxes pre-sorted and pre-folded into per-shard digests then
+//!   spliced as runs + bulk counter applies, vs the legacy serial fold
+//!   (one heap push and one `count_tx` per event).
 //!
 //! Run with `cargo bench -p hvdb-sim`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hvdb_geo::Aabb;
+use hvdb_sim::event::Scheduled;
 use hvdb_sim::{
-    Ctx, Mobility, NodeId, Protocol, RandomWaypoint, SimConfig, SimDuration, SimRng, SimTime,
-    Simulator, Stats, World,
+    Ctx, EventKind, EventQueue, Mobility, NodeId, Protocol, RandomWaypoint, SimConfig, SimDuration,
+    SimRng, SimTime, Simulator, Stats, World,
 };
 use rustc_hash::FxHashMap;
 
@@ -168,11 +173,138 @@ fn bench_class_counters(c: &mut Criterion) {
     group.finish();
 }
 
+/// One window's worth of drained shard state, shaped like the parallel
+/// engine's commit input: per shard, timer events stamped inside the
+/// lookahead window (timestamps arrive roughly — not exactly — in order,
+/// as handlers emit at `now + jitter`) plus one Tx record per event from
+/// the protocol class mix.
+type ShardFixture = (Vec<(SimTime, u64)>, Vec<(u32, &'static str, u64)>);
+
+fn commit_fixture(shards: usize, per_shard: usize) -> Vec<ShardFixture> {
+    let mut rng = SimRng::new(23);
+    (0..shards)
+        .map(|s| {
+            let events: Vec<(SimTime, u64)> = (0..per_shard)
+                .map(|i| {
+                    let t = SimTime(1_000_000 + rng.range_u64(0, 50_000));
+                    (t, (s * per_shard + i) as u64)
+                })
+                .collect();
+            let txs: Vec<(u32, &'static str, u64)> = (0..per_shard)
+                .map(|i| {
+                    let (class, bytes) = CLASS_MIX[(s + i) % CLASS_MIX.len()];
+                    (((s * per_shard + i) % NODES) as u32, class, bytes as u64)
+                })
+                .collect();
+            (events, txs)
+        })
+        .collect()
+}
+
+fn bench_commit_pass(c: &mut Criterion) {
+    const SHARDS: usize = 64;
+    const PER_SHARD: usize = 128;
+    let fixture = commit_fixture(SHARDS, PER_SHARD);
+    let mut group = c.benchmark_group("commit_pass");
+
+    // The production pass: each shard's outbox is time-sorted and its Tx
+    // ops folded into a digest (first-appearance class list + dense node
+    // deltas) on the worker lanes; the serial splice then costs one
+    // `push_run` and a handful of bulk counter applies per shard.
+    group.bench_function("prefold_splice", |b| {
+        // Shard-retained scratch, reused across windows like the real
+        // `Shard` fields.
+        let mut classes: Vec<(&'static str, u64, u64)> = Vec::new();
+        let mut node_delta = vec![(0u64, 0u64); NODES];
+        let mut touched: Vec<u32> = Vec::new();
+        b.iter(|| {
+            let mut queue: EventQueue<u64> = EventQueue::new();
+            let mut stats = Stats::new(NODES);
+            for (events, txs) in &fixture {
+                // Pre-fold (runs on a rayon lane in the engine).
+                let mut run: Vec<Scheduled<u64>> = queue.take_spare();
+                run.extend(events.iter().map(|&(time, tag)| Scheduled {
+                    time,
+                    seq: 0,
+                    kind: EventKind::Timer {
+                        node: NodeId((tag % NODES as u64) as u32),
+                        tag,
+                    },
+                }));
+                run.sort_by_key(|s| s.time);
+                classes.clear();
+                touched.clear();
+                for &(node, class, bytes) in txs {
+                    match classes
+                        .iter_mut()
+                        .find(|c| c.0.as_ptr() == class.as_ptr() && c.0.len() == class.len())
+                    {
+                        Some(c) => {
+                            c.1 += 1;
+                            c.2 += bytes;
+                        }
+                        None => classes.push((class, 1, bytes)),
+                    }
+                    let d = &mut node_delta[node as usize];
+                    if d.0 == 0 {
+                        touched.push(node);
+                    }
+                    d.0 += 1;
+                    d.1 += bytes;
+                }
+                // Serial splice.
+                queue.push_run(run);
+                for &(class, msgs, bytes) in &classes {
+                    stats.count_tx_class_bulk(class, msgs, bytes);
+                }
+                for &node in &touched {
+                    let d = std::mem::take(&mut node_delta[node as usize]);
+                    stats.count_tx_node_bulk(NodeId(node), d.0, d.1);
+                }
+            }
+            while let Some(ev) = queue.pop() {
+                black_box(ev.time);
+            }
+            black_box(stats.events_processed)
+        })
+    });
+
+    // The pre-splice fold: the serial barrier walks every shard's outbox
+    // one event at a time — one seq stamp + heap push per event, one
+    // interning `count_tx` per transmission.
+    group.bench_function("legacy_serial_fold", |b| {
+        b.iter(|| {
+            let mut queue: EventQueue<u64> = EventQueue::new();
+            let mut stats = Stats::new(NODES);
+            for (events, txs) in &fixture {
+                for &(time, tag) in events {
+                    queue.push(
+                        time,
+                        EventKind::Timer {
+                            node: NodeId((tag % NODES as u64) as u32),
+                            tag,
+                        },
+                    );
+                }
+                for &(node, class, bytes) in txs {
+                    stats.count_tx(NodeId(node), class, bytes as usize);
+                }
+            }
+            while let Some(ev) = queue.pop() {
+                black_box(ev.time);
+            }
+            black_box(stats.events_processed)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_neighbors,
     bench_broadcast_round,
     bench_mobility_tick,
-    bench_class_counters
+    bench_class_counters,
+    bench_commit_pass
 );
 criterion_main!(benches);

@@ -710,6 +710,7 @@ impl<M: Clone> Simulator<M> {
     /// Back-compat shim: schedules a fail-stop fault at `node`. New
     /// code should build a [`FaultPlan`] and use [`Simulator::inject`] /
     /// [`Simulator::inject_plan`].
+    #[deprecated(note = "build a FaultPlan and use inject/inject_plan")]
     pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
         self.inject(FaultEvent {
             at,
@@ -720,6 +721,7 @@ impl<M: Clone> Simulator<M> {
     /// Back-compat shim: schedules a recovery of `node`. New code
     /// should build a [`FaultPlan`] and use [`Simulator::inject`] /
     /// [`Simulator::inject_plan`].
+    #[deprecated(note = "build a FaultPlan and use inject/inject_plan")]
     pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
         self.inject(FaultEvent {
             at,
@@ -1056,7 +1058,7 @@ mod tests {
     fn dead_nodes_receive_nothing_and_timers_skip() {
         let mut sim: Simulator<&'static str> = Simulator::new(two_node_cfg(), Box::new(Stationary));
         place_two(&mut sim, 100.0);
-        sim.schedule_fail(NodeId(1), SimTime::ZERO);
+        sim.inject_plan(&FaultPlan::new().fail(SimTime::ZERO, NodeId(1)));
         let mut p = PingPong::default();
         sim.run(&mut p, SimTime::from_secs(10));
         // Node 1 failed at t=0 before any delivery: nothing received.
@@ -1089,8 +1091,11 @@ mod tests {
             ..Default::default()
         };
         let mut sim: Simulator<()> = Simulator::new(cfg, Box::new(Stationary));
-        sim.schedule_fail(NodeId(2), SimTime::from_secs(1));
-        sim.schedule_recover(NodeId(2), SimTime::from_secs(5));
+        sim.inject_plan(
+            &FaultPlan::new()
+                .fail(SimTime::from_secs(1), NodeId(2))
+                .recover(SimTime::from_secs(5), NodeId(2)),
+        );
         let mut p = FR::default();
         sim.run(&mut p, SimTime::from_secs(3));
         assert_eq!(p.fails, vec![NodeId(2)]);

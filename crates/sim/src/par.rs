@@ -223,10 +223,28 @@ struct Shard<N, M> {
     /// Slots in ascending node-id order.
     slots: Vec<ParSlot<N>>,
     tasks: Vec<Task<M>>,
-    /// Outbound events, appended in dispatch order.
-    outbox: Vec<(SimTime, EventKind<M>)>,
+    /// Outbound events, appended in dispatch order with a placeholder
+    /// `seq` of 0; [`Shard::prefold`] time-sorts them (stably, so
+    /// same-instant events keep dispatch order) and the commit splice
+    /// stamps the real consecutive sequence numbers.
+    outbox: Vec<Scheduled<M>>,
     ops: Vec<StatOp>,
     counters: Counters,
+    /// Pre-fold digest of this window's `Tx` ops: per-class
+    /// `(class, msgs, bytes)` totals in first-appearance order — applied
+    /// at commit via [`Stats::count_tx_class_bulk`], which preserves the
+    /// interning order a one-by-one replay would produce.
+    tx_classes: Vec<(&'static str, u64, u64)>,
+    /// Per-slot `(msgs, bytes)` transmission deltas (dense, indexed by
+    /// slot; commutative sums).
+    tx_node_delta: Vec<(u64, u64)>,
+    /// Slots with a non-zero delta this window, first-touch order.
+    tx_touched: Vec<u32>,
+    /// Order-sensitive ops (origins, deliveries) kept for serial replay;
+    /// their state (origins/flows/latency) is disjoint from the `Tx`
+    /// digest's (class slots/node counters), so folding `Tx` out of line
+    /// is invisible.
+    rare_ops: Vec<StatOp>,
     scratch: Vec<NodeId>,
     raw_scratch: Vec<u32>,
     recv_pool: Vec<Vec<NodeId>>,
@@ -240,9 +258,55 @@ impl<N, M> Shard<N, M> {
             outbox: Vec::new(),
             ops: Vec::new(),
             counters: Counters::default(),
+            tx_classes: Vec::new(),
+            tx_node_delta: Vec::new(),
+            tx_touched: Vec::new(),
+            rare_ops: Vec::new(),
             scratch: Vec::new(),
             raw_scratch: Vec::new(),
             recv_pool: Vec::new(),
+        }
+    }
+
+    /// The shard-parallel half of the commit: time-sorts the outbox
+    /// (stable — dispatch order is the tie-break the serial fold used)
+    /// and folds this window's `Tx` ops into the per-class /
+    /// per-node digest, leaving only the rare order-sensitive ops for
+    /// the serial splice. Runs on the rayon lanes at the end of
+    /// [`Shard::drain`]; idempotent when nothing new was buffered, so
+    /// the serial barrier path can rely on commit calling it again.
+    fn prefold(&mut self, map: &[(u32, u32)]) {
+        self.outbox.sort_by_key(|s| s.time);
+        if self.tx_node_delta.len() < self.slots.len() {
+            self.tx_node_delta.resize(self.slots.len(), (0, 0));
+        }
+        for op in self.ops.drain(..) {
+            match op {
+                StatOp::Tx { node, class, bytes } => {
+                    // Identity key (address, length), matching
+                    // `Stats::class_id`; a handful of classes exist, so
+                    // a linear scan beats hashing.
+                    match self
+                        .tx_classes
+                        .iter_mut()
+                        .find(|(c, _, _)| c.as_ptr() == class.as_ptr() && c.len() == class.len())
+                    {
+                        Some((_, m, b)) => {
+                            *m += 1;
+                            *b += bytes as u64;
+                        }
+                        None => self.tx_classes.push((class, 1, bytes as u64)),
+                    }
+                    let slot = map[node.idx()].1 as usize;
+                    let d = &mut self.tx_node_delta[slot];
+                    if d.0 == 0 {
+                        self.tx_touched.push(slot as u32);
+                    }
+                    d.0 += 1;
+                    d.1 += bytes as u64;
+                }
+                other => self.rare_ops.push(other),
+            }
         }
     }
 }
@@ -373,6 +437,9 @@ impl<N: Send, M: Clone + Send> Shard<N, M> {
         }
         // Hand the (now empty) buffer back for the next window.
         self.tasks = tasks;
+        // Pre-fold this window's output while still on the parallel
+        // lane, so the serial splice only stitches digests together.
+        self.prefold(map);
     }
 }
 
@@ -389,7 +456,7 @@ pub struct ParCtx<'a, M> {
     per_receiver: bool,
     busy_until: &'a mut SimTime,
     rng: &'a mut Rng64,
-    outbox: &'a mut Vec<(SimTime, EventKind<M>)>,
+    outbox: &'a mut Vec<Scheduled<M>>,
     ops: &'a mut Vec<StatOp>,
     counters: &'a mut Counters,
     scratch: &'a mut Vec<NodeId>,
@@ -398,6 +465,13 @@ pub struct ParCtx<'a, M> {
 }
 
 impl<'a, M: Clone> ParCtx<'a, M> {
+    /// Appends an outbound event to the shard's window buffer. The
+    /// placeholder `seq` is stamped by the commit splice.
+    #[inline]
+    fn emit(&mut self, time: SimTime, kind: EventKind<M>) {
+        self.outbox.push(Scheduled { time, seq: 0, kind });
+    }
+
     /// Current simulation time (the dispatched event's timestamp) *as
     /// observed by the dispatched node*: exact unless a
     /// [`FaultKind::ClockSkew`] fault skewed this node's clock. Timers,
@@ -490,8 +564,7 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             node, self.current,
             "parallel timers must target the dispatched node"
         );
-        self.outbox
-            .push((self.now + delay, EventKind::Timer { node, tag }));
+        self.emit(self.now + delay, EventKind::Timer { node, tag });
     }
 
     /// [`ParCtx::set_timer`] plus a uniform random extra delay in
@@ -616,17 +689,16 @@ impl<'a, M: Clone> ParCtx<'a, M> {
         }
         if let Some(delay) = self.replay_delay() {
             self.counters.byzantine_replayed += 1;
-            self.outbox.push((
+            self.emit(
                 arrival + delay,
                 EventKind::Deliver {
                     to,
                     from,
                     msg: msg.clone(),
                 },
-            ));
+            );
         }
-        self.outbox
-            .push((arrival, EventKind::Deliver { to, from, msg }));
+        self.emit(arrival, EventKind::Deliver { to, from, msg });
         true
     }
 
@@ -685,17 +757,16 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             }
             if let Some(delay) = self.replay_delay() {
                 self.counters.byzantine_replayed += 1;
-                self.outbox.push((
+                self.emit(
                     arrival + delay,
                     EventKind::Deliver {
                         to,
                         from,
                         msg: msg.clone(),
                     },
-                ));
+                );
             }
-            self.outbox
-                .push((arrival, EventKind::Deliver { to, from, msg }));
+            self.emit(arrival, EventKind::Deliver { to, from, msg });
             return true;
         }
         self.counters.drops_retry_exhausted += 1;
@@ -757,50 +828,52 @@ impl<'a, M: Clone> ParCtx<'a, M> {
         let replay = self.replay_delay();
         if self.per_receiver {
             self.counters.frames_cloned += n as u64;
-            for &to in receivers.iter() {
-                self.outbox.push((
+            for i in 0..n {
+                let to = receivers[i];
+                self.emit(
                     arrival,
                     EventKind::Deliver {
                         to,
                         from,
                         msg: msg.clone(),
                     },
-                ));
+                );
             }
             if let Some(delay) = replay {
                 self.counters.byzantine_replayed += n as u64;
                 self.counters.frames_cloned += n as u64;
-                for &to in receivers.iter() {
-                    self.outbox.push((
+                for i in 0..n {
+                    let to = receivers[i];
+                    self.emit(
                         arrival + delay,
                         EventKind::Deliver {
                             to,
                             from,
                             msg: msg.clone(),
                         },
-                    ));
+                    );
                 }
             }
         } else if n > 0 {
             if let Some(delay) = replay {
                 self.counters.byzantine_replayed += n as u64;
-                self.outbox.push((
+                self.emit(
                     arrival + delay,
                     EventKind::DeliverMany {
                         to: receivers.clone(),
                         from,
                         msg: msg.clone(),
                     },
-                ));
+                );
             }
-            self.outbox.push((
+            self.emit(
                 arrival,
                 EventKind::DeliverMany {
                     to: receivers,
                     from,
                     msg,
                 },
-            ));
+            );
             return n;
         }
         receivers.clear();
@@ -1041,6 +1114,7 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
     /// Back-compat shim: schedules a fail-stop fault at `node`. New
     /// code should build a [`FaultPlan`] and use
     /// [`ParSimulator::inject`] / [`ParSimulator::inject_plan`].
+    #[deprecated(note = "build a FaultPlan and use inject/inject_plan")]
     pub fn schedule_fail(&mut self, node: NodeId, at: SimTime) {
         self.inject(FaultEvent {
             at,
@@ -1051,6 +1125,7 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
     /// Back-compat shim: schedules a recovery of `node`. New code
     /// should build a [`FaultPlan`] and use [`ParSimulator::inject`] /
     /// [`ParSimulator::inject_plan`].
+    #[deprecated(note = "build a FaultPlan and use inject/inject_plan")]
     pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
         self.inject(FaultEvent {
             at,
@@ -1169,21 +1244,41 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
         }
     }
 
-    /// The deterministic ordered commit: folds every shard's buffers into
-    /// the global queue and statistics in shard-index order. Event `seq`
-    /// numbers are assigned by this fixed schedule; order-sensitive stat
-    /// ops replay in the same order; commutative counters are summed.
+    /// The deterministic ordered commit, serial half: splices every
+    /// shard's pre-folded window output into the global queue and
+    /// statistics in shard-index order. The heavy lifting — time-sorting
+    /// the outbox and aggregating `Tx` ops into per-class/per-node
+    /// digests — already happened shard-parallel in [`Shard::prefold`];
+    /// here each outbox becomes one `O(k)` run splice
+    /// ([`EventQueue::push_run`] stamps the consecutive `seq` numbers the
+    /// old one-by-one fold would have produced), digests apply as plain
+    /// sums (class interning on first touch, preserving replay order),
+    /// and only the rare order-sensitive ops (origins, deliveries)
+    /// replay individually. Run buffers recycle through the queue's
+    /// spare pool, so the steady-state window loop allocates nothing.
     fn commit(&mut self) {
         let shards = &mut self.shards;
         let queue = &mut self.queue;
         let stats = &mut self.stats;
+        let map = self.node_map.as_slice();
         for shard in shards.iter_mut() {
-            for (time, kind) in shard.outbox.drain(..) {
-                queue.push(time, kind);
+            // No-op after drain_shards; covers the serial barrier path,
+            // which runs callbacks without a drain.
+            shard.prefold(map);
+            let run = std::mem::replace(&mut shard.outbox, queue.take_spare());
+            queue.push_run(run);
+            for &(class, msgs, bytes) in &shard.tx_classes {
+                stats.count_tx_class_bulk(class, msgs, bytes);
             }
-            for op in shard.ops.drain(..) {
+            shard.tx_classes.clear();
+            for &slot in &shard.tx_touched {
+                let (msgs, bytes) = std::mem::take(&mut shard.tx_node_delta[slot as usize]);
+                stats.count_tx_node_bulk(shard.slots[slot as usize].id, msgs, bytes);
+            }
+            shard.tx_touched.clear();
+            for op in shard.rare_ops.drain(..) {
                 match op {
-                    StatOp::Tx { node, class, bytes } => stats.count_tx(node, class, bytes),
+                    StatOp::Tx { .. } => unreachable!("Tx ops are pre-folded"),
                     StatOp::OriginFlow {
                         data_id,
                         at,
@@ -1491,17 +1586,20 @@ mod tests {
 
     #[test]
     fn thread_count_is_invisible() {
-        // The tentpole proof obligation: threads=4 output is byte-identical
+        // The tentpole proof obligation: threads=8 output is byte-identical
         // to threads=1 (same shard count), and so is every lane count in
         // between.
         let (s1, h1) = run_gossip_grid(1, 16);
         let (s2, h2) = run_gossip_grid(2, 16);
         let (s4, h4) = run_gossip_grid(4, 16);
+        let (s8, h8) = run_gossip_grid(8, 16);
         assert!(h1 > 0, "gossip must actually flow");
         assert_eq!(h1, h2);
         assert_eq!(h1, h4);
+        assert_eq!(h1, h8);
         assert_eq!(s1, s2, "threads=2 diverged from threads=1");
         assert_eq!(s1, s4, "threads=4 diverged from threads=1");
+        assert_eq!(s1, s8, "threads=8 diverged from threads=1");
     }
 
     /// The full fault-plane schedule: every [`FaultKind`] fires mid-run,
@@ -1561,12 +1659,14 @@ mod tests {
         // The tentpole acceptance bar: the whole fault family — partition
         // + heal straddling lookahead windows, regional outage, all three
         // Byzantine modes, clock and position error, fail/recover — with
-        // stats byte-identical at threads 1, 2 and 4.
+        // stats byte-identical at threads 1, 2, 4 and 8.
         let s1 = run_faulted_gossip(1);
         let s2 = run_faulted_gossip(2);
         let s4 = run_faulted_gossip(4);
+        let s8 = run_faulted_gossip(8);
         assert_eq!(s1, s2, "threads=2 diverged under fault injection");
         assert_eq!(s1, s4, "threads=4 diverged under fault injection");
+        assert_eq!(s1, s8, "threads=8 diverged under fault injection");
     }
 
     #[test]
@@ -1673,7 +1773,7 @@ mod tests {
         // Fail enqueued before the send: lower seq at the same instant,
         // so the barrier commits first and the delivery hits a dead node.
         let mut sim = exact_pair_sim(2);
-        sim.schedule_fail(NodeId(1), ARRIVAL);
+        sim.inject_plan(&FaultPlan::new().fail(ARRIVAL, NodeId(1)));
         sim.run(&OneShot, SimTime::from_secs(1));
         assert_eq!(sim.node_state(NodeId(1)).unwrap().got, 0);
         assert_eq!(sim.stats().drops_dead, 1);
@@ -1685,7 +1785,7 @@ mod tests {
         // the delivery's seq is lower, so it lands before the node dies.
         let mut sim = exact_pair_sim(2);
         sim.run(&OneShot, SimTime::from_millis(0));
-        sim.schedule_fail(NodeId(1), ARRIVAL);
+        sim.inject_plan(&FaultPlan::new().fail(ARRIVAL, NodeId(1)));
         sim.run(&OneShot, SimTime::from_secs(1));
         assert_eq!(sim.node_state(NodeId(1)).unwrap().got, 1);
         assert_eq!(sim.stats().drops_dead, 0);

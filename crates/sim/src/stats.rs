@@ -200,6 +200,26 @@ impl Stats {
         self.node_tx_bytes[node.idx()] += bytes as u64;
     }
 
+    /// Applies a pre-aggregated per-class transmission delta: `msgs`
+    /// transmissions totalling `bytes` in `class`, interning the class on
+    /// first use exactly like an equivalent [`Stats::count_tx`] sequence
+    /// would (so digest application preserves the class-slot order of a
+    /// one-by-one replay). The parallel engine's commit splice uses this
+    /// with each shard's digest, shards in shard-index order.
+    pub fn count_tx_class_bulk(&mut self, class: &'static str, msgs: u64, bytes: u64) {
+        let id = self.class_id(class);
+        let slot = &mut self.class_slots[id.0 as usize];
+        slot.msgs += msgs;
+        slot.bytes += bytes;
+    }
+
+    /// Applies a pre-aggregated per-node transmission delta (the per-node
+    /// half of what [`Stats::count_tx`] records). Commutative plain sums.
+    pub fn count_tx_node_bulk(&mut self, node: NodeId, msgs: u64, bytes: u64) {
+        self.node_tx_msgs[node.idx()] += msgs;
+        self.node_tx_bytes[node.idx()] += bytes;
+    }
+
     /// Registers an originated data packet `id` expecting delivery to
     /// `expected` distinct receivers.
     pub fn record_origin(&mut self, id: u64, at: SimTime, expected: u64) {
@@ -467,6 +487,24 @@ mod tests {
         assert_eq!(s.msgs("beacon"), 2);
         assert_eq!(s.bytes("beacon"), 100);
         assert_eq!(s.bytes("data"), 10);
+    }
+
+    #[test]
+    fn bulk_deltas_match_one_by_one_replay() {
+        // The parallel commit's digest application must be
+        // indistinguishable from replaying each Tx individually —
+        // including the interning order of classes first seen mid-digest.
+        let mut one_by_one = Stats::new(3);
+        one_by_one.count_tx(NodeId(1), "beacon", 100);
+        one_by_one.count_tx(NodeId(1), "beacon", 100);
+        one_by_one.count_tx(NodeId(2), "data", 1000);
+        one_by_one.count_tx(NodeId(1), "data", 50);
+        let mut bulk = Stats::new(3);
+        bulk.count_tx_class_bulk("beacon", 2, 200);
+        bulk.count_tx_class_bulk("data", 2, 1050);
+        bulk.count_tx_node_bulk(NodeId(1), 3, 250);
+        bulk.count_tx_node_bulk(NodeId(2), 1, 1000);
+        assert_eq!(format!("{one_by_one:?}"), format!("{bulk:?}"));
     }
 
     #[test]
