@@ -1,10 +1,12 @@
 //! The `hvdb-bench` CLI: one entry point for every experiment.
 //!
 //! ```text
-//! hvdb-bench list
+//! hvdb-bench list [--json]
 //! hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--out-dir DIR]
 //! hvdb-bench run --all [--smoke] [--out-dir DIR]
+//! hvdb-bench run ... [--trace-out PATH] [--trace-filter CATS]
 //! hvdb-bench validate <file>... [--loss-floor F]
+//! hvdb-bench explain <report.json>
 //! ```
 //!
 //! Each run prints a human-readable table and writes
@@ -15,27 +17,30 @@
 //! `run` exits nonzero if any scenario's report fails (after finishing
 //! the remaining scenarios). `validate` checks committed/artifact
 //! reports and applies the `loss` scenario's delivery-floor regression
-//! gate.
+//! gate. `--trace-out` additionally records a structured-trace +
+//! profiler run of the paper geometry on the parallel engine and writes
+//! it as a Chrome trace-event (Perfetto-loadable) document. `explain`
+//! prints a human post-mortem of one report: gates at default floors,
+//! fault counters, timeline inflections and the profiler's phase split.
 
 use hvdb_bench::scenario::{find, registry, run_scenario, RunOpts, ScenarioDef};
 use hvdb_bench::{
     check_byzantine_gate, check_loss_floor, check_loss_high_band, check_overhead_gate,
-    check_partition_gate, check_perf_gate, check_perf_threads_gate, check_scale_gate,
-    check_traffic_gate, check_trajectory, validate_report_str, ScenarioReport, LOSS_DELIVERY_FLOOR,
-    PERF_SPEEDUP_FLOOR, PERF_THREADS_SPEEDUP_FLOOR, TRAFFIC_P99_REFERENCE_POINT,
-    TRAJECTORY_DELIVERY_TOLERANCE, TRAJECTORY_OVERHEAD_TOLERANCE,
+    check_partition_gate, check_partition_timeline, check_perf_gate, check_perf_threads_gate,
+    check_scale_gate, check_traffic_gate, check_trajectory, gated_metrics, run_par_hvdb_traced,
+    validate_report_str, Json, ScenarioReport, Workload, LOSS_DELIVERY_FLOOR, PERF_SPEEDUP_FLOOR,
+    PERF_THREADS_SPEEDUP_FLOOR, TRAFFIC_P99_REFERENCE_POINT, TRAJECTORY_DELIVERY_TOLERANCE,
+    TRAJECTORY_OVERHEAD_TOLERANCE,
 };
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("list") => {
-            list();
-            ExitCode::SUCCESS
-        }
+        Some("list") => list(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("validate") => validate(&args[1..]),
+        Some("explain") => explain(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             ExitCode::SUCCESS
@@ -52,16 +57,28 @@ fn usage() {
     eprintln!("hvdb-bench — experiment harness for the HVDB reproduction");
     eprintln!();
     eprintln!("USAGE:");
-    eprintln!("  hvdb-bench list");
+    eprintln!("  hvdb-bench list [--json]");
     eprintln!(
         "  hvdb-bench run <scenario>... [--smoke] [--seeds 1,2,3] [--threads N] [--out-dir DIR]"
     );
     eprintln!(
         "  hvdb-bench run --all        [--smoke] [--seeds 1,2,3] [--threads N] [--out-dir DIR]"
     );
+    eprintln!("  hvdb-bench run ...          [--trace-out PATH] [--trace-filter CATS]");
     eprintln!("  hvdb-bench validate <file>... [--loss-floor F] [--perf-floor F]");
     eprintln!("                                [--threads-floor F] [--baseline-dir DIR]");
     eprintln!("                                [--delivery-tolerance F] [--overhead-tolerance F]");
+    eprintln!("  hvdb-bench explain <report.json>");
+    eprintln!();
+    eprintln!("`list --json` emits the machine-readable registry (name, figure,");
+    eprintln!("summary, gated metrics) for tooling and the CI job matrix.");
+    eprintln!("`run --trace-out PATH` additionally runs the paper geometry on the");
+    eprintln!("parallel engine with the structured trace and profiler enabled and");
+    eprintln!("writes a Chrome trace-event document (open in Perfetto / about:tracing);");
+    eprintln!("--trace-filter narrows categories (comma-separated");
+    eprintln!("election,soft-state,fault,flow; default all).");
+    eprintln!("`explain` prints a human post-mortem of one report: gates at default");
+    eprintln!("floors, fault counters, timeline inflections, profiler phase split.");
     eprintln!();
     eprintln!("Writes BENCH_<scenario>.json per scenario; see `list` for names.");
     eprintln!("`validate` schema-checks report files. Scenario-specific gates:");
@@ -159,21 +176,6 @@ fn validate(args: &[String]) -> ExitCode {
         eprintln!("validate needs at least one report file");
         return ExitCode::FAILURE;
     }
-    // Runs one gate, folding its passed-check notes or its failure
-    // message into the per-file tallies: every applicable gate runs, so
-    // a failing report lists *all* broken gates (with expected vs
-    // actual) instead of stopping at the first.
-    fn run_gate(
-        res: Result<Vec<String>, String>,
-        notes: &mut Vec<String>,
-        fails: &mut Vec<String>,
-    ) {
-        match res {
-            Ok(mut n) => notes.append(&mut n),
-            Err(e) => fails.push(e),
-        }
-    }
-
     let mut failures = 0u32;
     for file in &files {
         let doc = match std::fs::read_to_string(file)
@@ -189,78 +191,12 @@ fn validate(args: &[String]) -> ExitCode {
         };
         let mut notes: Vec<String> = Vec::new();
         let mut fails: Vec<String> = Vec::new();
-        match scenario_name(&doc).as_deref() {
-            Some("loss") => {
-                run_gate(
-                    check_loss_floor(&doc, floor)
-                        .map(|worst| vec![format!("worst-seed delivery {worst:.3} >= {floor}")]),
-                    &mut notes,
-                    &mut fails,
-                );
-                run_gate(
-                    check_loss_high_band(&doc).map(|band| {
-                        band.into_iter()
-                            .map(|(point, w)| format!("{point} worst {w:.3}"))
-                            .collect()
-                    }),
-                    &mut notes,
-                    &mut fails,
-                );
-            }
-            Some("overhead") => {
-                run_gate(
-                    check_overhead_gate(&doc).map(|(ratio, total)| {
-                        vec![format!(
-                            "quiet-phase refresh improvement {ratio:.2}x, {total:.0} control frames/s"
-                        )]
-                    }),
-                    &mut notes,
-                    &mut fails,
-                );
-            }
-            Some("perf") => {
-                run_gate(
-                    check_perf_gate(&doc, perf_floor).map(|(label, speedup)| {
-                        vec![format!(
-                            "shared-frame delivery {speedup:.2}x faster at {label} (floor {perf_floor})"
-                        )]
-                    }),
-                    &mut notes,
-                    &mut fails,
-                );
-                run_gate(
-                    check_perf_threads_gate(&doc, threads_floor).map(|(tlabel, tspeedup, enforced)| {
-                        vec![if enforced {
-                            format!(
-                                "parallel engine {tspeedup:.2}x at {tlabel} (floor {threads_floor}), identical event counts"
-                            )
-                        } else {
-                            format!(
-                                "parallel engine {tspeedup:.2}x at {tlabel} (speedup floor waived: < 4 hardware threads), identical event counts"
-                            )
-                        }]
-                    }),
-                    &mut notes,
-                    &mut fails,
-                );
-            }
-            Some("traffic") => {
-                run_gate(
-                    check_traffic_gate(&doc).map(|(knee, p99)| {
-                        vec![format!(
-                            "hvdb sustains {knee:.0} pps past both baselines' knees, \
-                             p99 {p99:.1} ms at {TRAFFIC_P99_REFERENCE_POINT}"
-                        )]
-                    }),
-                    &mut notes,
-                    &mut fails,
-                );
-            }
-            Some("scale") => run_gate(check_scale_gate(&doc), &mut notes, &mut fails),
-            Some("partition") => run_gate(check_partition_gate(&doc), &mut notes, &mut fails),
-            Some("byzantine") => run_gate(check_byzantine_gate(&doc), &mut notes, &mut fails),
-            _ => {}
-        }
+        let floors = GateFloors {
+            loss: floor,
+            perf: perf_floor,
+            threads: threads_floor,
+        };
+        scenario_gates(&doc, &floors, &mut notes, &mut fails);
         if let Some(dir) = &baseline_dir {
             let trajectory = (|| {
                 let scenario =
@@ -310,12 +246,346 @@ fn scenario_name(doc: &hvdb_bench::Json) -> Option<String> {
     })
 }
 
-fn list() {
-    println!("{:<16} {:<16} summary", "scenario", "figure");
-    for def in registry() {
-        println!("{:<16} {:<16} {}", def.name, def.figure, def.summary);
+/// Floors the scenario gates run at (`validate` parses overrides;
+/// `explain` uses the committed defaults).
+struct GateFloors {
+    loss: f64,
+    perf: f64,
+    threads: f64,
+}
+
+impl Default for GateFloors {
+    fn default() -> Self {
+        GateFloors {
+            loss: LOSS_DELIVERY_FLOOR,
+            perf: PERF_SPEEDUP_FLOOR,
+            threads: PERF_THREADS_SPEEDUP_FLOOR,
+        }
     }
 }
+
+/// Runs one gate, folding its passed-check notes or its failure message
+/// into the per-file tallies: every applicable gate runs, so a failing
+/// report lists *all* broken gates (with expected vs actual) instead of
+/// stopping at the first.
+fn run_gate(res: Result<Vec<String>, String>, notes: &mut Vec<String>, fails: &mut Vec<String>) {
+    match res {
+        Ok(mut n) => notes.append(&mut n),
+        Err(e) => fails.push(e),
+    }
+}
+
+/// Every CI gate applicable to `doc`'s scenario, at the given floors —
+/// the one list `validate` enforces and `explain` narrates.
+fn scenario_gates(
+    doc: &Json,
+    floors: &GateFloors,
+    notes: &mut Vec<String>,
+    fails: &mut Vec<String>,
+) {
+    let (floor, perf_floor, threads_floor) = (floors.loss, floors.perf, floors.threads);
+    match scenario_name(doc).as_deref() {
+        Some("loss") => {
+            run_gate(
+                check_loss_floor(doc, floor)
+                    .map(|worst| vec![format!("worst-seed delivery {worst:.3} >= {floor}")]),
+                notes,
+                fails,
+            );
+            run_gate(
+                check_loss_high_band(doc).map(|band| {
+                    band.into_iter()
+                        .map(|(point, w)| format!("{point} worst {w:.3}"))
+                        .collect()
+                }),
+                notes,
+                fails,
+            );
+        }
+        Some("overhead") => {
+            run_gate(
+                check_overhead_gate(doc).map(|(ratio, total)| {
+                    vec![format!(
+                        "quiet-phase refresh improvement {ratio:.2}x, {total:.0} control frames/s"
+                    )]
+                }),
+                notes,
+                fails,
+            );
+        }
+        Some("perf") => {
+            run_gate(
+                check_perf_gate(doc, perf_floor).map(|(label, speedup)| {
+                    vec![format!(
+                        "shared-frame delivery {speedup:.2}x faster at {label} (floor {perf_floor})"
+                    )]
+                }),
+                notes,
+                fails,
+            );
+            run_gate(
+                check_perf_threads_gate(doc, threads_floor).map(|(tlabel, tspeedup, enforced)| {
+                    vec![if enforced {
+                        format!(
+                            "parallel engine {tspeedup:.2}x at {tlabel} (floor {threads_floor}), identical event counts"
+                        )
+                    } else {
+                        format!(
+                            "parallel engine {tspeedup:.2}x at {tlabel} (speedup floor waived: < 4 hardware threads), identical event counts"
+                        )
+                    }]
+                }),
+                notes,
+                fails,
+            );
+        }
+        Some("traffic") => {
+            run_gate(
+                check_traffic_gate(doc).map(|(knee, p99)| {
+                    vec![format!(
+                        "hvdb sustains {knee:.0} pps past both baselines' knees, \
+                         p99 {p99:.1} ms at {TRAFFIC_P99_REFERENCE_POINT}"
+                    )]
+                }),
+                notes,
+                fails,
+            );
+        }
+        Some("scale") => run_gate(check_scale_gate(doc), notes, fails),
+        Some("partition") => run_gate(check_partition_gate(doc), notes, fails),
+        Some("byzantine") => run_gate(check_byzantine_gate(doc), notes, fails),
+        _ => {}
+    }
+}
+
+fn list(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("--json") => {
+            let doc = Json::Arr(
+                registry()
+                    .iter()
+                    .map(|def| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(def.name.into())),
+                            ("figure".into(), Json::Str(def.figure.into())),
+                            ("summary".into(), Json::Str(def.summary.into())),
+                            (
+                                "gated_metrics".into(),
+                                Json::Arr(
+                                    gated_metrics(def.name)
+                                        .iter()
+                                        .map(|m| Json::Str((*m).into()))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            println!("{doc}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("{:<16} {:<16} summary", "scenario", "figure");
+            for def in registry() {
+                println!("{:<16} {:<16} {}", def.name, def.figure, def.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown list flag: {other} (only --json)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `hvdb-bench explain <report.json>`: a human post-mortem of one
+/// report. Narrates what `validate` would enforce (at default floors)
+/// plus everything the observability plane recorded: fault counters,
+/// timeline inflection points, and the profiler's phase split. Exits
+/// nonzero only if the file is unreadable or fails the schema — gate
+/// failures are findings to narrate, not errors.
+fn explain(args: &[String]) -> ExitCode {
+    let [file] = args else {
+        eprintln!("explain needs exactly one report file");
+        return ExitCode::FAILURE;
+    };
+    let doc = match std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read: {e}"))
+        .and_then(|text| validate_report_str(&text))
+    {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Json::Obj(fields) = &doc else {
+        unreachable!("validated report is an object");
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let scenario = scenario_name(&doc).unwrap_or_default();
+    let smoke = matches!(get("smoke"), Some(Json::Bool(true)));
+    println!(
+        "# {scenario}{} — {}",
+        if smoke { " [smoke]" } else { "" },
+        match get("summary") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => "",
+        }
+    );
+
+    println!("## gates (default floors)");
+    let mut notes = Vec::new();
+    let mut fails = Vec::new();
+    scenario_gates(&doc, &GateFloors::default(), &mut notes, &mut fails);
+    for n in &notes {
+        println!("  PASS {n}");
+    }
+    for f in &fails {
+        println!("  FAIL {f}");
+    }
+    if notes.is_empty() && fails.is_empty() {
+        println!("  (no scenario-specific gates; schema check only)");
+    }
+
+    // Fault counters, totalled across rows wherever a scenario recorded
+    // them as metrics.
+    let mut counters: Vec<(&str, f64)> = Vec::new();
+    if let Some(Json::Arr(rows)) = get("rows") {
+        for row in rows {
+            let Json::Obj(rf) = row else { continue };
+            let Some((_, Json::Obj(metrics))) = rf.iter().find(|(k, _)| k == "metrics") else {
+                continue;
+            };
+            for (k, v) in metrics {
+                let Some(name) = FAULT_COUNTER_METRICS.iter().find(|m| **m == k.as_str()) else {
+                    continue;
+                };
+                let Json::Num(n) = v else { continue };
+                match counters.iter_mut().find(|(c, _)| c == name) {
+                    Some((_, total)) => *total += n,
+                    None => counters.push((name, *n)),
+                }
+            }
+        }
+    }
+    if !counters.is_empty() {
+        println!("## fault counters (summed over rows)");
+        for (k, v) in &counters {
+            println!("  {k}={v:.0}");
+        }
+    }
+
+    if let Some(Json::Obj(tf)) = get("timeline") {
+        let tget = |key: &str| {
+            tf.iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| match v {
+                    Json::Num(n) => Some(*n),
+                    _ => None,
+                })
+        };
+        println!("## timeline");
+        if let (Some(interval), Some(Json::Arr(samples))) = (
+            tget("interval_secs"),
+            tf.iter().find(|(k, _)| k == "samples").map(|(_, v)| v),
+        ) {
+            println!("  {} samples every {interval}s", samples.len());
+            let series: Vec<(f64, f64)> = samples
+                .iter()
+                .filter_map(|s| {
+                    let Json::Obj(sf) = s else { return None };
+                    let num = |key: &str| {
+                        sf.iter()
+                            .find(|(k, _)| k == key)
+                            .and_then(|(_, v)| match v {
+                                Json::Num(n) => Some(*n),
+                                _ => None,
+                            })
+                    };
+                    Some((num("t_secs")?, num("heads")?))
+                })
+                .collect();
+            // Inflection points: every sample where the head census moved
+            // — the election/merge story of the run in a few lines.
+            let mut prev: Option<f64> = None;
+            let mut shown = 0;
+            for &(t, heads) in &series {
+                if prev != Some(heads) {
+                    if shown < 12 {
+                        println!("  t={t}s heads={heads:.0}");
+                    }
+                    shown += 1;
+                }
+                prev = Some(heads);
+            }
+            if shown > 12 {
+                println!("  ... {} more head-census changes", shown - 12);
+            }
+        }
+        for key in [
+            "split_at_secs",
+            "heal_at_secs",
+            "heads_target",
+            "remerge_secs_probe",
+        ] {
+            if let Some(v) = tget(key) {
+                println!("  {key}={v}");
+            }
+        }
+        match check_partition_timeline(&doc) {
+            Ok(Some(derived)) => println!(
+                "  re-merge re-derived from the series: {derived:.3}s (matches probe measurement)"
+            ),
+            Ok(None) => {}
+            Err(e) => println!("  re-merge cross-check FAILED: {e}"),
+        }
+    }
+
+    if let Some(Json::Obj(pf)) = get("profile") {
+        let pget = |key: &str| {
+            pf.iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| match v {
+                    Json::Num(n) => Some(*n),
+                    _ => None,
+                })
+        };
+        println!("## engine profile (wall-clock, non-deterministic)");
+        if let (Some(drain), Some(commit), Some(barrier)) = (
+            pget("drain_secs"),
+            pget("commit_secs"),
+            pget("barrier_secs"),
+        ) {
+            let total = (drain + commit + barrier).max(1e-12);
+            println!(
+                "  parallel drain {:.0}% / serial commit {:.0}% / barrier {:.0}% of {total:.3}s",
+                100.0 * drain / total,
+                100.0 * commit / total,
+                100.0 * barrier / total,
+            );
+        }
+        for key in ["windows", "barriers", "lane_imbalance", "slices_dropped"] {
+            if let Some(v) = pget(key) {
+                println!("  {key}={v}");
+            }
+        }
+        if let Some((_, Json::Arr(lanes))) = pf.iter().find(|(k, _)| k == "lane_busy_secs") {
+            println!("  lanes={}", lanes.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The fault-plane counters surfaced on the console and in `explain` —
+/// recorded as row metrics by the scenarios that exercise them.
+const FAULT_COUNTER_METRICS: [&str; 4] = [
+    "drops_partitioned",
+    "byzantine_dropped",
+    "byzantine_replayed",
+    "drops_queue_full",
+];
 
 /// Parsed form of `hvdb-bench run`'s arguments, separated from the
 /// side-effecting run loop so flag handling is unit-testable.
@@ -324,6 +594,11 @@ struct RunArgs {
     all: bool,
     opts: RunOpts,
     out_dir: String,
+    /// `--trace-out PATH`: write a Chrome trace-event document of a
+    /// trace+profile-enabled paper-geometry run after the scenarios.
+    trace_out: Option<String>,
+    /// `--trace-filter` category mask (default: all categories).
+    trace_mask: u32,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -332,12 +607,31 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         all: false,
         opts: RunOpts::default(),
         out_dir: String::from("."),
+        trace_out: None,
+        trace_mask: hvdb_sim::trace::ALL,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--all" => parsed.all = true,
             "--smoke" => parsed.opts.smoke = true,
+            "--trace-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return Err("--trace-out needs a path".to_string());
+                };
+                parsed.trace_out = Some(path.clone());
+            }
+            "--trace-filter" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    return Err(
+                        "--trace-filter needs categories (election,soft-state,fault,flow|all)"
+                            .to_string(),
+                    );
+                };
+                parsed.trace_mask = hvdb_sim::trace::parse_mask(spec)?;
+            }
             "--threads" => {
                 i += 1;
                 match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
@@ -379,6 +673,8 @@ fn run(args: &[String]) -> ExitCode {
         all,
         opts,
         out_dir,
+        trace_out,
+        trace_mask,
     } = match parse_run_args(args) {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -472,9 +768,21 @@ fn run(args: &[String]) -> ExitCode {
             );
         }
     }
+    let mut trace_failed = false;
+    if let Some(path) = &trace_out {
+        match write_chrome_trace(path, &opts, trace_mask) {
+            Ok(events) => println!("wrote {path} ({events} trace events)"),
+            Err(e) => {
+                eprintln!("--trace-out: {e}");
+                trace_failed = true;
+            }
+        }
+    }
     let failures: Vec<&Outcome> = outcomes.iter().filter(|o| o.error.is_some()).collect();
-    if failures.is_empty() {
+    if failures.is_empty() && !trace_failed {
         ExitCode::SUCCESS
+    } else if failures.is_empty() {
+        ExitCode::FAILURE
     } else {
         eprintln!(
             "{} of {} scenario(s) failed: {}",
@@ -488,6 +796,42 @@ fn run(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Runs the paper geometry (200 nodes, 800x800, the `seed` scenario's
+/// HVDB recipe) on the parallel engine with the structured trace at
+/// `mask` and detailed profiling enabled, and writes the combined Chrome
+/// trace-event document to `path`. Smoke mode shrinks the run the same
+/// way the scenarios do. Returns the number of trace events written.
+fn write_chrome_trace(path: &str, opts: &RunOpts, mask: u32) -> Result<usize, String> {
+    let w = Workload {
+        nodes: 200,
+        side: 800.0,
+        vc_side: 8,
+        dim: 4,
+        range: 250.0,
+        groups: 2,
+        members_per_group: 10,
+        packets_per_group: 8,
+        threads: opts.threads,
+        ..Workload::default()
+    };
+    let w = if opts.smoke { w.smoke() } else { w };
+    let scenario = w.build();
+    let (_, _, doc) = run_par_hvdb_traced(&scenario, 16, mask);
+    let events = match &doc {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| match v {
+                Json::Arr(a) => a.len(),
+                _ => 0,
+            })
+            .unwrap_or(0),
+        _ => 0,
+    };
+    std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(events)
 }
 
 fn print_report(report: &ScenarioReport) {
@@ -521,6 +865,23 @@ fn print_report(report: &ScenarioReport) {
             row.proto,
             metrics.join(" ")
         );
+    }
+    // Fault-plane counters, totalled across rows: visible on the console
+    // at a glance instead of only inside the JSON metric maps.
+    let mut totals: Vec<(&str, f64)> = Vec::new();
+    for row in &report.rows {
+        for (k, v) in &row.metrics {
+            if let Some(name) = FAULT_COUNTER_METRICS.iter().find(|m| *m == k) {
+                match totals.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += v,
+                    None => totals.push((name, *v)),
+                }
+            }
+        }
+    }
+    if !totals.is_empty() {
+        let joined: Vec<String> = totals.iter().map(|(k, v)| format!("{k}={v:.0}")).collect();
+        println!("## fault counters: {}", joined.join(" "));
     }
 }
 
@@ -569,5 +930,31 @@ mod tests {
         assert!(parse_run_args(&argv(&["--threads"])).is_err());
         assert!(parse_run_args(&argv(&["--seeds", ""])).is_err());
         assert!(parse_run_args(&argv(&["--out-dir"])).is_err());
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let parsed = parse_run_args(&argv(&["seed", "--trace-out", "/tmp/t.json"])).unwrap();
+        assert_eq!(parsed.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(
+            parsed.trace_mask,
+            hvdb_sim::trace::ALL,
+            "default: all categories"
+        );
+        let parsed = parse_run_args(&argv(&[
+            "seed",
+            "--trace-out",
+            "t.json",
+            "--trace-filter",
+            "fault,election",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed.trace_mask,
+            hvdb_sim::trace::FAULT | hvdb_sim::trace::ELECTION
+        );
+        assert!(parse_run_args(&argv(&["--trace-out"])).is_err());
+        assert!(parse_run_args(&argv(&["--trace-filter", "bogus"])).is_err());
+        assert!(parse_run_args(&argv(&["--trace-filter"])).is_err());
     }
 }

@@ -25,16 +25,18 @@ pub mod workload;
 
 pub use report::{Json, Row, ScenarioReport};
 pub use runner::{
-    average, run_hvdb_tweaked, run_one, run_one_instrumented, run_par_flood, run_par_hvdb,
-    run_seeds, traffic_profile_of, Proto, RunDetail, TrafficProfile,
+    average, chrome_trace_json, profile_json, run_hvdb_tweaked, run_one, run_one_instrumented,
+    run_par_flood, run_par_hvdb, run_par_hvdb_timeline, run_par_hvdb_traced, run_seeds,
+    sample_par_hvdb, sample_serial, timeline_json, traffic_profile_of, Proto, RunDetail,
+    TimelineSample, TrafficProfile,
 };
-pub use scenario::{registry, run_scenario, RunOpts, ScenarioDef};
+pub use scenario::{registry, run_scenario, CustomOut, RunOpts, ScenarioDef};
 pub use validate::{
     check_byzantine_gate, check_loss_floor, check_loss_high_band, check_overhead_gate,
-    check_partition_gate, check_perf_gate, check_perf_threads_gate, check_scale_gate,
-    check_traffic_gate, check_trajectory, parse_strict, validate_report_str,
-    BYZANTINE_DAMAGE_PER_NODE, LOSS_DELIVERY_FLOOR, LOSS_GATE_POINT, LOSS_HIGH_FLOOR,
-    LOSS_HIGH_POINTS, OVERHEAD_CEILING_FRAMES_PER_S, OVERHEAD_GATED_METRICS,
+    check_partition_gate, check_partition_timeline, check_perf_gate, check_perf_threads_gate,
+    check_scale_gate, check_traffic_gate, check_trajectory, gated_metrics, parse_strict,
+    validate_report_str, BYZANTINE_DAMAGE_PER_NODE, LOSS_DELIVERY_FLOOR, LOSS_GATE_POINT,
+    LOSS_HIGH_FLOOR, LOSS_HIGH_POINTS, OVERHEAD_CEILING_FRAMES_PER_S, OVERHEAD_GATED_METRICS,
     OVERHEAD_QUIET_IMPROVEMENT, OVERHEAD_QUIET_POINT, PARTITION_REACHABLE_DELIVERY_FLOOR,
     PARTITION_REMERGE_BUDGET_SECS, PERF_SPEEDUP_FLOOR, PERF_THREADS_SPEEDUP_FLOOR,
     SCALE_DELIVERY_FLOOR, SCALE_GATE_MIN_NODES, TRAFFIC_BASELINE_PROTOS,

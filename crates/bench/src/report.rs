@@ -63,6 +63,16 @@ pub struct ScenarioReport {
     /// the JSON document) for scenarios without scripted faults, keeping
     /// historical reports byte-stable.
     pub workload: Option<Json>,
+    /// Optional sim-time metrics timeline: periodic snapshots (head
+    /// census, cumulative delivery, backlog, memory) that make transient
+    /// claims — e.g. "re-merge within 5 s of heal" — derivable from the
+    /// report itself. Deterministic; absent from the JSON when `None`.
+    pub timeline: Option<Json>,
+    /// Optional wall-clock engine profile (parallel drain / serial
+    /// commit / barrier phase times, per-lane busy time).
+    /// **Non-deterministic**: excluded from golden and trajectory
+    /// comparisons, which read only `rows`. Absent when `None`.
+    pub profile: Option<Json>,
     /// The measurements.
     pub rows: Vec<Row>,
 }
@@ -79,6 +89,12 @@ impl ScenarioReport {
         ];
         if let Some(w) = &self.workload {
             fields.push(("workload".into(), w.clone()));
+        }
+        if let Some(t) = &self.timeline {
+            fields.push(("timeline".into(), t.clone()));
+        }
+        if let Some(p) = &self.profile {
+            fields.push(("profile".into(), p.clone()));
         }
         fields.push((
             "rows".into(),
@@ -235,6 +251,8 @@ mod tests {
             smoke: false,
             threads: 1,
             workload: None,
+            timeline: None,
+            profile: None,
             rows: vec![Row::new(
                 "axis",
                 "n=1",
@@ -250,12 +268,23 @@ mod tests {
             !s.contains("\"workload\""),
             "absent workload keeps legacy reports byte-stable"
         );
+        assert!(
+            !s.contains("\"timeline\"") && !s.contains("\"profile\""),
+            "absent observability blocks keep legacy reports byte-stable"
+        );
         let with = ScenarioReport {
             workload: Some(Json::Obj(vec![("fault_plan".into(), Json::Arr(vec![]))])),
+            timeline: Some(Json::Obj(vec![("interval_secs".into(), Json::Num(5.0))])),
+            profile: Some(Json::Obj(vec![("windows".into(), Json::Num(10.0))])),
             ..rep
         };
         let s = with.to_json().to_string();
         assert!(s.contains("\"workload\""));
         assert!(s.contains("\"fault_plan\""));
+        let w = s.find("\"workload\"").unwrap();
+        let t = s.find("\"timeline\"").unwrap();
+        let p = s.find("\"profile\"").unwrap();
+        let r = s.find("\"rows\"").unwrap();
+        assert!(w < t && t < p && p < r, "stable block order");
     }
 }

@@ -2,13 +2,14 @@
 //! uniform metrics. Sweeps parallelise across (scenario, seed) with rayon —
 //! each simulation stays single-threaded and deterministic.
 
+use crate::report::Json;
 use crate::workload::{is_refresh_class, metrics_of, RunMetrics, Scenario, Workload};
 use hvdb_baselines::{
     DsmProtocol, FloodingProtocol, ParFlood, ParFloodMsg, ParFloodNode, SharedTreeProtocol,
     SpbmProtocol,
 };
 use hvdb_core::{HvdbConfig, HvdbProtocol};
-use hvdb_sim::{ParSimulator, Simulator};
+use hvdb_sim::{EngineProfile, ParSimulator, SimDuration, Simulator, Trace, TraceConfig};
 use rayon::prelude::*;
 
 /// The protocols under comparison.
@@ -98,6 +99,15 @@ pub struct RunDetail {
     /// Stale duplicates Byzantine replay nodes put on the air
     /// ([`hvdb_sim::Stats::byzantine_replayed`]).
     pub byzantine_replayed: u64,
+    /// Max/mean per-lane busy-time ratio from the parallel engine's
+    /// profiler (1.0 = perfectly balanced lanes; 0.0 for serial-engine
+    /// runs, which have no lanes). Wall-clock derived: report it, never
+    /// gate on it.
+    pub lane_imbalance: f64,
+    /// The parallel engine's wall-clock phase profile (`None` for
+    /// serial-engine runs). Non-deterministic; serialized via
+    /// [`profile_json`] into the report's excluded `profile` block.
+    pub engine_profile: Option<EngineProfile>,
 }
 
 /// Histogram-derived delivery profile of one run: the traffic scenario's
@@ -161,6 +171,8 @@ fn engine_detail<M: Clone>(sim: &Simulator<M>) -> RunDetail {
         drops_partitioned: sim.stats().drops_partitioned,
         byzantine_dropped: sim.stats().byzantine_dropped,
         byzantine_replayed: sim.stats().byzantine_replayed,
+        lane_imbalance: 0.0,
+        engine_profile: None,
     }
 }
 
@@ -281,6 +293,8 @@ pub fn run_par_flood(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDeta
         drops_partitioned: sim.stats().drops_partitioned,
         byzantine_dropped: sim.stats().byzantine_dropped,
         byzantine_replayed: sim.stats().byzantine_replayed,
+        lane_imbalance: sim.profile().lane_imbalance(),
+        engine_profile: Some(sim.profile().clone()),
     };
     (metrics_of(sim.stats()), detail)
 }
@@ -294,20 +308,36 @@ pub fn run_par_flood(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDeta
 /// thread count moves only wall-clock. This is the recipe behind the
 /// `scale` scenario's large-N rows and its `engine-threads` sweep.
 pub fn run_par_hvdb(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDetail) {
-    let mut sim: ParSimulator<hvdb_core::HvdbNode, hvdb_core::FrameBytes> = ParSimulator::new(
+    let mut sim = par_hvdb_sim(scenario, shards);
+    let core = par_hvdb_core(scenario);
+    sim.run(&core, scenario.until);
+    (metrics_of(sim.stats()), par_hvdb_detail(&sim))
+}
+
+/// The parallel-HVDB simulator type every par-engine runner drives.
+pub type ParHvdbSim = ParSimulator<hvdb_core::HvdbNode, hvdb_core::FrameBytes>;
+
+fn par_hvdb_sim(scenario: &Scenario, shards: usize) -> ParHvdbSim {
+    let mut sim: ParHvdbSim = ParSimulator::new(
         scenario.sim.clone(),
         scenario.hvdb_mobility(),
         shards,
         scenario.threads,
     );
     sim.inject_plan(&scenario.faults);
-    let core = hvdb_core::HvdbCore::new(
+    sim
+}
+
+fn par_hvdb_core(scenario: &Scenario) -> hvdb_core::HvdbCore {
+    hvdb_core::HvdbCore::new(
         scenario.hvdb.clone(),
         &scenario.members,
         scenario.traffic.clone(),
         scenario.group_events.clone(),
-    );
-    sim.run(&core, scenario.until);
+    )
+}
+
+fn par_hvdb_detail(sim: &ParHvdbSim) -> RunDetail {
     let n = sim.world().len().max(1);
     let mut counters = hvdb_core::Counters::default();
     let mut state_bytes = 0usize;
@@ -317,7 +347,7 @@ pub fn run_par_hvdb(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDetai
             state_bytes += node.memory_bytes();
         }
     }
-    let detail = RunDetail {
+    RunDetail {
         hvdb_counters: Some(counters),
         refresh_frames: sim.stats().msgs_where(is_refresh_class),
         events_processed: sim.stats().events_processed,
@@ -330,8 +360,227 @@ pub fn run_par_hvdb(scenario: &Scenario, shards: usize) -> (RunMetrics, RunDetai
         drops_partitioned: sim.stats().drops_partitioned,
         byzantine_dropped: sim.stats().byzantine_dropped,
         byzantine_replayed: sim.stats().byzantine_replayed,
-    };
-    (metrics_of(sim.stats()), detail)
+        lane_imbalance: sim.profile().lane_imbalance(),
+        engine_profile: Some(sim.profile().clone()),
+    }
+}
+
+/// One sim-time metrics snapshot of a running simulation: the timeline
+/// sampler's row material. All fields are cumulative-to-`t_secs` (or an
+/// instantaneous census, for `heads`), so transients like a partition's
+/// head-count spike and re-merge are derivable from consecutive samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineSample {
+    /// Simulation time of the snapshot, seconds.
+    pub t_secs: f64,
+    /// Instantaneous cluster-head census.
+    pub heads: u64,
+    /// Cumulative delivery ratio so far.
+    pub delivery: f64,
+    /// Cumulative control frames transmitted.
+    pub control_frames: u64,
+    /// Cumulative refresh-plane frames transmitted.
+    pub refresh_frames: u64,
+    /// Cumulative sends refused by the interface-queue cap (backlog
+    /// pressure indicator).
+    pub drops_queue_full: u64,
+    /// Cumulative protocol callbacks dispatched.
+    pub events_processed: u64,
+    /// Current content bytes of world + protocol state per node.
+    pub memory_per_node_bytes: f64,
+}
+
+/// Builds a snapshot from a serial simulation mid-run. `heads` and
+/// `memory_per_node_bytes` depend on the protocol's state shape, so the
+/// caller supplies them (e.g. `proto.cluster_heads().len()`).
+pub fn sample_serial<M: Clone>(
+    sim: &Simulator<M>,
+    heads: u64,
+    memory_per_node_bytes: f64,
+) -> TimelineSample {
+    let m = metrics_of(sim.stats());
+    TimelineSample {
+        t_secs: sim.now().0 as f64 / 1e6,
+        heads,
+        delivery: m.delivery,
+        control_frames: m.control_msgs,
+        refresh_frames: sim.stats().msgs_where(is_refresh_class),
+        drops_queue_full: sim.stats().drops_queue_full,
+        events_processed: sim.stats().events_processed,
+        memory_per_node_bytes,
+    }
+}
+
+/// Builds a snapshot from a parallel HVDB simulation mid-run.
+pub fn sample_par_hvdb(sim: &ParHvdbSim) -> TimelineSample {
+    let n = sim.world().len().max(1);
+    let mut heads = 0u64;
+    let mut state_bytes = 0usize;
+    for id in sim.world().ids().collect::<Vec<_>>() {
+        if let Some(node) = sim.node_state(id) {
+            if node.is_head() {
+                heads += 1;
+            }
+            state_bytes += node.memory_bytes();
+        }
+    }
+    let m = metrics_of(sim.stats());
+    TimelineSample {
+        t_secs: sim.now().0 as f64 / 1e6,
+        heads,
+        delivery: m.delivery,
+        control_frames: m.control_msgs,
+        refresh_frames: sim.stats().msgs_where(is_refresh_class),
+        drops_queue_full: sim.stats().drops_queue_full,
+        events_processed: sim.stats().events_processed,
+        memory_per_node_bytes: (sim.world().memory_bytes() + state_bytes) as f64 / n as f64,
+    }
+}
+
+/// Runs HVDB on the parallel engine exactly as [`run_par_hvdb`], but
+/// stepped at `interval` so a [`TimelineSample`] is taken at each step.
+/// Stepping a deterministic engine at fixed horizons does not change its
+/// event schedule, so metrics are byte-identical to the unstepped run.
+pub fn run_par_hvdb_timeline(
+    scenario: &Scenario,
+    shards: usize,
+    interval: SimDuration,
+) -> (RunMetrics, RunDetail, Vec<TimelineSample>) {
+    let mut sim = par_hvdb_sim(scenario, shards);
+    let core = par_hvdb_core(scenario);
+    let mut samples = Vec::new();
+    let mut t = hvdb_sim::SimTime::ZERO;
+    while t < scenario.until {
+        t = std::cmp::min(t + interval, scenario.until);
+        sim.run(&core, t);
+        samples.push(sample_par_hvdb(&sim));
+    }
+    (metrics_of(sim.stats()), par_hvdb_detail(&sim), samples)
+}
+
+/// Runs HVDB on the parallel engine with the structured trace enabled at
+/// `mask` and detailed profiling on, returning the usual outputs plus the
+/// Chrome trace-event document ([`chrome_trace_json`]) for `--trace-out`.
+pub fn run_par_hvdb_traced(
+    scenario: &Scenario,
+    shards: usize,
+    mask: u32,
+) -> (RunMetrics, RunDetail, Json) {
+    let mut sim = par_hvdb_sim(scenario, shards);
+    sim.set_trace(TraceConfig::with_mask(mask));
+    sim.set_profile_detail(true);
+    let core = par_hvdb_core(scenario);
+    sim.run(&core, scenario.until);
+    let doc = chrome_trace_json(sim.profile(), sim.trace());
+    (metrics_of(sim.stats()), par_hvdb_detail(&sim), doc)
+}
+
+/// Serializes a timeline as the report's `timeline` block: the sampling
+/// cadence, scenario-specific annotations (e.g. split/heal instants),
+/// and the sample series.
+pub fn timeline_json(
+    interval_secs: f64,
+    annotations: Vec<(String, Json)>,
+    samples: &[TimelineSample],
+) -> Json {
+    let mut fields = vec![("interval_secs".to_string(), Json::Num(interval_secs))];
+    fields.extend(annotations);
+    fields.push((
+        "samples".into(),
+        Json::Arr(
+            samples
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("t_secs".into(), Json::Num(s.t_secs)),
+                        ("heads".into(), Json::Num(s.heads as f64)),
+                        ("delivery".into(), Json::Num(s.delivery)),
+                        ("control_frames".into(), Json::Num(s.control_frames as f64)),
+                        ("refresh_frames".into(), Json::Num(s.refresh_frames as f64)),
+                        (
+                            "drops_queue_full".into(),
+                            Json::Num(s.drops_queue_full as f64),
+                        ),
+                        (
+                            "events_processed".into(),
+                            Json::Num(s.events_processed as f64),
+                        ),
+                        (
+                            "memory_per_node_bytes".into(),
+                            Json::Num(s.memory_per_node_bytes),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
+}
+
+/// Serializes an [`EngineProfile`] as the report's `profile` block —
+/// phase aggregates and lane busy times only (per-occurrence slices stay
+/// in the Chrome trace export). Wall-clock derived and therefore
+/// non-deterministic: `validate` accepts it structurally, golden and
+/// trajectory comparisons never read it.
+pub fn profile_json(profile: &EngineProfile) -> Json {
+    Json::Obj(vec![
+        ("windows".into(), Json::Num(profile.windows as f64)),
+        ("barriers".into(), Json::Num(profile.barriers as f64)),
+        ("drain_secs".into(), Json::Num(profile.drain_secs)),
+        ("commit_secs".into(), Json::Num(profile.commit_secs)),
+        ("barrier_secs".into(), Json::Num(profile.barrier_secs)),
+        (
+            "lane_busy_secs".into(),
+            Json::Arr(
+                profile
+                    .lane_busy_secs
+                    .iter()
+                    .map(|s| Json::Num(*s))
+                    .collect(),
+            ),
+        ),
+        ("lane_imbalance".into(), Json::Num(profile.lane_imbalance())),
+        (
+            "slices_dropped".into(),
+            Json::Num(profile.slices_dropped as f64),
+        ),
+    ])
+}
+
+/// Builds a Chrome trace-event (Perfetto-loadable) document from a run's
+/// profiler slices and structured trace. Profiler phases render as
+/// complete (`"X"`) slices under pid 1 (tid 0 = engine phases, tid ≥ 1 =
+/// lane index + 1, wall-clock µs); protocol trace events render as
+/// instants (`"i"`) under pid 2 with **sim-time** µs timestamps and
+/// tid = node id.
+pub fn chrome_trace_json(profile: &EngineProfile, trace: &Trace) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    for s in &profile.slices {
+        let tid = if s.lane == u32::MAX {
+            0.0
+        } else {
+            s.lane as f64 + 1.0
+        };
+        events.push(Json::Obj(vec![
+            ("name".into(), Json::Str(s.phase.into())),
+            ("ph".into(), Json::Str("X".into())),
+            ("ts".into(), Json::Num(s.start_us as f64)),
+            ("dur".into(), Json::Num(s.dur_us as f64)),
+            ("pid".into(), Json::Num(1.0)),
+            ("tid".into(), Json::Num(tid)),
+        ]));
+    }
+    for ev in trace.events() {
+        events.push(Json::Obj(vec![
+            ("name".into(), Json::Str(ev.kind.name().into())),
+            ("ph".into(), Json::Str("i".into())),
+            ("s".into(), Json::Str("g".into())),
+            ("ts".into(), Json::Num(ev.at.0 as f64)),
+            ("pid".into(), Json::Num(2.0)),
+            ("tid".into(), Json::Num(ev.node.0 as f64)),
+        ]));
+    }
+    Json::Obj(vec![("traceEvents".into(), Json::Arr(events))])
 }
 
 /// Builds the simulator for a run: fresh mobility instance plus the

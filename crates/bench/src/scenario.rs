@@ -18,8 +18,9 @@
 
 use crate::report::{Json, Row, ScenarioReport};
 use crate::runner::{
-    average, run_hvdb_tweaked, run_one, run_one_instrumented, run_par_flood, run_par_hvdb, Proto,
-    RunDetail, TrafficProfile,
+    average, profile_json, run_hvdb_tweaked, run_one, run_one_instrumented, run_par_flood,
+    run_par_hvdb, run_par_hvdb_timeline, sample_serial, timeline_json, Proto, RunDetail,
+    TimelineSample, TrafficProfile,
 };
 use crate::workload::{metrics_of, MobilityKind, RunMetrics, Scenario, Workload};
 use hvdb_core::{
@@ -85,6 +86,24 @@ pub enum Exec {
     /// `BENCH_<scenario>.json` records exactly which faults produced its
     /// numbers.
     CustomWithPlan(fn(&RunOpts) -> (Vec<Row>, Json)),
+    /// Bespoke logic returning the full observability bundle: rows plus
+    /// any of the optional report blocks (workload, deterministic
+    /// `timeline`, wall-clock `profile`).
+    Detailed(fn(&RunOpts) -> CustomOut),
+}
+
+/// Everything a [`Exec::Detailed`] scenario hands back to
+/// [`run_scenario`]: the rows plus the optional report blocks.
+#[derive(Default)]
+pub struct CustomOut {
+    /// The measurements.
+    pub rows: Vec<Row>,
+    /// Declarative workload block (e.g. the serialized fault plan).
+    pub workload: Option<Json>,
+    /// Deterministic sim-time metrics timeline.
+    pub timeline: Option<Json>,
+    /// Non-deterministic wall-clock engine profile.
+    pub profile: Option<Json>,
 }
 
 /// A registered experiment.
@@ -118,13 +137,13 @@ pub fn registry() -> Vec<ScenarioDef> {
             name: "scale",
             figure: "north-star",
             summary: "node-count sweep 100-20000 at constant density: delivery, latency, per-node control bytes + memory; large-N points and the engine-threads arm run HVDB on the sharded parallel engine (CI trajectory gate)",
-            exec: Exec::Custom(custom_scale),
+            exec: Exec::Detailed(custom_scale),
         },
         ScenarioDef {
             name: "perf",
             figure: "north-star",
             summary: "engine wall-clock throughput: shared-frame vs per-receiver-clone delivery on byte-identical workloads (events/s gate)",
-            exec: Exec::Custom(custom_perf),
+            exec: Exec::Detailed(custom_perf),
         },
         ScenarioDef {
             name: "overhead",
@@ -142,7 +161,7 @@ pub fn registry() -> Vec<ScenarioDef> {
             name: "partition",
             figure: "robustness",
             summary: "network split into two islands with later heal: reachable-delivery floor during the split, head-hierarchy re-merge time after it (CI fault-plane gate)",
-            exec: Exec::CustomWithPlan(custom_partition),
+            exec: Exec::Detailed(custom_partition),
         },
         ScenarioDef {
             name: "byzantine",
@@ -226,13 +245,24 @@ pub fn find(name: &str) -> Option<ScenarioDef> {
 
 /// Executes a scenario and packages the report.
 pub fn run_scenario(def: &ScenarioDef, opts: &RunOpts) -> ScenarioReport {
-    let (rows, workload) = match def.exec {
-        Exec::Sweeps(build) => (run_sweeps(build(opts), opts), None),
-        Exec::Custom(f) => (f(opts), None),
+    let out = match def.exec {
+        Exec::Sweeps(build) => CustomOut {
+            rows: run_sweeps(build(opts), opts),
+            ..CustomOut::default()
+        },
+        Exec::Custom(f) => CustomOut {
+            rows: f(opts),
+            ..CustomOut::default()
+        },
         Exec::CustomWithPlan(f) => {
             let (rows, workload) = f(opts);
-            (rows, Some(workload))
+            CustomOut {
+                rows,
+                workload: Some(workload),
+                ..CustomOut::default()
+            }
         }
+        Exec::Detailed(f) => f(opts),
     };
     ScenarioReport {
         scenario: def.name.into(),
@@ -240,8 +270,10 @@ pub fn run_scenario(def: &ScenarioDef, opts: &RunOpts) -> ScenarioReport {
         summary: def.summary.into(),
         smoke: opts.smoke,
         threads: opts.threads.max(1),
-        workload,
-        rows,
+        workload: out.workload,
+        timeline: out.timeline,
+        profile: out.profile,
+        rows: out.rows,
     }
 }
 
@@ -731,7 +763,13 @@ struct PartitionRun {
 /// ([`crate::validate::PARTITION_REACHABLE_DELIVERY_FLOOR`]) gates the
 /// steady number, matching the paper's claim about operation *within* a
 /// partition rather than about cut-transient losses.
-fn custom_partition(opts: &RunOpts) -> (Vec<Row>, Json) {
+///
+/// The report additionally carries a `timeline` block sampled from the
+/// first seed at the probe cadence: the head-census spike at the split
+/// and its decay after the heal become a replayable time-series, and the
+/// re-merge instant is independently derivable from it (the validator
+/// cross-checks the derived value against `remerge_secs_probe`).
+fn custom_partition(opts: &RunOpts) -> CustomOut {
     // Full run: split at 140 s (20 s into traffic), heal at 220 s, 100 s
     // of probe/cool-down after the heal. Smoke compresses everything to
     // a ~1-second pipeline check.
@@ -783,7 +821,8 @@ fn custom_partition(opts: &RunOpts) -> (Vec<Row>, Json) {
         seeds.truncate(1);
     }
     let boundary = base.side / 2.0;
-    let runs: Vec<(PartitionRun, FaultPlan)> = seeds
+    let first_seed = seeds[0];
+    let runs: Vec<(PartitionRun, FaultPlan, Vec<TimelineSample>)> = seeds
         .par_iter()
         .map(|&seed| {
             let w = Workload {
@@ -815,26 +854,42 @@ fn custom_partition(opts: &RunOpts) -> (Vec<Row>, Json) {
                 scenario.traffic.clone(),
                 scenario.group_events.clone(),
             );
-            sim.run(&mut proto, split_at);
-            let heads_pre = proto.cluster_heads().len();
-            sim.run(&mut proto, heal_at);
-            let heads_during = proto.cluster_heads().len();
-            // Probe the census after the heal until it falls back to the
-            // pre-split level (+10% tolerance — soft state may settle one
-            // or two heads off). No return within the horizon reports the
-            // full horizon, which the re-merge budget gate then fails.
-            let target = heads_pre + heads_pre / 10;
+            // One stepped drive at the probe cadence from t=0 to the end:
+            // every phase constant is a probe multiple by construction, so
+            // the stepped horizons hit `split_at`/`heal_at` exactly and the
+            // event schedule (hence every statistic) is identical to a
+            // single continuous run. Each step doubles as a timeline sample
+            // point (recorded for the first seed) and, after the heal, as a
+            // census probe: the re-merge instant is the first probe where
+            // the head count falls back to the pre-split level (+10%
+            // tolerance — soft state may settle one or two heads off). No
+            // return within the horizon reports the full horizon, which
+            // the re-merge budget gate then fails.
+            let sample_timeline = seed == first_seed;
+            let mut samples = Vec::new();
+            let mut heads_pre = 0usize;
+            let mut heads_during = 0usize;
             let mut remerge = None;
-            let mut t = heal_at;
+            let mut t = SimTime::ZERO;
             while t < scenario.until {
                 t = SimTime((t.0 + probe.0).min(scenario.until.0));
                 sim.run(&mut proto, t);
-                if proto.cluster_heads().len() <= target {
+                let heads = proto.cluster_heads().len();
+                if t == split_at {
+                    heads_pre = heads;
+                }
+                if t == heal_at {
+                    heads_during = heads;
+                }
+                if remerge.is_none() && t > heal_at && heads <= heads_pre + heads_pre / 10 {
                     remerge = Some((t.0 - heal_at.0) as f64 / 1e6);
-                    break;
+                }
+                if sample_timeline {
+                    let mem = (sim.world().memory_bytes() + proto.memory_bytes()) as f64
+                        / nodes.max(1) as f64;
+                    samples.push(sample_serial(&sim, heads as u64, mem));
                 }
             }
-            sim.run(&mut proto, scenario.until);
             let remerge_secs = remerge.unwrap_or((scenario.until.0 - heal_at.0) as f64 / 1e6);
             // Attribute each traffic item's deliveries to its phase.
             // Membership is static here (no churn), so ground truth is
@@ -893,13 +948,15 @@ fn custom_partition(opts: &RunOpts) -> (Vec<Row>, Json) {
                 drops_partitioned: sim.stats().drops_partitioned as f64,
                 remerge_secs,
             };
-            (run, plan)
+            (run, plan, samples)
         })
         .collect();
     // The workload block records the first seed's plan (islands are
-    // placement-derived, so the exact rosters vary per seed).
+    // placement-derived, so the exact rosters vary per seed); the
+    // timeline likewise carries the first seed's sample series.
     let plan = runs[0].1.clone();
-    let runs: Vec<PartitionRun> = runs.into_iter().map(|(r, _)| r).collect();
+    let samples = runs[0].2.clone();
+    let runs: Vec<PartitionRun> = runs.into_iter().map(|(r, _, _)| r).collect();
     let n = runs.len().max(1) as f64;
     let mean = |f: &dyn Fn(&PartitionRun) -> f64| runs.iter().map(f).sum::<f64>() / n;
     let worst_min =
@@ -947,7 +1004,28 @@ fn custom_partition(opts: &RunOpts) -> (Vec<Row>, Json) {
             ],
         ),
     ];
-    (rows, fault_plan_json(&plan))
+    // Timeline annotations pin the instants a reader (and the validator's
+    // cross-check) needs to re-derive the re-merge time from the series:
+    // `heads_target` and `remerge_secs_probe` are the first seed's values,
+    // matching the sampled series.
+    let first = &runs[0];
+    let heads_target = first.heads_pre + (first.heads_pre / 10.0).floor();
+    let timeline = timeline_json(
+        probe.0 as f64 / 1e6,
+        vec![
+            ("split_at_secs".into(), Json::Num(split_at.0 as f64 / 1e6)),
+            ("heal_at_secs".into(), Json::Num(heal_at.0 as f64 / 1e6)),
+            ("heads_target".into(), Json::Num(heads_target)),
+            ("remerge_secs_probe".into(), Json::Num(first.remerge_secs)),
+        ],
+        &samples,
+    );
+    CustomOut {
+        rows,
+        workload: Some(fault_plan_json(&plan)),
+        timeline: Some(timeline),
+        profile: None,
+    }
 }
 
 /// The `byzantine` scenario: k misbehaving nodes (selective forwarding,
@@ -1191,7 +1269,14 @@ fn scale_row(sweep: &str, label: String, proto: &str, chunk: &[ScaleRun]) -> Row
 ///   threads on the same workload: `events_processed` must be exactly
 ///   equal (the determinism contract on the real protocol, not just the
 ///   flooding benchmark).
-fn custom_scale(opts: &RunOpts) -> Vec<Row> {
+///
+/// The engine-threads runs are stepped at a fixed sampling cadence
+/// ([`run_par_hvdb_timeline`]; stepping a deterministic engine does not
+/// change its event schedule), and the multi-thread arm's first seed
+/// contributes the report's `timeline` block (head census and memory
+/// flatness over sim-time) plus the non-deterministic `profile` block
+/// (drain/commit/barrier phase split, per-lane busy time).
+fn custom_scale(opts: &RunOpts) -> CustomOut {
     let node_counts: Vec<usize> = if opts.smoke {
         vec![30, 40]
     } else {
@@ -1290,13 +1375,32 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
     // wall-clock must match exactly; validate gates `events_processed`
     // equality across the two rows.
     let et_nodes = if opts.smoke { 40 } else { 2000 };
+    // Both thread arms run stepped at the same cadence, so the
+    // events_processed equality gate compares like with like; the
+    // timeline/profile blocks come from the multi-thread arm's first
+    // seed.
+    const TIMELINE_STEPS: u64 = 16;
+    let mut timeline = None;
+    let mut profile = None;
     for &threads in &[1usize, multi] {
         let runs: Vec<ScaleRun> = seeds
             .iter()
             .map(|&seed| {
                 let scenario = scale_workload(et_nodes, seed, threads);
                 let secs = scenario.until.since(SimTime::ZERO).as_secs_f64();
-                let (m, detail) = run_par_hvdb(&scenario, PAR_SHARDS);
+                let interval = SimDuration((scenario.until.0 / TIMELINE_STEPS).max(1));
+                let (m, detail, samples) = run_par_hvdb_timeline(&scenario, PAR_SHARDS, interval);
+                if threads == multi && seed == seeds[0] {
+                    timeline = Some(timeline_json(
+                        interval.as_secs_f64(),
+                        vec![
+                            ("nodes".into(), Json::Num(et_nodes as f64)),
+                            ("threads".into(), Json::Num(threads as f64)),
+                        ],
+                        &samples,
+                    ));
+                    profile = detail.engine_profile.as_ref().map(profile_json);
+                }
                 (m, detail, secs, et_nodes)
             })
             .collect();
@@ -1307,7 +1411,12 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
             &runs,
         ));
     }
-    rows
+    CustomOut {
+        rows,
+        workload: None,
+        timeline,
+        profile,
+    }
 }
 
 /// The `perf` scenario: wall-clock throughput of the simulation engine
@@ -1338,7 +1447,13 @@ fn custom_scale(opts: &RunOpts) -> Vec<Row> {
 /// Smoke mode shrinks the node counts but keeps tens of simulated
 /// seconds (unlike [`Workload::smoke`]'s milliseconds): a wall-clock
 /// ratio needs enough work to rise above timer noise.
-fn custom_perf(opts: &RunOpts) -> Vec<Row> {
+///
+/// The engine-threads rows additionally report `lane_imbalance` —
+/// max/mean per-lane busy wall-time from the engine profiler, 1.0 being
+/// perfect balance. It is observational (never gated: wall-clock is
+/// machine-dependent); the multi-thread arm's first seed also
+/// contributes the report's non-deterministic `profile` block.
+fn custom_perf(opts: &RunOpts) -> CustomOut {
     let node_counts: Vec<usize> = if opts.smoke {
         vec![120]
     } else {
@@ -1427,11 +1542,13 @@ fn custom_perf(opts: &RunOpts) -> Vec<Row> {
     const PAR_SHARDS: usize = 16;
     let par_nodes = if opts.smoke { 120 } else { 600 };
     let multi = if opts.threads > 1 { opts.threads } else { 4 };
+    let mut profile = None;
     for &threads in &[1usize, multi] {
         let mut events = 0u64;
         let mut wall = 0.0f64;
         let mut sim_secs = 0.0f64;
         let mut delivery = 0.0f64;
+        let mut imbalance = 0.0f64;
         for &seed in &seeds {
             let w = Workload {
                 nodes: par_nodes,
@@ -1451,6 +1568,10 @@ fn custom_perf(opts: &RunOpts) -> Vec<Row> {
             wall += detail.wall_secs;
             sim_secs += detail.sim_secs;
             delivery += m.delivery;
+            imbalance += detail.lane_imbalance;
+            if threads == multi && seed == seeds[0] {
+                profile = detail.engine_profile.as_ref().map(profile_json);
+            }
         }
         rows.push(Row::new(
             "engine-threads",
@@ -1465,11 +1586,16 @@ fn custom_perf(opts: &RunOpts) -> Vec<Row> {
                 ("wall_ms".into(), wall * 1e3),
                 ("events_processed".into(), events as f64),
                 ("hardware_threads".into(), rayon::hardware_threads() as f64),
+                ("lane_imbalance".into(), imbalance / seeds.len() as f64),
                 ("delivery".into(), delivery / seeds.len() as f64),
             ],
         ));
     }
-    rows
+    CustomOut {
+        rows,
+        profile,
+        ..CustomOut::default()
+    }
 }
 
 /// The `overhead` scenario: control traffic vs membership-churn rate at a

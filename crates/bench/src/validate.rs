@@ -198,11 +198,13 @@ fn as_str<'a>(v: &'a Json, what: &str) -> Result<&'a str, String> {
 /// no unknown top-level or row keys, rows non-empty, metrics finite.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let fields = obj_fields(doc)?;
-    // "workload" is the one optional key: scenarios with a scripted
-    // fault plan serialize it; everything else omits it, keeping
-    // historical reports byte-stable.
-    const TOP: [&str; 7] = [
-        "scenario", "figure", "summary", "smoke", "threads", "workload", "rows",
+    // "workload", "timeline" and "profile" are the optional keys:
+    // scenarios with a scripted fault plan serialize the first, the
+    // observability scenarios add the latter two; everything else omits
+    // them, keeping historical reports byte-stable.
+    const TOP: [&str; 9] = [
+        "scenario", "figure", "summary", "smoke", "threads", "workload", "timeline", "profile",
+        "rows",
     ];
     for (k, _) in fields {
         if !TOP.contains(&k.as_str()) {
@@ -213,6 +215,12 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         if !matches!(v, Json::Obj(_)) {
             return Err(format!("workload: expected object, got {v:?}"));
         }
+    }
+    if let Some((_, v)) = fields.iter().find(|(k, _)| k == "timeline") {
+        validate_timeline(v).map_err(|e| format!("timeline: {e}"))?;
+    }
+    if let Some((_, v)) = fields.iter().find(|(k, _)| k == "profile") {
+        validate_profile(v).map_err(|e| format!("profile: {e}"))?;
     }
     let scenario = as_str(field(fields, "scenario")?, "scenario")?;
     if scenario.is_empty() {
@@ -277,6 +285,175 @@ fn validate_row(row: &Json) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Structural check of a report's optional `timeline` block: a positive
+/// sampling cadence and a non-empty sample series with strictly
+/// increasing `t_secs`. Annotation keys between `interval_secs` and
+/// `samples` are scenario-specific and pass through unchecked (their
+/// values must still be valid JSON by construction).
+fn validate_timeline(v: &Json) -> Result<(), String> {
+    let fields = obj_fields(v)?;
+    match field(fields, "interval_secs")? {
+        Json::Num(n) if *n > 0.0 && n.is_finite() => {}
+        other => {
+            return Err(format!(
+                "interval_secs: expected positive number, got {other:?}"
+            ))
+        }
+    }
+    let samples = match field(fields, "samples")? {
+        Json::Arr(s) => s,
+        other => return Err(format!("samples: expected array, got {other:?}")),
+    };
+    if samples.is_empty() {
+        return Err("empty sample series".into());
+    }
+    let mut prev = f64::NEG_INFINITY;
+    for (i, s) in samples.iter().enumerate() {
+        let sf = obj_fields(s).map_err(|e| format!("sample {i}: {e}"))?;
+        let t = match field(sf, "t_secs").map_err(|e| format!("sample {i}: {e}"))? {
+            Json::Num(t) if t.is_finite() => *t,
+            other => {
+                return Err(format!(
+                    "sample {i}: t_secs: expected number, got {other:?}"
+                ))
+            }
+        };
+        if t <= prev {
+            return Err(format!(
+                "sample {i}: t_secs {t} not increasing (prev {prev})"
+            ));
+        }
+        prev = t;
+        for key in [
+            "heads",
+            "delivery",
+            "control_frames",
+            "memory_per_node_bytes",
+        ] {
+            match field(sf, key).map_err(|e| format!("sample {i}: {e}"))? {
+                Json::Num(n) if n.is_finite() => {}
+                other => {
+                    return Err(format!(
+                        "sample {i}: {key}: expected finite number, got {other:?}"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Structural check of a report's optional `profile` block. Values are
+/// wall-clock derived and machine-dependent, so only shape and
+/// non-negativity are checked — never magnitudes.
+fn validate_profile(v: &Json) -> Result<(), String> {
+    let fields = obj_fields(v)?;
+    for key in ["windows", "drain_secs", "commit_secs", "barrier_secs"] {
+        match field(fields, key)? {
+            Json::Num(n) if *n >= 0.0 && n.is_finite() => {}
+            other => {
+                return Err(format!(
+                    "{key}: expected non-negative number, got {other:?}"
+                ))
+            }
+        }
+    }
+    match field(fields, "lane_busy_secs")? {
+        Json::Arr(lanes) => {
+            for lane in lanes {
+                match lane {
+                    Json::Num(n) if *n >= 0.0 && n.is_finite() => {}
+                    other => {
+                        return Err(format!(
+                            "lane_busy_secs: expected non-negative number, got {other:?}"
+                        ))
+                    }
+                }
+            }
+        }
+        other => return Err(format!("lane_busy_secs: expected array, got {other:?}")),
+    }
+    Ok(())
+}
+
+/// Cross-checks a `partition` report's `timeline` block against its
+/// probe-loop measurement: the re-merge instant *derived from the sample
+/// series* (first sample after `heal_at_secs` whose head census is at or
+/// below `heads_target`) must equal the `remerge_secs_probe` annotation
+/// the run measured directly. A report without a timeline passes — the
+/// block is optional and legacy reports predate it.
+///
+/// This is the point of the timeline plane: a transient claim like
+/// "re-merge in 5 s" stops being a number the harness asserts and starts
+/// being a curve anyone can re-derive from the committed report.
+pub fn check_partition_timeline(doc: &Json) -> Result<Option<f64>, String> {
+    let fields = obj_fields(doc)?;
+    let Some((_, tl)) = fields.iter().find(|(k, _)| k == "timeline") else {
+        return Ok(None);
+    };
+    let tf = obj_fields(tl)?;
+    let num = |key: &str| -> Result<f64, String> {
+        match field(tf, key)? {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("timeline {key}: expected number, got {other:?}")),
+        }
+    };
+    let heal_at = num("heal_at_secs")?;
+    let target = num("heads_target")?;
+    let measured = num("remerge_secs_probe")?;
+    let Json::Arr(samples) = field(tf, "samples")? else {
+        return Err("timeline samples: expected array".into());
+    };
+    let mut derived = None;
+    for s in samples {
+        let sf = obj_fields(s)?;
+        let (Ok(Json::Num(t)), Ok(Json::Num(heads))) = (field(sf, "t_secs"), field(sf, "heads"))
+        else {
+            return Err("timeline sample missing t_secs/heads".into());
+        };
+        if *t > heal_at && *heads <= target {
+            derived = Some(t - heal_at);
+            break;
+        }
+    }
+    let Some(derived) = derived else {
+        return Err(format!(
+            "timeline never returns to heads_target {target} after heal_at {heal_at}s \
+             (probe measured {measured}s)"
+        ));
+    };
+    // The probe loop and the sampler observe the same stepped run at the
+    // same cadence, so the two numbers must agree exactly (both are
+    // probe-multiples; compare with a float hair of slack).
+    if (derived - measured).abs() > 1e-9 {
+        return Err(format!(
+            "re-merge derived from timeline ({derived}s) disagrees with probe measurement \
+             ({measured}s)"
+        ));
+    }
+    Ok(Some(derived))
+}
+
+/// The metrics CI gates read for a given scenario, for tooling
+/// (`hvdb-bench list --json`) and the job matrix. Scenarios not listed
+/// here are schema-validated only.
+pub fn gated_metrics(scenario: &str) -> &'static [&'static str] {
+    match scenario {
+        "loss" => &["delivery_worst"],
+        "overhead" => &["refresh_frames_per_s", "control_frames_per_s"],
+        "perf" => &["events_per_s", "events_processed"],
+        "traffic" => &["delivery", "p99_ms"],
+        "scale" => &["delivery", "events_processed"],
+        "partition" => &[
+            "delivery_reachable_steady_worst",
+            "remerge_secs_worst",
+            "drops_partitioned",
+        ],
+        "byzantine" => &["damage_per_node"],
+        _ => &[],
+    }
 }
 
 /// Reads a metric from the row matching `(sweep, label, proto)`.
@@ -652,6 +829,13 @@ pub fn check_partition_gate(doc: &Json) -> Result<Vec<String>, String> {
     notes.push(format!(
         "re-merge {remerge:.1} s <= {PARTITION_REMERGE_BUDGET_SECS:.0} s budget"
     ));
+    match check_partition_timeline(doc)? {
+        Some(derived) => notes.push(format!(
+            "timeline cross-check: re-merge {derived:.1} s re-derived from the sample series \
+             matches the probe measurement"
+        )),
+        None => notes.push("no timeline block (legacy report): cross-check skipped".into()),
+    }
     Ok(notes)
 }
 
@@ -1160,6 +1344,48 @@ mod tests {
             smoke: false,
             threads: 1,
             workload: None,
+            timeline: None,
+            profile: None,
+            rows,
+        }
+        .to_json()
+        .to_string()
+    }
+
+    fn sample(t: f64, heads: f64) -> Json {
+        Json::Obj(vec![
+            ("t_secs".into(), Json::Num(t)),
+            ("heads".into(), Json::Num(heads)),
+            ("delivery".into(), Json::Num(1.0)),
+            ("control_frames".into(), Json::Num(10.0)),
+            ("memory_per_node_bytes".into(), Json::Num(100.0)),
+        ])
+    }
+
+    fn timeline_block(annotations: &[(&str, f64)], samples: Vec<Json>) -> Json {
+        let mut fields = vec![("interval_secs".to_string(), Json::Num(1.0))];
+        for (k, v) in annotations {
+            fields.push((k.to_string(), Json::Num(*v)));
+        }
+        fields.push(("samples".into(), Json::Arr(samples)));
+        Json::Obj(fields)
+    }
+
+    fn report_with_blocks(
+        scenario: &str,
+        rows: Vec<Row>,
+        timeline: Option<Json>,
+        profile: Option<Json>,
+    ) -> String {
+        ScenarioReport {
+            scenario: scenario.into(),
+            figure: "Fig. X".into(),
+            summary: "s".into(),
+            smoke: false,
+            threads: 1,
+            workload: None,
+            timeline,
+            profile,
             rows,
         }
         .to_json()
@@ -1182,6 +1408,131 @@ mod tests {
             metric_of(&doc, "frame-loss", "loss=0.15", "hvdb", "delivery_worst"),
             Some(0.93)
         );
+    }
+
+    fn any_rows() -> Vec<Row> {
+        vec![Row::new(
+            "axis",
+            "n=1",
+            "hvdb",
+            vec![("delivery".into(), 1.0)],
+        )]
+    }
+
+    #[test]
+    fn timeline_block_is_schema_checked() {
+        let good = timeline_block(&[], vec![sample(1.0, 5.0), sample(2.0, 4.0)]);
+        let s = report_with_blocks("x", any_rows(), Some(good), None);
+        validate_report_str(&s).expect("valid timeline accepted");
+
+        // Non-increasing t_secs.
+        let bad = timeline_block(&[], vec![sample(2.0, 5.0), sample(2.0, 4.0)]);
+        let s = report_with_blocks("x", any_rows(), Some(bad), None);
+        assert!(validate_report_str(&s).unwrap_err().contains("t_secs"));
+
+        // Empty series.
+        let bad = timeline_block(&[], vec![]);
+        let s = report_with_blocks("x", any_rows(), Some(bad), None);
+        assert!(validate_report_str(&s)
+            .unwrap_err()
+            .contains("empty sample"));
+
+        // Sample missing a required field.
+        let bad = timeline_block(
+            &[],
+            vec![Json::Obj(vec![("t_secs".into(), Json::Num(1.0))])],
+        );
+        let s = report_with_blocks("x", any_rows(), Some(bad), None);
+        assert!(validate_report_str(&s).is_err());
+    }
+
+    #[test]
+    fn profile_block_is_schema_checked() {
+        let good = Json::Obj(vec![
+            ("windows".into(), Json::Num(8.0)),
+            ("drain_secs".into(), Json::Num(0.5)),
+            ("commit_secs".into(), Json::Num(0.2)),
+            ("barrier_secs".into(), Json::Num(0.0)),
+            (
+                "lane_busy_secs".into(),
+                Json::Arr(vec![Json::Num(0.2), Json::Num(0.3)]),
+            ),
+        ]);
+        let s = report_with_blocks("x", any_rows(), None, Some(good));
+        validate_report_str(&s).expect("valid profile accepted");
+
+        let bad = Json::Obj(vec![
+            ("windows".into(), Json::Num(8.0)),
+            ("drain_secs".into(), Json::Num(-1.0)),
+            ("commit_secs".into(), Json::Num(0.2)),
+            ("barrier_secs".into(), Json::Num(0.0)),
+            ("lane_busy_secs".into(), Json::Arr(vec![])),
+        ]);
+        let s = report_with_blocks("x", any_rows(), None, Some(bad));
+        assert!(validate_report_str(&s).unwrap_err().contains("drain_secs"));
+    }
+
+    #[test]
+    fn partition_timeline_cross_check_derives_the_same_remerge() {
+        // Heal at t=3; census returns to the target (5) at t=5 → derived
+        // re-merge 2 s, matching the probe annotation.
+        let tl = timeline_block(
+            &[
+                ("split_at_secs", 1.0),
+                ("heal_at_secs", 3.0),
+                ("heads_target", 5.0),
+                ("remerge_secs_probe", 2.0),
+            ],
+            vec![
+                sample(1.0, 5.0),
+                sample(2.0, 9.0),
+                sample(3.0, 9.0),
+                sample(4.0, 8.0),
+                sample(5.0, 5.0),
+                sample(6.0, 5.0),
+            ],
+        );
+        let s = report_with_blocks("partition", any_rows(), Some(tl), None);
+        let doc = validate_report_str(&s).unwrap();
+        assert_eq!(check_partition_timeline(&doc).unwrap(), Some(2.0));
+
+        // A report without the block passes (legacy reports predate it).
+        let s = report("partition", any_rows());
+        let doc = validate_report_str(&s).unwrap();
+        assert_eq!(check_partition_timeline(&doc).unwrap(), None);
+    }
+
+    #[test]
+    fn partition_timeline_cross_check_rejects_disagreement() {
+        // Derived re-merge is 2 s but the probe annotation claims 4 s.
+        let tl = timeline_block(
+            &[
+                ("heal_at_secs", 3.0),
+                ("heads_target", 5.0),
+                ("remerge_secs_probe", 4.0),
+            ],
+            vec![sample(3.0, 9.0), sample(5.0, 5.0)],
+        );
+        let s = report_with_blocks("partition", any_rows(), Some(tl), None);
+        let doc = validate_report_str(&s).unwrap();
+        assert!(check_partition_timeline(&doc)
+            .unwrap_err()
+            .contains("disagrees"));
+
+        // Census never returns to the target.
+        let tl = timeline_block(
+            &[
+                ("heal_at_secs", 3.0),
+                ("heads_target", 5.0),
+                ("remerge_secs_probe", 2.0),
+            ],
+            vec![sample(3.0, 9.0), sample(5.0, 9.0)],
+        );
+        let s = report_with_blocks("partition", any_rows(), Some(tl), None);
+        let doc = validate_report_str(&s).unwrap();
+        assert!(check_partition_timeline(&doc)
+            .unwrap_err()
+            .contains("never returns"));
     }
 
     #[test]
@@ -1273,6 +1624,8 @@ mod tests {
             smoke: true,
             threads: 1,
             workload: None,
+            timeline: None,
+            profile: None,
             rows: vec![Row::new(
                 "frame-loss",
                 LOSS_GATE_POINT,
@@ -1722,7 +2075,9 @@ mod tests {
     fn partition_gate_enforces_floor_and_remerge_budget() {
         let ok = report("partition", partition_rows(0.99, 10.0));
         let doc = validate_report_str(&ok).unwrap();
-        assert_eq!(check_partition_gate(&doc).expect("passes").len(), 2);
+        // Two numeric gates plus the timeline cross-check note (skipped
+        // here: the synthetic report has no timeline block).
+        assert_eq!(check_partition_gate(&doc).expect("passes").len(), 3);
         // Reachable delivery under the floor.
         let bad = report(
             "partition",

@@ -57,7 +57,8 @@ use hvdb_geo::{Hid, Hnid, LogicalAddress, VcId};
 use hvdb_hypercube::{multicast_tree, IncompleteHypercube, MulticastTree};
 use hvdb_sim::georoute;
 use hvdb_sim::{
-    Capability, Ctx, NodeId, ParCtx, ParProtocol, ProtoCtx, Protocol, SimDuration, SimTime, World,
+    Capability, Ctx, NodeId, ParCtx, ParProtocol, ProtoCtx, Protocol, SimDuration, SimTime,
+    TraceKind, World,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -696,6 +697,9 @@ impl HvdbCore {
         };
         if let Some(old_vc) = retired_vc {
             st.role = Role::Member;
+            ctx.trace(TraceKind::HeadRetire {
+                vc: (old_vc.row, old_vc.col),
+            });
             let frame = self.seal(HvdbMsg::ChRetire { vc: old_vc });
             ctx.broadcast_frame(node, frame);
         }
@@ -706,6 +710,9 @@ impl HvdbCore {
                 Some(best) if !score.beats(best) => {}
                 _ => st.best_cand = Some(score),
             }
+            ctx.trace(TraceKind::ElectionStart {
+                vc: (vc.row, vc.col),
+            });
             let frame = self.seal(HvdbMsg::Candidacy { vc, score });
             ctx.broadcast_frame(node, frame);
             // Decision fires 40% into the round.
@@ -772,6 +779,10 @@ impl HvdbCore {
         };
         if let Some((mnt_gen, ht_gen, locals, hts)) = handover {
             st.role = Role::Member;
+            ctx.trace(TraceKind::StandDown {
+                vc: (vc.row, vc.col),
+                to: rival.0,
+            });
             let frame = self.seal(HvdbMsg::Handover {
                 vc,
                 mnt_gen,
@@ -822,6 +833,9 @@ impl HvdbCore {
             if let Some(ho) = st.pending_handover.take() {
                 if ho.vc == my_vc {
                     Self::apply_handover(st, ctx.now(), *ho);
+                    ctx.trace(TraceKind::HandoverApplied {
+                        vc: (my_vc.row, my_vc.col),
+                    });
                 }
             }
             // A fresh win mints the next designation term; re-wins of a
@@ -839,6 +853,10 @@ impl HvdbCore {
                 // re-announce at the floor rate until things settle.
                 h.refresh_dsg.on_activity();
             }
+            ctx.trace(TraceKind::ElectionWin {
+                vc: (my_vc.row, my_vc.col),
+                term,
+            });
             let frame = self.seal(HvdbMsg::ChAnnounce { vc: my_vc, term });
             ctx.broadcast_frame(node, frame);
         } else if was_head {
@@ -1281,6 +1299,7 @@ impl HvdbCore {
                         );
                         if ctx.send_frame_reliable(node, NodeId(holder), frame) {
                             st.counters.stamp_hints_sent += 1;
+                            ctx.trace(TraceKind::StampHint);
                         }
                     }
                 }
@@ -2084,6 +2103,9 @@ impl HvdbCore {
                 };
                 if matches!(&st.role, Role::Head(h) if h.vc == vc) {
                     Self::apply_handover(st, now, ho);
+                    ctx.trace(TraceKind::HandoverApplied {
+                        vc: (vc.row, vc.col),
+                    });
                 } else if st.my_vc == vc {
                     // Our decide timer has not fired yet: keep the state
                     // until the win it belongs to actually happens.

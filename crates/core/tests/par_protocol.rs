@@ -23,8 +23,8 @@
 use hvdb_core::{FrameBytes, GroupId, HvdbConfig, HvdbCore, HvdbNode, HvdbProtocol, TrafficItem};
 use hvdb_geo::{Aabb, Point, Vec2};
 use hvdb_sim::{
-    FaultPlan, NodeId, ParSimulator, RadioConfig, RandomWaypoint, SimConfig, SimDuration, SimTime,
-    Simulator, Stationary,
+    trace, ByzantineMode, FaultPlan, NodeId, ParSimulator, RadioConfig, RandomWaypoint, SimConfig,
+    SimDuration, SimTime, Simulator, Stationary, TraceConfig,
 };
 
 const NODES: usize = 74; // 64 VC-centre nodes + 10 extras.
@@ -235,6 +235,128 @@ fn head_handover_with_member_fail_in_one_window() {
         format!("{:?}", sim.stats())
     };
     assert_eq!(run(1), run(4), "failure window broke thread invariance");
+}
+
+/// One scripted injection of every fault kind, timed after clustering
+/// settles so each lands on a live, structured network.
+fn every_kind_plan() -> FaultPlan {
+    let west: Vec<NodeId> = (0..NODES as u32 / 2).map(NodeId).collect();
+    let east: Vec<NodeId> = (NODES as u32 / 2..NODES as u32).map(NodeId).collect();
+    FaultPlan::new()
+        .fail(SimTime::from_secs(38), NodeId(9))
+        .partition(SimTime::from_secs(39), vec![west, east])
+        .byzantine(
+            SimTime::from_secs(40),
+            NodeId(5),
+            ByzantineMode::SelectiveForward { drop_prob: 0.5 },
+        )
+        .clock_skew(SimTime::from_secs(41), NodeId(7), 1_500)
+        .position_error(
+            SimTime::from_secs(41) + SimDuration::from_micros(100),
+            NodeId(12),
+            Vec2::new(30.0, -20.0),
+        )
+        .fail_region(SimTime::from_secs(42), Point::new(400.0, 400.0), 120.0)
+        .heal(SimTime::from_secs(43))
+        .recover(SimTime::from_secs(44), NodeId(9))
+}
+
+/// The `FAULT` trace category is recorded by the engines themselves from
+/// the scripted plan — no RNG — so on the paper geometry the serial and
+/// parallel engines must render **byte-identical** fault traces, at every
+/// thread count. (Protocol-emitted categories use engine-specific RNG
+/// stream layouts and are only thread-invariant, not cross-engine
+/// comparable; see `hvdb_sim::trace`.)
+#[test]
+fn fault_trace_is_byte_identical_across_engines() {
+    let plan = every_kind_plan();
+
+    let serial = {
+        let (cfg, members, traffic) = scripted();
+        let mut sim: Simulator<FrameBytes> = Simulator::new(
+            sim_cfg(cfg.grid.area(), 11, SimDuration::ZERO),
+            Box::new(Stationary),
+        );
+        place_fig2(&cfg, |id, p| sim.world_mut().set_motion(id, p, Vec2::ZERO));
+        sim.world_mut().rebuild_index();
+        sim.set_trace(TraceConfig::with_mask(trace::FAULT));
+        sim.inject_plan(&plan);
+        let mut proto = HvdbProtocol::new(cfg, &members, traffic, vec![]);
+        sim.run(&mut proto, SimTime::from_secs(50));
+        assert_eq!(
+            sim.trace().len(),
+            plan.events().len(),
+            "each scripted fault must record exactly one trace event"
+        );
+        sim.trace().render()
+    };
+
+    let par = |threads: usize| {
+        let (cfg, members, traffic) = scripted();
+        let mut sim: ParSimulator<HvdbNode, FrameBytes> = ParSimulator::new(
+            sim_cfg(cfg.grid.area(), 11, SimDuration::ZERO),
+            Box::new(Stationary),
+            8,
+            threads,
+        );
+        place_fig2(&cfg, |id, p| sim.world_mut().set_motion(id, p, Vec2::ZERO));
+        sim.world_mut().rebuild_index();
+        sim.set_trace(TraceConfig::with_mask(trace::FAULT));
+        sim.inject_plan(&plan);
+        let core = HvdbCore::new(cfg, &members, traffic, vec![]);
+        sim.run(&core, SimTime::from_secs(50));
+        sim.trace().render()
+    };
+
+    for needle in [
+        "NodeFailed",
+        "NodeRecovered",
+        "PartitionApplied { islands: 2 }",
+        "PartitionHealed",
+        "ByzantineSet",
+        "ClockSkewSet { skew_us: 1500 }",
+        "PositionErrorSet",
+        "RegionFailed",
+    ] {
+        assert!(
+            serial.contains(needle),
+            "serial fault trace is missing {needle}:\n{serial}"
+        );
+    }
+    let par4 = par(4);
+    assert_eq!(serial, par4, "serial and parallel fault traces diverged");
+    assert_eq!(par4, par(1), "parallel fault trace depends on thread count");
+    assert_eq!(par4, par(2), "parallel fault trace depends on thread count");
+}
+
+/// Full-category trace on the full HVDB protocol: the shard-buffer merge
+/// keys on `(time, node)`, which the worker-thread count cannot colour —
+/// the rendered trace must be byte-identical across threads 1/2/4.
+#[test]
+fn hvdb_trace_is_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let (cfg, members, traffic) = scripted();
+        let mut sim: ParSimulator<HvdbNode, FrameBytes> = ParSimulator::new(
+            sim_cfg(cfg.grid.area(), 23, SimDuration::ZERO),
+            Box::new(Stationary),
+            8,
+            threads,
+        );
+        place_fig2(&cfg, |id, p| sim.world_mut().set_motion(id, p, Vec2::ZERO));
+        sim.world_mut().rebuild_index();
+        sim.set_trace(TraceConfig::all());
+        let core = HvdbCore::new(cfg, &members, traffic, vec![]);
+        sim.run(&core, SimTime::from_secs(50));
+        sim.trace().render()
+    };
+    let one = run(1);
+    // Every protocol plane actually emitted: elections, soft-state
+    // refresh, and the data path end to end.
+    for needle in ["ElectionWin", "RefreshSent", "FlowOrigin", "Delivered"] {
+        assert!(one.contains(needle), "trace never recorded {needle}");
+    }
+    assert_eq!(one, run(2), "threads=2 changed the trace bytes");
+    assert_eq!(one, run(4), "threads=4 changed the trace bytes");
 }
 
 /// Shared-payload (`DeliverMany`) frames cross shard boundaries while

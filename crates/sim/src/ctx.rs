@@ -23,11 +23,19 @@
 //! * **Delivery bookkeeping.** Serial stats mutate in place; parallel
 //!   stats buffer into per-shard deltas replayed at commit. The
 //!   `record_*` family hides that distinction.
+//! * **Tracing.** [`ProtoCtx::trace`] records structured
+//!   [`crate::trace`] events: the serial engine appends to its ring in
+//!   place, the parallel engine buffers per shard and merges in
+//!   `(time, node)` order at commit. Because protocol randomness differs
+//!   between the engines (above), protocol-emitted trace categories are
+//!   engine-specific; only the engine-recorded `FAULT` category is
+//!   byte-comparable across the two.
 
 use crate::engine::Ctx;
 use crate::node::{Capability, NodeId};
 use crate::par::ParCtx;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceKind;
 use hvdb_geo::{Aabb, Point, Vec2};
 
 /// The protocol-facing context surface common to [`Ctx`] and [`ParCtx`].
@@ -130,6 +138,15 @@ pub trait ProtoCtx {
     fn record_refresh_rate(&mut self, interval_ticks: u32);
     /// Counts `n` soft-state entries dropped by timeout expiry.
     fn record_soft_expired(&mut self, n: u64);
+
+    /// The active trace-category mask (see [`crate::trace`]); 0 when
+    /// tracing is off. Test this before assembling an expensive payload.
+    fn trace_mask(&self) -> u32 {
+        0
+    }
+    /// Records a structured trace event at the current node. A no-op
+    /// (single mask test) when the event's category is not enabled.
+    fn trace(&mut self, _kind: TraceKind) {}
 }
 
 impl<M: Clone> ProtoCtx for Ctx<'_, M> {
@@ -233,6 +250,12 @@ impl<M: Clone> ProtoCtx for Ctx<'_, M> {
     fn record_soft_expired(&mut self, n: u64) {
         Ctx::record_soft_expired(self, n)
     }
+    fn trace_mask(&self) -> u32 {
+        Ctx::trace_mask(self)
+    }
+    fn trace(&mut self, kind: TraceKind) {
+        Ctx::trace(self, kind)
+    }
 }
 
 impl<M: Clone> ProtoCtx for ParCtx<'_, M> {
@@ -335,5 +358,11 @@ impl<M: Clone> ProtoCtx for ParCtx<'_, M> {
     }
     fn record_soft_expired(&mut self, n: u64) {
         ParCtx::record_soft_expired(self, n)
+    }
+    fn trace_mask(&self) -> u32 {
+        ParCtx::trace_mask(self)
+    }
+    fn trace(&mut self, kind: TraceKind) {
+        ParCtx::trace(self, kind)
     }
 }

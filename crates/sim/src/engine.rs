@@ -18,6 +18,7 @@ use crate::radio::RadioConfig;
 use crate::rng::SimRng;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{self, Trace, TraceConfig, TraceKind};
 use crate::world::World;
 use hvdb_geo::{Aabb, Point, Vec2};
 use serde::{Deserialize, Serialize};
@@ -113,6 +114,7 @@ pub struct Ctx<'a, M> {
     raw_scratch: &'a mut Vec<u32>,
     recv_pool: &'a mut Vec<Vec<NodeId>>,
     per_receiver_delivery: bool,
+    trace: &'a mut Trace,
 }
 
 impl<'a, M: Clone> Ctx<'a, M> {
@@ -538,6 +540,7 @@ impl<'a, M: Clone> Ctx<'a, M> {
     pub fn record_origin_flow(&mut self, data_id: u64, expected: u64, flow: u32, seq: u32) {
         self.stats
             .record_origin_flow(data_id, self.now, expected, flow, seq);
+        self.trace(TraceKind::FlowOrigin { flow, seq });
     }
 
     /// Records a data-packet delivery at `node`.
@@ -551,23 +554,27 @@ impl<'a, M: Clone> Ctx<'a, M> {
     pub fn record_delivery_hops(&mut self, data_id: u64, node: NodeId, hops: u32) {
         self.stats
             .record_delivery_hops(data_id, node, self.now, hops);
+        self.trace_for(node, TraceKind::Delivered { hops });
     }
 
     /// Counts one control transmission originated by a soft-state refresh
     /// timer (periodic re-advertisement rather than a state change).
     pub fn record_refresh_tx(&mut self) {
         self.stats.soft_refresh_msgs += 1;
+        self.trace(TraceKind::RefreshSent);
     }
 
     /// Counts one received soft-state update suppressed as stale.
     pub fn record_stale_suppressed(&mut self) {
         self.stats.soft_stale_suppressed += 1;
+        self.trace(TraceKind::StaleSuppressed);
     }
 
     /// Counts `n` refresh broadcasts withheld by the adaptive refresh
     /// controller (backed-off store on a fired tick).
     pub fn record_refresh_suppressed(&mut self, n: u64) {
         self.stats.soft_refresh_suppressed += n;
+        self.trace(TraceKind::RefreshSuppressed { n });
     }
 
     /// Records one fired refresh at the store's current interval (in
@@ -583,11 +590,35 @@ impl<'a, M: Clone> Ctx<'a, M> {
     /// Counts `n` soft-state entries expired after K missed refreshes.
     pub fn record_soft_expired(&mut self, n: u64) {
         self.stats.soft_expired += n;
+        if n > 0 {
+            self.trace(TraceKind::SoftExpired { n });
+        }
     }
 
     /// Read access to the running statistics.
     pub fn stats(&self) -> &Stats {
         self.stats
+    }
+
+    /// The active trace-category mask (0 = tracing off). Protocols may
+    /// test this before assembling an expensive event payload.
+    #[inline]
+    pub fn trace_mask(&self) -> u32 {
+        self.trace.mask()
+    }
+
+    /// Records a structured trace event at the current node with *true*
+    /// engine time (a single mask test when the category is off).
+    #[inline]
+    pub fn trace(&mut self, kind: TraceKind) {
+        self.trace.record(self.now, self.current, kind);
+    }
+
+    /// Records a structured trace event attributed to `node` (delivery
+    /// milestones land at the receiver, not the dispatching node).
+    #[inline]
+    pub fn trace_for(&mut self, node: NodeId, kind: TraceKind) {
+        self.trace.record(self.now, node, kind);
     }
 }
 
@@ -606,6 +637,7 @@ pub struct Simulator<M> {
     recv_pool: Vec<Vec<NodeId>>,
     wall_secs: f64,
     sim_secs: f64,
+    trace: Trace,
 }
 
 impl<M: Clone> Simulator<M> {
@@ -640,6 +672,7 @@ impl<M: Clone> Simulator<M> {
             recv_pool: Vec::new(),
             wall_secs: 0.0,
             sim_secs: 0.0,
+            trace: Trace::default(),
         }
     }
 
@@ -689,6 +722,20 @@ impl<M: Clone> Simulator<M> {
     /// The collected statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Enables (or reconfigures) the structured protocol trace. Call
+    /// before `run`; reconfiguring clears previously recorded events.
+    /// Tracing is off by default and adds no RNG draws and no events —
+    /// runs replay bit-identically with it on or off.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.trace.configure(cfg);
+    }
+
+    /// The recorded structured trace (empty unless enabled via
+    /// [`Simulator::set_trace`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Injects one fault into the schedule — the single entry point of
@@ -750,6 +797,7 @@ impl<M: Clone> Simulator<M> {
                     raw_scratch: &mut self.raw_scratch,
                     recv_pool: &mut self.recv_pool,
                     per_receiver_delivery: self.cfg.per_receiver_delivery,
+                    trace: &mut self.trace,
                 }
             };
         }
@@ -824,22 +872,43 @@ impl<M: Clone> Simulator<M> {
                     // of how many nodes it touches — keeps the events/s
                     // denominator comparable across fault plans.
                     self.stats.events_processed += 1;
+                    // Fault injections are recorded into the structured
+                    // trace by the engine itself (before any protocol
+                    // callback they trigger): scripted and RNG-free, so
+                    // the `FAULT` category is byte-comparable between
+                    // the serial and parallel engines.
                     match kind {
                         FaultKind::Fail(node) => {
+                            self.trace.record(self.now, node, TraceKind::NodeFailed);
                             self.world.set_alive(node, false);
                             let mut ctx = ctx!(self.now, node);
                             proto.on_fail(node, &mut ctx);
                         }
                         FaultKind::Recover(node) => {
+                            self.trace.record(self.now, node, TraceKind::NodeRecovered);
                             self.world.set_alive(node, true);
                             self.world.set_busy_until(node, self.now);
                             let mut ctx = ctx!(self.now, node);
                             proto.on_recover(node, &mut ctx);
                         }
                         FaultKind::Partition(groups) => {
+                            self.trace.record(
+                                self.now,
+                                trace::GLOBAL_NODE,
+                                TraceKind::PartitionApplied {
+                                    islands: groups.len() as u32,
+                                },
+                            );
                             self.world.apply_partition(&groups);
                         }
-                        FaultKind::Heal => self.world.heal_partition(),
+                        FaultKind::Heal => {
+                            self.trace.record(
+                                self.now,
+                                trace::GLOBAL_NODE,
+                                TraceKind::PartitionHealed,
+                            );
+                            self.world.heal_partition();
+                        }
                         FaultKind::FailRegion { center, radius } => {
                             // Victims go into local buffers: the engine
                             // scratch is reserved for the neighbour
@@ -848,6 +917,13 @@ impl<M: Clone> Simulator<M> {
                             let mut raw = Vec::new();
                             self.world
                                 .nodes_near_into(center, radius, &mut victims, &mut raw);
+                            self.trace.record(
+                                self.now,
+                                trace::GLOBAL_NODE,
+                                TraceKind::RegionFailed {
+                                    victims: victims.len() as u32,
+                                },
+                            );
                             for node in victims {
                                 self.world.set_alive(node, false);
                                 let mut ctx = ctx!(self.now, node);
@@ -855,15 +931,24 @@ impl<M: Clone> Simulator<M> {
                             }
                         }
                         FaultKind::Byzantine { node, mode } => {
+                            self.trace.record(
+                                self.now,
+                                node,
+                                TraceKind::ByzantineSet { mode: mode.code() },
+                            );
                             if matches!(mode, ByzantineMode::BogusCandidacy { .. }) {
                                 self.world.set_capability(node, Capability::Enhanced);
                             }
                             self.world.set_byzantine(node, Some(mode));
                         }
                         FaultKind::ClockSkew { node, skew_us } => {
+                            self.trace
+                                .record(self.now, node, TraceKind::ClockSkewSet { skew_us });
                             self.world.set_clock_skew_us(node, skew_us);
                         }
                         FaultKind::PositionError { node, error } => {
+                            self.trace
+                                .record(self.now, node, TraceKind::PositionErrorSet);
                             self.world.set_position_error(node, error);
                         }
                     }

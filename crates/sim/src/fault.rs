@@ -80,6 +80,17 @@ pub enum ByzantineMode {
 }
 
 impl ByzantineMode {
+    /// A stable small-integer discriminant for trace records:
+    /// 0 selective-forward, 1 replay-stale, 2 bogus-candidacy.
+    #[inline]
+    pub fn code(&self) -> u8 {
+        match self {
+            ByzantineMode::SelectiveForward { .. } => 0,
+            ByzantineMode::ReplayStale { .. } => 1,
+            ByzantineMode::BogusCandidacy { .. } => 2,
+        }
+    }
+
     /// The per-transmission drop probability this mode applies (0 for
     /// modes that never drop).
     #[inline]

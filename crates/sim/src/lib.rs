@@ -15,6 +15,9 @@
 //! * [`fault`] — the declarative adversary & partition plane
 //!   ([`FaultPlan`]): partitions with heal, regional outages, Byzantine
 //!   nodes, clock/position error, injected as barrier events;
+//! * [`trace`] — the deterministic structured protocol trace
+//!   ([`Trace`]): typed, category-filtered, ring-bounded event records,
+//!   byte-identical at every thread count;
 //! * [`georoute`] — greedy location-based forwarding (GPSR-style);
 //! * [`engine`] — the [`Protocol`] trait and [`Simulator`] event loop;
 //! * [`par`] — the sharded parallel engine ([`ParProtocol`] /
@@ -43,6 +46,7 @@ pub mod radio;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod world;
 
 pub use ctx::ProtoCtx;
@@ -51,9 +55,10 @@ pub use event::{EventKind, EventQueue};
 pub use fault::{ByzantineMode, FaultEvent, FaultKind, FaultPlan};
 pub use mobility::{Mobility, RandomWaypoint, ReferencePointGroup, Stationary};
 pub use node::{Capability, NodeId, NodeState};
-pub use par::{ParCtx, ParProtocol, ParSimulator};
+pub use par::{EngineProfile, ParCtx, ParProtocol, ParSimulator, PhaseSlice};
 pub use radio::RadioConfig;
 pub use rng::SimRng;
 pub use stats::{gini, jain_fairness, max_mean_ratio, sim_sec_per_wall_sec, ClassId, Stats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceConfig, TraceEvent, TraceKind};
 pub use world::World;

@@ -54,15 +54,99 @@ use crate::radio::RadioConfig;
 use crate::rng::SimRng;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{self, Trace, TraceConfig, TraceEvent, TraceKind};
 use crate::world::World;
 use hvdb_geo::{Aabb, Point, Vec2};
 use hvdb_traffic::{flow_seed, Rng64, FLOW_NONE};
 use rustc_hash::FxHashMap;
+use std::time::Instant;
 
 /// Salt mixed into the master seed for per-node streams, so node streams
 /// never collide with the traffic plane's per-flow streams (which use the
 /// unsalted seed through the same [`flow_seed`] mix).
 const NODE_STREAM_SALT: u64 = 0x4E4F_4445_5253;
+
+/// Cap on retained [`PhaseSlice`] records when detailed profiling is on;
+/// slices past the cap are counted in [`EngineProfile::slices_dropped`].
+const SLICE_CAP: usize = 262_144;
+
+/// One timed phase occurrence, recorded only when detailed profiling is
+/// enabled ([`ParSimulator::set_profile_detail`]). Timestamps are
+/// wall-clock microseconds since the first `run` call, sized for direct
+/// export as Chrome trace-event (Perfetto) complete events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSlice {
+    /// Phase name: `"drain"`, `"commit"`, `"barrier"` or `"lane"`.
+    pub phase: &'static str,
+    /// Lane index for `"lane"` slices; `u32::MAX` for engine-wide phases.
+    pub lane: u32,
+    /// Wall-clock start, microseconds since the profile origin.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Wall-clock engine profile of a [`ParSimulator`]: per-window phase
+/// aggregates (parallel drain / serial commit / serial barrier) and
+/// per-lane busy time. **Non-deterministic by nature** — wall-clock
+/// readings vary run to run — so it must never feed golden or trajectory
+/// comparisons; it ships in reports as an explicitly excluded block.
+#[derive(Debug, Clone, Default)]
+pub struct EngineProfile {
+    /// Lookahead windows committed (parallel drain + ordered commit).
+    pub windows: u64,
+    /// Serial barrier events processed (faults, mobility ticks).
+    pub barriers: u64,
+    /// Total wall-clock seconds in the parallel drain phase.
+    pub drain_secs: f64,
+    /// Total wall-clock seconds in the serial ordered commit.
+    pub commit_secs: f64,
+    /// Total wall-clock seconds in serial barrier processing.
+    pub barrier_secs: f64,
+    /// Per-lane busy seconds inside drain (index = lane).
+    pub lane_busy_secs: Vec<f64>,
+    /// Detailed slices (empty unless detail is enabled; capped).
+    pub slices: Vec<PhaseSlice>,
+    /// Slices discarded past the retention cap.
+    pub slices_dropped: u64,
+}
+
+impl EngineProfile {
+    /// Max/mean ratio of per-lane busy time — 1.0 means perfectly
+    /// balanced lanes, higher means stragglers. Returns 1.0 when fewer
+    /// than two lanes recorded work.
+    pub fn lane_imbalance(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .lane_busy_secs
+            .iter()
+            .copied()
+            .filter(|s| *s > 0.0)
+            .collect();
+        if busy.len() < 2 {
+            return 1.0;
+        }
+        let max = busy.iter().fold(0.0_f64, |a, &b| a.max(b));
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    fn push_slice(&mut self, phase: &'static str, lane: u32, start_us: u64, dur_us: u64) {
+        if self.slices.len() >= SLICE_CAP {
+            self.slices_dropped += 1;
+            return;
+        }
+        self.slices.push(PhaseSlice {
+            phase,
+            lane,
+            start_us,
+            dur_us,
+        });
+    }
+}
 
 /// A protocol runnable on the sharded parallel engine.
 ///
@@ -248,6 +332,12 @@ struct Shard<N, M> {
     scratch: Vec<NodeId>,
     raw_scratch: Vec<u32>,
     recv_pool: Vec<Vec<NodeId>>,
+    /// Active trace-category mask, mirrored from the engine's [`Trace`]
+    /// at the start of every `run` call (0 = tracing off).
+    trace_mask: u32,
+    /// Shard-local trace records for the current window, merged into the
+    /// engine's ring at commit in deterministic `(time, node)` order.
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl<N, M> Shard<N, M> {
@@ -265,6 +355,8 @@ impl<N, M> Shard<N, M> {
             scratch: Vec::new(),
             raw_scratch: Vec::new(),
             recv_pool: Vec::new(),
+            trace_mask: 0,
+            trace_buf: Vec::new(),
         }
     }
 
@@ -342,6 +434,8 @@ impl<N: Send, M: Clone + Send> Shard<N, M> {
             scratch: &mut self.scratch,
             raw_scratch: &mut self.raw_scratch,
             recv_pool: &mut self.recv_pool,
+            trace_mask: self.trace_mask,
+            trace_buf: &mut self.trace_buf,
         };
         f(*id, node, &mut ctx)
     }
@@ -462,6 +556,8 @@ pub struct ParCtx<'a, M> {
     scratch: &'a mut Vec<NodeId>,
     raw_scratch: &'a mut Vec<u32>,
     recv_pool: &'a mut Vec<Vec<NodeId>>,
+    trace_mask: u32,
+    trace_buf: &'a mut Vec<TraceEvent>,
 }
 
 impl<'a, M: Clone> ParCtx<'a, M> {
@@ -883,7 +979,15 @@ impl<'a, M: Clone> ParCtx<'a, M> {
 
     /// Registers an originated data packet for delivery-ratio accounting.
     pub fn record_origin(&mut self, data_id: u64, expected: u64) {
-        self.record_origin_flow(data_id, expected, FLOW_NONE, 0);
+        // No trace: matches the serial engine, where only flow-tagged
+        // origins emit [`TraceKind::FlowOrigin`].
+        self.ops.push(StatOp::OriginFlow {
+            data_id,
+            at: self.now,
+            expected,
+            flow: FLOW_NONE,
+            seq: 0,
+        });
     }
 
     /// Registers an originated data packet carrying sequence number `seq`
@@ -896,11 +1000,19 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             flow,
             seq,
         });
+        self.trace(TraceKind::FlowOrigin { flow, seq });
     }
 
     /// Records a data-packet delivery at `node`.
     pub fn record_delivery(&mut self, data_id: u64, node: NodeId) {
-        self.record_delivery_hops(data_id, node, 0);
+        // No trace: matches the serial engine, where only hop-counted
+        // deliveries emit [`TraceKind::Delivered`].
+        self.ops.push(StatOp::DeliveryHops {
+            data_id,
+            node,
+            at: self.now,
+            hops: 0,
+        });
     }
 
     /// Records a data-packet delivery at `node` after `hops` physical
@@ -912,23 +1024,27 @@ impl<'a, M: Clone> ParCtx<'a, M> {
             at: self.now,
             hops,
         });
+        self.trace_for(node, TraceKind::Delivered { hops });
     }
 
     /// Counts one transmitted soft-state refresh advertisement.
     pub fn record_refresh_tx(&mut self) {
         self.counters.soft_refresh_msgs += 1;
+        self.trace(TraceKind::RefreshSent);
     }
 
     /// Counts one stale (out-of-date generation) message suppressed by a
     /// receiver instead of being applied.
     pub fn record_stale_suppressed(&mut self) {
         self.counters.soft_stale_suppressed += 1;
+        self.trace(TraceKind::StaleSuppressed);
     }
 
     /// Counts `n` periodic refreshes suppressed at the sender because the
     /// advertised state was unchanged.
     pub fn record_refresh_suppressed(&mut self, n: u64) {
         self.counters.soft_refresh_suppressed += n;
+        self.trace(TraceKind::RefreshSuppressed { n });
     }
 
     /// Records the adaptive refresh controller's current interval (in
@@ -940,6 +1056,40 @@ impl<'a, M: Clone> ParCtx<'a, M> {
     /// Counts `n` soft-state entries dropped by timeout expiry.
     pub fn record_soft_expired(&mut self, n: u64) {
         self.counters.soft_expired += n;
+        if n > 0 {
+            self.trace(TraceKind::SoftExpired { n });
+        }
+    }
+
+    /// The active trace-category mask (see [`crate::trace`]); 0 when
+    /// tracing is off. Protocols may branch on this to skip building
+    /// trace-only arguments.
+    #[inline]
+    pub fn trace_mask(&self) -> u32 {
+        self.trace_mask
+    }
+
+    /// Records a structured trace event attributed to the dispatched
+    /// node. Buffered shard-locally; the commit merges buffers in
+    /// deterministic `(time, node)` order, so the rendered trace is
+    /// byte-identical at every thread count.
+    #[inline]
+    pub fn trace(&mut self, kind: TraceKind) {
+        let node = self.current;
+        self.trace_for(node, kind);
+    }
+
+    /// Records a structured trace event attributed to `node` (delivery
+    /// milestones land at the receiver, not the dispatching node).
+    #[inline]
+    pub fn trace_for(&mut self, node: NodeId, kind: TraceKind) {
+        if self.trace_mask & kind.category() != 0 {
+            self.trace_buf.push(TraceEvent {
+                at: self.now,
+                node,
+                kind,
+            });
+        }
     }
 }
 
@@ -972,6 +1122,17 @@ pub struct ParSimulator<N, M> {
     route_bufs: Vec<Vec<NodeId>>,
     wall_secs: f64,
     sim_secs: f64,
+    /// Deterministic structured protocol trace (off by default).
+    trace: Trace,
+    /// Reusable merge buffer for shard trace buffers at commit.
+    trace_scratch: Vec<TraceEvent>,
+    /// Wall-clock phase/lane profile (aggregates always collected; two
+    /// `Instant` reads per window when off — noise next to a drain).
+    profile: EngineProfile,
+    /// Whether to additionally retain per-occurrence [`PhaseSlice`]s.
+    profile_detail: bool,
+    /// Wall-clock origin of slice timestamps (first `run` call).
+    profile_origin: Option<Instant>,
 }
 
 impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
@@ -1024,6 +1185,11 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
             route_bufs: Vec::new(),
             wall_secs: 0.0,
             sim_secs: 0.0,
+            trace: Trace::default(),
+            trace_scratch: Vec::new(),
+            profile: EngineProfile::default(),
+            profile_detail: false,
+            profile_origin: None,
         }
     }
 
@@ -1063,6 +1229,36 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
     /// (resume-safe, like [`crate::Simulator::sim_secs`]).
     pub fn sim_secs(&self) -> f64 {
         self.sim_secs
+    }
+
+    /// Enables (or reconfigures) the structured protocol trace. Call
+    /// before `run`; reconfiguring resets the buffer. Tracing draws no
+    /// randomness and never alters scheduling, so a run's statistics are
+    /// bit-identical with tracing on or off, and the merged trace itself
+    /// is byte-identical at every thread count.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.trace.configure(cfg);
+        let mask = self.trace.mask();
+        for shard in &mut self.shards {
+            shard.trace_mask = mask;
+        }
+    }
+
+    /// Read access to the recorded structured trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enables per-occurrence [`PhaseSlice`] retention (for Chrome
+    /// trace-event export) on top of the always-on phase aggregates.
+    pub fn set_profile_detail(&mut self, on: bool) {
+        self.profile_detail = on;
+    }
+
+    /// The wall-clock engine profile collected so far. Non-deterministic
+    /// (wall-clock readings): never feed it into golden comparisons.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
     }
 
     /// The configured execution lane count.
@@ -1223,24 +1419,79 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
         let per_receiver = self.cfg.per_receiver_delivery;
         let map = self.node_map.as_slice();
         let lanes = self.threads.min(self.shards.len()).max(1);
+        let origin = self.profile_origin.unwrap_or_else(Instant::now);
         if lanes <= 1 {
+            let t0 = Instant::now();
             for shard in &mut self.shards {
                 shard.drain(proto, world, radio, per_receiver, map);
             }
+            let lane_times = [(t0.saturating_duration_since(origin), t0.elapsed())];
+            self.fold_lane_times(&lane_times);
         } else {
             let chunk = self.shards.len().div_ceil(lanes);
+            // One (start, busy) slot per lane, written by exactly one
+            // closure each — profiling only observes the lanes, it never
+            // feeds back into shard execution.
+            let mut lane_times = vec![
+                (std::time::Duration::ZERO, std::time::Duration::ZERO);
+                self.shards.len().div_ceil(chunk)
+            ];
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
                 .shards
                 .chunks_mut(chunk)
-                .map(|group| {
+                .zip(lane_times.iter_mut())
+                .map(|(group, slot)| {
                     Box::new(move || {
+                        let t0 = Instant::now();
                         for shard in group {
                             shard.drain(proto, world, radio, per_receiver, map);
                         }
+                        *slot = (t0.saturating_duration_since(origin), t0.elapsed());
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             rayon::run_tasks(tasks);
+            self.fold_lane_times(&lane_times);
+        }
+    }
+
+    /// Folds per-lane `(start-since-origin, busy)` readings into the
+    /// profile's lane aggregates (and slices when detail is on).
+    fn fold_lane_times(&mut self, lane_times: &[(std::time::Duration, std::time::Duration)]) {
+        if self.profile.lane_busy_secs.len() < lane_times.len() {
+            self.profile.lane_busy_secs.resize(lane_times.len(), 0.0);
+        }
+        for (lane, &(start, busy)) in lane_times.iter().enumerate() {
+            self.profile.lane_busy_secs[lane] += busy.as_secs_f64();
+            if self.profile_detail && !busy.is_zero() {
+                self.profile.push_slice(
+                    "lane",
+                    lane as u32,
+                    start.as_micros() as u64,
+                    busy.as_micros() as u64,
+                );
+            }
+        }
+    }
+
+    /// Adds one timed phase occurrence to the profile aggregates (and the
+    /// slice list when detail is on).
+    fn note_phase(&mut self, phase: &'static str, t0: Instant) {
+        let dur = t0.elapsed();
+        match phase {
+            "drain" => self.profile.drain_secs += dur.as_secs_f64(),
+            "commit" => self.profile.commit_secs += dur.as_secs_f64(),
+            "barrier" => self.profile.barrier_secs += dur.as_secs_f64(),
+            _ => {}
+        }
+        if self.profile_detail {
+            let origin = self.profile_origin.unwrap_or(t0);
+            self.profile.push_slice(
+                phase,
+                u32::MAX,
+                t0.saturating_duration_since(origin).as_micros() as u64,
+                dur.as_micros() as u64,
+            );
         }
     }
 
@@ -1296,6 +1547,21 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
             }
             shard.counters.fold_into(stats);
         }
+        if self.trace.mask() != 0 {
+            // Merge shard trace buffers deterministically: stable sort by
+            // (time, node) — a node lives in exactly one shard, so ties
+            // keep each node's own emission order and the merged trace is
+            // independent of shard drain interleaving.
+            let mut merged = std::mem::take(&mut self.trace_scratch);
+            for shard in self.shards.iter_mut() {
+                merged.append(&mut shard.trace_buf);
+            }
+            merged.sort_by_key(|e| (e.at, e.node.0));
+            for ev in merged.drain(..) {
+                self.trace.push(ev);
+            }
+            self.trace_scratch = merged;
+        }
     }
 
     /// Processes one barrier event serially with full `&mut World`
@@ -1308,8 +1574,13 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
                 // engine counts identically), however many nodes it
                 // touches.
                 self.stats.events_processed += 1;
+                // Trace records below mirror the serial engine arm for
+                // arm — same instant, same attributed node, same payload
+                // — so a FAULT-masked trace is byte-comparable across
+                // engines (fault schedules are scripted and RNG-free).
                 match kind {
                     FaultKind::Fail(node) => {
+                        self.trace.record(self.now, node, TraceKind::NodeFailed);
                         self.world.set_alive(node, false);
                         let (s, i) = self.node_map[node.idx()];
                         self.shards[s as usize].with_slot(
@@ -1323,6 +1594,7 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
                         self.commit();
                     }
                     FaultKind::Recover(node) => {
+                        self.trace.record(self.now, node, TraceKind::NodeRecovered);
                         self.world.set_alive(node, true);
                         let (s, i) = self.node_map[node.idx()];
                         self.shards[s as usize].slots[i as usize].busy_until = self.now;
@@ -1337,9 +1609,20 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
                         self.commit();
                     }
                     FaultKind::Partition(groups) => {
+                        self.trace.record(
+                            self.now,
+                            trace::GLOBAL_NODE,
+                            TraceKind::PartitionApplied {
+                                islands: groups.len() as u32,
+                            },
+                        );
                         self.world.apply_partition(&groups);
                     }
-                    FaultKind::Heal => self.world.heal_partition(),
+                    FaultKind::Heal => {
+                        self.trace
+                            .record(self.now, trace::GLOBAL_NODE, TraceKind::PartitionHealed);
+                        self.world.heal_partition();
+                    }
                     FaultKind::FailRegion { center, radius } => {
                         // Victims fail together in ascending id order,
                         // exactly as the serial engine iterates; one
@@ -1348,6 +1631,13 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
                         let mut raw = Vec::new();
                         self.world
                             .nodes_near_into(center, radius, &mut victims, &mut raw);
+                        self.trace.record(
+                            self.now,
+                            trace::GLOBAL_NODE,
+                            TraceKind::RegionFailed {
+                                victims: victims.len() as u32,
+                            },
+                        );
                         for node in victims {
                             self.world.set_alive(node, false);
                             let (s, i) = self.node_map[node.idx()];
@@ -1363,15 +1653,24 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
                         self.commit();
                     }
                     FaultKind::Byzantine { node, mode } => {
+                        self.trace.record(
+                            self.now,
+                            node,
+                            TraceKind::ByzantineSet { mode: mode.code() },
+                        );
                         if matches!(mode, ByzantineMode::BogusCandidacy { .. }) {
                             self.world.set_capability(node, Capability::Enhanced);
                         }
                         self.world.set_byzantine(node, Some(mode));
                     }
                     FaultKind::ClockSkew { node, skew_us } => {
+                        self.trace
+                            .record(self.now, node, TraceKind::ClockSkewSet { skew_us });
                         self.world.set_clock_skew_us(node, skew_us);
                     }
                     FaultKind::PositionError { node, error } => {
+                        self.trace
+                            .record(self.now, node, TraceKind::PositionErrorSet);
                         self.world.set_position_error(node, error);
                     }
                 }
@@ -1394,11 +1693,18 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
     /// horizons; shard construction and node start-up happen on the first
     /// call.
     pub fn run<P: ParProtocol<Msg = M, Node = N>>(&mut self, proto: &P, until: SimTime) {
-        let wall_start = std::time::Instant::now();
+        let wall_start = Instant::now();
+        if self.profile_origin.is_none() {
+            self.profile_origin = Some(wall_start);
+        }
         let entry = self.now;
         if !self.started {
             self.started = true;
             self.build_shards(proto);
+            let mask = self.trace.mask();
+            for shard in &mut self.shards {
+                shard.trace_mask = mask;
+            }
             if self.cfg.mobility_tick > SimDuration::ZERO {
                 self.queue.push(
                     SimTime::ZERO + self.cfg.mobility_tick,
@@ -1409,8 +1715,13 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
                 let s = self.node_map[id.idx()].0 as usize;
                 self.shards[s].tasks.push(Task::Start { node: id });
             }
+            let t0 = Instant::now();
             self.drain_shards(proto);
+            self.note_phase("drain", t0);
+            let t1 = Instant::now();
             self.commit();
+            self.note_phase("commit", t1);
+            self.profile.windows += 1;
         }
         let delta = self.cfg.radio.latency;
         loop {
@@ -1420,7 +1731,10 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
             };
             if head_is_barrier {
                 let ev = self.queue.pop().expect("peeked event vanished");
+                let t0 = Instant::now();
                 self.barrier(proto, ev);
+                self.note_phase("barrier", t0);
+                self.profile.barriers += 1;
                 continue;
             }
             // Collect the lookahead window [head_time, head_time + delta),
@@ -1438,8 +1752,13 @@ impl<N: Send, M: Clone + Send> ParSimulator<N, M> {
                 self.now = ev.time;
                 self.route(ev);
             }
+            let t0 = Instant::now();
             self.drain_shards(proto);
+            self.note_phase("drain", t0);
+            let t1 = Instant::now();
             self.commit();
+            self.note_phase("commit", t1);
+            self.profile.windows += 1;
         }
         self.now = until.max(self.now);
         self.sim_secs += self.now.since(entry).as_secs_f64();
@@ -1539,6 +1858,9 @@ mod tests {
             ctx: &mut ParCtx<'_, GossipMsg>,
         ) {
             node.heard += 1;
+            // Trace-only milestone: exercises the shard-buffer merge path
+            // without touching statistics.
+            ctx.trace(TraceKind::Delivered { hops: msg.ttl });
             if msg.ttl > 0 && node.relayed.insert((msg.origin.0, msg.ttl)) {
                 ctx.broadcast(
                     id,
@@ -1605,9 +1927,10 @@ mod tests {
     /// The full fault-plane schedule: every [`FaultKind`] fires mid-run,
     /// with the partition+heal pair straddling many lookahead windows
     /// (odd microsecond timestamps, nowhere near window boundaries).
-    fn run_faulted_gossip(threads: usize) -> String {
+    fn run_faulted_gossip(threads: usize) -> (String, String) {
         let mut sim: ParSimulator<GossipNode, GossipMsg> =
             ParSimulator::new(grid_cfg(6, 13), Box::new(Stationary), 16, threads);
+        sim.set_trace(TraceConfig::all());
         place_grid(&mut sim, 6);
         let left: Vec<NodeId> = (0..18).map(NodeId).collect();
         let right: Vec<NodeId> = (18..36).map(NodeId).collect();
@@ -1651,7 +1974,7 @@ mod tests {
             "replay-stale never duplicated a frame"
         );
         assert_eq!(sim.world().capability(NodeId(9)), Capability::Enhanced);
-        format!("{:?}", sim.stats())
+        (format!("{:?}", sim.stats()), sim.trace().render())
     }
 
     #[test]
@@ -1659,14 +1982,66 @@ mod tests {
         // The tentpole acceptance bar: the whole fault family — partition
         // + heal straddling lookahead windows, regional outage, all three
         // Byzantine modes, clock and position error, fail/recover — with
-        // stats byte-identical at threads 1, 2, 4 and 8.
-        let s1 = run_faulted_gossip(1);
-        let s2 = run_faulted_gossip(2);
-        let s4 = run_faulted_gossip(4);
-        let s8 = run_faulted_gossip(8);
+        // stats AND the rendered structured trace byte-identical at
+        // threads 1, 2, 4 and 8.
+        let (s1, t1) = run_faulted_gossip(1);
+        let (s2, t2) = run_faulted_gossip(2);
+        let (s4, t4) = run_faulted_gossip(4);
+        let (s8, t8) = run_faulted_gossip(8);
         assert_eq!(s1, s2, "threads=2 diverged under fault injection");
         assert_eq!(s1, s4, "threads=4 diverged under fault injection");
         assert_eq!(s1, s8, "threads=8 diverged under fault injection");
+        assert!(!t1.is_empty(), "trace must have recorded fault events");
+        assert_eq!(t1, t2, "threads=2 trace diverged under fault injection");
+        assert_eq!(t1, t4, "threads=4 trace diverged under fault injection");
+        assert_eq!(t1, t8, "threads=8 trace diverged under fault injection");
+    }
+
+    #[test]
+    fn tracing_is_observation_only() {
+        // Tracing draws no randomness and never alters scheduling: a
+        // traced run's statistics are byte-identical to an untraced one,
+        // and an untraced run records nothing.
+        let mut traced: ParSimulator<GossipNode, GossipMsg> =
+            ParSimulator::new(grid_cfg(6, 7), Box::new(Stationary), 16, 2);
+        traced.set_trace(TraceConfig::all());
+        place_grid(&mut traced, 6);
+        traced.run(&Gossip { ttl: 3 }, SimTime::from_secs(3));
+        assert!(!traced.trace().is_empty(), "traced run must record events");
+        let (untraced_stats, _) = run_gossip_grid(2, 16);
+        assert_eq!(
+            format!("{:?}", traced.stats()),
+            untraced_stats,
+            "tracing changed simulation outcomes"
+        );
+        let mut off: ParSimulator<GossipNode, GossipMsg> =
+            ParSimulator::new(grid_cfg(6, 7), Box::new(Stationary), 16, 2);
+        place_grid(&mut off, 6);
+        off.run(&Gossip { ttl: 3 }, SimTime::from_secs(3));
+        assert!(off.trace().is_empty(), "untraced run must record nothing");
+    }
+
+    #[test]
+    fn profiler_counts_windows_and_lanes() {
+        let mut sim: ParSimulator<GossipNode, GossipMsg> =
+            ParSimulator::new(grid_cfg(6, 7), Box::new(Stationary), 16, 4);
+        sim.set_profile_detail(true);
+        place_grid(&mut sim, 6);
+        sim.run(&Gossip { ttl: 3 }, SimTime::from_secs(3));
+        let p = sim.profile();
+        assert!(p.windows > 0, "windows must have been committed");
+        assert!(p.drain_secs >= 0.0 && p.commit_secs >= 0.0);
+        assert!(
+            !p.lane_busy_secs.is_empty(),
+            "lane busy time must be recorded"
+        );
+        assert!(p.lane_imbalance() >= 1.0);
+        assert!(
+            p.slices.iter().any(|s| s.phase == "drain")
+                && p.slices.iter().any(|s| s.phase == "commit")
+                && p.slices.iter().any(|s| s.phase == "lane"),
+            "detailed slices must cover drain/commit/lane phases"
+        );
     }
 
     #[test]
